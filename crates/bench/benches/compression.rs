@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of the low-rank compression kernels (ACA, truncated
+//! pivoted QR, low-rank rounding) on realistic kernel blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2_geometry::{uniform_cube, Kernel, LaplaceKernel};
+use h2_lowrank::{aca_block, add_lowrank, compress_block, round_lowrank, LowRank};
+use h2_matrix::Matrix;
+use rand::SeedableRng;
+
+fn bench_compression(c: &mut Criterion) {
+    let points = uniform_cube(2048, 3);
+    let kernel = LaplaceKernel::default();
+    let rows: Vec<usize> = (0..2048).filter(|&i| points[i].x < 0.25).collect();
+    let cols: Vec<usize> = (0..2048).filter(|&i| points[i].x > 0.75).collect();
+    let block = kernel.assemble(&points, &rows, &cols);
+
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("aca", rows.len()), |b| {
+        b.iter(|| aca_block(&kernel, &points, &rows, &cols, 1e-6, 64))
+    });
+    group.bench_function(BenchmarkId::new("pivoted_qr_compress", rows.len()), |b| {
+        b.iter(|| compress_block(&block, 1e-6, None))
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let lr1 = LowRank::new(Matrix::random(256, 20, &mut rng), Matrix::random(256, 20, &mut rng));
+    let lr2 = LowRank::new(Matrix::random(256, 20, &mut rng), Matrix::random(256, 20, &mut rng));
+    group.bench_function("add_round_rank20", |b| {
+        b.iter(|| round_lowrank(&add_lowrank(&lr1, &lr2), 1e-8, None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compression);
+criterion_main!(benches);

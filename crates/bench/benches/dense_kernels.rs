@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks of the dense kernels the solvers are built from
+//! (the MKL substitutes: GEMM, LU, pivoted QR).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use h2_matrix::{lu_factor, matmul, pivoted_qr, Matrix};
+use rand::SeedableRng;
+
+fn bench_dense(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("dense_kernels");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("gemm", n), &n, |bencher, _| {
+            bencher.iter(|| matmul(&a, &b))
+        });
+        let mut spd = a.clone();
+        for i in 0..n {
+            let v = spd.get(i, i);
+            spd.set(i, i, v + n as f64);
+        }
+        group.bench_with_input(BenchmarkId::new("lu", n), &n, |bencher, _| {
+            bencher.iter(|| lu_factor(&spd).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pivoted_qr", n), &n, |bencher, _| {
+            bencher.iter(|| pivoted_qr(&a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense);
+criterion_main!(benches);

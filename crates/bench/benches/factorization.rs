@@ -1,0 +1,40 @@
+//! Criterion benchmark of the end-to-end factorizations at a fixed small size:
+//! the paper's H²-ULV without dependencies vs the LORAPO-style BLR LU.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use h2_bench::{build_kernel, build_points, build_tree, h2_options, Workload};
+use h2_factor::h2_ulv_nodep;
+use h2_geometry::Admissibility;
+use h2_hmatrix::BlrMatrix;
+use h2_lorapo::{BlrLuFactors, BlrLuOptions};
+
+fn bench_factorization(c: &mut Criterion) {
+    let n = 1024;
+    let points = build_points(Workload::LaplaceCube, n, 5);
+    let kernel = build_kernel(Workload::LaplaceCube);
+    let tree = build_tree(&points, 64);
+    let blr_tree = build_tree(&points, 256);
+
+    let mut group = c.benchmark_group("factorization_n1024");
+    group.sample_size(10);
+    group.bench_function("h2_ulv_nodep_tol1e-6", |b| {
+        b.iter(|| h2_ulv_nodep(kernel.as_ref(), &tree, &h2_options(1e-6)))
+    });
+    group.bench_function("lorapo_blr_lu_tol1e-6", |b| {
+        b.iter(|| {
+            let blr = BlrMatrix::build(kernel.as_ref(), &blr_tree, &Admissibility::weak(), 1e-6, 50);
+            BlrLuFactors::factor_blr(
+                blr,
+                &BlrLuOptions {
+                    tol: 1e-6,
+                    max_rank: 50,
+                    admissibility: Admissibility::weak(),
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_factorization);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 9 (a, b): factorization time vs problem size, ours vs LORAPO, on one core,
+//! for relative tolerances 1e-6 and 1e-8 (Laplace kernel, uniform cube).
+//!
+//! The paper's N range is 2^14..2^18 on a 128-core node; the reproduction sweeps a
+//! scaled-down range (see `H2_BENCH_SCALE`) but reports the same quantities: wall-clock
+//! factorization time per solver and the fitted complexity exponent (ours ~O(N), the
+//! BLR baseline ~O(N^2)).
+
+use h2_bench::{fit_exponent, print_table, run_h2ulv, run_lorapo, Scale, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = scale.sweep_sizes();
+    for &tol in &[1e-6f64, 1e-8] {
+        let mut rows = Vec::new();
+        let mut ns = Vec::new();
+        let mut ours_t = Vec::new();
+        let mut lorapo_t = Vec::new();
+        for &n in &sizes {
+            let (ours, _) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), tol);
+            let (baseline, _) = run_lorapo(Workload::LaplaceCube, n, scale.blr_leaf_size(), tol);
+            ns.push(n as f64);
+            ours_t.push(ours.factor_seconds.max(1e-6));
+            lorapo_t.push(baseline.factor_seconds.max(1e-6));
+            rows.push(vec![
+                n.to_string(),
+                format!("{:.3}", ours.factor_seconds),
+                format!("{:.3}", baseline.factor_seconds),
+                format!("{}", ours.max_rank),
+                format!("{}", baseline.max_rank),
+                ours.residual.map(|r| format!("{r:.2e}")).unwrap_or_else(|| "-".into()),
+                baseline.residual.map(|r| format!("{r:.2e}")).unwrap_or_else(|| "-".into()),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 9: factorization time vs N (tol = {tol:.0e}, single core)"),
+            &[
+                "N",
+                "OURS time (s)",
+                "LORAPO time (s)",
+                "OURS max rank",
+                "LORAPO max rank",
+                "OURS resid",
+                "LORAPO resid",
+            ],
+            &rows,
+        );
+        println!(
+            "fitted complexity exponents: OURS O(N^{:.2}), LORAPO O(N^{:.2})  (paper: ~1 vs ~2)",
+            fit_exponent(&ns, &ours_t),
+            fit_exponent(&ns, &lorapo_t)
+        );
+    }
+}

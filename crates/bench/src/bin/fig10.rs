@@ -1,0 +1,41 @@
+//! Figure 10: floating-point operation counts (PAPI_FP_OPS substitute) vs problem
+//! size at tolerance 1e-8, ours vs LORAPO.
+//!
+//! The paper's point: the ULV-based method performs *more* flops than BLR at small N
+//! (basis applications and shared-basis ranks), but its count grows like O(N) while
+//! BLR grows like O(N^2).
+
+use h2_bench::{fit_exponent, print_table, run_h2ulv, run_lorapo, Scale, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    let sizes = scale.sweep_sizes();
+    let tol = 1e-8;
+    let mut rows = Vec::new();
+    let mut ns = Vec::new();
+    let mut ours_f = Vec::new();
+    let mut lorapo_f = Vec::new();
+    for &n in &sizes {
+        let (ours, _) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), tol);
+        let (baseline, _) = run_lorapo(Workload::LaplaceCube, n, scale.blr_leaf_size(), tol);
+        ns.push(n as f64);
+        ours_f.push(ours.factor_flops as f64);
+        lorapo_f.push(baseline.factor_flops as f64);
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3e}", ours.factor_flops as f64),
+            format!("{:.3e}", baseline.factor_flops as f64),
+            format!("{:.2}", ours.factor_flops as f64 / baseline.factor_flops.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "Fig. 10: factorization flop counts vs N (tol = 1e-8)",
+        &["N", "OURS flops", "LORAPO flops", "OURS/LORAPO"],
+        &rows,
+    );
+    println!(
+        "fitted complexity exponents: OURS O(N^{:.2}), LORAPO O(N^{:.2})  (paper: ~1 vs ~2)",
+        fit_exponent(&ns, &ours_f),
+        fit_exponent(&ns, &lorapo_f)
+    );
+}

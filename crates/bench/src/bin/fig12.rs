@@ -1,0 +1,58 @@
+//! Figure 12: impact of the leaf (tile) size at fixed problem size and core count.
+//!
+//! The paper finds opposite trends: LORAPO wants large tiles (to amortize the runtime
+//! overhead), while the H²-ULV solver is best with small leaves (more parallelism,
+//! shallower dense work).  We sweep the leaf size for both solvers at a fixed N and
+//! replay the DAGs on 32 virtual cores.
+
+use h2_bench::{print_table, run_h2ulv, Scale, Workload};
+use h2_runtime::{simulate_schedule, SimConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.scaling_size();
+    let cores = 32;
+    let leaf_sizes: Vec<usize> = match scale {
+        Scale::Smoke => vec![32, 64, 128],
+        _ => vec![32, 64, 128, 256, 512],
+    };
+    let mut rows = Vec::new();
+    for &leaf in &leaf_sizes {
+        if leaf * 2 > n {
+            continue;
+        }
+        let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, leaf, 1e-6);
+        let ours_res = simulate_schedule(
+            &ours.task_graph,
+            &SimConfig {
+                workers: cores,
+                flops_per_second: 4.0e9,
+                per_task_overhead: 0.0,
+                min_task_time: 0.0,
+            },
+        );
+        // LORAPO DAG with the same tile size.
+        let tiles = (n / leaf).max(2);
+        let lorapo_dag = h2_lorapo::build_blr_lu_dag(tiles, leaf, 50.min(leaf));
+        let lorapo_res = simulate_schedule(
+            &lorapo_dag,
+            &SimConfig {
+                workers: cores,
+                flops_per_second: 4.0e9,
+                per_task_overhead: 2.0e-4,
+                min_task_time: 0.0,
+            },
+        );
+        rows.push(vec![
+            leaf.to_string(),
+            format!("{:.4}", ours_res.makespan),
+            format!("{:.4}", lorapo_res.makespan),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 12: leaf size sweep, N = {n}, {cores} simulated cores"),
+        &["leaf size", "OURS time (s)", "LORAPO time (s)"],
+        &rows,
+    );
+    println!("expected shape (paper): OURS is best at small leaves, LORAPO at large tiles");
+}

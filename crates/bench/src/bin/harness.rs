@@ -1,0 +1,47 @@
+//! Smoke-test harness: runs a miniature version of every experiment in sequence.
+//!
+//! Used by the integration tests and by `EXPERIMENTS.md` readers who want a quick
+//! end-to-end check before launching the full figure binaries.
+
+use h2_bench::{run_h2ulv, run_lorapo, Scale, Workload};
+use h2_factor::dist::{estimate_distributed, DistConfig};
+use h2_runtime::{simulate_schedule, SimConfig};
+
+fn main() {
+    // Force smoke sizes regardless of the environment.
+    let scale = Scale::Smoke;
+    let n = scale.scaling_size();
+    println!("harness: smoke run with N = {n}");
+
+    let (ours, ours_factors) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6);
+    let (baseline, _) = run_lorapo(Workload::LaplaceCube, n, scale.blr_leaf_size(), 1e-6);
+    println!(
+        "fig09/fig10: OURS {:.3}s / {:.2e} flops (resid {:.1e}), LORAPO {:.3}s / {:.2e} flops (resid {:.1e})",
+        ours.factor_seconds,
+        ours.factor_flops as f64,
+        ours.residual.unwrap_or(f64::NAN),
+        baseline.factor_seconds,
+        baseline.factor_flops as f64,
+        baseline.residual.unwrap_or(f64::NAN),
+    );
+    assert!(ours.residual.unwrap() < 1e-3, "H2-ULV residual too large");
+    assert!(baseline.residual.unwrap() < 1e-3, "BLR residual too large");
+
+    let sim = simulate_schedule(
+        &ours_factors.task_graph,
+        &SimConfig {
+            workers: 16,
+            flops_per_second: 4.0e9,
+            per_task_overhead: 0.0,
+            min_task_time: 0.0,
+        },
+    );
+    println!("fig11: OURS simulated on 16 cores: {:.4}s (efficiency {:.2})", sim.makespan, sim.efficiency(16));
+
+    let dist = estimate_distributed(&ours_factors, 64, &DistConfig::default());
+    println!(
+        "fig16: OURS modelled on 64 ranks: {:.4}s ({:.4}s compute + {:.4}s comm)",
+        dist.time_seconds, dist.compute_seconds, dist.comm_seconds
+    );
+    println!("harness: all smoke checks passed");
+}

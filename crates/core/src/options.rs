@@ -1,0 +1,78 @@
+//! Configuration of the ULV factorization family.
+
+use h2_geometry::Admissibility;
+use h2_hmatrix::BasisMode;
+
+/// Which elimination strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The paper's contribution: fill-ins are pre-computed per block row/column and
+    /// folded into the shared bases, so every block row/column of a level is
+    /// eliminated independently — no trailing sub-matrix dependencies (§III).
+    NoDependencies,
+    /// The conventional H²-ULV of §II-D: block rows/columns are eliminated in
+    /// sequence and Schur updates are applied to the trailing redundant parts as well.
+    /// Used as an ablation to quantify what removing the dependency costs/buys.
+    WithDependencies,
+}
+
+/// Whether the factorization recurses over levels or flattens after the leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hierarchy {
+    /// Multi-level: recurse level by level up to the root (HSS-ULV / H²-ULV).
+    MultiLevel,
+    /// Single level: eliminate the leaf level, then gather every remaining skeleton
+    /// block into one dense matrix and factorize it (BLR²-ULV, Eq. 15).
+    SingleLevel,
+}
+
+/// Options of a ULV factorization.
+#[derive(Debug, Clone, Copy)]
+pub struct FactorOptions {
+    /// Relative compression tolerance for bases and couplings.
+    pub tol: f64,
+    /// Optional cap on basis ranks.
+    pub max_rank: Option<usize>,
+    /// Admissibility condition (weak → HSS-like, strong → H²-like).
+    pub admissibility: Admissibility,
+    /// Exact or sampled basis construction.
+    pub basis_mode: BasisMode,
+    /// Elimination strategy.
+    pub variant: Variant,
+    /// Multi-level or single-level (BLR²) structure.
+    pub hierarchy: Hierarchy,
+    /// Enrich the shared bases with pre-computed fill-in blocks.  Automatically
+    /// irrelevant for weak admissibility (there are no dense off-diagonal blocks).
+    pub fillin_enrichment: bool,
+    /// Seed for the sampled basis mode.
+    pub seed: u64,
+}
+
+impl Default for FactorOptions {
+    fn default() -> Self {
+        FactorOptions {
+            tol: 1e-8,
+            max_rank: None,
+            admissibility: Admissibility::strong(1.0),
+            basis_mode: BasisMode::Exact,
+            variant: Variant::NoDependencies,
+            hierarchy: Hierarchy::MultiLevel,
+            fillin_enrichment: true,
+            seed: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_describe_the_papers_method() {
+        let o = FactorOptions::default();
+        assert_eq!(o.variant, Variant::NoDependencies);
+        assert_eq!(o.hierarchy, Hierarchy::MultiLevel);
+        assert!(o.fillin_enrichment);
+        assert!(o.tol > 0.0);
+    }
+}

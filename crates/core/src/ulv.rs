@@ -1,0 +1,788 @@
+//! The ULV factorization engine.
+//!
+//! One engine implements the whole family (BLR²-ULV, HSS-ULV, H²-ULV with/without
+//! trailing dependencies); the options select admissibility, hierarchy and scheduling.
+//! The algorithm per level (leaf → root) follows §II–III of the paper and DESIGN.md §2:
+//!
+//! 1. **fill-in pre-computation** per block row/column of the level's dense blocks
+//!    (strong admissibility only) — [`crate::fillin`];
+//! 2. **fill-in-aware shared bases**: truncated pivoted QR of `[far-field | fill-ins]`
+//!    per block row and block column (Eqs. 27–28), completed to square orthogonal
+//!    `Q_i = [U_i^R U_i^S]`, `P_j = [V_j^R V_j^S]`;
+//! 3. **USV transform**: dense blocks become `Q_i^T D_ij P_j`, admissible blocks keep
+//!    only their skeleton coupling `S_ij = U_i^{S T} A_ij V_j^S` (Eqs. 8–9);
+//! 4. **independent elimination** of every block row/column's redundant part
+//!    (Eqs. 11–14 extended to the dense neighbours), with Schur updates applied only
+//!    to skeleton–skeleton blocks — the dropped redundant-side updates are `O(tol)`
+//!    because the fill-ins were folded into the bases;
+//! 5. **merge** of the surviving skeleton blocks into the parent level (Eq. 22) and
+//!    recursion; the root system is factorized densely (Eq. 15).
+//!
+//! The factorization records a task graph (costs + dependencies) so the scheduler
+//! simulator can replay it on any number of virtual cores.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use h2_geometry::{ClusterTree, Kernel};
+use h2_hmatrix::basis::far_field_matrix;
+use h2_hmatrix::{BlockPartition, BlockType};
+use h2_matrix::{
+    flop_count, lu_factor, matmul, matmul_tn, pivoted_qr, Lu, Matrix,
+};
+use rayon::prelude::*;
+
+use crate::fillin::{precompute_fillins, FillIns};
+use crate::options::{FactorOptions, Hierarchy};
+use crate::taskgraph::FactorTaskGraph;
+use h2_runtime::TaskGraph;
+
+/// Per-cluster factor data at one level.
+#[derive(Debug, Clone)]
+pub struct ClusterFactor {
+    /// Row basis `[U^R | U^S]` (square, `a x a`).
+    pub q: Matrix,
+    /// Column basis `[V^R | V^S]` (square, `a x a`).
+    pub p: Matrix,
+    /// Active size `a` of this cluster at this level.
+    pub active: usize,
+    /// Redundant dimension `r` eliminated at this level.
+    pub redundant: usize,
+    /// Skeleton dimension `k` passed to the parent.
+    pub skeleton: usize,
+    /// LU factors of the redundant-redundant diagonal block (absent when `r == 0`).
+    pub lu: Option<Lu>,
+}
+
+/// Factor data of one processed level.
+#[derive(Debug)]
+pub struct LevelFactor {
+    /// Tree level this corresponds to.
+    pub level: usize,
+    /// Number of block rows/columns.
+    pub nb: usize,
+    /// Per-cluster factors.
+    pub clusters: Vec<ClusterFactor>,
+    /// Off-diagonal dense neighbours per block row (excluding the diagonal).
+    pub neighbours: Vec<Vec<usize>>,
+    /// Row panels `L_k^{-1} P_k D_kj^{RR}` for `(k, j)`, `j != k` a neighbour of `k`.
+    pub row_rr: HashMap<(usize, usize), Matrix>,
+    /// Row panels `L_k^{-1} P_k D_kj^{RS}` for `j` a neighbour of `k` or `j == k`.
+    pub row_rs: HashMap<(usize, usize), Matrix>,
+    /// Column panels `D_ik^{RR} U_k^{-1}` for `(i, k)`, `i != k` a neighbour of `k`.
+    pub col_rr: HashMap<(usize, usize), Matrix>,
+    /// Column panels `D_ik^{SR} U_k^{-1}` for `i` a neighbour of `k` or `i == k`.
+    pub col_sr: HashMap<(usize, usize), Matrix>,
+}
+
+/// Statistics of a factorization run.
+#[derive(Debug, Clone, Default)]
+pub struct FactorStats {
+    /// Seconds spent assembling kernel blocks, bases and couplings.
+    pub construction_seconds: f64,
+    /// Seconds spent in the elimination itself (transform + LU + TRSM + Schur + merge).
+    pub factorization_seconds: f64,
+    /// Flops counted during the elimination phase.
+    pub factorization_flops: u64,
+    /// Flops counted during construction (basis + coupling assembly).
+    pub construction_flops: u64,
+    /// Largest skeleton rank encountered at any level.
+    pub max_rank: usize,
+    /// Largest skeleton rank per processed level (leaf first).
+    pub level_ranks: Vec<usize>,
+    /// Dimension of the final dense root system.
+    pub root_dim: usize,
+    /// Total number of fill-in blocks pre-computed.
+    pub fillin_blocks: usize,
+    /// Storage of the factor object in floating-point words.
+    pub memory_words: usize,
+}
+
+/// The result of a ULV factorization: everything needed to solve, plus diagnostics.
+pub struct UlvFactors {
+    /// The cluster tree (owned copy; defines orderings for the solve).
+    pub tree: ClusterTree,
+    /// The options the factorization ran with.
+    pub options: FactorOptions,
+    /// Factors per processed level, leaf first.
+    pub levels: Vec<LevelFactor>,
+    /// Dense LU of the root skeleton system.
+    pub root_lu: Lu,
+    /// Offsets of each top-level cluster's skeleton inside the root system.
+    pub root_offsets: Vec<usize>,
+    /// Number of top-level clusters feeding the root system.
+    pub root_clusters: usize,
+    /// Run statistics.
+    pub stats: FactorStats,
+    /// Task graph of the factorization (for the scheduler simulator).
+    pub task_graph: TaskGraph,
+}
+
+/// The factorization driver.
+pub struct UlvFactorization;
+
+/// Working state carried from one level to the next.
+struct LevelState {
+    /// Dense blocks of the current level (inadmissible pairs), active coordinates.
+    dense: HashMap<(usize, usize), Matrix>,
+    /// Fill contributions addressed to pairs that are admissible at the current level
+    /// (added to their couplings after the bases are built).
+    admissible_carry: HashMap<(usize, usize), Matrix>,
+    /// Fill contributions addressed to pairs not represented at the current level
+    /// (projected onto the skeleton and pushed further up).
+    pending_carry: HashMap<(usize, usize), Matrix>,
+    /// Accumulated row maps (original cluster points x active), `None` = identity.
+    row_maps: Vec<Option<Matrix>>,
+    /// Accumulated column maps.
+    col_maps: Vec<Option<Matrix>>,
+}
+
+impl UlvFactorization {
+    /// Factorize the kernel matrix defined by `kernel` over `tree` according to `opts`.
+    pub fn factor(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) -> UlvFactors {
+        let partition = BlockPartition::build(tree, &opts.admissibility);
+        let depth = tree.depth;
+        let mut stats = FactorStats::default();
+        let mut tg = FactorTaskGraph::new();
+
+        // Degenerate case: a single leaf is just a dense factorization.
+        if depth == 0 {
+            let t0 = Instant::now();
+            let order = tree.perm.clone();
+            let a = kernel.assemble(&tree.points, &order, &order);
+            stats.construction_seconds = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let f0 = flop_count();
+            let root_lu = lu_factor(&a).expect("dense root factorization failed");
+            stats.factorization_seconds = t1.elapsed().as_secs_f64();
+            stats.factorization_flops = flop_count() - f0;
+            stats.root_dim = a.rows();
+            tg.add_root_task(a.rows());
+            return UlvFactors {
+                tree: tree.clone(),
+                options: *opts,
+                levels: Vec::new(),
+                root_lu,
+                root_offsets: vec![0],
+                root_clusters: 1,
+                stats,
+                task_graph: tg.finish(),
+            };
+        }
+
+        let mut state = LevelState {
+            dense: HashMap::new(),
+            admissible_carry: HashMap::new(),
+            pending_carry: HashMap::new(),
+            row_maps: vec![None; tree.num_leaves()],
+            col_maps: vec![None; tree.num_leaves()],
+        };
+
+        // Assemble the leaf-level dense (neighbour) blocks from the kernel.
+        let tcon0 = Instant::now();
+        let fcon0 = flop_count();
+        {
+            let leaf_clusters = tree.clusters_at_level(depth);
+            let pairs = partition.dense_pairs(depth);
+            let blocks: Vec<((usize, usize), Matrix)> = pairs
+                .par_iter()
+                .map(|&(i, j)| {
+                    (
+                        (i, j),
+                        kernel.assemble(
+                            &tree.points,
+                            tree.original_indices(&leaf_clusters[i]),
+                            tree.original_indices(&leaf_clusters[j]),
+                        ),
+                    )
+                })
+                .collect();
+            state.dense = blocks.into_iter().collect();
+        }
+        stats.construction_seconds += tcon0.elapsed().as_secs_f64();
+        stats.construction_flops += flop_count() - fcon0;
+
+        let mut levels: Vec<LevelFactor> = Vec::new();
+        let last_level = match opts.hierarchy {
+            Hierarchy::MultiLevel => 1,
+            Hierarchy::SingleLevel => depth,
+        };
+
+        for level in (last_level..=depth).rev() {
+            let (lf, next_state) =
+                Self::process_level(kernel, tree, &partition, opts, level, state, &mut stats, &mut tg);
+            levels.push(lf);
+            state = next_state;
+        }
+
+        // Root system.
+        let tfac = Instant::now();
+        let ffac = flop_count();
+        let (root, root_offsets, root_clusters) = match opts.hierarchy {
+            Hierarchy::MultiLevel => {
+                // The merge step of level 1 produced the root block (pair (0, 0) of
+                // level 0).  The root is a single cluster: the solve's backward pass
+                // splits its solution into the two level-1 skeletons itself.
+                let root = state
+                    .dense
+                    .remove(&(0, 0))
+                    .expect("root block missing after level merge");
+                (root, vec![0], 1)
+            }
+            Hierarchy::SingleLevel => {
+                // Gather every remaining skeleton block into one dense matrix (Eq. 15).
+                let leaf_lf = levels.last().expect("leaf level processed");
+                let nb = leaf_lf.nb;
+                let ks: Vec<usize> = leaf_lf.clusters.iter().map(|c| c.skeleton).collect();
+                let mut offsets = vec![0usize; nb + 1];
+                for i in 0..nb {
+                    offsets[i + 1] = offsets[i] + ks[i];
+                }
+                let dim = offsets[nb];
+                let mut root = Matrix::zeros(dim, dim);
+                for ((i, j), block) in state.dense.iter() {
+                    root.set_block(offsets[*i], offsets[*j], block);
+                }
+                (root, offsets[..nb].to_vec(), nb)
+            }
+        };
+        stats.root_dim = root.rows();
+        tg.add_root_task(root.rows());
+        let root_lu = lu_factor(&root).expect("root skeleton system is singular");
+        stats.factorization_seconds += tfac.elapsed().as_secs_f64();
+        stats.factorization_flops += flop_count() - ffac;
+
+        let mut factors = UlvFactors {
+            tree: tree.clone(),
+            options: *opts,
+            levels,
+            root_lu,
+            root_offsets,
+            root_clusters,
+            stats,
+            task_graph: tg.finish(),
+        };
+        factors.stats.memory_words = factors.memory_words();
+        factors
+    }
+
+    /// Process one level: build bases, transform, eliminate, and produce the next
+    /// level's state.
+    #[allow(clippy::too_many_arguments)]
+    fn process_level(
+        kernel: &dyn Kernel,
+        tree: &ClusterTree,
+        partition: &BlockPartition,
+        opts: &FactorOptions,
+        level: usize,
+        state: LevelState,
+        stats: &mut FactorStats,
+        tg: &mut FactorTaskGraph,
+    ) -> (LevelFactor, LevelState) {
+        let nb = 1usize << level;
+        let clusters = tree.clusters_at_level(level);
+        tg.begin_level(level, nb);
+
+        // Active sizes at this level.
+        let active: Vec<usize> = (0..nb)
+            .map(|i| match &state.row_maps[i] {
+                Some(w) => w.cols(),
+                None => clusters[i].len,
+            })
+            .collect();
+
+        // Neighbour structure (inadmissible off-diagonal pairs) and admissible pairs.
+        let neighbours: Vec<Vec<usize>> = partition.neighbour_lists(level);
+        let admissible: Vec<(usize, usize)> = partition.admissible_pairs(level);
+
+        // ------------------------------------------------------------------ fill-ins
+        let tcon = Instant::now();
+        let fcon = flop_count();
+        let fills: FillIns = if opts.fillin_enrichment
+            && neighbours.iter().any(|l| !l.is_empty())
+        {
+            let dense_ref = &state.dense;
+            // In sampled construction mode the fill-in column/row spaces are captured
+            // through random test matrices instead of forming every product exactly.
+            let sample_cols = match opts.basis_mode {
+                h2_hmatrix::BasisMode::Exact => None,
+                h2_hmatrix::BasisMode::Sampled { .. } => Some(64),
+            };
+            precompute_fillins(
+                nb,
+                &neighbours,
+                |i, j| {
+                    dense_ref
+                        .get(&(i, j))
+                        .cloned()
+                        .unwrap_or_else(|| Matrix::zeros(active[i], active[j]))
+                },
+                sample_cols,
+            )
+        } else {
+            FillIns::default()
+        };
+        stats.fillin_blocks += fills.count;
+
+        // ---------------------------------------------------------------------- bases
+        // Extra enrichment from carried fill contributions addressed to this level.
+        let mut extra_row: HashMap<usize, Vec<Matrix>> = HashMap::new();
+        let mut extra_col: HashMap<usize, Vec<Matrix>> = HashMap::new();
+        for ((i, j), m) in state.admissible_carry.iter().chain(state.pending_carry.iter()) {
+            extra_row.entry(*i).or_default().push(m.clone());
+            extra_col.entry(*j).or_default().push(m.transpose());
+        }
+
+        let basis_inputs: Vec<(usize, usize)> = (0..nb)
+            .map(|i| {
+                let far_cols = 0usize; // reported after assembly below
+                let fill_cols = fills
+                    .row_fills
+                    .get(&i)
+                    .map(|v| v.iter().map(|m| m.cols()).sum())
+                    .unwrap_or(0);
+                (far_cols, fill_cols)
+            })
+            .collect();
+
+        let cluster_factors: Vec<ClusterFactor> = (0..nb)
+            .into_par_iter()
+            .map(|i| {
+                let far = far_field_matrix(kernel, tree, partition, level, i, opts.basis_mode, opts.seed);
+                let far_row = match &state.row_maps[i] {
+                    Some(w) => matmul_tn(w, &far),
+                    None => far.clone(),
+                };
+                let far_col = match &state.col_maps[i] {
+                    Some(w) => matmul_tn(w, &far),
+                    None => far,
+                };
+                let mut row_parts: Vec<Matrix> = vec![far_row];
+                if let Some(list) = fills.row_fills.get(&i) {
+                    row_parts.extend(list.iter().cloned());
+                }
+                if let Some(list) = extra_row.get(&i) {
+                    row_parts.extend(list.iter().cloned());
+                }
+                let mut col_parts: Vec<Matrix> = vec![far_col];
+                if let Some(list) = fills.col_fills.get(&i) {
+                    col_parts.extend(list.iter().cloned());
+                }
+                if let Some(list) = extra_col.get(&i) {
+                    col_parts.extend(list.iter().cloned());
+                }
+                let row_refs: Vec<&Matrix> = row_parts.iter().collect();
+                let col_refs: Vec<&Matrix> = col_parts.iter().collect();
+                let row_input = Matrix::hcat_all(&row_refs);
+                let col_input = Matrix::hcat_all(&col_refs);
+                build_cluster_basis(&row_input, &col_input, active[i], opts.tol, opts.max_rank)
+            })
+            .collect();
+
+        for (i, cf) in cluster_factors.iter().enumerate() {
+            let (_, fill_cols) = basis_inputs[i];
+            tg.add_basis_task(cf.active, cf.active.saturating_mul(2), fill_cols);
+        }
+        let level_max_rank = cluster_factors.iter().map(|c| c.skeleton).max().unwrap_or(0);
+        stats.level_ranks.push(level_max_rank);
+        stats.max_rank = stats.max_rank.max(level_max_rank);
+
+        // --------------------------------------------------------------- S couplings
+        let mut couplings: HashMap<(usize, usize), Matrix> = admissible
+            .par_iter()
+            .map(|&(i, j)| {
+                let a = kernel.assemble(
+                    &tree.points,
+                    tree.original_indices(&clusters[i]),
+                    tree.original_indices(&clusters[j]),
+                );
+                let mut m = match (&state.row_maps[i], &state.col_maps[j]) {
+                    (Some(wi), Some(wj)) => matmul(&matmul_tn(wi, &a), wj),
+                    (Some(wi), None) => matmul_tn(wi, &a),
+                    (None, Some(wj)) => matmul(&a, wj),
+                    (None, None) => a,
+                };
+                if let Some(carry) = state.admissible_carry.get(&(i, j)) {
+                    m += carry;
+                }
+                let us = skeleton_of(&cluster_factors[i].q, cluster_factors[i].redundant);
+                let vs = skeleton_of(&cluster_factors[j].p, cluster_factors[j].redundant);
+                let s = matmul(&matmul_tn(&us, &m), &vs);
+                ((i, j), s)
+            })
+            .collect();
+        stats.construction_seconds += tcon.elapsed().as_secs_f64();
+        stats.construction_flops += flop_count() - fcon;
+
+        // ------------------------------------------------------------ transform dense
+        let tfac = Instant::now();
+        let ffac = flop_count();
+        let dense_pairs: Vec<(usize, usize)> = state.dense.keys().copied().collect();
+        let transformed: HashMap<(usize, usize), Matrix> = dense_pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                let d = &state.dense[&(i, j)];
+                let qt_d = matmul_tn(&cluster_factors[i].q, d);
+                ((i, j), matmul(&qt_d, &cluster_factors[j].p))
+            })
+            .collect();
+
+        // Project pending carries onto the new skeletons so they continue upward.
+        let pending_projected: Vec<((usize, usize), Matrix)> = state
+            .pending_carry
+            .iter()
+            .map(|((i, j), m)| {
+                let us = skeleton_of(&cluster_factors[*i].q, cluster_factors[*i].redundant);
+                let vs = skeleton_of(&cluster_factors[*j].p, cluster_factors[*j].redundant);
+                ((*i, *j), matmul(&matmul_tn(&us, m), &vs))
+            })
+            .collect();
+
+        // ------------------------------------------------------------------ eliminate
+        let mut cluster_factors = cluster_factors;
+        let mut row_rr = HashMap::new();
+        let mut row_rs = HashMap::new();
+        let mut col_rr = HashMap::new();
+        let mut col_sr = HashMap::new();
+
+        // Per-pivot independent elimination.  Results are collected and merged
+        // serially to keep the parallel section free of shared mutable state.
+        struct PivotResult {
+            k: usize,
+            lu: Option<Lu>,
+            row_rr: Vec<((usize, usize), Matrix)>,
+            row_rs: Vec<((usize, usize), Matrix)>,
+            col_rr: Vec<((usize, usize), Matrix)>,
+            col_sr: Vec<((usize, usize), Matrix)>,
+            schur: Vec<(usize, usize, Matrix)>,
+        }
+
+        let pivot_results: Vec<PivotResult> = (0..nb)
+            .into_par_iter()
+            .map(|k| {
+                let rk = cluster_factors[k].redundant;
+                let mut res = PivotResult {
+                    k,
+                    lu: None,
+                    row_rr: Vec::new(),
+                    row_rs: Vec::new(),
+                    col_rr: Vec::new(),
+                    col_sr: Vec::new(),
+                    schur: Vec::new(),
+                };
+                if rk == 0 {
+                    return res;
+                }
+                let dkk = &transformed[&(k, k)];
+                let lu = lu_factor(&dkk.block(0, 0, rk, rk))
+                    .expect("redundant diagonal block is singular");
+                // Row panels (rows R_k) and column panels (columns R_k).
+                let mut row_targets = neighbours[k].clone();
+                row_targets.push(k);
+                for &j in &row_targets {
+                    let d = &transformed[&(k, j)];
+                    let rj = cluster_factors[j].redundant;
+                    let kj = cluster_factors[j].skeleton;
+                    if kj > 0 {
+                        let rs = d.block(0, rj, rk, kj);
+                        res.row_rs.push(((k, j), lu.forward_mat(&rs)));
+                    }
+                    if j != k && rj > 0 {
+                        let rr = d.block(0, 0, rk, rj);
+                        res.row_rr.push(((k, j), lu.forward_mat(&rr)));
+                    }
+                }
+                for &i in &row_targets {
+                    let d = &transformed[&(i, k)];
+                    let ri = cluster_factors[i].redundant;
+                    let ki = cluster_factors[i].skeleton;
+                    if ki > 0 {
+                        let sr = d.block(ri, 0, ki, rk);
+                        res.col_sr.push(((i, k), lu.right_solve_upper(&sr)));
+                    }
+                    if i != k && ri > 0 {
+                        let rr = d.block(0, 0, ri, rk);
+                        res.col_rr.push(((i, k), lu.right_solve_upper(&rr)));
+                    }
+                }
+                // Schur updates onto skeleton-skeleton blocks only.
+                for &(ref key_i, ref zi) in &res.col_sr {
+                    let i = key_i.0;
+                    for &(ref key_j, ref wj) in &res.row_rs {
+                        let j = key_j.1;
+                        res.schur.push((i, j, matmul(zi, wj)));
+                    }
+                }
+                res.lu = Some(lu);
+                res
+            })
+            .collect();
+
+        // Record elimination tasks and merge pivot results.
+        let basis_ids = tg.current_basis_tasks().to_vec();
+        for res in &pivot_results {
+            let k = res.k;
+            let mut deps = vec![basis_ids[k]];
+            for &j in &neighbours[k] {
+                deps.push(basis_ids[j]);
+            }
+            tg.add_elimination_task(
+                opts.variant,
+                cluster_factors[k].redundant,
+                cluster_factors[k].active,
+                neighbours[k].len(),
+                &deps,
+            );
+        }
+
+        // Skeleton-skeleton accumulators.
+        let mut ss: HashMap<(usize, usize), Matrix> = HashMap::new();
+        for (&(i, j), d) in &transformed {
+            let ri = cluster_factors[i].redundant;
+            let rj = cluster_factors[j].redundant;
+            let ki = cluster_factors[i].skeleton;
+            let kj = cluster_factors[j].skeleton;
+            ss.insert((i, j), d.block(ri, rj, ki, kj));
+        }
+        for ((i, j), s) in couplings.drain() {
+            ss.insert((i, j), s);
+        }
+        for ((i, j), m) in pending_projected {
+            ss.entry((i, j))
+                .and_modify(|e| *e += &m)
+                .or_insert(m);
+        }
+        for mut res in pivot_results {
+            cluster_factors[res.k].lu = res.lu.take();
+            for (key, m) in res.row_rr {
+                row_rr.insert(key, m);
+            }
+            for (key, m) in res.row_rs {
+                row_rs.insert(key, m);
+            }
+            for (key, m) in res.col_rr {
+                col_rr.insert(key, m);
+            }
+            for (key, m) in res.col_sr {
+                col_sr.insert(key, m);
+            }
+            for (i, j, upd) in res.schur {
+                let ki = cluster_factors[i].skeleton;
+                let kj = cluster_factors[j].skeleton;
+                if ki == 0 || kj == 0 {
+                    continue;
+                }
+                let entry = ss
+                    .entry((i, j))
+                    .or_insert_with(|| Matrix::zeros(ki, kj));
+                *entry -= &upd;
+            }
+        }
+        let skeleton_total: usize = cluster_factors.iter().map(|c| c.skeleton).sum();
+        tg.end_level(skeleton_total);
+
+        // ------------------------------------------------------------------- merge up
+        let mut next_state = LevelState {
+            dense: HashMap::new(),
+            admissible_carry: HashMap::new(),
+            pending_carry: HashMap::new(),
+            row_maps: Vec::new(),
+            col_maps: Vec::new(),
+        };
+        if opts.hierarchy == Hierarchy::MultiLevel || level > 1 {
+            // Parent-level maps (only needed when we keep recursing; for the
+            // single-level variant the dense map below carries the final system).
+            if opts.hierarchy == Hierarchy::MultiLevel {
+                let parent_nb = nb / 2;
+                next_state.row_maps = (0..parent_nb)
+                    .map(|ip| {
+                        Some(stack_maps(
+                            &state.row_maps[2 * ip],
+                            &skeleton_of(&cluster_factors[2 * ip].q, cluster_factors[2 * ip].redundant),
+                            &state.row_maps[2 * ip + 1],
+                            &skeleton_of(&cluster_factors[2 * ip + 1].q, cluster_factors[2 * ip + 1].redundant),
+                        ))
+                    })
+                    .collect();
+                next_state.col_maps = (0..parent_nb)
+                    .map(|ip| {
+                        Some(stack_maps(
+                            &state.col_maps[2 * ip],
+                            &skeleton_of(&cluster_factors[2 * ip].p, cluster_factors[2 * ip].redundant),
+                            &state.col_maps[2 * ip + 1],
+                            &skeleton_of(&cluster_factors[2 * ip + 1].p, cluster_factors[2 * ip + 1].redundant),
+                        ))
+                    })
+                    .collect();
+            }
+        }
+
+        match opts.hierarchy {
+            Hierarchy::SingleLevel => {
+                // Keep every skeleton block; the caller gathers them into one matrix.
+                next_state.dense = ss;
+            }
+            Hierarchy::MultiLevel => {
+                // Group surviving blocks by parent pair.
+                let ks: Vec<usize> = cluster_factors.iter().map(|c| c.skeleton).collect();
+                let mut grouped: HashMap<(usize, usize), Vec<((usize, usize), Matrix)>> = HashMap::new();
+                for ((i, j), m) in ss {
+                    grouped.entry((i / 2, j / 2)).or_default().push(((i, j), m));
+                }
+                for ((pi, pj), blocks) in grouped {
+                    let rows = ks[2 * pi] + ks[2 * pi + 1];
+                    let cols = ks[2 * pj] + ks[2 * pj + 1];
+                    let mut merged = Matrix::zeros(rows, cols);
+                    for ((i, j), m) in blocks {
+                        let ro = if i % 2 == 0 { 0 } else { ks[2 * pi] };
+                        let co = if j % 2 == 0 { 0 } else { ks[2 * pj] };
+                        if m.rows() > 0 && m.cols() > 0 {
+                            merged.add_block(ro, co, &m);
+                        }
+                    }
+                    // Dispatch according to the parent pair's classification.
+                    let parent_level = level - 1;
+                    let ptype = if parent_level == 0 {
+                        BlockType::Subdivided
+                    } else {
+                        partition.block_type(parent_level, pi, pj)
+                    };
+                    match ptype {
+                        BlockType::DenseLeaf | BlockType::Subdivided => {
+                            next_state.dense.insert((pi, pj), merged);
+                        }
+                        BlockType::Admissible => {
+                            next_state.admissible_carry.insert((pi, pj), merged);
+                        }
+                        BlockType::Covered => {
+                            next_state.pending_carry.insert((pi, pj), merged);
+                        }
+                    }
+                }
+            }
+        }
+
+        stats.factorization_seconds += tfac.elapsed().as_secs_f64();
+        stats.factorization_flops += flop_count() - ffac;
+
+        let lf = LevelFactor {
+            level,
+            nb,
+            clusters: cluster_factors,
+            neighbours,
+            row_rr,
+            row_rs,
+            col_rr,
+            col_sr,
+        };
+        (lf, next_state)
+    }
+}
+
+/// Build the `[redundant | skeleton]`-ordered square bases of one cluster from the
+/// row-space and column-space sample matrices.
+fn build_cluster_basis(
+    row_input: &Matrix,
+    col_input: &Matrix,
+    active: usize,
+    tol: f64,
+    max_rank: Option<usize>,
+) -> ClusterFactor {
+    let (q_full, rank_r) = orthogonal_factor(row_input, active, tol, max_rank);
+    let (p_full, rank_c) = orthogonal_factor(col_input, active, tol, max_rank);
+    // Row and column skeleton dimensions must agree so diagonal blocks stay square;
+    // take the larger of the two detected ranks for both sides.
+    let k = rank_r.max(rank_c);
+    let q = reorder_basis(&q_full, k, active);
+    let p = reorder_basis(&p_full, k, active);
+    ClusterFactor {
+        q,
+        p,
+        active,
+        redundant: active - k,
+        skeleton: k,
+        lu: None,
+    }
+}
+
+/// Pivoted QR of `input`, returning the full square orthogonal factor and the detected
+/// numerical rank (capped by `max_rank` and the active size).
+fn orthogonal_factor(
+    input: &Matrix,
+    active: usize,
+    tol: f64,
+    max_rank: Option<usize>,
+) -> (Matrix, usize) {
+    if input.cols() == 0 {
+        return (Matrix::identity(active), 0);
+    }
+    let f = pivoted_qr(input);
+    let mut rank = f.rank(tol);
+    if let Some(cap) = max_rank {
+        rank = rank.min(cap);
+    }
+    rank = rank.min(active);
+    (f.q_full(), rank)
+}
+
+/// Assemble `[U^R | U^S]` with `U^S` the first `k` columns of the orthogonal factor
+/// and `U^R` the remaining ones.
+fn reorder_basis(q_full: &Matrix, k: usize, active: usize) -> Matrix {
+    let skeleton = q_full.block(0, 0, active, k);
+    let redundant = q_full.block(0, k, active, active - k);
+    redundant.hcat(&skeleton)
+}
+
+/// The skeleton part `U^S` of a `[U^R | U^S]` basis.
+fn skeleton_of(q: &Matrix, redundant: usize) -> Matrix {
+    q.block(0, redundant, q.rows(), q.cols() - redundant)
+}
+
+/// Block-diagonal stack of two (map x skeleton-basis) products:
+/// `[W1*U1  0; 0  W2*U2]`, where a `None` map means the identity.
+fn stack_maps(w1: &Option<Matrix>, u1: &Matrix, w2: &Option<Matrix>, u2: &Matrix) -> Matrix {
+    let m1 = match w1 {
+        Some(w) => matmul(w, u1),
+        None => u1.clone(),
+    };
+    let m2 = match w2 {
+        Some(w) => matmul(w, u2),
+        None => u2.clone(),
+    };
+    let rows = m1.rows() + m2.rows();
+    let cols = m1.cols() + m2.cols();
+    let mut out = Matrix::zeros(rows, cols);
+    out.set_block(0, 0, &m1);
+    out.set_block(m1.rows(), m1.cols(), &m2);
+    out
+}
+
+impl UlvFactors {
+    /// Total storage of the factor object in floating-point words.
+    pub fn memory_words(&self) -> usize {
+        let mut words = self.root_lu.lu.rows() * self.root_lu.lu.cols();
+        for lf in &self.levels {
+            for c in &lf.clusters {
+                words += c.q.rows() * c.q.cols() + c.p.rows() * c.p.cols();
+                if let Some(lu) = &c.lu {
+                    words += lu.lu.rows() * lu.lu.cols();
+                }
+            }
+            for m in lf
+                .row_rr
+                .values()
+                .chain(lf.row_rs.values())
+                .chain(lf.col_rr.values())
+                .chain(lf.col_sr.values())
+            {
+                words += m.rows() * m.cols();
+            }
+        }
+        words
+    }
+
+    /// Largest skeleton rank at any level.
+    pub fn max_rank(&self) -> usize {
+        self.stats.max_rank
+    }
+}

@@ -1,0 +1,155 @@
+//! Admissibility conditions.
+//!
+//! The admissibility condition decides which blocks of the hierarchical matrix are
+//! approximated by low rank and which are kept dense (Table I of the paper):
+//!
+//! * **weak** admissibility (HSS, HODLR, BLR² in weak mode): every off-diagonal block
+//!   is admissible — simple, but for 3-D geometries the rank of the large
+//!   off-diagonal blocks grows with N and the O(N) complexity is lost;
+//! * **strong** admissibility (H², H, BLR in strong mode): a block is admissible only
+//!   if the two clusters are geometrically well separated; neighbouring clusters stay
+//!   dense, which keeps the admissible ranks O(1) but produces the fill-in the paper's
+//!   algorithm pre-computes.
+
+use crate::cluster_tree::Cluster;
+
+/// Which admissibility condition to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissibilityKind {
+    /// Weak admissibility: every off-diagonal block is low rank (HSS-like).
+    Weak,
+    /// Strong admissibility with separation parameter `eta`:
+    /// a block `(a, b)` is admissible iff
+    /// `max(diam(a), diam(b)) < eta * center_distance(a, b)`.
+    ///
+    /// With `eta = 1.0` this reproduces the classic FMM-style near/far split on a
+    /// regular partition: all touching neighbour boxes are dense, everything else is
+    /// low rank.  Center distance (rather than box-gap distance) is used because the
+    /// slightly overlapping bounding boxes produced by k-means on surface clouds
+    /// would otherwise mark far too many blocks dense.
+    Strong {
+        /// Separation parameter; larger values mark more blocks admissible.
+        eta: f64,
+    },
+}
+
+/// Admissibility oracle over clusters.
+#[derive(Debug, Clone, Copy)]
+pub struct Admissibility {
+    /// The condition in use.
+    pub kind: AdmissibilityKind,
+}
+
+impl Admissibility {
+    /// Weak admissibility (HSS).
+    pub fn weak() -> Self {
+        Admissibility {
+            kind: AdmissibilityKind::Weak,
+        }
+    }
+
+    /// Strong admissibility with the given `eta` (H²); `eta = 1.0` reproduces the
+    /// usual "non-adjacent boxes are far" rule on regular partitions.
+    pub fn strong(eta: f64) -> Self {
+        assert!(eta > 0.0, "eta must be positive");
+        Admissibility {
+            kind: AdmissibilityKind::Strong { eta },
+        }
+    }
+
+    /// Is the block `(row cluster, column cluster)` admissible (compressible)?
+    /// The diagonal block of a cluster with itself is never admissible.
+    pub fn is_admissible(&self, a: &Cluster, b: &Cluster) -> bool {
+        if a.id == b.id {
+            return false;
+        }
+        match self.kind {
+            AdmissibilityKind::Weak => true,
+            AdmissibilityKind::Strong { eta } => {
+                let dist = a.bbox.center_distance(&b.bbox);
+                let diam = a.bbox.diameter().max(b.bbox.diameter());
+                diam < eta * dist
+            }
+        }
+    }
+
+    /// Is the block inadmissible (kept dense)?
+    pub fn is_dense(&self, a: &Cluster, b: &Cluster) -> bool {
+        !self.is_admissible(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_tree::{ClusterTree, PartitionStrategy};
+    use crate::cube::uniform_cube;
+    use crate::point::{Aabb, Point3};
+
+    fn make_cluster(id: usize, min: Point3, max: Point3) -> Cluster {
+        Cluster {
+            id,
+            level: 1,
+            start: 0,
+            len: 1,
+            bbox: Aabb { min, max },
+        }
+    }
+
+    #[test]
+    fn weak_admissibility_is_all_offdiagonal() {
+        let adm = Admissibility::weak();
+        let a = make_cluster(1, Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0));
+        let b = make_cluster(2, Point3::new(1.0, 0.0, 0.0), Point3::new(2.0, 1.0, 1.0));
+        assert!(adm.is_admissible(&a, &b));
+        assert!(!adm.is_admissible(&a, &a));
+        assert!(adm.is_dense(&a, &a));
+    }
+
+    #[test]
+    fn strong_admissibility_requires_separation() {
+        let adm = Admissibility::strong(1.0);
+        let a = make_cluster(1, Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0));
+        // Touching neighbour: center distance 1, diameter sqrt(3) -> dense.
+        let b = make_cluster(2, Point3::new(1.0, 0.0, 0.0), Point3::new(2.0, 1.0, 1.0));
+        assert!(!adm.is_admissible(&a, &b));
+        // Far cluster: admissible.
+        let c = make_cluster(3, Point3::new(6.0, 0.0, 0.0), Point3::new(7.0, 1.0, 1.0));
+        assert!(adm.is_admissible(&a, &c));
+        assert!(adm.is_admissible(&c, &a));
+        // One box gap: center distance 2, diameter sqrt(3) -> admissible at eta = 1,
+        // dense for a stricter eta.
+        let close = make_cluster(4, Point3::new(2.0, 0.0, 0.0), Point3::new(3.0, 1.0, 1.0));
+        assert!(Admissibility::strong(1.0).is_admissible(&a, &close));
+        assert!(!Admissibility::strong(0.5).is_admissible(&a, &close));
+    }
+
+    #[test]
+    fn strong_admissibility_on_a_real_tree_gives_bounded_neighbour_count() {
+        let pts = uniform_cube(4096, 11);
+        let tree = ClusterTree::build(&pts, 64, PartitionStrategy::CoordinateBisection, 0);
+        let adm = Admissibility::strong(1.0);
+        let leaves = tree.clusters_at_level(tree.depth);
+        // Count dense (neighbour) blocks per row; for a 3-D volume this should be a
+        // small fraction of the total number of clusters.
+        let nb = leaves.len();
+        let mut max_dense = 0;
+        let mut total_admissible = 0;
+        for a in leaves {
+            let dense = leaves.iter().filter(|b| adm.is_dense(a, b)).count();
+            max_dense = max_dense.max(dense);
+            total_admissible += nb - dense;
+        }
+        assert!(max_dense < nb, "every row must have at least one admissible block");
+        assert!(max_dense >= 1, "the diagonal block is always dense");
+        assert!(total_admissible > nb * nb / 2, "most blocks should be admissible");
+        let a = &leaves[0];
+        assert!(adm.is_dense(a, a));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_eta_panics() {
+        let _ = Admissibility::strong(0.0);
+    }
+}

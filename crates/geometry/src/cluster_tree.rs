@@ -1,0 +1,348 @@
+//! Binary cluster trees.
+//!
+//! The rows/columns of the hierarchical matrix are organised by a *full binary tree*
+//! over the point indices (Fig. 2 and Fig. 8 of the paper: "The rows and columns of
+//! the H²-matrix also form a full binary tree").  Every node ("cluster") owns a
+//! contiguous range of the permuted point ordering, so matrix blocks are index ranges
+//! and never need gather/scatter during the factorization.
+//!
+//! Leaves all sit at the same depth and have sizes differing by at most one — this is
+//! the "enforce the number of clusters to always be a power of two" property the paper
+//! obtains from k-means, and it is what makes the process tree of the distributed
+//! algorithm graft cleanly onto the cluster tree.
+
+use crate::kmeans::two_means_split;
+use crate::morton::morton_sort;
+use crate::point::{Aabb, Point3};
+
+/// How to split a cluster's points into its two children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Balanced 2-means (the paper's choice for complex surface geometries, §V).
+    KMeans,
+    /// Sort along the longest axis of the bounding box and cut at the median.
+    CoordinateBisection,
+    /// Global Morton order, cut ranges in half (the space-filling-curve alternative).
+    Morton,
+}
+
+/// A node of the cluster tree.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Heap index of the node (root = 0, children of `i` are `2i+1`, `2i+2`).
+    pub id: usize,
+    /// Level of the node (root = 0, leaves = `depth`).
+    pub level: usize,
+    /// Start offset of this cluster's points in the permuted ordering.
+    pub start: usize,
+    /// Number of points in the cluster.
+    pub len: usize,
+    /// Bounding box of the cluster's points.
+    pub bbox: Aabb,
+}
+
+impl Cluster {
+    /// Index range `[start, start + len)` in the permuted ordering.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// A complete binary cluster tree over a 3-D point cloud.
+#[derive(Debug, Clone)]
+pub struct ClusterTree {
+    /// The point cloud in its original ordering.
+    pub points: Vec<Point3>,
+    /// Permutation: position `p` in tree ordering holds original point `perm[p]`.
+    pub perm: Vec<usize>,
+    /// Depth of the tree; leaves live at level `depth` and there are `2^depth` of them.
+    pub depth: usize,
+    /// All nodes in heap layout (`2^(depth+1) - 1` entries).
+    clusters: Vec<Cluster>,
+}
+
+impl ClusterTree {
+    /// Build a cluster tree with leaves of size at most `leaf_size` (and at least
+    /// `leaf_size / 2`, because leaves all sit at the same depth and are balanced).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or `leaf_size` is zero.
+    pub fn build(
+        points: &[Point3],
+        leaf_size: usize,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> ClusterTree {
+        assert!(!points.is_empty(), "cluster tree needs at least one point");
+        assert!(leaf_size > 0, "leaf_size must be positive");
+        let n = points.len();
+        let mut depth = 0usize;
+        while (n >> depth) > leaf_size {
+            depth += 1;
+        }
+        // Initial ordering: Morton strategy sorts globally up front; the others start
+        // from the natural order and permute during recursion.
+        let mut perm: Vec<usize> = match strategy {
+            PartitionStrategy::Morton => morton_sort(points),
+            _ => (0..n).collect(),
+        };
+
+        let num_nodes = (1usize << (depth + 1)) - 1;
+        let mut clusters: Vec<Option<Cluster>> = vec![None; num_nodes];
+        // Recursive splitting over (node id, level, range).
+        let mut stack = vec![(0usize, 0usize, 0usize, n)];
+        while let Some((id, level, start, len)) = stack.pop() {
+            let idx_slice = &perm[start..start + len];
+            let bbox = Aabb::from_points(&idx_slice.iter().map(|&i| points[i]).collect::<Vec<_>>());
+            clusters[id] = Some(Cluster { id, level, start, len, bbox });
+            if level == depth {
+                continue;
+            }
+            // Split the range into two balanced halves according to the strategy.
+            let (left, right): (Vec<usize>, Vec<usize>) = match strategy {
+                PartitionStrategy::KMeans => {
+                    two_means_split(points, idx_slice, seed ^ (id as u64).wrapping_mul(0x9e3779b9))
+                }
+                PartitionStrategy::CoordinateBisection => {
+                    let axis = bbox.longest_axis();
+                    let mut sorted = idx_slice.to_vec();
+                    sorted.sort_by(|&a, &b| {
+                        points[a]
+                            .coord(axis)
+                            .partial_cmp(&points[b].coord(axis))
+                            .unwrap()
+                            .then(a.cmp(&b))
+                    });
+                    let half = sorted.len().div_ceil(2);
+                    (sorted[..half].to_vec(), sorted[half..].to_vec())
+                }
+                PartitionStrategy::Morton => {
+                    // Already globally sorted: just cut the range in half.
+                    let half = idx_slice.len().div_ceil(2);
+                    (idx_slice[..half].to_vec(), idx_slice[half..].to_vec())
+                }
+            };
+            let lhalf = left.len();
+            perm[start..start + lhalf].copy_from_slice(&left);
+            perm[start + lhalf..start + len].copy_from_slice(&right);
+            stack.push((2 * id + 1, level + 1, start, lhalf));
+            stack.push((2 * id + 2, level + 1, start + lhalf, len - lhalf));
+        }
+        ClusterTree {
+            points: points.to_vec(),
+            perm,
+            depth,
+            clusters: clusters.into_iter().map(|c| c.expect("all nodes visited")).collect(),
+        }
+    }
+
+    /// Total number of points.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Number of leaf clusters (`2^depth`).
+    pub fn num_leaves(&self) -> usize {
+        1 << self.depth
+    }
+
+    /// Number of clusters at a given level (`2^level`).
+    pub fn num_at_level(&self, level: usize) -> usize {
+        assert!(level <= self.depth);
+        1 << level
+    }
+
+    /// Node by heap id.
+    pub fn node(&self, id: usize) -> &Cluster {
+        &self.clusters[id]
+    }
+
+    /// Heap id of the `i`-th cluster at `level` (clusters are ordered left to right).
+    pub fn id_at(&self, level: usize, i: usize) -> usize {
+        assert!(level <= self.depth && i < (1 << level));
+        (1 << level) - 1 + i
+    }
+
+    /// The `i`-th cluster at `level`.
+    pub fn cluster_at(&self, level: usize, i: usize) -> &Cluster {
+        self.node(self.id_at(level, i))
+    }
+
+    /// The `i`-th leaf cluster.
+    pub fn leaf(&self, i: usize) -> &Cluster {
+        self.cluster_at(self.depth, i)
+    }
+
+    /// All clusters at a level, left to right.
+    pub fn clusters_at_level(&self, level: usize) -> &[Cluster] {
+        let lo = (1 << level) - 1;
+        let hi = (1 << (level + 1)) - 1;
+        &self.clusters[lo..hi]
+    }
+
+    /// Parent heap id (`None` for the root).
+    pub fn parent(&self, id: usize) -> Option<usize> {
+        if id == 0 {
+            None
+        } else {
+            Some((id - 1) / 2)
+        }
+    }
+
+    /// Children heap ids (`None` for leaves).
+    pub fn children(&self, id: usize) -> Option<(usize, usize)> {
+        if self.clusters[id].level == self.depth {
+            None
+        } else {
+            Some((2 * id + 1, 2 * id + 2))
+        }
+    }
+
+    /// True if the node is a leaf.
+    pub fn is_leaf(&self, id: usize) -> bool {
+        self.clusters[id].level == self.depth
+    }
+
+    /// Original point indices owned by a cluster (in tree order).
+    pub fn original_indices(&self, c: &Cluster) -> &[usize] {
+        &self.perm[c.range()]
+    }
+
+    /// The points of a cluster, in tree order.
+    pub fn cluster_points(&self, c: &Cluster) -> Vec<Point3> {
+        self.original_indices(c).iter().map(|&i| self.points[i]).collect()
+    }
+
+    /// Permute a vector given in original point order into tree order.
+    pub fn permute_to_tree(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.perm.len());
+        self.perm.iter().map(|&i| x[i]).collect()
+    }
+
+    /// Permute a vector given in tree order back to the original point order.
+    pub fn permute_from_tree(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.perm.len());
+        let mut out = vec![0.0; x.len()];
+        for (pos, &orig) in self.perm.iter().enumerate() {
+            out[orig] = x[pos];
+        }
+        out
+    }
+
+    /// Leaf sizes (useful for assertions about balance).
+    pub fn leaf_sizes(&self) -> Vec<usize> {
+        (0..self.num_leaves()).map(|i| self.leaf(i).len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::uniform_cube;
+    use crate::molecule::{molecule_surface, MoleculeConfig};
+
+    fn check_tree_invariants(tree: &ClusterTree) {
+        let n = tree.num_points();
+        // The permutation is a bijection.
+        let mut seen = vec![false; n];
+        for &p in &tree.perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        // Every level partitions [0, n) contiguously and children tile the parent.
+        for level in 0..=tree.depth {
+            let cs = tree.clusters_at_level(level);
+            assert_eq!(cs.len(), 1 << level);
+            let mut cursor = 0;
+            for c in cs {
+                assert_eq!(c.start, cursor, "level {level} not contiguous");
+                cursor += c.len;
+                assert_eq!(c.level, level);
+            }
+            assert_eq!(cursor, n);
+        }
+        for id in 0..(1 << tree.depth) - 1 {
+            let (l, r) = tree.children(id).unwrap();
+            let c = tree.node(id);
+            assert_eq!(tree.node(l).start, c.start);
+            assert_eq!(tree.node(l).len + tree.node(r).len, c.len);
+            assert_eq!(tree.parent(l), Some(id));
+            assert_eq!(tree.parent(r), Some(id));
+        }
+        // Leaf sizes balanced to within one.
+        let sizes = tree.leaf_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min <= 1, "unbalanced leaves: {sizes:?}");
+    }
+
+    #[test]
+    fn tree_invariants_for_all_strategies() {
+        let pts = uniform_cube(777, 3);
+        for strategy in [
+            PartitionStrategy::KMeans,
+            PartitionStrategy::CoordinateBisection,
+            PartitionStrategy::Morton,
+        ] {
+            let tree = ClusterTree::build(&pts, 64, strategy, 1);
+            assert_eq!(tree.num_leaves(), 16, "{strategy:?}");
+            check_tree_invariants(&tree);
+        }
+    }
+
+    #[test]
+    fn depth_matches_leaf_size() {
+        let pts = uniform_cube(1024, 0);
+        let tree = ClusterTree::build(&pts, 128, PartitionStrategy::CoordinateBisection, 0);
+        assert_eq!(tree.depth, 3);
+        assert_eq!(tree.num_leaves(), 8);
+        assert!(tree.leaf_sizes().iter().all(|&s| s == 128));
+        // Small cloud -> single leaf.
+        let tiny = ClusterTree::build(&pts[..10], 32, PartitionStrategy::KMeans, 0);
+        assert_eq!(tiny.depth, 0);
+        assert_eq!(tiny.num_leaves(), 1);
+        assert!(tiny.is_leaf(0));
+        assert!(tiny.children(0).is_none());
+    }
+
+    #[test]
+    fn kmeans_clusters_are_spatially_tighter_than_arbitrary_split() {
+        let pts = molecule_surface(600, &MoleculeConfig::default());
+        let km = ClusterTree::build(&pts, 64, PartitionStrategy::KMeans, 5);
+        check_tree_invariants(&km);
+        // Leaf bounding boxes should be much smaller than the global box.
+        let global = Aabb::from_points(&pts).diameter();
+        let avg_leaf: f64 = (0..km.num_leaves()).map(|i| km.leaf(i).bbox.diameter()).sum::<f64>()
+            / km.num_leaves() as f64;
+        assert!(avg_leaf < 0.8 * global, "avg leaf diameter {avg_leaf} vs global {global}");
+    }
+
+    #[test]
+    fn permutation_roundtrip() {
+        let pts = uniform_cube(130, 9);
+        let tree = ClusterTree::build(&pts, 16, PartitionStrategy::KMeans, 2);
+        let x: Vec<f64> = (0..130).map(|i| i as f64).collect();
+        let t = tree.permute_to_tree(&x);
+        let back = tree.permute_from_tree(&t);
+        assert_eq!(back, x);
+        // Cluster points match original indices.
+        let c = tree.leaf(0);
+        let idx = tree.original_indices(c);
+        let cp = tree.cluster_points(c);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(cp[k], pts[i]);
+        }
+    }
+
+    #[test]
+    fn id_level_arithmetic() {
+        let pts = uniform_cube(256, 4);
+        let tree = ClusterTree::build(&pts, 32, PartitionStrategy::Morton, 0);
+        assert_eq!(tree.depth, 3);
+        assert_eq!(tree.id_at(0, 0), 0);
+        assert_eq!(tree.id_at(1, 1), 2);
+        assert_eq!(tree.id_at(3, 0), 7);
+        assert_eq!(tree.num_at_level(2), 4);
+        assert_eq!(tree.cluster_at(3, 0).id, 7);
+    }
+}

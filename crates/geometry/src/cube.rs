@@ -1,0 +1,73 @@
+//! Point-cloud generators for the simple-geometry experiments (§IV of the paper):
+//! particles uniformly distributed inside the 3-D unit cube.
+
+use crate::point::Point3;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// `n` points drawn uniformly at random inside the unit cube `[0, 1)^3`, with a fixed
+/// seed for reproducibility of the benchmark tables.
+pub fn uniform_cube(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            )
+        })
+        .collect()
+}
+
+/// A regular `nx x ny x nz` grid of points inside the unit cube (deterministic
+/// alternative used by some tests so ranks are perfectly reproducible).
+pub fn uniform_grid(nx: usize, ny: usize, nz: usize) -> Vec<Point3> {
+    let mut pts = Vec::with_capacity(nx * ny * nz);
+    for i in 0..nx {
+        for j in 0..ny {
+            for k in 0..nz {
+                pts.push(Point3::new(
+                    (i as f64 + 0.5) / nx as f64,
+                    (j as f64 + 0.5) / ny as f64,
+                    (k as f64 + 0.5) / nz as f64,
+                ));
+            }
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Aabb;
+
+    #[test]
+    fn uniform_cube_is_inside_unit_cube_and_reproducible() {
+        let a = uniform_cube(500, 42);
+        let b = uniform_cube(500, 42);
+        let c = uniform_cube(500, 7);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let bb = Aabb::from_points(&a);
+        assert!(bb.min.x >= 0.0 && bb.max.x < 1.0);
+        assert!(bb.min.y >= 0.0 && bb.max.y < 1.0);
+        assert!(bb.min.z >= 0.0 && bb.max.z < 1.0);
+    }
+
+    #[test]
+    fn grid_has_expected_size_and_spacing() {
+        let g = uniform_grid(4, 3, 2);
+        assert_eq!(g.len(), 24);
+        let bb = Aabb::from_points(&g);
+        assert!(bb.min.x > 0.0 && bb.max.x < 1.0);
+        // All grid points distinct.
+        for i in 0..g.len() {
+            for j in i + 1..g.len() {
+                assert!(g[i].dist(&g[j]) > 1e-9);
+            }
+        }
+    }
+}

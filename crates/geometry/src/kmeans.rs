@@ -1,0 +1,261 @@
+//! Balanced k-means clustering.
+//!
+//! §V of the paper: "We use a 3-D k-means clustering to partition those cloud of
+//! points to form the leaf blocks of the H²-matrix.  The flexibility of k-means
+//! clustering allows us to enforce the number of clusters to always be a power of
+//! two."  The solver needs clusters of (nearly) equal size so the block structure is
+//! regular; this module implements Lloyd iterations followed by a capacity-constrained
+//! assignment that balances cluster sizes to within one point.
+
+use crate::point::Point3;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a balanced k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centers.
+    pub centers: Vec<Point3>,
+    /// Cluster index assigned to each input point.
+    pub assignment: Vec<usize>,
+    /// Number of points per cluster.
+    pub counts: Vec<usize>,
+}
+
+/// Run balanced k-means on `points`, producing `k` clusters whose sizes differ by at
+/// most one.  Deterministic for a fixed `seed`.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > points.len()`.
+pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= points.len(), "cannot make {k} clusters from {} points", points.len());
+    let n = points.len();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // k-means++ style seeding: first center random, the rest chosen far from existing ones.
+    let mut centers: Vec<Point3> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..n)]);
+    while centers.len() < k {
+        let (mut best_i, mut best_d) = (0, -1.0);
+        for (i, p) in points.iter().enumerate() {
+            let d = centers.iter().map(|c| p.dist2(c)).fold(f64::INFINITY, f64::min);
+            if d > best_d {
+                best_d = d;
+                best_i = i;
+            }
+        }
+        centers.push(points[best_i]);
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _iter in 0..25 {
+        // Unconstrained assignment.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut bd = f64::INFINITY;
+            for (c, ctr) in centers.iter().enumerate() {
+                let d = p.dist2(ctr);
+                if d < bd {
+                    bd = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centers.
+        let mut sums = vec![Point3::origin(); k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let a = assignment[i];
+            sums[a] = sums[a].add(p);
+            counts[a] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centers[c] = sums[c].scale(1.0 / counts[c] as f64);
+            } else {
+                // Re-seed empty clusters at the point farthest from its center.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        p.dist2(&centers[assignment[*i]])
+                            .partial_cmp(&q.dist2(&centers[assignment[*j]]))
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centers[c] = points[far];
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Capacity-constrained balancing: cluster capacities are fixed up front so the
+    // sizes differ by at most one (`n mod k` clusters of size `ceil(n/k)`, the rest of
+    // size `floor(n/k)`).  Points are processed in order of how much they "care"
+    // (margin between their best and second-best center) so strongly attached points
+    // get their preferred cluster.
+    let base = n / k;
+    let extra = n % k;
+    let capacity: Vec<usize> = (0..k).map(|c| if c < extra { base + 1 } else { base }).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    let margin = |i: usize| -> f64 {
+        let mut ds: Vec<f64> = centers.iter().map(|c| points[i].dist2(c)).collect();
+        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if ds.len() > 1 {
+            ds[1] - ds[0]
+        } else {
+            0.0
+        }
+    };
+    let margins: Vec<f64> = (0..n).map(margin).collect();
+    order.sort_by(|&a, &b| margins[b].partial_cmp(&margins[a]).unwrap());
+    let mut counts = vec![0usize; k];
+    let mut balanced = vec![usize::MAX; n];
+    for &i in &order {
+        // Choose the nearest center that still has capacity.
+        let mut prefs: Vec<usize> = (0..k).collect();
+        prefs.sort_by(|&a, &b| {
+            points[i]
+                .dist2(&centers[a])
+                .partial_cmp(&points[i].dist2(&centers[b]))
+                .unwrap()
+        });
+        let mut placed = false;
+        for &c in &prefs {
+            if counts[c] < capacity[c] {
+                balanced[i] = c;
+                counts[c] += 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Unreachable (total capacity == n), but fall back defensively.
+            balanced[i] = prefs[0];
+            counts[prefs[0]] += 1;
+        }
+    }
+    // Final center update for reporting.
+    let mut sums = vec![Point3::origin(); k];
+    for (i, p) in points.iter().enumerate() {
+        sums[balanced[i]] = sums[balanced[i]].add(p);
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            centers[c] = sums[c].scale(1.0 / counts[c] as f64);
+        }
+    }
+    KMeansResult {
+        centers,
+        assignment: balanced,
+        counts,
+    }
+}
+
+/// Split a set of points (given by indices into `points`) into two balanced halves
+/// using 2-means geometry: indices are ordered by their signed distance margin to the
+/// two centers and cut at the median.  Returns `(left, right)` with
+/// `|left| = ceil(n/2)`.
+pub fn two_means_split(points: &[Point3], indices: &[usize], seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let n = indices.len();
+    if n <= 1 {
+        return (indices.to_vec(), Vec::new());
+    }
+    let subset: Vec<Point3> = indices.iter().map(|&i| points[i]).collect();
+    let km = balanced_kmeans(&subset, 2, seed);
+    // Margin: negative means closer to center 0.
+    let mut scored: Vec<(f64, usize)> = indices
+        .iter()
+        .enumerate()
+        .map(|(local, &global)| {
+            let d0 = subset[local].dist2(&km.centers[0]);
+            let d1 = subset[local].dist2(&km.centers[1]);
+            (d0 - d1, global)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let half = n.div_ceil(2);
+    let left = scored[..half].iter().map(|&(_, g)| g).collect();
+    let right = scored[half..].iter().map(|&(_, g)| g).collect();
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::uniform_cube;
+    use crate::sphere::sphere_surface;
+
+    #[test]
+    fn balanced_kmeans_produces_equal_sized_clusters() {
+        let pts = uniform_cube(1000, 1);
+        for &k in &[2usize, 4, 8, 16] {
+            let km = balanced_kmeans(&pts, k, 7);
+            assert_eq!(km.counts.len(), k);
+            assert_eq!(km.counts.iter().sum::<usize>(), 1000);
+            let max = *km.counts.iter().max().unwrap();
+            let min = *km.counts.iter().min().unwrap();
+            assert!(max - min <= 1, "k={k}: counts {:?}", km.counts);
+            // Every point assigned within range.
+            assert!(km.assignment.iter().all(|&a| a < k));
+        }
+    }
+
+    #[test]
+    fn clusters_are_geometrically_coherent() {
+        // Two well-separated blobs should be recovered exactly by k = 2.
+        let mut pts = sphere_surface(100, Point3::new(0.0, 0.0, 0.0), 1.0);
+        pts.extend(sphere_surface(100, Point3::new(10.0, 0.0, 0.0), 1.0));
+        let km = balanced_kmeans(&pts, 2, 3);
+        let first_cluster = km.assignment[0];
+        assert!(km.assignment[..100].iter().all(|&a| a == first_cluster));
+        assert!(km.assignment[100..].iter().all(|&a| a != first_cluster));
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let pts = uniform_cube(300, 5);
+        let a = balanced_kmeans(&pts, 4, 11);
+        let b = balanced_kmeans(&pts, 4, 11);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn two_means_split_is_balanced_and_partitions() {
+        let pts = uniform_cube(101, 2);
+        let idx: Vec<usize> = (0..101).collect();
+        let (l, r) = two_means_split(&pts, &idx, 1);
+        assert_eq!(l.len(), 51);
+        assert_eq!(r.len(), 50);
+        let mut all: Vec<usize> = l.iter().chain(r.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, idx);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let pts = vec![Point3::origin(); 5];
+        let km = balanced_kmeans(&pts, 2, 0);
+        assert_eq!(km.counts.iter().sum::<usize>(), 5);
+        let (l, r) = two_means_split(&pts, &[0], 0);
+        assert_eq!(l, vec![0]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_clusters_panics() {
+        let pts = uniform_cube(3, 0);
+        let _ = balanced_kmeans(&pts, 4, 0);
+    }
+}

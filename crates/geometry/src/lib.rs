@@ -1,0 +1,38 @@
+//! # h2-geometry — geometry, kernels, clustering
+//!
+//! Everything the solver needs to turn a physical problem into a rank-structured
+//! matrix:
+//!
+//! * 3-D points, bounding boxes and point-cloud generators — the uniform unit cube of
+//!   the paper's §IV, synthetic "hemoglobin-like" molecular surfaces and crowded
+//!   multi-molecule scenes standing in for the boundary-element meshes of §V
+//!   ([`point`], [`cube`], [`sphere`], [`molecule`]),
+//! * interaction kernels — the Laplace Green's function (Eq. 29), the Yukawa /
+//!   screened-Coulomb potential (Eq. 30), plus Gaussian and Matérn covariance kernels
+//!   for the statistics use-case mentioned in the introduction ([`kernel`]),
+//! * balanced, power-of-two k-means clustering (§V: "3-D k-means clustering … enforce
+//!   the number of clusters to always be a power of two") and Morton ordering as the
+//!   space-filling-curve alternative the paper compares against ([`kmeans`],
+//!   [`morton`]),
+//! * binary cluster trees and the strong/weak admissibility conditions that
+//!   distinguish H²/BLR² from HSS/HODLR ([`cluster_tree`], [`admissibility`]).
+
+pub mod admissibility;
+pub mod cluster_tree;
+pub mod cube;
+pub mod kernel;
+pub mod kmeans;
+pub mod molecule;
+pub mod morton;
+pub mod point;
+pub mod sphere;
+
+pub use admissibility::{Admissibility, AdmissibilityKind};
+pub use cluster_tree::{Cluster, ClusterTree, PartitionStrategy};
+pub use cube::{uniform_cube, uniform_grid};
+pub use kernel::{GaussianKernel, Kernel, LaplaceKernel, MaternKernel, YukawaKernel};
+pub use kmeans::{balanced_kmeans, KMeansResult};
+pub use molecule::{crowded_scene, molecule_surface, MoleculeConfig};
+pub use morton::{morton_encode, morton_sort};
+pub use point::{Aabb, Point3};
+pub use sphere::sphere_surface;

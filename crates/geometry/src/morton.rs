@@ -1,0 +1,124 @@
+//! Morton (Z-order) space-filling-curve ordering.
+//!
+//! The paper notes that k-means clustering of surface point clouds "works much better
+//! than space-filling curves for partitioning points on the surface of a complex
+//! geometry" (§V).  We implement Morton ordering both as the alternative partitioning
+//! strategy for that comparison and as a fast deterministic option for volume point
+//! clouds.
+
+use crate::point::{Aabb, Point3};
+
+/// Number of bits per dimension in the Morton code (3 * 21 = 63 bits total).
+const BITS: u32 = 21;
+
+/// Spread the lower 21 bits of `v` so that consecutive bits are 3 apart.
+#[inline]
+fn spread_bits(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`spread_bits`].
+#[inline]
+fn compact_bits(v: u64) -> u64 {
+    let mut x = v & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x
+}
+
+/// Morton code of a point normalized to the bounding box `bb`.
+pub fn morton_encode(p: &Point3, bb: &Aabb) -> u64 {
+    let scale = |v: f64, lo: f64, hi: f64| -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let max = ((1u64 << BITS) - 1) as f64;
+        (t * max) as u64
+    };
+    let xi = scale(p.x, bb.min.x, bb.max.x);
+    let yi = scale(p.y, bb.min.y, bb.max.y);
+    let zi = scale(p.z, bb.min.z, bb.max.z);
+    spread_bits(xi) | (spread_bits(yi) << 1) | (spread_bits(zi) << 2)
+}
+
+/// Decode a Morton code back to integer lattice coordinates (testing / debugging aid).
+pub fn morton_decode(code: u64) -> (u64, u64, u64) {
+    (
+        compact_bits(code),
+        compact_bits(code >> 1),
+        compact_bits(code >> 2),
+    )
+}
+
+/// Return the permutation that sorts the points into Morton order.
+pub fn morton_sort(points: &[Point3]) -> Vec<usize> {
+    let bb = Aabb::from_points(points);
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    let codes: Vec<u64> = points.iter().map(|p| morton_encode(p, &bb)).collect();
+    idx.sort_by_key(|&i| codes[i]);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::uniform_cube;
+
+    #[test]
+    fn spread_compact_roundtrip() {
+        for v in [0u64, 1, 2, 0x155555, 0x1f_ffff, 12345, 999_999] {
+            assert_eq!(compact_bits(spread_bits(v)), v);
+        }
+    }
+
+    #[test]
+    fn encode_decode_consistency() {
+        let bb = Aabb {
+            min: Point3::new(0.0, 0.0, 0.0),
+            max: Point3::new(1.0, 1.0, 1.0),
+        };
+        let p = Point3::new(0.5, 0.25, 0.75);
+        let code = morton_encode(&p, &bb);
+        let (x, y, z) = morton_decode(code);
+        let max = ((1u64 << 21) - 1) as f64;
+        assert!((x as f64 / max - 0.5).abs() < 1e-5);
+        assert!((y as f64 / max - 0.25).abs() < 1e-5);
+        assert!((z as f64 / max - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn morton_sort_is_a_permutation_and_groups_nearby_points() {
+        let pts = uniform_cube(512, 3);
+        let order = morton_sort(&pts);
+        let mut seen = vec![false; pts.len()];
+        for &i in &order {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Locality: average distance between Morton-consecutive points should be much
+        // smaller than between randomly ordered consecutive points.
+        let avg = |idx: &Vec<usize>| -> f64 {
+            idx.windows(2).map(|w| pts[w[0]].dist(&pts[w[1]])).sum::<f64>() / (idx.len() - 1) as f64
+        };
+        let natural: Vec<usize> = (0..pts.len()).collect();
+        assert!(avg(&order) < 0.6 * avg(&natural));
+    }
+
+    #[test]
+    fn degenerate_bounding_box_does_not_panic() {
+        let pts = vec![Point3::new(1.0, 1.0, 1.0); 5];
+        let order = morton_sort(&pts);
+        assert_eq!(order.len(), 5);
+    }
+}

@@ -1,0 +1,231 @@
+//! 3-D points and axis-aligned bounding boxes.
+
+/// A point (or vector) in 3-D space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point3 {
+    /// x coordinate.
+    pub x: f64,
+    /// y coordinate.
+    pub y: f64,
+    /// z coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Construct a point from its coordinates.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// The origin.
+    pub const fn origin() -> Self {
+        Point3 { x: 0.0, y: 0.0, z: 0.0 }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn dist(&self, other: &Point3) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn dist2(&self, other: &Point3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Component-wise addition.
+    #[inline]
+    pub fn add(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x + other.x, self.y + other.y, self.z + other.z)
+    }
+
+    /// Component-wise subtraction.
+    #[inline]
+    pub fn sub(&self, other: &Point3) -> Point3 {
+        Point3::new(self.x - other.x, self.y - other.y, self.z - other.z)
+    }
+
+    /// Scale all components.
+    #[inline]
+    pub fn scale(&self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Euclidean norm of the vector from the origin.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Coordinate `d` (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn coord(&self, d: usize) -> f64 {
+        match d {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("coordinate index {d} out of range"),
+        }
+    }
+}
+
+/// Axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point3,
+    /// Maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Empty box (inverted limits) that grows with [`Aabb::expand`].
+    pub fn empty() -> Self {
+        Aabb {
+            min: Point3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY),
+            max: Point3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// Bounding box of a set of points.  Returns [`Aabb::empty`] for an empty slice.
+    pub fn from_points(points: &[Point3]) -> Self {
+        let mut b = Aabb::empty();
+        for p in points {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Grow the box to contain `p`.
+    pub fn expand(&mut self, p: &Point3) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.min.z = self.min.z.min(p.z);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+        self.max.z = self.max.z.max(p.z);
+    }
+
+    /// Box center.
+    pub fn center(&self) -> Point3 {
+        Point3::new(
+            0.5 * (self.min.x + self.max.x),
+            0.5 * (self.min.y + self.max.y),
+            0.5 * (self.min.z + self.max.z),
+        )
+    }
+
+    /// Diameter (diagonal length).
+    pub fn diameter(&self) -> f64 {
+        if self.min.x > self.max.x {
+            return 0.0;
+        }
+        self.min.dist(&self.max)
+    }
+
+    /// Extent along coordinate `d`.
+    pub fn extent(&self, d: usize) -> f64 {
+        (self.max.coord(d) - self.min.coord(d)).max(0.0)
+    }
+
+    /// Index of the longest axis.
+    pub fn longest_axis(&self) -> usize {
+        let e = [self.extent(0), self.extent(1), self.extent(2)];
+        let mut best = 0;
+        for d in 1..3 {
+            if e[d] > e[best] {
+                best = d;
+            }
+        }
+        best
+    }
+
+    /// Minimum distance between two boxes (0 if they overlap or touch).
+    pub fn distance(&self, other: &Aabb) -> f64 {
+        let mut d2 = 0.0;
+        for d in 0..3 {
+            let gap = (other.min.coord(d) - self.max.coord(d))
+                .max(self.min.coord(d) - other.max.coord(d))
+                .max(0.0);
+            d2 += gap * gap;
+        }
+        d2.sqrt()
+    }
+
+    /// Distance between box centers.
+    pub fn center_distance(&self, other: &Aabb) -> f64 {
+        self.center().dist(&other.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(4.0, 6.0, 3.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-14);
+        assert_eq!(a.dist2(&b), 25.0);
+        assert_eq!(a.add(&b), Point3::new(5.0, 8.0, 6.0));
+        assert_eq!(b.sub(&a), Point3::new(3.0, 4.0, 0.0));
+        assert_eq!(a.scale(2.0), Point3::new(2.0, 4.0, 6.0));
+        assert!((Point3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-14);
+        assert_eq!(a.coord(0), 1.0);
+        assert_eq!(a.coord(2), 3.0);
+        assert_eq!(Point3::origin(), Point3::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn coord_out_of_range_panics() {
+        let _ = Point3::origin().coord(3);
+    }
+
+    #[test]
+    fn aabb_from_points_and_queries() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 2.0, 0.5),
+            Point3::new(-1.0, 0.5, 0.25),
+        ];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Point3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.max, Point3::new(1.0, 2.0, 0.5));
+        assert_eq!(b.center(), Point3::new(0.0, 1.0, 0.25));
+        assert!(b.longest_axis() < 2); // extents: 2, 2, 0.5 -> longest axis is 0 or 1
+        assert!(b.extent(2) == 0.5);
+        assert!(b.diameter() > 0.0);
+    }
+
+    #[test]
+    fn aabb_distance_between_boxes() {
+        let a = Aabb {
+            min: Point3::new(0.0, 0.0, 0.0),
+            max: Point3::new(1.0, 1.0, 1.0),
+        };
+        let b = Aabb {
+            min: Point3::new(2.0, 0.0, 0.0),
+            max: Point3::new(3.0, 1.0, 1.0),
+        };
+        assert!((a.distance(&b) - 1.0).abs() < 1e-14);
+        let c = Aabb {
+            min: Point3::new(0.5, 0.5, 0.5),
+            max: Point3::new(1.5, 1.5, 1.5),
+        };
+        assert_eq!(a.distance(&c), 0.0);
+        assert!(a.center_distance(&b) > 0.0);
+    }
+
+    #[test]
+    fn empty_box_has_zero_diameter() {
+        let b = Aabb::empty();
+        assert_eq!(b.diameter(), 0.0);
+        assert_eq!(Aabb::from_points(&[]).diameter(), 0.0);
+    }
+}

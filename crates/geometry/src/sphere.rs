@@ -1,0 +1,61 @@
+//! Points on sphere surfaces — the building block for the synthetic molecular
+//! surfaces and a classic boundary-element test geometry in its own right.
+
+use crate::point::Point3;
+
+/// `n` points quasi-uniformly distributed on the surface of a sphere with the given
+/// center and radius, using the Fibonacci (golden-spiral) lattice.  Deterministic.
+pub fn sphere_surface(n: usize, center: Point3, radius: f64) -> Vec<Point3> {
+    let golden = (1.0 + 5.0f64.sqrt()) / 2.0;
+    (0..n)
+        .map(|i| {
+            // Fibonacci lattice on the unit sphere.
+            let t = (i as f64 + 0.5) / n as f64;
+            let z = 1.0 - 2.0 * t;
+            let r = (1.0 - z * z).max(0.0).sqrt();
+            let phi = 2.0 * std::f64::consts::PI * (i as f64) / golden;
+            Point3::new(
+                center.x + radius * r * phi.cos(),
+                center.y + radius * r * phi.sin(),
+                center.z + radius * z,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_lie_on_the_sphere() {
+        let c = Point3::new(1.0, -2.0, 0.5);
+        let r = 3.0;
+        let pts = sphere_surface(200, c, r);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            assert!((p.dist(&c) - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn points_are_well_spread() {
+        let pts = sphere_surface(100, Point3::origin(), 1.0);
+        // Minimum pairwise distance should not collapse (golden-spiral guarantees
+        // quasi-uniformity): for 100 points on the unit sphere expect > 0.1.
+        let mut min_d = f64::INFINITY;
+        for i in 0..pts.len() {
+            for j in i + 1..pts.len() {
+                min_d = min_d.min(pts[i].dist(&pts[j]));
+            }
+        }
+        assert!(min_d > 0.1, "minimum spacing {min_d} too small");
+    }
+
+    #[test]
+    fn single_point_sphere() {
+        let pts = sphere_surface(1, Point3::origin(), 2.0);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].norm() - 2.0).abs() < 1e-12);
+    }
+}

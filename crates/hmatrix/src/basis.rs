@@ -1,0 +1,281 @@
+//! Shared cluster bases.
+//!
+//! Both HSS and H² share one column basis `U_i` and one row basis `V_j` per cluster,
+//! spanning every admissible (low-rank) block in that block row/column (Eqs. 2–3 and
+//! 6–7 of the paper).  This module computes those bases from the kernel:
+//!
+//! * **exact** mode assembles the entire far field of a cluster and takes a truncated
+//!   column-pivoted QR — the literal operation written in the paper, with O(N²)
+//!   construction cost;
+//! * **sampled** mode assembles only a bounded random subset of far-field points,
+//!   which preserves the numerical range to the requested tolerance for the smooth
+//!   kernels used here while keeping construction near O(N log N) (see DESIGN.md §2).
+//!
+//! The ULV factorizations in `h2-factor` call [`far_field_matrix`] and then append
+//! their pre-computed fill-in blocks before the QR, per §III-C of the paper.
+
+use h2_geometry::{ClusterTree, Kernel};
+use h2_matrix::{truncated_pivoted_qr, Matrix};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::partition::BlockPartition;
+
+/// How to build the far-field sample used for basis construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisMode {
+    /// Use every far-field point (the paper's construction; O(N) columns per cluster).
+    Exact,
+    /// Use at most this many uniformly sampled far-field points per cluster.
+    Sampled {
+        /// Maximum number of far-field sample points per cluster.
+        max_samples: usize,
+    },
+}
+
+/// The shared basis of one cluster: an orthonormal `m x k` skeleton basis.
+#[derive(Debug, Clone)]
+pub struct ClusterBasis {
+    /// Orthonormal basis of the cluster's interaction (skeleton) space.
+    pub u: Matrix,
+}
+
+impl ClusterBasis {
+    /// Rank of the basis.
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Number of points in the cluster.
+    pub fn size(&self) -> usize {
+        self.u.rows()
+    }
+}
+
+/// Original-point indices of the far field of cluster `i` at `level`: every point that
+/// is *not* in cluster `i` itself and not in one of its inadmissible neighbours.
+pub fn far_field_indices(
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    level: usize,
+    i: usize,
+) -> Vec<usize> {
+    let nb = 1usize << level;
+    let clusters = tree.clusters_at_level(level);
+    let mut far = Vec::new();
+    for j in 0..nb {
+        if j == i {
+            continue;
+        }
+        let near = matches!(
+            partition.block_type(level, i, j),
+            crate::partition::BlockType::DenseLeaf | crate::partition::BlockType::Subdivided
+        );
+        if !near {
+            far.extend_from_slice(tree.original_indices(&clusters[j]));
+        }
+    }
+    far
+}
+
+/// Assemble the far-field block of cluster `i`'s rows at `level` (cluster points x
+/// far-field points), sampling according to `mode`.  The returned matrix is what the
+/// shared row basis is computed from.
+pub fn far_field_matrix(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    level: usize,
+    i: usize,
+    mode: BasisMode,
+    seed: u64,
+) -> Matrix {
+    let clusters = tree.clusters_at_level(level);
+    let rows = tree.original_indices(&clusters[i]);
+    let mut cols = far_field_indices(tree, partition, level, i);
+    if let BasisMode::Sampled { max_samples } = mode {
+        if cols.len() > max_samples {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ ((level as u64) << 32) ^ i as u64);
+            cols.shuffle(&mut rng);
+            cols.truncate(max_samples);
+        }
+    }
+    kernel.assemble(&tree.points, rows, &cols)
+}
+
+/// Build the leaf-level shared row bases for every leaf cluster.
+///
+/// For the symmetric kernels used throughout the paper the row and column bases
+/// coincide; callers that need distinct column bases (e.g. after fill-in enrichment)
+/// build them through [`far_field_matrix`] + their own QR.
+pub fn build_leaf_bases(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    tol: f64,
+    max_rank: Option<usize>,
+    mode: BasisMode,
+    seed: u64,
+) -> Vec<ClusterBasis> {
+    let leaf_level = tree.depth;
+    (0..tree.num_leaves())
+        .map(|i| {
+            let a = far_field_matrix(kernel, tree, partition, leaf_level, i, mode, seed);
+            let split = truncated_pivoted_qr(&a, tol, max_rank);
+            ClusterBasis { u: split.skeleton }
+        })
+        .collect()
+}
+
+/// Build the transfer matrix of a non-leaf cluster from its children's bases
+/// (Eqs. 20–21 of the paper): `E_i = tQR( diag(Uc1, Uc2)^T * A_{i, far(i)} )`.
+/// Returns the `(k_c1 + k_c2) x k_i` transfer matrix.
+pub fn build_transfer_matrix(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    level: usize,
+    i: usize,
+    child_bases: (&Matrix, &Matrix),
+    tol: f64,
+    max_rank: Option<usize>,
+    mode: BasisMode,
+    seed: u64,
+) -> Matrix {
+    let far = far_field_matrix(kernel, tree, partition, level, i, mode, seed);
+    if far.cols() == 0 {
+        // No admissible interaction at or above this level: empty transfer.
+        return Matrix::zeros(child_bases.0.cols() + child_bases.1.cols(), 0);
+    }
+    let (u1, u2) = child_bases;
+    let m1 = u1.rows();
+    let top = h2_matrix::matmul_tn(u1, &far.block(0, 0, m1, far.cols()));
+    let bot = h2_matrix::matmul_tn(u2, &far.block(m1, 0, far.rows() - m1, far.cols()));
+    let projected = top.vcat(&bot);
+    truncated_pivoted_qr(&projected, tol, max_rank).skeleton
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_geometry::{uniform_cube, Admissibility, ClusterTree, LaplaceKernel, PartitionStrategy};
+    use h2_matrix::{fro_norm, matmul, matmul_tn};
+
+    fn setup(n: usize, leaf: usize) -> (ClusterTree, BlockPartition, LaplaceKernel) {
+        let pts = uniform_cube(n, 13);
+        let tree = ClusterTree::build(&pts, leaf, PartitionStrategy::CoordinateBisection, 0);
+        let part = BlockPartition::build(&tree, &Admissibility::strong(1.0));
+        (tree, part, LaplaceKernel::default())
+    }
+
+    #[test]
+    fn far_field_excludes_self_and_neighbours() {
+        let (tree, part, _) = setup(1024, 64);
+        let level = tree.depth;
+        let i = 0;
+        let far = far_field_indices(&tree, &part, level, i);
+        let own: std::collections::HashSet<usize> =
+            tree.original_indices(tree.cluster_at(level, i)).iter().copied().collect();
+        for f in &far {
+            assert!(!own.contains(f));
+        }
+        // Far field plus own plus neighbours covers all points.
+        let neighbours = part.neighbour_lists(level)[i].clone();
+        let neigh_count: usize = neighbours
+            .iter()
+            .map(|&j| tree.cluster_at(level, j).len)
+            .sum();
+        assert_eq!(far.len() + own.len() + neigh_count, tree.num_points());
+    }
+
+    #[test]
+    fn leaf_basis_spans_admissible_blocks() {
+        let (tree, part, kernel) = setup(2048, 64);
+        let bases = build_leaf_bases(&kernel, &tree, &part, 1e-6, None, BasisMode::Exact, 0);
+        assert_eq!(bases.len(), tree.num_leaves());
+        let level = tree.depth;
+        // For each admissible pair, || (I - U U^T) A_ij || must be small.
+        for (i, j) in part.admissible_pairs(level) {
+            let a = kernel.assemble(
+                &tree.points,
+                tree.original_indices(tree.cluster_at(level, i)),
+                tree.original_indices(tree.cluster_at(level, j)),
+            );
+            let u = &bases[i].u;
+            let resid = &a - &matmul(u, &matmul_tn(u, &a));
+            assert!(
+                fro_norm(&resid) <= 1e-4 * fro_norm(&a).max(1e-300),
+                "block ({i},{j}) residual too large"
+            );
+        }
+        // Ranks are bounded by the cluster size, clusters with a non-empty far field
+        // have a non-trivial basis, and the bases compress on average.
+        let mut rank_sum = 0usize;
+        let mut size_sum = 0usize;
+        for (i, b) in bases.iter().enumerate() {
+            assert!(b.rank() <= b.size());
+            rank_sum += b.rank();
+            size_sum += b.size();
+            if !far_field_indices(&tree, &part, level, i).is_empty() {
+                assert!(b.rank() > 0, "cluster {i} has far field but empty basis");
+            }
+        }
+        assert!(
+            (rank_sum as f64) < 0.9 * size_sum as f64,
+            "average rank {rank_sum}/{size_sum} does not compress"
+        );
+    }
+
+    #[test]
+    fn sampled_mode_gives_similar_ranks_at_lower_cost() {
+        let (tree, part, kernel) = setup(1024, 64);
+        let exact = build_leaf_bases(&kernel, &tree, &part, 1e-6, None, BasisMode::Exact, 0);
+        let sampled = build_leaf_bases(
+            &kernel,
+            &tree,
+            &part,
+            1e-6,
+            None,
+            BasisMode::Sampled { max_samples: 192 },
+            1,
+        );
+        for (e, s) in exact.iter().zip(&sampled) {
+            assert!(s.rank() <= e.rank() + 5);
+            assert!(s.rank() + 15 >= e.rank(), "sampled rank {} vs exact {}", s.rank(), e.rank());
+        }
+    }
+
+    #[test]
+    fn transfer_matrix_has_nested_shape() {
+        let (tree, part, kernel) = setup(512, 32);
+        let bases = build_leaf_bases(&kernel, &tree, &part, 1e-7, None, BasisMode::Exact, 0);
+        // Parent of leaves 0 and 1 at level depth-1, index 0.
+        let level = tree.depth - 1;
+        let e = build_transfer_matrix(
+            &kernel,
+            &tree,
+            &part,
+            level,
+            0,
+            (&bases[0].u, &bases[1].u),
+            1e-7,
+            None,
+            BasisMode::Exact,
+            0,
+        );
+        assert_eq!(e.rows(), bases[0].rank() + bases[1].rank());
+        assert!(e.cols() <= e.rows());
+        // Transfer matrix columns are orthonormal.
+        if e.cols() > 0 {
+            let ete = matmul_tn(&e, &e);
+            assert!(ete.max_abs_diff(&Matrix::identity(e.cols())) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn max_rank_cap_applies() {
+        let (tree, part, kernel) = setup(256, 32);
+        let bases = build_leaf_bases(&kernel, &tree, &part, 1e-12, Some(4), BasisMode::Exact, 0);
+        assert!(bases.iter().all(|b| b.rank() <= 4));
+    }
+}

@@ -1,0 +1,229 @@
+//! Flat Block Low-Rank (BLR) matrices with independent, adaptive-rank tiles.
+//!
+//! This is the format used by the LORAPO baseline the paper compares against
+//! (Table I, first row): a single-level tiling where each off-diagonal tile is
+//! compressed independently with an adaptive rank.  "BLR takes advantage of being able
+//! to independently compress each low-rank block, so that their rank can be minimized
+//! to save flops" (§IV-A) — at the price of O(N²) factorization complexity.
+
+use h2_geometry::{Admissibility, ClusterTree, Kernel};
+use h2_lowrank::{aca_block, LowRank};
+use h2_matrix::Matrix;
+
+/// One tile of a BLR matrix.
+#[derive(Debug, Clone)]
+pub enum BlrTile {
+    /// Dense (inadmissible) tile.
+    Dense(Matrix),
+    /// Low-rank (admissible) tile.
+    LowRank(LowRank),
+}
+
+impl BlrTile {
+    /// Storage in floating-point words.
+    pub fn storage(&self) -> usize {
+        match self {
+            BlrTile::Dense(m) => m.rows() * m.cols(),
+            BlrTile::LowRank(lr) => lr.storage(),
+        }
+    }
+
+    /// Densify (reference/testing).
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            BlrTile::Dense(m) => m.clone(),
+            BlrTile::LowRank(lr) => lr.to_dense(),
+        }
+    }
+}
+
+/// A flat BLR matrix over the leaf clusters of a cluster tree.
+#[derive(Debug, Clone)]
+pub struct BlrMatrix {
+    /// Number of tile rows/columns.
+    pub nb: usize,
+    /// Tile sizes (points per leaf cluster).
+    pub tile_sizes: Vec<usize>,
+    /// Row-major tile array (`nb * nb` entries).
+    pub tiles: Vec<BlrTile>,
+}
+
+impl BlrMatrix {
+    /// Assemble a BLR matrix from a kernel over the leaf clusters of `tree`.
+    ///
+    /// `adm` decides which tiles stay dense (LORAPO uses weak admissibility: only the
+    /// diagonal is dense).  Off-diagonal admissible tiles are compressed with ACA to
+    /// relative tolerance `tol`, capped at `max_rank`.
+    pub fn build(
+        kernel: &dyn Kernel,
+        tree: &ClusterTree,
+        adm: &Admissibility,
+        tol: f64,
+        max_rank: usize,
+    ) -> Self {
+        let nb = tree.num_leaves();
+        let leaf = tree.depth;
+        let clusters = tree.clusters_at_level(leaf);
+        let tile_sizes: Vec<usize> = clusters.iter().map(|c| c.len).collect();
+        let mut tiles = Vec::with_capacity(nb * nb);
+        for i in 0..nb {
+            let rows = tree.original_indices(&clusters[i]);
+            for j in 0..nb {
+                let cols = tree.original_indices(&clusters[j]);
+                if adm.is_admissible(&clusters[i], &clusters[j]) {
+                    let res = aca_block(kernel, &tree.points, rows, cols, tol, max_rank);
+                    tiles.push(BlrTile::LowRank(res.lowrank));
+                } else {
+                    tiles.push(BlrTile::Dense(kernel.assemble(&tree.points, rows, cols)));
+                }
+            }
+        }
+        BlrMatrix { nb, tile_sizes, tiles }
+    }
+
+    /// Tile `(i, j)`.
+    pub fn tile(&self, i: usize, j: usize) -> &BlrTile {
+        &self.tiles[i * self.nb + j]
+    }
+
+    /// Mutable tile `(i, j)` (used by the BLR LU).
+    pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut BlrTile {
+        &mut self.tiles[i * self.nb + j]
+    }
+
+    /// Offset of tile row/column `i` in the (tree-ordered) global index space.
+    pub fn offset(&self, i: usize) -> usize {
+        self.tile_sizes[..i].iter().sum()
+    }
+
+    /// Total dimension.
+    pub fn dim(&self) -> usize {
+        self.tile_sizes.iter().sum()
+    }
+
+    /// Total storage in floating-point words.
+    pub fn storage(&self) -> usize {
+        self.tiles.iter().map(|t| t.storage()).sum()
+    }
+
+    /// Largest low-rank tile rank (the paper quotes "a maximum of rank 50 at the leaf"
+    /// for LORAPO's BLR).
+    pub fn max_rank(&self) -> usize {
+        self.tiles
+            .iter()
+            .map(|t| match t {
+                BlrTile::LowRank(lr) => lr.rank(),
+                BlrTile::Dense(_) => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Matrix-vector product in tree ordering: `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim());
+        let mut y = vec![0.0; self.dim()];
+        for i in 0..self.nb {
+            let ri = self.offset(i);
+            let mi = self.tile_sizes[i];
+            for j in 0..self.nb {
+                let cj = self.offset(j);
+                let nj = self.tile_sizes[j];
+                let xj = &x[cj..cj + nj];
+                let yi = &mut y[ri..ri + mi];
+                match self.tile(i, j) {
+                    BlrTile::Dense(d) => h2_matrix::gemv(1.0, d, false, xj, 1.0, yi),
+                    BlrTile::LowRank(lr) => lr.matvec(1.0, xj, yi),
+                }
+            }
+        }
+        y
+    }
+
+    /// Densify the whole matrix in tree ordering (small N only).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.dim();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..self.nb {
+            for j in 0..self.nb {
+                a.set_block(self.offset(i), self.offset(j), &self.tile(i, j).to_dense());
+            }
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_geometry::{uniform_cube, LaplaceKernel, PartitionStrategy};
+    use h2_matrix::rel_fro_error;
+
+    fn setup(n: usize, leaf: usize) -> (ClusterTree, LaplaceKernel) {
+        let pts = uniform_cube(n, 3);
+        (
+            ClusterTree::build(&pts, leaf, PartitionStrategy::KMeans, 0),
+            LaplaceKernel::default(),
+        )
+    }
+
+    #[test]
+    fn blr_approximates_the_kernel_matrix() {
+        let (tree, kernel) = setup(1024, 64);
+        let blr = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-5, 64);
+        assert_eq!(blr.nb, 16);
+        assert_eq!(blr.dim(), 1024);
+        // Reference: permuted dense matrix.
+        let order: Vec<usize> = tree.perm.clone();
+        let dense = kernel.assemble(&tree.points, &order, &order);
+        let err = rel_fro_error(&blr.to_dense(), &dense);
+        assert!(err < 1e-3, "BLR error {err}");
+        // Compression actually happened.
+        assert!(blr.storage() < 1024 * 1024, "storage {} not compressed", blr.storage());
+        assert!(blr.max_rank() > 0 && blr.max_rank() <= 64);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let (tree, kernel) = setup(300, 64);
+        let blr = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-8, 64);
+        let x: Vec<f64> = (0..blr.dim()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y = blr.matvec(&x);
+        let dense = blr.to_dense();
+        let mut yref = vec![0.0; blr.dim()];
+        h2_matrix::gemv(1.0, &dense, false, &x, 0.0, &mut yref);
+        for (a, b) in y.iter().zip(&yref) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn strong_admissibility_keeps_more_tiles_dense() {
+        let (tree, kernel) = setup(512, 64);
+        let weak = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-6, 64);
+        let strong = BlrMatrix::build(&kernel, &tree, &Admissibility::strong(1.0), 1e-6, 64);
+        let dense_count = |b: &BlrMatrix| {
+            b.tiles.iter().filter(|t| matches!(t, BlrTile::Dense(_))).count()
+        };
+        assert!(dense_count(&strong) > dense_count(&weak));
+        // The strong variant never compresses a tile that the weak variant keeps dense.
+        assert_eq!(dense_count(&weak), weak.nb);
+    }
+
+    #[test]
+    fn tile_accessors() {
+        let (tree, kernel) = setup(128, 64);
+        let mut blr = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-6, 32);
+        assert!(matches!(blr.tile(0, 0), BlrTile::Dense(_)));
+        assert!(matches!(blr.tile(0, 1), BlrTile::LowRank(_)));
+        // Mutate a tile and observe the change.
+        if let BlrTile::Dense(d) = blr.tile_mut(0, 0) {
+            d.set(0, 0, 99.0);
+        }
+        if let BlrTile::Dense(d) = blr.tile(0, 0) {
+            assert_eq!(d.get(0, 0), 99.0);
+        }
+        assert_eq!(blr.offset(0), 0);
+        assert_eq!(blr.offset(1), blr.tile_sizes[0]);
+    }
+}

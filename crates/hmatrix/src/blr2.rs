@@ -1,0 +1,239 @@
+//! BLR² — flat block low-rank format with *shared* bases.
+//!
+//! The non-hierarchical shared-basis format of Table I (Ashcraft, Buttari & Mary):
+//! one basis `U_i` per block row/column, low-rank blocks stored only through their
+//! small skeleton couplings `S_ij = U_i^T A_ij U_j`, dense blocks kept explicitly.
+//! The BLR²-ULV factorization of §II-B operates directly on this structure; building
+//! it here lets the factorization crate and the Table I benchmark share one
+//! implementation.
+
+use crate::basis::{far_field_matrix, BasisMode};
+use crate::partition::BlockPartition;
+use h2_geometry::{Admissibility, ClusterTree, Kernel};
+use h2_matrix::{matmul, matmul_tn, truncated_pivoted_qr, Matrix};
+
+/// A BLR² matrix over the leaf clusters of a cluster tree.
+#[derive(Debug, Clone)]
+pub struct Blr2Matrix {
+    /// Number of block rows/columns.
+    pub nb: usize,
+    /// Block sizes.
+    pub tile_sizes: Vec<usize>,
+    /// Shared basis per block row/column (`m_i x k_i`, orthonormal).
+    pub bases: Vec<Matrix>,
+    /// Dense blocks: `(i, j, block)` for inadmissible pairs.
+    pub dense: Vec<(usize, usize, Matrix)>,
+    /// Skeleton couplings: `(i, j, S_ij)` for admissible pairs.
+    pub couplings: Vec<(usize, usize, Matrix)>,
+}
+
+impl Blr2Matrix {
+    /// Assemble a BLR² matrix.  The shared bases are built from the far field of each
+    /// block row (Eqs. 6–7 of the paper) in the requested [`BasisMode`].
+    pub fn build(
+        kernel: &dyn Kernel,
+        tree: &ClusterTree,
+        adm: &Admissibility,
+        tol: f64,
+        max_rank: Option<usize>,
+        mode: BasisMode,
+    ) -> Self {
+        let nb = tree.num_leaves();
+        let leaf = tree.depth;
+        let clusters = tree.clusters_at_level(leaf);
+        let tile_sizes: Vec<usize> = clusters.iter().map(|c| c.len).collect();
+        let partition = BlockPartition::build(tree, adm);
+
+        // Shared bases from the far field of each block row.
+        let bases: Vec<Matrix> = (0..nb)
+            .map(|i| {
+                let far = far_field_matrix(kernel, tree, &partition, leaf, i, mode, 17);
+                truncated_pivoted_qr(&far, tol, max_rank).skeleton
+            })
+            .collect();
+
+        let mut dense = Vec::new();
+        let mut couplings = Vec::new();
+        for i in 0..nb {
+            let rows = tree.original_indices(&clusters[i]);
+            for j in 0..nb {
+                let cols = tree.original_indices(&clusters[j]);
+                if adm.is_admissible(&clusters[i], &clusters[j]) {
+                    let a = kernel.assemble(&tree.points, rows, cols);
+                    let s = matmul(&matmul_tn(&bases[i], &a), &bases[j]);
+                    couplings.push((i, j, s));
+                } else {
+                    dense.push((i, j, kernel.assemble(&tree.points, rows, cols)));
+                }
+            }
+        }
+        Blr2Matrix {
+            nb,
+            tile_sizes,
+            bases,
+            dense,
+            couplings,
+        }
+    }
+
+    /// Offset of block `i` in the tree-ordered global index space.
+    pub fn offset(&self, i: usize) -> usize {
+        self.tile_sizes[..i].iter().sum()
+    }
+
+    /// Total dimension.
+    pub fn dim(&self) -> usize {
+        self.tile_sizes.iter().sum()
+    }
+
+    /// Storage in floating-point words (bases + couplings + dense blocks).
+    pub fn storage(&self) -> usize {
+        let b: usize = self.bases.iter().map(|u| u.rows() * u.cols()).sum();
+        let c: usize = self.couplings.iter().map(|(_, _, s)| s.rows() * s.cols()).sum();
+        let d: usize = self.dense.iter().map(|(_, _, m)| m.rows() * m.cols()).sum();
+        b + c + d
+    }
+
+    /// Maximum shared-basis rank.
+    pub fn max_rank(&self) -> usize {
+        self.bases.iter().map(|u| u.cols()).max().unwrap_or(0)
+    }
+
+    /// Matrix-vector product in tree ordering.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim());
+        let mut y = vec![0.0; self.dim()];
+        // Project x onto every block's basis once.
+        let xhat: Vec<Vec<f64>> = (0..self.nb)
+            .map(|j| {
+                let off = self.offset(j);
+                let xj = &x[off..off + self.tile_sizes[j]];
+                let mut t = vec![0.0; self.bases[j].cols()];
+                h2_matrix::gemv(1.0, &self.bases[j], true, xj, 0.0, &mut t);
+                t
+            })
+            .collect();
+        // Accumulate coupling contributions in the compressed space, then expand.
+        let mut yhat: Vec<Vec<f64>> = (0..self.nb).map(|i| vec![0.0; self.bases[i].cols()]).collect();
+        for (i, j, s) in &self.couplings {
+            h2_matrix::gemv(1.0, s, false, &xhat[*j], 1.0, &mut yhat[*i]);
+        }
+        for i in 0..self.nb {
+            let off = self.offset(i);
+            let yi = &mut y[off..off + self.tile_sizes[i]];
+            h2_matrix::gemv(1.0, &self.bases[i], false, &yhat[i], 1.0, yi);
+        }
+        // Dense blocks.
+        for (i, j, d) in &self.dense {
+            let ro = self.offset(*i);
+            let co = self.offset(*j);
+            let xj = &x[co..co + self.tile_sizes[*j]];
+            let yi = &mut y[ro..ro + self.tile_sizes[*i]];
+            h2_matrix::gemv(1.0, d, false, xj, 1.0, yi);
+        }
+        y
+    }
+
+    /// Densify in tree ordering (small N only).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.dim();
+        let mut a = Matrix::zeros(n, n);
+        for (i, j, d) in &self.dense {
+            a.set_block(self.offset(*i), self.offset(*j), d);
+        }
+        for (i, j, s) in &self.couplings {
+            let block = matmul(&matmul(&self.bases[*i], s), &self.bases[*j].transpose());
+            a.set_block(self.offset(*i), self.offset(*j), &block);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_geometry::{uniform_cube, LaplaceKernel, PartitionStrategy};
+    use h2_matrix::rel_fro_error;
+
+    fn setup(n: usize, leaf: usize) -> (ClusterTree, LaplaceKernel) {
+        let pts = uniform_cube(n, 19);
+        (
+            ClusterTree::build(&pts, leaf, PartitionStrategy::KMeans, 0),
+            LaplaceKernel::default(),
+        )
+    }
+
+    #[test]
+    fn blr2_approximates_kernel_and_compresses() {
+        let (tree, kernel) = setup(1024, 128);
+        let m = Blr2Matrix::build(
+            &kernel,
+            &tree,
+            &Admissibility::weak(),
+            1e-5,
+            None,
+            BasisMode::Exact,
+        );
+        let order = tree.perm.clone();
+        let dense = kernel.assemble(&tree.points, &order, &order);
+        let err = rel_fro_error(&m.to_dense(), &dense);
+        assert!(err < 1e-3, "BLR2 error {err}");
+        assert!(m.storage() < 1024 * 1024, "must compress (storage {})", m.storage());
+        assert!(m.max_rank() > 0);
+        assert_eq!(m.dense.len(), m.nb); // weak: only diagonal blocks dense
+    }
+
+    #[test]
+    fn matvec_matches_dense_reconstruction() {
+        let (tree, kernel) = setup(300, 64);
+        let m = Blr2Matrix::build(
+            &kernel,
+            &tree,
+            &Admissibility::weak(),
+            1e-8,
+            None,
+            BasisMode::Exact,
+        );
+        let x: Vec<f64> = (0..m.dim()).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let y = m.matvec(&x);
+        let mut yref = vec![0.0; m.dim()];
+        h2_matrix::gemv(1.0, &m.to_dense(), false, &x, 0.0, &mut yref);
+        for (a, b) in y.iter().zip(&yref) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_basis_rank_exceeds_per_block_rank() {
+        // The paper notes BLR² ranks are larger than BLR's independent tile ranks
+        // because one basis must cover the whole block row.
+        let (tree, kernel) = setup(512, 64);
+        let blr2 = Blr2Matrix::build(
+            &kernel,
+            &tree,
+            &Admissibility::weak(),
+            1e-6,
+            None,
+            BasisMode::Exact,
+        );
+        let blr = crate::blr::BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-6, 64);
+        assert!(blr2.max_rank() >= blr.max_rank());
+    }
+
+    #[test]
+    fn strong_admissibility_blr2() {
+        let (tree, kernel) = setup(512, 32);
+        let m = Blr2Matrix::build(
+            &kernel,
+            &tree,
+            &Admissibility::strong(1.0),
+            1e-6,
+            None,
+            BasisMode::Exact,
+        );
+        assert!(m.dense.len() > m.nb);
+        let order = tree.perm.clone();
+        let dense = kernel.assemble(&tree.points, &order, &order);
+        assert!(rel_fro_error(&m.to_dense(), &dense) < 1e-4);
+    }
+}

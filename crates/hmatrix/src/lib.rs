@@ -1,0 +1,29 @@
+//! # h2-hmatrix — hierarchical low-rank matrix formats
+//!
+//! The representation layer of the solver: given a [`h2_geometry::ClusterTree`], an
+//! admissibility condition and a kernel, this crate builds the rank-structured formats
+//! compared in Table I of the paper:
+//!
+//! | format | basis | admissibility | module |
+//! |--------|-------|---------------|--------|
+//! | BLR    | independent | strong or weak | [`blr`] |
+//! | BLR²   | shared      | strong or weak | [`blr2`] |
+//! | HSS    | shared, nested | weak        | [`h2`] (weak admissibility) |
+//! | H²     | shared, nested | strong      | [`h2`] |
+//!
+//! plus the block-partition bookkeeping ([`partition`]) and shared-basis construction
+//! ([`basis`]) that the ULV factorizations in `h2-factor` reuse.  Every format
+//! supports `matvec`, storage accounting and dense reconstruction (for validation at
+//! small N).
+
+pub mod basis;
+pub mod blr;
+pub mod blr2;
+pub mod h2;
+pub mod partition;
+
+pub use basis::{build_leaf_bases, BasisMode, ClusterBasis};
+pub use blr::BlrMatrix;
+pub use blr2::Blr2Matrix;
+pub use h2::H2Matrix;
+pub use partition::{BlockPartition, BlockType};

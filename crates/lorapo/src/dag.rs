@@ -1,0 +1,133 @@
+//! The BLR LU task DAG (GETRF → TRSM → GEMM with trailing dependencies).
+//!
+//! This is the graph a PaRSEC-style runtime executes for LORAPO.  The scheduler
+//! simulator replays it on `P` virtual workers with a per-task overhead, reproducing
+//! the behaviour visible in the paper's trace (Fig. 13): tiny tasks drowned in runtime
+//! overhead and a critical path that serializes the panels.
+
+use h2_matrix::flops::cost;
+use h2_runtime::{TaskGraph, TaskId, TaskKind};
+
+/// Build the task DAG of a right-looking tile BLR LU.
+///
+/// * `nb` — number of tile rows/columns,
+/// * `tile_size` — points per tile (tiles are treated as uniform for the cost model),
+/// * `rank` — representative low-rank tile rank (LORAPO's adaptive ranks are bounded
+///   by its maximum rank; the paper quotes a maximum of 50 at the leaf).
+pub fn build_blr_lu_dag(nb: usize, tile_size: usize, rank: usize) -> TaskGraph {
+    let m = tile_size;
+    let r = rank.min(m);
+    let mut g = TaskGraph::new();
+    // task ids of the last writer of each tile (i, j).
+    let mut last_writer: Vec<Option<TaskId>> = vec![None; nb * nb];
+    let idx = |i: usize, j: usize| i * nb + j;
+
+    for k in 0..nb {
+        // GETRF(k, k): depends on the last update of the diagonal tile.
+        let deps: Vec<TaskId> = last_writer[idx(k, k)].into_iter().collect();
+        let getrf = g.add_task(TaskKind::Factor, cost::getrf(m) as f64, &deps);
+        last_writer[idx(k, k)] = Some(getrf);
+
+        // TRSM panels.
+        let mut trsm_row = vec![None; nb];
+        let mut trsm_col = vec![None; nb];
+        for j in k + 1..nb {
+            let mut deps: Vec<TaskId> = vec![getrf];
+            deps.extend(last_writer[idx(k, j)]);
+            // Low-rank TRSM touches only one factor: triangular solve on an m x r block.
+            let t = g.add_task(TaskKind::Solve, cost::trsm(m, r) as f64, &deps);
+            last_writer[idx(k, j)] = Some(t);
+            trsm_row[j] = Some(t);
+        }
+        for i in k + 1..nb {
+            let mut deps: Vec<TaskId> = vec![getrf];
+            deps.extend(last_writer[idx(i, k)]);
+            let t = g.add_task(TaskKind::Solve, cost::trsm(m, r) as f64, &deps);
+            last_writer[idx(i, k)] = Some(t);
+            trsm_col[i] = Some(t);
+        }
+        // GEMM trailing updates + recompression.
+        for i in k + 1..nb {
+            for j in k + 1..nb {
+                let mut deps: Vec<TaskId> = Vec::with_capacity(3);
+                deps.push(trsm_col[i].expect("column TRSM exists"));
+                deps.push(trsm_row[j].expect("row TRSM exists"));
+                deps.extend(last_writer[idx(i, j)]);
+                // Low-rank GEMM: a few m x r products plus an O((2r)^2 m) rounding.
+                let flops = 3 * cost::gemm(m, r, r) + cost::geqrf(m, 2 * r);
+                let t = g.add_task(TaskKind::Update, flops as f64, &deps);
+                last_writer[idx(i, j)] = Some(t);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_runtime::{simulate_schedule, SimConfig};
+
+    #[test]
+    fn dag_has_expected_task_count_and_dependencies() {
+        let nb = 6;
+        let g = build_blr_lu_dag(nb, 256, 32);
+        // nb GETRF + sum_k 2(nb-1-k) TRSM + sum_k (nb-1-k)^2 GEMM.
+        let trsm: usize = (0..nb).map(|k| 2 * (nb - 1 - k)).sum();
+        let gemm: usize = (0..nb).map(|k| (nb - 1 - k) * (nb - 1 - k)).sum();
+        assert_eq!(g.len(), nb + trsm + gemm);
+        assert!(g.validate());
+        // Only the first GETRF is initially ready: everything else waits on it.
+        assert_eq!(g.num_roots(), 1);
+    }
+
+    #[test]
+    fn critical_path_limits_scaling_unlike_an_independent_graph() {
+        let g = build_blr_lu_dag(8, 512, 48);
+        let cfg1 = SimConfig {
+            workers: 1,
+            flops_per_second: 1e9,
+            per_task_overhead: 0.0,
+            min_task_time: 0.0,
+        };
+        let cfg64 = SimConfig {
+            workers: 64,
+            ..cfg1
+        };
+        let t1 = simulate_schedule(&g, &cfg1).makespan;
+        let t64 = simulate_schedule(&g, &cfg64).makespan;
+        let speedup = t1 / t64;
+        assert!(speedup > 1.5, "some parallelism exists (speedup {speedup})");
+        assert!(
+            speedup < 30.0,
+            "trailing dependencies must cap the speedup well below 64 (got {speedup})"
+        );
+        // The critical path lower-bounds the 64-worker makespan (up to the simulator's
+        // nanosecond time quantization).
+        assert!(t64 * 1e9 >= g.critical_path() * 0.999);
+    }
+
+    #[test]
+    fn per_task_overhead_degrades_small_tile_runs_most() {
+        let small_tiles = build_blr_lu_dag(16, 128, 16);
+        let big_tiles = build_blr_lu_dag(4, 512, 16);
+        let base = SimConfig {
+            workers: 8,
+            flops_per_second: 1e9,
+            per_task_overhead: 0.0,
+            min_task_time: 0.0,
+        };
+        let with_overhead = SimConfig {
+            per_task_overhead: 2e-4,
+            ..base
+        };
+        let slowdown_small = simulate_schedule(&small_tiles, &with_overhead).makespan
+            / simulate_schedule(&small_tiles, &base).makespan;
+        let slowdown_big = simulate_schedule(&big_tiles, &with_overhead).makespan
+            / simulate_schedule(&big_tiles, &base).makespan;
+        assert!(
+            slowdown_small > slowdown_big,
+            "overhead must hurt the many-small-task graph more ({slowdown_small} vs {slowdown_big})"
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # h2-lorapo — the LORAPO-style BLR baseline
+//!
+//! The paper compares its dependency-free H²-ULV factorization against LORAPO
+//! (Cao et al.), "an adaptive-rank BLR Cholesky factorization using the PaRSEC PTG
+//! runtime system for achieving asynchronous parallelism".  This crate is our
+//! from-scratch stand-in for that baseline:
+//!
+//! * a flat Block Low-Rank matrix (tiles from [`h2_hmatrix::BlrMatrix`], adaptive rank
+//!   per tile via ACA),
+//! * a right-looking tile LU factorization with low-rank aware TRSM and GEMM updates
+//!   and rounding after every accumulation ([`blr_lu`]),
+//! * the corresponding **task DAG with trailing sub-matrix dependencies**
+//!   (GETRF → TRSM → GEMM chains), used by the scheduler simulator to reproduce the
+//!   scaling and trace behaviour of a dataflow runtime with per-task overhead
+//!   ([`dag`]).
+//!
+//! The factorization has the O(N²) complexity of BLR (Table I of the paper); its
+//! per-tile ranks are smaller than the shared-basis ranks of the H² solver, which is
+//! why it wins at small N and single-core runs (Figs. 9–10) and loses at scale
+//! (Figs. 11, 16).
+
+pub mod blr_lu;
+pub mod dag;
+
+pub use blr_lu::{BlrLuFactors, BlrLuOptions};
+pub use dag::build_blr_lu_dag;

@@ -1,0 +1,156 @@
+//! Low-rank addition and rounding (recompression).
+//!
+//! The LORAPO-style BLR LU accumulates Schur-complement updates onto low-rank tiles:
+//! `C := C - A * B` where all three are low rank.  Naively the rank grows with every
+//! update, so the result is periodically *rounded* back to the requested tolerance —
+//! the same operation the H²-ULV *with* dependencies uses to recompress fill-in
+//! (Eqs. 25–26 of the paper).
+
+use crate::lowrank::LowRank;
+use h2_matrix::{fro_norm, householder_qr, jacobi_svd, matmul};
+
+/// Formal sum of two low-rank blocks (ranks add, no recompression).
+pub fn add_lowrank(a: &LowRank, b: &LowRank) -> LowRank {
+    assert_eq!(a.rows(), b.rows(), "add_lowrank: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "add_lowrank: column mismatch");
+    if a.rank() == 0 {
+        return b.clone();
+    }
+    if b.rank() == 0 {
+        return a.clone();
+    }
+    LowRank::new(a.u.hcat(&b.u), a.v.hcat(&b.v))
+}
+
+/// Recompress ("round") a low-rank block to relative tolerance `tol`, optionally
+/// capping the rank.  Uses the standard QR-QR-SVD rounding:
+/// `U V^T = Qu Ru (Qv Rv)^T = Qu (Ru Rv^T) Qv^T`, then an SVD of the small core.
+pub fn round_lowrank(a: &LowRank, tol: f64, max_rank: Option<usize>) -> LowRank {
+    let k = a.rank();
+    if k == 0 {
+        return a.clone();
+    }
+    let qu = householder_qr(&a.u);
+    let qv = householder_qr(&a.v);
+    let ru = qu.r();
+    let rv = qv.r();
+    // Core is k x k (or smaller if the factors are very skinny).
+    let core = matmul(&ru, &rv.transpose());
+    let svd = jacobi_svd(&core).expect("rounding SVD did not converge");
+    // Truncate relative to the largest singular value, but also drop anything that is
+    // numerically zero compared to the pre-cancellation magnitude of the factors —
+    // otherwise an exactly-cancelling sum (e.g. `a - a`) would keep its round-off
+    // noise as "rank".
+    let scale = fro_norm(&ru) * fro_norm(&rv);
+    let smax = svd.s.first().copied().unwrap_or(0.0);
+    let threshold = (tol * smax).max(1e-15 * scale);
+    let mut rank = svd.s.iter().take_while(|&&x| x > threshold).count();
+    if let Some(cap) = max_rank {
+        rank = rank.min(cap);
+    }
+    if rank == 0 {
+        return LowRank::zero(a.rows(), a.cols());
+    }
+    let cols: Vec<usize> = (0..rank).collect();
+    let uc = svd.u.select_cols(&cols);
+    let mut vc = svd.v.select_cols(&cols);
+    for (j, &s) in svd.s[..rank].iter().enumerate() {
+        for x in vc.col_mut(j) {
+            *x *= s;
+        }
+    }
+    let u_new = matmul(&qu.q_thin(), &uc);
+    let v_new = matmul(&qv.q_thin(), &vc);
+    LowRank::new(u_new, v_new)
+}
+
+/// Add then round in one call (`alpha * a + beta * b`, recompressed).
+pub fn add_round(a: &LowRank, alpha: f64, b: &LowRank, beta: f64, tol: f64, max_rank: Option<usize>) -> LowRank {
+    let sum = add_lowrank(&a.scaled(alpha), &b.scaled(beta));
+    round_lowrank(&sum, tol, max_rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_matrix::{rel_fro_error, Matrix};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(13)
+    }
+
+    fn random_lr(m: usize, n: usize, k: usize, r: &mut impl rand::Rng) -> LowRank {
+        LowRank::new(Matrix::random(m, k, r), Matrix::random(n, k, r))
+    }
+
+    #[test]
+    fn addition_is_exact() {
+        let mut r = rng();
+        let a = random_lr(10, 8, 2, &mut r);
+        let b = random_lr(10, 8, 3, &mut r);
+        let s = add_lowrank(&a, &b);
+        assert_eq!(s.rank(), 5);
+        assert!(s
+            .to_dense()
+            .max_abs_diff(&(&a.to_dense() + &b.to_dense()))
+            < 1e-13);
+        // Adding a zero block is a no-op.
+        let z = LowRank::zero(10, 8);
+        assert_eq!(add_lowrank(&a, &z).rank(), 2);
+        assert_eq!(add_lowrank(&z, &b).rank(), 3);
+    }
+
+    #[test]
+    fn rounding_removes_redundant_rank() {
+        let mut r = rng();
+        let a = random_lr(20, 15, 3, &mut r);
+        // a + a has formal rank 6 but true rank 3.
+        let doubled = add_lowrank(&a, &a);
+        assert_eq!(doubled.rank(), 6);
+        let rounded = round_lowrank(&doubled, 1e-12, None);
+        assert_eq!(rounded.rank(), 3);
+        assert!(rel_fro_error(&rounded.to_dense(), &a.to_dense().scaled(2.0)) < 1e-10);
+    }
+
+    #[test]
+    fn rounding_respects_tolerance_and_cap() {
+        let mut r = rng();
+        // Build a block with decaying singular values: sum of scaled rank-1 terms.
+        let mut acc = LowRank::zero(25, 25);
+        for k in 0..10 {
+            let term = random_lr(25, 25, 1, &mut r).scaled(10f64.powi(-(k as i32)));
+            acc = add_lowrank(&acc, &term);
+        }
+        let loose = round_lowrank(&acc, 1e-3, None);
+        let tight = round_lowrank(&acc, 1e-9, None);
+        assert!(loose.rank() < tight.rank());
+        assert!(rel_fro_error(&tight.to_dense(), &acc.to_dense()) < 1e-8);
+        let capped = round_lowrank(&acc, 1e-14, Some(2));
+        assert_eq!(capped.rank(), 2);
+    }
+
+    #[test]
+    fn add_round_combined() {
+        let mut r = rng();
+        let a = random_lr(12, 12, 2, &mut r);
+        let b = random_lr(12, 12, 2, &mut r);
+        let c = add_round(&a, 1.0, &b, -0.5, 1e-12, None);
+        let expect = &a.to_dense() - &b.to_dense().scaled(0.5);
+        assert!(rel_fro_error(&c.to_dense(), &expect) < 1e-10);
+        // Cancellation: a - a rounds to rank 0.
+        let z = add_round(&a, 1.0, &a, -1.0, 1e-10, None);
+        assert_eq!(z.rank(), 0);
+    }
+
+    #[test]
+    fn exact_cancellation_to_zero() {
+        let mut r = rng();
+        let a = random_lr(6, 6, 2, &mut r);
+        let neg = a.scaled(-1.0);
+        let sum = add_lowrank(&a, &neg);
+        let rounded = round_lowrank(&sum, 1e-12, None);
+        assert_eq!(rounded.rank(), 0);
+        assert!(rounded.to_dense().max_abs_diff(&Matrix::zeros(6, 6)) < 1e-12);
+    }
+}

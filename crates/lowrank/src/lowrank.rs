@@ -1,0 +1,190 @@
+//! The [`LowRank`] factor pair `A ≈ U V^T`.
+
+use h2_matrix::{matmul, matmul_nt, matmul_tn, Matrix};
+
+/// A low-rank representation `A ≈ U * V^T` with `U: m x k`, `V: n x k`.
+///
+/// The convention stores the *right* factor untransposed (`V`, not `V^T`) so both
+/// factors are tall-skinny and column-major friendly.
+#[derive(Debug, Clone)]
+pub struct LowRank {
+    /// Left factor (`m x k`).
+    pub u: Matrix,
+    /// Right factor (`n x k`).
+    pub v: Matrix,
+}
+
+impl LowRank {
+    /// Build from factors.
+    ///
+    /// # Panics
+    /// Panics if the factor ranks differ.
+    pub fn new(u: Matrix, v: Matrix) -> Self {
+        assert_eq!(u.cols(), v.cols(), "LowRank: factor ranks differ");
+        LowRank { u, v }
+    }
+
+    /// An exactly-zero low-rank block of the given shape (rank 0).
+    pub fn zero(m: usize, n: usize) -> Self {
+        LowRank {
+            u: Matrix::zeros(m, 0),
+            v: Matrix::zeros(n, 0),
+        }
+    }
+
+    /// Number of rows of the represented matrix.
+    pub fn rows(&self) -> usize {
+        self.u.rows()
+    }
+
+    /// Number of columns of the represented matrix.
+    pub fn cols(&self) -> usize {
+        self.v.rows()
+    }
+
+    /// Rank of the representation (number of columns of each factor).
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// Storage footprint in floating-point words (the BLR/H² memory accounting uses this).
+    pub fn storage(&self) -> usize {
+        self.u.rows() * self.u.cols() + self.v.rows() * self.v.cols()
+    }
+
+    /// Densify the block (testing / reference only).
+    pub fn to_dense(&self) -> Matrix {
+        if self.rank() == 0 {
+            return Matrix::zeros(self.rows(), self.cols());
+        }
+        matmul_nt(&self.u, &self.v)
+    }
+
+    /// Matrix-vector product `y += alpha * (U V^T) x`.
+    pub fn matvec(&self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols());
+        assert_eq!(y.len(), self.rows());
+        if self.rank() == 0 {
+            return;
+        }
+        let mut t = vec![0.0; self.rank()];
+        h2_matrix::gemv(1.0, &self.v, true, x, 0.0, &mut t);
+        h2_matrix::gemv(alpha, &self.u, false, &t, 1.0, y);
+    }
+
+    /// Transposed representation (`A^T ≈ V U^T`).
+    pub fn transpose(&self) -> LowRank {
+        LowRank {
+            u: self.v.clone(),
+            v: self.u.clone(),
+        }
+    }
+
+    /// Left-multiply by a dense matrix: `B * (U V^T)` as a new low-rank block.
+    pub fn left_mul(&self, b: &Matrix) -> LowRank {
+        LowRank {
+            u: matmul(b, &self.u),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Right-multiply by a dense matrix: `(U V^T) * B` as a new low-rank block.
+    pub fn right_mul(&self, b: &Matrix) -> LowRank {
+        LowRank {
+            u: self.u.clone(),
+            v: matmul_tn(b, &self.v),
+        }
+    }
+
+    /// Scale the block by `alpha` (absorbed into `U`).
+    pub fn scaled(&self, alpha: f64) -> LowRank {
+        LowRank {
+            u: self.u.scaled(alpha),
+            v: self.v.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn dense_roundtrip_and_shapes() {
+        let mut r = rng();
+        let u = Matrix::random(6, 2, &mut r);
+        let v = Matrix::random(4, 2, &mut r);
+        let lr = LowRank::new(u.clone(), v.clone());
+        assert_eq!(lr.rows(), 6);
+        assert_eq!(lr.cols(), 4);
+        assert_eq!(lr.rank(), 2);
+        assert_eq!(lr.storage(), 6 * 2 + 4 * 2);
+        let dense = lr.to_dense();
+        assert_eq!(dense.shape(), (6, 4));
+        assert!(dense.max_abs_diff(&matmul_nt(&u, &v)) < 1e-15);
+    }
+
+    #[test]
+    fn zero_block() {
+        let z = LowRank::zero(3, 5);
+        assert_eq!(z.rank(), 0);
+        assert_eq!(z.to_dense(), Matrix::zeros(3, 5));
+        let mut y = vec![1.0; 3];
+        z.matvec(2.0, &[1.0; 5], &mut y);
+        assert_eq!(y, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut r = rng();
+        let lr = LowRank::new(Matrix::random(5, 3, &mut r), Matrix::random(7, 3, &mut r));
+        let x: Vec<f64> = (0..7).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let mut y = vec![0.5; 5];
+        lr.matvec(2.0, &x, &mut y);
+        let dense = lr.to_dense();
+        let mut yref = vec![0.5; 5];
+        h2_matrix::gemv(2.0, &dense, false, &x, 1.0, &mut yref);
+        for (a, b) in y.iter().zip(&yref) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_and_multiplications() {
+        let mut r = rng();
+        let lr = LowRank::new(Matrix::random(5, 2, &mut r), Matrix::random(4, 2, &mut r));
+        assert!(lr
+            .transpose()
+            .to_dense()
+            .max_abs_diff(&lr.to_dense().transpose())
+            < 1e-14);
+        let b = Matrix::random(3, 5, &mut r);
+        assert!(lr
+            .left_mul(&b)
+            .to_dense()
+            .max_abs_diff(&matmul(&b, &lr.to_dense()))
+            < 1e-13);
+        let c = Matrix::random(4, 6, &mut r);
+        assert!(lr
+            .right_mul(&c)
+            .to_dense()
+            .max_abs_diff(&matmul(&lr.to_dense(), &c))
+            < 1e-13);
+        assert!(lr
+            .scaled(-2.5)
+            .to_dense()
+            .max_abs_diff(&lr.to_dense().scaled(-2.5))
+            < 1e-14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_ranks_panic() {
+        let _ = LowRank::new(Matrix::zeros(3, 2), Matrix::zeros(3, 1));
+    }
+}

@@ -1,0 +1,68 @@
+//! Randomized range sampling.
+//!
+//! Used by the "sampled" basis-construction mode (DESIGN.md §2): instead of the exact
+//! `QR` of an entire concatenated block row, the shared basis is built from the block
+//! row applied to a small random test matrix plus a few ACA pivot columns.  This is
+//! the standard randomized range finder (Halko/Martinsson/Tropp) restricted to what
+//! the solver needs.
+
+use h2_matrix::{matmul, orthonormal_columns, Matrix};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Compute an orthonormal matrix `Q` (`m x (target + oversample)`, clipped to `m`)
+/// whose range approximates the range of `a`, by multiplying `a` with a Gaussian-ish
+/// random test matrix.
+pub fn randomized_range(a: &Matrix, target: usize, oversample: usize, seed: u64) -> Matrix {
+    let m = a.rows();
+    let n = a.cols();
+    let k = (target + oversample).min(n).min(m);
+    if k == 0 {
+        return Matrix::zeros(m, 0);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Sum of uniforms approximates a Gaussian well enough for range finding.
+    let omega = Matrix::from_fn(n, k, |_, _| {
+        (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>()
+    });
+    let y = matmul(a, &omega);
+    orthonormal_columns(&y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_matrix::{fro_norm, matmul_nt, matmul_tn};
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_of_low_rank_matrix_is_captured() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(4);
+        let a = matmul_nt(&Matrix::random(40, 6, &mut r), &Matrix::random(30, 6, &mut r));
+        let q = randomized_range(&a, 6, 4, 0);
+        assert!(q.cols() <= 10);
+        // || (I - Q Q^T) A || should be tiny.
+        let proj = matmul(&q, &matmul_tn(&q, &a));
+        let resid = fro_norm(&(&a - &proj)) / fro_norm(&a);
+        assert!(resid < 1e-10, "residual {resid}");
+    }
+
+    #[test]
+    fn oversampling_clips_to_dimensions() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(4);
+        let a = Matrix::random(5, 3, &mut r);
+        let q = randomized_range(&a, 10, 10, 1);
+        assert!(q.cols() <= 3);
+        let empty = randomized_range(&Matrix::zeros(4, 0), 2, 2, 1);
+        assert_eq!(empty.cols(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(8);
+        let a = Matrix::random(20, 20, &mut r);
+        let q1 = randomized_range(&a, 5, 2, 42);
+        let q2 = randomized_range(&a, 5, 2, 42);
+        assert!(q1.max_abs_diff(&q2) < 1e-15);
+    }
+}

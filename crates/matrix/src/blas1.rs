@@ -1,0 +1,121 @@
+//! Level-1 BLAS-like vector kernels.
+
+use crate::flops::add_flops;
+
+/// Dot product `x . y`.
+///
+/// # Panics
+/// Panics if the lengths differ.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    add_flops(2 * x.len() as u64);
+    let mut acc = 0.0;
+    // 4-way unrolled accumulation: keeps the dependency chain short enough for the
+    // compiler to vectorize without changing the result materially.
+    let chunks = x.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for c in 0..chunks {
+        let i = 4 * c;
+        s0 += x[i] * y[i];
+        s1 += x[i + 1] * y[i + 1];
+        s2 += x[i + 2] * y[i + 2];
+        s3 += x[i + 3] * y[i + 3];
+    }
+    for i in 4 * chunks..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc + s0 + s1 + s2 + s3
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    add_flops(2 * x.len() as u64);
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm of `x`, computed with scaling to avoid overflow.
+#[inline]
+pub fn nrm2(x: &[f64]) -> f64 {
+    add_flops(2 * x.len() as u64);
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Scale a vector in place.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    add_flops(x.len() as u64);
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Index of the entry with maximum absolute value (0 for an empty slice).
+#[inline]
+pub fn iamax(x: &[f64]) -> usize {
+    let mut best = 0;
+    let mut bv = 0.0;
+    for (i, &v) in x.iter().enumerate() {
+        if v.abs() > bv {
+            bv = v.abs();
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..13).map(|i| (2 * i) as f64).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_scal() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0, 36.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, vec![6.0, 12.0, 18.0]);
+    }
+
+    #[test]
+    fn nrm2_is_robust_to_large_values() {
+        let x = vec![3.0, 4.0];
+        assert!((nrm2(&x) - 5.0).abs() < 1e-14);
+        let big = vec![1e200, 1e200];
+        assert!(nrm2(&big).is_finite());
+        assert!((nrm2(&big) - 1e200 * 2.0f64.sqrt()).abs() / 1e200 < 1e-12);
+        assert_eq!(nrm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn iamax_finds_largest_magnitude() {
+        assert_eq!(iamax(&[1.0, -5.0, 3.0]), 1);
+        assert_eq!(iamax(&[]), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Global floating-point operation counters.
+//!
+//! The paper reports `PAPI_FP_OPS` hardware counters (Fig. 10) to compare the
+//! operation counts of the H²-ULV factorization against the LORAPO baseline.  We do
+//! not have PAPI, so every dense kernel in this crate reports its nominal flop count
+//! to a process-global relaxed atomic counter.  Counts are added once per kernel call
+//! (not per scalar operation), so the overhead is negligible.
+//!
+//! The counters are cumulative; use [`reset_flops`] or the scoped [`FlopGuard`] to
+//! measure a region.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Add `n` floating-point operations to the global counter.
+#[inline]
+pub fn add_flops(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current cumulative flop count.
+#[inline]
+pub fn flop_count() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Reset the global counter to zero.
+#[inline]
+pub fn reset_flops() {
+    FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// Scoped flop measurement: records the counter value at construction and reports the
+/// number of flops executed since then.
+///
+/// ```
+/// use h2_matrix::{FlopGuard, Matrix, matmul};
+/// let guard = FlopGuard::start();
+/// let a = Matrix::identity(8);
+/// let _ = matmul(&a, &a);
+/// assert!(guard.elapsed() > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FlopGuard {
+    start: u64,
+}
+
+impl FlopGuard {
+    /// Begin a measurement region.
+    pub fn start() -> Self {
+        FlopGuard { start: flop_count() }
+    }
+
+    /// Flops executed since [`FlopGuard::start`].
+    pub fn elapsed(&self) -> u64 {
+        flop_count().saturating_sub(self.start)
+    }
+}
+
+/// Nominal flop counts for the standard kernels, used both for the global counter and
+/// by the scheduler simulator to assign task costs.
+pub mod cost {
+    /// `C += A*B` with `A (m x k)`, `B (k x n)`.
+    #[inline]
+    pub fn gemm(m: usize, n: usize, k: usize) -> u64 {
+        2 * (m as u64) * (n as u64) * (k as u64)
+    }
+    /// LU factorization of an `n x n` matrix.
+    #[inline]
+    pub fn getrf(n: usize) -> u64 {
+        let n = n as u64;
+        (2 * n * n * n) / 3
+    }
+    /// Cholesky factorization of an `n x n` matrix.
+    #[inline]
+    pub fn potrf(n: usize) -> u64 {
+        let n = n as u64;
+        (n * n * n) / 3
+    }
+    /// Triangular solve with an `n x n` triangle and `m` right-hand sides.
+    #[inline]
+    pub fn trsm(n: usize, m: usize) -> u64 {
+        (n as u64) * (n as u64) * (m as u64)
+    }
+    /// Householder QR of an `m x n` (m >= n) matrix.
+    #[inline]
+    pub fn geqrf(m: usize, n: usize) -> u64 {
+        let (m, n) = (m as u64, n as u64);
+        2 * m * n * n - (2 * n * n * n) / 3
+    }
+    /// Matrix-vector product with an `m x n` matrix.
+    #[inline]
+    pub fn gemv(m: usize, n: usize) -> u64 {
+        2 * (m as u64) * (n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset_flops();
+        add_flops(10);
+        add_flops(5);
+        assert!(flop_count() >= 15);
+        let g = FlopGuard::start();
+        add_flops(7);
+        assert!(g.elapsed() >= 7);
+    }
+
+    #[test]
+    fn cost_formulas() {
+        assert_eq!(cost::gemm(2, 3, 4), 48);
+        assert_eq!(cost::getrf(3), 18);
+        assert_eq!(cost::potrf(3), 9);
+        assert_eq!(cost::trsm(2, 5), 20);
+        assert_eq!(cost::gemv(3, 4), 24);
+        assert!(cost::geqrf(8, 4) > 0);
+    }
+}

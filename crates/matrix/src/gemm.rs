@@ -1,0 +1,282 @@
+//! Level-2/3 matrix multiplication kernels.
+//!
+//! `gemm` is the workhorse of every factorization in the workspace.  The
+//! implementation is a cache-blocked column-major kernel with an `i`-innermost loop so
+//! that the compiler auto-vectorizes over contiguous columns of `C` and `A`.  It is
+//! not MKL, but it is consistent across all solvers being compared, which is what the
+//! paper's relative measurements need.
+
+use crate::flops::{add_flops, cost};
+use crate::matrix::Matrix;
+
+/// Block size for the cache-blocked kernel (columns of B / rows of A per tile).
+const BLOCK: usize = 64;
+
+/// General matrix-matrix multiply: `C = alpha * op_a(A) * op_b(B) + beta * C`.
+///
+/// `trans_a` / `trans_b` select whether `A` / `B` are used transposed.
+///
+/// # Panics
+/// Panics if the dimensions do not conform.
+pub fn gemm(
+    alpha: f64,
+    a: &Matrix,
+    trans_a: bool,
+    b: &Matrix,
+    trans_b: bool,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = if trans_a {
+        (a.cols(), a.rows())
+    } else {
+        (a.rows(), a.cols())
+    };
+    let (kb, n) = if trans_b {
+        (b.cols(), b.rows())
+    } else {
+        (b.rows(), b.cols())
+    };
+    assert_eq!(ka, kb, "gemm: inner dimensions differ ({ka} vs {kb})");
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "gemm: C has shape {:?}, expected {:?}",
+        c.shape(),
+        (m, n)
+    );
+    let k = ka;
+    add_flops(cost::gemm(m, n, k));
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.as_mut_slice().fill(0.0);
+        } else {
+            c.scale_mut(beta);
+        }
+    }
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Normalise to the "no-transpose" inner kernel by materialising transposed inputs.
+    // For the block sizes used by the solver (<= a few thousand) the copy cost is
+    // dwarfed by the O(mnk) multiply and keeps the hot loop contiguous.
+    let at;
+    let a_ref = if trans_a {
+        at = a.transpose();
+        &at
+    } else {
+        a
+    };
+    let bt;
+    let b_ref = if trans_b {
+        bt = b.transpose();
+        &bt
+    } else {
+        b
+    };
+
+    gemm_nn(alpha, a_ref, b_ref, c);
+}
+
+/// `C += alpha * A * B` with everything column-major and untransposed.
+fn gemm_nn(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    for jj in (0..n).step_by(BLOCK) {
+        let jend = (jj + BLOCK).min(n);
+        for pp in (0..k).step_by(BLOCK) {
+            let pend = (pp + BLOCK).min(k);
+            for j in jj..jend {
+                let bcol = b.col(j);
+                let ccol = c.col_mut(j);
+                for p in pp..pend {
+                    let bv = alpha * bcol[p];
+                    if bv == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(p);
+                    // i-innermost: contiguous in both A's column and C's column.
+                    for i in 0..m {
+                        ccol[i] += bv * acol[i];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: `A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, false, b, false, 0.0, &mut c);
+    c
+}
+
+/// Convenience: `A^T * B`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm(1.0, a, true, b, false, 0.0, &mut c);
+    c
+}
+
+/// Convenience: `A * B^T`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm(1.0, a, false, b, true, 0.0, &mut c);
+    c
+}
+
+/// Matrix-vector product `y = alpha * op(A) * x + beta * y`.
+pub fn gemv(alpha: f64, a: &Matrix, trans: bool, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n) = if trans {
+        (a.cols(), a.rows())
+    } else {
+        (a.rows(), a.cols())
+    };
+    assert_eq!(x.len(), n, "gemv: x length mismatch");
+    assert_eq!(y.len(), m, "gemv: y length mismatch");
+    add_flops(cost::gemv(m, n));
+    if beta == 0.0 {
+        y.fill(0.0);
+    } else if beta != 1.0 {
+        for v in y.iter_mut() {
+            *v *= beta;
+        }
+    }
+    if trans {
+        // y_j = alpha * sum_i A(i,j) x_i  -> dot of columns
+        for (j, yj) in y.iter_mut().enumerate() {
+            *yj += alpha * crate::blas1::dot(a.col(j), x);
+        }
+    } else {
+        for (j, &xj) in x.iter().enumerate() {
+            let av = alpha * xj;
+            if av == 0.0 {
+                continue;
+            }
+            let col = a.col(j);
+            for (yi, &aij) in y.iter_mut().zip(col) {
+                *yi += av * aij;
+            }
+        }
+    }
+}
+
+/// Naive triple-loop reference multiply, used by tests to validate the blocked kernel.
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows());
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for p in 0..a.cols() {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut r = rng();
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 9, 23), (64, 65, 66), (70, 128, 3)] {
+            let a = Matrix::random(m, k, &mut r);
+            let b = Matrix::random(k, n, &mut r);
+            let c = matmul(&a, &b);
+            let cref = matmul_naive(&a, &b);
+            assert!(c.max_abs_diff(&cref) < 1e-10, "mismatch for {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn transposed_variants() {
+        let mut r = rng();
+        let a = Matrix::random(7, 5, &mut r);
+        let b = Matrix::random(7, 6, &mut r);
+        let c = matmul_tn(&a, &b);
+        let cref = matmul_naive(&a.transpose(), &b);
+        assert!(c.max_abs_diff(&cref) < 1e-11);
+
+        let a2 = Matrix::random(4, 9, &mut r);
+        let b2 = Matrix::random(6, 9, &mut r);
+        let c2 = matmul_nt(&a2, &b2);
+        let cref2 = matmul_naive(&a2, &b2.transpose());
+        assert!(c2.max_abs_diff(&cref2) < 1e-11);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let mut r = rng();
+        let a = Matrix::random(5, 4, &mut r);
+        let b = Matrix::random(4, 3, &mut r);
+        let c0 = Matrix::random(5, 3, &mut r);
+        let mut c = c0.clone();
+        gemm(2.0, &a, false, &b, false, 0.5, &mut c);
+        let expect = &matmul_naive(&a, &b).scaled(2.0) + &c0.scaled(0.5);
+        assert!(c.max_abs_diff(&expect) < 1e-11);
+    }
+
+    #[test]
+    fn gemm_zero_dims_are_noops() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(0, 2);
+        gemm(1.0, &a, false, &b, false, 0.0, &mut c);
+        assert!(c.is_empty());
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 2);
+        let mut c = Matrix::filled(2, 2, 5.0);
+        gemm(1.0, &a, false, &b, false, 0.0, &mut c);
+        assert_eq!(c, Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn gemv_both_orientations() {
+        let mut r = rng();
+        let a = Matrix::random(6, 4, &mut r);
+        let x: Vec<f64> = (0..4).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let mut y = vec![0.0; 6];
+        gemv(1.0, &a, false, &x, 0.0, &mut y);
+        let yref = matmul(&a, &Matrix::from_columns(&[x.clone()]));
+        for i in 0..6 {
+            assert!((y[i] - yref[(i, 0)]).abs() < 1e-12);
+        }
+        let xt: Vec<f64> = (0..6).map(|_| r.gen_range(-1.0..1.0)).collect();
+        let mut yt = vec![1.0; 4];
+        gemv(2.0, &a, true, &xt, 3.0, &mut yt);
+        let ytref = matmul_tn(&a, &Matrix::from_columns(&[xt.clone()]));
+        for i in 0..4 {
+            assert!((yt[i] - (2.0 * ytref[(i, 0)] + 3.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn operator_mul_uses_gemm() {
+        let a = Matrix::identity(4);
+        let mut r = rng();
+        let b = Matrix::random(4, 4, &mut r);
+        assert!((&a * &b).max_abs_diff(&b) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_inner_dims_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,128 @@
+//! # h2-matrix — dense linear algebra substrate
+//!
+//! A self-contained, pure-Rust replacement for the BLAS/LAPACK routines that the
+//! paper's solver links against (Intel MKL in the original work).  The crate provides
+//! a column-major [`Matrix`] type together with the dense kernels required by the
+//! structured low-rank factorizations built on top of it:
+//!
+//! * level-1/2/3 BLAS-like kernels ([`blas1`], [`gemm`], [`triangular`]),
+//! * LU with partial pivoting and Cholesky factorizations ([`lu`], [`cholesky`]),
+//! * Householder QR and column-pivoted (rank-revealing) QR ([`qr`], [`pivoted_qr`]),
+//! * a one-sided Jacobi SVD used for validation and truncation ([`svd`]),
+//! * matrix norms ([`norms`]),
+//! * global floating-point operation counters ([`flops`]) standing in for the
+//!   PAPI_FP_OPS hardware counters used in Fig. 10 of the paper.
+//!
+//! All routines operate on `f64`.  Where the paper says "LAPACK dense LU" we use
+//! [`lu::lu_factor`] / [`lu::lu_solve`] from this crate.
+
+pub mod blas1;
+pub mod cholesky;
+pub mod flops;
+pub mod gemm;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+pub mod pivoted_qr;
+pub mod qr;
+pub mod svd;
+pub mod triangular;
+
+pub use cholesky::{cholesky_factor, cholesky_solve, Cholesky};
+pub use flops::{flop_count, reset_flops, FlopGuard};
+pub use gemm::{gemm, gemv, matmul, matmul_nt, matmul_tn};
+pub use lu::{lu_factor, lu_solve, lu_solve_mat, Lu};
+pub use matrix::Matrix;
+pub use norms::{fro_norm, max_abs, rel_fro_error, rel_l2_error, two_norm_est};
+pub use pivoted_qr::{pivoted_qr, truncated_pivoted_qr, PivotedQr};
+pub use qr::{householder_qr, orthonormal_columns, Qr};
+pub use svd::{jacobi_svd, Svd};
+pub use triangular::{
+    solve_lower_left, solve_lower_right, solve_unit_lower_left, solve_unit_lower_right,
+    solve_upper_left, solve_upper_right,
+};
+
+/// Convenience result alias used throughout the workspace for fallible dense kernels.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the dense kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Matrix dimensions do not conform for the requested operation.
+    DimensionMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left/first operand.
+        lhs: (usize, usize),
+        /// Dimensions of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// A pivot smaller than the breakdown threshold was encountered.
+    SingularMatrix {
+        /// Index of the offending pivot.
+        pivot: usize,
+        /// Magnitude of the offending pivot.
+        value: f64,
+    },
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite {
+        /// Index of the offending diagonal entry.
+        index: usize,
+        /// Value of the offending diagonal entry.
+        value: f64,
+    },
+    /// An iterative kernel failed to converge.
+    NoConvergence {
+        /// Description of the kernel.
+        op: &'static str,
+        /// Number of sweeps/iterations performed.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            Error::SingularMatrix { pivot, value } => {
+                write!(f, "singular matrix: pivot {pivot} has magnitude {value:.3e}")
+            }
+            Error::NotPositiveDefinite { index, value } => write!(
+                f,
+                "matrix not positive definite: diagonal {index} would be {value:.3e}"
+            ),
+            Error::NoConvergence { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Error::DimensionMismatch {
+            op: "gemm",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("gemm"));
+        assert!(s.contains("2x3"));
+        let e = Error::SingularMatrix { pivot: 3, value: 0.0 };
+        assert!(format!("{e}").contains("pivot 3"));
+        let e = Error::NotPositiveDefinite { index: 1, value: -1.0 };
+        assert!(format!("{e}").contains("positive definite"));
+        let e = Error::NoConvergence { op: "jacobi_svd", iterations: 30 };
+        assert!(format!("{e}").contains("converge"));
+    }
+}

@@ -1,0 +1,346 @@
+//! LU factorization with partial (row) pivoting — the `getrf`/`getrs` substitute.
+//!
+//! Used (a) as the dense reference solver against which every structured solver's
+//! accuracy is measured (the paper's "dense LU factorization from LAPACK"), (b) for
+//! the dense diagonal blocks inside the ULV elimination, and (c) for the root skeleton
+//! system.
+
+use crate::flops::{add_flops, cost};
+use crate::gemm::matmul;
+use crate::matrix::Matrix;
+use crate::triangular::{solve_unit_lower_left, solve_upper_left, unit_lower_from, upper_from};
+use crate::{Error, Result};
+
+/// Packed LU factorization `P * A = L * U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed factors: strictly-lower part holds `L` (unit diagonal implied), upper part holds `U`.
+    pub lu: Matrix,
+    /// Pivot row selected at each elimination step (LAPACK-style `ipiv`, 0-based).
+    pub ipiv: Vec<usize>,
+    /// Number of row swaps performed (sign of the permutation).
+    pub swaps: usize,
+}
+
+/// Threshold below which a pivot is considered an exact singularity.
+const PIVOT_TINY: f64 = 1e-300;
+
+/// Factorize `A` with partial pivoting.  Returns an error for (numerically) singular input.
+pub fn lu_factor(a: &Matrix) -> Result<Lu> {
+    assert_eq!(a.rows(), a.cols(), "lu_factor: matrix must be square");
+    let n = a.rows();
+    add_flops(cost::getrf(n));
+    let mut lu = a.clone();
+    let mut ipiv = vec![0usize; n];
+    let mut swaps = 0;
+    // Reusable buffer for the multiplier column of the current elimination step.
+    let mut mults = vec![0.0f64; n];
+    for k in 0..n {
+        // Find pivot in column k, rows k..n.
+        let mut p = k;
+        let mut pv = lu.get(k, k).abs();
+        for i in k + 1..n {
+            let v = lu.get(i, k).abs();
+            if v > pv {
+                pv = v;
+                p = i;
+            }
+        }
+        ipiv[k] = p;
+        if pv < PIVOT_TINY {
+            return Err(Error::SingularMatrix { pivot: k, value: pv });
+        }
+        if p != k {
+            lu.swap_rows(p, k);
+            swaps += 1;
+        }
+        let pivot = lu.get(k, k);
+        // Column of multipliers (stored in-place and copied to a scratch buffer so the
+        // trailing update can read it while writing other columns).
+        {
+            let colk = lu.col_mut(k);
+            for i in k + 1..n {
+                colk[i] /= pivot;
+                mults[i] = colk[i];
+            }
+        }
+        // Rank-1 trailing update, column by column (column-major friendly).
+        for j in k + 1..n {
+            let ukj = lu.get(k, j);
+            if ukj == 0.0 {
+                continue;
+            }
+            let col = lu.col_mut(j);
+            for i in k + 1..n {
+                col[i] -= mults[i] * ukj;
+            }
+        }
+    }
+    Ok(Lu { lu, ipiv, swaps })
+}
+
+/// Solve `A x = b` given a precomputed factorization.
+pub fn lu_solve(f: &Lu, b: &[f64]) -> Vec<f64> {
+    let n = f.lu.rows();
+    assert_eq!(b.len(), n, "lu_solve: rhs length mismatch");
+    let mut x = b.to_vec();
+    // Apply permutation.
+    for k in 0..n {
+        let p = f.ipiv[k];
+        if p != k {
+            x.swap(k, p);
+        }
+    }
+    // Forward substitution with unit lower triangle.
+    for i in 0..n {
+        let mut acc = x[i];
+        for k in 0..i {
+            acc -= f.lu.get(i, k) * x[k];
+        }
+        x[i] = acc;
+    }
+    // Backward substitution with upper triangle.
+    for ii in 0..n {
+        let i = n - 1 - ii;
+        let mut acc = x[i];
+        for k in i + 1..n {
+            acc -= f.lu.get(i, k) * x[k];
+        }
+        x[i] = acc / f.lu.get(i, i);
+    }
+    add_flops(2 * (n as u64) * (n as u64));
+    x
+}
+
+/// Solve `A X = B` for a matrix right-hand side.
+pub fn lu_solve_mat(f: &Lu, b: &Matrix) -> Matrix {
+    let n = f.lu.rows();
+    assert_eq!(b.rows(), n, "lu_solve_mat: rhs row mismatch");
+    let mut pb = b.clone();
+    for k in 0..n {
+        let p = f.ipiv[k];
+        if p != k {
+            pb.swap_rows(k, p);
+        }
+    }
+    let l = unit_lower_from(&f.lu);
+    let u = upper_from(&f.lu);
+    let y = solve_unit_lower_left(&l, &pb);
+    solve_upper_left(&u, &y)
+}
+
+impl Lu {
+    /// Apply the forward phase only: `z = L^{-1} P b` (unit lower triangle).
+    pub fn forward(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "forward: rhs length mismatch");
+        let mut x = b.to_vec();
+        for k in 0..n {
+            let p = self.ipiv[k];
+            if p != k {
+                x.swap(k, p);
+            }
+        }
+        for i in 0..n {
+            let mut acc = x[i];
+            for k in 0..i {
+                acc -= self.lu.get(i, k) * x[k];
+            }
+            x[i] = acc;
+        }
+        add_flops((n as u64) * (n as u64));
+        x
+    }
+
+    /// Apply the backward phase only: `y = U^{-1} z` (upper triangle).
+    pub fn backward(&self, z: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows();
+        assert_eq!(z.len(), n, "backward: rhs length mismatch");
+        let mut x = z.to_vec();
+        for ii in 0..n {
+            let i = n - 1 - ii;
+            let mut acc = x[i];
+            for k in i + 1..n {
+                acc -= self.lu.get(i, k) * x[k];
+            }
+            x[i] = acc / self.lu.get(i, i);
+        }
+        add_flops((n as u64) * (n as u64));
+        x
+    }
+
+    /// Apply the forward phase to every column of a matrix: `Z = L^{-1} P B`.
+    pub fn forward_mat(&self, b: &Matrix) -> Matrix {
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "forward_mat: row mismatch");
+        let cols: Vec<Vec<f64>> = (0..b.cols()).map(|j| self.forward(b.col(j))).collect();
+        Matrix::from_columns(&cols)
+    }
+
+    /// Apply the backward phase to every column of a matrix: `Y = U^{-1} Z`.
+    pub fn backward_mat(&self, z: &Matrix) -> Matrix {
+        let n = self.lu.rows();
+        assert_eq!(z.rows(), n, "backward_mat: row mismatch");
+        let cols: Vec<Vec<f64>> = (0..z.cols()).map(|j| self.backward(z.col(j))).collect();
+        Matrix::from_columns(&cols)
+    }
+
+    /// Right-solve against the upper factor: `X = B U^{-1}`.
+    pub fn right_solve_upper(&self, b: &Matrix) -> Matrix {
+        let u = self.u();
+        crate::triangular::solve_upper_right(&u, b)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let sign = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        sign * self.lu.diag().iter().product::<f64>()
+    }
+
+    /// Log of the absolute determinant (stable for large matrices).
+    pub fn log_abs_det(&self) -> f64 {
+        self.lu.log_abs_diag_sum()
+    }
+
+    /// Explicit inverse (used only in small-block contexts and tests).
+    pub fn inverse(&self) -> Matrix {
+        lu_solve_mat(self, &Matrix::identity(self.lu.rows()))
+    }
+
+    /// The unit-lower-triangular factor `L`.
+    pub fn l(&self) -> Matrix {
+        unit_lower_from(&self.lu)
+    }
+
+    /// The upper-triangular factor `U`.
+    pub fn u(&self) -> Matrix {
+        upper_from(&self.lu)
+    }
+
+    /// The permutation as a dense matrix `P` such that `P A = L U`.
+    pub fn p(&self) -> Matrix {
+        let n = self.lu.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            perm.swap(k, self.ipiv[k]);
+        }
+        let mut p = Matrix::zeros(n, n);
+        for (i, &pi) in perm.iter().enumerate() {
+            p.set(i, pi, 1.0);
+        }
+        p
+    }
+
+    /// Reconstruct `A` from the factors (testing helper).
+    pub fn reconstruct(&self) -> Matrix {
+        let pa = matmul(&self.l(), &self.u());
+        // A = P^T L U
+        matmul(&self.p().transpose(), &pa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(3)
+    }
+
+    fn diag_dominant(n: usize) -> Matrix {
+        let mut r = rng();
+        let mut a = Matrix::random(n, n, &mut r);
+        for i in 0..n {
+            let v = a.get(i, i);
+            a.set(i, i, v + n as f64);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_and_reconstruct() {
+        for &n in &[1usize, 2, 5, 16, 33] {
+            let a = diag_dominant(n);
+            let f = lu_factor(&a).unwrap();
+            assert!(f.reconstruct().max_abs_diff(&a) < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn solve_vector_and_matrix() {
+        let a = diag_dominant(20);
+        let f = lu_factor(&a).unwrap();
+        let mut r = rng();
+        let xtrue: Vec<f64> = (0..20).map(|_| rand::Rng::gen_range(&mut r, -1.0..1.0)).collect();
+        let mut b = vec![0.0; 20];
+        crate::gemm::gemv(1.0, &a, false, &xtrue, 0.0, &mut b);
+        let x = lu_solve(&f, &b);
+        for (xi, ti) in x.iter().zip(&xtrue) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+        let bmat = Matrix::random(20, 3, &mut r);
+        let xmat = lu_solve_mat(&f, &bmat);
+        assert!(matmul(&a, &xmat).max_abs_diff(&bmat) < 1e-9);
+    }
+
+    #[test]
+    fn determinant_and_inverse() {
+        let a = Matrix::from_rows(&[&[4.0, 3.0], &[6.0, 3.0]]);
+        let f = lu_factor(&a).unwrap();
+        assert!((f.det() - (-6.0)).abs() < 1e-12);
+        assert!((f.log_abs_det() - 6.0f64.ln()).abs() < 1e-12);
+        let inv = f.inverse();
+        assert!(matmul(&a, &inv).max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(lu_factor(&a), Err(Error::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let f = lu_factor(&a).unwrap();
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-14);
+        assert!((f.det() - (-1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn forward_backward_split_matches_full_solve() {
+        let a = diag_dominant(12);
+        let f = lu_factor(&a).unwrap();
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).sin() + 2.0).collect();
+        let z = f.forward(&b);
+        let x = f.backward(&z);
+        let xref = lu_solve(&f, &b);
+        for (u, v) in x.iter().zip(&xref) {
+            assert!((u - v).abs() < 1e-12);
+        }
+        // Matrix variants agree with column-by-column application.
+        let bm = Matrix::from_columns(&[b.clone(), b.iter().map(|v| 2.0 * v).collect()]);
+        let zm = f.forward_mat(&bm);
+        let xm = f.backward_mat(&zm);
+        assert!(matmul(&a, &xm).max_abs_diff(&bm) < 1e-9);
+        // Right solve against U: X U = B.
+        let x_right = f.right_solve_upper(&bm.transpose());
+        assert!(matmul(&x_right, &f.u()).max_abs_diff(&bm.transpose()) < 1e-9);
+    }
+
+    #[test]
+    fn lu_factors_have_expected_structure() {
+        let a = diag_dominant(8);
+        let f = lu_factor(&a).unwrap();
+        let l = f.l();
+        let u = f.u();
+        for i in 0..8 {
+            assert!((l[(i, i)] - 1.0).abs() < 1e-15);
+            for j in i + 1..8 {
+                assert_eq!(l[(i, j)], 0.0);
+                assert_eq!(u[(j, i)], 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,645 @@
+//! Column-major dense matrix storage and elementwise utilities.
+//!
+//! [`Matrix`] is the single dense container used across the workspace.  It is stored
+//! column-major (LAPACK convention) so block column extraction — the dominant access
+//! pattern when building shared bases from concatenated block rows/columns — is a
+//! contiguous copy.
+
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense, column-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: element (i, j) lives at `data[i + j * rows]`.
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_show = 8;
+        for i in 0..self.rows.min(max_show) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(max_show) {
+                write!(f, "{:>12.4e} ", self[(i, j)])?;
+            }
+            if self.cols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Create the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build a matrix from a closure `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from a column-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_col_major: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build a matrix from a row-major slice of slices (convenient in tests).
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: inconsistent row lengths");
+        }
+        Matrix::from_fn(r, c, |i, j| rows[i][j])
+    }
+
+    /// Build a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Create a matrix with i.i.d. uniform entries in `[-1, 1)` from the given RNG.
+    pub fn random(rows: usize, cols: usize, rng: &mut impl rand::Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True if either dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Raw column-major data slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw mutable column-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Immutable view of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutable view of column `j` as a contiguous slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        debug_assert!(j < self.cols);
+        let r = self.rows;
+        &mut self.data[j * r..(j + 1) * r]
+    }
+
+    /// Unchecked element access used by hot kernels.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        unsafe { *self.data.get_unchecked(i + j * self.rows) }
+    }
+
+    /// Unchecked element write used by hot kernels.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        unsafe {
+            *self.data.get_unchecked_mut(i + j * self.rows) = v;
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for j in 0..self.cols {
+            let col = self.col(j);
+            for (i, &v) in col.iter().enumerate() {
+                t.set(j, i, v);
+            }
+        }
+        t
+    }
+
+    /// Copy of the `nrows x ncols` block starting at `(row, col)`.
+    pub fn block(&self, row: usize, col: usize, nrows: usize, ncols: usize) -> Matrix {
+        assert!(
+            row + nrows <= self.rows && col + ncols <= self.cols,
+            "block ({row},{col}) size {nrows}x{ncols} exceeds {}x{}",
+            self.rows,
+            self.cols
+        );
+        let mut b = Matrix::zeros(nrows, ncols);
+        for j in 0..ncols {
+            let src = &self.col(col + j)[row..row + nrows];
+            b.col_mut(j).copy_from_slice(src);
+        }
+        b
+    }
+
+    /// Write `block` into this matrix at offset `(row, col)`.
+    pub fn set_block(&mut self, row: usize, col: usize, block: &Matrix) {
+        assert!(
+            row + block.rows <= self.rows && col + block.cols <= self.cols,
+            "set_block at ({row},{col}) with {}x{} exceeds {}x{}",
+            block.rows,
+            block.cols,
+            self.rows,
+            self.cols
+        );
+        for j in 0..block.cols {
+            let src = block.col(j);
+            self.col_mut(col + j)[row..row + block.rows].copy_from_slice(src);
+        }
+    }
+
+    /// Add `block` into this matrix at offset `(row, col)`.
+    pub fn add_block(&mut self, row: usize, col: usize, block: &Matrix) {
+        assert!(row + block.rows <= self.rows && col + block.cols <= self.cols);
+        for j in 0..block.cols {
+            let src = block.col(j);
+            let dst = &mut self.col_mut(col + j)[row..row + block.rows];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Copy of the rows selected by `rows` (gather).
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for j in 0..self.cols {
+            let col = self.col(j);
+            for (k, &r) in rows.iter().enumerate() {
+                out.set(k, j, col[r]);
+            }
+        }
+        out
+    }
+
+    /// Copy of the columns selected by `cols` (gather).
+    pub fn select_cols(&self, cols: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, cols.len());
+        for (k, &c) in cols.iter().enumerate() {
+            out.col_mut(k).copy_from_slice(self.col(c));
+        }
+        out
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hcat: row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        out.set_block(0, 0, self);
+        out.set_block(0, self.cols, other);
+        out
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vcat: column mismatch");
+        let mut out = Matrix::zeros(self.rows + other.rows, self.cols);
+        out.set_block(0, 0, self);
+        out.set_block(self.rows, 0, other);
+        out
+    }
+
+    /// Horizontal concatenation of many matrices (empty ones are skipped).
+    pub fn hcat_all(parts: &[&Matrix]) -> Matrix {
+        let parts: Vec<&&Matrix> = parts.iter().filter(|m| !m.is_empty()).collect();
+        if parts.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut off = 0;
+        for m in parts {
+            assert_eq!(m.rows, rows, "hcat_all: row mismatch");
+            out.set_block(0, off, m);
+            off += m.cols;
+        }
+        out
+    }
+
+    /// Vertical concatenation of many matrices (empty ones are skipped).
+    pub fn vcat_all(parts: &[&Matrix]) -> Matrix {
+        let parts: Vec<&&Matrix> = parts.iter().filter(|m| !m.is_empty()).collect();
+        if parts.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut off = 0;
+        for m in parts {
+            assert_eq!(m.cols, cols, "vcat_all: column mismatch");
+            out.set_block(off, 0, m);
+            off += m.rows;
+        }
+        out
+    }
+
+    /// Scale every entry in place.
+    pub fn scale_mut(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Scaled copy `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(alpha);
+        m
+    }
+
+    /// Swap rows `a` and `b` in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(a + j * self.rows, b + j * self.rows);
+        }
+    }
+
+    /// Swap columns `a` and `b` in place.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let r = self.rows;
+        for i in 0..r {
+            self.data.swap(i + a * r, i + b * r);
+        }
+    }
+
+    /// Extract the main diagonal.
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Trace (sum of diagonal entries).
+    pub fn trace(&self) -> f64 {
+        self.diag().iter().sum()
+    }
+
+    /// Sum of `log |d_ii|` over the diagonal — used for log-determinants of triangular factors.
+    pub fn log_abs_diag_sum(&self) -> f64 {
+        self.diag().iter().map(|d| d.abs().ln()).sum()
+    }
+
+    /// Column `j` copied into an owned vector.
+    pub fn col_vec(&self, j: usize) -> Vec<f64> {
+        self.col(j).to_vec()
+    }
+
+    /// Row `i` copied into an owned vector.
+    pub fn row_vec(&self, i: usize) -> Vec<f64> {
+        (0..self.cols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// Return a matrix whose columns are the given vectors.
+    pub fn from_columns(cols: &[Vec<f64>]) -> Matrix {
+        if cols.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let rows = cols[0].len();
+        let mut m = Matrix::zeros(rows, cols.len());
+        for (j, c) in cols.iter().enumerate() {
+            assert_eq!(c.len(), rows, "from_columns: column length mismatch");
+            m.col_mut(j).copy_from_slice(c);
+        }
+        m
+    }
+
+    /// Maximum absolute difference to another matrix of identical shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline(always)]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline(always)]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let mut out = self.clone();
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let mut out = self.clone();
+        out -= rhs;
+        out
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "sub_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a -= b;
+        }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, alpha: f64) -> Matrix {
+        self.scaled(alpha)
+    }
+}
+
+/// `A * B` via the gemm kernel (convenience operator).
+impl Mul<&Matrix> for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        crate::gemm::matmul(self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_identity_filled() {
+        let z = Matrix::zeros(3, 4);
+        assert_eq!(z.shape(), (3, 4));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 0)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+        let f = Matrix::filled(2, 2, 7.0);
+        assert_eq!(f[(1, 1)], 7.0);
+    }
+
+    #[test]
+    fn from_fn_and_indexing_are_consistent() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m.get(1, 1), 11.0);
+    }
+
+    #[test]
+    fn from_rows_matches_row_major_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        // column-major storage check
+        assert_eq!(m.as_slice(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64 + ((i * 7 + j * 13) % 3) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 4));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn block_and_set_block_roundtrip() {
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let b = m.block(2, 3, 3, 2);
+        assert_eq!(b[(0, 0)], m[(2, 3)]);
+        assert_eq!(b[(2, 1)], m[(4, 4)]);
+        let mut z = Matrix::zeros(6, 6);
+        z.set_block(2, 3, &b);
+        assert_eq!(z[(4, 4)], m[(4, 4)]);
+        assert_eq!(z[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn add_block_accumulates() {
+        let mut m = Matrix::filled(4, 4, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        m.add_block(1, 1, &b);
+        assert_eq!(m[(1, 1)], 3.0);
+        assert_eq!(m[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn concatenation() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 3, 2.0);
+        let h = a.hcat(&b);
+        assert_eq!(h.shape(), (2, 5));
+        assert_eq!(h[(0, 4)], 2.0);
+        let c = Matrix::filled(3, 2, 3.0);
+        let v = a.vcat(&c);
+        assert_eq!(v.shape(), (5, 2));
+        assert_eq!(v[(4, 0)], 3.0);
+        let all = Matrix::hcat_all(&[&a, &Matrix::zeros(2, 0), &b]);
+        assert_eq!(all.shape(), (2, 5));
+        let allv = Matrix::vcat_all(&[&a, &c]);
+        assert_eq!(allv.shape(), (5, 2));
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 10 + j) as f64);
+        let r = m.select_rows(&[3, 1]);
+        assert_eq!(r[(0, 2)], 32.0);
+        assert_eq!(r[(1, 0)], 10.0);
+        let c = m.select_cols(&[2, 0]);
+        assert_eq!(c[(1, 0)], 12.0);
+        assert_eq!(c[(1, 1)], 10.0);
+    }
+
+    #[test]
+    fn swap_rows_cols() {
+        let mut m = Matrix::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        m.swap_rows(0, 2);
+        assert_eq!(m[(0, 0)], 6.0);
+        m.swap_cols(0, 1);
+        assert_eq!(m[(0, 0)], 7.0);
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Matrix::filled(2, 2, 2.0);
+        let b = Matrix::filled(2, 2, 3.0);
+        assert_eq!((&a + &b)[(0, 0)], 5.0);
+        assert_eq!((&a - &b)[(1, 1)], -1.0);
+        assert_eq!((-&a)[(0, 1)], -2.0);
+        assert_eq!((&a * 4.0)[(1, 0)], 8.0);
+        let mut c = a.clone();
+        c += &b;
+        c -= &a;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn diag_trace_rows_cols() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.diag(), vec![1.0, 5.0]);
+        assert_eq!(m.row_vec(1), vec![4.0, 5.0, 6.0]);
+        assert_eq!(m.col_vec(2), vec![3.0, 6.0]);
+        let m2 = Matrix::from_columns(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m2[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn from_diag_and_log_abs_diag() {
+        let d = Matrix::from_diag(&[2.0, -4.0]);
+        assert_eq!(d[(0, 0)], 2.0);
+        assert_eq!(d[(1, 1)], -4.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        let expect = 2.0f64.ln() + 4.0f64.ln();
+        assert!((d.log_abs_diag_sum() - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let mut b = a.clone();
+        b[(1, 0)] = 1.5;
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m.block(1, 1, 2, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hcat_mismatch_panics() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(3, 2);
+        let _ = a.hcat(&b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Matrix and vector norms and error measures.
+//!
+//! The paper reports relative L2 errors of the structured solution against a dense LU
+//! solution (§IV-A); [`rel_l2_error`] implements exactly that measure.
+
+use crate::gemm::gemv;
+use crate::matrix::Matrix;
+
+/// Frobenius norm of a matrix.
+pub fn fro_norm(a: &Matrix) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in a.as_slice() {
+        if v != 0.0 {
+            let av = v.abs();
+            if scale < av {
+                ssq = 1.0 + ssq * (scale / av).powi(2);
+                scale = av;
+            } else {
+                ssq += (av / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Maximum absolute entry.
+pub fn max_abs(a: &Matrix) -> f64 {
+    a.as_slice().iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Relative Frobenius-norm error `||a - b||_F / ||b||_F` (returns the absolute error if
+/// `b` is zero).
+pub fn rel_fro_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "rel_fro_error: shape mismatch");
+    let diff = a - b;
+    let denom = fro_norm(b);
+    if denom == 0.0 {
+        fro_norm(&diff)
+    } else {
+        fro_norm(&diff) / denom
+    }
+}
+
+/// Relative L2 error between two vectors, `||x - y||_2 / ||y||_2`.
+pub fn rel_l2_error(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "rel_l2_error: length mismatch");
+    let diff: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let denom: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if denom == 0.0 {
+        diff
+    } else {
+        diff / denom
+    }
+}
+
+/// Estimate of the spectral (2-)norm via power iteration on `A^T A`.
+pub fn two_norm_est(a: &Matrix, iterations: usize) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a.cols();
+    let mut x: Vec<f64> = (0..n).map(|i| ((i * 2654435761 + 1) % 1000) as f64 / 1000.0 + 0.1).collect();
+    let norm = |v: &[f64]| v.iter().map(|y| y * y).sum::<f64>().sqrt();
+    let nx = norm(&x);
+    for v in &mut x {
+        *v /= nx;
+    }
+    let mut y = vec![0.0; a.rows()];
+    let mut sigma = 0.0;
+    for _ in 0..iterations.max(1) {
+        gemv(1.0, a, false, &x, 0.0, &mut y);
+        gemv(1.0, a, true, &y, 0.0, &mut x);
+        let nx = norm(&x);
+        if nx == 0.0 {
+            return 0.0;
+        }
+        for v in &mut x {
+            *v /= nx;
+        }
+        sigma = nx.sqrt();
+    }
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fro_norm_matches_manual() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((fro_norm(&a) - 5.0).abs() < 1e-14);
+        assert_eq!(fro_norm(&Matrix::zeros(3, 3)), 0.0);
+        // Robust to huge entries.
+        let big = Matrix::filled(1, 2, 1e250);
+        assert!(fro_norm(&big).is_finite());
+    }
+
+    #[test]
+    fn max_abs_and_rel_errors() {
+        let a = Matrix::from_rows(&[&[1.0, -7.0], &[2.0, 3.0]]);
+        assert_eq!(max_abs(&a), 7.0);
+        let b = a.clone();
+        assert_eq!(rel_fro_error(&a, &b), 0.0);
+        let mut c = a.clone();
+        c[(0, 0)] += 1.0;
+        assert!(rel_fro_error(&c, &a) > 0.0);
+        assert!((rel_l2_error(&[1.0, 1.0], &[1.0, 1.0])).abs() < 1e-15);
+        assert!((rel_l2_error(&[2.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rel_error_with_zero_reference() {
+        let z = Matrix::zeros(2, 2);
+        let a = Matrix::filled(2, 2, 1.0);
+        assert!((rel_fro_error(&a, &z) - 2.0).abs() < 1e-14);
+        assert_eq!(rel_l2_error(&[1.0, 0.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn two_norm_estimate_close_to_svd() {
+        use rand::SeedableRng;
+        let mut r = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Matrix::random(15, 10, &mut r);
+        let est = two_norm_est(&a, 50);
+        let svd = crate::svd::jacobi_svd(&a).unwrap();
+        assert!((est - svd.two_norm()).abs() / svd.two_norm() < 1e-3);
+    }
+}

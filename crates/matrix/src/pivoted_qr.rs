@@ -1,0 +1,296 @@
+//! Column-pivoted (rank-revealing) QR.
+//!
+//! This is the `QR()` of the paper (Eqs. 2–3): a rank-revealing factorization whose
+//! leading `k` columns of `Q` span the numerical column space of the input to a given
+//! tolerance.  The paper splits the result into the *skeleton* part `U^S` (the first
+//! `k` columns) and the *redundant* part `U^R` (the orthogonal complement), which is
+//! exactly what [`truncated_pivoted_qr`] returns.
+
+use crate::flops::{add_flops, cost};
+use crate::matrix::Matrix;
+
+/// Result of a column-pivoted QR factorization `A P = Q R`.
+#[derive(Debug, Clone)]
+pub struct PivotedQr {
+    /// Packed Householder/R storage (same layout as [`crate::qr::Qr`]).
+    pub qr: Matrix,
+    /// Householder coefficients.
+    pub tau: Vec<f64>,
+    /// Column permutation: column `j` of the factored matrix is column `perm[j]` of the input.
+    pub perm: Vec<usize>,
+    /// Absolute values of the R diagonal, in elimination order (non-increasing).
+    pub rdiag: Vec<f64>,
+}
+
+/// Compute the column-pivoted Householder QR of `a`.
+pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
+    let m = a.rows();
+    let n = a.cols();
+    add_flops(cost::geqrf(m.max(n), m.min(n)));
+    let mut qr = a.clone();
+    let kmax = m.min(n);
+    let mut tau = vec![0.0; kmax];
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut rdiag = vec![0.0; kmax];
+    // Running squared column norms for pivot selection.
+    let mut colnorm2: Vec<f64> = (0..n)
+        .map(|j| qr.col(j).iter().map(|v| v * v).sum())
+        .collect();
+    let mut v = vec![0.0; m];
+    for k in 0..kmax {
+        // Select the remaining column with the largest norm.
+        let mut p = k;
+        let mut best = colnorm2[k];
+        for j in k + 1..n {
+            if colnorm2[j] > best {
+                best = colnorm2[j];
+                p = j;
+            }
+        }
+        if p != k {
+            qr.swap_cols(k, p);
+            perm.swap(k, p);
+            colnorm2.swap(k, p);
+        }
+        // Householder reflector for column k (recompute the norm exactly for stability).
+        let mut normx = 0.0;
+        for i in k..m {
+            let x = qr.get(i, k);
+            normx += x * x;
+        }
+        normx = normx.sqrt();
+        rdiag[k] = normx;
+        if normx == 0.0 {
+            tau[k] = 0.0;
+            continue;
+        }
+        let alpha = qr.get(k, k);
+        let beta = if alpha >= 0.0 { -normx } else { normx };
+        let tk = (beta - alpha) / beta;
+        tau[k] = tk;
+        let scale = alpha - beta;
+        v[k] = 1.0;
+        for i in k + 1..m {
+            v[i] = qr.get(i, k) / scale;
+        }
+        qr.set(k, k, beta);
+        for i in k + 1..m {
+            qr.set(i, k, v[i]);
+        }
+        for j in k + 1..n {
+            let mut w = 0.0;
+            {
+                let col = qr.col(j);
+                for i in k..m {
+                    w += v[i] * col[i];
+                }
+            }
+            w *= tk;
+            let col = qr.col_mut(j);
+            for i in k..m {
+                col[i] -= w * v[i];
+            }
+            // Downdate the running column norm (guard against cancellation).
+            let rkj = col[k];
+            colnorm2[j] -= rkj * rkj;
+            if colnorm2[j] < 0.0 {
+                colnorm2[j] = col[k + 1..m].iter().map(|x| x * x).sum();
+            }
+        }
+    }
+    PivotedQr { qr, tau, perm, rdiag }
+}
+
+impl PivotedQr {
+    /// Numerical rank with respect to a relative tolerance on the R diagonal:
+    /// the smallest `k` such that `|R[k,k]| <= tol * |R[0,0]|`.
+    pub fn rank(&self, tol: f64) -> usize {
+        if self.rdiag.is_empty() || self.rdiag[0] == 0.0 {
+            return 0;
+        }
+        let threshold = tol * self.rdiag[0];
+        self.rdiag.iter().take_while(|&&d| d > threshold).count()
+    }
+
+    /// Full square orthogonal factor.
+    pub fn q_full(&self) -> Matrix {
+        let helper = crate::qr::Qr {
+            qr: self.qr.clone(),
+            tau: self.tau.clone(),
+        };
+        helper.q_full()
+    }
+
+    /// First `k` columns of the orthogonal factor.
+    pub fn q_columns(&self, k: usize) -> Matrix {
+        let helper = crate::qr::Qr {
+            qr: self.qr.clone(),
+            tau: self.tau.clone(),
+        };
+        helper.q_columns(k)
+    }
+
+    /// Upper-triangular factor `R` (of the permuted matrix).
+    pub fn r(&self) -> Matrix {
+        let helper = crate::qr::Qr {
+            qr: self.qr.clone(),
+            tau: self.tau.clone(),
+        };
+        helper.r()
+    }
+
+    /// Reconstruct the original matrix (testing helper): `A = Q R P^T`.
+    pub fn reconstruct(&self) -> Matrix {
+        let q = self.q_columns(self.qr.rows().min(self.qr.cols()));
+        let r = self.r();
+        let qr = crate::gemm::matmul(&q, &r);
+        // Undo the column permutation.
+        let mut a = Matrix::zeros(qr.rows(), qr.cols());
+        for (j, &pj) in self.perm.iter().enumerate() {
+            let col = qr.col(j).to_vec();
+            a.col_mut(pj).copy_from_slice(&col);
+        }
+        a
+    }
+}
+
+/// Skeleton/redundant basis split produced by [`truncated_pivoted_qr`].
+///
+/// `skeleton` (`m x k`) spans the numerical column space of the input to relative
+/// tolerance `tol`; `redundant` (`m x (m-k)`) is its orthogonal complement, so that
+/// `[skeleton | redundant]` is a square orthogonal matrix — the `[U^S U^R]` of the
+/// paper.
+#[derive(Debug, Clone)]
+pub struct BasisSplit {
+    /// Skeleton (column-space) part of the basis.
+    pub skeleton: Matrix,
+    /// Redundant (orthogonal complement) part of the basis.
+    pub redundant: Matrix,
+    /// Detected numerical rank.
+    pub rank: usize,
+}
+
+/// Rank-revealing QR with truncation: returns the skeleton/redundant basis split for
+/// the column space of `a` at relative tolerance `tol`, optionally capped at
+/// `max_rank` columns.
+pub fn truncated_pivoted_qr(a: &Matrix, tol: f64, max_rank: Option<usize>) -> BasisSplit {
+    let m = a.rows();
+    if a.cols() == 0 || m == 0 {
+        return BasisSplit {
+            skeleton: Matrix::zeros(m, 0),
+            redundant: Matrix::identity(m),
+            rank: 0,
+        };
+    }
+    let f = pivoted_qr(a);
+    let mut rank = f.rank(tol);
+    if let Some(cap) = max_rank {
+        rank = rank.min(cap);
+    }
+    rank = rank.min(m);
+    let q = f.q_full();
+    let skeleton = q.block(0, 0, m, rank);
+    let redundant = q.block(0, rank, m, m - rank);
+    BasisSplit { skeleton, redundant, rank }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_nt, matmul_tn};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    /// An m x n matrix of exact rank r.
+    fn low_rank(m: usize, n: usize, r: usize, rng: &mut impl rand::Rng) -> Matrix {
+        let a = Matrix::random(m, r, rng);
+        let b = Matrix::random(n, r, rng);
+        matmul_nt(&a, &b)
+    }
+
+    #[test]
+    fn pivoted_qr_reconstructs() {
+        let mut r = rng();
+        for &(m, n) in &[(10usize, 6usize), (6, 10), (8, 8)] {
+            let a = Matrix::random(m, n, &mut r);
+            let f = pivoted_qr(&a);
+            assert!(f.reconstruct().max_abs_diff(&a) < 1e-11, "{m}x{n}");
+        }
+    }
+
+    #[test]
+    fn rdiag_is_non_increasing() {
+        let mut r = rng();
+        let a = Matrix::random(20, 12, &mut r);
+        let f = pivoted_qr(&a);
+        for w in f.rdiag.windows(2) {
+            assert!(w[0] >= w[1] - 1e-10);
+        }
+    }
+
+    #[test]
+    fn rank_detection_on_exactly_low_rank_matrix() {
+        let mut r = rng();
+        let a = low_rank(30, 18, 5, &mut r);
+        let f = pivoted_qr(&a);
+        assert_eq!(f.rank(1e-10), 5);
+        let split = truncated_pivoted_qr(&a, 1e-10, None);
+        assert_eq!(split.rank, 5);
+        assert_eq!(split.skeleton.cols(), 5);
+        assert_eq!(split.redundant.cols(), 25);
+    }
+
+    #[test]
+    fn basis_split_is_orthogonal_and_spans_input() {
+        let mut r = rng();
+        let a = low_rank(16, 10, 4, &mut r);
+        let split = truncated_pivoted_qr(&a, 1e-12, None);
+        let q = split.skeleton.hcat(&split.redundant);
+        assert!(matmul_tn(&q, &q).max_abs_diff(&Matrix::identity(16)) < 1e-11);
+        // Redundant part must be orthogonal to the input columns: U_R^T A ~ 0.
+        let proj = matmul_tn(&split.redundant, &a);
+        assert!(crate::norms::fro_norm(&proj) < 1e-9 * crate::norms::fro_norm(&a));
+        // Skeleton reproduces A: U_S U_S^T A = A.
+        let reproj = matmul(&split.skeleton, &matmul_tn(&split.skeleton, &a));
+        assert!(reproj.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn max_rank_cap_is_respected() {
+        let mut r = rng();
+        let a = Matrix::random(12, 12, &mut r);
+        let split = truncated_pivoted_qr(&a, 1e-14, Some(3));
+        assert_eq!(split.rank, 3);
+        assert_eq!(split.skeleton.cols(), 3);
+        assert_eq!(split.redundant.cols(), 9);
+    }
+
+    #[test]
+    fn empty_and_zero_inputs() {
+        let split = truncated_pivoted_qr(&Matrix::zeros(5, 0), 1e-8, None);
+        assert_eq!(split.rank, 0);
+        assert_eq!(split.redundant.shape(), (5, 5));
+        let zero = Matrix::zeros(4, 3);
+        let split = truncated_pivoted_qr(&zero, 1e-8, None);
+        assert_eq!(split.rank, 0);
+        assert_eq!(split.skeleton.cols(), 0);
+    }
+
+    #[test]
+    fn tolerance_controls_rank() {
+        let mut r = rng();
+        // Construct a matrix with geometrically decaying singular values.
+        let u = crate::qr::orthonormal_columns(&Matrix::random(20, 20, &mut r));
+        let v = crate::qr::orthonormal_columns(&Matrix::random(20, 20, &mut r));
+        let s = Matrix::from_diag(&(0..20).map(|i| 10f64.powi(-(i as i32))).collect::<Vec<_>>());
+        let a = matmul(&matmul(&u, &s), &v.transpose());
+        let loose = truncated_pivoted_qr(&a, 1e-3, None).rank;
+        let tight = truncated_pivoted_qr(&a, 1e-9, None).rank;
+        assert!(loose < tight, "loose rank {loose} should be < tight rank {tight}");
+        assert!(loose >= 3 && loose <= 6);
+        assert!(tight >= 9 && tight <= 12);
+    }
+}

@@ -1,0 +1,281 @@
+//! Householder QR factorization.
+//!
+//! The shared bases of the BLR²/HSS/H² formats are computed with (column-pivoted) QR
+//! factorizations of concatenated block rows/columns (Eqs. 2–3, 6–7, 20–21, 27–28 of
+//! the paper).  This module provides the unpivoted Householder kernel and utilities to
+//! expand the full square `Q` — the "skeleton + redundant" basis `[U^S U^R]` needs all
+//! `m` columns of `Q`, not just the thin part.
+
+use crate::flops::{add_flops, cost};
+use crate::matrix::Matrix;
+
+/// Householder QR factorization `A = Q R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed Householder vectors (below the diagonal) and `R` (upper triangle).
+    pub qr: Matrix,
+    /// Householder scalar coefficients `tau`.
+    pub tau: Vec<f64>,
+}
+
+/// Compute the packed Householder QR of `a` (any shape).
+pub fn householder_qr(a: &Matrix) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    add_flops(cost::geqrf(m.max(n), m.min(n)));
+    let mut qr = a.clone();
+    let kmax = m.min(n);
+    let mut tau = vec![0.0; kmax];
+    let mut v = vec![0.0; m];
+    for k in 0..kmax {
+        // Build the Householder reflector for column k, rows k..m.
+        let mut normx = 0.0;
+        for i in k..m {
+            let x = qr.get(i, k);
+            normx += x * x;
+        }
+        normx = normx.sqrt();
+        if normx == 0.0 {
+            tau[k] = 0.0;
+            continue;
+        }
+        let alpha = qr.get(k, k);
+        let beta = if alpha >= 0.0 { -normx } else { normx };
+        let tk = (beta - alpha) / beta;
+        tau[k] = tk;
+        let scale = alpha - beta;
+        // v = [1, x_{k+1..m} / (alpha - beta)]
+        v[k] = 1.0;
+        for i in k + 1..m {
+            v[i] = qr.get(i, k) / scale;
+        }
+        // Store R(k,k) and the reflector below the diagonal.
+        qr.set(k, k, beta);
+        for i in k + 1..m {
+            qr.set(i, k, v[i]);
+        }
+        // Apply the reflector to the trailing columns: A := (I - tau v v^T) A.
+        for j in k + 1..n {
+            let mut w = 0.0;
+            {
+                let col = qr.col(j);
+                for i in k..m {
+                    w += v[i] * col[i];
+                }
+            }
+            w *= tk;
+            let col = qr.col_mut(j);
+            for i in k..m {
+                col[i] -= w * v[i];
+            }
+        }
+    }
+    Qr { qr, tau }
+}
+
+impl Qr {
+    /// Number of rows of the factored matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// The upper-triangular factor `R` (`min(m,n) x n`).
+    pub fn r(&self) -> Matrix {
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        let k = m.min(n);
+        let mut r = Matrix::zeros(k, n);
+        for j in 0..n {
+            for i in 0..k.min(j + 1) {
+                r.set(i, j, self.qr.get(i, j));
+            }
+        }
+        r
+    }
+
+    /// The thin orthonormal factor `Q` (`m x min(m,n)`).
+    pub fn q_thin(&self) -> Matrix {
+        self.q_columns(self.qr.rows().min(self.qr.cols()))
+    }
+
+    /// The full square orthogonal factor `Q` (`m x m`).
+    pub fn q_full(&self) -> Matrix {
+        self.q_columns(self.qr.rows())
+    }
+
+    /// First `ncols` columns of the orthogonal factor.
+    pub fn q_columns(&self, ncols: usize) -> Matrix {
+        let m = self.qr.rows();
+        let kmax = self.tau.len();
+        assert!(ncols <= m, "q_columns: requested more columns than rows");
+        add_flops(2 * (m as u64) * (ncols as u64) * (kmax as u64));
+        // Start from the identity block and apply reflectors in reverse order.
+        let mut q = Matrix::zeros(m, ncols);
+        for j in 0..ncols.min(m) {
+            q.set(j, j, 1.0);
+        }
+        let mut v = vec![0.0; m];
+        for kk in 0..kmax {
+            let k = kmax - 1 - kk;
+            let tk = self.tau[k];
+            if tk == 0.0 {
+                continue;
+            }
+            v[k] = 1.0;
+            for i in k + 1..m {
+                v[i] = self.qr.get(i, k);
+            }
+            for j in 0..ncols {
+                let mut w = 0.0;
+                {
+                    let col = q.col(j);
+                    for i in k..m {
+                        w += v[i] * col[i];
+                    }
+                }
+                w *= tk;
+                let col = q.col_mut(j);
+                for i in k..m {
+                    col[i] -= w * v[i];
+                }
+            }
+        }
+        q
+    }
+
+    /// Apply `Q^T` to a matrix in place (`B := Q^T B`).
+    pub fn apply_qt(&self, b: &mut Matrix) {
+        let m = self.qr.rows();
+        assert_eq!(b.rows(), m, "apply_qt: row mismatch");
+        add_flops(2 * (m as u64) * (b.cols() as u64) * (self.tau.len() as u64));
+        let mut v = vec![0.0; m];
+        for k in 0..self.tau.len() {
+            let tk = self.tau[k];
+            if tk == 0.0 {
+                continue;
+            }
+            v[k] = 1.0;
+            for i in k + 1..m {
+                v[i] = self.qr.get(i, k);
+            }
+            for j in 0..b.cols() {
+                let mut w = 0.0;
+                {
+                    let col = b.col(j);
+                    for i in k..m {
+                        w += v[i] * col[i];
+                    }
+                }
+                w *= tk;
+                let col = b.col_mut(j);
+                for i in k..m {
+                    col[i] -= w * v[i];
+                }
+            }
+        }
+    }
+}
+
+/// Orthonormalize the columns of `a` (thin QR, returning `Q`).  Columns that are
+/// numerically dependent are still returned (their direction is arbitrary but
+/// orthogonal to the rest), so the output always has the same shape as the input.
+pub fn orthonormal_columns(a: &Matrix) -> Matrix {
+    householder_qr(a).q_thin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul, matmul_tn};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    fn check_orthonormal(q: &Matrix, tol: f64) {
+        let qtq = matmul_tn(q, q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(q.cols())) < tol);
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let mut r = rng();
+        for &(m, n) in &[(8usize, 5usize), (12, 12), (20, 7), (5, 9)] {
+            let a = Matrix::random(m, n, &mut r);
+            let f = householder_qr(&a);
+            let q = f.q_thin();
+            let rr = f.r();
+            check_orthonormal(&q, 1e-12);
+            assert!(matmul(&q, &rr).max_abs_diff(&a) < 1e-11, "shape {m}x{n}");
+        }
+    }
+
+    #[test]
+    fn full_q_is_square_orthogonal() {
+        let mut r = rng();
+        let a = Matrix::random(10, 4, &mut r);
+        let f = householder_qr(&a);
+        let q = f.q_full();
+        assert_eq!(q.shape(), (10, 10));
+        check_orthonormal(&q, 1e-12);
+        // The first 4 columns reproduce A together with R.
+        let thin = f.q_thin();
+        assert!(q.block(0, 0, 10, 4).max_abs_diff(&thin) < 1e-13);
+    }
+
+    #[test]
+    fn apply_qt_matches_explicit_q() {
+        let mut r = rng();
+        let a = Matrix::random(9, 6, &mut r);
+        let f = householder_qr(&a);
+        let b = Matrix::random(9, 3, &mut r);
+        let mut b1 = b.clone();
+        f.apply_qt(&mut b1);
+        let b2 = matmul_tn(&f.q_full(), &b);
+        assert!(b1.max_abs_diff(&b2) < 1e-11);
+        // Q^T A should equal R padded with zeros.
+        let mut qa = a.clone();
+        f.apply_qt(&mut qa);
+        let rfull = {
+            let mut rf = Matrix::zeros(9, 6);
+            rf.set_block(0, 0, &f.r());
+            rf
+        };
+        assert!(qa.max_abs_diff(&rfull) < 1e-11);
+    }
+
+    #[test]
+    fn orthonormal_columns_handles_rank_deficiency() {
+        let mut r = rng();
+        let base = Matrix::random(8, 2, &mut r);
+        // Third column is a linear combination of the first two.
+        let dep = &base.block(0, 0, 8, 1) + &base.block(0, 1, 8, 1);
+        let a = base.hcat(&dep);
+        let q = orthonormal_columns(&a);
+        assert_eq!(q.shape(), (8, 3));
+        let qtq = matmul_tn(&q, &q);
+        // Columns remain mutually orthogonal even though input was rank deficient.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(qtq[(i, j)].abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_matrix_qr() {
+        let a = Matrix::zeros(5, 3);
+        let f = householder_qr(&a);
+        assert!(f.r().max_abs_diff(&Matrix::zeros(3, 3)) < 1e-15);
+        let q = f.q_full();
+        check_orthonormal(&q, 1e-14);
+    }
+}

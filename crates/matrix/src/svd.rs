@@ -1,0 +1,229 @@
+//! One-sided Jacobi SVD.
+//!
+//! Used for validation (singular-value based error measures), for the interpolative
+//! alternatives mentioned in the paper (§II-A), and for optimal-rank truncation in the
+//! low-rank arithmetic of the BLR baseline's recompression step.
+
+use crate::flops::add_flops;
+use crate::gemm::matmul;
+use crate::matrix::Matrix;
+use crate::{Error, Result};
+
+/// Thin singular value decomposition `A = U diag(s) V^T`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`m x min(m,n)`).
+    pub u: Matrix,
+    /// Singular values in non-increasing order.
+    pub s: Vec<f64>,
+    /// Right singular vectors (`n x min(m,n)`).
+    pub v: Matrix,
+}
+
+/// Maximum number of Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 60;
+
+/// Compute the thin SVD of `a` via one-sided Jacobi rotations.
+///
+/// For tall matrices a QR pre-factorization reduces the work to an `n x n` problem.
+pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Ok(Svd {
+            u: Matrix::zeros(m, 0),
+            s: vec![],
+            v: Matrix::zeros(n, 0),
+        });
+    }
+    if m < n {
+        // Work on the transpose and swap U/V.
+        let t = jacobi_svd(&a.transpose())?;
+        return Ok(Svd { u: t.v, s: t.s, v: t.u });
+    }
+    // Tall case: QR first so the Jacobi iteration runs on an n x n matrix.
+    let (qthin, work) = if m > n {
+        let f = crate::qr::householder_qr(a);
+        (Some(f.q_thin()), f.r())
+    } else {
+        (None, a.clone())
+    };
+    let k = work.cols();
+    add_flops(4 * (k as u64).pow(3));
+    // One-sided Jacobi: rotate columns of `u_work` until they are mutually orthogonal,
+    // accumulating the rotations into `v`.
+    let mut u_work = work;
+    let mut v = Matrix::identity(k);
+    let eps = 1e-15;
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..k {
+            for q in p + 1..k {
+                let (mut app, mut aqq, mut apq) = (0.0, 0.0, 0.0);
+                {
+                    let cp = u_work.col(p);
+                    let cq = u_work.col(q);
+                    for i in 0..cp.len() {
+                        app += cp[i] * cp[i];
+                        aqq += cq[i] * cq[i];
+                        apq += cp[i] * cq[i];
+                    }
+                }
+                off = off.max(apq.abs() / (app.sqrt() * aqq.sqrt() + 1e-300));
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                // Jacobi rotation that annihilates the (p,q) off-diagonal of the Gram matrix.
+                let zeta = (aqq - app) / (2.0 * apq);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // Rotate columns p and q of u_work and v.
+                rotate_cols(&mut u_work, p, q, c, s);
+                rotate_cols(&mut v, p, q, c, s);
+            }
+        }
+        if off < 1e-14 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // The iteration practically always converges; if it does not, report it rather
+        // than silently returning garbage.
+        return Err(Error::NoConvergence {
+            op: "jacobi_svd",
+            iterations: MAX_SWEEPS,
+        });
+    }
+    // Singular values are the column norms; normalize to get U.
+    let mut s: Vec<f64> = (0..k)
+        .map(|j| u_work.col(j).iter().map(|x| x * x).sum::<f64>().sqrt())
+        .collect();
+    let mut u = u_work;
+    for j in 0..k {
+        if s[j] > 0.0 {
+            let inv = 1.0 / s[j];
+            for x in u.col_mut(j) {
+                *x *= inv;
+            }
+        }
+    }
+    // Sort by descending singular value.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap());
+    let u = u.select_cols(&order);
+    let v = v.select_cols(&order);
+    s = order.iter().map(|&i| s[i]).collect();
+    // Undo the QR pre-factorization.
+    let u = match qthin {
+        Some(q) => matmul(&q, &u),
+        None => u,
+    };
+    Ok(Svd { u, s, v })
+}
+
+fn rotate_cols(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let rows = m.rows();
+    let colp = m.col(p).to_vec();
+    let colq = m.col(q).to_vec();
+    {
+        let cp = m.col_mut(p);
+        for i in 0..rows {
+            cp[i] = c * colp[i] - s * colq[i];
+        }
+    }
+    {
+        let cq = m.col_mut(q);
+        for i in 0..rows {
+            cq[i] = s * colp[i] + c * colq[i];
+        }
+    }
+}
+
+impl Svd {
+    /// Reconstruct the original matrix (testing helper).
+    pub fn reconstruct(&self) -> Matrix {
+        let us = {
+            let mut us = self.u.clone();
+            for (j, &sj) in self.s.iter().enumerate() {
+                for x in us.col_mut(j) {
+                    *x *= sj;
+                }
+            }
+            us
+        };
+        matmul(&us, &self.v.transpose())
+    }
+
+    /// Numerical rank at relative tolerance `tol` (relative to the largest singular value).
+    pub fn rank(&self, tol: f64) -> usize {
+        if self.s.is_empty() || self.s[0] == 0.0 {
+            return 0;
+        }
+        let threshold = tol * self.s[0];
+        self.s.iter().take_while(|&&x| x > threshold).count()
+    }
+
+    /// Spectral norm (largest singular value).
+    pub fn two_norm(&self) -> f64 {
+        self.s.first().copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{matmul_nt, matmul_tn};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(23)
+    }
+
+    #[test]
+    fn svd_reconstructs_various_shapes() {
+        let mut r = rng();
+        for &(m, n) in &[(6usize, 6usize), (12, 5), (5, 12), (1, 7), (7, 1)] {
+            let a = Matrix::random(m, n, &mut r);
+            let svd = jacobi_svd(&a).unwrap();
+            assert!(svd.reconstruct().max_abs_diff(&a) < 1e-10, "{m}x{n}");
+            // U and V have orthonormal columns.
+            let k = m.min(n);
+            assert!(matmul_tn(&svd.u, &svd.u).max_abs_diff(&Matrix::identity(k)) < 1e-10);
+            assert!(matmul_tn(&svd.v, &svd.v).max_abs_diff(&Matrix::identity(k)) < 1e-10);
+            // Singular values sorted descending.
+            for w in svd.s.windows(2) {
+                assert!(w[0] >= w[1] - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn known_singular_values() {
+        // diag(3, 2) embedded in a rotation-free matrix.
+        let a = Matrix::from_diag(&[3.0, 2.0]);
+        let svd = jacobi_svd(&a).unwrap();
+        assert!((svd.s[0] - 3.0).abs() < 1e-12);
+        assert!((svd.s[1] - 2.0).abs() < 1e-12);
+        assert_eq!(svd.rank(1e-10), 2);
+        assert!((svd.two_norm() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_of_low_rank_matrix() {
+        let mut r = rng();
+        let b = Matrix::random(20, 3, &mut r);
+        let c = Matrix::random(15, 3, &mut r);
+        let a = matmul_nt(&b, &c);
+        let svd = jacobi_svd(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let svd = jacobi_svd(&Matrix::zeros(0, 4)).unwrap();
+        assert!(svd.s.is_empty());
+    }
+}

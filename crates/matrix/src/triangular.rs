@@ -1,0 +1,277 @@
+//! Triangular solves (TRSM-like kernels).
+//!
+//! The ULV factorization eliminates the redundant part of each block with an LU of the
+//! `S^{RR}` block followed by triangular solves against the redundant rows/columns of
+//! every dense block in the same block row/column (Eqs. 12–13 of the paper).  These
+//! kernels are the building blocks for that step, as well as for the LORAPO-style BLR
+//! baseline's TRSM tasks.
+
+use crate::flops::{add_flops, cost};
+use crate::matrix::Matrix;
+
+/// Solve `L * X = B` where `L` is lower triangular (non-unit diagonal).  Returns `X`.
+pub fn solve_lower_left(l: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(l.rows(), l.cols(), "solve_lower_left: L must be square");
+    assert_eq!(l.rows(), b.rows(), "solve_lower_left: dimension mismatch");
+    add_flops(cost::trsm(l.rows(), b.cols()));
+    let n = l.rows();
+    let mut x = b.clone();
+    for j in 0..x.cols() {
+        let col = x.col_mut(j);
+        for i in 0..n {
+            let mut acc = col[i];
+            for k in 0..i {
+                acc -= l.get(i, k) * col[k];
+            }
+            col[i] = acc / l.get(i, i);
+        }
+    }
+    x
+}
+
+/// Solve `L * X = B` where `L` is *unit* lower triangular.  Returns `X`.
+pub fn solve_unit_lower_left(l: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(l.rows(), l.cols());
+    assert_eq!(l.rows(), b.rows());
+    add_flops(cost::trsm(l.rows(), b.cols()));
+    let n = l.rows();
+    let mut x = b.clone();
+    for j in 0..x.cols() {
+        let col = x.col_mut(j);
+        for i in 0..n {
+            let mut acc = col[i];
+            for k in 0..i {
+                acc -= l.get(i, k) * col[k];
+            }
+            col[i] = acc;
+        }
+    }
+    x
+}
+
+/// Solve `U * X = B` where `U` is upper triangular (non-unit diagonal).  Returns `X`.
+pub fn solve_upper_left(u: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), u.cols(), "solve_upper_left: U must be square");
+    assert_eq!(u.rows(), b.rows(), "solve_upper_left: dimension mismatch");
+    add_flops(cost::trsm(u.rows(), b.cols()));
+    let n = u.rows();
+    let mut x = b.clone();
+    for j in 0..x.cols() {
+        let col = x.col_mut(j);
+        for ii in 0..n {
+            let i = n - 1 - ii;
+            let mut acc = col[i];
+            for k in i + 1..n {
+                acc -= u.get(i, k) * col[k];
+            }
+            col[i] = acc / u.get(i, i);
+        }
+    }
+    x
+}
+
+/// Solve `X * U = B` where `U` is upper triangular (non-unit diagonal).  Returns `X`.
+pub fn solve_upper_right(u: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(u.rows(), u.cols(), "solve_upper_right: U must be square");
+    assert_eq!(u.cols(), b.cols(), "solve_upper_right: dimension mismatch");
+    add_flops(cost::trsm(u.rows(), b.rows()));
+    let n = u.rows();
+    let m = b.rows();
+    let mut x = b.clone();
+    // X(:, j) = (B(:, j) - sum_{k<j} X(:,k) U(k,j)) / U(j,j)
+    for j in 0..n {
+        for k in 0..j {
+            let ukj = u.get(k, j);
+            if ukj == 0.0 {
+                continue;
+            }
+            // x[:, j] -= x[:, k] * ukj
+            let xk = x.col(k).to_vec();
+            let xj = x.col_mut(j);
+            for i in 0..m {
+                xj[i] -= xk[i] * ukj;
+            }
+        }
+        let d = u.get(j, j);
+        for v in x.col_mut(j) {
+            *v /= d;
+        }
+    }
+    x
+}
+
+/// Solve `X * L = B` where `L` is lower triangular (non-unit diagonal).  Returns `X`.
+pub fn solve_lower_right(l: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(l.rows(), l.cols(), "solve_lower_right: L must be square");
+    assert_eq!(l.cols(), b.cols(), "solve_lower_right: dimension mismatch");
+    add_flops(cost::trsm(l.rows(), b.rows()));
+    let n = l.rows();
+    let m = b.rows();
+    let mut x = b.clone();
+    // Process columns from last to first: X(:, j) = (B(:, j) - sum_{k>j} X(:,k) L(k,j)) / L(j,j)
+    for jj in 0..n {
+        let j = n - 1 - jj;
+        for k in j + 1..n {
+            let lkj = l.get(k, j);
+            if lkj == 0.0 {
+                continue;
+            }
+            let xk = x.col(k).to_vec();
+            let xj = x.col_mut(j);
+            for i in 0..m {
+                xj[i] -= xk[i] * lkj;
+            }
+        }
+        let d = l.get(j, j);
+        for v in x.col_mut(j) {
+            *v /= d;
+        }
+    }
+    x
+}
+
+/// Solve `X * L = B` where `L` is *unit* lower triangular.  Returns `X`.
+pub fn solve_unit_lower_right(l: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(l.rows(), l.cols());
+    assert_eq!(l.cols(), b.cols());
+    add_flops(cost::trsm(l.rows(), b.rows()));
+    let n = l.rows();
+    let m = b.rows();
+    let mut x = b.clone();
+    for jj in 0..n {
+        let j = n - 1 - jj;
+        for k in j + 1..n {
+            let lkj = l.get(k, j);
+            if lkj == 0.0 {
+                continue;
+            }
+            let xk = x.col(k).to_vec();
+            let xj = x.col_mut(j);
+            for i in 0..m {
+                xj[i] -= xk[i] * lkj;
+            }
+        }
+    }
+    x
+}
+
+/// Extract the lower-triangular part of `a` with unit diagonal (the `L` of a packed LU).
+pub fn unit_lower_from(a: &Matrix) -> Matrix {
+    let n = a.rows().min(a.cols());
+    let mut l = Matrix::identity(a.rows());
+    for j in 0..n {
+        for i in j + 1..a.rows() {
+            l.set(i, j, a.get(i, j));
+        }
+    }
+    l
+}
+
+/// Extract the upper-triangular part of `a` (the `U` of a packed LU).
+pub fn upper_from(a: &Matrix) -> Matrix {
+    let mut u = Matrix::zeros(a.rows().min(a.cols()), a.cols());
+    for j in 0..a.cols() {
+        for i in 0..=j.min(u.rows() - 1) {
+            u.set(i, j, a.get(i, j));
+        }
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn random_lower(n: usize, unit: bool) -> Matrix {
+        let mut r = rng();
+        let mut l = Matrix::random(n, n, &mut r);
+        for i in 0..n {
+            for j in i + 1..n {
+                l.set(i, j, 0.0);
+            }
+            if unit {
+                l.set(i, i, 1.0);
+            } else {
+                l.set(i, i, l.get(i, i) + 3.0); // keep well conditioned
+            }
+        }
+        l
+    }
+
+    fn random_upper(n: usize) -> Matrix {
+        random_lower(n, false).transpose()
+    }
+
+    #[test]
+    fn lower_left_solve() {
+        let l = random_lower(8, false);
+        let mut r = rng();
+        let b = Matrix::random(8, 3, &mut r);
+        let x = solve_lower_left(&l, &b);
+        assert!(matmul(&l, &x).max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn unit_lower_left_solve() {
+        let l = random_lower(6, true);
+        let mut r = rng();
+        let b = Matrix::random(6, 2, &mut r);
+        let x = solve_unit_lower_left(&l, &b);
+        assert!(matmul(&l, &x).max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn upper_left_solve() {
+        let u = random_upper(9);
+        let mut r = rng();
+        let b = Matrix::random(9, 4, &mut r);
+        let x = solve_upper_left(&u, &b);
+        assert!(matmul(&u, &x).max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn upper_right_solve() {
+        let u = random_upper(7);
+        let mut r = rng();
+        let b = Matrix::random(5, 7, &mut r);
+        let x = solve_upper_right(&u, &b);
+        assert!(matmul(&x, &u).max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn lower_right_solve() {
+        let l = random_lower(7, false);
+        let mut r = rng();
+        let b = Matrix::random(4, 7, &mut r);
+        let x = solve_lower_right(&l, &b);
+        assert!(matmul(&x, &l).max_abs_diff(&b) < 1e-9);
+    }
+
+    #[test]
+    fn unit_lower_right_solve() {
+        let l = random_lower(5, true);
+        let mut r = rng();
+        let b = Matrix::random(3, 5, &mut r);
+        let x = solve_unit_lower_right(&l, &b);
+        assert!(matmul(&x, &l).max_abs_diff(&b) < 1e-10);
+    }
+
+    #[test]
+    fn extract_lu_parts() {
+        let a = Matrix::from_rows(&[&[2.0, 3.0], &[4.0, 5.0]]);
+        let l = unit_lower_from(&a);
+        let u = upper_from(&a);
+        assert_eq!(l[(0, 0)], 1.0);
+        assert_eq!(l[(1, 0)], 4.0);
+        assert_eq!(l[(0, 1)], 0.0);
+        assert_eq!(u[(0, 1)], 3.0);
+        assert_eq!(u[(1, 0)], 0.0);
+        assert_eq!(u[(1, 1)], 5.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! Ranks, communicators and collectives.
+//!
+//! A [`Universe`] runs an SPMD closure on `P` ranks (threads).  Each rank receives a
+//! [`Comm`] that supports the point-to-point and collective operations the distributed
+//! H²-ULV factorization needs.  Message payloads are `Vec<f64>` — everything the
+//! solver communicates (basis blocks, skeleton blocks, right-hand-side segments) is a
+//! flat array of doubles plus dimensions the caller encodes in-band.
+
+use crate::counters::CommStats;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+struct Message {
+    src: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Shared state of one communicator: a mailbox (channel) per member rank.
+struct CommShared {
+    /// Sender endpoint for each member (indexed by rank within this communicator).
+    senders: Vec<Sender<Message>>,
+    /// Barrier/collective coordination state.
+    coord: Mutex<CoordState>,
+    /// Communication statistics, shared by all communicators of the universe.
+    stats: Arc<CommStats>,
+    /// Next communicator id for splits (shared counter).
+    next_comm_id: Arc<Mutex<u64>>,
+    /// Registry used to hand the per-member receivers of a split communicator to the
+    /// rank that should own them.
+    split_registry: Arc<Mutex<HashMap<(u64, usize), (Receiver<Message>, Arc<CommShared>)>>>,
+}
+
+/// Coordination state used by `split` (a tiny rendezvous area).
+#[derive(Default)]
+struct CoordState {
+    /// `(color, key, rank)` submissions for the split in progress.
+    split_submissions: Vec<(i64, i64, usize)>,
+    /// Generation counter so consecutive splits do not interfere.
+    split_generation: u64,
+    /// Result for each submitting rank of the current generation:
+    /// old rank -> (communicator id, new rank, new size).
+    split_results: HashMap<usize, (u64, usize, usize)>,
+}
+
+/// A communicator handle owned by one rank.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    inbox: Receiver<Message>,
+    shared: Arc<CommShared>,
+    /// Buffer of messages received but not yet matched by tag.
+    stash: Vec<Message>,
+}
+
+/// The universe spawns ranks and joins them.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `size` ranks, each on its own thread, and collect the return values
+    /// in rank order.
+    ///
+    /// # Panics
+    /// Panics if any rank panics.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(size > 0, "universe needs at least one rank");
+        let stats = Arc::new(CommStats::new(size));
+        let comms = Self::make_world(size, Arc::clone(&stats));
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(size);
+        for comm in comms {
+            let f = Arc::clone(&f);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("mpisim-rank-{}", comm.rank))
+                    .spawn(move || f(comm))
+                    .expect("failed to spawn rank"),
+            );
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    }
+
+    /// Run `f` on `size` ranks and also return the accumulated communication stats.
+    pub fn run_with_stats<T, F>(size: usize, f: F) -> (Vec<T>, CommStats)
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(size > 0);
+        let stats = Arc::new(CommStats::new(size));
+        let comms = Self::make_world(size, Arc::clone(&stats));
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(size);
+        for comm in comms {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || f(comm)));
+        }
+        let results = handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect();
+        let stats = Arc::try_unwrap(stats).unwrap_or_else(|a| (*a).clone());
+        (results, stats)
+    }
+
+    fn make_world(size: usize, stats: Arc<CommStats>) -> Vec<Comm> {
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        let shared = Arc::new(CommShared {
+            senders,
+            coord: Mutex::new(CoordState::default()),
+            stats,
+            next_comm_id: Arc::new(Mutex::new(1)),
+            split_registry: Arc::new(Mutex::new(HashMap::new())),
+        });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| Comm {
+                rank,
+                size,
+                inbox,
+                shared: Arc::clone(&shared),
+                stash: Vec::new(),
+            })
+            .collect()
+    }
+}
+
+impl Comm {
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `data` to `dest` with a message `tag`.
+    pub fn send(&self, dest: usize, tag: u64, data: &[f64]) {
+        assert!(dest < self.size, "send: destination {dest} out of range");
+        self.shared.stats.record_send(self.rank, data.len() * 8);
+        self.shared.senders[dest]
+            .send(Message {
+                src: self.rank,
+                tag,
+                data: data.to_vec(),
+            })
+            .expect("mpisim: receiver hung up");
+    }
+
+    /// Receive a message from `src` with the given `tag` (blocking, with tag matching).
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        // Check the stash first.
+        if let Some(pos) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
+            return self.stash.swap_remove(pos).data;
+        }
+        loop {
+            let msg = self.inbox.recv().expect("mpisim: channel closed");
+            if msg.src == src && msg.tag == tag {
+                return msg.data;
+            }
+            self.stash.push(msg);
+        }
+    }
+
+    /// Barrier over all ranks of this communicator (dissemination algorithm).
+    pub fn barrier(&mut self, tag: u64) {
+        let p = self.size;
+        let mut round = 1;
+        while round < p {
+            let dest = (self.rank + round) % p;
+            let src = (self.rank + p - round) % p;
+            self.send(dest, tag ^ 0xba44_0000 ^ round as u64, &[]);
+            let _ = self.recv(src, tag ^ 0xba44_0000 ^ round as u64);
+            round <<= 1;
+        }
+    }
+
+    /// Allgather: every rank contributes `data`; returns the concatenation over ranks
+    /// in rank order.  Contributions may have different lengths.
+    pub fn allgather(&mut self, tag: u64, data: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size;
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+        out[self.rank] = data.to_vec();
+        // Simple ring exchange: p-1 rounds, each rank forwards what it has learned.
+        // For the solver's purposes (tree communicators of width 2 at most levels)
+        // this is plenty; the time model in `netmodel` charges the log-tree cost the
+        // paper's implementation would achieve.
+        for r in 0..p {
+            if r == self.rank {
+                for dest in 0..p {
+                    if dest != self.rank {
+                        self.send(dest, tag ^ (0xa11 << 32), data);
+                    }
+                }
+            } else {
+                let d = self.recv(r, tag ^ (0xa11 << 32));
+                out[r] = d;
+            }
+        }
+        out
+    }
+
+    /// Broadcast from `root`: returns the root's data on every rank.
+    pub fn bcast(&mut self, tag: u64, root: usize, data: &[f64]) -> Vec<f64> {
+        if self.rank == root {
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send(dest, tag ^ (0xbca << 32), data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv(root, tag ^ (0xbca << 32))
+        }
+    }
+
+    /// Element-wise sum reduction to every rank (allreduce).
+    pub fn allreduce_sum(&mut self, tag: u64, data: &[f64]) -> Vec<f64> {
+        let parts = self.allgather(tag ^ (0x5ed << 32), data);
+        let mut acc = vec![0.0; data.len()];
+        for part in parts {
+            assert_eq!(part.len(), data.len(), "allreduce_sum: length mismatch across ranks");
+            for (a, v) in acc.iter_mut().zip(&part) {
+                *a += v;
+            }
+        }
+        acc
+    }
+
+    /// Split the communicator by `color`; ranks with equal colors form a new
+    /// communicator, ordered by `key` (ties broken by old rank).  Every rank of the
+    /// parent must call `split`.
+    pub fn split(&mut self, color: i64, key: i64) -> Comm {
+        // Rendezvous through the shared coordination state: the last rank to arrive
+        // builds all the new communicators and publishes per-member receivers in the
+        // split registry.
+        let my_generation;
+        {
+            let mut coord = self.shared.coord.lock();
+            my_generation = coord.split_generation;
+            coord.split_submissions.push((color, key, self.rank));
+            if coord.split_submissions.len() == self.size {
+                // Build the new communicators.
+                let submissions = std::mem::take(&mut coord.split_submissions);
+                let mut groups: HashMap<i64, Vec<(i64, usize)>> = HashMap::new();
+                for (c, k, r) in submissions {
+                    groups.entry(c).or_default().push((k, r));
+                }
+                let mut registry = self.shared.split_registry.lock();
+                let mut next_id = self.shared.next_comm_id.lock();
+                for (_color, mut members) in groups {
+                    members.sort();
+                    let comm_id = *next_id;
+                    *next_id += 1;
+                    let size = members.len();
+                    let mut senders = Vec::with_capacity(size);
+                    let mut receivers = Vec::with_capacity(size);
+                    for _ in 0..size {
+                        let (s, r) = unbounded();
+                        senders.push(s);
+                        receivers.push(r);
+                    }
+                    let new_shared = Arc::new(CommShared {
+                        senders,
+                        coord: Mutex::new(CoordState::default()),
+                        stats: Arc::clone(&self.shared.stats),
+                        next_comm_id: Arc::clone(&self.shared.next_comm_id),
+                        split_registry: Arc::clone(&self.shared.split_registry),
+                    });
+                    for (new_rank, (_k, old_rank)) in members.iter().enumerate() {
+                        registry.insert(
+                            (comm_id, *old_rank),
+                            (receivers[new_rank].clone(), Arc::clone(&new_shared)),
+                        );
+                        coord.split_results.insert(*old_rank, (comm_id, new_rank, size));
+                    }
+                }
+                coord.split_generation += 1;
+            }
+        }
+        // Wait for the builder to publish our entry.
+        loop {
+            {
+                let mut coord = self.shared.coord.lock();
+                if coord.split_generation > my_generation {
+                    if let Some((comm_id, new_rank, new_size)) =
+                        coord.split_results.get(&self.rank).copied()
+                    {
+                        coord.split_results.remove(&self.rank);
+                        drop(coord);
+                        let mut registry = self.shared.split_registry.lock();
+                        let (inbox, shared) = registry
+                            .remove(&(comm_id, self.rank))
+                            .expect("split registry entry missing");
+                        return Comm {
+                            rank: new_rank,
+                            size: new_size,
+                            inbox,
+                            shared,
+                            stash: Vec::new(),
+                        };
+                    }
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Access the universe-wide communication statistics.
+    pub fn stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.shared.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let results = Universe::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, &[1.0, 2.0, 3.0]);
+                vec![]
+            } else {
+                comm.recv(0, 7)
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let results = Universe::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[1.0]);
+                comm.send(1, 2, &[2.0]);
+                0.0
+            } else {
+                // Receive in the opposite order of sending.
+                let b = comm.recv(0, 2);
+                let a = comm.recv(0, 1);
+                a[0] * 10.0 + b[0]
+            }
+        });
+        assert_eq!(results[1], 12.0);
+    }
+
+    #[test]
+    fn allgather_collects_in_rank_order() {
+        let results = Universe::run(4, |mut comm| {
+            let mine = vec![comm.rank() as f64; comm.rank() + 1];
+            let all = comm.allgather(3, &mine);
+            all.into_iter().flatten().collect::<Vec<f64>>()
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0, 3.0, 3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn bcast_and_allreduce() {
+        let results = Universe::run(3, |mut comm| {
+            let data = if comm.rank() == 1 { vec![5.0, 6.0] } else { vec![0.0, 0.0] };
+            let b = comm.bcast(9, 1, &data);
+            let s = comm.allreduce_sum(11, &[comm.rank() as f64 + 1.0]);
+            (b, s)
+        });
+        for (b, s) in results {
+            assert_eq!(b, vec![5.0, 6.0]);
+            assert_eq!(s, vec![6.0]); // 1 + 2 + 3
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let results = Universe::run(5, |mut comm| {
+            comm.barrier(21);
+            comm.barrier(22);
+            comm.rank()
+        });
+        assert_eq!(results, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn split_into_halves() {
+        // 4 ranks split into two pairs; within each pair, exchange ranks.
+        let results = Universe::run(4, |mut comm| {
+            let color = (comm.rank() / 2) as i64;
+            let mut sub = comm.split(color, comm.rank() as i64);
+            assert_eq!(sub.size(), 2);
+            let peer = 1 - sub.rank();
+            sub.send(peer, 50, &[comm.rank() as f64]);
+            let got = sub.recv(peer, 50);
+            (comm.rank(), sub.rank(), got[0] as usize)
+        });
+        for (world_rank, sub_rank, peer_world_rank) in results {
+            // Partner must be the other member of the same pair.
+            assert_eq!(peer_world_rank / 2, world_rank / 2);
+            assert_ne!(peer_world_rank, world_rank);
+            assert_eq!(sub_rank, world_rank % 2);
+        }
+    }
+
+    #[test]
+    fn nested_splits_like_a_process_tree() {
+        // 8 ranks: split in half twice, mirroring the paper's process tree.
+        let results = Universe::run(8, |mut comm| {
+            let c1 = (comm.rank() / 4) as i64;
+            let mut half = comm.split(c1, comm.rank() as i64);
+            let c2 = (half.rank() / 2) as i64;
+            let mut quarter = half.split(c2, half.rank() as i64);
+            let s = quarter.allreduce_sum(99, &[comm.rank() as f64]);
+            (half.size(), quarter.size(), s[0])
+        });
+        for (rank, (hs, qs, sum)) in results.iter().enumerate() {
+            assert_eq!(*hs, 4);
+            assert_eq!(*qs, 2);
+            // Sum of the pair {2k, 2k+1}.
+            let pair_base = (rank / 2 * 2) as f64;
+            assert_eq!(*sum, pair_base * 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn stats_record_traffic() {
+        let (_, stats) = Universe::run_with_stats(2, |mut comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0.0; 100]);
+            } else {
+                let _ = comm.recv(0, 1);
+            }
+        });
+        assert_eq!(stats.total_messages(), 1);
+        assert_eq!(stats.total_bytes(), 800);
+    }
+}

@@ -1,0 +1,107 @@
+//! Communication accounting.
+//!
+//! Every `send` in the universe records its payload size here.  The distributed
+//! benchmark (Fig. 16) feeds these volumes into the network time model instead of
+//! measuring wall-clock communication, because all ranks share one physical core in
+//! the reproduction environment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-rank communication statistics.
+#[derive(Debug)]
+pub struct CommStats {
+    bytes_sent: Vec<AtomicU64>,
+    messages_sent: Vec<AtomicU64>,
+}
+
+impl Clone for CommStats {
+    fn clone(&self) -> Self {
+        CommStats {
+            bytes_sent: self
+                .bytes_sent
+                .iter()
+                .map(|a| AtomicU64::new(a.load(Ordering::Relaxed)))
+                .collect(),
+            messages_sent: self
+                .messages_sent
+                .iter()
+                .map(|a| AtomicU64::new(a.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+impl CommStats {
+    /// Create counters for `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        CommStats {
+            bytes_sent: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+            messages_sent: (0..ranks).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record a send of `bytes` bytes from `rank`.
+    pub fn record_send(&self, rank: usize, bytes: usize) {
+        self.bytes_sent[rank].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.messages_sent[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of ranks covered.
+    pub fn ranks(&self) -> usize {
+        self.bytes_sent.len()
+    }
+
+    /// Bytes sent by one rank.
+    pub fn bytes_from(&self, rank: usize) -> u64 {
+        self.bytes_sent[rank].load(Ordering::Relaxed)
+    }
+
+    /// Messages sent by one rank.
+    pub fn messages_from(&self, rank: usize) -> u64 {
+        self.messages_sent[rank].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Maximum bytes sent by any single rank (the communication-bound rank).
+    pub fn max_bytes_per_rank(&self) -> u64 {
+        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_aggregate() {
+        let s = CommStats::new(3);
+        s.record_send(0, 100);
+        s.record_send(0, 50);
+        s.record_send(2, 300);
+        assert_eq!(s.ranks(), 3);
+        assert_eq!(s.bytes_from(0), 150);
+        assert_eq!(s.bytes_from(1), 0);
+        assert_eq!(s.messages_from(0), 2);
+        assert_eq!(s.total_bytes(), 450);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.max_bytes_per_rank(), 300);
+        let c = s.clone();
+        assert_eq!(c.total_bytes(), 450);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = CommStats::new(0);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.max_bytes_per_rank(), 0);
+    }
+}

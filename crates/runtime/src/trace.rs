@@ -1,0 +1,191 @@
+//! Execution traces.
+//!
+//! Fig. 13 of the paper shows a PaRSEC trace of the LORAPO run where "the red tasks
+//! are run time system overhead and the green tasks are useful computation".  The
+//! [`Trace`] type records exactly that information — per-worker intervals labelled as
+//! useful work (with a [`TaskKind`]) or runtime overhead — and computes the summary
+//! fractions the benchmark binaries report, plus a CSV export of the full timeline.
+
+use crate::dag::TaskKind;
+
+/// One interval on one worker's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Worker (thread / virtual core) index.
+    pub worker: usize,
+    /// Start time (seconds, simulated or measured).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Task category; `None` marks runtime overhead.
+    pub kind: Option<TaskKind>,
+    /// Task index in the originating graph (usize::MAX for overhead intervals).
+    pub task: usize,
+}
+
+impl TraceEvent {
+    /// Interval length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// True if this interval is runtime overhead rather than useful work.
+    pub fn is_overhead(&self) -> bool {
+        self.kind.is_none()
+    }
+}
+
+/// A collection of trace events for a run on `workers` workers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Number of workers the trace spans.
+    pub workers: usize,
+    /// All recorded intervals.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Create an empty trace for the given worker count.
+    pub fn new(workers: usize) -> Self {
+        Trace {
+            workers,
+            events: Vec::new(),
+        }
+    }
+
+    /// Record an interval.
+    pub fn push(&mut self, ev: TraceEvent) {
+        debug_assert!(ev.end >= ev.start, "trace interval must have non-negative length");
+        self.events.push(ev);
+    }
+
+    /// Total useful-work time summed over workers.
+    pub fn useful_time(&self) -> f64 {
+        self.events.iter().filter(|e| !e.is_overhead()).map(|e| e.duration()).sum()
+    }
+
+    /// Total runtime-overhead time summed over workers.
+    pub fn overhead_time(&self) -> f64 {
+        self.events.iter().filter(|e| e.is_overhead()).map(|e| e.duration()).sum()
+    }
+
+    /// Overhead as a fraction of total busy time (the Fig. 13 headline number).
+    pub fn overhead_fraction(&self) -> f64 {
+        let useful = self.useful_time();
+        let overhead = self.overhead_time();
+        let total = useful + overhead;
+        if total == 0.0 {
+            0.0
+        } else {
+            overhead / total
+        }
+    }
+
+    /// Makespan: the latest end time over all events (0 for an empty trace).
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Busy time of a single worker.
+    pub fn worker_busy(&self, worker: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.worker == worker)
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Average worker utilization: busy time / (workers * makespan).
+    pub fn utilization(&self) -> f64 {
+        let span = self.makespan();
+        if span == 0.0 || self.workers == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.events.iter().map(|e| e.duration()).sum();
+        busy / (span * self.workers as f64)
+    }
+
+    /// Per-kind busy time breakdown (overhead reported under the key `"overhead"`).
+    pub fn breakdown(&self) -> Vec<(&'static str, f64)> {
+        let mut acc: Vec<(&'static str, f64)> = Vec::new();
+        let mut add = |label: &'static str, t: f64| {
+            if let Some(e) = acc.iter_mut().find(|(l, _)| *l == label) {
+                e.1 += t;
+            } else {
+                acc.push((label, t));
+            }
+        };
+        for e in &self.events {
+            match e.kind {
+                Some(k) => add(k.label(), e.duration()),
+                None => add("overhead", e.duration()),
+            }
+        }
+        acc
+    }
+
+    /// Export the timeline as CSV (`worker,start,end,kind,task`).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("worker,start,end,kind,task\n");
+        for e in &self.events {
+            let kind = e.kind.map(|k| k.label()).unwrap_or("overhead");
+            s.push_str(&format!(
+                "{},{:.9},{:.9},{},{}\n",
+                e.worker, e.start, e.end, kind, e.task
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(worker: usize, start: f64, end: f64, kind: Option<TaskKind>) -> TraceEvent {
+        TraceEvent {
+            worker,
+            start,
+            end,
+            kind,
+            task: 0,
+        }
+    }
+
+    #[test]
+    fn aggregation_of_useful_and_overhead_time() {
+        let mut t = Trace::new(2);
+        t.push(ev(0, 0.0, 1.0, Some(TaskKind::Factor)));
+        t.push(ev(0, 1.0, 1.5, None));
+        t.push(ev(1, 0.0, 2.0, Some(TaskKind::Update)));
+        assert_eq!(t.useful_time(), 3.0);
+        assert_eq!(t.overhead_time(), 0.5);
+        assert!((t.overhead_fraction() - 0.5 / 3.5).abs() < 1e-12);
+        assert_eq!(t.makespan(), 2.0);
+        assert_eq!(t.worker_busy(0), 1.5);
+        assert!((t.utilization() - 3.5 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_and_csv() {
+        let mut t = Trace::new(1);
+        t.push(ev(0, 0.0, 1.0, Some(TaskKind::Factor)));
+        t.push(ev(0, 1.0, 3.0, Some(TaskKind::Factor)));
+        t.push(ev(0, 3.0, 3.5, None));
+        let b = t.breakdown();
+        assert!(b.contains(&("factor", 3.0)));
+        assert!(b.contains(&("overhead", 0.5)));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("worker,start,end,kind,task"));
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("overhead"));
+    }
+
+    #[test]
+    fn empty_trace_is_well_defined() {
+        let t = Trace::new(4);
+        assert_eq!(t.makespan(), 0.0);
+        assert_eq!(t.overhead_fraction(), 0.0);
+        assert_eq!(t.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Replaying the factorization's task graph on virtual cores and ranks.
+//!
+//! This example shows the machinery behind the strong-scaling figures: the
+//! factorization records its task DAG, the scheduler simulator replays it on any
+//! number of virtual cores, and the distributed cost model extends that to the
+//! process-tree partitioning of the paper's Fig. 8.
+//!
+//! ```bash
+//! cargo run --release --example scaling_simulation
+//! ```
+
+use h2ulv::factor::dist::{estimate_distributed, DistConfig};
+use h2ulv::prelude::*;
+
+fn main() {
+    let n = 2048;
+    let points = uniform_cube(n, 3);
+    let kernel = LaplaceKernel::default();
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let opts = FactorOptions {
+        tol: 1e-6,
+        basis_mode: BasisMode::Sampled { max_samples: 384 },
+        ..FactorOptions::default()
+    };
+
+    let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
+    let dep = h2_ulv_dep(&kernel, &tree, &opts);
+
+    println!("task graph (no dependencies):   {} tasks, average parallelism {:.1}",
+        nodep.task_graph.len(),
+        nodep.task_graph.total_work() / nodep.task_graph.critical_path());
+    println!("task graph (with dependencies): {} tasks, average parallelism {:.1}",
+        dep.task_graph.len(),
+        dep.task_graph.total_work() / dep.task_graph.critical_path());
+
+    println!("\nshared-memory replay (virtual cores):");
+    println!("cores\tno-dep (s)\twith-dep (s)");
+    for &p in &[1usize, 4, 16, 64] {
+        let cfg = SimConfig {
+            workers: p,
+            flops_per_second: 4.0e9,
+            per_task_overhead: 0.0,
+            min_task_time: 0.0,
+        };
+        let t1 = simulate_schedule(&nodep.task_graph, &cfg).makespan;
+        let t2 = simulate_schedule(&dep.task_graph, &cfg).makespan;
+        println!("{p}\t{t1:.4}\t\t{t2:.4}");
+    }
+
+    println!("\ndistributed replay (process tree + allgather model):");
+    println!("ranks\ttime (s)\tcompute (s)\tcomm (s)");
+    for &ranks in &[16usize, 64, 256, 1024] {
+        let est = estimate_distributed(&nodep, ranks, &DistConfig::default());
+        println!(
+            "{ranks}\t{:.4}\t{:.4}\t\t{:.5}",
+            est.time_seconds, est.compute_seconds, est.comm_seconds
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration test: accuracy of every structured solver against the dense LU
+//! reference — the paper's accuracy methodology (§IV-A).
+
+use h2ulv::prelude::*;
+
+fn manufactured_problem(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+) -> (Vec<f64>, Vec<f64>, DenseReference) {
+    let n = tree.num_points();
+    let reference = DenseReference::build(kernel, tree);
+    let xtrue: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 9.0).collect();
+    let mut b = vec![0.0; n];
+    h2ulv::matrix::gemv(1.0, &reference.matrix, false, &xtrue, 0.0, &mut b);
+    (xtrue, b, reference)
+}
+
+#[test]
+fn h2_ulv_nodep_matches_dense_lu_on_laplace_cube() {
+    let n = 1000;
+    let points = uniform_cube(n, 5);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let (_xtrue, b, reference) = manufactured_problem(&kernel, &tree);
+    let xref = reference.solve(&b);
+    for &tol in &[1e-6, 1e-9] {
+        let factors = h2_ulv_nodep(
+            &kernel,
+            &tree,
+            &FactorOptions {
+                tol,
+                ..FactorOptions::default()
+            },
+        );
+        let x = factors.solve(&b);
+        let err = rel_l2_error(&x, &xref);
+        assert!(err < tol.sqrt() * 10.0, "tol {tol}: error vs dense LU {err}");
+    }
+}
+
+#[test]
+fn tighter_tolerance_gives_a_more_accurate_solution() {
+    let n = 800;
+    let points = uniform_cube(n, 11);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let (_xtrue, b, reference) = manufactured_problem(&kernel, &tree);
+    let xref = reference.solve(&b);
+    let mut errors = Vec::new();
+    for &tol in &[1e-3, 1e-6, 1e-9] {
+        let factors = h2_ulv_nodep(
+            &kernel,
+            &tree,
+            &FactorOptions {
+                tol,
+                ..FactorOptions::default()
+            },
+        );
+        let x = factors.solve(&b);
+        errors.push(rel_l2_error(&x, &xref));
+    }
+    assert!(
+        errors[2] < errors[0],
+        "error did not decrease with tolerance: {errors:?}"
+    );
+    assert!(errors[2] < 1e-4, "tight-tolerance error too large: {}", errors[2]);
+}
+
+#[test]
+fn yukawa_kernel_on_molecule_surface_is_solved_accurately() {
+    let points = molecule_surface(900, &MoleculeConfig::default());
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = YukawaKernel::default();
+    let (_xtrue, b, reference) = manufactured_problem(&kernel, &tree);
+    let xref = reference.solve(&b);
+    let factors = h2_ulv_nodep(
+        &kernel,
+        &tree,
+        &FactorOptions {
+            tol: 1e-8,
+            ..FactorOptions::default()
+        },
+    );
+    let x = factors.solve(&b);
+    let err = rel_l2_error(&x, &xref);
+    assert!(err < 1e-3, "Yukawa molecule solve error {err}");
+}
+
+#[test]
+fn lorapo_baseline_matches_dense_lu() {
+    let n = 800;
+    let points = uniform_cube(n, 3);
+    let tree = ClusterTree::build(&points, 128, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let (_xtrue, b, reference) = manufactured_problem(&kernel, &tree);
+    let xref = reference.solve(&b);
+    let blr = BlrLuFactors::factor(
+        &kernel,
+        &tree,
+        &BlrLuOptions {
+            tol: 1e-9,
+            max_rank: 64,
+            ..BlrLuOptions::default()
+        },
+    );
+    let x = blr.solve(&b);
+    let err = rel_l2_error(&x, &xref);
+    assert!(err < 1e-4, "BLR LU error vs dense {err}");
+}
+
+#[test]
+fn original_order_solve_round_trips_the_permutation() {
+    let n = 600;
+    let points = uniform_cube(n, 17);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+    let b = vec![1.0; n];
+    // Solve in original ordering and in tree ordering; results must agree after
+    // permutation.
+    let x_orig = factors.solve_original_order(&b);
+    let x_tree = factors.solve(&tree.permute_to_tree(&b));
+    let x_back = tree.permute_from_tree(&x_tree);
+    assert!(rel_l2_error(&x_orig, &x_back) < 1e-14);
+}

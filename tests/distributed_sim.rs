@@ -1,0 +1,75 @@
+//! Integration test of the distributed-memory substrate: the process-tree
+//! communication pattern of the paper (Fig. 8) exercised on real in-process ranks,
+//! plus the cost model used for the Fig. 16 reproduction.
+
+use h2ulv::factor::dist::{estimate_distributed, strong_scaling_sweep, DistConfig};
+use h2ulv::mpisim::{ProcessTree, Universe};
+use h2ulv::prelude::*;
+
+#[test]
+fn allgather_over_split_communicators_follows_the_process_tree() {
+    // 8 ranks, each owning one leaf value; merging up the process tree with split +
+    // allgather must give every rank the full set at the root, by pairs at level 2.
+    let results = Universe::run(8, |mut comm| {
+        let mine = vec![comm.rank() as f64];
+        // Level 2 -> 1: groups of 2.
+        let mut c2 = comm.split((comm.rank() / 2) as i64, comm.rank() as i64);
+        let pair: Vec<f64> = c2.allgather(1, &mine).into_iter().flatten().collect();
+        // Level 1 -> 0: groups of 4 (split the original communicator).
+        let mut c4 = comm.split((comm.rank() / 4) as i64, comm.rank() as i64);
+        let quad: Vec<f64> = c4.allgather(2, &pair).into_iter().flatten().collect();
+        (pair, quad)
+    });
+    for (rank, (pair, quad)) in results.into_iter().enumerate() {
+        let base = (rank / 2) * 2;
+        assert_eq!(pair, vec![base as f64, base as f64 + 1.0]);
+        assert_eq!(quad.len(), 8); // 4 ranks x 2 values each
+        let quad_base = (rank / 4) * 4;
+        let expect: Vec<f64> = (0..4).flat_map(|r| {
+            let b = (quad_base + r) / 2 * 2;
+            vec![b as f64, b as f64 + 1.0]
+        }).collect();
+        assert_eq!(quad, expect);
+    }
+}
+
+#[test]
+fn process_tree_partitioning_is_consistent_with_cluster_tree_depth() {
+    let pt = ProcessTree::new(16);
+    // A cluster tree deeper than the process tree: lower levels are grafted to ranks.
+    for level in 5..8 {
+        for idx in [0usize, 3, 7] {
+            let (lo, hi) = pt.owners(level, idx);
+            assert_eq!(hi, lo + 1, "grafted levels have a single owner");
+        }
+    }
+    // Upper levels are shared by whole rank groups.
+    let (lo, hi) = pt.owners(1, 0);
+    assert_eq!((lo, hi), (0, 8));
+}
+
+#[test]
+fn distributed_cost_model_scales_and_saturates() {
+    let points = uniform_cube(1024, 9);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let factors = h2_ulv_nodep(
+        &kernel,
+        &tree,
+        &FactorOptions {
+            tol: 1e-6,
+            ..FactorOptions::default()
+        },
+    );
+    let cfg = DistConfig::default();
+    let sweep = strong_scaling_sweep(&factors, &[1, 4, 16, 64, 256, 1024], &cfg);
+    // Time decreases (or at least does not blow up) with more ranks, then saturates at
+    // the redundantly-computed upper levels + communication.
+    assert!(sweep[1].time_seconds <= sweep[0].time_seconds * 1.01);
+    assert!(sweep[3].time_seconds <= sweep[0].time_seconds);
+    let e_big = estimate_distributed(&factors, 10240, &cfg);
+    assert!(e_big.time_seconds.is_finite());
+    assert!(e_big.comm_seconds >= 0.0);
+    // The single-rank estimate has no communication at all.
+    assert_eq!(sweep[0].comm_seconds, 0.0);
+}

@@ -1,0 +1,124 @@
+//! Integration test: the hierarchical matrix formats agree with each other and with
+//! the exact kernel matrix (matvec consistency, storage ordering of Table I).
+
+use h2ulv::prelude::*;
+
+fn exact_matvec(kernel: &dyn Kernel, tree: &ClusterTree, x: &[f64]) -> Vec<f64> {
+    let order = tree.perm.clone();
+    let a = kernel.assemble(&tree.points, &order, &order);
+    let mut y = vec![0.0; x.len()];
+    h2ulv::matrix::gemv(1.0, &a, false, x, 0.0, &mut y);
+    y
+}
+
+#[test]
+fn all_formats_reproduce_the_kernel_matvec() {
+    let n = 700;
+    let points = uniform_cube(n, 13);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0).collect();
+    let yref = exact_matvec(&kernel, &tree, &x);
+
+    let blr = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-7, 64);
+    let y_blr = blr.matvec(&x);
+    assert!(rel_l2_error(&y_blr, &yref) < 1e-4, "BLR matvec");
+
+    let blr2 = Blr2Matrix::build(
+        &kernel,
+        &tree,
+        &Admissibility::weak(),
+        1e-7,
+        None,
+        BasisMode::Exact,
+    );
+    let y_blr2 = blr2.matvec(&x);
+    assert!(rel_l2_error(&y_blr2, &yref) < 1e-4, "BLR2 matvec");
+
+    let h2 = H2Matrix::build(
+        &kernel,
+        &tree,
+        &Admissibility::strong(1.0),
+        &h2ulv::hmatrix::h2::H2Options {
+            tol: 1e-7,
+            ..Default::default()
+        },
+    );
+    let y_h2 = h2.matvec(&x);
+    assert!(rel_l2_error(&y_h2, &yref) < 1e-4, "H2 matvec");
+
+    let hss = H2Matrix::build(
+        &kernel,
+        &tree,
+        &Admissibility::weak(),
+        &h2ulv::hmatrix::h2::H2Options {
+            tol: 1e-7,
+            ..Default::default()
+        },
+    );
+    let y_hss = hss.matvec(&x);
+    assert!(rel_l2_error(&y_hss, &yref) < 1e-3, "HSS matvec");
+}
+
+#[test]
+fn storage_ordering_matches_table_one_expectations() {
+    // At a fixed tolerance on a 3-D geometry: dense > BLR >= H2 in storage, and the
+    // shared-basis formats are never larger than the dense matrix.
+    let n = 1024;
+    let points = uniform_cube(n, 29);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let tol = 1e-5;
+    let blr = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), tol, 50);
+    let h2 = H2Matrix::build(
+        &kernel,
+        &tree,
+        &Admissibility::strong(1.0),
+        &h2ulv::hmatrix::h2::H2Options {
+            tol,
+            ..Default::default()
+        },
+    );
+    let dense_words = n * n;
+    assert!(blr.storage() < dense_words);
+    assert!(h2.storage() < dense_words);
+    // The nested-basis strong-admissibility format is the most compact of the two on
+    // a volume point cloud at moderate accuracy.
+    assert!(
+        h2.storage() <= blr.storage() * 2,
+        "H2 storage {} should be comparable or better than BLR {}",
+        h2.storage(),
+        blr.storage()
+    );
+}
+
+#[test]
+fn h2_matrix_and_ulv_factorization_agree_on_the_same_operator() {
+    // The H2 format's matvec and the ULV factorization's solve must be mutually
+    // consistent: A * solve(A, b) ~ b.
+    let n = 600;
+    let points = uniform_cube(n, 31);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let h2 = H2Matrix::build(
+        &kernel,
+        &tree,
+        &Admissibility::strong(1.0),
+        &h2ulv::hmatrix::h2::H2Options {
+            tol: 1e-8,
+            ..Default::default()
+        },
+    );
+    let factors = h2_ulv_nodep(
+        &kernel,
+        &tree,
+        &FactorOptions {
+            tol: 1e-8,
+            ..FactorOptions::default()
+        },
+    );
+    let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) / 3.0).collect();
+    let x = factors.solve(&b);
+    let ax = h2.matvec(&x);
+    assert!(rel_l2_error(&ax, &b) < 1e-4);
+}

@@ -1,0 +1,159 @@
+//! Integration + property tests of the runtime substrate: the recorded factorization
+//! task graphs, the scheduler simulator and the work-stealing executor.
+
+use h2ulv::prelude::*;
+use h2ulv::runtime::{DagExecutor, TaskKind};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn factorization_task_graphs_have_the_claimed_parallelism_gap() {
+    let points = uniform_cube(1024, 21);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let opts = FactorOptions {
+        tol: 1e-6,
+        ..FactorOptions::default()
+    };
+    let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
+    let dep = h2_ulv_dep(&kernel, &tree, &opts);
+    let lorapo = h2ulv::lorapo::build_blr_lu_dag(16, 64, 32);
+
+    let par = |g: &TaskGraph| g.total_work() / g.critical_path().max(1.0);
+    assert!(
+        par(&nodep.task_graph) > par(&dep.task_graph),
+        "dependency-free graph must expose more parallelism"
+    );
+    // The LORAPO DAG's first wave is a single GETRF; the dependency-free H2-ULV starts
+    // with one independent task per block row/column.
+    assert_eq!(lorapo.num_roots(), 1);
+    assert!(nodep.task_graph.num_roots() >= tree.num_leaves());
+}
+
+#[test]
+fn simulated_scaling_shows_the_figure_11_mechanisms() {
+    // Two mechanisms drive the paper's Fig. 11: (a) removing the trailing dependency
+    // increases the achievable speedup of the H2-ULV factorization, and (b) the
+    // runtime's per-task overhead inflates the baseline's makespan, the more so the
+    // smaller its tasks are (Fig. 13).  Both must be visible in the simulator.
+    let points = uniform_cube(1024, 23);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let opts = FactorOptions {
+        tol: 1e-6,
+        ..FactorOptions::default()
+    };
+    let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
+    let dep = h2_ulv_dep(&kernel, &tree, &opts);
+
+    let time = |g: &TaskGraph, p: usize, overhead: f64| {
+        simulate_schedule(
+            g,
+            &SimConfig {
+                workers: p,
+                flops_per_second: 4.0e9,
+                per_task_overhead: overhead,
+                min_task_time: 0.0,
+            },
+        )
+        .makespan
+    };
+    // (a) the dependency-free variant scales at least as well as the serialized one.
+    let nodep_speedup = time(&nodep.task_graph, 1, 0.0) / time(&nodep.task_graph, 64, 0.0);
+    let dep_speedup = time(&dep.task_graph, 1, 0.0) / time(&dep.task_graph, 64, 0.0);
+    assert!(
+        nodep_speedup > dep_speedup,
+        "no-dep {nodep_speedup:.1}x must beat with-dep {dep_speedup:.1}x"
+    );
+    // (b) runtime overhead hurts the baseline, and hurts small tiles more than big ones.
+    let lorapo_small = h2ulv::lorapo::build_blr_lu_dag(32, 32, 16);
+    let lorapo_big = h2ulv::lorapo::build_blr_lu_dag(4, 256, 16);
+    let slowdown_small = time(&lorapo_small, 64, 2e-4) / time(&lorapo_small, 64, 0.0);
+    let slowdown_big = time(&lorapo_big, 64, 2e-4) / time(&lorapo_big, 64, 0.0);
+    assert!(slowdown_small > 1.5, "overhead must be visible: {slowdown_small:.2}");
+    assert!(
+        slowdown_small > slowdown_big,
+        "small tiles must suffer more from overhead ({slowdown_small:.2} vs {slowdown_big:.2})"
+    );
+}
+
+#[test]
+fn dag_executor_runs_a_recorded_graph_with_real_closures() {
+    // Execute a small synthetic level-structured graph and verify ordering.
+    let mut g = TaskGraph::new();
+    let leaves: Vec<_> = (0..6).map(|_| g.add_task(TaskKind::Factor, 1.0, &[])).collect();
+    let merge = g.add_task(TaskKind::Other, 1.0, &leaves);
+    let _root = g.add_task(TaskKind::Factor, 1.0, &[merge]);
+    let counter = Arc::new(AtomicUsize::new(0));
+    let order = Arc::new(parking_lot_stub::Mutex::new(Vec::new()));
+    let actions: Vec<Option<Box<dyn FnOnce() + Send>>> = (0..g.len())
+        .map(|i| {
+            let c = Arc::clone(&counter);
+            let o = Arc::clone(&order);
+            Some(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+                o.lock().push(i);
+            }) as Box<dyn FnOnce() + Send>)
+        })
+        .collect();
+    let exec = DagExecutor::new(4);
+    let done = exec.execute(&g, actions);
+    assert_eq!(done.len(), 8);
+    assert_eq!(counter.load(Ordering::SeqCst), 8);
+    let seq = order.lock().clone();
+    let pos = |x: usize| seq.iter().position(|&v| v == x).unwrap();
+    for l in 0..6 {
+        assert!(pos(l) < pos(6), "leaf {l} must finish before the merge");
+    }
+    assert!(pos(6) < pos(7), "merge before root");
+}
+
+/// Tiny mutex shim so the test does not need a direct parking_lot dependency.
+mod parking_lot_stub {
+    pub use std::sync::Mutex as StdMutex;
+    pub struct Mutex<T>(StdMutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(StdMutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The simulator never beats the two lower bounds (critical path, work / P) and
+    /// never exceeds the serial time, for random layered DAGs.
+    #[test]
+    fn simulated_makespan_respects_bounds(
+        widths in proptest::collection::vec(1usize..6, 1..5),
+        workers in 1usize..9,
+    ) {
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<_> = Vec::new();
+        for (li, &w) in widths.iter().enumerate() {
+            let mut current = Vec::new();
+            for t in 0..w {
+                let cost = 1.0 + ((li * 7 + t * 3) % 5) as f64;
+                let id = g.add_task(TaskKind::Update, cost, &prev);
+                current.push(id);
+            }
+            prev = current;
+        }
+        let res = simulate_schedule(&g, &SimConfig {
+            workers,
+            flops_per_second: 1.0,
+            per_task_overhead: 0.0,
+            min_task_time: 0.0,
+        });
+        let work = g.total_work();
+        let cp = g.critical_path();
+        prop_assert!(res.makespan + 1e-6 >= cp);
+        prop_assert!(res.makespan + 1e-6 >= work / workers as f64);
+        prop_assert!(res.makespan <= work + 1e-6);
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration + property-based tests of the full pipeline
+//! (geometry → clustering → compression → factorization → solve).
+
+use h2ulv::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn pipeline_works_for_every_partition_strategy() {
+    let n = 640;
+    let points = uniform_cube(n, 2);
+    let kernel = LaplaceKernel::default();
+    for strategy in [
+        PartitionStrategy::KMeans,
+        PartitionStrategy::CoordinateBisection,
+        PartitionStrategy::Morton,
+    ] {
+        let tree = ClusterTree::build(&points, 64, strategy, 0);
+        let factors = h2_ulv_nodep(
+            &kernel,
+            &tree,
+            &FactorOptions {
+                tol: 1e-7,
+                ..FactorOptions::default()
+            },
+        );
+        let b = vec![1.0; n];
+        let bt = tree.permute_to_tree(&b);
+        let x = factors.solve(&bt);
+        let resid = factors.residual_with(&kernel, &bt, &x);
+        assert!(resid < 1e-4, "{strategy:?}: residual {resid}");
+    }
+}
+
+#[test]
+fn pipeline_works_for_single_leaf_and_two_leaf_trees() {
+    // Degenerate trees: the solver must fall back to (mostly) dense behaviour.
+    let kernel = LaplaceKernel::default();
+    for &n in &[40usize, 140] {
+        let points = uniform_cube(n, 4);
+        let tree = ClusterTree::build(&points, 100, PartitionStrategy::KMeans, 0);
+        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+        let b = vec![1.0; n];
+        let bt = tree.permute_to_tree(&b);
+        let x = factors.solve(&bt);
+        let resid = factors.residual_with(&kernel, &bt, &x);
+        assert!(resid < 1e-6, "n = {n}: residual {resid}");
+    }
+}
+
+#[test]
+fn factor_stats_are_populated() {
+    let points = uniform_cube(512, 6);
+    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+    let s = &factors.stats;
+    assert!(s.factorization_flops > 0);
+    assert!(s.construction_flops > 0);
+    assert!(s.max_rank > 0);
+    assert!(s.memory_words > 0);
+    assert_eq!(s.level_ranks.len(), factors.levels.len());
+    assert!(s.root_dim > 0);
+    assert!(!factors.task_graph.is_empty());
+    // At this tiny size (8 leaves) compression is marginal, but the factor storage
+    // must stay within a small constant of the dense matrix; the asymptotic O(N)
+    // behaviour is exercised by the Table I / Fig. 9 benchmarks instead.
+    assert!(s.memory_words < 512 * 512 * 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random problem sizes, leaf sizes and right-hand sides, the structured solve
+    /// agrees with the dense solve to a tolerance-controlled error.
+    #[test]
+    fn random_problems_solve_close_to_dense(
+        n in 150usize..450,
+        leaf in 32usize..96,
+        seed in 0u64..1000,
+        scale in 0.1f64..10.0,
+    ) {
+        let points = uniform_cube(n, seed);
+        let tree = ClusterTree::build(&points, leaf, PartitionStrategy::KMeans, seed);
+        let kernel = LaplaceKernel::default();
+        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions { tol: 1e-8, ..FactorOptions::default() });
+        let b: Vec<f64> = (0..n).map(|i| scale * (((i as u64 * 2654435761 + seed) % 1000) as f64 / 500.0 - 1.0)).collect();
+        let bt = tree.permute_to_tree(&b);
+        let x = factors.solve(&bt);
+        let xref = dense_solve(&kernel, &tree, &bt);
+        let err = rel_l2_error(&x, &xref);
+        prop_assert!(err < 1e-4, "error vs dense {}", err);
+    }
+
+    /// The solve is linear: solve(alpha * b) == alpha * solve(b).
+    #[test]
+    fn solve_is_linear_in_the_rhs(alpha in -5.0f64..5.0, seed in 0u64..100) {
+        let n = 300;
+        let points = uniform_cube(n, seed);
+        let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+        let kernel = LaplaceKernel::default();
+        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+        let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
+        let x1 = factors.solve(&b);
+        let b2: Vec<f64> = b.iter().map(|v| alpha * v).collect();
+        let x2 = factors.solve(&b2);
+        for (a, b) in x1.iter().zip(&x2) {
+            prop_assert!((alpha * a - b).abs() <= 1e-9 * (1.0 + a.abs() * alpha.abs()));
+        }
+    }
+}
