@@ -23,8 +23,14 @@ fn bench_compression(c: &mut Criterion) {
         b.iter(|| compress_block(&block, 1e-6, None))
     });
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let lr1 = LowRank::new(Matrix::random(256, 20, &mut rng), Matrix::random(256, 20, &mut rng));
-    let lr2 = LowRank::new(Matrix::random(256, 20, &mut rng), Matrix::random(256, 20, &mut rng));
+    let lr1 = LowRank::new(
+        Matrix::random(256, 20, &mut rng),
+        Matrix::random(256, 20, &mut rng),
+    );
+    let lr2 = LowRank::new(
+        Matrix::random(256, 20, &mut rng),
+        Matrix::random(256, 20, &mut rng),
+    );
     group.bench_function("add_round_rank20", |b| {
         b.iter(|| round_lowrank(&add_lowrank(&lr1, &lr2), 1e-8, None))
     });

@@ -22,7 +22,8 @@ fn bench_factorization(c: &mut Criterion) {
     });
     group.bench_function("lorapo_blr_lu_tol1e-6", |b| {
         b.iter(|| {
-            let blr = BlrMatrix::build(kernel.as_ref(), &blr_tree, &Admissibility::weak(), 1e-6, 50);
+            let blr =
+                BlrMatrix::build(kernel.as_ref(), &blr_tree, &Admissibility::weak(), 1e-6, 50);
             BlrLuFactors::factor_blr(
                 blr,
                 &BlrLuOptions {

@@ -22,7 +22,10 @@ fn main() {
     let dep = h2_ulv_dep(kernel.as_ref(), &tree, &opts);
 
     println!("=== Ablation: trailing dependencies, N = {n} ===");
-    for (name, f) in [("no dependencies (paper)", &nodep), ("with dependencies (II-D)", &dep)] {
+    for (name, f) in [
+        ("no dependencies (paper)", &nodep),
+        ("with dependencies (II-D)", &dep),
+    ] {
         let g = &f.task_graph;
         println!(
             "{name:28} tasks = {:5}  total work = {:.3e}  critical path = {:.3e}  avg parallelism = {:.1}",
@@ -53,7 +56,12 @@ fn main() {
     }
     print_table(
         "simulated strong scaling of the two variants",
-        &["cores", "no-dep time (s)", "with-dep time (s)", "with-dep / no-dep"],
+        &[
+            "cores",
+            "no-dep time (s)",
+            "with-dep time (s)",
+            "with-dep / no-dep",
+        ],
         &rows,
     );
 }

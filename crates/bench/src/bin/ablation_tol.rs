@@ -49,7 +49,14 @@ fn main() {
     }
     print_table(
         &format!("Ablation: tolerance sweep, Laplace cube, N = {n}"),
-        &["tol", "basis", "residual", "max rank", "factor (s)", "construct (s)"],
+        &[
+            "tol",
+            "basis",
+            "residual",
+            "max rank",
+            "factor (s)",
+            "construct (s)",
+        ],
         &rows,
     );
 }

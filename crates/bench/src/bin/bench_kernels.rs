@@ -1,0 +1,243 @@
+//! Dense-kernel throughput sweep: GEMM / QR / pivoted QR / LU / Cholesky.
+//!
+//! Measures GFLOP/s of the packed microkernel stack against the seed (simple
+//! blocked loop) GEMM, across sizes and thread counts, and writes the results
+//! to `BENCH_kernels.json` so the performance trajectory of the repository is
+//! machine-readable from PR to PR.
+//!
+//! Usage:
+//! ```text
+//! RAYON_NUM_THREADS=4 cargo run --release -p h2_bench --bin bench_kernels [out.json]
+//! ```
+//! Thread counts beyond the host's cores are still measured (the kernel is
+//! bitwise deterministic at any thread count) but cannot show real scaling;
+//! `host.available_cores` in the JSON records what the machine could do.
+
+use h2_matrix::{
+    cholesky_factor, gemm_seed, householder_qr, lu_factor, matmul, pivoted_qr, Matrix,
+};
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-reps wall time of `f`, with one warmup call.  Minimum time is the
+/// standard throughput estimator on shared machines: every other sample is
+/// the same computation plus scheduling noise.
+fn time_seconds(mut f: impl FnMut(), reps: usize) -> f64 {
+    f();
+    (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn spd(n: usize, rng: &mut impl rand::Rng) -> Matrix {
+    let b = Matrix::random(n, n, rng);
+    let mut a = h2_matrix::gemm::matmul_nt(&b, &b);
+    for i in 0..n {
+        let v = a.get(i, i);
+        a.set(i, i, v + n as f64);
+    }
+    a
+}
+
+struct GemmRow {
+    n: usize,
+    seed_gflops: f64,
+    packed: Vec<(usize, f64)>, // (threads, gflops)
+}
+
+struct FactorRow {
+    n: usize,
+    gflops: f64,
+    seconds: f64,
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20260729);
+    let reps = 7;
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rayon_threads = rayon::current_num_threads();
+    let thread_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= rayon_threads)
+        .collect();
+
+    println!("bench_kernels: cores={available}, rayon threads={rayon_threads}, sweeping {thread_counts:?}");
+
+    // ------------------------------------------------------------------ GEMM
+    let mut gemm_rows = Vec::new();
+    for &n in &[128usize, 256, 512, 1024] {
+        let a = Matrix::random(n, n, &mut rng);
+        let b = Matrix::random(n, n, &mut rng);
+        let gflop = 2.0 * (n as f64).powi(3) / 1e9;
+        let seed_t = time_seconds(
+            || {
+                std::hint::black_box(gemm_seed(&a, &b));
+            },
+            reps,
+        );
+        let mut packed = Vec::new();
+        for &t in &thread_counts {
+            h2_matrix::kernel::set_thread_cap(t);
+            let pt = time_seconds(
+                || {
+                    std::hint::black_box(matmul(&a, &b));
+                },
+                reps,
+            );
+            packed.push((t, gflop / pt));
+        }
+        h2_matrix::kernel::set_thread_cap(0);
+        let row = GemmRow {
+            n,
+            seed_gflops: gflop / seed_t,
+            packed,
+        };
+        let p1 = row.packed.first().map(|&(_, g)| g).unwrap_or(f64::NAN);
+        println!(
+            "gemm n={n}: seed {:.2} GF/s, packed(1t) {:.2} GF/s ({:.1}x){}",
+            row.seed_gflops,
+            p1,
+            p1 / row.seed_gflops,
+            row.packed
+                .iter()
+                .skip(1)
+                .fold(String::new(), |mut s, &(t, g)| {
+                    let _ = write!(s, ", {t}t {g:.2}");
+                    s
+                }),
+        );
+        gemm_rows.push(row);
+    }
+
+    // ------------------------------------------------- one-shot factorizations
+    let factor = |name: &str,
+                  sizes: &[usize],
+                  flops: &dyn Fn(f64) -> f64,
+                  run: &mut dyn FnMut(usize, &mut rand::rngs::StdRng)| {
+        let mut rows = Vec::new();
+        let mut local_rng = rand::rngs::StdRng::seed_from_u64(7 + name.len() as u64);
+        for &n in sizes {
+            let secs = {
+                let mut f = || run(n, &mut local_rng);
+                time_seconds(&mut f, reps)
+            };
+            let gf = flops(n as f64) / 1e9 / secs;
+            println!("{name} n={n}: {gf:.2} GF/s ({secs:.4}s)");
+            rows.push(FactorRow {
+                n,
+                gflops: gf,
+                seconds: secs,
+            });
+        }
+        rows
+    };
+
+    let sizes = [128usize, 256, 512];
+    let mut qr_in: Vec<Matrix> = Vec::new();
+    let mut lu_in: Vec<Matrix> = Vec::new();
+    let mut chol_in: Vec<Matrix> = Vec::new();
+    for &n in &sizes {
+        qr_in.push(Matrix::random(n, n, &mut rng));
+        lu_in.push(spd(n, &mut rng));
+        chol_in.push(spd(n, &mut rng));
+    }
+    fn pick(set: &[Matrix], n: usize) -> &Matrix {
+        set.iter().find(|m| m.rows() == n).unwrap()
+    }
+
+    let qr_rows = factor("qr", &sizes, &|n| 4.0 / 3.0 * n * n * n, &mut |n, _| {
+        std::hint::black_box(householder_qr(pick(&qr_in, n)));
+    });
+    let pqr_rows = factor(
+        "pivoted_qr",
+        &sizes,
+        &|n| 4.0 / 3.0 * n * n * n,
+        &mut |n, _| {
+            std::hint::black_box(pivoted_qr(pick(&qr_in, n)));
+        },
+    );
+    let lu_rows = factor("lu", &sizes, &|n| 2.0 / 3.0 * n * n * n, &mut |n, _| {
+        std::hint::black_box(lu_factor(pick(&lu_in, n)).unwrap());
+    });
+    let chol_rows = factor(
+        "cholesky",
+        &sizes,
+        &|n| 1.0 / 3.0 * n * n * n,
+        &mut |n, _| {
+            std::hint::black_box(cholesky_factor(pick(&chol_in, n)).unwrap());
+        },
+    );
+
+    // ------------------------------------------------------------------ JSON
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(
+        j,
+        "  \"host\": {{\"available_cores\": {available}, \"rayon_threads\": {rayon_threads}}},"
+    );
+    let _ = writeln!(j, "  \"units\": \"gflops\",");
+    j.push_str("  \"gemm\": [\n");
+    for (i, r) in gemm_rows.iter().enumerate() {
+        let packed: Vec<String> = r
+            .packed
+            .iter()
+            .map(|&(t, g)| format!("{{\"threads\": {t}, \"gflops\": {}}}", json_f(g)))
+            .collect();
+        let speedup = r
+            .packed
+            .first()
+            .map(|&(_, g)| g / r.seed_gflops)
+            .unwrap_or(f64::NAN);
+        let _ = write!(
+            j,
+            "    {{\"n\": {}, \"seed_gflops\": {}, \"packed\": [{}], \"speedup_1t\": {}}}",
+            r.n,
+            json_f(r.seed_gflops),
+            packed.join(", "),
+            json_f(speedup)
+        );
+        j.push_str(if i + 1 < gemm_rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    for (name, rows, last) in [
+        ("qr", &qr_rows, false),
+        ("pivoted_qr", &pqr_rows, false),
+        ("lu", &lu_rows, false),
+        ("cholesky", &chol_rows, true),
+    ] {
+        let _ = writeln!(j, "  \"{name}\": [");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                j,
+                "    {{\"n\": {}, \"gflops\": {}, \"seconds\": {}}}",
+                r.n,
+                json_f(r.gflops),
+                json_f(r.seconds)
+            );
+            j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        j.push_str(if last { "  ]\n" } else { "  ],\n" });
+    }
+    j.push_str("}\n");
+    std::fs::write(&out_path, &j).expect("bench_kernels: cannot write output JSON");
+    println!("bench_kernels: wrote {out_path}");
+}

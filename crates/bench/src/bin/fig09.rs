@@ -28,8 +28,13 @@ fn main() {
                 format!("{:.3}", baseline.factor_seconds),
                 format!("{}", ours.max_rank),
                 format!("{}", baseline.max_rank),
-                ours.residual.map(|r| format!("{r:.2e}")).unwrap_or_else(|| "-".into()),
-                baseline.residual.map(|r| format!("{r:.2e}")).unwrap_or_else(|| "-".into()),
+                ours.residual
+                    .map(|r| format!("{r:.2e}"))
+                    .unwrap_or_else(|| "-".into()),
+                baseline
+                    .residual
+                    .map(|r| format!("{r:.2e}"))
+                    .unwrap_or_else(|| "-".into()),
             ]);
         }
         print_table(

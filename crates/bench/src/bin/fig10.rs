@@ -25,7 +25,10 @@ fn main() {
             n.to_string(),
             format!("{:.3e}", ours.factor_flops as f64),
             format!("{:.3e}", baseline.factor_flops as f64),
-            format!("{:.2}", ours.factor_flops as f64 / baseline.factor_flops.max(1) as f64),
+            format!(
+                "{:.2}",
+                ours.factor_flops as f64 / baseline.factor_flops.max(1) as f64
+            ),
         ]);
     }
     print_table(

@@ -17,7 +17,12 @@ fn main() {
     let sizes = [scale.scaling_size() / 2, scale.scaling_size()];
     for &n in &sizes {
         let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6);
-        let (_, _baseline) = run_lorapo(Workload::LaplaceCube, n.min(2048), scale.blr_leaf_size(), 1e-8);
+        let (_, _baseline) = run_lorapo(
+            Workload::LaplaceCube,
+            n.min(2048),
+            scale.blr_leaf_size(),
+            1e-8,
+        );
         // LORAPO's DAG for the full problem size (built analytically from tile counts so
         // the DAG covers the same N even when the measured run used a smaller instance).
         let tiles = (n / scale.blr_leaf_size()).max(2);
@@ -53,7 +58,13 @@ fn main() {
         }
         print_table(
             &format!("Fig. 11: simulated strong scaling, N = {n}"),
-            &["cores", "OURS time (s)", "LORAPO time (s)", "OURS eff", "LORAPO eff"],
+            &[
+                "cores",
+                "OURS time (s)",
+                "LORAPO time (s)",
+                "OURS eff",
+                "LORAPO eff",
+            ],
             &rows,
         );
     }

@@ -37,7 +37,10 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (name, res) in [("LORAPO + runtime", &lorapo_res), ("OURS (no runtime)", &ours_res)] {
+    for (name, res) in [
+        ("LORAPO + runtime", &lorapo_res),
+        ("OURS (no runtime)", &ours_res),
+    ] {
         rows.push(vec![
             name.to_string(),
             format!("{:.4}", res.makespan),
@@ -48,7 +51,13 @@ fn main() {
     }
     print_table(
         &format!("Fig. 13: trace summary, N = {n}, {cores} simulated cores"),
-        &["run", "makespan (s)", "overhead fraction", "utilization", "trace events"],
+        &[
+            "run",
+            "makespan (s)",
+            "overhead fraction",
+            "utilization",
+            "trace events",
+        ],
         &rows,
     );
     println!("\nLORAPO per-kind busy time:");

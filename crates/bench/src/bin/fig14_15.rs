@@ -38,7 +38,11 @@ fn main() {
     let crowded = crowded_scene(8000, 64, &cfg);
     let mut rows = Vec::new();
     describe("single molecule (Fig. 14 stand-in)", &single, &mut rows);
-    describe("crowded 64-molecule scene (Fig. 15 stand-in)", &crowded, &mut rows);
+    describe(
+        "crowded 64-molecule scene (Fig. 15 stand-in)",
+        &crowded,
+        &mut rows,
+    );
     print_table(
         "Figs. 14-15: synthetic molecular-surface geometries",
         &[

@@ -51,7 +51,12 @@ fn main() {
         }
         print_table(
             &format!("Fig. 16: modelled distributed strong scaling, Yukawa molecule, N = {n}"),
-            &["ranks", "OURS time (s)", "LORAPO time (s)", "speedup OURS vs LORAPO"],
+            &[
+                "ranks",
+                "OURS time (s)",
+                "LORAPO time (s)",
+                "speedup OURS vs LORAPO",
+            ],
             &rows,
         );
     }

@@ -36,7 +36,11 @@ fn main() {
             min_task_time: 0.0,
         },
     );
-    println!("fig11: OURS simulated on 16 cores: {:.4}s (efficiency {:.2})", sim.makespan, sim.efficiency(16));
+    println!(
+        "fig11: OURS simulated on 16 cores: {:.4}s (efficiency {:.2})",
+        sim.makespan,
+        sim.efficiency(16)
+    );
 
     let dist = estimate_distributed(&ours_factors, 64, &DistConfig::default());
     println!(

@@ -75,14 +75,23 @@ fn main() {
     for (name, storage, flops) in &per_format {
         rows.push(vec![
             name.to_string(),
-            storage.iter().map(|v| format!("{v:.2e}")).collect::<Vec<_>>().join(" / "),
+            storage
+                .iter()
+                .map(|v| format!("{v:.2e}"))
+                .collect::<Vec<_>>()
+                .join(" / "),
             format!("N^{:.2}", fit_exponent(&ns, storage)),
             format!("N^{:.2}", fit_exponent(&ns, flops)),
         ]);
     }
     print_table(
         &format!("Table I (empirical): storage and factorization complexity, N = {sizes:?}"),
-        &["format", "storage (words)", "storage exponent", "factor-flops exponent"],
+        &[
+            "format",
+            "storage (words)",
+            "storage exponent",
+            "factor-flops exponent",
+        ],
         &rows,
     );
     println!(

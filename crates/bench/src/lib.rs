@@ -182,7 +182,12 @@ pub fn run_h2ulv(workload: Workload, n: usize, leaf: usize, tol: f64) -> (RunRes
 }
 
 /// Run the LORAPO-style BLR baseline on a workload.
-pub fn run_lorapo(workload: Workload, n: usize, leaf: usize, tol: f64) -> (RunResult, BlrLuFactors) {
+pub fn run_lorapo(
+    workload: Workload,
+    n: usize,
+    leaf: usize,
+    tol: f64,
+) -> (RunResult, BlrLuFactors) {
     let points = build_points(workload, n, 20 + n as u64);
     let n = points.len();
     let kernel = build_kernel(workload);
@@ -193,7 +198,13 @@ pub fn run_lorapo(workload: Workload, n: usize, leaf: usize, tol: f64) -> (RunRe
         admissibility: Admissibility::weak(),
     };
     let t0 = Instant::now();
-    let blr = h2_hmatrix::BlrMatrix::build(kernel.as_ref(), &tree, &opts.admissibility, opts.tol, opts.max_rank);
+    let blr = h2_hmatrix::BlrMatrix::build(
+        kernel.as_ref(),
+        &tree,
+        &opts.admissibility,
+        opts.tol,
+        opts.max_rank,
+    );
     let construction_seconds = t0.elapsed().as_secs_f64();
     let factors = BlrLuFactors::factor_blr(blr, &opts);
     let residual = if n <= 3000 {

@@ -82,7 +82,9 @@ pub fn estimate_distributed(factors: &UlvFactors, ranks: usize, cfg: &DistConfig
                 let r = c.redundant as f64;
                 let a = c.active as f64;
                 let nn = lf.neighbours[k].len() as f64 + 1.0;
-                (2.0 / 3.0) * r * r * r + 2.0 * nn * r * r * a + nn * nn * 2.0 * (a - r) * (a - r) * r
+                (2.0 / 3.0) * r * r * r
+                    + 2.0 * nn * r * r * a
+                    + nn * nn * 2.0 * (a - r) * (a - r) * r
                     + 2.0 * nn * 2.0 * a * a * a
             })
             .collect();
@@ -104,7 +106,8 @@ pub fn estimate_distributed(factors: &UlvFactors, ranks: usize, cfg: &DistConfig
             }
             per_rank
         };
-        let level_compute = owners_per_rank.iter().cloned().fold(0.0, f64::max) / cfg.flops_per_second;
+        let level_compute =
+            owners_per_rank.iter().cloned().fold(0.0, f64::max) / cfg.flops_per_second;
         compute += level_compute;
 
         // Communication: when the factorization crosses from `level` to `level - 1`,
@@ -115,11 +118,7 @@ pub fn estimate_distributed(factors: &UlvFactors, ranks: usize, cfg: &DistConfig
             // Skeleton data a group contributes: its clusters' skeleton rows times the
             // average skeleton width (dense neighbour + coupling blocks).
             let skeleton_total: usize = lf.clusters.iter().map(|c| c.skeleton).sum();
-            let avg_neighbours = (lf
-                .neighbours
-                .iter()
-                .map(|l| l.len())
-                .sum::<usize>() as f64
+            let avg_neighbours = (lf.neighbours.iter().map(|l| l.len()).sum::<usize>() as f64
                 / nb.max(1) as f64)
                 .max(1.0);
             let avg_k = skeleton_total as f64 / nb.max(1) as f64;

@@ -89,10 +89,19 @@ pub fn precompute_fillins(
                         Some(c) => {
                             // Row-space sample for the column basis of j and
                             // column-space sample for the row basis of i.
-                            let omega_r = gaussian_like(wj.cols(), c.min(wj.cols()), (k * 31 + i * 7 + j) as u64);
+                            let omega_r = gaussian_like(
+                                wj.cols(),
+                                c.min(wj.cols()),
+                                (k * 31 + i * 7 + j) as u64,
+                            );
                             let col_sample = matmul(zi, &matmul(wj, &omega_r));
-                            let omega_l = gaussian_like(zi.rows(), c.min(zi.rows()), (k * 17 + i * 3 + j) as u64);
-                            let row_sample = matmul(&wj.transpose(), &matmul(&zi.transpose(), &omega_l));
+                            let omega_l = gaussian_like(
+                                zi.rows(),
+                                c.min(zi.rows()),
+                                (k * 17 + i * 3 + j) as u64,
+                            );
+                            let row_sample =
+                                matmul(&wj.transpose(), &matmul(&zi.transpose(), &omega_l));
                             fills.push((*i, *j, col_sample, row_sample));
                         }
                     }
@@ -138,7 +147,10 @@ pub fn precompute_fillins(
             }
         }
     }
-    let mut out = FillIns { count, ..FillIns::default() };
+    let mut out = FillIns {
+        count,
+        ..FillIns::default()
+    };
     for ((i, _j), f) in row_acc {
         out.row_fills.entry(i).or_default().push(f);
     }
@@ -153,7 +165,9 @@ fn gaussian_like(rows: usize, cols: usize, seed: u64) -> Matrix {
     use rand::Rng;
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xa5a5_5a5a_1234_5678);
-    Matrix::from_fn(rows, cols, |_, _| (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>())
+    Matrix::from_fn(rows, cols, |_, _| {
+        (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>()
+    })
 }
 
 impl FillIns {
@@ -223,7 +237,10 @@ mod tests {
         // Find that fill among row 0's fills: one of them must match.
         let row0 = fills.row_fills.get(&0).expect("row 0 must have fills");
         let found = row0.iter().any(|f| rel_fro_error(f, &expect) < 1e-10);
-        assert!(found, "exact fill-in D_01 D_11^-1 D_12 not found among row 0 fills");
+        assert!(
+            found,
+            "exact fill-in D_01 D_11^-1 D_12 not found among row 0 fills"
+        );
         assert!(fills.count > 0);
         // Column fills mirror the row fills (one accumulated block per target pair),
         // and accumulation can only reduce the number of stored blocks.

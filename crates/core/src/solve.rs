@@ -27,7 +27,11 @@ impl UlvFactors {
     /// [`h2_geometry::ClusterTree::permute_to_tree`] to convert from the original
     /// point ordering).  Returns `x` in tree ordering.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.tree.num_points(), "solve: rhs length mismatch");
+        assert_eq!(
+            b.len(),
+            self.tree.num_points(),
+            "solve: rhs length mismatch"
+        );
         // Degenerate dense case.
         if self.levels.is_empty() {
             return lu_solve(&self.root_lu, b);
@@ -69,7 +73,10 @@ impl UlvFactors {
                         }
                     }
                 }
-                z_r[k] = c.lu.as_ref().expect("redundant block without LU").forward(&t);
+                z_r[k] =
+                    c.lu.as_ref()
+                        .expect("redundant block without LU")
+                        .forward(&t);
             }
             // Skeleton residuals.
             let mut z_s = b_s;
@@ -151,7 +158,10 @@ impl UlvFactors {
                         sub_matvec(&mut t, m, &y_s[j]);
                     }
                 }
-                y_r[k] = c.lu.as_ref().expect("redundant block without LU").backward(&t);
+                y_r[k] =
+                    c.lu.as_ref()
+                        .expect("redundant block without LU")
+                        .backward(&t);
             }
             // Transform back with the column bases: x_i = P_i [y_R; y_S].
             let x_level: Vec<Vec<f64>> = (0..nb)

@@ -164,7 +164,10 @@ mod tests {
         // levels plus the root cost.
         let cp = g.critical_path();
         assert!(cp > 0.0);
-        assert!(g.num_roots() >= 4, "first-level basis tasks are independent roots");
+        assert!(
+            g.num_roots() >= 4,
+            "first-level basis tasks are independent roots"
+        );
     }
 
     #[test]

@@ -27,9 +27,7 @@ use std::time::Instant;
 use h2_geometry::{ClusterTree, Kernel};
 use h2_hmatrix::basis::far_field_matrix;
 use h2_hmatrix::{BlockPartition, BlockType};
-use h2_matrix::{
-    flop_count, lu_factor, matmul, matmul_tn, pivoted_qr, Lu, Matrix,
-};
+use h2_matrix::{flop_count, lu_factor, matmul, matmul_tn, pivoted_qr, Lu, Matrix};
 use rayon::prelude::*;
 
 use crate::fillin::{precompute_fillins, FillIns};
@@ -209,8 +207,9 @@ impl UlvFactorization {
         };
 
         for level in (last_level..=depth).rev() {
-            let (lf, next_state) =
-                Self::process_level(kernel, tree, &partition, opts, level, state, &mut stats, &mut tg);
+            let (lf, next_state) = Self::process_level(
+                kernel, tree, &partition, opts, level, state, &mut stats, &mut tg,
+            );
             levels.push(lf);
             state = next_state;
         }
@@ -298,9 +297,7 @@ impl UlvFactorization {
         // ------------------------------------------------------------------ fill-ins
         let tcon = Instant::now();
         let fcon = flop_count();
-        let fills: FillIns = if opts.fillin_enrichment
-            && neighbours.iter().any(|l| !l.is_empty())
-        {
+        let fills: FillIns = if opts.fillin_enrichment && neighbours.iter().any(|l| !l.is_empty()) {
             let dense_ref = &state.dense;
             // In sampled construction mode the fill-in column/row spaces are captured
             // through random test matrices instead of forming every product exactly.
@@ -328,7 +325,11 @@ impl UlvFactorization {
         // Extra enrichment from carried fill contributions addressed to this level.
         let mut extra_row: HashMap<usize, Vec<Matrix>> = HashMap::new();
         let mut extra_col: HashMap<usize, Vec<Matrix>> = HashMap::new();
-        for ((i, j), m) in state.admissible_carry.iter().chain(state.pending_carry.iter()) {
+        for ((i, j), m) in state
+            .admissible_carry
+            .iter()
+            .chain(state.pending_carry.iter())
+        {
             extra_row.entry(*i).or_default().push(m.clone());
             extra_col.entry(*j).or_default().push(m.transpose());
         }
@@ -348,7 +349,15 @@ impl UlvFactorization {
         let cluster_factors: Vec<ClusterFactor> = (0..nb)
             .into_par_iter()
             .map(|i| {
-                let far = far_field_matrix(kernel, tree, partition, level, i, opts.basis_mode, opts.seed);
+                let far = far_field_matrix(
+                    kernel,
+                    tree,
+                    partition,
+                    level,
+                    i,
+                    opts.basis_mode,
+                    opts.seed,
+                );
                 let far_row = match &state.row_maps[i] {
                     Some(w) => matmul_tn(w, &far),
                     None => far.clone(),
@@ -383,7 +392,11 @@ impl UlvFactorization {
             let (_, fill_cols) = basis_inputs[i];
             tg.add_basis_task(cf.active, cf.active.saturating_mul(2), fill_cols);
         }
-        let level_max_rank = cluster_factors.iter().map(|c| c.skeleton).max().unwrap_or(0);
+        let level_max_rank = cluster_factors
+            .iter()
+            .map(|c| c.skeleton)
+            .max()
+            .unwrap_or(0);
         stats.level_ranks.push(level_max_rank);
         stats.max_rank = stats.max_rank.max(level_max_rank);
 
@@ -506,9 +519,9 @@ impl UlvFactorization {
                     }
                 }
                 // Schur updates onto skeleton-skeleton blocks only.
-                for &(ref key_i, ref zi) in &res.col_sr {
+                for (key_i, zi) in &res.col_sr {
                     let i = key_i.0;
-                    for &(ref key_j, ref wj) in &res.row_rs {
+                    for (key_j, wj) in &res.row_rs {
                         let j = key_j.1;
                         res.schur.push((i, j, matmul(zi, wj)));
                     }
@@ -548,9 +561,7 @@ impl UlvFactorization {
             ss.insert((i, j), s);
         }
         for ((i, j), m) in pending_projected {
-            ss.entry((i, j))
-                .and_modify(|e| *e += &m)
-                .or_insert(m);
+            ss.entry((i, j)).and_modify(|e| *e += &m).or_insert(m);
         }
         for mut res in pivot_results {
             cluster_factors[res.k].lu = res.lu.take();
@@ -572,9 +583,7 @@ impl UlvFactorization {
                 if ki == 0 || kj == 0 {
                     continue;
                 }
-                let entry = ss
-                    .entry((i, j))
-                    .or_insert_with(|| Matrix::zeros(ki, kj));
+                let entry = ss.entry((i, j)).or_insert_with(|| Matrix::zeros(ki, kj));
                 *entry -= &upd;
             }
         }
@@ -598,9 +607,15 @@ impl UlvFactorization {
                     .map(|ip| {
                         Some(stack_maps(
                             &state.row_maps[2 * ip],
-                            &skeleton_of(&cluster_factors[2 * ip].q, cluster_factors[2 * ip].redundant),
+                            &skeleton_of(
+                                &cluster_factors[2 * ip].q,
+                                cluster_factors[2 * ip].redundant,
+                            ),
                             &state.row_maps[2 * ip + 1],
-                            &skeleton_of(&cluster_factors[2 * ip + 1].q, cluster_factors[2 * ip + 1].redundant),
+                            &skeleton_of(
+                                &cluster_factors[2 * ip + 1].q,
+                                cluster_factors[2 * ip + 1].redundant,
+                            ),
                         ))
                     })
                     .collect();
@@ -608,9 +623,15 @@ impl UlvFactorization {
                     .map(|ip| {
                         Some(stack_maps(
                             &state.col_maps[2 * ip],
-                            &skeleton_of(&cluster_factors[2 * ip].p, cluster_factors[2 * ip].redundant),
+                            &skeleton_of(
+                                &cluster_factors[2 * ip].p,
+                                cluster_factors[2 * ip].redundant,
+                            ),
                             &state.col_maps[2 * ip + 1],
-                            &skeleton_of(&cluster_factors[2 * ip + 1].p, cluster_factors[2 * ip + 1].redundant),
+                            &skeleton_of(
+                                &cluster_factors[2 * ip + 1].p,
+                                cluster_factors[2 * ip + 1].redundant,
+                            ),
                         ))
                     })
                     .collect();
@@ -625,7 +646,8 @@ impl UlvFactorization {
             Hierarchy::MultiLevel => {
                 // Group surviving blocks by parent pair.
                 let ks: Vec<usize> = cluster_factors.iter().map(|c| c.skeleton).collect();
-                let mut grouped: HashMap<(usize, usize), Vec<((usize, usize), Matrix)>> = HashMap::new();
+                let mut grouped: HashMap<(usize, usize), Vec<((usize, usize), Matrix)>> =
+                    HashMap::new();
                 for ((i, j), m) in ss {
                     grouped.entry((i / 2, j / 2)).or_default().push(((i, j), m));
                 }

@@ -140,9 +140,15 @@ mod tests {
             max_dense = max_dense.max(dense);
             total_admissible += nb - dense;
         }
-        assert!(max_dense < nb, "every row must have at least one admissible block");
+        assert!(
+            max_dense < nb,
+            "every row must have at least one admissible block"
+        );
         assert!(max_dense >= 1, "the diagonal block is always dense");
-        assert!(total_admissible > nb * nb / 2, "most blocks should be admissible");
+        assert!(
+            total_admissible > nb * nb / 2,
+            "most blocks should be admissible"
+        );
         let a = &leaves[0];
         assert!(adm.is_dense(a, a));
     }

@@ -94,15 +94,23 @@ impl ClusterTree {
         while let Some((id, level, start, len)) = stack.pop() {
             let idx_slice = &perm[start..start + len];
             let bbox = Aabb::from_points(&idx_slice.iter().map(|&i| points[i]).collect::<Vec<_>>());
-            clusters[id] = Some(Cluster { id, level, start, len, bbox });
+            clusters[id] = Some(Cluster {
+                id,
+                level,
+                start,
+                len,
+                bbox,
+            });
             if level == depth {
                 continue;
             }
             // Split the range into two balanced halves according to the strategy.
             let (left, right): (Vec<usize>, Vec<usize>) = match strategy {
-                PartitionStrategy::KMeans => {
-                    two_means_split(points, idx_slice, seed ^ (id as u64).wrapping_mul(0x9e3779b9))
-                }
+                PartitionStrategy::KMeans => two_means_split(
+                    points,
+                    idx_slice,
+                    seed ^ (id as u64).wrapping_mul(0x9e3779b9),
+                ),
                 PartitionStrategy::CoordinateBisection => {
                     let axis = bbox.longest_axis();
                     let mut sorted = idx_slice.to_vec();
@@ -132,7 +140,10 @@ impl ClusterTree {
             points: points.to_vec(),
             perm,
             depth,
-            clusters: clusters.into_iter().map(|c| c.expect("all nodes visited")).collect(),
+            clusters: clusters
+                .into_iter()
+                .map(|c| c.expect("all nodes visited"))
+                .collect(),
         }
     }
 
@@ -210,7 +221,10 @@ impl ClusterTree {
 
     /// The points of a cluster, in tree order.
     pub fn cluster_points(&self, c: &Cluster) -> Vec<Point3> {
-        self.original_indices(c).iter().map(|&i| self.points[i]).collect()
+        self.original_indices(c)
+            .iter()
+            .map(|&i| self.points[i])
+            .collect()
     }
 
     /// Permute a vector given in original point order into tree order.
@@ -312,9 +326,14 @@ mod tests {
         check_tree_invariants(&km);
         // Leaf bounding boxes should be much smaller than the global box.
         let global = Aabb::from_points(&pts).diameter();
-        let avg_leaf: f64 = (0..km.num_leaves()).map(|i| km.leaf(i).bbox.diameter()).sum::<f64>()
+        let avg_leaf: f64 = (0..km.num_leaves())
+            .map(|i| km.leaf(i).bbox.diameter())
+            .sum::<f64>()
             / km.num_leaves() as f64;
-        assert!(avg_leaf < 0.8 * global, "avg leaf diameter {avg_leaf} vs global {global}");
+        assert!(
+            avg_leaf < 0.8 * global,
+            "avg leaf diameter {avg_leaf} vs global {global}"
+        );
     }
 
     #[test]

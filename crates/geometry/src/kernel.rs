@@ -67,7 +67,9 @@ impl Default for LaplaceKernel {
     fn default() -> Self {
         // A shift of ~1e-3 of the domain size keeps the diagonal dominant without
         // visibly perturbing the far field.
-        LaplaceKernel { singularity_shift: 1e-3 }
+        LaplaceKernel {
+            singularity_shift: 1e-3,
+        }
     }
 }
 
@@ -220,7 +222,9 @@ mod tests {
 
     #[test]
     fn yukawa_is_screened_laplace() {
-        let l = LaplaceKernel { singularity_shift: 1e-3 };
+        let l = LaplaceKernel {
+            singularity_shift: 1e-3,
+        };
         let y = YukawaKernel {
             alpha_m: 2.0,
             epsilon0: 1.0,

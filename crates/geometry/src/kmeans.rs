@@ -29,7 +29,11 @@ pub struct KMeansResult {
 /// Panics if `k == 0` or `k > points.len()`.
 pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
     assert!(k > 0, "k must be positive");
-    assert!(k <= points.len(), "cannot make {k} clusters from {} points", points.len());
+    assert!(
+        k <= points.len(),
+        "cannot make {k} clusters from {} points",
+        points.len()
+    );
     let n = points.len();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
@@ -39,7 +43,10 @@ pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
     while centers.len() < k {
         let (mut best_i, mut best_d) = (0, -1.0);
         for (i, p) in points.iter().enumerate() {
-            let d = centers.iter().map(|c| p.dist2(c)).fold(f64::INFINITY, f64::min);
+            let d = centers
+                .iter()
+                .map(|c| p.dist2(c))
+                .fold(f64::INFINITY, f64::min);
             if d > best_d {
                 best_d = d;
                 best_i = i;
@@ -106,7 +113,9 @@ pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
     // get their preferred cluster.
     let base = n / k;
     let extra = n % k;
-    let capacity: Vec<usize> = (0..k).map(|c| if c < extra { base + 1 } else { base }).collect();
+    let capacity: Vec<usize> = (0..k)
+        .map(|c| if c < extra { base + 1 } else { base })
+        .collect();
     let mut order: Vec<usize> = (0..n).collect();
     let margin = |i: usize| -> f64 {
         let mut ds: Vec<f64> = centers.iter().map(|c| points[i].dist2(c)).collect();
@@ -166,7 +175,11 @@ pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
 /// using 2-means geometry: indices are ordered by their signed distance margin to the
 /// two centers and cut at the median.  Returns `(left, right)` with
 /// `|left| = ceil(n/2)`.
-pub fn two_means_split(points: &[Point3], indices: &[usize], seed: u64) -> (Vec<usize>, Vec<usize>) {
+pub fn two_means_split(
+    points: &[Point3],
+    indices: &[usize],
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     let n = indices.len();
     if n <= 1 {
         return (indices.to_vec(), Vec::new());

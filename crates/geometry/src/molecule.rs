@@ -69,7 +69,11 @@ fn atom_centers(cfg: &MoleculeConfig) -> Vec<Point3> {
         };
         let pull = centroid.sub(&last);
         let pulln = pull.norm();
-        let pull = if pulln > 1e-12 { pull.scale(0.15 / pulln) } else { Point3::origin() };
+        let pull = if pulln > 1e-12 {
+            pull.scale(0.15 / pulln)
+        } else {
+            Point3::origin()
+        };
         let step = nd.add(&pull);
         let stepn = step.norm();
         let step = step.scale(cfg.bond_length / stepn);
@@ -199,7 +203,10 @@ mod tests {
         let centers = atom_centers(&cfg);
         let pts = molecule_surface(500, &cfg);
         for p in &pts {
-            let inside = centers.iter().filter(|c| p.dist(c) < cfg.atom_radius * 0.99).count();
+            let inside = centers
+                .iter()
+                .filter(|c| p.dist(c) < cfg.atom_radius * 0.99)
+                .count();
             assert_eq!(inside, 0, "point {p:?} is buried inside an atom");
         }
     }

@@ -109,7 +109,10 @@ mod tests {
         // Locality: average distance between Morton-consecutive points should be much
         // smaller than between randomly ordered consecutive points.
         let avg = |idx: &Vec<usize>| -> f64 {
-            idx.windows(2).map(|w| pts[w[0]].dist(&pts[w[1]])).sum::<f64>() / (idx.len() - 1) as f64
+            idx.windows(2)
+                .map(|w| pts[w[0]].dist(&pts[w[1]]))
+                .sum::<f64>()
+                / (idx.len() - 1) as f64
         };
         let natural: Vec<usize> = (0..pts.len()).collect();
         assert!(avg(&order) < 0.6 * avg(&natural));

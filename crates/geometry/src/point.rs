@@ -19,7 +19,11 @@ impl Point3 {
 
     /// The origin.
     pub const fn origin() -> Self {
-        Point3 { x: 0.0, y: 0.0, z: 0.0 }
+        Point3 {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
     }
 
     /// Euclidean distance to another point.

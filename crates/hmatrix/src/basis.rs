@@ -95,7 +95,8 @@ pub fn far_field_matrix(
     let mut cols = far_field_indices(tree, partition, level, i);
     if let BasisMode::Sampled { max_samples } = mode {
         if cols.len() > max_samples {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ ((level as u64) << 32) ^ i as u64);
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(seed ^ ((level as u64) << 32) ^ i as u64);
             cols.shuffle(&mut rng);
             cols.truncate(max_samples);
         }
@@ -174,8 +175,11 @@ mod tests {
         let level = tree.depth;
         let i = 0;
         let far = far_field_indices(&tree, &part, level, i);
-        let own: std::collections::HashSet<usize> =
-            tree.original_indices(tree.cluster_at(level, i)).iter().copied().collect();
+        let own: std::collections::HashSet<usize> = tree
+            .original_indices(tree.cluster_at(level, i))
+            .iter()
+            .copied()
+            .collect();
         for f in &far {
             assert!(!own.contains(f));
         }
@@ -241,7 +245,12 @@ mod tests {
         );
         for (e, s) in exact.iter().zip(&sampled) {
             assert!(s.rank() <= e.rank() + 5);
-            assert!(s.rank() + 15 >= e.rank(), "sampled rank {} vs exact {}", s.rank(), e.rank());
+            assert!(
+                s.rank() + 15 >= e.rank(),
+                "sampled rank {} vs exact {}",
+                s.rank(),
+                e.rank()
+            );
         }
     }
 

@@ -78,7 +78,11 @@ impl BlrMatrix {
                 }
             }
         }
-        BlrMatrix { nb, tile_sizes, tiles }
+        BlrMatrix {
+            nb,
+            tile_sizes,
+            tiles,
+        }
     }
 
     /// Tile `(i, j)`.
@@ -179,7 +183,11 @@ mod tests {
         let err = rel_fro_error(&blr.to_dense(), &dense);
         assert!(err < 1e-3, "BLR error {err}");
         // Compression actually happened.
-        assert!(blr.storage() < 1024 * 1024, "storage {} not compressed", blr.storage());
+        assert!(
+            blr.storage() < 1024 * 1024,
+            "storage {} not compressed",
+            blr.storage()
+        );
         assert!(blr.max_rank() > 0 && blr.max_rank() <= 64);
     }
 
@@ -203,7 +211,10 @@ mod tests {
         let weak = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-6, 64);
         let strong = BlrMatrix::build(&kernel, &tree, &Admissibility::strong(1.0), 1e-6, 64);
         let dense_count = |b: &BlrMatrix| {
-            b.tiles.iter().filter(|t| matches!(t, BlrTile::Dense(_))).count()
+            b.tiles
+                .iter()
+                .filter(|t| matches!(t, BlrTile::Dense(_)))
+                .count()
         };
         assert!(dense_count(&strong) > dense_count(&weak));
         // The strong variant never compresses a tile that the weak variant keeps dense.

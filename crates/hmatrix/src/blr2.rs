@@ -89,7 +89,11 @@ impl Blr2Matrix {
     /// Storage in floating-point words (bases + couplings + dense blocks).
     pub fn storage(&self) -> usize {
         let b: usize = self.bases.iter().map(|u| u.rows() * u.cols()).sum();
-        let c: usize = self.couplings.iter().map(|(_, _, s)| s.rows() * s.cols()).sum();
+        let c: usize = self
+            .couplings
+            .iter()
+            .map(|(_, _, s)| s.rows() * s.cols())
+            .sum();
         let d: usize = self.dense.iter().map(|(_, _, m)| m.rows() * m.cols()).sum();
         b + c + d
     }
@@ -114,7 +118,9 @@ impl Blr2Matrix {
             })
             .collect();
         // Accumulate coupling contributions in the compressed space, then expand.
-        let mut yhat: Vec<Vec<f64>> = (0..self.nb).map(|i| vec![0.0; self.bases[i].cols()]).collect();
+        let mut yhat: Vec<Vec<f64>> = (0..self.nb)
+            .map(|i| vec![0.0; self.bases[i].cols()])
+            .collect();
         for (i, j, s) in &self.couplings {
             h2_matrix::gemv(1.0, s, false, &xhat[*j], 1.0, &mut yhat[*i]);
         }
@@ -178,7 +184,11 @@ mod tests {
         let dense = kernel.assemble(&tree.points, &order, &order);
         let err = rel_fro_error(&m.to_dense(), &dense);
         assert!(err < 1e-3, "BLR2 error {err}");
-        assert!(m.storage() < 1024 * 1024, "must compress (storage {})", m.storage());
+        assert!(
+            m.storage() < 1024 * 1024,
+            "must compress (storage {})",
+            m.storage()
+        );
         assert!(m.max_rank() > 0);
         assert_eq!(m.dense.len(), m.nb); // weak: only diagonal blocks dense
     }

@@ -190,7 +190,11 @@ impl H2Matrix {
             .flat_map(|l| l.iter())
             .map(|e| e.rows() * e.cols())
             .sum();
-        let c: usize = self.couplings.iter().map(|(_, _, _, s)| s.rows() * s.cols()).sum();
+        let c: usize = self
+            .couplings
+            .iter()
+            .map(|(_, _, _, s)| s.rows() * s.cols())
+            .sum();
         let d: usize = self.dense.iter().map(|(_, _, m)| m.rows() * m.cols()).sum();
         b + t + c + d
     }
@@ -343,7 +347,14 @@ impl H2Matrix {
 
     /// The `far_field_matrix` helper re-exported for factorization drivers that want to
     /// enrich this matrix's bases (kept here so the sampling seed conventions match).
-    pub fn far_field(&self, kernel: &dyn Kernel, level: usize, i: usize, mode: BasisMode, seed: u64) -> Matrix {
+    pub fn far_field(
+        &self,
+        kernel: &dyn Kernel,
+        level: usize,
+        i: usize,
+        mode: BasisMode,
+        seed: u64,
+    ) -> Matrix {
         far_field_matrix(kernel, &self.tree, &self.partition, level, i, mode, seed)
     }
 }
@@ -420,7 +431,9 @@ mod tests {
                 ..H2Options::default()
             },
         );
-        let x: Vec<f64> = (0..m.dim()).map(|i| ((i % 17) as f64 - 8.0) / 8.0).collect();
+        let x: Vec<f64> = (0..m.dim())
+            .map(|i| ((i % 17) as f64 - 8.0) / 8.0)
+            .collect();
         let y = m.matvec(&x);
         let mut yref = vec![0.0; m.dim()];
         h2_matrix::gemv(1.0, &m.to_dense(), false, &x, 0.0, &mut yref);
@@ -501,7 +514,12 @@ mod tests {
     #[test]
     fn nested_basis_shapes_are_consistent() {
         let (tree, kernel) = setup(512, 32);
-        let m = H2Matrix::build(&kernel, &tree, &Admissibility::strong(1.0), &H2Options::default());
+        let m = H2Matrix::build(
+            &kernel,
+            &tree,
+            &Admissibility::strong(1.0),
+            &H2Options::default(),
+        );
         for level in (0..tree.depth).rev() {
             for i in 0..(1usize << level) {
                 let e = &m.transfers[level][i];

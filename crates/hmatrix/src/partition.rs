@@ -273,15 +273,20 @@ mod tests {
         let t = tree(256, 32);
         let p = BlockPartition::build(&t, &Admissibility::weak());
         // Weak admissibility: 2 admissible per level (levels 1..=depth) + nb dense diagonals.
-        let expect: usize = (1..=t.depth).map(|l| {
-            let nb = 1usize << l;
-            nb * 2 - 2 // each level: sibling pairs only (2 per parent)
-        }).sum::<usize>();
+        let expect: usize = (1..=t.depth)
+            .map(|l| {
+                let nb = 1usize << l;
+                nb * 2 - 2 // each level: sibling pairs only (2 per parent)
+            })
+            .sum::<usize>();
         // Every level l contributes 2^(l) blocks? verify against the implementation's count
         // loosely: admissible pairs at level l of a weak partition are the sibling pairs of
         // every parent, i.e. 2 * 2^(l-1) = 2^l.
         let total_admissible: usize = (0..=t.depth).map(|l| p.admissible_pairs(l).len()).sum();
-        assert_eq!(total_admissible, (1..=t.depth).map(|l| 1usize << l).sum::<usize>());
+        assert_eq!(
+            total_admissible,
+            (1..=t.depth).map(|l| 1usize << l).sum::<usize>()
+        );
         let _ = expect;
         assert_eq!(p.stored_blocks(), total_admissible + t.num_leaves());
     }

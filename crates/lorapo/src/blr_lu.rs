@@ -146,7 +146,10 @@ impl BlrLuFactors {
             diag[k] = Some(lu);
         }
 
-        let diag: Vec<Lu> = diag.into_iter().map(|d| d.expect("pivot missing")).collect();
+        let diag: Vec<Lu> = diag
+            .into_iter()
+            .map(|d| d.expect("pivot missing"))
+            .collect();
         let mut stats = BlrLuStats {
             construction_seconds: 0.0,
             factorization_seconds: t0.elapsed().as_secs_f64(),
@@ -154,8 +157,15 @@ impl BlrLuFactors {
             max_rank,
             memory_words: 0,
         };
-        stats.memory_words = diag.iter().map(|l| l.lu.rows() * l.lu.cols()).sum::<usize>()
-            + lower.iter().chain(upper.iter()).map(|(_, t)| t.storage()).sum::<usize>();
+        stats.memory_words = diag
+            .iter()
+            .map(|l| l.lu.rows() * l.lu.cols())
+            .sum::<usize>()
+            + lower
+                .iter()
+                .chain(upper.iter())
+                .map(|(_, t)| t.storage())
+                .sum::<usize>();
         BlrLuFactors {
             nb,
             tile_sizes,
@@ -226,7 +236,13 @@ fn tile_matvec(t: &BlrTile, v: &[f64], y: &mut [f64]) {
 }
 
 /// `target -= aik * akj` with low-rank aware arithmetic and rounding.
-fn apply_update(target: &BlrTile, aik: &BlrTile, akj: &BlrTile, tol: f64, max_rank: usize) -> BlrTile {
+fn apply_update(
+    target: &BlrTile,
+    aik: &BlrTile,
+    akj: &BlrTile,
+    tol: f64,
+    max_rank: usize,
+) -> BlrTile {
     match target {
         BlrTile::Dense(d) => {
             let prod = tile_product_dense(aik, akj);
@@ -262,9 +278,7 @@ fn tile_product_lowrank(a: &BlrTile, b: &BlrTile, tol: f64, max_rank: usize) -> 
             let core = matmul_tn(&x.v, &y.u);
             LowRank::new(matmul(&x.u, &core), y.v.clone())
         }
-        (BlrTile::LowRank(x), BlrTile::Dense(d)) => {
-            LowRank::new(x.u.clone(), matmul_tn(d, &x.v))
-        }
+        (BlrTile::LowRank(x), BlrTile::Dense(d)) => LowRank::new(x.u.clone(), matmul_tn(d, &x.v)),
         (BlrTile::Dense(d), BlrTile::LowRank(y)) => LowRank::new(matmul(d, &y.u), y.v.clone()),
         (BlrTile::Dense(x), BlrTile::Dense(y)) => {
             // Dense-dense products only occur next to the diagonal; compress the result.
@@ -373,7 +387,10 @@ mod tests {
             },
         );
         assert!(f.stats.memory_words > 0);
-        assert!(f.stats.memory_words < n * n, "factors should not be fully dense");
+        assert!(
+            f.stats.memory_words < n * n,
+            "factors should not be fully dense"
+        );
         assert_eq!(f.dim(), n);
         assert_eq!(f.diag.len(), f.nb);
     }

@@ -176,7 +176,11 @@ mod tests {
             let err = rel_fro_error(&res.lowrank.to_dense(), &exact);
             // The two half-cubes are only weakly separated, so allow a couple of orders
             // of magnitude between the ACA stopping criterion and the true error.
-            assert!(err < tol * 200.0, "tol {tol}: err {err}, rank {}", res.lowrank.rank());
+            assert!(
+                err < tol * 200.0,
+                "tol {tol}: err {err}, rank {}",
+                res.lowrank.rank()
+            );
             assert!(res.lowrank.rank() < rows.len().min(cols.len()) / 2);
             assert_eq!(res.row_pivots.len(), res.lowrank.rank());
         }
@@ -186,8 +190,12 @@ mod tests {
     fn tighter_tolerance_gives_higher_rank() {
         let (pts, rows, cols) = separated_sets(500);
         let kernel = YukawaKernel::default();
-        let loose = aca_block(&kernel, &pts, &rows, &cols, 1e-3, 64).lowrank.rank();
-        let tight = aca_block(&kernel, &pts, &rows, &cols, 1e-9, 64).lowrank.rank();
+        let loose = aca_block(&kernel, &pts, &rows, &cols, 1e-3, 64)
+            .lowrank
+            .rank();
+        let tight = aca_block(&kernel, &pts, &rows, &cols, 1e-9, 64)
+            .lowrank
+            .rank();
         assert!(tight > loose, "tight {tight} loose {loose}");
     }
 

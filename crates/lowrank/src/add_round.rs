@@ -65,7 +65,14 @@ pub fn round_lowrank(a: &LowRank, tol: f64, max_rank: Option<usize>) -> LowRank 
 }
 
 /// Add then round in one call (`alpha * a + beta * b`, recompressed).
-pub fn add_round(a: &LowRank, alpha: f64, b: &LowRank, beta: f64, tol: f64, max_rank: Option<usize>) -> LowRank {
+pub fn add_round(
+    a: &LowRank,
+    alpha: f64,
+    b: &LowRank,
+    beta: f64,
+    tol: f64,
+    max_rank: Option<usize>,
+) -> LowRank {
     let sum = add_lowrank(&a.scaled(alpha), &b.scaled(beta));
     round_lowrank(&sum, tol, max_rank)
 }
@@ -91,10 +98,7 @@ mod tests {
         let b = random_lr(10, 8, 3, &mut r);
         let s = add_lowrank(&a, &b);
         assert_eq!(s.rank(), 5);
-        assert!(s
-            .to_dense()
-            .max_abs_diff(&(&a.to_dense() + &b.to_dense()))
-            < 1e-13);
+        assert!(s.to_dense().max_abs_diff(&(&a.to_dense() + &b.to_dense())) < 1e-13);
         // Adding a zero block is a no-op.
         let z = LowRank::zero(10, 8);
         assert_eq!(add_lowrank(&a, &z).rank(), 2);
@@ -119,7 +123,7 @@ mod tests {
         // Build a block with decaying singular values: sum of scaled rank-1 terms.
         let mut acc = LowRank::zero(25, 25);
         for k in 0..10 {
-            let term = random_lr(25, 25, 1, &mut r).scaled(10f64.powi(-(k as i32)));
+            let term = random_lr(25, 25, 1, &mut r).scaled(10f64.powi(-k));
             acc = add_lowrank(&acc, &term);
         }
         let loose = round_lowrank(&acc, 1e-3, None);

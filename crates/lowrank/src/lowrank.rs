@@ -158,28 +158,32 @@ mod tests {
     fn transpose_and_multiplications() {
         let mut r = rng();
         let lr = LowRank::new(Matrix::random(5, 2, &mut r), Matrix::random(4, 2, &mut r));
-        assert!(lr
-            .transpose()
-            .to_dense()
-            .max_abs_diff(&lr.to_dense().transpose())
-            < 1e-14);
+        assert!(
+            lr.transpose()
+                .to_dense()
+                .max_abs_diff(&lr.to_dense().transpose())
+                < 1e-14
+        );
         let b = Matrix::random(3, 5, &mut r);
-        assert!(lr
-            .left_mul(&b)
-            .to_dense()
-            .max_abs_diff(&matmul(&b, &lr.to_dense()))
-            < 1e-13);
+        assert!(
+            lr.left_mul(&b)
+                .to_dense()
+                .max_abs_diff(&matmul(&b, &lr.to_dense()))
+                < 1e-13
+        );
         let c = Matrix::random(4, 6, &mut r);
-        assert!(lr
-            .right_mul(&c)
-            .to_dense()
-            .max_abs_diff(&matmul(&lr.to_dense(), &c))
-            < 1e-13);
-        assert!(lr
-            .scaled(-2.5)
-            .to_dense()
-            .max_abs_diff(&lr.to_dense().scaled(-2.5))
-            < 1e-14);
+        assert!(
+            lr.right_mul(&c)
+                .to_dense()
+                .max_abs_diff(&matmul(&lr.to_dense(), &c))
+                < 1e-13
+        );
+        assert!(
+            lr.scaled(-2.5)
+                .to_dense()
+                .max_abs_diff(&lr.to_dense().scaled(-2.5))
+                < 1e-14
+        );
     }
 
     #[test]

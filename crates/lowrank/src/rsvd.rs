@@ -38,7 +38,10 @@ mod tests {
     #[test]
     fn range_of_low_rank_matrix_is_captured() {
         let mut r = rand::rngs::StdRng::seed_from_u64(4);
-        let a = matmul_nt(&Matrix::random(40, 6, &mut r), &Matrix::random(30, 6, &mut r));
+        let a = matmul_nt(
+            &Matrix::random(40, 6, &mut r),
+            &Matrix::random(30, 6, &mut r),
+        );
         let q = randomized_range(&a, 6, 4, 0);
         assert!(q.cols() <= 10);
         // || (I - Q Q^T) A || should be tiny.

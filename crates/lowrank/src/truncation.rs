@@ -51,7 +51,12 @@ pub fn compress_block_svd(a: &Matrix, tol: f64, max_rank: Option<usize>) -> LowR
 }
 
 /// Compress with the requested method.
-pub fn compress_with(a: &Matrix, tol: f64, max_rank: Option<usize>, method: CompressionMethod) -> LowRank {
+pub fn compress_with(
+    a: &Matrix,
+    tol: f64,
+    max_rank: Option<usize>,
+    method: CompressionMethod,
+) -> LowRank {
     match method {
         CompressionMethod::PivotedQr => compress_block(a, tol, max_rank),
         CompressionMethod::Svd => compress_block_svd(a, tol, max_rank),
@@ -70,7 +75,10 @@ mod tests {
 
     fn exact_low_rank(m: usize, n: usize, r: usize) -> Matrix {
         let mut rr = rng();
-        matmul_nt(&Matrix::random(m, r, &mut rr), &Matrix::random(n, r, &mut rr))
+        matmul_nt(
+            &Matrix::random(m, r, &mut rr),
+            &Matrix::random(n, r, &mut rr),
+        )
     }
 
     #[test]
@@ -98,7 +106,10 @@ mod tests {
             // an order of magnitude of slack.
             assert!(err < tol * 20.0, "tol {tol}: err {err}");
             let lr_svd = compress_block_svd(&a, tol, None);
-            assert!(lr_svd.rank() <= lr.rank() + 1, "SVD rank should not exceed QR rank");
+            assert!(
+                lr_svd.rank() <= lr.rank() + 1,
+                "SVD rank should not exceed QR rank"
+            );
         }
     }
 

@@ -49,7 +49,9 @@ pub struct FlopGuard {
 impl FlopGuard {
     /// Begin a measurement region.
     pub fn start() -> Self {
-        FlopGuard { start: flop_count() }
+        FlopGuard {
+            start: flop_count(),
+        }
     }
 
     /// Flops executed since [`FlopGuard::start`].

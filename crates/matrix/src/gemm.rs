@@ -1,15 +1,19 @@
 //! Level-2/3 matrix multiplication kernels.
 //!
-//! `gemm` is the workhorse of every factorization in the workspace.  The
-//! implementation is a cache-blocked column-major kernel with an `i`-innermost loop so
-//! that the compiler auto-vectorizes over contiguous columns of `C` and `A`.  It is
-//! not MKL, but it is consistent across all solvers being compared, which is what the
-//! paper's relative measurements need.
+//! `gemm` is the workhorse of every factorization in the workspace.  Large
+//! products route through the packed register-blocked microkernel in
+//! [`crate::kernel`] (MC/KC/NC cache blocking, MR×NR register tiles, optional
+//! column-band parallelism); small products stay on a simple cache-blocked
+//! column-major loop whose packing-free form wins below the
+//! [`crate::kernel::PACK_FLOP_THRESHOLD`] crossover.  The simple loop is also
+//! kept as [`gemm_seed`] so benchmarks can measure the speedup of the packed
+//! path against the original kernel on equal terms.
 
 use crate::flops::{add_flops, cost};
+use crate::kernel;
 use crate::matrix::Matrix;
 
-/// Block size for the cache-blocked kernel (columns of B / rows of A per tile).
+/// Block size for the small-size cache-blocked kernel.
 const BLOCK: usize = 64;
 
 /// General matrix-matrix multiply: `C = alpha * op_a(A) * op_b(B) + beta * C`.
@@ -77,7 +81,22 @@ pub fn gemm(
         b
     };
 
-    gemm_nn(alpha, a_ref, b_ref, c);
+    let flops = 2 * (m as u64) * (n as u64) * (k as u64);
+    if flops >= kernel::PACK_FLOP_THRESHOLD {
+        kernel::gemm_packed(alpha, a_ref, b_ref, c);
+    } else {
+        gemm_nn(alpha, a_ref, b_ref, c);
+    }
+}
+
+/// The seed (pre-packing) kernel: `C = A * B` through the simple blocked loop,
+/// regardless of size.  Kept as the benchmark baseline for
+/// `bench_kernels` speedup measurements.
+pub fn gemm_seed(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "gemm_seed: inner dimensions differ");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_nn(1.0, a, b, &mut c);
+    c
 }
 
 /// `C += alpha * A * B` with everything column-major and untransposed.
@@ -193,7 +212,13 @@ mod tests {
     #[test]
     fn matmul_matches_naive() {
         let mut r = rng();
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 9, 23), (64, 65, 66), (70, 128, 3)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 4, 5),
+            (17, 9, 23),
+            (64, 65, 66),
+            (70, 128, 3),
+        ] {
             let a = Matrix::random(m, k, &mut r);
             let b = Matrix::random(k, n, &mut r);
             let c = matmul(&a, &b);
@@ -251,14 +276,14 @@ mod tests {
         let x: Vec<f64> = (0..4).map(|_| r.gen_range(-1.0..1.0)).collect();
         let mut y = vec![0.0; 6];
         gemv(1.0, &a, false, &x, 0.0, &mut y);
-        let yref = matmul(&a, &Matrix::from_columns(&[x.clone()]));
+        let yref = matmul(&a, &Matrix::from_columns(std::slice::from_ref(&x)));
         for i in 0..6 {
             assert!((y[i] - yref[(i, 0)]).abs() < 1e-12);
         }
         let xt: Vec<f64> = (0..6).map(|_| r.gen_range(-1.0..1.0)).collect();
         let mut yt = vec![1.0; 4];
         gemv(2.0, &a, true, &xt, 3.0, &mut yt);
-        let ytref = matmul_tn(&a, &Matrix::from_columns(&[xt.clone()]));
+        let ytref = matmul_tn(&a, &Matrix::from_columns(std::slice::from_ref(&xt)));
         for i in 0..4 {
             assert!((yt[i] - (2.0 * ytref[(i, 0)] + 3.0)).abs() < 1e-12);
         }

@@ -20,6 +20,7 @@ pub mod blas1;
 pub mod cholesky;
 pub mod flops;
 pub mod gemm;
+pub mod kernel;
 pub mod lu;
 pub mod matrix;
 pub mod norms;
@@ -30,7 +31,8 @@ pub mod triangular;
 
 pub use cholesky::{cholesky_factor, cholesky_solve, Cholesky};
 pub use flops::{flop_count, reset_flops, FlopGuard};
-pub use gemm::{gemm, gemv, matmul, matmul_nt, matmul_tn};
+pub use gemm::{gemm, gemm_seed, gemv, matmul, matmul_nt, matmul_tn};
+pub use kernel::gemm_packed;
 pub use lu::{lu_factor, lu_solve, lu_solve_mat, Lu};
 pub use matrix::Matrix;
 pub use norms::{fro_norm, max_abs, rel_fro_error, rel_l2_error, two_norm_est};
@@ -89,7 +91,10 @@ impl std::fmt::Display for Error {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             Error::SingularMatrix { pivot, value } => {
-                write!(f, "singular matrix: pivot {pivot} has magnitude {value:.3e}")
+                write!(
+                    f,
+                    "singular matrix: pivot {pivot} has magnitude {value:.3e}"
+                )
             }
             Error::NotPositiveDefinite { index, value } => write!(
                 f,
@@ -118,11 +123,20 @@ mod tests {
         let s = format!("{e}");
         assert!(s.contains("gemm"));
         assert!(s.contains("2x3"));
-        let e = Error::SingularMatrix { pivot: 3, value: 0.0 };
+        let e = Error::SingularMatrix {
+            pivot: 3,
+            value: 0.0,
+        };
         assert!(format!("{e}").contains("pivot 3"));
-        let e = Error::NotPositiveDefinite { index: 1, value: -1.0 };
+        let e = Error::NotPositiveDefinite {
+            index: 1,
+            value: -1.0,
+        };
         assert!(format!("{e}").contains("positive definite"));
-        let e = Error::NoConvergence { op: "jacobi_svd", iterations: 30 };
+        let e = Error::NoConvergence {
+            op: "jacobi_svd",
+            iterations: 30,
+        };
         assert!(format!("{e}").contains("converge"));
     }
 }

@@ -361,7 +361,9 @@ impl Matrix {
 
     /// Extract the main diagonal.
     pub fn diag(&self) -> Vec<f64> {
-        (0..self.rows.min(self.cols)).map(|i| self.get(i, i)).collect()
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
     }
 
     /// Trace (sum of diagonal entries).
@@ -413,7 +415,10 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline(always)]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i + j * self.rows]
     }
 }
@@ -421,7 +426,10 @@ impl Index<(usize, usize)> for Matrix {
 impl IndexMut<(usize, usize)> for Matrix {
     #[inline(always)]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i + j * self.rows]
     }
 }
@@ -522,7 +530,9 @@ mod tests {
 
     #[test]
     fn transpose_roundtrip() {
-        let m = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64 + ((i * 7 + j * 13) % 3) as f64);
+        let m = Matrix::from_fn(4, 3, |i, j| {
+            (i + 2 * j) as f64 + ((i * 7 + j * 13) % 3) as f64
+        });
         let t = m.transpose();
         assert_eq!(t.shape(), (3, 4));
         assert_eq!(t.transpose(), m);

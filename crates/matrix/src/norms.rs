@@ -45,7 +45,12 @@ pub fn rel_fro_error(a: &Matrix, b: &Matrix) -> f64 {
 /// Relative L2 error between two vectors, `||x - y||_2 / ||y||_2`.
 pub fn rel_l2_error(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "rel_l2_error: length mismatch");
-    let diff: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let diff: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
     let denom: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
     if denom == 0.0 {
         diff
@@ -60,7 +65,9 @@ pub fn two_norm_est(a: &Matrix, iterations: usize) -> f64 {
         return 0.0;
     }
     let n = a.cols();
-    let mut x: Vec<f64> = (0..n).map(|i| ((i * 2654435761 + 1) % 1000) as f64 / 1000.0 + 0.1).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761 + 1) % 1000) as f64 / 1000.0 + 0.1)
+        .collect();
     let norm = |v: &[f64]| v.iter().map(|y| y * y).sum::<f64>().sqrt();
     let nx = norm(&x);
     for v in &mut x {

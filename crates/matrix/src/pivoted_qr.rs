@@ -1,13 +1,25 @@
-//! Column-pivoted (rank-revealing) QR.
+//! Column-pivoted (rank-revealing) QR, blocked in the style of LAPACK `dgeqp3`.
 //!
 //! This is the `QR()` of the paper (Eqs. 2–3): a rank-revealing factorization whose
 //! leading `k` columns of `Q` span the numerical column space of the input to a given
 //! tolerance.  The paper splits the result into the *skeleton* part `U^S` (the first
 //! `k` columns) and the *redundant* part `U^R` (the orthogonal complement), which is
 //! exactly what [`truncated_pivoted_qr`] returns.
+//!
+//! Pivoted QR cannot be blocked like the unpivoted kernel — each pivot choice needs
+//! up-to-date column norms — so the factorization follows LAPACK's `dlaqps` scheme:
+//! within a panel, reflector applications to the trailing matrix are *delayed* and
+//! accumulated in an auxiliary matrix `F = Aᵀ V diag(τ)`; only the pivot column and
+//! the pivot row are updated immediately (enough to select pivots and downdate
+//! norms), and the bulk update `A -= V Fᵀ` is performed once per panel as a single
+//! level-3 GEMM that routes through the packed microkernel.  When cancellation
+//! makes a norm downdate untrustworthy the panel is cut short and the norms are
+//! recomputed exactly — the same `tol3z` safeguard LAPACK uses.
 
 use crate::flops::{add_flops, cost};
+use crate::gemm::gemm;
 use crate::matrix::Matrix;
+use crate::qr::QR_BLOCK;
 
 /// Result of a column-pivoted QR factorization `A P = Q R`.
 #[derive(Debug, Clone)]
@@ -22,6 +34,11 @@ pub struct PivotedQr {
     pub rdiag: Vec<f64>,
 }
 
+/// Cancellation threshold for the running norm downdate (LAPACK's `tol3z`).
+fn tol3z() -> f64 {
+    f64::EPSILON.sqrt()
+}
+
 /// Compute the column-pivoted Householder QR of `a`.
 pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
     let m = a.rows();
@@ -32,73 +49,164 @@ pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
     let mut tau = vec![0.0; kmax];
     let mut perm: Vec<usize> = (0..n).collect();
     let mut rdiag = vec![0.0; kmax];
-    // Running squared column norms for pivot selection.
-    let mut colnorm2: Vec<f64> = (0..n)
-        .map(|j| qr.col(j).iter().map(|v| v * v).sum())
+    // Running (vn1) and reference (vn2) column norms for pivot selection.
+    let mut vn1: Vec<f64> = (0..n)
+        .map(|j| qr.col(j).iter().map(|v| v * v).sum::<f64>().sqrt())
         .collect();
-    let mut v = vec![0.0; m];
-    for k in 0..kmax {
-        // Select the remaining column with the largest norm.
-        let mut p = k;
-        let mut best = colnorm2[k];
-        for j in k + 1..n {
-            if colnorm2[j] > best {
-                best = colnorm2[j];
-                p = j;
-            }
-        }
-        if p != k {
-            qr.swap_cols(k, p);
-            perm.swap(k, p);
-            colnorm2.swap(k, p);
-        }
-        // Householder reflector for column k (recompute the norm exactly for stability).
-        let mut normx = 0.0;
-        for i in k..m {
-            let x = qr.get(i, k);
-            normx += x * x;
-        }
-        normx = normx.sqrt();
-        rdiag[k] = normx;
-        if normx == 0.0 {
-            tau[k] = 0.0;
-            continue;
-        }
-        let alpha = qr.get(k, k);
-        let beta = if alpha >= 0.0 { -normx } else { normx };
-        let tk = (beta - alpha) / beta;
-        tau[k] = tk;
-        let scale = alpha - beta;
-        v[k] = 1.0;
-        for i in k + 1..m {
-            v[i] = qr.get(i, k) / scale;
-        }
-        qr.set(k, k, beta);
-        for i in k + 1..m {
-            qr.set(i, k, v[i]);
-        }
-        for j in k + 1..n {
-            let mut w = 0.0;
-            {
-                let col = qr.col(j);
-                for i in k..m {
-                    w += v[i] * col[i];
+    let mut vn2 = vn1.clone();
+
+    let mut k = 0;
+    while k < kmax {
+        let jbmax = QR_BLOCK.min(kmax - k);
+        // F[c - k, l] accumulates the delayed update coefficient of trailing
+        // column `c` for panel reflector `l` (LAPACK's F = Aᵀ V diag(tau)).
+        let mut f = Matrix::zeros(n - k, jbmax);
+        let mut jb = 0;
+        let mut norms_stale = false;
+        while jb < jbmax {
+            let kj = k + jb;
+            // ----------------------------------------------------- pivot selection
+            let mut p = kj;
+            let mut best = vn1[kj];
+            for c in kj + 1..n {
+                if vn1[c] > best {
+                    best = vn1[c];
+                    p = c;
                 }
             }
-            w *= tk;
-            let col = qr.col_mut(j);
-            for i in k..m {
-                col[i] -= w * v[i];
+            if p != kj {
+                qr.swap_cols(kj, p);
+                perm.swap(kj, p);
+                vn1.swap(kj, p);
+                vn2.swap(kj, p);
+                f.swap_rows(kj - k, p - k);
             }
-            // Downdate the running column norm (guard against cancellation).
-            let rkj = col[k];
-            colnorm2[j] -= rkj * rkj;
-            if colnorm2[j] < 0.0 {
-                colnorm2[j] = col[k + 1..m].iter().map(|x| x * x).sum();
+            // ------------------------- catch the pivot column up on delayed updates
+            // A[kj.., kj] -= V[kj.., 0..jb] * F[kj - k, 0..jb]ᵀ  (rows kj..m of the
+            // panel reflector columns are all strictly below their diagonals, so
+            // they read directly from the packed storage).
+            if jb > 0 {
+                for i in kj..m {
+                    let mut acc = 0.0;
+                    for l in 0..jb {
+                        acc += qr.get(i, k + l) * f.get(kj - k, l);
+                    }
+                    let v = qr.get(i, kj) - acc;
+                    qr.set(i, kj, v);
+                }
+            }
+            // --------------------------------------------------- generate reflector
+            // (shared with the unpivoted kernel; tau = 0 for an exactly zero
+            // column, in which case the steps below degenerate gracefully but
+            // the pivot-row update must STILL run — row kj of the trailing
+            // columns carries pending panel updates that the end-of-panel GEMM
+            // will not apply, exactly as in LAPACK's dlaqps.)
+            let (tk, normx) = crate::qr::make_reflector(&mut qr, kj);
+            tau[kj] = tk;
+            rdiag[kj] = normx;
+            // --------------------------------------------------------- F column jb
+            // F[c - k, jb] = tau * (A[kj.., c]ᵀ v) for trailing columns c; the
+            // trailing columns are stale, so correct below through F itself.
+            if tk != 0.0 {
+                for c in kj + 1..n {
+                    let mut acc = qr.get(kj, c); // v head is implicit 1
+                    for i in kj + 1..m {
+                        acc += qr.get(i, c) * qr.get(i, kj);
+                    }
+                    f.set(c - k, jb, tk * acc);
+                }
+            }
+            for c in k..=kj {
+                f.set(c - k, jb, 0.0);
+            }
+            if tk != 0.0 && jb > 0 {
+                // aux[l] = V[:, l]ᵀ v (restricted to rows kj..m where v lives).
+                let mut aux = vec![0.0; jb];
+                for (l, av) in aux.iter_mut().enumerate() {
+                    let mut acc = qr.get(kj, k + l); // v head multiplies stored V entry
+                    for i in kj + 1..m {
+                        acc += qr.get(i, k + l) * qr.get(i, kj);
+                    }
+                    *av = acc;
+                }
+                // F[:, jb] -= tau * F[:, 0..jb] * aux
+                for c in 0..n - k {
+                    let mut acc = 0.0;
+                    for (l, &av) in aux.iter().enumerate() {
+                        acc += f.get(c, l) * av;
+                    }
+                    let v = f.get(c, jb) - tk * acc;
+                    f.set(c, jb, v);
+                }
+            }
+            // ------------------------------------- update pivot row of trailing cols
+            // A[kj, c] -= Σ_l V[kj, l] * F[c - k, l] with V[kj, jb] = 1 (unit head);
+            // this row is what the norm downdate below reads.
+            for c in kj + 1..n {
+                let mut acc = f.get(c - k, jb); // l = jb term (unit head)
+                for l in 0..jb {
+                    acc += qr.get(kj, k + l) * f.get(c - k, l);
+                }
+                let v = qr.get(kj, c) - acc;
+                qr.set(kj, c, v);
+            }
+            jb += 1;
+            // ------------------------------------------------------- norm downdates
+            let mut cancelled = false;
+            for c in kj + 1..n {
+                if vn1[c] == 0.0 {
+                    continue;
+                }
+                let temp = (qr.get(kj, c).abs() / vn1[c]).min(1.0);
+                let factor = ((1.0 + temp) * (1.0 - temp)).max(0.0);
+                let ratio = vn1[c] / vn2[c];
+                if factor * ratio * ratio <= tol3z() {
+                    // Downdate too cancellation-prone: cut the panel here and
+                    // recompute the norms exactly after the block update.
+                    cancelled = true;
+                } else {
+                    vn1[c] *= factor.sqrt();
+                }
+            }
+            if cancelled {
+                norms_stale = true;
+                break;
             }
         }
+        // ------------------------------------------------ block trailing update
+        // A[k+jb.., k+jb..] -= V[k+jb.., 0..jb] * F[jb.., 0..jb]ᵀ as one GEMM.
+        let knext = k + jb;
+        if knext < n && knext < m && jb > 0 {
+            let v = qr.block(knext, k, m - knext, jb);
+            let fpart = f.block(knext - k, 0, n - knext, jb);
+            let mut trailing = qr.block(knext, knext, m - knext, n - knext);
+            gemm(-1.0, &v, false, &fpart, true, 1.0, &mut trailing);
+            qr.set_block(knext, knext, &trailing);
+        }
+        if norms_stale {
+            // Exact recomputation on the now fully-updated trailing matrix.
+            for c in knext..n {
+                let exact = if knext < m {
+                    qr.col(c)[knext..m]
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f64>()
+                        .sqrt()
+                } else {
+                    0.0
+                };
+                vn1[c] = exact;
+                vn2[c] = exact;
+            }
+        }
+        k = knext;
     }
-    PivotedQr { qr, tau, perm, rdiag }
+    PivotedQr {
+        qr,
+        tau,
+        perm,
+        rdiag,
+    }
 }
 
 impl PivotedQr {
@@ -191,7 +299,11 @@ pub fn truncated_pivoted_qr(a: &Matrix, tol: f64, max_rank: Option<usize>) -> Ba
     let q = f.q_full();
     let skeleton = q.block(0, 0, m, rank);
     let redundant = q.block(0, rank, m, m - rank);
-    BasisSplit { skeleton, redundant, rank }
+    BasisSplit {
+        skeleton,
+        redundant,
+        rank,
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +334,25 @@ mod tests {
     }
 
     #[test]
+    fn pivoted_qr_reconstructs_beyond_panel_width() {
+        // Shapes larger than QR_BLOCK exercise the delayed-update panel path.
+        let mut r = rng();
+        for &(m, n) in &[
+            (QR_BLOCK + 5, QR_BLOCK + 5),
+            (2 * QR_BLOCK + 3, QR_BLOCK + 7),
+            (QR_BLOCK + 2, 2 * QR_BLOCK + 1),
+            (96, 80),
+        ] {
+            let a = Matrix::random(m, n, &mut r);
+            let f = pivoted_qr(&a);
+            assert!(f.reconstruct().max_abs_diff(&a) < 1e-10, "{m}x{n}");
+            for w in f.rdiag.windows(2) {
+                assert!(w[0] >= w[1] - 1e-8, "rdiag must be non-increasing");
+            }
+        }
+    }
+
+    #[test]
     fn rdiag_is_non_increasing() {
         let mut r = rng();
         let a = Matrix::random(20, 12, &mut r);
@@ -241,6 +372,16 @@ mod tests {
         assert_eq!(split.rank, 5);
         assert_eq!(split.skeleton.cols(), 5);
         assert_eq!(split.redundant.cols(), 25);
+    }
+
+    #[test]
+    fn rank_detection_on_large_low_rank_matrix() {
+        // Rank detection must survive the blocked panel path (rank > QR_BLOCK).
+        let mut r = rng();
+        let target = QR_BLOCK + 11;
+        let a = low_rank(3 * QR_BLOCK, 2 * QR_BLOCK, target, &mut r);
+        let f = pivoted_qr(&a);
+        assert_eq!(f.rank(1e-9), target);
     }
 
     #[test]
@@ -269,6 +410,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_columns_interleaved_across_panels() {
+        // Exactly zero pivot columns encountered mid-panel (tau = 0) must not
+        // skip the delayed pivot-row update of the other trailing columns.
+        let mut r = rng();
+        let m = 2 * QR_BLOCK;
+        let nonzero = QR_BLOCK + 7; // rank spills into the second panel
+        let mut a = Matrix::zeros(m, 2 * nonzero); // even columns random, odd zero
+        for j in 0..nonzero {
+            let col = Matrix::random(m, 1, &mut r);
+            a.set_block(0, 2 * j, &col);
+        }
+        let f = pivoted_qr(&a);
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-10);
+        assert_eq!(f.rank(1e-12), nonzero);
+    }
+
+    #[test]
     fn empty_and_zero_inputs() {
         let split = truncated_pivoted_qr(&Matrix::zeros(5, 0), 1e-8, None);
         assert_eq!(split.rank, 0);
@@ -285,12 +443,32 @@ mod tests {
         // Construct a matrix with geometrically decaying singular values.
         let u = crate::qr::orthonormal_columns(&Matrix::random(20, 20, &mut r));
         let v = crate::qr::orthonormal_columns(&Matrix::random(20, 20, &mut r));
-        let s = Matrix::from_diag(&(0..20).map(|i| 10f64.powi(-(i as i32))).collect::<Vec<_>>());
+        let s = Matrix::from_diag(&(0..20).map(|i| 10f64.powi(-i)).collect::<Vec<_>>());
         let a = matmul(&matmul(&u, &s), &v.transpose());
         let loose = truncated_pivoted_qr(&a, 1e-3, None).rank;
         let tight = truncated_pivoted_qr(&a, 1e-9, None).rank;
-        assert!(loose < tight, "loose rank {loose} should be < tight rank {tight}");
-        assert!(loose >= 3 && loose <= 6);
-        assert!(tight >= 9 && tight <= 12);
+        assert!(
+            loose < tight,
+            "loose rank {loose} should be < tight rank {tight}"
+        );
+        assert!((3..=6).contains(&loose));
+        assert!((9..=12).contains(&tight));
+    }
+
+    #[test]
+    fn geometric_decay_survives_the_blocked_path() {
+        // Singular values decaying across several panels: the delayed-update
+        // norms must still produce a monotone rdiag and correct rank estimates.
+        let mut r = rng();
+        let n = 2 * QR_BLOCK + 8;
+        let u = crate::qr::orthonormal_columns(&Matrix::random(n, n, &mut r));
+        let v = crate::qr::orthonormal_columns(&Matrix::random(n, n, &mut r));
+        let s = Matrix::from_diag(&(0..n).map(|i| (0.7f64).powi(i as i32)).collect::<Vec<_>>());
+        let a = matmul(&matmul(&u, &s), &v.transpose());
+        let f = pivoted_qr(&a);
+        assert!(f.reconstruct().max_abs_diff(&a) < 1e-9);
+        for w in f.rdiag.windows(2) {
+            assert!(w[0] >= w[1] - 1e-8);
+        }
     }
 }

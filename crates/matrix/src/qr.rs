@@ -1,13 +1,24 @@
-//! Householder QR factorization.
+//! Householder QR factorization, blocked compact-WY form.
 //!
 //! The shared bases of the BLR²/HSS/H² formats are computed with (column-pivoted) QR
 //! factorizations of concatenated block rows/columns (Eqs. 2–3, 6–7, 20–21, 27–28 of
 //! the paper).  This module provides the unpivoted Householder kernel and utilities to
 //! expand the full square `Q` — the "skeleton + redundant" basis `[U^S U^R]` needs all
 //! `m` columns of `Q`, not just the thin part.
+//!
+//! The factorization is *level-3 blocked*: reflectors are produced panel by panel
+//! (width [`QR_BLOCK`]) and applied to the trailing matrix in compact-WY form,
+//! `Q = I - V T Vᵀ` with `T` upper triangular, so the dominant cost is two GEMM
+//! calls per panel that route through the packed microkernel
+//! ([`crate::kernel`]) instead of `O(n)` rank-1 updates.  `Q` assembly and
+//! `Qᵀ B` application use the same WY accumulation.
 
 use crate::flops::{add_flops, cost};
+use crate::gemm::{gemm, matmul_tn};
 use crate::matrix::Matrix;
+
+/// Panel width of the blocked factorization (LAPACK's `nb`).
+pub const QR_BLOCK: usize = 32;
 
 /// Householder QR factorization `A = Q R`.
 #[derive(Debug, Clone)]
@@ -18,7 +29,119 @@ pub struct Qr {
     pub tau: Vec<f64>,
 }
 
-/// Compute the packed Householder QR of `a` (any shape).
+/// Generate the Householder reflector for column `k` of `qr` (rows `k..m`):
+/// stores `beta` on the diagonal, `v` below it (implicit unit head).  Returns
+/// `(tau, normx)`; a zero column yields `tau = 0` (identity reflector).  Also
+/// used by the pivoted factorization, which records `normx` as the R diagonal.
+pub(crate) fn make_reflector(qr: &mut Matrix, k: usize) -> (f64, f64) {
+    let m = qr.rows();
+    let mut normx = 0.0;
+    for i in k..m {
+        let x = qr.get(i, k);
+        normx += x * x;
+    }
+    normx = normx.sqrt();
+    if normx == 0.0 {
+        return (0.0, 0.0);
+    }
+    let alpha = qr.get(k, k);
+    let beta = if alpha >= 0.0 { -normx } else { normx };
+    let tau = (beta - alpha) / beta;
+    let scale = alpha - beta;
+    qr.set(k, k, beta);
+    for i in k + 1..m {
+        let v = qr.get(i, k) / scale;
+        qr.set(i, k, v);
+    }
+    (tau, normx)
+}
+
+/// Apply reflector `k` (stored in `qr`) to columns `j0..j1` of `qr`:
+/// `A[k.., j] -= tau * v (vᵀ A[k.., j])`.
+fn apply_reflector(qr: &mut Matrix, k: usize, tau: f64, j0: usize, j1: usize) {
+    if tau == 0.0 {
+        return;
+    }
+    let m = qr.rows();
+    for j in j0..j1 {
+        let mut w = qr.get(k, j);
+        for i in k + 1..m {
+            w += qr.get(i, k) * qr.get(i, j);
+        }
+        w *= tau;
+        let vkk = qr.get(k, j) - w;
+        qr.set(k, j, vkk);
+        for i in k + 1..m {
+            let upd = qr.get(i, j) - w * qr.get(i, k);
+            qr.set(i, j, upd);
+        }
+    }
+}
+
+/// Unblocked QR of panel columns `k0..k0+jb` (rows `k0..m`), reflectors applied
+/// only within the panel.  Fills `tau[k0..k0+jb]`.
+fn factor_panel(qr: &mut Matrix, k0: usize, jb: usize, tau: &mut [f64]) {
+    for j in 0..jb {
+        let k = k0 + j;
+        let (t, _) = make_reflector(qr, k);
+        tau[k] = t;
+        apply_reflector(qr, k, t, k + 1, k0 + jb);
+    }
+}
+
+/// Extract the unit-lower-trapezoidal reflector block `V` for the panel starting
+/// at `k0` with width `jb`: shape `(m - k0) x jb`.
+fn panel_v(qr: &Matrix, k0: usize, jb: usize) -> Matrix {
+    let m = qr.rows();
+    let mut v = Matrix::zeros(m - k0, jb);
+    for j in 0..jb {
+        v.set(j, j, 1.0);
+        for i in k0 + j + 1..m {
+            v.set(i - k0, j, qr.get(i, k0 + j));
+        }
+    }
+    v
+}
+
+/// Build the upper-triangular `T` of the compact-WY representation
+/// `H_0 H_1 ... H_{jb-1} = I - V T Vᵀ` from `V` and the panel's `tau` values.
+fn panel_t(v: &Matrix, tau: &[f64]) -> Matrix {
+    let jb = v.cols();
+    debug_assert_eq!(tau.len(), jb);
+    // S = Vᵀ V once (jb x jb); the recurrence only needs its strict upper part.
+    let s = matmul_tn(v, v);
+    let mut t = Matrix::zeros(jb, jb);
+    for j in 0..jb {
+        let tj = tau[j];
+        t.set(j, j, tj);
+        if tj == 0.0 {
+            continue;
+        }
+        // T[0..j, j] = -tau_j * T[0..j, 0..j] * S[0..j, j]
+        for i in 0..j {
+            let mut acc = 0.0;
+            for l in i..j {
+                acc += t.get(i, l) * s.get(l, j);
+            }
+            t.set(i, j, -tj * acc);
+        }
+    }
+    t
+}
+
+/// Apply the panel's WY block to `c` from the left:
+/// `C := (I - V T' Vᵀ) C`, where `T'` is `T` (for `Q`) or `Tᵀ` (for `Qᵀ`).
+fn apply_wy(v: &Matrix, t: &Matrix, trans_t: bool, c: &mut Matrix) {
+    if c.cols() == 0 || v.cols() == 0 {
+        return;
+    }
+    let w = matmul_tn(v, c); // jb x nc
+    let mut w2 = Matrix::zeros(w.rows(), w.cols());
+    gemm(1.0, t, trans_t, &w, false, 0.0, &mut w2);
+    gemm(-1.0, v, false, &w2, false, 1.0, c);
+}
+
+/// Compute the packed Householder QR of `a` (any shape), blocked compact-WY.
 pub fn householder_qr(a: &Matrix) -> Qr {
     let m = a.rows();
     let n = a.cols();
@@ -26,49 +149,21 @@ pub fn householder_qr(a: &Matrix) -> Qr {
     let mut qr = a.clone();
     let kmax = m.min(n);
     let mut tau = vec![0.0; kmax];
-    let mut v = vec![0.0; m];
-    for k in 0..kmax {
-        // Build the Householder reflector for column k, rows k..m.
-        let mut normx = 0.0;
-        for i in k..m {
-            let x = qr.get(i, k);
-            normx += x * x;
+    let mut k0 = 0;
+    while k0 < kmax {
+        let jb = QR_BLOCK.min(kmax - k0);
+        factor_panel(&mut qr, k0, jb, &mut tau);
+        let jnext = k0 + jb;
+        if jnext < n {
+            // Trailing update in one WY application: two GEMMs instead of jb
+            // rank-1 sweeps.
+            let v = panel_v(&qr, k0, jb);
+            let t = panel_t(&v, &tau[k0..jnext]);
+            let mut c = qr.block(k0, jnext, m - k0, n - jnext);
+            apply_wy(&v, &t, true, &mut c);
+            qr.set_block(k0, jnext, &c);
         }
-        normx = normx.sqrt();
-        if normx == 0.0 {
-            tau[k] = 0.0;
-            continue;
-        }
-        let alpha = qr.get(k, k);
-        let beta = if alpha >= 0.0 { -normx } else { normx };
-        let tk = (beta - alpha) / beta;
-        tau[k] = tk;
-        let scale = alpha - beta;
-        // v = [1, x_{k+1..m} / (alpha - beta)]
-        v[k] = 1.0;
-        for i in k + 1..m {
-            v[i] = qr.get(i, k) / scale;
-        }
-        // Store R(k,k) and the reflector below the diagonal.
-        qr.set(k, k, beta);
-        for i in k + 1..m {
-            qr.set(i, k, v[i]);
-        }
-        // Apply the reflector to the trailing columns: A := (I - tau v v^T) A.
-        for j in k + 1..n {
-            let mut w = 0.0;
-            {
-                let col = qr.col(j);
-                for i in k..m {
-                    w += v[i] * col[i];
-                }
-            }
-            w *= tk;
-            let col = qr.col_mut(j);
-            for i in k..m {
-                col[i] -= w * v[i];
-            }
-        }
+        k0 = jnext;
     }
     Qr { qr, tau }
 }
@@ -108,75 +203,49 @@ impl Qr {
         self.q_columns(self.qr.rows())
     }
 
-    /// First `ncols` columns of the orthogonal factor.
+    /// First `ncols` columns of the orthogonal factor, accumulated panel by
+    /// panel in WY form (reverse order: `Q C = H_0 (H_1 (... C))`).
     pub fn q_columns(&self, ncols: usize) -> Matrix {
         let m = self.qr.rows();
         let kmax = self.tau.len();
         assert!(ncols <= m, "q_columns: requested more columns than rows");
         add_flops(2 * (m as u64) * (ncols as u64) * (kmax as u64));
-        // Start from the identity block and apply reflectors in reverse order.
         let mut q = Matrix::zeros(m, ncols);
         for j in 0..ncols.min(m) {
             q.set(j, j, 1.0);
         }
-        let mut v = vec![0.0; m];
-        for kk in 0..kmax {
-            let k = kmax - 1 - kk;
-            let tk = self.tau[k];
-            if tk == 0.0 {
-                continue;
-            }
-            v[k] = 1.0;
-            for i in k + 1..m {
-                v[i] = self.qr.get(i, k);
-            }
-            for j in 0..ncols {
-                let mut w = 0.0;
-                {
-                    let col = q.col(j);
-                    for i in k..m {
-                        w += v[i] * col[i];
-                    }
-                }
-                w *= tk;
-                let col = q.col_mut(j);
-                for i in k..m {
-                    col[i] -= w * v[i];
-                }
-            }
+        if kmax == 0 {
+            return q;
+        }
+        let npanels = kmax.div_ceil(QR_BLOCK);
+        for p in (0..npanels).rev() {
+            let k0 = p * QR_BLOCK;
+            let jb = QR_BLOCK.min(kmax - k0);
+            let v = panel_v(&self.qr, k0, jb);
+            let t = panel_t(&v, &self.tau[k0..k0 + jb]);
+            let mut c = q.block(k0, 0, m - k0, ncols);
+            apply_wy(&v, &t, false, &mut c);
+            q.set_block(k0, 0, &c);
         }
         q
     }
 
-    /// Apply `Q^T` to a matrix in place (`B := Q^T B`).
+    /// Apply `Q^T` to a matrix in place (`B := Q^T B`), panel by panel in WY
+    /// form (forward order: `Qᵀ B = H_{k-1} (... (H_0 B))`).
     pub fn apply_qt(&self, b: &mut Matrix) {
         let m = self.qr.rows();
         assert_eq!(b.rows(), m, "apply_qt: row mismatch");
         add_flops(2 * (m as u64) * (b.cols() as u64) * (self.tau.len() as u64));
-        let mut v = vec![0.0; m];
-        for k in 0..self.tau.len() {
-            let tk = self.tau[k];
-            if tk == 0.0 {
-                continue;
-            }
-            v[k] = 1.0;
-            for i in k + 1..m {
-                v[i] = self.qr.get(i, k);
-            }
-            for j in 0..b.cols() {
-                let mut w = 0.0;
-                {
-                    let col = b.col(j);
-                    for i in k..m {
-                        w += v[i] * col[i];
-                    }
-                }
-                w *= tk;
-                let col = b.col_mut(j);
-                for i in k..m {
-                    col[i] -= w * v[i];
-                }
-            }
+        let kmax = self.tau.len();
+        let mut k0 = 0;
+        while k0 < kmax {
+            let jb = QR_BLOCK.min(kmax - k0);
+            let v = panel_v(&self.qr, k0, jb);
+            let t = panel_t(&v, &self.tau[k0..k0 + jb]);
+            let mut c = b.block(k0, 0, m - k0, b.cols());
+            apply_wy(&v, &t, true, &mut c);
+            b.set_block(k0, 0, &c);
+            k0 += jb;
         }
     }
 }
@@ -217,6 +286,27 @@ mod tests {
     }
 
     #[test]
+    fn qr_reconstructs_beyond_panel_width() {
+        // Shapes straddling the QR_BLOCK panel boundary exercise the WY path.
+        let mut r = rng();
+        for &(m, n) in &[
+            (QR_BLOCK, QR_BLOCK),
+            (QR_BLOCK + 1, QR_BLOCK - 1),
+            (2 * QR_BLOCK + 5, QR_BLOCK + 3),
+            (3 * QR_BLOCK, 2 * QR_BLOCK + 1),
+            (QR_BLOCK + 7, 3 * QR_BLOCK),
+            (90, 90),
+        ] {
+            let a = Matrix::random(m, n, &mut r);
+            let f = householder_qr(&a);
+            let q = f.q_thin();
+            let rr = f.r();
+            check_orthonormal(&q, 1e-11);
+            assert!(matmul(&q, &rr).max_abs_diff(&a) < 1e-10, "shape {m}x{n}");
+        }
+    }
+
+    #[test]
     fn full_q_is_square_orthogonal() {
         let mut r = rng();
         let a = Matrix::random(10, 4, &mut r);
@@ -232,22 +322,24 @@ mod tests {
     #[test]
     fn apply_qt_matches_explicit_q() {
         let mut r = rng();
-        let a = Matrix::random(9, 6, &mut r);
-        let f = householder_qr(&a);
-        let b = Matrix::random(9, 3, &mut r);
-        let mut b1 = b.clone();
-        f.apply_qt(&mut b1);
-        let b2 = matmul_tn(&f.q_full(), &b);
-        assert!(b1.max_abs_diff(&b2) < 1e-11);
-        // Q^T A should equal R padded with zeros.
-        let mut qa = a.clone();
-        f.apply_qt(&mut qa);
-        let rfull = {
-            let mut rf = Matrix::zeros(9, 6);
-            rf.set_block(0, 0, &f.r());
-            rf
-        };
-        assert!(qa.max_abs_diff(&rfull) < 1e-11);
+        for &(m, n) in &[(9usize, 6usize), (2 * QR_BLOCK + 3, QR_BLOCK + 2)] {
+            let a = Matrix::random(m, n, &mut r);
+            let f = householder_qr(&a);
+            let b = Matrix::random(m, 3, &mut r);
+            let mut b1 = b.clone();
+            f.apply_qt(&mut b1);
+            let b2 = matmul_tn(&f.q_full(), &b);
+            assert!(b1.max_abs_diff(&b2) < 1e-10, "shape {m}x{n}");
+            // Q^T A should equal R padded with zeros.
+            let mut qa = a.clone();
+            f.apply_qt(&mut qa);
+            let rfull = {
+                let mut rf = Matrix::zeros(m, n);
+                rf.set_block(0, 0, &f.r());
+                rf
+            };
+            assert!(qa.max_abs_diff(&rfull) < 1e-10, "shape {m}x{n}");
+        }
     }
 
     #[test]
@@ -277,5 +369,14 @@ mod tests {
         assert!(f.r().max_abs_diff(&Matrix::zeros(3, 3)) < 1e-15);
         let q = f.q_full();
         check_orthonormal(&q, 1e-14);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let f = householder_qr(&Matrix::zeros(0, 0));
+        assert_eq!(f.q_full().shape(), (0, 0));
+        let f = householder_qr(&Matrix::zeros(4, 0));
+        assert_eq!(f.q_full().shape(), (4, 4));
+        check_orthonormal(&f.q_full(), 1e-15);
     }
 }

@@ -39,7 +39,11 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
     if m < n {
         // Work on the transpose and swap U/V.
         let t = jacobi_svd(&a.transpose())?;
-        return Ok(Svd { u: t.v, s: t.s, v: t.u });
+        return Ok(Svd {
+            u: t.v,
+            s: t.s,
+            v: t.u,
+        });
     }
     // Tall case: QR first so the Jacobi iteration runs on an n x n matrix.
     let (qthin, work) = if m > n {

@@ -239,7 +239,11 @@ impl Comm {
         let parts = self.allgather(tag ^ (0x5ed << 32), data);
         let mut acc = vec![0.0; data.len()];
         for part in parts {
-            assert_eq!(part.len(), data.len(), "allreduce_sum: length mismatch across ranks");
+            assert_eq!(
+                part.len(),
+                data.len(),
+                "allreduce_sum: length mismatch across ranks"
+            );
             for (a, v) in acc.iter_mut().zip(&part) {
                 *a += v;
             }
@@ -292,7 +296,9 @@ impl Comm {
                             (comm_id, *old_rank),
                             (receivers[new_rank].clone(), Arc::clone(&new_shared)),
                         );
-                        coord.split_results.insert(*old_rank, (comm_id, new_rank, size));
+                        coord
+                            .split_results
+                            .insert(*old_rank, (comm_id, new_rank, size));
                     }
                 }
                 coord.split_generation += 1;
@@ -381,7 +387,11 @@ mod tests {
     #[test]
     fn bcast_and_allreduce() {
         let results = Universe::run(3, |mut comm| {
-            let data = if comm.rank() == 1 { vec![5.0, 6.0] } else { vec![0.0, 0.0] };
+            let data = if comm.rank() == 1 {
+                vec![5.0, 6.0]
+            } else {
+                vec![0.0, 0.0]
+            };
             let b = comm.bcast(9, 1, &data);
             let s = comm.allreduce_sum(11, &[comm.rank() as f64 + 1.0]);
             (b, s)

@@ -63,17 +63,27 @@ impl CommStats {
 
     /// Total bytes sent across all ranks.
     pub fn total_bytes(&self) -> u64 {
-        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.bytes_sent
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total messages sent across all ranks.
     pub fn total_messages(&self) -> u64 {
-        self.messages_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.messages_sent
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Maximum bytes sent by any single rank (the communication-bound rank).
     pub fn max_bytes_per_rank(&self) -> u64 {
-        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).max().unwrap_or(0)
+        self.bytes_sent
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -102,7 +102,7 @@ impl ProcessTree {
 
     fn leaf_to_rank_hi(&self, leaf_hi: usize) -> usize {
         let slots = 1usize << self.depth;
-        ((leaf_hi * self.ranks) + slots - 1) / slots
+        (leaf_hi * self.ranks).div_ceil(slots)
     }
 
     /// Map a rank to its first process-tree leaf slot.
@@ -157,13 +157,16 @@ mod tests {
         let pt = ProcessTree::new(6);
         assert_eq!(pt.depth, 3);
         // Every leaf-level node maps to a valid rank and all ranks are used.
-        let mut used = vec![false; 6];
+        let mut used = [false; 6];
         for i in 0..8 {
             let r = pt.owner(3, i);
             assert!(r < 6);
             used[r] = true;
         }
-        assert!(used.iter().all(|&u| u), "every rank owns at least one leaf slot");
+        assert!(
+            used.iter().all(|&u| u),
+            "every rank owns at least one leaf slot"
+        );
         // Root covers all ranks.
         assert_eq!(pt.owners(0, 0), (0, 6));
     }

@@ -155,7 +155,11 @@ impl TaskGraph {
             .map(|&k| {
                 (
                     k,
-                    self.nodes.iter().filter(|n| n.kind == k).map(|n| n.cost).sum(),
+                    self.nodes
+                        .iter()
+                        .filter(|n| n.kind == k)
+                        .map(|n| n.cost)
+                        .sum(),
                 )
             })
             .filter(|(_, w)| *w > 0.0)

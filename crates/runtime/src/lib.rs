@@ -31,6 +31,6 @@ pub mod trace;
 
 pub use dag::{TaskGraph, TaskId, TaskKind};
 pub use pool::{DagExecutor, ThreadPool};
-pub use sim::{SimConfig, SimResult, simulate_schedule};
+pub use sim::{simulate_schedule, SimConfig, SimResult};
 pub use stats::ScheduleStats;
 pub use trace::{Trace, TraceEvent};

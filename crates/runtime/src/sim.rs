@@ -87,7 +87,11 @@ pub fn simulate_schedule(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
 
     // Event-driven simulation: a priority queue of (finish_time, worker, task).
     let mut remaining: Vec<usize> = graph.iter().map(|t| t.deps.len()).collect();
-    let mut ready: Vec<TaskId> = graph.iter().filter(|t| t.deps.is_empty()).map(|t| t.id).collect();
+    let mut ready: Vec<TaskId> = graph
+        .iter()
+        .filter(|t| t.deps.is_empty())
+        .map(|t| t.id)
+        .collect();
     ready.sort();
     let mut worker_free = vec![0.0f64; workers];
     // `ready_at[t]` is the time at which task t became ready (max finish of its deps).
@@ -103,13 +107,13 @@ pub fn simulate_schedule(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
 
     // Helper to dispatch every currently-ready task onto the earliest-free workers.
     let dispatch = |ready: &mut Vec<TaskId>,
-                        worker_free: &mut Vec<f64>,
-                        heap: &mut BinaryHeap<Reverse<(u64, usize, usize)>>,
-                        trace: &mut Trace,
-                        ready_at: &Vec<f64>,
-                        useful: &mut f64,
-                        overhead: &mut f64,
-                        makespan: &mut f64| {
+                    worker_free: &mut Vec<f64>,
+                    heap: &mut BinaryHeap<Reverse<(u64, usize, usize)>>,
+                    trace: &mut Trace,
+                    ready_at: &Vec<f64>,
+                    useful: &mut f64,
+                    overhead: &mut f64,
+                    makespan: &mut f64| {
         while let Some(tid) = ready.first().copied() {
             ready.remove(0);
             // Earliest-available worker.
@@ -158,7 +162,8 @@ pub fn simulate_schedule(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
     );
 
     while completed < n {
-        let Reverse((fin_key, _w, tid)) = heap.pop().expect("simulation deadlock: no running tasks");
+        let Reverse((fin_key, _w, tid)) =
+            heap.pop().expect("simulation deadlock: no running tasks");
         let fin = fin_key as f64 / 1e9;
         completed += 1;
         for &dep in &graph.node(TaskId(tid)).dependents {
@@ -238,7 +243,10 @@ mod tests {
         let t1 = simulate_schedule(&g, &cfg(1)).makespan;
         let t16 = simulate_schedule(&g, &cfg(16)).makespan;
         assert!((t1 - 20.0).abs() < 1e-6);
-        assert!((t16 - 20.0).abs() < 1e-6, "a chain's makespan equals its critical path");
+        assert!(
+            (t16 - 20.0).abs() < 1e-6,
+            "a chain's makespan equals its critical path"
+        );
     }
 
     #[test]

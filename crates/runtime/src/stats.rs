@@ -24,7 +24,10 @@ impl ScheduleStats {
     pub fn analyze(graph: &TaskGraph, base: &SimConfig, worker_counts: &[usize]) -> Self {
         let mut scaling = Vec::with_capacity(worker_counts.len());
         for &w in worker_counts {
-            let cfg = SimConfig { workers: w, ..*base };
+            let cfg = SimConfig {
+                workers: w,
+                ..*base
+            };
             let res: SimResult = simulate_schedule(graph, &cfg);
             scaling.push((w, res.makespan, res.efficiency(w)));
         }
@@ -52,7 +55,11 @@ impl ScheduleStats {
             .iter()
             .find(|(w, _, _)| *w == 1)
             .map(|(_, t, _)| *t);
-        let tmax = self.scaling.iter().max_by_key(|(w, _, _)| *w).map(|(_, t, _)| *t);
+        let tmax = self
+            .scaling
+            .iter()
+            .max_by_key(|(w, _, _)| *w)
+            .map(|(_, t, _)| *t);
         match (t1, tmax) {
             (Some(t1), Some(tp)) if tp > 0.0 => t1 / tp,
             _ => 1.0,

@@ -55,18 +55,29 @@ impl Trace {
 
     /// Record an interval.
     pub fn push(&mut self, ev: TraceEvent) {
-        debug_assert!(ev.end >= ev.start, "trace interval must have non-negative length");
+        debug_assert!(
+            ev.end >= ev.start,
+            "trace interval must have non-negative length"
+        );
         self.events.push(ev);
     }
 
     /// Total useful-work time summed over workers.
     pub fn useful_time(&self) -> f64 {
-        self.events.iter().filter(|e| !e.is_overhead()).map(|e| e.duration()).sum()
+        self.events
+            .iter()
+            .filter(|e| !e.is_overhead())
+            .map(|e| e.duration())
+            .sum()
     }
 
     /// Total runtime-overhead time summed over workers.
     pub fn overhead_time(&self) -> f64 {
-        self.events.iter().filter(|e| e.is_overhead()).map(|e| e.duration()).sum()
+        self.events
+            .iter()
+            .filter(|e| e.is_overhead())
+            .map(|e| e.duration())
+            .sum()
     }
 
     /// Overhead as a fraction of total busy time (the Fig. 13 headline number).

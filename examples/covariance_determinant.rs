@@ -7,8 +7,8 @@
 //! cargo run --release --example covariance_determinant
 //! ```
 
-use h2ulv::prelude::*;
 use h2ulv::matrix::{cholesky_factor, lu_factor};
+use h2ulv::prelude::*;
 
 fn main() {
     let n = 1500;

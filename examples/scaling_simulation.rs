@@ -26,12 +26,16 @@ fn main() {
     let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
     let dep = h2_ulv_dep(&kernel, &tree, &opts);
 
-    println!("task graph (no dependencies):   {} tasks, average parallelism {:.1}",
+    println!(
+        "task graph (no dependencies):   {} tasks, average parallelism {:.1}",
         nodep.task_graph.len(),
-        nodep.task_graph.total_work() / nodep.task_graph.critical_path());
-    println!("task graph (with dependencies): {} tasks, average parallelism {:.1}",
+        nodep.task_graph.total_work() / nodep.task_graph.critical_path()
+    );
+    println!(
+        "task graph (with dependencies): {} tasks, average parallelism {:.1}",
         dep.task_graph.len(),
-        dep.task_graph.total_work() / dep.task_graph.critical_path());
+        dep.task_graph.total_work() / dep.task_graph.critical_path()
+    );
 
     println!("\nshared-memory replay (virtual cores):");
     println!("cores\tno-dep (s)\twith-dep (s)");

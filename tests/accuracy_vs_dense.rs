@@ -34,7 +34,10 @@ fn h2_ulv_nodep_matches_dense_lu_on_laplace_cube() {
         );
         let x = factors.solve(&b);
         let err = rel_l2_error(&x, &xref);
-        assert!(err < tol.sqrt() * 10.0, "tol {tol}: error vs dense LU {err}");
+        assert!(
+            err < tol.sqrt() * 10.0,
+            "tol {tol}: error vs dense LU {err}"
+        );
     }
 }
 
@@ -63,7 +66,11 @@ fn tighter_tolerance_gives_a_more_accurate_solution() {
         errors[2] < errors[0],
         "error did not decrease with tolerance: {errors:?}"
     );
-    assert!(errors[2] < 1e-4, "tight-tolerance error too large: {}", errors[2]);
+    assert!(
+        errors[2] < 1e-4,
+        "tight-tolerance error too large: {}",
+        errors[2]
+    );
 }
 
 #[test]

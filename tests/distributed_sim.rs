@@ -25,10 +25,12 @@ fn allgather_over_split_communicators_follows_the_process_tree() {
         assert_eq!(pair, vec![base as f64, base as f64 + 1.0]);
         assert_eq!(quad.len(), 8); // 4 ranks x 2 values each
         let quad_base = (rank / 4) * 4;
-        let expect: Vec<f64> = (0..4).flat_map(|r| {
-            let b = (quad_base + r) / 2 * 2;
-            vec![b as f64, b as f64 + 1.0]
-        }).collect();
+        let expect: Vec<f64> = (0..4)
+            .flat_map(|r| {
+                let b = (quad_base + r) / 2 * 2;
+                vec![b as f64, b as f64 + 1.0]
+            })
+            .collect();
         assert_eq!(quad, expect);
     }
 }

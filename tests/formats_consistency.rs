@@ -17,7 +17,9 @@ fn all_formats_reproduce_the_kernel_matvec() {
     let points = uniform_cube(n, 13);
     let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
     let kernel = LaplaceKernel::default();
-    let x: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0).collect();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 37 % 101) as f64 - 50.0) / 50.0)
+        .collect();
     let yref = exact_matvec(&kernel, &tree, &x);
 
     let blr = BlrMatrix::build(&kernel, &tree, &Admissibility::weak(), 1e-7, 64);

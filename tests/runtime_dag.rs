@@ -71,7 +71,10 @@ fn simulated_scaling_shows_the_figure_11_mechanisms() {
     let lorapo_big = h2ulv::lorapo::build_blr_lu_dag(4, 256, 16);
     let slowdown_small = time(&lorapo_small, 64, 2e-4) / time(&lorapo_small, 64, 0.0);
     let slowdown_big = time(&lorapo_big, 64, 2e-4) / time(&lorapo_big, 64, 0.0);
-    assert!(slowdown_small > 1.5, "overhead must be visible: {slowdown_small:.2}");
+    assert!(
+        slowdown_small > 1.5,
+        "overhead must be visible: {slowdown_small:.2}"
+    );
     assert!(
         slowdown_small > slowdown_big,
         "small tiles must suffer more from overhead ({slowdown_small:.2} vs {slowdown_big:.2})"
@@ -82,7 +85,9 @@ fn simulated_scaling_shows_the_figure_11_mechanisms() {
 fn dag_executor_runs_a_recorded_graph_with_real_closures() {
     // Execute a small synthetic level-structured graph and verify ordering.
     let mut g = TaskGraph::new();
-    let leaves: Vec<_> = (0..6).map(|_| g.add_task(TaskKind::Factor, 1.0, &[])).collect();
+    let leaves: Vec<_> = (0..6)
+        .map(|_| g.add_task(TaskKind::Factor, 1.0, &[]))
+        .collect();
     let merge = g.add_task(TaskKind::Other, 1.0, &leaves);
     let _root = g.add_task(TaskKind::Factor, 1.0, &[merge]);
     let counter = Arc::new(AtomicUsize::new(0));

@@ -1,0 +1,239 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset of the rayon API the workspace uses — `par_iter()` /
+//! `into_par_iter()` followed by `.map(..).collect()` — with real data
+//! parallelism on `std::thread::scope`.  Items are materialised up front and
+//! split into contiguous index chunks, one scoped thread per chunk, so results
+//! come back in input order and `collect()` works for any `FromIterator`
+//! target (`Vec`, `HashMap`, ...).
+//!
+//! The chunk-per-thread strategy means each item is evaluated exactly once by
+//! exactly one thread and the output order never depends on scheduling, which
+//! keeps every caller deterministic.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use (respects `RAYON_NUM_THREADS`).
+pub fn current_num_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let mut rb = None;
+    let ra = std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        rb = Some(hb.join().expect("rayon::join: closure panicked"));
+        ra
+    });
+    (ra, rb.expect("rayon::join: missing result"))
+}
+
+thread_local! {
+    /// True on threads spawned by [`par_eval`]; lets nested users (e.g. the
+    /// packed GEMM kernel) fall back to serial instead of oversubscribing.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// True when the current thread is itself a parallel worker spawned by this
+/// crate.  Code that would spawn its own threads (nested parallelism) should
+/// run serially in that case — every core is already busy with an outer item.
+pub fn in_parallel_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Evaluate `f` over every item, in input order, across scoped threads.
+fn par_eval<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = if in_parallel_worker() {
+        1 // nested parallel region: the outer fan-out already owns the cores
+    } else {
+        current_num_threads().min(n).max(1)
+    };
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut inputs: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let mut outputs: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ins, outs) in inputs.chunks_mut(chunk).zip(outputs.chunks_mut(chunk)) {
+            s.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (i, o) in ins.iter_mut().zip(outs.iter_mut()) {
+                    *o = Some(f(i.take().expect("par_eval: item consumed twice")));
+                }
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|o| o.expect("par_eval: worker thread did not fill its slot"))
+        .collect()
+}
+
+/// A materialised parallel iterator over owned items.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Map each item through `f` (evaluated in parallel at `collect` time).
+    pub fn map<R, F>(self, f: F) -> ParMap<I, R, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+
+    /// Run `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        let _ = par_eval(self.items, &|i| f(i));
+    }
+}
+
+/// A mapped parallel iterator; evaluation happens in [`ParMap::collect`].
+pub struct ParMap<I, R, F> {
+    items: Vec<I>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<I, R, F> ParMap<I, R, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    /// Evaluate the map in parallel and collect in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<R>,
+    {
+        par_eval(self.items, &self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator (owned items).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Materialise the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `.par_iter()` over borrowed slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The usual glob import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_par_iter_and_hashmap_collect() {
+        let keys: Vec<usize> = (0..100).collect();
+        let m: HashMap<usize, usize> = keys.par_iter().map(|&k| (k, k * k)).collect();
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&7], 49);
+    }
+
+    #[test]
+    fn nested_parallelism_is_serialised() {
+        // Inside a worker, par_eval must not fan out again.
+        let flags: Vec<bool> = (0..4usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|_| super::in_parallel_worker())
+            .collect();
+        // Outer region may or may not thread (depends on core count), but a
+        // nested region inside a worker always reports worker context.
+        if super::current_num_threads() > 1 {
+            assert!(flags.iter().all(|&f| f));
+        }
+        assert!(
+            !super::in_parallel_worker(),
+            "flag must not leak to the caller"
+        );
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}
