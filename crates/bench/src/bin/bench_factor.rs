@@ -1,0 +1,215 @@
+//! End-to-end factorization benchmark: wall-clock vs problem size and vs pool
+//! threads.
+//!
+//! For every problem size in the scale's sweep, the H²-ULV factorization runs
+//! once per pool-thread count {1, 2, 4} through the work-stealing DAG executor,
+//! and the results land in `BENCH_factor.json`: wall-clock seconds, the
+//! construction/factorization split, flop counts, the thread-scaling speedups,
+//! and a fingerprint of the factors proving bitwise identity across thread
+//! counts (the executor's determinism contract).
+//!
+//! Usage:
+//! ```text
+//! H2_BENCH_SCALE=small cargo run --release -p h2_bench --bin bench_factor [out.json]
+//! ```
+//! Thread counts beyond the host's cores are still measured — they cannot show
+//! real speedup (oversubscription), but the bitwise-identity check and the
+//! scheduling overhead they expose are meaningful on any host;
+//! `host.available_cores` records what the machine could do.
+
+use h2_bench::{build_kernel, build_points, build_tree, h2_options, Scale, Workload};
+use h2_factor::{h2_ulv_nodep, UlvFactors};
+use h2_matrix::Matrix;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// FNV-1a over the raw bit patterns of every factor matrix: two factorizations
+/// agree on this hash iff they are bitwise identical (up to hash collisions).
+fn fingerprint(f: &UlvFactors) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut eat_u64 = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    let eat_matrix = |m: &Matrix, eat: &mut dyn FnMut(u64)| {
+        eat(m.rows() as u64);
+        eat(m.cols() as u64);
+        for v in m.as_slice() {
+            eat(v.to_bits());
+        }
+    };
+    eat_matrix(&f.root_lu.lu, &mut eat_u64);
+    for &p in &f.root_lu.ipiv {
+        eat_u64(p as u64);
+    }
+    for lf in &f.levels {
+        for c in &lf.clusters {
+            eat_matrix(&c.q, &mut eat_u64);
+            eat_matrix(&c.p, &mut eat_u64);
+            if let Some(lu) = &c.lu {
+                eat_matrix(&lu.lu, &mut eat_u64);
+            }
+        }
+        // Panels, visited in sorted key order so the hash is well-defined.
+        for map in [&lf.row_rr, &lf.row_rs, &lf.col_rr, &lf.col_sr] {
+            let mut keys: Vec<_> = map.keys().copied().collect();
+            keys.sort_unstable();
+            for key in keys {
+                eat_u64(key.0 as u64);
+                eat_u64(key.1 as u64);
+                eat_matrix(&map[&key], &mut eat_u64);
+            }
+        }
+    }
+    h
+}
+
+struct ThreadRun {
+    threads: usize,
+    wall_seconds: f64,
+    factor_seconds: f64,
+    construction_seconds: f64,
+    factor_flops: u64,
+    fingerprint: u64,
+}
+
+struct SizeRow {
+    n: usize,
+    max_rank: usize,
+    residual: Option<f64>,
+    runs: Vec<ThreadRun>,
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_factor.json".to_string());
+    let scale = Scale::from_env();
+    // H2_BENCH_SIZES overrides the scale's sweep with an explicit list
+    // (comma-separated), e.g. H2_BENCH_SIZES=2048,8192.
+    let sizes: Vec<usize> = match std::env::var("H2_BENCH_SIZES") {
+        Ok(s) => s.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) => scale.sweep_sizes(),
+    };
+    let leaf = scale.leaf_size();
+    let tol = 1e-6;
+    let thread_counts = [1usize, 2, 4];
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "bench_factor: cores={available}, sizes={sizes:?}, leaf={leaf}, threads={thread_counts:?}"
+    );
+
+    let mut rows: Vec<SizeRow> = Vec::new();
+    for &n in &sizes {
+        let points = build_points(Workload::LaplaceCube, n, 20 + n as u64);
+        let n = points.len();
+        let kernel = build_kernel(Workload::LaplaceCube);
+        let tree = build_tree(&points, leaf);
+        let mut row = SizeRow {
+            n,
+            max_rank: 0,
+            residual: None,
+            runs: Vec::new(),
+        };
+        for &t in &thread_counts {
+            let mut opts = h2_options(tol);
+            opts.num_threads = t;
+            let t0 = Instant::now();
+            let factors = h2_ulv_nodep(kernel.as_ref(), &tree, &opts);
+            let wall = t0.elapsed().as_secs_f64();
+            let fp = fingerprint(&factors);
+            println!(
+                "n={n} threads={t}: wall {wall:.3}s (factor {:.3}s, construction {:.3}s), fingerprint {fp:016x}",
+                factors.stats.factorization_seconds, factors.stats.construction_seconds
+            );
+            row.max_rank = factors.stats.max_rank;
+            if t == 1 && n <= 3000 {
+                let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
+                let x = factors.solve(&b);
+                row.residual = Some(factors.residual_with(kernel.as_ref(), &b, &x));
+            }
+            row.runs.push(ThreadRun {
+                threads: t,
+                wall_seconds: wall,
+                factor_seconds: factors.stats.factorization_seconds,
+                construction_seconds: factors.stats.construction_seconds,
+                factor_flops: factors.stats.factorization_flops,
+                fingerprint: fp,
+            });
+        }
+        let identical = row
+            .runs
+            .windows(2)
+            .all(|w| w[0].fingerprint == w[1].fingerprint);
+        assert!(
+            identical,
+            "factors differ bitwise across thread counts at n={n} — determinism bug"
+        );
+        rows.push(row);
+    }
+
+    // ------------------------------------------------------------------- JSON
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(j, "  \"host\": {{\"available_cores\": {available}}},");
+    let _ = writeln!(
+        j,
+        "  \"problem\": {{\"workload\": \"laplace-cube\", \"leaf\": {leaf}, \"tol\": {tol:e}, \"solver\": \"h2-ulv-nodep\"}},"
+    );
+    j.push_str("  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let runs: Vec<String> = r
+            .runs
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"threads\": {}, \"wall_seconds\": {}, \"factor_seconds\": {}, \"construction_seconds\": {}, \"factor_gflop\": {}, \"fingerprint\": \"{:016x}\"}}",
+                    t.threads,
+                    json_f(t.wall_seconds),
+                    json_f(t.factor_seconds),
+                    json_f(t.construction_seconds),
+                    json_f(t.factor_flops as f64 / 1e9),
+                    t.fingerprint
+                )
+            })
+            .collect();
+        let t1 = r.runs.iter().find(|t| t.threads == 1);
+        let speedup = |tn: usize| -> f64 {
+            match (t1, r.runs.iter().find(|t| t.threads == tn)) {
+                (Some(a), Some(b)) if b.wall_seconds > 0.0 => a.wall_seconds / b.wall_seconds,
+                _ => f64::NAN,
+            }
+        };
+        let residual = r
+            .residual
+            .map(|v| format!("{v:.3e}"))
+            .unwrap_or_else(|| "null".to_string());
+        let _ = write!(
+            j,
+            "    {{\"n\": {}, \"max_rank\": {}, \"residual\": {}, \"runs\": [{}], \"speedup_2t\": {}, \"speedup_4t\": {}, \"bitwise_identical\": true}}",
+            r.n,
+            r.max_rank,
+            residual,
+            runs.join(", "),
+            json_f(speedup(2)),
+            json_f(speedup(4)),
+        );
+        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n");
+    j.push_str("}\n");
+    std::fs::write(&out_path, &j).expect("bench_factor: cannot write output JSON");
+    println!("bench_factor: wrote {out_path}");
+}

@@ -151,11 +151,21 @@ pub fn precompute_fillins(
         count,
         ..FillIns::default()
     };
-    for ((i, _j), f) in row_acc {
-        out.row_fills.entry(i).or_default().push(f);
+    // Flatten in sorted key order: the per-row/column block lists feed straight
+    // into the basis QR as concatenated columns, so their order must not depend
+    // on HashMap iteration order or the factors stop being run-to-run (and
+    // thread-count) deterministic.
+    let mut row_keys: Vec<(usize, usize)> = row_acc.keys().copied().collect();
+    row_keys.sort_unstable();
+    for key in row_keys {
+        let f = row_acc.remove(&key).expect("row fill key vanished");
+        out.row_fills.entry(key.0).or_default().push(f);
     }
-    for ((_i, j), ft) in col_acc {
-        out.col_fills.entry(j).or_default().push(ft);
+    let mut col_keys: Vec<(usize, usize)> = col_acc.keys().copied().collect();
+    col_keys.sort_unstable();
+    for key in col_keys {
+        let ft = col_acc.remove(&key).expect("col fill key vanished");
+        out.col_fills.entry(key.1).or_default().push(ft);
     }
     out
 }

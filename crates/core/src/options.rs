@@ -46,6 +46,11 @@ pub struct FactorOptions {
     pub fillin_enrichment: bool,
     /// Seed for the sampled basis mode.
     pub seed: u64,
+    /// Worker threads for the factorization's DAG executor.  `0` (the default)
+    /// resolves to the `H2_NUM_THREADS` environment variable if set, otherwise to
+    /// the available parallelism.  Factors are bitwise identical for every thread
+    /// count — each task computes one output slot and the merge order is fixed.
+    pub num_threads: usize,
 }
 
 impl Default for FactorOptions {
@@ -59,6 +64,7 @@ impl Default for FactorOptions {
             hierarchy: Hierarchy::MultiLevel,
             fillin_enrichment: true,
             seed: 0,
+            num_threads: 0,
         }
     }
 }

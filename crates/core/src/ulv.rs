@@ -22,18 +22,41 @@
 //! simulator can replay it on any number of virtual cores.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use h2_geometry::{ClusterTree, Kernel};
 use h2_hmatrix::basis::far_field_matrix;
 use h2_hmatrix::{BlockPartition, BlockType};
-use h2_matrix::{flop_count, lu_factor, matmul, matmul_tn, pivoted_qr, Lu, Matrix};
+use h2_matrix::flops::cost;
+use h2_matrix::{
+    flop_count, lu_factor, matmul, matmul_batch, matmul_tn, matmul_tn_batch_shared_a, pivoted_qr,
+    Lu, Matrix,
+};
 use rayon::prelude::*;
 
 use crate::fillin::{precompute_fillins, FillIns};
-use crate::options::{FactorOptions, Hierarchy};
+use crate::options::{FactorOptions, Hierarchy, Variant};
 use crate::taskgraph::FactorTaskGraph;
-use h2_runtime::TaskGraph;
+use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind};
+
+/// Resolve the worker-thread count for the factorization DAG executor:
+/// `opts.num_threads` if positive, else the `H2_NUM_THREADS` environment
+/// variable, else the machine's available parallelism.
+fn resolve_threads(opts: &FactorOptions) -> usize {
+    if opts.num_threads > 0 {
+        return opts.num_threads;
+    }
+    if let Ok(v) = std::env::var("H2_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    rayon::current_num_threads()
+}
 
 /// Per-cluster factor data at one level.
 #[derive(Debug, Clone)]
@@ -118,6 +141,53 @@ pub struct UlvFactors {
 
 /// The factorization driver.
 pub struct UlvFactorization;
+
+/// Output of one pivot's independent elimination task.  Results are collected
+/// into per-pivot slots and merged serially in block order, which keeps the
+/// DAG-parallel section free of shared mutable state and the merged factors
+/// bitwise independent of the thread count.
+struct PivotResult {
+    k: usize,
+    lu: Option<Lu>,
+    row_rr: Vec<((usize, usize), Matrix)>,
+    row_rs: Vec<((usize, usize), Matrix)>,
+    col_rr: Vec<((usize, usize), Matrix)>,
+    col_sr: Vec<((usize, usize), Matrix)>,
+    schur: Vec<(usize, usize, Matrix)>,
+}
+
+/// Per-class accounting for DAG tasks: CPU nanoseconds (for attributing the
+/// wall-clock span between construction and elimination) and **exact** flop
+/// counts, sampled from the thread-local counter — a task runs on exactly one
+/// thread, so its delta is unaffected by whatever executes concurrently.
+struct ClassMeter {
+    nanos: AtomicU64,
+    flops: AtomicU64,
+}
+
+impl ClassMeter {
+    fn new() -> Self {
+        ClassMeter {
+            nanos: AtomicU64::new(0),
+            flops: AtomicU64::new(0),
+        }
+    }
+
+    /// Sample the start of a task region.
+    fn begin() -> (Instant, u64) {
+        (Instant::now(), h2_matrix::flops::thread_flop_count())
+    }
+
+    /// Credit a task region started by [`ClassMeter::begin`] to this class.
+    fn record(&self, start: (Instant, u64)) {
+        self.nanos
+            .fetch_add(start.0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.flops.fetch_add(
+            h2_matrix::flops::thread_flop_count() - start.1,
+            Ordering::Relaxed,
+        );
+    }
+}
 
 /// Working state carried from one level to the next.
 struct LevelState {
@@ -206,9 +276,12 @@ impl UlvFactorization {
             Hierarchy::SingleLevel => depth,
         };
 
+        // One work-stealing DAG executor drives every level's per-cluster
+        // compression and elimination tasks.
+        let exec = DagExecutor::new(resolve_threads(opts));
         for level in (last_level..=depth).rev() {
             let (lf, next_state) = Self::process_level(
-                kernel, tree, &partition, opts, level, state, &mut stats, &mut tg,
+                kernel, tree, &partition, opts, level, state, &mut stats, &mut tg, &exec,
             );
             levels.push(lf);
             state = next_state;
@@ -266,7 +339,13 @@ impl UlvFactorization {
     }
 
     /// Process one level: build bases, transform, eliminate, and produce the next
-    /// level's state.
+    /// level's state.  The per-cluster compression, per-pair coupling projection,
+    /// per-block-row two-sided transform and per-pivot elimination all run as tasks
+    /// of `exec`'s work-stealing DAG executor: a task starts the moment its inputs
+    /// exist, so one cluster can already be eliminating while another is still
+    /// compressing — the cross-stage overlap the paper's dependency-free structure
+    /// makes legal.  Results are written to per-task slots and merged in a fixed
+    /// order, so the factors are bitwise identical for every thread count.
     #[allow(clippy::too_many_arguments)]
     fn process_level(
         kernel: &dyn Kernel,
@@ -277,6 +356,7 @@ impl UlvFactorization {
         state: LevelState,
         stats: &mut FactorStats,
         tg: &mut FactorTaskGraph,
+        exec: &DagExecutor,
     ) -> (LevelFactor, LevelState) {
         let nb = 1usize << level;
         let clusters = tree.clusters_at_level(level);
@@ -323,15 +403,26 @@ impl UlvFactorization {
 
         // ---------------------------------------------------------------------- bases
         // Extra enrichment from carried fill contributions addressed to this level.
-        let mut extra_row: HashMap<usize, Vec<Matrix>> = HashMap::new();
+        // Keys are visited in sorted order: the concatenation order feeds the basis
+        // QR, so it must not depend on HashMap iteration order or the factors stop
+        // being run-to-run (and thread-count) deterministic.
+        let mut extra_row: HashMap<usize, Vec<&Matrix>> = HashMap::new();
         let mut extra_col: HashMap<usize, Vec<Matrix>> = HashMap::new();
-        for ((i, j), m) in state
+        let mut carry_keys: Vec<(usize, usize)> = state
             .admissible_carry
-            .iter()
-            .chain(state.pending_carry.iter())
-        {
-            extra_row.entry(*i).or_default().push(m.clone());
-            extra_col.entry(*j).or_default().push(m.transpose());
+            .keys()
+            .chain(state.pending_carry.keys())
+            .copied()
+            .collect();
+        carry_keys.sort_unstable();
+        for (i, j) in carry_keys {
+            let m = state
+                .admissible_carry
+                .get(&(i, j))
+                .or_else(|| state.pending_carry.get(&(i, j)))
+                .expect("carry key vanished");
+            extra_row.entry(i).or_default().push(m);
+            extra_col.entry(j).or_default().push(m.transpose());
         }
 
         let basis_inputs: Vec<(usize, usize)> = (0..nb)
@@ -345,10 +436,53 @@ impl UlvFactorization {
                 (far_cols, fill_cols)
             })
             .collect();
+        stats.construction_seconds += tcon.elapsed().as_secs_f64();
+        stats.construction_flops += flop_count() - fcon;
 
-        let cluster_factors: Vec<ClusterFactor> = (0..nb)
-            .into_par_iter()
-            .map(|i| {
+        // ------------------------------------------------------- executable task DAG
+        // Output slots, one writer task each; collected in construction order below.
+        let mut dense_pairs: Vec<(usize, usize)> = state.dense.keys().copied().collect();
+        dense_pairs.sort_unstable();
+        let pair_idx: HashMap<(usize, usize), usize> = dense_pairs
+            .iter()
+            .enumerate()
+            .map(|(x, &p)| (p, x))
+            .collect();
+        let mut row_pair_idx: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (x, &(i, _)) in dense_pairs.iter().enumerate() {
+            row_pair_idx[i].push(x);
+        }
+
+        let basis_slots: Vec<OnceLock<ClusterFactor>> = (0..nb).map(|_| OnceLock::new()).collect();
+        let transform_slots: Vec<OnceLock<Matrix>> =
+            dense_pairs.iter().map(|_| OnceLock::new()).collect();
+        let coupling_slots: Vec<OnceLock<Matrix>> =
+            admissible.iter().map(|_| OnceLock::new()).collect();
+        let pivot_slots: Vec<OnceLock<PivotResult>> = (0..nb).map(|_| OnceLock::new()).collect();
+        // Per-class CPU time and exact flop counts for the stats split.
+        let construction_meter = ClassMeter::new();
+        let elimination_meter = ClassMeter::new();
+
+        let mut egraph = TaskGraph::new();
+        let mut eactions: Vec<Option<Box<dyn FnOnce() + Send + '_>>> = Vec::new();
+
+        // Basis tasks: fill-in-aware compression of one cluster (far field assembly
+        // + pivoted QR).  Costs are analytic estimates — they only steer the
+        // critical-path-first priorities, not correctness.
+        let mut basis_tasks: Vec<TaskId> = Vec::with_capacity(nb);
+        for i in 0..nb {
+            let a = active[i];
+            let id = egraph.add_task(TaskKind::Basis, cost::geqrf(a, 2 * a) as f64, &[]);
+            basis_tasks.push(id);
+            let slot = &basis_slots[i];
+            let fills_ref = &fills;
+            let extra_row_ref = &extra_row;
+            let extra_col_ref = &extra_col;
+            let row_maps = &state.row_maps;
+            let col_maps = &state.col_maps;
+            let meter = &construction_meter;
+            eactions.push(Some(Box::new(move || {
+                let t0 = ClassMeter::begin();
                 let far = far_field_matrix(
                     kernel,
                     tree,
@@ -358,36 +492,274 @@ impl UlvFactorization {
                     opts.basis_mode,
                     opts.seed,
                 );
-                let far_row = match &state.row_maps[i] {
+                let far_row = match &row_maps[i] {
                     Some(w) => matmul_tn(w, &far),
                     None => far.clone(),
                 };
-                let far_col = match &state.col_maps[i] {
+                let far_col = match &col_maps[i] {
                     Some(w) => matmul_tn(w, &far),
                     None => far,
                 };
-                let mut row_parts: Vec<Matrix> = vec![far_row];
-                if let Some(list) = fills.row_fills.get(&i) {
-                    row_parts.extend(list.iter().cloned());
+                let mut row_refs: Vec<&Matrix> = vec![&far_row];
+                if let Some(list) = fills_ref.row_fills.get(&i) {
+                    row_refs.extend(list.iter());
                 }
-                if let Some(list) = extra_row.get(&i) {
-                    row_parts.extend(list.iter().cloned());
+                if let Some(list) = extra_row_ref.get(&i) {
+                    row_refs.extend(list.iter().copied());
                 }
-                let mut col_parts: Vec<Matrix> = vec![far_col];
-                if let Some(list) = fills.col_fills.get(&i) {
-                    col_parts.extend(list.iter().cloned());
+                let mut col_refs: Vec<&Matrix> = vec![&far_col];
+                if let Some(list) = fills_ref.col_fills.get(&i) {
+                    col_refs.extend(list.iter());
                 }
-                if let Some(list) = extra_col.get(&i) {
-                    col_parts.extend(list.iter().cloned());
+                if let Some(list) = extra_col_ref.get(&i) {
+                    col_refs.extend(list.iter());
                 }
-                let row_refs: Vec<&Matrix> = row_parts.iter().collect();
-                let col_refs: Vec<&Matrix> = col_parts.iter().collect();
                 let row_input = Matrix::hcat_all(&row_refs);
                 let col_input = Matrix::hcat_all(&col_refs);
-                build_cluster_basis(&row_input, &col_input, active[i], opts.tol, opts.max_rank)
-            })
+                let cf = build_cluster_basis(&row_input, &col_input, a, opts.tol, opts.max_rank);
+                let _ = slot.set(cf);
+                meter.record(t0);
+            })));
+        }
+
+        // Coupling tasks: assemble the admissible pair, project onto the two
+        // freshly-built skeleton bases.
+        for (x, &(i, j)) in admissible.iter().enumerate() {
+            let c = cost::gemm(active[i], active[j], active[i].min(active[j])) as f64;
+            egraph.add_task(TaskKind::Compress, c, &[basis_tasks[i], basis_tasks[j]]);
+            let slot = &coupling_slots[x];
+            let row_maps = &state.row_maps;
+            let col_maps = &state.col_maps;
+            let admissible_carry = &state.admissible_carry;
+            let bs = &basis_slots;
+            let clusters_ref = &clusters;
+            let meter = &construction_meter;
+            eactions.push(Some(Box::new(move || {
+                let t0 = ClassMeter::begin();
+                let a = kernel.assemble(
+                    &tree.points,
+                    tree.original_indices(&clusters_ref[i]),
+                    tree.original_indices(&clusters_ref[j]),
+                );
+                let mut m = match (&row_maps[i], &col_maps[j]) {
+                    (Some(wi), Some(wj)) => matmul(&matmul_tn(wi, &a), wj),
+                    (Some(wi), None) => matmul_tn(wi, &a),
+                    (None, Some(wj)) => matmul(&a, wj),
+                    (None, None) => a,
+                };
+                if let Some(carry) = admissible_carry.get(&(i, j)) {
+                    m += carry;
+                }
+                let cfi = bs[i].get().expect("row basis ready (dependency)");
+                let cfj = bs[j].get().expect("col basis ready (dependency)");
+                let us = skeleton_of(&cfi.q, cfi.redundant);
+                let vs = skeleton_of(&cfj.p, cfj.redundant);
+                let s = matmul(&matmul_tn(&us, &m), &vs);
+                let _ = slot.set(s);
+                meter.record(t0);
+            })));
+        }
+
+        // Transform tasks, one per block row: apply Q_i^T to the whole row of dense
+        // blocks through one shared-A batched GEMM (the cluster-batched two-sided
+        // transform), then each product picks up its column basis P_j.
+        let mut row_task: Vec<Option<TaskId>> = vec![None; nb];
+        for i in 0..nb {
+            if row_pair_idx[i].is_empty() {
+                continue;
+            }
+            let mut deps: Vec<TaskId> = vec![basis_tasks[i]];
+            for &x in &row_pair_idx[i] {
+                let j = dense_pairs[x].1;
+                if j != i {
+                    deps.push(basis_tasks[j]);
+                }
+            }
+            let c: f64 = row_pair_idx[i]
+                .iter()
+                .map(|&x| {
+                    let (r, cc) = dense_pairs[x];
+                    2.0 * cost::gemm(active[r], active[cc], active[r]) as f64
+                })
+                .sum();
+            row_task[i] = Some(egraph.add_task(TaskKind::Update, c, &deps));
+            let xs = row_pair_idx[i].clone();
+            let bs = &basis_slots;
+            let ts = &transform_slots;
+            let dp = &dense_pairs;
+            let dense = &state.dense;
+            let meter = &elimination_meter;
+            eactions.push(Some(Box::new(move || {
+                let t0 = ClassMeter::begin();
+                let qi = &bs[i].get().expect("own basis ready (dependency)").q;
+                let ds: Vec<&Matrix> = xs.iter().map(|&x| &dense[&dp[x]]).collect();
+                let qtd = matmul_tn_batch_shared_a(qi, &ds);
+                let second: Vec<(&Matrix, &Matrix)> = qtd
+                    .iter()
+                    .zip(xs.iter())
+                    .map(|(qd, &x)| {
+                        (
+                            qd as &Matrix,
+                            &bs[dp[x].1].get().expect("col basis ready (dependency)").p,
+                        )
+                    })
+                    .collect();
+                let done = matmul_batch(&second);
+                for (&x, m) in xs.iter().zip(done) {
+                    let _ = ts[x].set(m);
+                }
+                meter.record(t0);
+            })));
+        }
+
+        // Elimination tasks: LU of the redundant diagonal block, panel solves,
+        // batched Schur products.  Depends only on the transforms of its own row and
+        // its neighbours' rows — under `NoDependencies`, eliminations of different
+        // clusters overlap freely (the paper's headline property); the
+        // `WithDependencies` ablation chains them in block order.
+        let mut prev_elim: Option<TaskId> = None;
+        for k in 0..nb {
+            let mut deps: Vec<TaskId> = Vec::new();
+            deps.extend(row_task[k]);
+            for &i in &neighbours[k] {
+                deps.extend(row_task[i]);
+            }
+            if opts.variant == Variant::WithDependencies {
+                deps.extend(prev_elim);
+            }
+            let a = active[k];
+            let r_est = a.div_ceil(2);
+            let nn = neighbours[k].len() as u64 + 1;
+            let c = (cost::getrf(r_est)
+                + 2 * nn * cost::trsm(r_est, a)
+                + nn * nn * cost::gemm(a - r_est, a - r_est, r_est)) as f64;
+            prev_elim = Some(egraph.add_task(TaskKind::Factor, c, &deps));
+            let slot = &pivot_slots[k];
+            let bs = &basis_slots;
+            let ts = &transform_slots;
+            let pidx = &pair_idx;
+            let neigh = &neighbours;
+            let meter = &elimination_meter;
+            eactions.push(Some(Box::new(move || {
+                let t0 = ClassMeter::begin();
+                let tr = |i: usize, j: usize| -> &Matrix {
+                    ts[pidx[&(i, j)]]
+                        .get()
+                        .expect("transform ready (dependency)")
+                };
+                let cf = |i: usize| bs[i].get().expect("basis ready (dependency)");
+                let rk = cf(k).redundant;
+                let mut res = PivotResult {
+                    k,
+                    lu: None,
+                    row_rr: Vec::new(),
+                    row_rs: Vec::new(),
+                    col_rr: Vec::new(),
+                    col_sr: Vec::new(),
+                    schur: Vec::new(),
+                };
+                if rk > 0 {
+                    let dkk = tr(k, k);
+                    let lu = lu_factor(&dkk.block(0, 0, rk, rk))
+                        .expect("redundant diagonal block is singular");
+                    // Row panels (rows R_k) and column panels (columns R_k).
+                    let mut row_targets = neigh[k].clone();
+                    row_targets.push(k);
+                    for &j in &row_targets {
+                        let d = tr(k, j);
+                        let rj = cf(j).redundant;
+                        let kj = cf(j).skeleton;
+                        if kj > 0 {
+                            let rs = d.block(0, rj, rk, kj);
+                            res.row_rs.push(((k, j), lu.forward_mat(&rs)));
+                        }
+                        if j != k && rj > 0 {
+                            let rr = d.block(0, 0, rk, rj);
+                            res.row_rr.push(((k, j), lu.forward_mat(&rr)));
+                        }
+                    }
+                    for &i in &row_targets {
+                        let d = tr(i, k);
+                        let ri = cf(i).redundant;
+                        let ki = cf(i).skeleton;
+                        if ki > 0 {
+                            let sr = d.block(ri, 0, ki, rk);
+                            res.col_sr.push(((i, k), lu.right_solve_upper(&sr)));
+                        }
+                        if i != k && ri > 0 {
+                            let rr = d.block(0, 0, ri, rk);
+                            res.col_rr.push(((i, k), lu.right_solve_upper(&rr)));
+                        }
+                    }
+                    // Schur updates onto skeleton-skeleton blocks only, streamed
+                    // through the batched small-GEMM path.
+                    let mut schur_idx: Vec<(usize, usize)> = Vec::new();
+                    let mut schur_pairs: Vec<(&Matrix, &Matrix)> = Vec::new();
+                    for (key_i, zi) in &res.col_sr {
+                        for (key_j, wj) in &res.row_rs {
+                            schur_idx.push((key_i.0, key_j.1));
+                            schur_pairs.push((zi, wj));
+                        }
+                    }
+                    let prods = matmul_batch(&schur_pairs);
+                    res.schur = schur_idx
+                        .into_iter()
+                        .zip(prods)
+                        .map(|((i, j), m)| (i, j, m))
+                        .collect();
+                    res.lu = Some(lu);
+                }
+                let _ = slot.set(res);
+                meter.record(t0);
+            })));
+        }
+
+        // Run the level's whole graph: bases, couplings, transforms and
+        // eliminations overlap wherever the dependencies allow.
+        let tdag = Instant::now();
+        exec.execute_scoped(&egraph, eactions);
+        let dag_wall = tdag.elapsed().as_secs_f64();
+        // Construction (basis/coupling) and elimination tasks interleave on the
+        // same wall-clock span; split the span proportionally to the CPU time each
+        // class consumed.  The flop counts need no such estimate: every task
+        // samples the thread-local counter, so the per-class sums are exact.
+        let con_n = construction_meter.nanos.load(Ordering::Relaxed);
+        let fac_n = elimination_meter.nanos.load(Ordering::Relaxed);
+        let con_frac = con_n as f64 / ((con_n + fac_n).max(1)) as f64;
+        stats.construction_seconds += dag_wall * con_frac;
+        stats.factorization_seconds += dag_wall * (1.0 - con_frac);
+        stats.construction_flops += construction_meter.flops.load(Ordering::Relaxed);
+        stats.factorization_flops += elimination_meter.flops.load(Ordering::Relaxed);
+
+        // Collect task outputs in construction order (never completion order).
+        let cluster_factors: Vec<ClusterFactor> = basis_slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("basis task did not run"))
+            .collect();
+        let transformed: HashMap<(usize, usize), Matrix> = dense_pairs
+            .iter()
+            .copied()
+            .zip(
+                transform_slots
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("transform task did not run")),
+            )
+            .collect();
+        let couplings: HashMap<(usize, usize), Matrix> = admissible
+            .iter()
+            .copied()
+            .zip(
+                coupling_slots
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("coupling task did not run")),
+            )
+            .collect();
+        let pivot_results: Vec<PivotResult> = pivot_slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("elimination task did not run"))
             .collect();
 
+        // Record the analytic task graph (for the scheduler simulator) and ranks.
         for (i, cf) in cluster_factors.iter().enumerate() {
             let (_, fill_cols) = basis_inputs[i];
             tg.add_basis_task(cf.active, cf.active.saturating_mul(2), fill_cols);
@@ -399,139 +771,6 @@ impl UlvFactorization {
             .unwrap_or(0);
         stats.level_ranks.push(level_max_rank);
         stats.max_rank = stats.max_rank.max(level_max_rank);
-
-        // --------------------------------------------------------------- S couplings
-        let mut couplings: HashMap<(usize, usize), Matrix> = admissible
-            .par_iter()
-            .map(|&(i, j)| {
-                let a = kernel.assemble(
-                    &tree.points,
-                    tree.original_indices(&clusters[i]),
-                    tree.original_indices(&clusters[j]),
-                );
-                let mut m = match (&state.row_maps[i], &state.col_maps[j]) {
-                    (Some(wi), Some(wj)) => matmul(&matmul_tn(wi, &a), wj),
-                    (Some(wi), None) => matmul_tn(wi, &a),
-                    (None, Some(wj)) => matmul(&a, wj),
-                    (None, None) => a,
-                };
-                if let Some(carry) = state.admissible_carry.get(&(i, j)) {
-                    m += carry;
-                }
-                let us = skeleton_of(&cluster_factors[i].q, cluster_factors[i].redundant);
-                let vs = skeleton_of(&cluster_factors[j].p, cluster_factors[j].redundant);
-                let s = matmul(&matmul_tn(&us, &m), &vs);
-                ((i, j), s)
-            })
-            .collect();
-        stats.construction_seconds += tcon.elapsed().as_secs_f64();
-        stats.construction_flops += flop_count() - fcon;
-
-        // ------------------------------------------------------------ transform dense
-        let tfac = Instant::now();
-        let ffac = flop_count();
-        let dense_pairs: Vec<(usize, usize)> = state.dense.keys().copied().collect();
-        let transformed: HashMap<(usize, usize), Matrix> = dense_pairs
-            .par_iter()
-            .map(|&(i, j)| {
-                let d = &state.dense[&(i, j)];
-                let qt_d = matmul_tn(&cluster_factors[i].q, d);
-                ((i, j), matmul(&qt_d, &cluster_factors[j].p))
-            })
-            .collect();
-
-        // Project pending carries onto the new skeletons so they continue upward.
-        let pending_projected: Vec<((usize, usize), Matrix)> = state
-            .pending_carry
-            .iter()
-            .map(|((i, j), m)| {
-                let us = skeleton_of(&cluster_factors[*i].q, cluster_factors[*i].redundant);
-                let vs = skeleton_of(&cluster_factors[*j].p, cluster_factors[*j].redundant);
-                ((*i, *j), matmul(&matmul_tn(&us, m), &vs))
-            })
-            .collect();
-
-        // ------------------------------------------------------------------ eliminate
-        let mut cluster_factors = cluster_factors;
-        let mut row_rr = HashMap::new();
-        let mut row_rs = HashMap::new();
-        let mut col_rr = HashMap::new();
-        let mut col_sr = HashMap::new();
-
-        // Per-pivot independent elimination.  Results are collected and merged
-        // serially to keep the parallel section free of shared mutable state.
-        struct PivotResult {
-            k: usize,
-            lu: Option<Lu>,
-            row_rr: Vec<((usize, usize), Matrix)>,
-            row_rs: Vec<((usize, usize), Matrix)>,
-            col_rr: Vec<((usize, usize), Matrix)>,
-            col_sr: Vec<((usize, usize), Matrix)>,
-            schur: Vec<(usize, usize, Matrix)>,
-        }
-
-        let pivot_results: Vec<PivotResult> = (0..nb)
-            .into_par_iter()
-            .map(|k| {
-                let rk = cluster_factors[k].redundant;
-                let mut res = PivotResult {
-                    k,
-                    lu: None,
-                    row_rr: Vec::new(),
-                    row_rs: Vec::new(),
-                    col_rr: Vec::new(),
-                    col_sr: Vec::new(),
-                    schur: Vec::new(),
-                };
-                if rk == 0 {
-                    return res;
-                }
-                let dkk = &transformed[&(k, k)];
-                let lu = lu_factor(&dkk.block(0, 0, rk, rk))
-                    .expect("redundant diagonal block is singular");
-                // Row panels (rows R_k) and column panels (columns R_k).
-                let mut row_targets = neighbours[k].clone();
-                row_targets.push(k);
-                for &j in &row_targets {
-                    let d = &transformed[&(k, j)];
-                    let rj = cluster_factors[j].redundant;
-                    let kj = cluster_factors[j].skeleton;
-                    if kj > 0 {
-                        let rs = d.block(0, rj, rk, kj);
-                        res.row_rs.push(((k, j), lu.forward_mat(&rs)));
-                    }
-                    if j != k && rj > 0 {
-                        let rr = d.block(0, 0, rk, rj);
-                        res.row_rr.push(((k, j), lu.forward_mat(&rr)));
-                    }
-                }
-                for &i in &row_targets {
-                    let d = &transformed[&(i, k)];
-                    let ri = cluster_factors[i].redundant;
-                    let ki = cluster_factors[i].skeleton;
-                    if ki > 0 {
-                        let sr = d.block(ri, 0, ki, rk);
-                        res.col_sr.push(((i, k), lu.right_solve_upper(&sr)));
-                    }
-                    if i != k && ri > 0 {
-                        let rr = d.block(0, 0, ri, rk);
-                        res.col_rr.push(((i, k), lu.right_solve_upper(&rr)));
-                    }
-                }
-                // Schur updates onto skeleton-skeleton blocks only.
-                for (key_i, zi) in &res.col_sr {
-                    let i = key_i.0;
-                    for (key_j, wj) in &res.row_rs {
-                        let j = key_j.1;
-                        res.schur.push((i, j, matmul(zi, wj)));
-                    }
-                }
-                res.lu = Some(lu);
-                res
-            })
-            .collect();
-
-        // Record elimination tasks and merge pivot results.
         let basis_ids = tg.current_basis_tasks().to_vec();
         for res in &pivot_results {
             let k = res.k;
@@ -548,6 +787,26 @@ impl UlvFactorization {
             );
         }
 
+        // ----------------------------------------------------------- merge results
+        let tmerge = Instant::now();
+        let fmerge = flop_count();
+        // Project pending carries onto the new skeletons so they continue upward.
+        let pending_projected: Vec<((usize, usize), Matrix)> = state
+            .pending_carry
+            .iter()
+            .map(|((i, j), m)| {
+                let us = skeleton_of(&cluster_factors[*i].q, cluster_factors[*i].redundant);
+                let vs = skeleton_of(&cluster_factors[*j].p, cluster_factors[*j].redundant);
+                ((*i, *j), matmul(&matmul_tn(&us, m), &vs))
+            })
+            .collect();
+
+        let mut cluster_factors = cluster_factors;
+        let mut row_rr = HashMap::new();
+        let mut row_rs = HashMap::new();
+        let mut col_rr = HashMap::new();
+        let mut col_sr = HashMap::new();
+
         // Skeleton-skeleton accumulators.
         let mut ss: HashMap<(usize, usize), Matrix> = HashMap::new();
         for (&(i, j), d) in &transformed {
@@ -557,7 +816,7 @@ impl UlvFactorization {
             let kj = cluster_factors[j].skeleton;
             ss.insert((i, j), d.block(ri, rj, ki, kj));
         }
-        for ((i, j), s) in couplings.drain() {
+        for ((i, j), s) in couplings {
             ss.insert((i, j), s);
         }
         for ((i, j), m) in pending_projected {
@@ -598,44 +857,22 @@ impl UlvFactorization {
             row_maps: Vec::new(),
             col_maps: Vec::new(),
         };
-        if opts.hierarchy == Hierarchy::MultiLevel || level > 1 {
+        if opts.hierarchy == Hierarchy::MultiLevel {
             // Parent-level maps (only needed when we keep recursing; for the
             // single-level variant the dense map below carries the final system).
-            if opts.hierarchy == Hierarchy::MultiLevel {
-                let parent_nb = nb / 2;
-                next_state.row_maps = (0..parent_nb)
-                    .map(|ip| {
-                        Some(stack_maps(
-                            &state.row_maps[2 * ip],
-                            &skeleton_of(
-                                &cluster_factors[2 * ip].q,
-                                cluster_factors[2 * ip].redundant,
-                            ),
-                            &state.row_maps[2 * ip + 1],
-                            &skeleton_of(
-                                &cluster_factors[2 * ip + 1].q,
-                                cluster_factors[2 * ip + 1].redundant,
-                            ),
-                        ))
-                    })
-                    .collect();
-                next_state.col_maps = (0..parent_nb)
-                    .map(|ip| {
-                        Some(stack_maps(
-                            &state.col_maps[2 * ip],
-                            &skeleton_of(
-                                &cluster_factors[2 * ip].p,
-                                cluster_factors[2 * ip].redundant,
-                            ),
-                            &state.col_maps[2 * ip + 1],
-                            &skeleton_of(
-                                &cluster_factors[2 * ip + 1].p,
-                                cluster_factors[2 * ip + 1].redundant,
-                            ),
-                        ))
-                    })
-                    .collect();
-            }
+            // All `W_child * U_child` products of the level go through one batched
+            // small-GEMM call per side.
+            let parent_nb = nb / 2;
+            let row_skels: Vec<Matrix> = cluster_factors
+                .iter()
+                .map(|c| skeleton_of(&c.q, c.redundant))
+                .collect();
+            let col_skels: Vec<Matrix> = cluster_factors
+                .iter()
+                .map(|c| skeleton_of(&c.p, c.redundant))
+                .collect();
+            next_state.row_maps = stack_maps_level(&state.row_maps, &row_skels, parent_nb);
+            next_state.col_maps = stack_maps_level(&state.col_maps, &col_skels, parent_nb);
         }
 
         match opts.hierarchy {
@@ -684,8 +921,8 @@ impl UlvFactorization {
             }
         }
 
-        stats.factorization_seconds += tfac.elapsed().as_secs_f64();
-        stats.factorization_flops += flop_count() - ffac;
+        stats.factorization_seconds += tmerge.elapsed().as_secs_f64();
+        stats.factorization_flops += flop_count() - fmerge;
 
         let lf = LevelFactor {
             level,
@@ -760,23 +997,40 @@ fn skeleton_of(q: &Matrix, redundant: usize) -> Matrix {
     q.block(0, redundant, q.rows(), q.cols() - redundant)
 }
 
-/// Block-diagonal stack of two (map x skeleton-basis) products:
-/// `[W1*U1  0; 0  W2*U2]`, where a `None` map means the identity.
-fn stack_maps(w1: &Option<Matrix>, u1: &Matrix, w2: &Option<Matrix>, u2: &Matrix) -> Matrix {
-    let m1 = match w1 {
-        Some(w) => matmul(w, u1),
-        None => u1.clone(),
-    };
-    let m2 = match w2 {
-        Some(w) => matmul(w, u2),
-        None => u2.clone(),
-    };
-    let rows = m1.rows() + m2.rows();
-    let cols = m1.cols() + m2.cols();
-    let mut out = Matrix::zeros(rows, cols);
-    out.set_block(0, 0, &m1);
-    out.set_block(m1.rows(), m1.cols(), &m2);
-    out
+/// One side (row or column) of a level's parent-map construction: compute
+/// `W_c * U_c` for every child cluster — all through one batched small-GEMM call,
+/// sharing a single set of packing buffers — and assemble the block-diagonal
+/// parent maps `[W_{2p} U_{2p}  0; 0  W_{2p+1} U_{2p+1}]`.  A `None` child map
+/// means the identity, so the product is the skeleton basis itself.
+fn stack_maps_level(
+    maps: &[Option<Matrix>],
+    skeletons: &[Matrix],
+    parent_nb: usize,
+) -> Vec<Option<Matrix>> {
+    let items: Vec<(usize, (&Matrix, &Matrix))> = (0..2 * parent_nb)
+        .filter_map(|c| maps[c].as_ref().map(|w| (c, (w, &skeletons[c]))))
+        .collect();
+    let pairs: Vec<(&Matrix, &Matrix)> = items.iter().map(|&(_, p)| p).collect();
+    let prods = matmul_batch(&pairs);
+    let mut stacked: Vec<Option<Matrix>> = vec![None; skeletons.len()];
+    for ((c, _), m) in items.into_iter().zip(prods) {
+        stacked[c] = Some(m);
+    }
+    (0..parent_nb)
+        .map(|ip| {
+            // An identity child map contributes the skeleton basis itself.
+            let m1 = stacked[2 * ip]
+                .take()
+                .unwrap_or_else(|| skeletons[2 * ip].clone());
+            let m2 = stacked[2 * ip + 1]
+                .take()
+                .unwrap_or_else(|| skeletons[2 * ip + 1].clone());
+            let mut out = Matrix::zeros(m1.rows() + m2.rows(), m1.cols() + m2.cols());
+            out.set_block(0, 0, &m1);
+            out.set_block(m1.rows(), m1.cols(), &m2);
+            Some(out)
+        })
+        .collect()
 }
 
 impl UlvFactors {

@@ -1,0 +1,132 @@
+//! Bitwise determinism of the DAG-parallel ULV factorization.
+//!
+//! The work-stealing executor runs basis, coupling, transform and elimination
+//! tasks in whatever order the scheduler finds them, but every task writes one
+//! private output slot and the merge walks those slots in a fixed order — so the
+//! factors (and hence solves and residuals) must be **bit-for-bit identical** at
+//! every pool size.  These tests pin that contract at 1, 2 and 4 threads.
+
+use h2_factor::{h2_ulv_nodep, FactorOptions, UlvFactors};
+use h2_geometry::{uniform_cube, ClusterTree, LaplaceKernel, PartitionStrategy};
+use h2_matrix::Matrix;
+
+fn factor_with_threads(threads: usize, tol: f64) -> (UlvFactors, Vec<f64>) {
+    let n = 512;
+    let pts = uniform_cube(n, 13);
+    let tree = ClusterTree::build(&pts, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let opts = FactorOptions {
+        tol,
+        num_threads: threads,
+        ..FactorOptions::default()
+    };
+    let factors = h2_ulv_nodep(&kernel, &tree, &opts);
+    let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
+    let x = factors.solve(&b);
+    (factors, x)
+}
+
+fn assert_matrices_identical(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape differs");
+    let ab = a.as_slice();
+    let bb = b.as_slice();
+    for (idx, (x, y)) in ab.iter().zip(bb).enumerate() {
+        assert!(
+            x.to_bits() == y.to_bits(),
+            "{what}: entry {idx} differs bitwise ({x:e} vs {y:e})"
+        );
+    }
+}
+
+fn assert_factors_identical(a: &UlvFactors, b: &UlvFactors, label: &str) {
+    assert_matrices_identical(&a.root_lu.lu, &b.root_lu.lu, &format!("{label}: root LU"));
+    assert_eq!(a.root_lu.ipiv, b.root_lu.ipiv, "{label}: root pivots");
+    assert_eq!(a.root_offsets, b.root_offsets, "{label}: root offsets");
+    assert_eq!(a.levels.len(), b.levels.len(), "{label}: level count");
+    for (la, lb) in a.levels.iter().zip(&b.levels) {
+        assert_eq!(la.level, lb.level);
+        assert_eq!(la.nb, lb.nb);
+        assert_eq!(la.neighbours, lb.neighbours, "{label}: neighbour lists");
+        for (k, (ca, cb)) in la.clusters.iter().zip(&lb.clusters).enumerate() {
+            let what = format!("{label}: level {} cluster {k}", la.level);
+            assert_eq!(ca.active, cb.active, "{what}: active");
+            assert_eq!(ca.redundant, cb.redundant, "{what}: redundant");
+            assert_eq!(ca.skeleton, cb.skeleton, "{what}: skeleton");
+            assert_matrices_identical(&ca.q, &cb.q, &format!("{what}: Q"));
+            assert_matrices_identical(&ca.p, &cb.p, &format!("{what}: P"));
+            match (&ca.lu, &cb.lu) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_matrices_identical(&x.lu, &y.lu, &format!("{what}: pivot LU"));
+                    assert_eq!(x.ipiv, y.ipiv, "{what}: pivot ipiv");
+                }
+                _ => panic!("{what}: one side has a pivot LU, the other does not"),
+            }
+        }
+        for (name, ma, mb) in [
+            ("row_rr", &la.row_rr, &lb.row_rr),
+            ("row_rs", &la.row_rs, &lb.row_rs),
+            ("col_rr", &la.col_rr, &lb.col_rr),
+            ("col_sr", &la.col_sr, &lb.col_sr),
+        ] {
+            let mut keys_a: Vec<_> = ma.keys().copied().collect();
+            let mut keys_b: Vec<_> = mb.keys().copied().collect();
+            keys_a.sort_unstable();
+            keys_b.sort_unstable();
+            assert_eq!(keys_a, keys_b, "{label}: {name} keys");
+            for key in keys_a {
+                assert_matrices_identical(&ma[&key], &mb[&key], &format!("{label}: {name}{key:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn factors_are_bitwise_identical_at_1_2_4_threads() {
+    let (f1, x1) = factor_with_threads(1, 1e-6);
+    let (f2, x2) = factor_with_threads(2, 1e-6);
+    let (f4, x4) = factor_with_threads(4, 1e-6);
+    assert_factors_identical(&f1, &f2, "1t vs 2t");
+    assert_factors_identical(&f1, &f4, "1t vs 4t");
+    for (i, ((a, b), c)) in x1.iter().zip(&x2).zip(&x4).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits() && a.to_bits() == c.to_bits(),
+            "solution entry {i} differs across thread counts"
+        );
+    }
+}
+
+#[test]
+fn repeated_factorization_is_run_to_run_deterministic() {
+    // Same thread count twice: guards the sorted-iteration fixes (fill-in
+    // flattening, carry enrichment) against HashMap iteration-order randomness.
+    let (fa, xa) = factor_with_threads(2, 1e-8);
+    let (fb, xb) = factor_with_threads(2, 1e-8);
+    assert_factors_identical(&fa, &fb, "run A vs run B");
+    for (i, (a, b)) in xa.iter().zip(&xb).enumerate() {
+        assert!(a.to_bits() == b.to_bits(), "solution entry {i} differs");
+    }
+}
+
+#[test]
+fn residual_is_bitwise_identical_across_thread_counts() {
+    let n = 512;
+    let pts = uniform_cube(n, 29);
+    let tree = ClusterTree::build(&pts, 64, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut residuals = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let opts = FactorOptions {
+            tol: 1e-7,
+            num_threads: threads,
+            ..FactorOptions::default()
+        };
+        let f = h2_ulv_nodep(&kernel, &tree, &opts);
+        let x = f.solve(&b);
+        residuals.push(f.residual_with(&kernel, &b, &x));
+    }
+    assert!(residuals[0] < 1e-4, "residual sanity: {}", residuals[0]);
+    assert_eq!(residuals[0].to_bits(), residuals[1].to_bits());
+    assert_eq!(residuals[0].to_bits(), residuals[2].to_bits());
+}

@@ -17,7 +17,9 @@
 use h2_geometry::{Admissibility, ClusterTree, Kernel};
 use h2_hmatrix::blr::{BlrMatrix, BlrTile};
 use h2_lowrank::{add_lowrank, round_lowrank, LowRank};
-use h2_matrix::{lu_factor, lu_solve, matmul, matmul_nt, matmul_tn, Lu, Matrix};
+use h2_matrix::{
+    lu_factor, lu_solve, matmul, matmul_batch_shared_a, matmul_nt, matmul_tn, Lu, Matrix,
+};
 
 /// Options of the BLR LU factorization.
 #[derive(Debug, Clone, Copy)]
@@ -124,12 +126,15 @@ impl BlrLuFactors {
                 };
                 *a.tile_mut(i, k) = solved;
             }
-            // GEMM trailing updates: A[i][j] -= A[i][k] A[k][j].
+            // GEMM trailing updates: A[i][j] -= A[i][k] A[k][j].  The products of
+            // one row share the left factor A[i][k], so they stream through the
+            // batched small-GEMM path (operand packed once per row).
+            let akjs: Vec<BlrTile> = (k + 1..nb).map(|j| a.tile(k, j).clone()).collect();
             for i in k + 1..nb {
                 let aik = a.tile(i, k).clone();
-                for j in k + 1..nb {
-                    let akj = a.tile(k, j).clone();
-                    let updated = apply_update(a.tile(i, j), &aik, &akj, opts.tol, opts.max_rank);
+                let prods = row_tile_products(&aik, &akjs);
+                for (j, prod) in (k + 1..nb).zip(prods) {
+                    let updated = apply_update(a.tile(i, j), prod, opts.tol, opts.max_rank);
                     if let BlrTile::LowRank(lr) = &updated {
                         max_rank = max_rank.max(lr.rank());
                     }
@@ -235,55 +240,85 @@ fn tile_matvec(t: &BlrTile, v: &[f64], y: &mut [f64]) {
     }
 }
 
-/// `target -= aik * akj` with low-rank aware arithmetic and rounding.
-fn apply_update(
-    target: &BlrTile,
-    aik: &BlrTile,
-    akj: &BlrTile,
-    tol: f64,
-    max_rank: usize,
-) -> BlrTile {
+/// A pre-computed tile product `A[i][k] * A[k][j]`, low-rank whenever either
+/// factor is.
+enum TileProduct {
+    Lr(LowRank),
+    Dense(Matrix),
+}
+
+/// All products `aik * akj` of one trailing-update row.
+///
+/// The left factor is shared across the row, so the row's small GEMMs go through
+/// [`matmul_batch_shared_a`]: the shared operand (`Vx^T` of a low-rank `aik`, or
+/// a dense `aik` itself) is packed once and every `akj`'s factor streams through
+/// the register microkernel — the LORAPO-side beneficiary of the batched
+/// small-GEMM path.
+fn row_tile_products(aik: &BlrTile, akjs: &[BlrTile]) -> Vec<TileProduct> {
+    // Low-rank right factors contribute their U to the shared-A batch; dense
+    // right factors are handled per-tile below.
+    let lr_us: Vec<&Matrix> = akjs
+        .iter()
+        .filter_map(|t| match t {
+            BlrTile::LowRank(y) => Some(&y.u),
+            BlrTile::Dense(_) => None,
+        })
+        .collect();
+    match aik {
+        BlrTile::LowRank(x) => {
+            // (Ux Vx^T)(Uy Vy^T) = [Ux (Vx^T Uy)] Vy^T: batch the cores, then
+            // batch the Ux * core products (both share a left operand).
+            let xvt = x.v.transpose();
+            let cores = matmul_batch_shared_a(&xvt, &lr_us);
+            let core_refs: Vec<&Matrix> = cores.iter().collect();
+            let mut unews = matmul_batch_shared_a(&x.u, &core_refs).into_iter();
+            akjs.iter()
+                .map(|t| match t {
+                    BlrTile::LowRank(y) => TileProduct::Lr(LowRank::new(
+                        unews.next().expect("one core per low-rank tile"),
+                        y.v.clone(),
+                    )),
+                    // (Ux Vx^T) D = Ux (D^T Vx)^T.
+                    BlrTile::Dense(d) => {
+                        TileProduct::Lr(LowRank::new(x.u.clone(), matmul_tn(d, &x.v)))
+                    }
+                })
+                .collect()
+        }
+        BlrTile::Dense(xd) => {
+            // D (Uy Vy^T) = (D Uy) Vy^T with D packed once for the whole row.
+            let mut dus = matmul_batch_shared_a(xd, &lr_us).into_iter();
+            akjs.iter()
+                .map(|t| match t {
+                    BlrTile::LowRank(y) => TileProduct::Lr(LowRank::new(
+                        dus.next().expect("one product per low-rank tile"),
+                        y.v.clone(),
+                    )),
+                    BlrTile::Dense(yd) => TileProduct::Dense(matmul(xd, yd)),
+                })
+                .collect()
+        }
+    }
+}
+
+/// `target -= prod` with low-rank aware arithmetic and rounding.
+fn apply_update(target: &BlrTile, prod: TileProduct, tol: f64, max_rank: usize) -> BlrTile {
     match target {
         BlrTile::Dense(d) => {
-            let prod = tile_product_dense(aik, akj);
-            BlrTile::Dense(&d.clone() - &prod)
+            let dense_prod = match prod {
+                TileProduct::Lr(p) => matmul_nt(&p.u, &p.v),
+                TileProduct::Dense(p) => p,
+            };
+            BlrTile::Dense(&d.clone() - &dense_prod)
         }
         BlrTile::LowRank(lr) => {
-            // Product of two tiles as a low-rank object, then add-and-round.
-            let prod_lr = tile_product_lowrank(aik, akj, tol, max_rank);
+            let prod_lr = match prod {
+                TileProduct::Lr(p) => p,
+                // Dense-dense products only occur next to the diagonal; compress.
+                TileProduct::Dense(p) => h2_lowrank::compress_block(&p, tol, Some(max_rank)),
+            };
             let sum = add_lowrank(lr, &prod_lr.scaled(-1.0));
             BlrTile::LowRank(round_lowrank(&sum, tol, Some(max_rank)))
-        }
-    }
-}
-
-/// Dense product of two tiles.
-fn tile_product_dense(a: &BlrTile, b: &BlrTile) -> Matrix {
-    match (a, b) {
-        (BlrTile::Dense(x), BlrTile::Dense(y)) => matmul(x, y),
-        (BlrTile::Dense(x), BlrTile::LowRank(y)) => matmul_nt(&matmul(x, &y.u), &y.v),
-        (BlrTile::LowRank(x), BlrTile::Dense(y)) => matmul(&x.u, &matmul_tn(&x.v, y)),
-        (BlrTile::LowRank(x), BlrTile::LowRank(y)) => {
-            let core = matmul_tn(&x.v, &y.u);
-            matmul_nt(&matmul(&x.u, &core), &y.v)
-        }
-    }
-}
-
-/// Product of two tiles represented as a low-rank object (rank = min of the factors').
-fn tile_product_lowrank(a: &BlrTile, b: &BlrTile, tol: f64, max_rank: usize) -> LowRank {
-    match (a, b) {
-        (BlrTile::LowRank(x), BlrTile::LowRank(y)) => {
-            // (Ux Vx^T)(Uy Vy^T) = Ux (Vx^T Uy) Vy^T.
-            let core = matmul_tn(&x.v, &y.u);
-            LowRank::new(matmul(&x.u, &core), y.v.clone())
-        }
-        (BlrTile::LowRank(x), BlrTile::Dense(d)) => LowRank::new(x.u.clone(), matmul_tn(d, &x.v)),
-        (BlrTile::Dense(d), BlrTile::LowRank(y)) => LowRank::new(matmul(d, &y.u), y.v.clone()),
-        (BlrTile::Dense(x), BlrTile::Dense(y)) => {
-            // Dense-dense products only occur next to the diagonal; compress the result.
-            let prod = matmul(x, y);
-            h2_lowrank::compress_block(&prod, tol, Some(max_rank))
         }
     }
 }

@@ -13,16 +13,35 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static FLOPS: AtomicU64 = AtomicU64::new(0);
 
-/// Add `n` floating-point operations to the global counter.
+thread_local! {
+    /// Per-thread cumulative flop count, maintained alongside the global one.
+    /// Concurrent tasks cannot attribute flops through the global counter (their
+    /// deltas interleave); a task that runs entirely on one thread can sample
+    /// [`thread_flop_count`] before and after instead — the DAG-parallel
+    /// factorization uses this to split its counts exactly between the
+    /// construction and elimination task classes.
+    static THREAD_FLOPS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Add `n` floating-point operations to the global and per-thread counters.
 #[inline]
 pub fn add_flops(n: u64) {
     FLOPS.fetch_add(n, Ordering::Relaxed);
+    THREAD_FLOPS.with(|c| c.set(c.get() + n));
 }
 
 /// Current cumulative flop count.
 #[inline]
 pub fn flop_count() -> u64 {
     FLOPS.load(Ordering::Relaxed)
+}
+
+/// Cumulative flop count of the **current thread** only.  Deltas of this value
+/// around a region are exact for single-threaded regions regardless of what
+/// other threads execute concurrently.
+#[inline]
+pub fn thread_flop_count() -> u64 {
+    THREAD_FLOPS.with(|c| c.get())
 }
 
 /// Reset the global counter to zero.

@@ -107,6 +107,35 @@ pub fn gemm_packed(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
     });
 }
 
+/// Reusable packing scratch for the macro loops — hoisted out of
+/// [`gemm_packed_band`] so batched multiplies ([`matmul_batch`],
+/// [`matmul_batch_shared_a`]) pay the allocation once per batch instead of once
+/// per product.
+struct PackBuffers {
+    apack: Vec<f64>,
+    bpack: Vec<f64>,
+    ctile: [f64; MR * NR],
+}
+
+impl PackBuffers {
+    fn new() -> Self {
+        PackBuffers {
+            apack: vec![0.0f64; MC.div_ceil(MR) * MR * KC],
+            bpack: vec![0.0f64; KC * NC.div_ceil(NR) * NR],
+            ctile: [0.0f64; MR * NR],
+        }
+    }
+
+    /// Ensure the A buffer can hold every row panel of an `m`-row operand at once
+    /// (the shared-A batch path packs the full m × kc slab, not one MC chunk).
+    fn reserve_full_a(&mut self, m: usize) {
+        let need = m.div_ceil(MR) * MR * KC;
+        if self.apack.len() < need {
+            self.apack.resize(need, 0.0);
+        }
+    }
+}
+
 /// Serial packed multiply of one column band: `C[:, j0..j0+jn] += alpha * A * B[:, j0..j0+jn]`.
 /// `cband` is the column-major storage of exactly that band (leading dimension `ldc`).
 fn gemm_packed_band(
@@ -118,21 +147,38 @@ fn gemm_packed_band(
     cband: &mut [f64],
     ldc: usize,
 ) {
+    let mut buf = PackBuffers::new();
+    gemm_packed_band_buf(alpha, a, b, j0, jn, cband, ldc, &mut buf);
+}
+
+/// [`gemm_packed_band`] with caller-provided packing scratch.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed_band_buf(
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    j0: usize,
+    jn: usize,
+    cband: &mut [f64],
+    ldc: usize,
+    buf: &mut PackBuffers,
+) {
     let m = a.rows();
     let k = a.cols();
-    // Packing buffers, reused across macro-panels.
-    let mut apack = vec![0.0f64; MC.div_ceil(MR) * MR * KC];
-    let mut bpack = vec![0.0f64; KC * NC.div_ceil(NR) * NR];
-    let mut ctile = [0.0f64; MR * NR];
+    let PackBuffers {
+        apack,
+        bpack,
+        ctile,
+    } = buf;
 
     for jc in (0..jn).step_by(NC) {
         let nc = (jn - jc).min(NC);
         for pc in (0..k).step_by(KC) {
             let kc = (k - pc).min(KC);
-            pack_b(b, pc, kc, j0 + jc, nc, &mut bpack);
+            pack_b(b, pc, kc, j0 + jc, nc, bpack);
             for ic in (0..m).step_by(MC) {
                 let mc = (m - ic).min(MC);
-                pack_a(a, ic, mc, pc, kc, &mut apack);
+                pack_a(a, ic, mc, pc, kc, apack);
                 // Macro-tile multiply: all whole/partial MRxNR register tiles.
                 for jr in (0..nc).step_by(NR) {
                     let nr = (nc - jr).min(NR);
@@ -153,7 +199,7 @@ fn gemm_packed_band(
                                 ldc,
                                 mr,
                                 nr,
-                                &mut ctile,
+                                ctile,
                             );
                         }
                     }
@@ -161,6 +207,113 @@ fn gemm_packed_band(
             }
         }
     }
+}
+
+/// Batched independent products: `C_i = A_i * B_i` for every pair.
+///
+/// This is the level-3 recovery path for the thousands of sub-
+/// [`PACK_FLOP_THRESHOLD`] blocks the H²-ULV leaf elimination and the BLR tile
+/// updates multiply: each product individually is too small to amortize a
+/// packed `gemm` call (buffer allocation dominates), but streaming the whole
+/// batch through one set of packing buffers and the register microkernel keeps
+/// the FMA pipeline full.  Runs serially — callers are DAG tasks that are
+/// themselves scheduled in parallel, and a fixed execution order keeps results
+/// bitwise deterministic regardless of pool size.
+pub fn matmul_batch(pairs: &[(&Matrix, &Matrix)]) -> Vec<Matrix> {
+    let mut buf = PackBuffers::new();
+    pairs
+        .iter()
+        .map(|(a, b)| {
+            let (m, k, n) = (a.rows(), a.cols(), b.cols());
+            debug_assert_eq!(b.rows(), k, "matmul_batch: inner dimensions differ");
+            crate::flops::add_flops(crate::flops::cost::gemm(m, n, k));
+            let mut c = Matrix::zeros(m, n);
+            if m > 0 && n > 0 && k > 0 {
+                gemm_packed_band_buf(1.0, a, b, 0, n, c.as_mut_slice(), m, &mut buf);
+            }
+            c
+        })
+        .collect()
+}
+
+/// Batched products with a shared left operand: `C_i = A * B_i`.
+///
+/// The macro loop packs each `A` slab **once** per depth step and reuses it for
+/// every `B_i` — the cluster-batched form of the ULV transform `Q_i^T D_ij`
+/// (one orthogonal basis applied to a whole block row of dense neighbours) and
+/// of the BLR row update `U_ik * core_j`.  Results are identical in shape and
+/// order to calling [`crate::gemm::matmul`] per pair, computed with the packed
+/// microkernel regardless of per-product size.
+pub fn matmul_batch_shared_a(a: &Matrix, bs: &[&Matrix]) -> Vec<Matrix> {
+    let m = a.rows();
+    let k = a.cols();
+    let mut out: Vec<Matrix> = bs
+        .iter()
+        .map(|b| {
+            debug_assert_eq!(b.rows(), k, "matmul_batch_shared_a: inner dims differ");
+            crate::flops::add_flops(crate::flops::cost::gemm(m, b.cols(), k));
+            Matrix::zeros(m, b.cols())
+        })
+        .collect();
+    if m == 0 || k == 0 || bs.is_empty() {
+        return out;
+    }
+    let mpanels = m.div_ceil(MR);
+    let mut buf = PackBuffers::new();
+    buf.reserve_full_a(m);
+
+    for pc in (0..k).step_by(KC) {
+        let kc = (k - pc).min(KC);
+        // Pack every row panel of A's m × kc slab once; stream all B_i through it.
+        pack_a(a, 0, m, pc, kc, &mut buf.apack);
+        for (b, c) in bs.iter().zip(out.iter_mut()) {
+            let n = b.cols();
+            if n == 0 {
+                continue;
+            }
+            let ldc = m;
+            let cdata = c.as_mut_slice();
+            for jc in (0..n).step_by(NC) {
+                let nc = (n - jc).min(NC);
+                pack_b(b, pc, kc, jc, nc, &mut buf.bpack);
+                for jr in (0..nc).step_by(NR) {
+                    let nr = (nc - jr).min(NR);
+                    let bpanel = &buf.bpack[jr / NR * (KC * NR)..][..kc * NR];
+                    for p in 0..mpanels {
+                        let ir = p * MR;
+                        let mr = (m - ir).min(MR);
+                        let apanel = &buf.apack[p * (MR * KC)..][..kc * MR];
+                        let coff = (jc + jr) * ldc + ir;
+                        if mr == MR && nr == NR {
+                            microkernel_full(kc, apanel, bpanel, 1.0, &mut cdata[coff..], ldc);
+                        } else {
+                            microkernel_edge(
+                                kc,
+                                apanel,
+                                bpanel,
+                                1.0,
+                                &mut cdata[coff..],
+                                ldc,
+                                mr,
+                                nr,
+                                &mut buf.ctile,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Batched transposed-left products with a shared left operand: `C_i = A^T * B_i`.
+///
+/// Materialises `A^T` once for the whole batch (the per-pair `matmul_tn` would
+/// re-transpose for every product) and forwards to [`matmul_batch_shared_a`].
+pub fn matmul_tn_batch_shared_a(a: &Matrix, bs: &[&Matrix]) -> Vec<Matrix> {
+    let at = a.transpose();
+    matmul_batch_shared_a(&at, bs)
 }
 
 /// Pack `A[ic..ic+mc, pc..pc+kc]` into row-panels of height [`MR`].
@@ -324,6 +477,71 @@ mod tests {
         gemm_packed(-2.5, &a, &b, &mut c);
         let expect = &c0 + &matmul_naive(&a, &b).scaled(-2.5);
         assert!(c.max_abs_diff(&expect) < 1e-11);
+    }
+
+    #[test]
+    fn batch_matches_per_pair_naive() {
+        let mut r = rng();
+        let shapes = [
+            (1usize, 1usize, 1usize),
+            (7, 3, 5),
+            (16, 16, 6),
+            (33, 20, 17),
+            (64, 64, 64),
+            (5, 90, 2),
+        ];
+        let mats: Vec<(Matrix, Matrix)> = shapes
+            .iter()
+            .map(|&(m, k, n)| (Matrix::random(m, k, &mut r), Matrix::random(k, n, &mut r)))
+            .collect();
+        let pairs: Vec<(&Matrix, &Matrix)> = mats.iter().map(|(a, b)| (a, b)).collect();
+        let cs = matmul_batch(&pairs);
+        assert_eq!(cs.len(), shapes.len());
+        for ((a, b), c) in mats.iter().zip(&cs) {
+            let cref = matmul_naive(a, b);
+            assert!(c.max_abs_diff(&cref) < 1e-10);
+        }
+        assert!(matmul_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_shared_a_matches_naive_and_is_deterministic() {
+        let mut r = rng();
+        // Taller than MC to exercise multiple row panels, deeper than KC to
+        // exercise several depth slabs.
+        let a = Matrix::random(MC + 13, KC + 7, &mut r);
+        let bs_owned: Vec<Matrix> = [1usize, 5, NR, NR + 2, 40]
+            .iter()
+            .map(|&n| Matrix::random(a.cols(), n, &mut r))
+            .collect();
+        let bs: Vec<&Matrix> = bs_owned.iter().collect();
+        let cs = matmul_batch_shared_a(&a, &bs);
+        for (b, c) in bs_owned.iter().zip(&cs) {
+            let cref = matmul_naive(&a, b);
+            assert!(c.max_abs_diff(&cref) < 1e-9);
+        }
+        // Two runs are bitwise identical (fixed execution order, no threading).
+        let cs2 = matmul_batch_shared_a(&a, &bs);
+        for (c, c2) in cs.iter().zip(&cs2) {
+            assert_eq!(c.as_slice(), c2.as_slice());
+        }
+        // Degenerate shapes.
+        let empty = Matrix::zeros(4, 0);
+        let out = matmul_batch_shared_a(&empty, &[&Matrix::zeros(0, 3)]);
+        assert_eq!(out[0].shape(), (4, 3));
+    }
+
+    #[test]
+    fn batch_tn_shared_a_matches_matmul_tn() {
+        let mut r = rng();
+        let q = Matrix::random(48, 48, &mut r);
+        let ds: Vec<Matrix> = (0..4).map(|_| Matrix::random(48, 31, &mut r)).collect();
+        let refs: Vec<&Matrix> = ds.iter().collect();
+        let out = matmul_tn_batch_shared_a(&q, &refs);
+        for (d, c) in ds.iter().zip(&out) {
+            let cref = matmul_naive(&q.transpose(), d);
+            assert!(c.max_abs_diff(&cref) < 1e-10);
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod triangular;
 pub use cholesky::{cholesky_factor, cholesky_solve, Cholesky};
 pub use flops::{flop_count, reset_flops, FlopGuard};
 pub use gemm::{gemm, gemm_seed, gemv, matmul, matmul_nt, matmul_tn};
-pub use kernel::gemm_packed;
+pub use kernel::{gemm_packed, matmul_batch, matmul_batch_shared_a, matmul_tn_batch_shared_a};
 pub use lu::{lu_factor, lu_solve, lu_solve_mat, Lu};
 pub use matrix::Matrix;
 pub use norms::{fro_norm, max_abs, rel_fro_error, rel_l2_error, two_norm_est};

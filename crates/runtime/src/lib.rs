@@ -13,8 +13,11 @@
 //!
 //! * [`dag`] — an explicit task-graph representation with dependency tracking,
 //!   critical-path analysis and category labels,
-//! * [`pool`] — a small work-stealing thread pool plus a DAG executor that runs real
-//!   closures with dependency tracking (our PaRSEC stand-in),
+//! * [`pool`] — a work-stealing thread pool (per-worker deques, LIFO local pop /
+//!   FIFO steal, priority injector) plus a DAG executor that runs real closures
+//!   with dependency tracking and critical-path-first ordering (our PaRSEC
+//!   stand-in); the H²-ULV factorization drives its per-level basis construction
+//!   and elimination through it,
 //! * [`sim`] — a discrete-event scheduler simulator that replays a task DAG on `P`
 //!   virtual workers with a configurable per-task runtime overhead; this is what the
 //!   strong-scaling figures use, because the CI machine has a single physical core
@@ -32,5 +35,5 @@ pub mod trace;
 pub use dag::{TaskGraph, TaskId, TaskKind};
 pub use pool::{DagExecutor, ThreadPool};
 pub use sim::{simulate_schedule, SimConfig, SimResult};
-pub use stats::ScheduleStats;
+pub use stats::{ScheduleStats, WorkStealCounters};
 pub use trace::{Trace, TraceEvent};

@@ -1,57 +1,208 @@
-//! A condvar-parked thread pool and a dependency-tracking DAG executor.
+//! A work-stealing thread pool and a dependency-tracking DAG executor.
 //!
 //! The pool is the substrate standing in for the PaRSEC/StarPU runtimes referenced by
 //! the paper: the LORAPO-style baseline submits its GETRF/TRSM/GEMM tasks with
 //! explicit dependencies and the executor releases them as their predecessors finish.
-//! The H²-ULV solver, by contrast, only needs `par_for` (no dependencies) — which is
+//! The H²-ULV solver drives its per-cluster basis construction and elimination
+//! through the same executor — a level is an almost-flat graph there, which is
 //! exactly the point the paper makes.
 //!
-//! Two design points matter for scaling measurements:
+//! Scheduling design (the three properties the scaling measurements depend on):
 //!
-//! * **Idle workers park on a condition variable** instead of spinning on
-//!   `yield_now`, so an idle pool consumes no CPU and wake-ups are O(1); `wait_idle`
-//!   likewise blocks on a condvar signalled when the in-flight count reaches zero.
-//! * **Dependents are released by the completing worker**, not by a coordinator
-//!   sweeping ready tasks in waves.  A wave barrier would serialize across levels the
-//!   paper shows to be independent; worker-side release lets a task start the moment
-//!   its last predecessor finishes, regardless of what the rest of the graph is doing.
+//! * **Per-worker deques with stealing.**  Every worker owns a deque: tasks a worker
+//!   spawns (released dependents) go to the LIFO end of its own deque, preserving
+//!   cache locality along dependency chains; idle workers first drain the shared
+//!   priority injector, then steal from the FIFO end of a victim's deque — the
+//!   Chase-Lev discipline, here with short critical sections guarded by per-deque
+//!   locks instead of a lock-free ring since tasks are coarse (whole block-row
+//!   eliminations).  Job *acquisition* never touches shared queue order: the owner
+//!   pops its own deque without competing with other workers' pops.  Submission
+//!   and completion still take the global sync mutex briefly (the outstanding-task
+//!   count and the no-lost-wakeup protocol live there) — cheap for this solver's
+//!   coarse tasks; replacing it with an atomic counter + event-count parking is
+//!   the remaining step for fine-grained workloads.
+//! * **Critical-path-first priorities.**  [`DagExecutor`] orders the shared injector
+//!   by each task's *downward rank* (longest cost-weighted path to a sink,
+//!   [`TaskGraph::downward_ranks`]), so workers always start the task that gates the
+//!   most downstream work — the standard list-scheduling heuristic that keeps the
+//!   makespan within Graham's `T_1/P + critical_path` bound.
+//! * **Idleness counts outstanding tasks, not queue length.**  `wait_idle` blocks
+//!   until the number of *submitted-but-unfinished* tasks reaches zero.  With
+//!   stealing, a task can be in flight in a worker's local deque or mid-execution
+//!   while every shared structure looks empty — counting only the shared queue
+//!   would let `wait_idle` return early and race the local-deque work.
+//!
+//! Workers park on a condition variable when no work exists anywhere, so an idle
+//! pool consumes no CPU.  A panicking task is caught, recorded, and re-thrown from
+//! `wait_idle`/`execute` on the waiting thread (dependents of a panicked task are
+//! never released).
 
 use crate::dag::{TaskGraph, TaskId};
+use crate::stats::WorkStealCounters;
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Shared state between the pool handle and its workers.
-struct PoolShared {
-    state: Mutex<PoolState>,
-    /// Signalled when a job is pushed or shutdown is requested.
-    work_available: Condvar,
-    /// Signalled when the in-flight count drops to zero.
-    idle: Condvar,
+/// Process-wide pool identifier source, so a worker thread can tell which pool it
+/// belongs to (threads of pool A submitting to pool B must use B's injector, not
+/// their own deque index).
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// `(pool_id, worker_index)` of the pool that owns the current thread.
+    static WORKER: std::cell::Cell<Option<(usize, usize)>> = const { std::cell::Cell::new(None) };
 }
 
-struct PoolState {
-    jobs: VecDeque<Job>,
-    /// Jobs submitted but not yet finished (queued + running).
+/// An injector entry: higher priority first, FIFO among equal priorities.
+struct PrioJob {
+    prio: f64,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for PrioJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for PrioJob {}
+impl PartialOrd for PrioJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PrioJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: larger priority wins; among equal priorities the earlier
+        // submission wins (reverse the sequence comparison).
+        self.prio
+            .total_cmp(&other.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Counters protected by the sync mutex.
+struct SyncState {
+    /// Tasks submitted but not yet finished (in a deque, the injector, or running).
     in_flight: usize,
     shutdown: bool,
 }
 
+/// Shared state between the pool handle and its workers.
+struct PoolShared {
+    pool_id: usize,
+    sync: Mutex<SyncState>,
+    /// Signalled when a job is pushed or shutdown is requested.
+    work_available: Condvar,
+    /// Signalled when the in-flight count drops to zero.
+    idle: Condvar,
+    /// Shared priority queue for submissions from outside the pool.
+    injector: Mutex<BinaryHeap<PrioJob>>,
+    /// One deque per worker: owner pushes/pops the back, thieves pop the front.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Injector FIFO tie-break sequence.
+    seq: AtomicU64,
+    /// First panic payload of any task; re-thrown by `wait_idle`.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    // Scheduling counters (see [`WorkStealCounters`]).
+    n_executed: AtomicU64,
+    n_local: AtomicU64,
+    n_injector: AtomicU64,
+    n_steals: AtomicU64,
+}
+
 impl PoolShared {
-    fn submit(self: &Arc<Self>, job: Job) {
+    /// Worker index of the current thread *in this pool*, if any.
+    fn own_worker_index(&self) -> Option<usize> {
+        match WORKER.with(|w| w.get()) {
+            Some((pid, idx)) if pid == self.pool_id => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// Enqueue a job.  Worker threads of this pool push to the LIFO end of their own
+    /// deque (priority is then positional: push lowest-priority first); everyone else
+    /// goes through the priority injector.
+    fn push(&self, prio: f64, job: Job) {
         {
-            let mut state = self.state.lock();
-            state.in_flight += 1;
-            state.jobs.push_back(job);
+            let mut s = self.sync.lock();
+            s.in_flight += 1;
+            // The queue push happens under the sync lock: a worker that found all
+            // queues empty re-checks them under the same lock before parking, so a
+            // notify can never be lost between its check and its wait.
+            match self.own_worker_index() {
+                Some(idx) => self.locals[idx].lock().push_back(job),
+                None => {
+                    let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                    self.injector.lock().push(PrioJob { prio, seq, job });
+                }
+            }
         }
         self.work_available.notify_one();
     }
+
+    /// Try to acquire a job: own deque (LIFO) → injector (highest priority) → steal
+    /// (FIFO, round-robin over victims).
+    fn try_pop(&self, idx: usize) -> Option<Job> {
+        if let Some(job) = self.locals[idx].lock().pop_back() {
+            self.n_local.fetch_add(1, Ordering::Relaxed);
+            self.n_executed.fetch_add(1, Ordering::Relaxed);
+            return Some(job);
+        }
+        if let Some(pj) = self.injector.lock().pop() {
+            self.n_injector.fetch_add(1, Ordering::Relaxed);
+            self.n_executed.fetch_add(1, Ordering::Relaxed);
+            return Some(pj.job);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (idx + off) % n;
+            if let Some(job) = self.locals[victim].lock().pop_front() {
+                self.n_steals.fetch_add(1, Ordering::Relaxed);
+                self.n_executed.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Blocking job acquisition; returns `None` on shutdown.
+    fn next_job(&self, idx: usize) -> Option<Job> {
+        // Fast path without the sync lock.
+        if let Some(job) = self.try_pop(idx) {
+            return Some(job);
+        }
+        let mut s = self.sync.lock();
+        loop {
+            if let Some(job) = self.try_pop(idx) {
+                return Some(job);
+            }
+            if s.shutdown {
+                return None;
+            }
+            self.work_available.wait(&mut s);
+        }
+    }
+
+    /// Mark one task finished and wake `wait_idle` callers when everything is done.
+    fn finish_one(&self) {
+        let became_idle = {
+            let mut s = self.sync.lock();
+            s.in_flight -= 1;
+            s.in_flight == 0
+        };
+        if became_idle {
+            self.idle.notify_all();
+        }
+    }
 }
 
-/// A thread pool whose idle workers sleep on a condition variable.
+/// A work-stealing thread pool (per-worker deques, shared priority injector,
+/// condvar-parked idle workers).
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
     threads: Vec<std::thread::JoinHandle<()>>,
@@ -63,13 +214,23 @@ impl ThreadPool {
     pub fn new(num_threads: usize) -> Self {
         let num_threads = num_threads.max(1);
         let shared = Arc::new(PoolShared {
-            state: Mutex::new(PoolState {
-                jobs: VecDeque::new(),
+            pool_id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            sync: Mutex::new(SyncState {
                 in_flight: 0,
                 shutdown: false,
             }),
             work_available: Condvar::new(),
             idle: Condvar::new(),
+            injector: Mutex::new(BinaryHeap::new()),
+            locals: (0..num_threads)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            seq: AtomicU64::new(0),
+            panic: Mutex::new(None),
+            n_executed: AtomicU64::new(0),
+            n_local: AtomicU64::new(0),
+            n_injector: AtomicU64::new(0),
+            n_steals: AtomicU64::new(0),
         });
         let mut threads = Vec::with_capacity(num_threads);
         for idx in 0..num_threads {
@@ -77,7 +238,7 @@ impl ThreadPool {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("h2-runtime-worker-{idx}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, idx))
                     .expect("failed to spawn worker thread"),
             );
         }
@@ -93,17 +254,31 @@ impl ThreadPool {
         self.num_threads
     }
 
-    /// Submit a job for asynchronous execution.
+    /// Submit a job for asynchronous execution (neutral priority).
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        self.shared.submit(Box::new(job));
+        self.shared.push(0.0, Box::new(job));
     }
 
-    /// Block until every submitted job has finished.  Parks on a condvar — no
-    /// busy-waiting.
+    /// Submit a job with an explicit priority — higher runs first among injector
+    /// entries.  (Jobs submitted from a worker thread of this pool go to that
+    /// worker's own deque, where LIFO position takes the role of priority.)
+    pub fn submit_prioritized(&self, prio: f64, job: impl FnOnce() + Send + 'static) {
+        self.shared.push(prio, Box::new(job));
+    }
+
+    /// Block until every submitted job has finished — including jobs that were
+    /// submitted *by other jobs* and are still in a worker's local deque; idleness
+    /// is detected from the outstanding-task count, never from queue emptiness.
+    /// Re-throws the first panic raised by any task.
     pub fn wait_idle(&self) {
-        let mut state = self.shared.state.lock();
-        while state.in_flight != 0 {
-            self.shared.idle.wait(&mut state);
+        {
+            let mut s = self.shared.sync.lock();
+            while s.in_flight != 0 {
+                self.shared.idle.wait(&mut s);
+            }
+        }
+        if let Some(p) = self.shared.panic.lock().take() {
+            resume_unwind(p);
         }
     }
 
@@ -116,38 +291,43 @@ impl ThreadPool {
         }
         self.wait_idle();
     }
+
+    /// Snapshot of the scheduling counters accumulated since pool creation.
+    pub fn steal_counters(&self) -> WorkStealCounters {
+        WorkStealCounters {
+            executed: self.shared.n_executed.load(Ordering::Relaxed),
+            local_pops: self.shared.n_local.load(Ordering::Relaxed),
+            injector_pops: self.shared.n_injector.load(Ordering::Relaxed),
+            steals: self.shared.n_steals.load(Ordering::Relaxed),
+        }
+    }
 }
 
-fn worker_loop(shared: Arc<PoolShared>) {
-    loop {
-        let job = {
-            let mut state = shared.state.lock();
-            loop {
-                if let Some(job) = state.jobs.pop_front() {
-                    break job;
-                }
-                if state.shutdown {
-                    return;
-                }
-                shared.work_available.wait(&mut state);
+fn worker_loop(shared: Arc<PoolShared>, idx: usize) {
+    // Nested kernels (packed GEMM bands, rayon-stub par_iter) must not fan out on
+    // top of a busy DAG worker.
+    rayon::mark_worker_thread();
+    WORKER.with(|w| w.set(Some((shared.pool_id, idx))));
+    while let Some(job) = shared.next_job(idx) {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+            let mut slot = shared.panic.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
             }
-        };
-        job();
-        let became_idle = {
-            let mut state = shared.state.lock();
-            state.in_flight -= 1;
-            state.in_flight == 0
-        };
-        if became_idle {
-            shared.idle.notify_all();
         }
+        shared.finish_one();
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.wait_idle();
-        self.shared.state.lock().shutdown = true;
+        {
+            let mut s = self.shared.sync.lock();
+            while s.in_flight != 0 {
+                self.shared.idle.wait(&mut s);
+            }
+            s.shutdown = true;
+        }
         self.shared.work_available.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
@@ -156,7 +336,8 @@ impl Drop for ThreadPool {
 }
 
 /// Executes a [`TaskGraph`] whose tasks carry real closures, releasing each task only
-/// when all of its dependencies have completed.
+/// when all of its dependencies have completed.  Ready tasks are started
+/// critical-path-first (see module docs).
 pub struct DagExecutor {
     pool: ThreadPool,
 }
@@ -167,6 +348,8 @@ struct ExecShared {
     actions: Vec<Mutex<Option<Job>>>,
     completion: Mutex<Vec<TaskId>>,
     dependents: Vec<Vec<TaskId>>,
+    /// Downward rank of every task (critical-path-first priority).
+    ranks: Vec<f64>,
 }
 
 /// Submit task `id` to the pool; on completion the worker releases dependents
@@ -174,20 +357,29 @@ struct ExecShared {
 fn spawn_task(pool: &Arc<PoolShared>, exec: &Arc<ExecShared>, id: TaskId) {
     let pool_for_job = Arc::clone(pool);
     let exec_for_job = Arc::clone(exec);
-    pool.submit(Box::new(move || {
-        let action = exec_for_job.actions[id.0].lock().take();
-        if let Some(job) = action {
-            job();
-        }
-        exec_for_job.completion.lock().push(id);
-        for &dep in &exec_for_job.dependents[id.0] {
+    pool.push(
+        exec.ranks[id.0],
+        Box::new(move || {
+            let action = exec_for_job.actions[id.0].lock().take();
+            if let Some(job) = action {
+                job();
+            }
+            exec_for_job.completion.lock().push(id);
             // fetch_sub returns the previous value: 1 means this task was the
             // last unmet dependency and the dependent is now ready.
-            if exec_for_job.remaining[dep.0].fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut ready: Vec<TaskId> = exec_for_job.dependents[id.0]
+                .iter()
+                .copied()
+                .filter(|dep| exec_for_job.remaining[dep.0].fetch_sub(1, Ordering::AcqRel) == 1)
+                .collect();
+            // Push lowest rank first: the worker's deque is LIFO, so the
+            // highest-rank (most critical) dependent is executed next.
+            ready.sort_by(|a, b| exec_for_job.ranks[a.0].total_cmp(&exec_for_job.ranks[b.0]));
+            for dep in ready {
                 spawn_task(&pool_for_job, &exec_for_job, dep);
             }
-        }
-    }));
+        }),
+    );
 }
 
 impl DagExecutor {
@@ -203,7 +395,8 @@ impl DagExecutor {
     /// order in which tasks completed (useful for tests).
     ///
     /// # Panics
-    /// Panics if `actions.len() != graph.len()`.
+    /// Panics if `actions.len() != graph.len()`, and re-throws the first panic
+    /// raised by any task closure.
     pub fn execute(&self, graph: &TaskGraph, actions: Vec<Option<Job>>) -> Vec<TaskId> {
         assert_eq!(actions.len(), graph.len(), "one action per task required");
         if graph.is_empty() {
@@ -217,13 +410,19 @@ impl DagExecutor {
             actions: actions.into_iter().map(Mutex::new).collect(),
             completion: Mutex::new(Vec::with_capacity(graph.len())),
             dependents: graph.iter().map(|n| n.dependents.clone()).collect(),
+            ranks: graph.downward_ranks(),
         });
 
-        // Seed the pool with the roots; everything else is released by workers.
-        for n in graph.iter() {
-            if n.deps.is_empty() {
-                spawn_task(&self.pool.shared, &exec, n.id);
-            }
+        // Seed the injector with the roots, most critical first; everything else is
+        // released by workers.
+        let mut roots: Vec<TaskId> = graph
+            .iter()
+            .filter(|n| n.deps.is_empty())
+            .map(|n| n.id)
+            .collect();
+        roots.sort_by(|a, b| exec.ranks[b.0].total_cmp(&exec.ranks[a.0]));
+        for id in roots {
+            spawn_task(&self.pool.shared, &exec, id);
         }
         self.pool.wait_idle();
 
@@ -234,6 +433,30 @@ impl DagExecutor {
             "DAG execution left tasks unreleased"
         );
         order
+    }
+
+    /// Execute a graph whose closures borrow from the caller's stack.
+    ///
+    /// Identical to [`execute`](Self::execute), but the closures only need to live
+    /// for `'env` instead of `'static` — the pattern `std::thread::scope` provides
+    /// for raw threads.
+    pub fn execute_scoped<'env>(
+        &self,
+        graph: &TaskGraph,
+        actions: Vec<Option<Box<dyn FnOnce() + Send + 'env>>>,
+    ) -> Vec<TaskId> {
+        // SAFETY: `execute` blocks until every spawned task has finished
+        // (`wait_idle` counts outstanding tasks) and drops the remaining unspawned
+        // closures before returning, so no closure can outlive `'env`.  A task
+        // panic is re-thrown by `wait_idle` *after* the in-flight count reaches
+        // zero, so the guarantee holds on the unwind path too.
+        let actions: Vec<Option<Job>> = actions
+            .into_iter()
+            .map(|o| {
+                o.map(|b| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(b) })
+            })
+            .collect();
+        self.execute(graph, actions)
     }
 
     /// The underlying pool.
@@ -274,6 +497,10 @@ mod tests {
         pool.wait_idle();
         assert_eq!(counter.load(Ordering::SeqCst), 50);
         assert_eq!(pool.num_threads(), 2);
+        // Every executed task came through exactly one acquisition channel.
+        let c = pool.steal_counters();
+        assert_eq!(c.executed, 50);
+        assert_eq!(c.executed, c.local_pops + c.injector_pops + c.steals);
     }
 
     #[test]
@@ -281,6 +508,43 @@ mod tests {
         let pool = ThreadPool::new(3);
         pool.wait_idle();
         pool.wait_idle();
+    }
+
+    #[test]
+    fn wait_idle_counts_tasks_spawned_by_tasks() {
+        // Regression test for the local-deque race: a task that submits follow-up
+        // work from inside a worker pushes to its *local* deque; `wait_idle` must
+        // count that work as outstanding even though the shared injector is empty.
+        for _round in 0..20 {
+            let pool = Arc::new(ThreadPool::new(4));
+            let counter = Arc::new(AtomicU64::new(0));
+            for _ in 0..8 {
+                let pool2 = Arc::clone(&pool);
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    // Deep chain of worker-side submissions, each with a small
+                    // delay so the parent finishes while the child is queued.
+                    fn chain(pool: &Arc<ThreadPool>, c: &Arc<AtomicU64>, depth: usize) {
+                        c.fetch_add(1, Ordering::SeqCst);
+                        if depth > 0 {
+                            let pool2 = Arc::clone(pool);
+                            let c2 = Arc::clone(c);
+                            pool.submit(move || {
+                                std::thread::sleep(std::time::Duration::from_micros(50));
+                                chain(&pool2, &c2, depth - 1);
+                            });
+                        }
+                    }
+                    chain(&pool2, &c, 5);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(
+                counter.load(Ordering::SeqCst),
+                8 * 6,
+                "wait_idle returned before locally-queued descendants finished"
+            );
+        }
     }
 
     #[test]
@@ -297,6 +561,54 @@ mod tests {
             assert_eq!(counter.load(Ordering::SeqCst), 8, "round {round}");
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
+    }
+
+    #[test]
+    fn higher_priority_tasks_run_first_on_one_worker() {
+        // One worker, jobs seeded while the worker is blocked on the first job:
+        // the remaining injector entries must drain highest-priority-first.
+        let pool = ThreadPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+            });
+        }
+        for (prio, tag) in [(1.0, "low"), (3.0, "high"), (2.0, "mid")] {
+            let order = Arc::clone(&order);
+            pool.submit_prioritized(prio, move || {
+                order.lock().push(tag);
+            });
+        }
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        pool.wait_idle();
+        assert_eq!(*order.lock(), vec!["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_wait_idle() {
+        let pool = ThreadPool::new(2);
+        pool.submit(|| panic!("boom in task"));
+        let res = catch_unwind(AssertUnwindSafe(|| pool.wait_idle()));
+        assert!(res.is_err(), "wait_idle must re-throw the task panic");
+        // The pool stays usable afterwards.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 
     #[test]
@@ -406,5 +718,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn execute_scoped_borrows_stack_data() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(TaskKind::Factor, 1.0, &[]);
+        let _b = g.add_task(TaskKind::Update, 1.0, &[a]);
+        let slots: Vec<Mutex<Option<usize>>> = (0..2).map(|_| Mutex::new(None)).collect();
+        let exec = DagExecutor::new(2);
+        let actions: Vec<Option<Box<dyn FnOnce() + Send + '_>>> = (0..2)
+            .map(|i| {
+                let slot = &slots[i];
+                Some(Box::new(move || {
+                    *slot.lock() = Some(i * 10);
+                }) as Box<dyn FnOnce() + Send + '_>)
+            })
+            .collect();
+        exec.execute_scoped(&g, actions);
+        assert_eq!(*slots[0].lock(), Some(0));
+        assert_eq!(*slots[1].lock(), Some(10));
+    }
+
+    #[test]
+    fn dag_panic_propagates_and_skips_dependents() {
+        let mut g = TaskGraph::new();
+        let a = g.add_task(TaskKind::Factor, 1.0, &[]);
+        let _b = g.add_task(TaskKind::Update, 1.0, &[a]);
+        let ran_b = Arc::new(AtomicUsize::new(0));
+        let rb = Arc::clone(&ran_b);
+        let actions: Vec<Option<Job>> = vec![
+            Some(Box::new(|| panic!("task a failed"))),
+            Some(Box::new(move || {
+                rb.fetch_add(1, Ordering::SeqCst);
+            })),
+        ];
+        let exec = DagExecutor::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| exec.execute(&g, actions)));
+        assert!(res.is_err());
+        assert_eq!(
+            ran_b.load(Ordering::SeqCst),
+            0,
+            "dependent of a panicked task must not run"
+        );
     }
 }

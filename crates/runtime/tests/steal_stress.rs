@@ -1,0 +1,207 @@
+//! Stress tests for the work-stealing pool and the critical-path-first DAG
+//! executor: deep chains, wide fan-outs and diamond lattices under contention,
+//! with more workers than cores so stealing and parking churn constantly.
+
+use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind, ThreadPool};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Check that a completion order respects every dependency edge of the graph.
+fn assert_order_respects_deps(g: &TaskGraph, order: &[TaskId]) {
+    assert_eq!(
+        order.len(),
+        g.len(),
+        "every task must complete exactly once"
+    );
+    let mut pos = vec![usize::MAX; g.len()];
+    for (p, id) in order.iter().enumerate() {
+        assert_eq!(pos[id.0], usize::MAX, "task {id:?} completed twice");
+        pos[id.0] = p;
+    }
+    for n in g.iter() {
+        for d in &n.deps {
+            assert!(
+                pos[d.0] < pos[n.id.0],
+                "dependency {d:?} must complete before {:?}",
+                n.id
+            );
+        }
+    }
+}
+
+fn counting_actions(g: &TaskGraph, counter: &Arc<AtomicU64>) -> Vec<Option<Job>> {
+    (0..g.len())
+        .map(|_| {
+            let c = Arc::clone(counter);
+            Some(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }) as Job)
+        })
+        .collect()
+}
+
+#[test]
+fn deep_chain_under_contention() {
+    // 2000-task chain on 8 workers: at most one task is ever runnable, so the
+    // run is a worst case for release/steal/park churn.
+    let mut g = TaskGraph::new();
+    let mut prev: Vec<TaskId> = Vec::new();
+    for _ in 0..2000 {
+        prev = vec![g.add_task(TaskKind::Update, 1.0, &prev)];
+    }
+    let exec = DagExecutor::new(8);
+    let counter = Arc::new(AtomicU64::new(0));
+    let order = exec.execute(&g, counting_actions(&g, &counter));
+    assert_order_respects_deps(&g, &order);
+    assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    for (i, id) in order.iter().enumerate() {
+        assert_eq!(id.0, i, "a chain must complete strictly in order");
+    }
+}
+
+#[test]
+fn wide_fanout_under_contention() {
+    // One root releasing 1500 independent tasks, joined by a single sink; the
+    // releasing worker floods its own deque and the other 7 must steal.
+    let mut g = TaskGraph::new();
+    let root = g.add_task(TaskKind::Factor, 1.0, &[]);
+    let mids: Vec<TaskId> = (0..1500)
+        .map(|_| g.add_task(TaskKind::Update, 1.0, &[root]))
+        .collect();
+    let _sink = g.add_task(TaskKind::Other, 1.0, &mids);
+    let exec = DagExecutor::new(8);
+    let counter = Arc::new(AtomicU64::new(0));
+    let order = exec.execute(&g, counting_actions(&g, &counter));
+    assert_order_respects_deps(&g, &order);
+    assert_eq!(counter.load(Ordering::Relaxed), 1502);
+    let c = exec.pool().steal_counters();
+    assert_eq!(c.executed, 1502);
+    assert_eq!(c.executed, c.local_pops + c.injector_pops + c.steals);
+}
+
+#[test]
+fn diamond_lattice_rounds_under_contention() {
+    // Repeated diamond lattices (fan-out / fan-in layers) on a shared executor:
+    // every round must respect all cross-layer edges and leave nothing behind.
+    let exec = DagExecutor::new(6);
+    for round in 0..25 {
+        let mut g = TaskGraph::new();
+        let mut prev: Vec<TaskId> = Vec::new();
+        for w in [1usize, 16, 3, 24, 1, 9, 2] {
+            prev = (0..w)
+                .map(|_| g.add_task(TaskKind::Update, 1.0, &prev))
+                .collect();
+        }
+        let counter = Arc::new(AtomicU64::new(0));
+        let order = exec.execute(&g, counting_actions(&g, &counter));
+        assert_order_respects_deps(&g, &order);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            g.len() as u64,
+            "round {round}"
+        );
+    }
+}
+
+#[test]
+fn irregular_lattice_with_random_edges() {
+    // Layered graph where each task depends on a pseudo-random subset of the
+    // previous layer — closer to a real elimination DAG than a pure diamond.
+    let mut g = TaskGraph::new();
+    let mut prev: Vec<TaskId> = Vec::new();
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for _layer in 0..40 {
+        let width = 1 + (next() % 12) as usize;
+        let layer: Vec<TaskId> = (0..width)
+            .map(|_| {
+                let deps: Vec<TaskId> = prev.iter().copied().filter(|_| next() % 3 != 0).collect();
+                g.add_task(TaskKind::Update, 1.0 + (next() % 5) as f64, &deps)
+            })
+            .collect();
+        prev = layer;
+    }
+    let exec = DagExecutor::new(8);
+    let counter = Arc::new(AtomicU64::new(0));
+    let order = exec.execute(&g, counting_actions(&g, &counter));
+    assert_order_respects_deps(&g, &order);
+    assert_eq!(counter.load(Ordering::Relaxed), g.len() as u64);
+}
+
+#[test]
+fn pool_survives_mixed_submit_storm() {
+    // Interleaved outside submissions (injector) and worker-side submissions
+    // (local deques) from many producer threads, with wait_idle in between:
+    // every task must run exactly once and wait_idle must never return early.
+    let pool = Arc::new(ThreadPool::new(8));
+    for _round in 0..10 {
+        let hits = Arc::new((0..600).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>());
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let pool = Arc::clone(&pool);
+                let hits = Arc::clone(&hits);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        let idx = t * 200 + i;
+                        let pool2 = Arc::clone(&pool);
+                        let hits2 = Arc::clone(&hits);
+                        pool.submit(move || {
+                            hits2[idx].fetch_add(1, Ordering::Relaxed);
+                            // Worker-side follow-up lands in the local deque.
+                            let hits3 = Arc::clone(&hits2);
+                            pool2.submit(move || {
+                                hits3[idx + 100].fetch_add(1, Ordering::Relaxed);
+                            });
+                        });
+                    }
+                });
+            }
+        });
+        pool.wait_idle();
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "task {i} ran a wrong number of times"
+            );
+        }
+    }
+}
+
+#[test]
+fn scoped_execution_under_contention_writes_every_slot() {
+    // execute_scoped with closures borrowing a stack-allocated slot table.
+    let exec = DagExecutor::new(8);
+    let mut g = TaskGraph::new();
+    let roots: Vec<TaskId> = (0..64)
+        .map(|_| g.add_task(TaskKind::Basis, 1.0, &[]))
+        .collect();
+    for chunk in roots.chunks(4) {
+        g.add_task(TaskKind::Factor, 2.0, chunk);
+    }
+    let slots: Vec<Mutex<u32>> = (0..g.len()).map(|_| Mutex::new(0)).collect();
+    let actions: Vec<Option<Box<dyn FnOnce() + Send + '_>>> = (0..g.len())
+        .map(|i| {
+            let slot = &slots[i];
+            Some(Box::new(move || {
+                *slot.lock().unwrap() += 1;
+            }) as Box<dyn FnOnce() + Send + '_>)
+        })
+        .collect();
+    let order = exec.execute_scoped(&g, actions);
+    assert_order_respects_deps(&g, &order);
+    for (i, slot) in slots.iter().enumerate() {
+        assert_eq!(
+            *slot.lock().unwrap(),
+            1,
+            "slot {i} written a wrong number of times"
+        );
+    }
+}

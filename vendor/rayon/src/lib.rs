@@ -64,6 +64,15 @@ pub fn in_parallel_worker() -> bool {
     IN_WORKER.with(|w| w.get())
 }
 
+/// Mark the current thread as a parallel worker for the purposes of
+/// [`in_parallel_worker`].  External thread pools (the `h2-runtime` work-stealing
+/// pool) call this from their worker threads so that nested kernels — the packed
+/// GEMM's column-band fan-out, `par_iter` bodies — run serially instead of
+/// oversubscribing cores that are already busy executing DAG tasks.
+pub fn mark_worker_thread() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
 /// Evaluate `f` over every item, in input order, across scoped threads.
 fn par_eval<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
 where
