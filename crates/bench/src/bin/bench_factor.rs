@@ -69,6 +69,7 @@ struct ThreadRun {
     wall_seconds: f64,
     factor_seconds: f64,
     construction_seconds: f64,
+    phases: h2_factor::PhaseBreakdown,
     factor_flops: u64,
     fingerprint: u64,
 }
@@ -79,6 +80,9 @@ struct SizeRow {
     residual: Option<f64>,
     runs: Vec<ThreadRun>,
 }
+
+/// Rows sampled by the residual estimator (exact residual when n <= probes).
+const RESIDUAL_PROBES: usize = 1024;
 
 fn json_f(v: f64) -> String {
     if v.is_finite() {
@@ -101,7 +105,18 @@ fn main() {
     };
     let leaf = scale.leaf_size();
     let tol = 1e-6;
-    let thread_counts = [1usize, 2, 4];
+    // When H2_NUM_THREADS is set, run exactly one configuration that leaves
+    // `num_threads = 0` so the factorization resolves the count from the
+    // environment — this is what the CI construction tripwire diffs across
+    // H2_NUM_THREADS={1,4}.  Otherwise sweep the explicit {1, 2, 4} counts.
+    let env_threads: Option<usize> = std::env::var("H2_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0);
+    let thread_counts: Vec<usize> = match env_threads {
+        Some(_) => vec![0],
+        None => vec![1, 2, 4],
+    };
     let available = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -125,25 +140,46 @@ fn main() {
         for &t in &thread_counts {
             let mut opts = h2_options(tol);
             opts.num_threads = t;
+            // Reference-path switches for A/B accuracy runs (see BENCHMARKS.md):
+            // H2_REF_DIRECT_QR disables the sketched compression, H2_REF_EXACT_COUPLINGS
+            // disables skeleton-interpolated couplings and far fields.
+            if std::env::var("H2_REF_DIRECT_QR").is_ok() {
+                opts.compression = h2_factor::CompressionMode::Direct;
+            }
+            if std::env::var("H2_REF_EXACT_COUPLINGS").is_ok() {
+                opts.skeleton_construction = false;
+            }
             let t0 = Instant::now();
             let factors = h2_ulv_nodep(kernel.as_ref(), &tree, &opts);
             let wall = t0.elapsed().as_secs_f64();
+            let t = env_threads.unwrap_or(t);
             let fp = fingerprint(&factors);
+            let ph = factors.stats.phases;
             println!(
-                "n={n} threads={t}: wall {wall:.3}s (factor {:.3}s, construction {:.3}s), fingerprint {fp:016x}",
-                factors.stats.factorization_seconds, factors.stats.construction_seconds
+                "n={n} threads={t}: wall {wall:.3}s (factor {:.3}s, construction {:.3}s \
+                 [asm {:.3} cmp {:.3} cpl {:.3} xfer {:.3}]), fingerprint {fp:016x}",
+                factors.stats.factorization_seconds,
+                factors.stats.construction_seconds,
+                ph.assembly_seconds,
+                ph.compression_seconds,
+                ph.coupling_seconds,
+                ph.transfer_seconds,
             );
             row.max_rank = factors.stats.max_rank;
-            if t == 1 && n <= 3000 {
+            if row.runs.is_empty() {
+                // Sampled-row residual estimator: O(probes · n) kernel entries, so
+                // every sweep row carries an accuracy number (exact when n <= probes).
                 let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
                 let x = factors.solve(&b);
-                row.residual = Some(factors.residual_with(kernel.as_ref(), &b, &x));
+                row.residual =
+                    Some(factors.residual_sampled(kernel.as_ref(), &b, &x, RESIDUAL_PROBES, 7));
             }
             row.runs.push(ThreadRun {
                 threads: t,
                 wall_seconds: wall,
                 factor_seconds: factors.stats.factorization_seconds,
                 construction_seconds: factors.stats.construction_seconds,
+                phases: ph,
                 factor_flops: factors.stats.factorization_flops,
                 fingerprint: fp,
             });
@@ -162,11 +198,11 @@ fn main() {
     // ------------------------------------------------------------------- JSON
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"schema_version\": 1,");
+    let _ = writeln!(j, "  \"schema_version\": 2,");
     let _ = writeln!(j, "  \"host\": {{\"available_cores\": {available}}},");
     let _ = writeln!(
         j,
-        "  \"problem\": {{\"workload\": \"laplace-cube\", \"leaf\": {leaf}, \"tol\": {tol:e}, \"solver\": \"h2-ulv-nodep\"}},"
+        "  \"problem\": {{\"workload\": \"laplace-cube\", \"leaf\": {leaf}, \"tol\": {tol:e}, \"solver\": \"h2-ulv-nodep\", \"residual_estimator\": {{\"kind\": \"sampled-rows\", \"probes\": {RESIDUAL_PROBES}}}}},"
     );
     j.push_str("  \"sweep\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -175,11 +211,15 @@ fn main() {
             .iter()
             .map(|t| {
                 format!(
-                    "{{\"threads\": {}, \"wall_seconds\": {}, \"factor_seconds\": {}, \"construction_seconds\": {}, \"factor_gflop\": {}, \"fingerprint\": \"{:016x}\"}}",
+                    "{{\"threads\": {}, \"wall_seconds\": {}, \"factor_seconds\": {}, \"construction_seconds\": {}, \"construction_breakdown\": {{\"assembly_seconds\": {}, \"compression_seconds\": {}, \"coupling_seconds\": {}, \"transfer_seconds\": {}}}, \"factor_gflop\": {}, \"fingerprint\": \"{:016x}\"}}",
                     t.threads,
                     json_f(t.wall_seconds),
                     json_f(t.factor_seconds),
                     json_f(t.construction_seconds),
+                    json_f(t.phases.assembly_seconds),
+                    json_f(t.phases.compression_seconds),
+                    json_f(t.phases.coupling_seconds),
+                    json_f(t.phases.transfer_seconds),
                     json_f(t.factor_flops as f64 / 1e9),
                     t.fingerprint
                 )
@@ -192,8 +232,11 @@ fn main() {
                 _ => f64::NAN,
             }
         };
+        // Non-finite residuals (diverged factorization) must serialize as null,
+        // not as the invalid-JSON token `NaN`/`inf`.
         let residual = r
             .residual
+            .filter(|v| v.is_finite())
             .map(|v| format!("{v:.3e}"))
             .unwrap_or_else(|| "null".to_string());
         let _ = write!(

@@ -2,6 +2,7 @@
 
 use h2_geometry::Admissibility;
 use h2_hmatrix::BasisMode;
+pub use h2_lowrank::CompressionMode;
 
 /// Which elimination strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,17 @@ pub struct FactorOptions {
     pub admissibility: Admissibility,
     /// Exact or sampled basis construction.
     pub basis_mode: BasisMode,
+    /// How the basis QR of a far-field panel is computed: direct column-pivoted QR
+    /// of the full panel (reference) or a Gaussian sketch followed by a small
+    /// pivoted QR (GEMM-dominated fast path, the default).
+    pub compression: CompressionMode,
+    /// Compute couplings and upper-level far-field projections from skeleton
+    /// rows/columns (interpolation through per-cluster skeleton points — linear
+    /// kernel-evaluation cost) instead of assembling full admissible blocks and
+    /// projecting with `U^T · A · V`.  The slow exact path remains as the
+    /// reference (`false`) and as the automatic fallback where ranks do not allow
+    /// interpolation.
+    pub skeleton_construction: bool,
     /// Elimination strategy.
     pub variant: Variant,
     /// Multi-level or single-level (BLR²) structure.
@@ -60,6 +72,8 @@ impl Default for FactorOptions {
             max_rank: None,
             admissibility: Admissibility::strong(1.0),
             basis_mode: BasisMode::Exact,
+            compression: CompressionMode::default(),
+            skeleton_construction: true,
             variant: Variant::NoDependencies,
             hierarchy: Hierarchy::MultiLevel,
             fillin_enrichment: true,

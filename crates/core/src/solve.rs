@@ -203,6 +203,48 @@ impl UlvFactors {
         gemv(1.0, &a, false, x, 0.0, &mut ax);
         h2_matrix::rel_l2_error(&ax, b)
     }
+
+    /// Sampled estimate of the relative residual `||A x - b|| / ||b||`: evaluates
+    /// `probes` uniformly sampled rows of the exact kernel matrix against `x`
+    /// (`O(probes · n)` kernel entries instead of the `O(n²)` dense check) and
+    /// scales the sampled residual norm up by `n / probes` — an unbiased estimator
+    /// of `||A x - b||²`, exact when `probes >= n`.  Deterministic in `seed`.
+    pub fn residual_sampled(
+        &self,
+        kernel: &dyn h2_geometry::Kernel,
+        b: &[f64],
+        x: &[f64],
+        probes: usize,
+        seed: u64,
+    ) -> f64 {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let n = self.tree.num_points();
+        assert_eq!(b.len(), n, "residual_sampled: rhs length mismatch");
+        assert_eq!(x.len(), n, "residual_sampled: solution length mismatch");
+        let p = probes.clamp(1, n);
+        // Sampled tree-order row positions (all rows when probes >= n).
+        let mut pos: Vec<usize> = (0..n).collect();
+        if p < n {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x5eed_0f0f_ab1e_d00d);
+            pos.shuffle(&mut rng);
+            pos.truncate(p);
+            pos.sort_unstable();
+        }
+        let rows: Vec<usize> = pos.iter().map(|&t| self.tree.perm[t]).collect();
+        // The sampled rows of A in tree ordering (columns follow the permutation,
+        // matching `residual_with`'s dense assembly).
+        let a = kernel.assemble(&self.tree.points, &rows, &self.tree.perm);
+        let mut ax = vec![0.0; p];
+        gemv(1.0, &a, false, x, 0.0, &mut ax);
+        let mut rr = 0.0;
+        for (t, &tree_pos) in pos.iter().enumerate() {
+            let r = ax[t] - b[tree_pos];
+            rr += r * r;
+        }
+        let bb: f64 = b.iter().map(|v| v * v).sum();
+        ((rr * n as f64 / p as f64) / bb.max(f64::MIN_POSITIVE)).sqrt()
+    }
 }
 
 /// Used by documentation examples and tests to access level data generically.

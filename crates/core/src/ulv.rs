@@ -27,12 +27,13 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 use h2_geometry::{ClusterTree, Kernel};
-use h2_hmatrix::basis::far_field_matrix;
+use h2_hmatrix::basis::far_field_sample_indices;
 use h2_hmatrix::{BlockPartition, BlockType};
+use h2_lowrank::{sketched_pivoted_qr, CompressionMode};
 use h2_matrix::flops::cost;
 use h2_matrix::{
-    flop_count, lu_factor, matmul, matmul_batch, matmul_tn, matmul_tn_batch_shared_a, pivoted_qr,
-    Lu, Matrix,
+    flop_count, lu_factor, lu_solve_mat, matmul, matmul_batch, matmul_tn, matmul_tn_batch_shared_a,
+    pivoted_qr, select_interpolation_rows, Lu, Matrix, INTERP_COND_TOL,
 };
 use rayon::prelude::*;
 
@@ -40,23 +41,6 @@ use crate::fillin::{precompute_fillins, FillIns};
 use crate::options::{FactorOptions, Hierarchy, Variant};
 use crate::taskgraph::FactorTaskGraph;
 use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind};
-
-/// Resolve the worker-thread count for the factorization DAG executor:
-/// `opts.num_threads` if positive, else the `H2_NUM_THREADS` environment
-/// variable, else the machine's available parallelism.
-fn resolve_threads(opts: &FactorOptions) -> usize {
-    if opts.num_threads > 0 {
-        return opts.num_threads;
-    }
-    if let Ok(v) = std::env::var("H2_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    rayon::current_num_threads()
-}
 
 /// Per-cluster factor data at one level.
 #[derive(Debug, Clone)]
@@ -96,11 +80,31 @@ pub struct LevelFactor {
     pub col_sr: HashMap<(usize, usize), Matrix>,
 }
 
+/// Seconds of construction work per phase.  DAG-task spans are exact CPU time
+/// (each task runs on one thread); the serial pre-level sections (fill-in
+/// pre-computation, leaf dense assembly) are measured as wall time of their
+/// rayon-parallel region.  Under multi-threading the phases overlap in
+/// wall-clock time, so the breakdown is a work profile, not a wall split.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    /// Kernel-entry evaluation (far-field samples, couplings, dense leaves).
+    pub assembly_seconds: f64,
+    /// Basis compression: QR / sketch factorizations, far-field projections and
+    /// fill-in pre-computation feeding them.
+    pub compression_seconds: f64,
+    /// Coupling projection onto the skeleton bases (after assembly).
+    pub coupling_seconds: f64,
+    /// Skeleton-row interpolation bookkeeping carried between levels.
+    pub transfer_seconds: f64,
+}
+
 /// Statistics of a factorization run.
 #[derive(Debug, Clone, Default)]
 pub struct FactorStats {
     /// Seconds spent assembling kernel blocks, bases and couplings.
     pub construction_seconds: f64,
+    /// Construction CPU time split by phase.
+    pub phases: PhaseBreakdown,
     /// Seconds spent in the elimination itself (transform + LU + TRSM + Schur + merge).
     pub factorization_seconds: f64,
     /// Flops counted during the elimination phase.
@@ -189,6 +193,51 @@ impl ClassMeter {
     }
 }
 
+/// Skeleton interpolation data of one side (row or column) of a cluster: the
+/// selected original-point indices `r` of the explicit skeleton map
+/// `M = W · U^S` (`m x k`, orthonormal columns), the selected square block
+/// `R = M[r, :]` and its LU.  Because `M^T M = I`, any admissible block satisfies
+/// `M^T A N ≈ R_i^{-1} · A[r_i, c_j] · R_j^{-T}` — couplings from `k x k` kernel
+/// evaluations instead of full-block assembly (recursive-skeletonization style,
+/// cf. Ho & Greengard, arXiv:1110.3105).
+struct SkeletonSide {
+    /// Selected original-point indices (`k` of them, in pivot order).
+    rows: Vec<usize>,
+    /// `R = M[rows, :]`, the `k x k` interpolation block.
+    rmat: Matrix,
+    /// LU of `R`.
+    lu: Lu,
+}
+
+/// Output slot of one basis task: the cluster factor plus the skeleton
+/// interpolation data the coupling tasks and the next level consume.
+struct BasisOut {
+    cf: ClusterFactor,
+    row_interp: Option<SkeletonSide>,
+    col_interp: Option<SkeletonSide>,
+}
+
+/// Deterministic per-task seed for the sketched compression: independent tasks
+/// draw from disjoint, thread-count-independent streams.
+fn mix_seed(seed: u64, level: usize, i: usize, salt: u64) -> u64 {
+    seed.wrapping_mul(0x9E3779B97F4A7C15)
+        ^ (level as u64).wrapping_mul(0xBF58476D1CE4E5B9)
+        ^ (i as u64).wrapping_mul(0x94D049BB133111EB)
+        ^ salt.wrapping_mul(0xD6E8FEB86659FD93)
+}
+
+/// Select `k` interpolation rows from the candidate matrix `c` (`cand x k`, the
+/// explicit skeleton map restricted to candidate rows `cand_rows`): a pivoted QR
+/// of `c^T` picks the best-conditioned row subset, and the LU of the selected
+/// square block provides the interpolation solves.  Returns `None` when the rank
+/// does not allow interpolation (callers fall back to exact assembly).
+fn build_skeleton_interp(c: &Matrix, cand_rows: &[usize]) -> Option<SkeletonSide> {
+    let (positions, rmat) = select_interpolation_rows(c, INTERP_COND_TOL)?;
+    let rows = positions.into_iter().map(|p| cand_rows[p]).collect();
+    let lu = lu_factor(&rmat).ok()?;
+    Some(SkeletonSide { rows, rmat, lu })
+}
+
 /// Working state carried from one level to the next.
 struct LevelState {
     /// Dense blocks of the current level (inadmissible pairs), active coordinates.
@@ -203,6 +252,11 @@ struct LevelState {
     row_maps: Vec<Option<Matrix>>,
     /// Accumulated column maps.
     col_maps: Vec<Option<Matrix>>,
+    /// Row-side skeleton interpolation of the previously processed (child) level,
+    /// indexed by child cluster; empty when skeleton construction is off.
+    row_interp: Vec<Option<SkeletonSide>>,
+    /// Column-side skeleton interpolation of the child level.
+    col_interp: Vec<Option<SkeletonSide>>,
 }
 
 impl UlvFactorization {
@@ -219,6 +273,7 @@ impl UlvFactorization {
             let order = tree.perm.clone();
             let a = kernel.assemble(&tree.points, &order, &order);
             stats.construction_seconds = t0.elapsed().as_secs_f64();
+            stats.phases.assembly_seconds = stats.construction_seconds;
             let t1 = Instant::now();
             let f0 = flop_count();
             let root_lu = lu_factor(&a).expect("dense root factorization failed");
@@ -244,6 +299,8 @@ impl UlvFactorization {
             pending_carry: HashMap::new(),
             row_maps: vec![None; tree.num_leaves()],
             col_maps: vec![None; tree.num_leaves()],
+            row_interp: Vec::new(),
+            col_interp: Vec::new(),
         };
 
         // Assemble the leaf-level dense (neighbour) blocks from the kernel.
@@ -268,6 +325,7 @@ impl UlvFactorization {
             state.dense = blocks.into_iter().collect();
         }
         stats.construction_seconds += tcon0.elapsed().as_secs_f64();
+        stats.phases.assembly_seconds += tcon0.elapsed().as_secs_f64();
         stats.construction_flops += flop_count() - fcon0;
 
         let mut levels: Vec<LevelFactor> = Vec::new();
@@ -278,7 +336,7 @@ impl UlvFactorization {
 
         // One work-stealing DAG executor drives every level's per-cluster
         // compression and elimination tasks.
-        let exec = DagExecutor::new(resolve_threads(opts));
+        let exec = DagExecutor::new(h2_runtime::resolve_num_threads(opts.num_threads));
         for level in (last_level..=depth).rev() {
             let (lf, next_state) = Self::process_level(
                 kernel, tree, &partition, opts, level, state, &mut stats, &mut tg, &exec,
@@ -381,9 +439,17 @@ impl UlvFactorization {
             let dense_ref = &state.dense;
             // In sampled construction mode the fill-in column/row spaces are captured
             // through random test matrices instead of forming every product exactly.
+            // Width of the union fill-in sample (`H2_FILL_SAMPLE` overrides for
+            // accuracy/cost experiments; 128 keeps bench residuals at or below
+            // the exact-fill reference across the sweep).
             let sample_cols = match opts.basis_mode {
                 h2_hmatrix::BasisMode::Exact => None,
-                h2_hmatrix::BasisMode::Sampled { .. } => Some(64),
+                h2_hmatrix::BasisMode::Sampled { .. } => Some(
+                    std::env::var("H2_FILL_SAMPLE")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(128),
+                ),
             };
             precompute_fillins(
                 nb,
@@ -437,6 +503,7 @@ impl UlvFactorization {
             })
             .collect();
         stats.construction_seconds += tcon.elapsed().as_secs_f64();
+        stats.phases.compression_seconds += tcon.elapsed().as_secs_f64();
         stats.construction_flops += flop_count() - fcon;
 
         // ------------------------------------------------------- executable task DAG
@@ -453,7 +520,7 @@ impl UlvFactorization {
             row_pair_idx[i].push(x);
         }
 
-        let basis_slots: Vec<OnceLock<ClusterFactor>> = (0..nb).map(|_| OnceLock::new()).collect();
+        let basis_slots: Vec<OnceLock<BasisOut>> = (0..nb).map(|_| OnceLock::new()).collect();
         let transform_slots: Vec<OnceLock<Matrix>> =
             dense_pairs.iter().map(|_| OnceLock::new()).collect();
         let coupling_slots: Vec<OnceLock<Matrix>> =
@@ -462,13 +529,32 @@ impl UlvFactorization {
         // Per-class CPU time and exact flop counts for the stats split.
         let construction_meter = ClassMeter::new();
         let elimination_meter = ClassMeter::new();
+        // Construction CPU time per phase (assembly / compression / coupling /
+        // transfer), accumulated from sub-spans inside the tasks.
+        let phase_nanos: [AtomicU64; 4] = [
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        ];
+        const PH_ASSEMBLY: usize = 0;
+        const PH_COMPRESSION: usize = 1;
+        const PH_COUPLING: usize = 2;
+        const PH_TRANSFER: usize = 3;
+        let phase_add = |phase: usize, t0: Instant| {
+            phase_nanos[phase].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        };
 
         let mut egraph = TaskGraph::new();
         let mut eactions: Vec<Option<Box<dyn FnOnce() + Send + '_>>> = Vec::new();
 
-        // Basis tasks: fill-in-aware compression of one cluster (far field assembly
-        // + pivoted QR).  Costs are analytic estimates — they only steer the
-        // critical-path-first priorities, not correctness.
+        // Basis tasks: fill-in-aware compression of one cluster.  The far-field
+        // sample is evaluated only on the children's skeleton rows and lifted by
+        // interpolation whenever the previous level left skeleton data (the
+        // linear-cost fast path); otherwise the full cluster rows are assembled
+        // and projected through the accumulated maps (reference path).  Costs are
+        // analytic estimates — they only steer the critical-path-first
+        // priorities, not correctness.
         let mut basis_tasks: Vec<TaskId> = Vec::with_capacity(nb);
         for i in 0..nb {
             let a = active[i];
@@ -480,26 +566,69 @@ impl UlvFactorization {
             let extra_col_ref = &extra_col;
             let row_maps = &state.row_maps;
             let col_maps = &state.col_maps;
+            let prev_row_interp = &state.row_interp;
+            let prev_col_interp = &state.col_interp;
+            let clusters_ref = &clusters;
             let meter = &construction_meter;
+            let pa = &phase_add;
             eactions.push(Some(Box::new(move || {
                 let t0 = ClassMeter::begin();
-                let far = far_field_matrix(
-                    kernel,
-                    tree,
-                    partition,
-                    level,
-                    i,
-                    opts.basis_mode,
-                    opts.seed,
-                );
-                let far_row = match &row_maps[i] {
-                    Some(w) => matmul_tn(w, &far),
-                    None => far.clone(),
+                let cols =
+                    far_field_sample_indices(tree, partition, level, i, opts.basis_mode, opts.seed);
+                let rows_full = tree.original_indices(&clusters_ref[i]);
+                // Children's interpolation data (clusters 2i, 2i+1 of the finer
+                // level), when every side of both children produced one.
+                let child_interp = if opts.skeleton_construction && row_maps[i].is_some() {
+                    match (
+                        prev_row_interp.get(2 * i).and_then(|o| o.as_ref()),
+                        prev_row_interp.get(2 * i + 1).and_then(|o| o.as_ref()),
+                        prev_col_interp.get(2 * i).and_then(|o| o.as_ref()),
+                        prev_col_interp.get(2 * i + 1).and_then(|o| o.as_ref()),
+                    ) {
+                        (Some(r1), Some(r2), Some(c1), Some(c2)) => Some((r1, r2, c1, c2)),
+                        _ => None,
+                    }
+                } else {
+                    None
                 };
-                let far_col = match &col_maps[i] {
-                    Some(w) => matmul_tn(w, &far),
-                    None => far,
+                // Interpolated far-field rows used by this basis and, below, as the
+                // candidate row sets for this cluster's own skeleton selection.
+                let mut row_cand: Vec<usize> = Vec::new();
+                let mut col_cand: Vec<usize> = Vec::new();
+                let (far_row, far_col) = if let Some((r1, r2, c1, c2)) = child_interp {
+                    row_cand.extend_from_slice(&r1.rows);
+                    row_cand.extend_from_slice(&r2.rows);
+                    col_cand.extend_from_slice(&c1.rows);
+                    col_cand.extend_from_slice(&c2.rows);
+                    let ta = Instant::now();
+                    let far_r = kernel.assemble(&tree.points, &row_cand, &cols);
+                    let far_c = kernel.assemble(&tree.points, &col_cand, &cols);
+                    pa(PH_ASSEMBLY, ta);
+                    // W^T A_far ≈ vcat(R_c^{-1} A[r_c, :]) per child.
+                    let f = far_r.cols();
+                    let k1 = r1.rows.len();
+                    let top = lu_solve_mat(&r1.lu, &far_r.block(0, 0, k1, f));
+                    let bot = lu_solve_mat(&r2.lu, &far_r.block(k1, 0, far_r.rows() - k1, f));
+                    let fr = top.vcat(&bot);
+                    let k1c = c1.rows.len();
+                    let top = lu_solve_mat(&c1.lu, &far_c.block(0, 0, k1c, f));
+                    let bot = lu_solve_mat(&c2.lu, &far_c.block(k1c, 0, far_c.rows() - k1c, f));
+                    (fr, top.vcat(&bot))
+                } else {
+                    let ta = Instant::now();
+                    let far = kernel.assemble(&tree.points, rows_full, &cols);
+                    pa(PH_ASSEMBLY, ta);
+                    let far_row = match &row_maps[i] {
+                        Some(w) => matmul_tn(w, &far),
+                        None => far.clone(),
+                    };
+                    let far_col = match &col_maps[i] {
+                        Some(w) => matmul_tn(w, &far),
+                        None => far,
+                    };
+                    (far_row, far_col)
                 };
+                let tq = Instant::now();
                 let mut row_refs: Vec<&Matrix> = vec![&far_row];
                 if let Some(list) = fills_ref.row_fills.get(&i) {
                     row_refs.extend(list.iter());
@@ -516,14 +645,74 @@ impl UlvFactorization {
                 }
                 let row_input = Matrix::hcat_all(&row_refs);
                 let col_input = Matrix::hcat_all(&col_refs);
-                let cf = build_cluster_basis(&row_input, &col_input, a, opts.tol, opts.max_rank);
-                let _ = slot.set(cf);
+                let cf = build_cluster_basis(
+                    &row_input,
+                    &col_input,
+                    a,
+                    opts.tol,
+                    opts.max_rank,
+                    opts.compression,
+                    mix_seed(opts.seed, level, i, 1),
+                    mix_seed(opts.seed, level, i, 2),
+                );
+                pa(PH_COMPRESSION, tq);
+                // This cluster's skeleton interpolation data for the coupling
+                // tasks and the parent level.
+                let (row_interp, col_interp) = if opts.skeleton_construction {
+                    let tt = Instant::now();
+                    let us = skeleton_of(&cf.q, cf.redundant);
+                    let vs = skeleton_of(&cf.p, cf.redundant);
+                    let interp_of = |sk: &Matrix,
+                                     pair: Option<(&SkeletonSide, &SkeletonSide)>,
+                                     cand: &[usize],
+                                     map: &Option<Matrix>|
+                     -> Option<SkeletonSide> {
+                        if let Some((s1, s2)) = pair {
+                            // Candidates restricted to child skeleton rows:
+                            // C = blockdiag(R_c1, R_c2) · U^S.
+                            let k1 = s1.rows.len();
+                            let top = matmul(&s1.rmat, &sk.block(0, 0, k1, sk.cols()));
+                            let bot = matmul(&s2.rmat, &sk.block(k1, 0, sk.rows() - k1, sk.cols()));
+                            build_skeleton_interp(&top.vcat(&bot), cand)
+                        } else {
+                            match map {
+                                // Identity map: the explicit skeleton map is U^S.
+                                None => build_skeleton_interp(sk, rows_full),
+                                // Fallback: materialize M = W · U^S over all rows.
+                                Some(w) => build_skeleton_interp(&matmul(w, sk), rows_full),
+                            }
+                        }
+                    };
+                    let ri = interp_of(
+                        &us,
+                        child_interp.map(|(r1, r2, _, _)| (r1, r2)),
+                        &row_cand,
+                        &row_maps[i],
+                    );
+                    let ci = interp_of(
+                        &vs,
+                        child_interp.map(|(_, _, c1, c2)| (c1, c2)),
+                        &col_cand,
+                        &col_maps[i],
+                    );
+                    pa(PH_TRANSFER, tt);
+                    (ri, ci)
+                } else {
+                    (None, None)
+                };
+                let _ = slot.set(BasisOut {
+                    cf,
+                    row_interp,
+                    col_interp,
+                });
                 meter.record(t0);
             })));
         }
 
-        // Coupling tasks: assemble the admissible pair, project onto the two
-        // freshly-built skeleton bases.
+        // Coupling tasks: project the admissible pair onto the two freshly-built
+        // skeleton bases.  With skeleton interpolation the block is evaluated only
+        // at the two clusters' skeleton rows/columns (`k_i x k_j` kernel entries);
+        // the reference path assembles the full pair and projects it.
         for (x, &(i, j)) in admissible.iter().enumerate() {
             let c = cost::gemm(active[i], active[j], active[i].min(active[j])) as f64;
             egraph.add_task(TaskKind::Compress, c, &[basis_tasks[i], basis_tasks[j]]);
@@ -534,27 +723,56 @@ impl UlvFactorization {
             let bs = &basis_slots;
             let clusters_ref = &clusters;
             let meter = &construction_meter;
+            let pa = &phase_add;
             eactions.push(Some(Box::new(move || {
                 let t0 = ClassMeter::begin();
-                let a = kernel.assemble(
-                    &tree.points,
-                    tree.original_indices(&clusters_ref[i]),
-                    tree.original_indices(&clusters_ref[j]),
-                );
-                let mut m = match (&row_maps[i], &col_maps[j]) {
-                    (Some(wi), Some(wj)) => matmul(&matmul_tn(wi, &a), wj),
-                    (Some(wi), None) => matmul_tn(wi, &a),
-                    (None, Some(wj)) => matmul(&a, wj),
-                    (None, None) => a,
+                let bi = bs[i].get().expect("row basis ready (dependency)");
+                let bj = bs[j].get().expect("col basis ready (dependency)");
+                let (cfi, cfj) = (&bi.cf, &bj.cf);
+                let mut s = if cfi.skeleton == 0 || cfj.skeleton == 0 {
+                    Matrix::zeros(cfi.skeleton, cfj.skeleton)
+                } else if let (true, Some(ri), Some(cj)) = (
+                    opts.skeleton_construction,
+                    bi.row_interp.as_ref(),
+                    bj.col_interp.as_ref(),
+                ) {
+                    // S ≈ R_i^{-1} · A[r_i, c_j] · R_j^{-T}  (M^T M = I).
+                    let ta = Instant::now();
+                    let a_rc = kernel.assemble(&tree.points, &ri.rows, &cj.rows);
+                    pa(PH_ASSEMBLY, ta);
+                    let tc = Instant::now();
+                    let xm = lu_solve_mat(&ri.lu, &a_rc);
+                    let s = lu_solve_mat(&cj.lu, &xm.transpose()).transpose();
+                    pa(PH_COUPLING, tc);
+                    s
+                } else {
+                    let ta = Instant::now();
+                    let a = kernel.assemble(
+                        &tree.points,
+                        tree.original_indices(&clusters_ref[i]),
+                        tree.original_indices(&clusters_ref[j]),
+                    );
+                    pa(PH_ASSEMBLY, ta);
+                    let tc = Instant::now();
+                    let m = match (&row_maps[i], &col_maps[j]) {
+                        (Some(wi), Some(wj)) => matmul(&matmul_tn(wi, &a), wj),
+                        (Some(wi), None) => matmul_tn(wi, &a),
+                        (None, Some(wj)) => matmul(&a, wj),
+                        (None, None) => a,
+                    };
+                    let us = skeleton_of(&cfi.q, cfi.redundant);
+                    let vs = skeleton_of(&cfj.p, cfj.redundant);
+                    let s = matmul(&matmul_tn(&us, &m), &vs);
+                    pa(PH_COUPLING, tc);
+                    s
                 };
                 if let Some(carry) = admissible_carry.get(&(i, j)) {
-                    m += carry;
+                    let tc = Instant::now();
+                    let us = skeleton_of(&cfi.q, cfi.redundant);
+                    let vs = skeleton_of(&cfj.p, cfj.redundant);
+                    s += &matmul(&matmul_tn(&us, carry), &vs);
+                    pa(PH_COUPLING, tc);
                 }
-                let cfi = bs[i].get().expect("row basis ready (dependency)");
-                let cfj = bs[j].get().expect("col basis ready (dependency)");
-                let us = skeleton_of(&cfi.q, cfi.redundant);
-                let vs = skeleton_of(&cfj.p, cfj.redundant);
-                let s = matmul(&matmul_tn(&us, &m), &vs);
                 let _ = slot.set(s);
                 meter.record(t0);
             })));
@@ -591,7 +809,7 @@ impl UlvFactorization {
             let meter = &elimination_meter;
             eactions.push(Some(Box::new(move || {
                 let t0 = ClassMeter::begin();
-                let qi = &bs[i].get().expect("own basis ready (dependency)").q;
+                let qi = &bs[i].get().expect("own basis ready (dependency)").cf.q;
                 let ds: Vec<&Matrix> = xs.iter().map(|&x| &dense[&dp[x]]).collect();
                 let qtd = matmul_tn_batch_shared_a(qi, &ds);
                 let second: Vec<(&Matrix, &Matrix)> = qtd
@@ -600,7 +818,11 @@ impl UlvFactorization {
                     .map(|(qd, &x)| {
                         (
                             qd as &Matrix,
-                            &bs[dp[x].1].get().expect("col basis ready (dependency)").p,
+                            &bs[dp[x].1]
+                                .get()
+                                .expect("col basis ready (dependency)")
+                                .cf
+                                .p,
                         )
                     })
                     .collect();
@@ -647,7 +869,7 @@ impl UlvFactorization {
                         .get()
                         .expect("transform ready (dependency)")
                 };
-                let cf = |i: usize| bs[i].get().expect("basis ready (dependency)");
+                let cf = |i: usize| &bs[i].get().expect("basis ready (dependency)").cf;
                 let rk = cf(k).redundant;
                 let mut res = PivotResult {
                     k,
@@ -731,10 +953,27 @@ impl UlvFactorization {
         stats.construction_flops += construction_meter.flops.load(Ordering::Relaxed);
         stats.factorization_flops += elimination_meter.flops.load(Ordering::Relaxed);
 
+        // Fold the per-level phase meters into the run-wide breakdown.
+        stats.phases.assembly_seconds +=
+            phase_nanos[PH_ASSEMBLY].load(Ordering::Relaxed) as f64 / 1e9;
+        stats.phases.compression_seconds +=
+            phase_nanos[PH_COMPRESSION].load(Ordering::Relaxed) as f64 / 1e9;
+        stats.phases.coupling_seconds +=
+            phase_nanos[PH_COUPLING].load(Ordering::Relaxed) as f64 / 1e9;
+        stats.phases.transfer_seconds +=
+            phase_nanos[PH_TRANSFER].load(Ordering::Relaxed) as f64 / 1e9;
+
         // Collect task outputs in construction order (never completion order).
+        let mut next_row_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
+        let mut next_col_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
         let cluster_factors: Vec<ClusterFactor> = basis_slots
             .into_iter()
-            .map(|s| s.into_inner().expect("basis task did not run"))
+            .map(|s| {
+                let out = s.into_inner().expect("basis task did not run");
+                next_row_interp.push(out.row_interp);
+                next_col_interp.push(out.col_interp);
+                out.cf
+            })
             .collect();
         let transformed: HashMap<(usize, usize), Matrix> = dense_pairs
             .iter()
@@ -856,6 +1095,8 @@ impl UlvFactorization {
             pending_carry: HashMap::new(),
             row_maps: Vec::new(),
             col_maps: Vec::new(),
+            row_interp: next_row_interp,
+            col_interp: next_col_interp,
         };
         if opts.hierarchy == Hierarchy::MultiLevel {
             // Parent-level maps (only needed when we keep recursing; for the
@@ -940,15 +1181,21 @@ impl UlvFactorization {
 
 /// Build the `[redundant | skeleton]`-ordered square bases of one cluster from the
 /// row-space and column-space sample matrices.
+#[allow(clippy::too_many_arguments)]
 fn build_cluster_basis(
     row_input: &Matrix,
     col_input: &Matrix,
     active: usize,
     tol: f64,
     max_rank: Option<usize>,
+    compression: CompressionMode,
+    seed_row: u64,
+    seed_col: u64,
 ) -> ClusterFactor {
-    let (q_full, rank_r) = orthogonal_factor(row_input, active, tol, max_rank);
-    let (p_full, rank_c) = orthogonal_factor(col_input, active, tol, max_rank);
+    let (q_full, rank_r) =
+        orthogonal_factor(row_input, active, tol, max_rank, compression, seed_row);
+    let (p_full, rank_c) =
+        orthogonal_factor(col_input, active, tol, max_rank, compression, seed_col);
     // Row and column skeleton dimensions must agree so diagonal blocks stay square;
     // take the larger of the two detected ranks for both sides.
     let k = rank_r.max(rank_c);
@@ -964,19 +1211,31 @@ fn build_cluster_basis(
     }
 }
 
-/// Pivoted QR of `input`, returning the full square orthogonal factor and the detected
-/// numerical rank (capped by `max_rank` and the active size).
+/// Orthogonal factor of `input`'s column space: full square orthogonal matrix and
+/// the detected numerical rank (capped by `max_rank` and the active size).  The
+/// direct mode is the column-pivoted QR of the full panel; the sketched mode
+/// factorizes a Gaussian column sketch instead (GEMM-dominated).
 fn orthogonal_factor(
     input: &Matrix,
     active: usize,
     tol: f64,
     max_rank: Option<usize>,
+    compression: CompressionMode,
+    seed: u64,
 ) -> (Matrix, usize) {
     if input.cols() == 0 {
         return (Matrix::identity(active), 0);
     }
-    let f = pivoted_qr(input);
-    let mut rank = f.rank(tol);
+    let (f, mut rank) = match compression {
+        CompressionMode::Direct => {
+            let f = pivoted_qr(input);
+            let rank = f.rank(tol);
+            (f, rank)
+        }
+        CompressionMode::Sketched { oversample } => {
+            sketched_pivoted_qr(input, tol, max_rank, oversample, seed)
+        }
+    };
     if let Some(cap) = max_rank {
         rank = rank.min(cap);
     }

@@ -1,0 +1,152 @@
+//! Sketch-based vs exact construction: accuracy within tolerance, and
+//! determinism — a fixed seed must give bitwise identical factors at 1, 2 and 4
+//! worker threads, for both the reference and the fast construction paths.
+
+use h2_factor::{h2_ulv_nodep, CompressionMode, FactorOptions, UlvFactors};
+use h2_geometry::{uniform_cube, Admissibility, ClusterTree, LaplaceKernel, PartitionStrategy};
+use h2_hmatrix::BasisMode;
+
+fn opts(compression: CompressionMode, skeleton: bool, threads: usize) -> FactorOptions {
+    FactorOptions {
+        tol: 1e-6,
+        max_rank: Some(256),
+        admissibility: Admissibility::strong(1.0),
+        basis_mode: BasisMode::Sampled { max_samples: 512 },
+        compression,
+        skeleton_construction: skeleton,
+        seed: 42,
+        num_threads: threads,
+        ..FactorOptions::default()
+    }
+}
+
+fn setup(n: usize) -> (ClusterTree, LaplaceKernel) {
+    let pts = uniform_cube(n, 33);
+    (
+        ClusterTree::build(&pts, 64, PartitionStrategy::KMeans, 0),
+        LaplaceKernel::default(),
+    )
+}
+
+/// Bitwise equality of two factorizations (every stored matrix and pivot).
+fn factors_identical(a: &UlvFactors, b: &UlvFactors) -> bool {
+    if a.root_lu.lu != b.root_lu.lu || a.root_lu.ipiv != b.root_lu.ipiv {
+        return false;
+    }
+    if a.levels.len() != b.levels.len() {
+        return false;
+    }
+    for (la, lb) in a.levels.iter().zip(&b.levels) {
+        for (ca, cb) in la.clusters.iter().zip(&lb.clusters) {
+            if ca.q != cb.q || ca.p != cb.p {
+                return false;
+            }
+            match (&ca.lu, &cb.lu) {
+                (Some(x), Some(y)) if x.lu == y.lu => {}
+                (None, None) => {}
+                _ => return false,
+            }
+        }
+        if la.row_rr != lb.row_rr
+            || la.row_rs != lb.row_rs
+            || la.col_rr != lb.col_rr
+            || la.col_sr != lb.col_sr
+        {
+            return false;
+        }
+    }
+    true
+}
+
+fn residual(f: &UlvFactors, kernel: &LaplaceKernel, n: usize) -> f64 {
+    let b: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 9.0).collect();
+    let x = f.solve(&b);
+    f.residual_with(kernel, &b, &x)
+}
+
+#[test]
+fn sketched_construction_is_accurate_and_deterministic_across_threads() {
+    let n = 700;
+    let (tree, kernel) = setup(n);
+    let fast1 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    let fast2 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 2));
+    let fast4 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 4));
+    assert!(
+        factors_identical(&fast1, &fast2),
+        "sketched factors differ between 1 and 2 threads"
+    );
+    assert!(
+        factors_identical(&fast1, &fast4),
+        "sketched factors differ between 1 and 4 threads"
+    );
+    // Same seed, fresh run: bitwise reproducible.
+    let again = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    assert!(factors_identical(&fast1, &again), "same-seed rerun differs");
+
+    // Accuracy: the fast path must stay within a small factor of the exact
+    // reference construction (direct QR, exact coupling assembly).
+    let exact = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1));
+    let r_fast = residual(&fast1, &kernel, n);
+    let r_exact = residual(&exact, &kernel, n);
+    assert!(r_exact < 1e-3, "exact-path residual {r_exact}");
+    assert!(r_fast < 1e-3, "fast-path residual {r_fast}");
+    assert!(
+        r_fast <= r_exact * 50.0 + 1e-6,
+        "fast-path residual {r_fast} too far from exact {r_exact}"
+    );
+}
+
+#[test]
+fn exact_reference_path_is_also_thread_deterministic() {
+    let n = 600;
+    let (tree, kernel) = setup(n);
+    let a = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1));
+    let b = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 4));
+    assert!(factors_identical(&a, &b));
+}
+
+#[test]
+fn different_seeds_change_sketched_factors() {
+    // The sketch must actually depend on the seed (otherwise the determinism
+    // tests above would pass vacuously).
+    let n = 600;
+    let (tree, kernel) = setup(n);
+    let mut o1 = opts(CompressionMode::default(), true, 1);
+    let mut o2 = o1;
+    o1.seed = 1;
+    o2.seed = 2;
+    let f1 = h2_ulv_nodep(&kernel, &tree, &o1);
+    let f2 = h2_ulv_nodep(&kernel, &tree, &o2);
+    assert!(
+        !factors_identical(&f1, &f2),
+        "factors independent of the sketch seed — sketch path not exercised"
+    );
+    // Both seeds solve to comparable accuracy.
+    assert!(residual(&f1, &kernel, n) < 1e-3);
+    assert!(residual(&f2, &kernel, n) < 1e-3);
+}
+
+#[test]
+fn sampled_residual_estimator_tracks_exact_residual() {
+    let n = 900;
+    let (tree, kernel) = setup(n);
+    let f = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
+    let x = f.solve(&b);
+    let exact = f.residual_with(&kernel, &b, &x);
+    // All rows sampled => identical to the exact residual.
+    let full = f.residual_sampled(&kernel, &b, &x, n, 3);
+    assert!(
+        (full - exact).abs() <= 1e-12 * exact.max(1e-300) + 1e-300,
+        "full sampling {full} vs exact {exact}"
+    );
+    // Partial sampling: an unbiased estimate within a reasonable band.
+    let est = f.residual_sampled(&kernel, &b, &x, n / 3, 3);
+    assert!(
+        est > 0.2 * exact && est < 5.0 * exact,
+        "sampled estimate {est} vs exact {exact}"
+    );
+    // Deterministic in the seed.
+    let est2 = f.residual_sampled(&kernel, &b, &x, n / 3, 3);
+    assert!((est - est2).abs() == 0.0);
+}

@@ -8,8 +8,10 @@
 //!   multi-molecule scenes standing in for the boundary-element meshes of §V
 //!   ([`point`], [`cube`], [`sphere`], [`molecule`]),
 //! * interaction kernels — the Laplace Green's function (Eq. 29), the Yukawa /
-//!   screened-Coulomb potential (Eq. 30), plus Gaussian and Matérn covariance kernels
-//!   for the statistics use-case mentioned in the introduction ([`kernel`]),
+//!   screened-Coulomb potential (Eq. 30), an oscillatory Helmholtz-like kernel, plus
+//!   Gaussian and Matérn covariance kernels for the statistics use-case mentioned in
+//!   the introduction; all with a batched structure-of-arrays assembly fast path
+//!   ([`kernel`]),
 //! * balanced, power-of-two k-means clustering (§V: "3-D k-means clustering … enforce
 //!   the number of clusters to always be a power of two") and Morton ordering as the
 //!   space-filling-curve alternative the paper compares against ([`kmeans`],
@@ -30,7 +32,9 @@ pub mod sphere;
 pub use admissibility::{Admissibility, AdmissibilityKind};
 pub use cluster_tree::{Cluster, ClusterTree, PartitionStrategy};
 pub use cube::{uniform_cube, uniform_grid};
-pub use kernel::{GaussianKernel, Kernel, LaplaceKernel, MaternKernel, YukawaKernel};
+pub use kernel::{
+    GaussianKernel, HelmholtzKernel, Kernel, LaplaceKernel, MaternKernel, YukawaKernel,
+};
 pub use kmeans::{balanced_kmeans, KMeansResult};
 pub use molecule::{crowded_scene, molecule_surface, MoleculeConfig};
 pub use morton::{morton_encode, morton_sort};

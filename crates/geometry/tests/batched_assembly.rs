@@ -1,0 +1,118 @@
+//! The batched structure-of-arrays assembly path must be **bitwise identical** to
+//! the reference per-entry `eval` loop for every shipped kernel: the construction
+//! fast path may restructure the iteration, never the per-entry arithmetic.
+
+use h2_geometry::{
+    uniform_cube, GaussianKernel, HelmholtzKernel, Kernel, LaplaceKernel, MaternKernel,
+    YukawaKernel,
+};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn shipped_kernels() -> Vec<(&'static str, Box<dyn Kernel>)> {
+    vec![
+        (
+            "laplace",
+            Box::new(LaplaceKernel::default()) as Box<dyn Kernel>,
+        ),
+        ("yukawa", Box::new(YukawaKernel::default())),
+        ("helmholtz", Box::new(HelmholtzKernel::default())),
+        ("gaussian", Box::new(GaussianKernel::default())),
+        ("matern32", Box::new(MaternKernel::default())),
+    ]
+}
+
+/// Assert every entry of two matrices has the same bit pattern (stricter than `==`,
+/// which would treat `-0.0` and `0.0` or two NaNs loosely).
+fn assert_bitwise_equal(a: &h2_matrix::Matrix, b: &h2_matrix::Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: {x:e} vs {y:e} differ bitwise"
+        );
+    }
+}
+
+#[test]
+fn batched_assembly_is_bitwise_identical_to_scalar_loop() {
+    let points = uniform_cube(700, 91);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for trial in 0..8 {
+        // Random index subsets: sometimes disjoint, sometimes overlapping (so the
+        // diagonal fix-up path is exercised), sometimes tiny or empty.
+        let mut all: Vec<usize> = (0..points.len()).collect();
+        all.shuffle(&mut rng);
+        let m = rng.gen_range(0..200usize);
+        let n = rng.gen_range(1..200usize);
+        let rows: Vec<usize> = all[..m].to_vec();
+        let cols: Vec<usize> = if trial % 2 == 0 {
+            all[m..m + n].to_vec() // disjoint from rows
+        } else {
+            all[m.saturating_sub(n / 2)..m.saturating_sub(n / 2) + n].to_vec() // overlaps
+        };
+        for (name, kernel) in shipped_kernels() {
+            let fast = kernel.assemble(&points, &rows, &cols);
+            let reference = kernel.assemble_scalar(&points, &rows, &cols);
+            assert_bitwise_equal(&fast, &reference, &format!("{name} trial {trial}"));
+        }
+    }
+}
+
+#[test]
+fn batched_assembly_handles_diagonal_and_duplicates() {
+    let points = uniform_cube(64, 3);
+    // Duplicated row indices and full-diagonal blocks.
+    let rows: Vec<usize> = vec![5, 7, 5, 9, 7, 0];
+    let cols: Vec<usize> = vec![5, 7, 11, 0];
+    for (name, kernel) in shipped_kernels() {
+        let fast = kernel.assemble(&points, &rows, &cols);
+        let reference = kernel.assemble_scalar(&points, &rows, &cols);
+        assert_bitwise_equal(&fast, &reference, name);
+        let full = kernel.assemble_full(&points);
+        for i in 0..points.len() {
+            assert_eq!(full[(i, i)], kernel.diagonal(), "{name} diagonal");
+        }
+    }
+}
+
+#[test]
+fn eval_batch_matches_eval_per_pair() {
+    let points = uniform_cube(128, 17);
+    let (xs, ys, zs): (Vec<f64>, Vec<f64>, Vec<f64>) = (
+        points.iter().map(|p| p.x).collect(),
+        points.iter().map(|p| p.y).collect(),
+        points.iter().map(|p| p.z).collect(),
+    );
+    let target = points[40];
+    for (name, kernel) in shipped_kernels() {
+        let mut out = vec![0.0; points.len()];
+        kernel.eval_batch(&xs, &ys, &zs, &target, &mut out);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(
+                out[i].to_bits(),
+                kernel.eval(p, &target).to_bits(),
+                "{name} entry {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn helmholtz_kernel_oscillates_and_decays() {
+    let k = HelmholtzKernel::default();
+    let a = h2_geometry::Point3::new(0.0, 0.0, 0.0);
+    // The envelope decays like 1/r while the cosine flips sign along the way.
+    let near = k.eval(&a, &h2_geometry::Point3::new(0.05, 0.0, 0.0));
+    let far = k.eval(&a, &h2_geometry::Point3::new(2.0, 0.0, 0.0));
+    assert!(near.abs() > far.abs());
+    assert!(k.diagonal() > near.abs());
+    // Symmetric, and some sign change exists within the unit domain.
+    let b = h2_geometry::Point3::new(0.3, 0.4, 0.1);
+    assert_eq!(k.eval(&a, &b), k.eval(&b, &a));
+    let signs: Vec<f64> = (1..40)
+        .map(|i| k.eval(&a, &h2_geometry::Point3::new(i as f64 * 0.05, 0.0, 0.0)))
+        .collect();
+    assert!(signs.iter().any(|v| *v < 0.0) && signs.iter().any(|v| *v > 0.0));
+}

@@ -15,11 +15,30 @@
 //! their pre-computed fill-in blocks before the QR, per §III-C of the paper.
 
 use h2_geometry::{ClusterTree, Kernel};
-use h2_matrix::{truncated_pivoted_qr, Matrix};
+use h2_lowrank::{sketched_basis_split, CompressionMode};
+use h2_matrix::{truncated_pivoted_qr, BasisSplit, Matrix};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::partition::BlockPartition;
+
+/// Skeleton/redundant split of `a`'s column space through the selected
+/// compression path: direct column-pivoted QR of the full panel, or the
+/// GEMM-dominated Gaussian-sketch factorization.
+pub fn compress_basis_split(
+    a: &Matrix,
+    tol: f64,
+    max_rank: Option<usize>,
+    compression: CompressionMode,
+    seed: u64,
+) -> BasisSplit {
+    match compression {
+        CompressionMode::Direct => truncated_pivoted_qr(a, tol, max_rank),
+        CompressionMode::Sketched { oversample } => {
+            sketched_basis_split(a, tol, max_rank, oversample, seed)
+        }
+    }
+}
 
 /// How to build the far-field sample used for basis construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +97,29 @@ pub fn far_field_indices(
     far
 }
 
+/// The (possibly sampled) far-field column indices of cluster `i` at `level` —
+/// exactly the columns [`far_field_matrix`] assembles.  Exposed so construction
+/// fast paths can evaluate the kernel on a row subset of the same sample.
+pub fn far_field_sample_indices(
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    level: usize,
+    i: usize,
+    mode: BasisMode,
+    seed: u64,
+) -> Vec<usize> {
+    let mut cols = far_field_indices(tree, partition, level, i);
+    if let BasisMode::Sampled { max_samples } = mode {
+        if cols.len() > max_samples {
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(seed ^ ((level as u64) << 32) ^ i as u64);
+            cols.shuffle(&mut rng);
+            cols.truncate(max_samples);
+        }
+    }
+    cols
+}
+
 /// Assemble the far-field block of cluster `i`'s rows at `level` (cluster points x
 /// far-field points), sampling according to `mode`.  The returned matrix is what the
 /// shared row basis is computed from.
@@ -92,15 +134,7 @@ pub fn far_field_matrix(
 ) -> Matrix {
     let clusters = tree.clusters_at_level(level);
     let rows = tree.original_indices(&clusters[i]);
-    let mut cols = far_field_indices(tree, partition, level, i);
-    if let BasisMode::Sampled { max_samples } = mode {
-        if cols.len() > max_samples {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(seed ^ ((level as u64) << 32) ^ i as u64);
-            cols.shuffle(&mut rng);
-            cols.truncate(max_samples);
-        }
-    }
+    let cols = far_field_sample_indices(tree, partition, level, i, mode, seed);
     kernel.assemble(&tree.points, rows, &cols)
 }
 
@@ -118,11 +152,37 @@ pub fn build_leaf_bases(
     mode: BasisMode,
     seed: u64,
 ) -> Vec<ClusterBasis> {
+    build_leaf_bases_with(
+        kernel,
+        tree,
+        partition,
+        tol,
+        max_rank,
+        mode,
+        CompressionMode::Direct,
+        seed,
+    )
+}
+
+/// [`build_leaf_bases`] with an explicit compression path (the sketched mode is the
+/// construction fast path; `Direct` reproduces the paper's literal QR).
+#[allow(clippy::too_many_arguments)]
+pub fn build_leaf_bases_with(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    tol: f64,
+    max_rank: Option<usize>,
+    mode: BasisMode,
+    compression: CompressionMode,
+    seed: u64,
+) -> Vec<ClusterBasis> {
     let leaf_level = tree.depth;
     (0..tree.num_leaves())
         .map(|i| {
             let a = far_field_matrix(kernel, tree, partition, leaf_level, i, mode, seed);
-            let split = truncated_pivoted_qr(&a, tol, max_rank);
+            let split =
+                compress_basis_split(&a, tol, max_rank, compression, seed ^ (i as u64) << 8);
             ClusterBasis { u: split.skeleton }
         })
         .collect()
@@ -143,6 +203,36 @@ pub fn build_transfer_matrix(
     mode: BasisMode,
     seed: u64,
 ) -> Matrix {
+    build_transfer_matrix_with(
+        kernel,
+        tree,
+        partition,
+        level,
+        i,
+        child_bases,
+        tol,
+        max_rank,
+        mode,
+        CompressionMode::Direct,
+        seed,
+    )
+}
+
+/// [`build_transfer_matrix`] with an explicit compression path.
+#[allow(clippy::too_many_arguments)]
+pub fn build_transfer_matrix_with(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    level: usize,
+    i: usize,
+    child_bases: (&Matrix, &Matrix),
+    tol: f64,
+    max_rank: Option<usize>,
+    mode: BasisMode,
+    compression: CompressionMode,
+    seed: u64,
+) -> Matrix {
     let far = far_field_matrix(kernel, tree, partition, level, i, mode, seed);
     if far.cols() == 0 {
         // No admissible interaction at or above this level: empty transfer.
@@ -153,7 +243,14 @@ pub fn build_transfer_matrix(
     let top = h2_matrix::matmul_tn(u1, &far.block(0, 0, m1, far.cols()));
     let bot = h2_matrix::matmul_tn(u2, &far.block(m1, 0, far.rows() - m1, far.cols()));
     let projected = top.vcat(&bot);
-    truncated_pivoted_qr(&projected, tol, max_rank).skeleton
+    compress_basis_split(
+        &projected,
+        tol,
+        max_rank,
+        compression,
+        seed ^ ((level as u64) << 24) ^ ((i as u64) << 8) ^ 1,
+    )
+    .skeleton
 }
 
 #[cfg(test)]

@@ -12,12 +12,28 @@
 //! With weak admissibility this is exactly an HSS matrix; with strong admissibility it
 //! is an H² matrix.  The format supports `matvec` (the classic upward / interaction /
 //! downward sweep), storage accounting and dense reconstruction for validation.
+//!
+//! Construction runs as one executable task graph on the work-stealing
+//! [`DagExecutor`]: per-leaf basis tasks, per-parent transfer tasks with bottom-up
+//! dependencies, per-pair coupling tasks and dense-leaf tasks all overlap wherever
+//! the dependencies allow, scheduled critical-path-first.  Each level's explicit
+//! bases are freed the moment their last consumer (the parent transfer and the
+//! level's couplings or skeleton selections) has run, so peak construction memory is
+//! `O(n k)` instead of `O(n k depth)`.  Every task writes one private slot and the
+//! outputs are collected in construction order, so the built matrix is bitwise
+//! identical at any thread count.
 
-use crate::basis::{build_leaf_bases, build_transfer_matrix, far_field_matrix, BasisMode};
+use crate::basis::{build_transfer_matrix_with, compress_basis_split, far_field_matrix, BasisMode};
 use crate::partition::BlockPartition;
 use h2_geometry::{Admissibility, ClusterTree, Kernel};
-use h2_matrix::{matmul, matmul_tn, Matrix};
-use rayon::prelude::*;
+use h2_lowrank::CompressionMode;
+use h2_matrix::{
+    lu_factor, lu_solve_mat, matmul, matmul_tn, select_interpolation_rows, Lu, Matrix,
+};
+use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::sync::OnceLock;
 
 /// Construction options for [`H2Matrix::build`].
 #[derive(Debug, Clone, Copy)]
@@ -28,6 +44,16 @@ pub struct H2Options {
     pub max_rank: Option<usize>,
     /// Exact or sampled basis construction.
     pub mode: BasisMode,
+    /// Direct pivoted QR (reference) or Gaussian-sketch compression (fast default).
+    pub compression: CompressionMode,
+    /// Compute couplings from skeleton rows/columns (`k x k` kernel evaluations per
+    /// admissible pair) instead of assembling the full pair and projecting it with
+    /// `U^T · A · U`.  Falls back to the exact path per cluster when the rank does
+    /// not allow a well-conditioned interpolation.
+    pub skeleton_couplings: bool,
+    /// Worker threads for the construction DAG (`0` = `H2_NUM_THREADS` env or the
+    /// available parallelism).  The result is bitwise identical for every count.
+    pub num_threads: usize,
     /// Seed for the sampled mode.
     pub seed: u64,
 }
@@ -38,6 +64,9 @@ impl Default for H2Options {
             tol: 1e-6,
             max_rank: None,
             mode: BasisMode::Exact,
+            compression: CompressionMode::default(),
+            skeleton_couplings: true,
+            num_threads: 0,
             seed: 0,
         }
     }
@@ -46,8 +75,8 @@ impl Default for H2Options {
 /// An H²/HSS matrix.
 #[derive(Debug, Clone)]
 pub struct H2Matrix {
-    /// The cluster tree the matrix is built over.
-    pub tree: ClusterTree,
+    /// The cluster tree the matrix is built over (shared, not deep-copied).
+    pub tree: Arc<ClusterTree>,
     /// The block partition (admissibility classification).
     pub partition: BlockPartition,
     /// Leaf bases, one per leaf cluster (orthonormal, `m_i x k_i`).
@@ -62,6 +91,43 @@ pub struct H2Matrix {
     pub dense: Vec<(usize, usize, Matrix)>,
 }
 
+/// Skeleton interpolation data of one cluster during construction: selected
+/// original-point rows `r` of the explicit basis `M`, and the LU of `R = M[r, :]`.
+/// Because `M^T M = I`, couplings satisfy `S ≈ R_i^{-1} A[r_i, r_j] R_j^{-T}`.
+struct H2Interp {
+    rows: Vec<usize>,
+    lu: Lu,
+}
+
+/// The far-field basis of one leaf cluster (the per-task unit of the DAG build).
+fn build_leaf_bases_single(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    partition: &BlockPartition,
+    i: usize,
+    opts: &H2Options,
+) -> Matrix {
+    let a = far_field_matrix(kernel, tree, partition, tree.depth, i, opts.mode, opts.seed);
+    compress_basis_split(
+        &a,
+        opts.tol,
+        opts.max_rank,
+        opts.compression,
+        opts.seed ^ (i as u64) << 8,
+    )
+    .skeleton
+}
+
+/// Select well-conditioned interpolation rows of an explicit basis `m` (orthonormal
+/// columns) via [`select_interpolation_rows`]; `None` when the rank or conditioning
+/// does not allow it (the coupling task then falls back to exact assembly).
+fn build_h2_interp(m: &Matrix, cand_rows: &[usize]) -> Option<H2Interp> {
+    let (positions, rmat) = select_interpolation_rows(m, h2_matrix::INTERP_COND_TOL)?;
+    let rows = positions.into_iter().map(|p| cand_rows[p]).collect();
+    let lu = lu_factor(&rmat).ok()?;
+    Some(H2Interp { rows, lu })
+}
+
 impl H2Matrix {
     /// Assemble an H² (strong admissibility) or HSS (weak admissibility) matrix.
     pub fn build(
@@ -70,104 +136,277 @@ impl H2Matrix {
         adm: &Admissibility,
         opts: &H2Options,
     ) -> Self {
-        let partition = BlockPartition::build(tree, adm);
+        Self::build_arc(kernel, Arc::new(tree.clone()), adm, opts)
+    }
+
+    /// [`H2Matrix::build`] from a shared tree, avoiding the deep copy of the point
+    /// cloud and cluster metadata.
+    pub fn build_arc(
+        kernel: &dyn Kernel,
+        tree: Arc<ClusterTree>,
+        adm: &Admissibility,
+        opts: &H2Options,
+    ) -> Self {
+        let partition = BlockPartition::build(&tree, adm);
         let depth = tree.depth;
+        let num_leaves = tree.num_leaves();
 
-        // Leaf bases.
-        let leaf_bases_cb = build_leaf_bases(
-            kernel,
-            tree,
-            &partition,
-            opts.tol,
-            opts.max_rank,
-            opts.mode,
-            opts.seed,
-        );
-        let leaf_bases: Vec<Matrix> = leaf_bases_cb.into_iter().map(|b| b.u).collect();
+        // ------------------------------------------------------------ output slots
+        // `explicit[level][i]` holds the materialized basis only between its
+        // producer and its free task.
+        let explicit: Vec<Vec<Mutex<Option<Matrix>>>> = (0..=depth)
+            .map(|level| (0..1usize << level).map(|_| Mutex::new(None)).collect())
+            .collect();
+        let interp: Vec<Vec<OnceLock<Option<H2Interp>>>> = (0..=depth)
+            .map(|level| (0..1usize << level).map(|_| OnceLock::new()).collect())
+            .collect();
+        let leaf_slots: Vec<OnceLock<Matrix>> = (0..num_leaves).map(|_| OnceLock::new()).collect();
+        let transfer_slots: Vec<Vec<OnceLock<Matrix>>> = (0..depth)
+            .map(|level| (0..1usize << level).map(|_| OnceLock::new()).collect())
+            .collect();
+        let admissible: Vec<(usize, Vec<(usize, usize)>)> = (0..=depth)
+            .map(|level| (level, partition.admissible_pairs(level)))
+            .collect();
+        let coupling_slots: Vec<Vec<OnceLock<Matrix>>> = admissible
+            .iter()
+            .map(|(_, pairs)| pairs.iter().map(|_| OnceLock::new()).collect())
+            .collect();
+        let dense_pairs: Vec<(usize, usize)> = partition.dense_pairs(depth);
+        let dense_slots: Vec<OnceLock<Matrix>> =
+            dense_pairs.iter().map(|_| OnceLock::new()).collect();
 
-        // Transfer matrices, built bottom-up so each level uses its children's
-        // (explicitly accumulated) bases.  `explicit[level][i]` is the full basis
-        // `m_i x k_i`, only kept during construction.
-        let mut transfers: Vec<Vec<Matrix>> = vec![Vec::new(); depth];
-        let mut explicit: Vec<Vec<Matrix>> = vec![Vec::new(); depth + 1];
-        explicit[depth] = leaf_bases.clone();
+        // ------------------------------------------------------------- task graph
+        let mut graph = TaskGraph::new();
+        let mut actions: Vec<Option<Box<dyn FnOnce() + Send + '_>>> = Vec::new();
+        // Producer task id of each cluster's explicit basis, and its consumers
+        // (for the free tasks added at the end).
+        let mut basis_task: Vec<Vec<TaskId>> = vec![Vec::new(); depth + 1];
+        let mut consumers: Vec<Vec<Vec<TaskId>>> = (0..=depth)
+            .map(|level| vec![Vec::new(); 1usize << level])
+            .collect();
+
+        let tree_ref: &ClusterTree = &tree;
+        let partition_ref = &partition;
+
+        // Leaf basis tasks: far-field compression of one leaf, producing both the
+        // stored leaf basis and the explicit slot (they coincide at the leaves).
+        for i in 0..num_leaves {
+            let m = tree_ref.leaf(i).len;
+            let id = graph.add_task(TaskKind::Basis, (m * m * m) as f64, &[]);
+            basis_task[depth].push(id);
+            let leaf_slot = &leaf_slots[i];
+            let expl_slot = &explicit[depth][i];
+            let interp_slot = &interp[depth][i];
+            actions.push(Some(Box::new(move || {
+                let bases = build_leaf_bases_single(kernel, tree_ref, partition_ref, i, opts);
+                if opts.skeleton_couplings {
+                    let cluster = tree_ref.leaf(i);
+                    let _ = interp_slot
+                        .set(build_h2_interp(&bases, tree_ref.original_indices(cluster)));
+                } else {
+                    let _ = interp_slot.set(None);
+                }
+                *expl_slot.lock() = Some(bases.clone());
+                let _ = leaf_slot.set(bases);
+            })));
+        }
+
+        // Transfer tasks, bottom-up: parent explicit = diag(c1, c2) * E.
         for level in (0..depth).rev() {
             let nb = 1usize << level;
-            let results: Vec<(Matrix, Matrix)> = (0..nb)
-                .into_par_iter()
-                .map(|i| {
-                    let c1 = &explicit[level + 1][2 * i];
-                    let c2 = &explicit[level + 1][2 * i + 1];
-                    let e = build_transfer_matrix(
+            for i in 0..nb {
+                let deps = [
+                    basis_task[level + 1][2 * i],
+                    basis_task[level + 1][2 * i + 1],
+                ];
+                let m = tree_ref.cluster_at(level, i).len;
+                let id = graph.add_task(TaskKind::Basis, (m * m) as f64, &deps);
+                basis_task[level].push(id);
+                consumers[level + 1][2 * i].push(id);
+                consumers[level + 1][2 * i + 1].push(id);
+                let c1_slot = &explicit[level + 1][2 * i];
+                let c2_slot = &explicit[level + 1][2 * i + 1];
+                let expl_slot = &explicit[level][i];
+                let interp_slot = &interp[level][i];
+                let transfer_slot = &transfer_slots[level][i];
+                actions.push(Some(Box::new(move || {
+                    // Clone the children out of their slots instead of holding the
+                    // locks across the transfer build: the far-field assembly + QR
+                    // is the most expensive task at this level, and exact-path
+                    // coupling tasks would otherwise serialize behind it.
+                    let c1 = c1_slot
+                        .lock()
+                        .as_ref()
+                        .expect("child basis alive (dependency)")
+                        .clone();
+                    let c2 = c2_slot
+                        .lock()
+                        .as_ref()
+                        .expect("child basis alive (dependency)")
+                        .clone();
+                    let e = build_transfer_matrix_with(
                         kernel,
-                        tree,
-                        &partition,
+                        tree_ref,
+                        partition_ref,
                         level,
                         i,
-                        (c1, c2),
+                        (&c1, &c2),
                         opts.tol,
                         opts.max_rank,
                         opts.mode,
+                        opts.compression,
                         opts.seed,
                     );
                     // Explicit basis of the parent: diag(c1, c2) * E.
                     let k1 = c1.cols();
-                    let top = matmul(c1, &e.block(0, 0, k1, e.cols()));
-                    let bot = matmul(c2, &e.block(k1, 0, e.rows() - k1, e.cols()));
-                    (e, top.vcat(&bot))
-                })
-                .collect();
-            let mut level_transfers = Vec::with_capacity(nb);
-            let mut level_explicit = Vec::with_capacity(nb);
-            for (e, x) in results {
-                level_transfers.push(e);
-                level_explicit.push(x);
+                    let top = matmul(&c1, &e.block(0, 0, k1, e.cols()));
+                    let bot = matmul(&c2, &e.block(k1, 0, e.rows() - k1, e.cols()));
+                    let x = top.vcat(&bot);
+                    drop(c1);
+                    drop(c2);
+                    if opts.skeleton_couplings {
+                        let cluster = tree_ref.cluster_at(level, i);
+                        let _ = interp_slot
+                            .set(build_h2_interp(&x, tree_ref.original_indices(cluster)));
+                    } else {
+                        let _ = interp_slot.set(None);
+                    }
+                    *expl_slot.lock() = Some(x);
+                    let _ = transfer_slot.set(e);
+                })));
             }
-            transfers[level] = level_transfers;
-            explicit[level] = level_explicit;
         }
 
-        // Couplings for admissible pairs at every level (computed with the explicit
-        // bases; stored small).
+        // Coupling tasks: one per admissible pair per level.
+        for (lx, (level, pairs)) in admissible.iter().enumerate() {
+            let level = *level;
+            for (px, &(i, j)) in pairs.iter().enumerate() {
+                let mi = tree_ref.cluster_at(level, i).len;
+                let mj = tree_ref.cluster_at(level, j).len;
+                let deps = [basis_task[level][i], basis_task[level][j]];
+                let id = graph.add_task(TaskKind::Compress, (mi * mj) as f64, &deps);
+                consumers[level][i].push(id);
+                consumers[level][j].push(id);
+                let slot = &coupling_slots[lx][px];
+                let ei = &explicit[level][i];
+                let ej = &explicit[level][j];
+                let ii = &interp[level][i];
+                let ij = &interp[level][j];
+                actions.push(Some(Box::new(move || {
+                    let clusters = tree_ref.clusters_at_level(level);
+                    let s = match (
+                        ii.get().and_then(|o| o.as_ref()),
+                        ij.get().and_then(|o| o.as_ref()),
+                    ) {
+                        (Some(ri), Some(rj)) => {
+                            // S ≈ R_i^{-1} · A[r_i, r_j] · R_j^{-T}.
+                            let a_rc = kernel.assemble(&tree_ref.points, &ri.rows, &rj.rows);
+                            let x = lu_solve_mat(&ri.lu, &a_rc);
+                            lu_solve_mat(&rj.lu, &x.transpose()).transpose()
+                        }
+                        _ => {
+                            let a = kernel.assemble(
+                                &tree_ref.points,
+                                tree_ref.original_indices(&clusters[i]),
+                                tree_ref.original_indices(&clusters[j]),
+                            );
+                            // Lock the two explicit-basis slots in global index
+                            // order: the mirrored coupling task (j, i) exists and
+                            // acquiring in pair order would be a classic AB-BA
+                            // deadlock under >= 2 workers.
+                            let (lo_guard, hi_guard) = if i < j {
+                                let g1 = ei.lock();
+                                let g2 = ej.lock();
+                                (g1, g2)
+                            } else {
+                                let g2 = ej.lock();
+                                let g1 = ei.lock();
+                                (g2, g1)
+                            };
+                            let (ei_guard, ej_guard) = if i < j {
+                                (&lo_guard, &hi_guard)
+                            } else {
+                                (&hi_guard, &lo_guard)
+                            };
+                            let ui = ei_guard.as_ref().expect("row basis alive (dependency)");
+                            let uj = ej_guard.as_ref().expect("col basis alive (dependency)");
+                            matmul(&matmul_tn(ui, &a), uj)
+                        }
+                    };
+                    let _ = slot.set(s);
+                })));
+            }
+        }
+
+        // Dense leaf tasks (no dependencies).
+        let leaf_clusters = tree_ref.clusters_at_level(depth);
+        for (px, &(i, j)) in dense_pairs.iter().enumerate() {
+            let mi = leaf_clusters[i].len;
+            let mj = leaf_clusters[j].len;
+            graph.add_task(TaskKind::Other, (mi * mj) as f64, &[]);
+            let slot = &dense_slots[px];
+            actions.push(Some(Box::new(move || {
+                let a = kernel.assemble(
+                    &tree_ref.points,
+                    tree_ref.original_indices(&leaf_clusters[i]),
+                    tree_ref.original_indices(&leaf_clusters[j]),
+                );
+                let _ = slot.set(a);
+            })));
+        }
+
+        // Free tasks: drop each cluster's explicit basis as soon as its parent
+        // transfer and every same-level consumer have run — peak memory O(n k).
+        for level in (1..=depth).rev() {
+            for i in 0..1usize << level {
+                if consumers[level][i].is_empty() {
+                    continue;
+                }
+                graph.add_task(TaskKind::Other, 0.0, &consumers[level][i]);
+                let slot = &explicit[level][i];
+                actions.push(Some(Box::new(move || {
+                    *slot.lock() = None;
+                })));
+            }
+        }
+
+        // -------------------------------------------------------------- execution
+        let exec = DagExecutor::new(h2_runtime::resolve_num_threads(opts.num_threads));
+        exec.execute_scoped(&graph, actions);
+
+        // Collect in construction order (bitwise thread-count independence).
+        let leaf_bases: Vec<Matrix> = leaf_slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("leaf basis task did not run"))
+            .collect();
+        let transfers: Vec<Vec<Matrix>> = transfer_slots
+            .into_iter()
+            .map(|level| {
+                level
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("transfer task did not run"))
+                    .collect()
+            })
+            .collect();
         let mut couplings = Vec::new();
-        for level in 0..=depth {
-            let clusters = tree.clusters_at_level(level);
-            let pairs = partition.admissible_pairs(level);
-            let level_couplings: Vec<(usize, usize, usize, Matrix)> = pairs
-                .par_iter()
-                .map(|&(i, j)| {
-                    let a = kernel.assemble(
-                        &tree.points,
-                        tree.original_indices(&clusters[i]),
-                        tree.original_indices(&clusters[j]),
-                    );
-                    let s = matmul(&matmul_tn(&explicit[level][i], &a), &explicit[level][j]);
-                    (level, i, j, s)
-                })
-                .collect();
-            couplings.extend(level_couplings);
-        }
-
-        // Dense leaf blocks.
-        let leaf_clusters = tree.clusters_at_level(depth);
-        let dense: Vec<(usize, usize, Matrix)> = partition
-            .dense_pairs(depth)
-            .par_iter()
-            .map(|&(i, j)| {
-                (
+        for ((level, pairs), slots) in admissible.into_iter().zip(coupling_slots) {
+            for (&(i, j), s) in pairs.iter().zip(slots) {
+                couplings.push((
+                    level,
                     i,
                     j,
-                    kernel.assemble(
-                        &tree.points,
-                        tree.original_indices(&leaf_clusters[i]),
-                        tree.original_indices(&leaf_clusters[j]),
-                    ),
-                )
-            })
+                    s.into_inner().expect("coupling task did not run"),
+                ));
+            }
+        }
+        let dense: Vec<(usize, usize, Matrix)> = dense_pairs
+            .iter()
+            .zip(dense_slots)
+            .map(|(&(i, j), s)| (i, j, s.into_inner().expect("dense task did not run")))
             .collect();
 
         H2Matrix {
-            tree: tree.clone(),
+            tree,
             partition,
             leaf_bases,
             transfers,
@@ -509,6 +748,89 @@ mod tests {
         );
         let err = rel_fro_error(&m.to_dense(), &dense_reference(&kernel, &tree));
         assert!(err < 1e-4, "Yukawa H2 error {err}");
+    }
+
+    #[test]
+    fn dag_build_is_bitwise_identical_at_any_thread_count() {
+        let (tree, kernel) = setup(600, 64);
+        let build = |threads: usize| {
+            H2Matrix::build(
+                &kernel,
+                &tree,
+                &Admissibility::strong(1.0),
+                &H2Options {
+                    tol: 1e-6,
+                    num_threads: threads,
+                    ..H2Options::default()
+                },
+            )
+        };
+        let m1 = build(1);
+        for threads in [2, 4] {
+            let mt = build(threads);
+            assert_eq!(
+                m1.leaf_bases, mt.leaf_bases,
+                "{threads} threads: leaf bases"
+            );
+            assert_eq!(m1.transfers, mt.transfers, "{threads} threads: transfers");
+            assert_eq!(m1.couplings.len(), mt.couplings.len());
+            for (a, b) in m1.couplings.iter().zip(&mt.couplings) {
+                assert_eq!(a.0, b.0);
+                assert_eq!((a.1, a.2), (b.1, b.2));
+                assert_eq!(a.3, b.3, "{threads} threads: coupling ({},{})", a.1, a.2);
+            }
+            assert_eq!(m1.dense.len(), mt.dense.len());
+            for (a, b) in m1.dense.iter().zip(&mt.dense) {
+                assert_eq!(a.2, b.2, "{threads} threads: dense ({},{})", a.0, a.1);
+            }
+        }
+    }
+
+    #[test]
+    fn build_arc_shares_the_tree_without_cloning() {
+        let (tree, kernel) = setup(400, 64);
+        let shared = std::sync::Arc::new(tree);
+        let m = H2Matrix::build_arc(
+            &kernel,
+            std::sync::Arc::clone(&shared),
+            &Admissibility::strong(1.0),
+            &H2Options::default(),
+        );
+        // The matrix holds the same allocation, not a deep copy.
+        assert!(std::sync::Arc::ptr_eq(&m.tree, &shared));
+        assert_eq!(m.dim(), shared.num_points());
+        // Cloning the matrix is cheap on the tree side too (shared Arc).
+        let m2 = m.clone();
+        assert!(std::sync::Arc::ptr_eq(&m2.tree, &m.tree));
+    }
+
+    #[test]
+    fn skeleton_couplings_match_exact_projection_closely() {
+        let (tree, kernel) = setup(512, 64);
+        let base = H2Options {
+            tol: 1e-8,
+            ..H2Options::default()
+        };
+        let fast = H2Matrix::build(&kernel, &tree, &Admissibility::strong(1.0), &base);
+        // 4 workers on the exact-fallback path: mirrored coupling tasks lock both
+        // explicit-basis slots, so this doubles as a lock-ordering regression test
+        // (an AB-BA ordering deadlocks here with >= 2 workers).
+        let exact = H2Matrix::build(
+            &kernel,
+            &tree,
+            &Admissibility::strong(1.0),
+            &H2Options {
+                skeleton_couplings: false,
+                compression: h2_lowrank::CompressionMode::Direct,
+                num_threads: 4,
+                ..base
+            },
+        );
+        let dense = dense_reference(&kernel, &tree);
+        let ef = rel_fro_error(&fast.to_dense(), &dense);
+        let ee = rel_fro_error(&exact.to_dense(), &dense);
+        assert!(ee < 1e-6, "exact-path error {ee}");
+        assert!(ef < 1e-5, "skeleton-coupling error {ef}");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   tiles),
 //! * [`rsvd`] — randomized range sampling, used by the "sampled" basis-construction
 //!   mode described in DESIGN.md,
+//! * [`sketch`] — sketch-then-orthonormalize compression (Gaussian sketch, then a
+//!   small pivoted QR): the GEMM-dominated fast path of the H² construction,
 //! * [`add_round`] — low-rank addition followed by re-compression ("rounding"),
 //!   needed by the BLR LU's Schur updates and by the recompression step of the
 //!   H²-ULV *with* dependencies.
@@ -21,10 +23,14 @@ pub mod aca;
 pub mod add_round;
 pub mod lowrank;
 pub mod rsvd;
+pub mod sketch;
 pub mod truncation;
 
 pub use aca::{aca_block, AcaResult};
 pub use add_round::{add_lowrank, add_round, round_lowrank};
 pub use lowrank::LowRank;
 pub use rsvd::randomized_range;
+pub use sketch::{
+    gaussian_test_matrix, sketched_basis_split, sketched_pivoted_qr, CompressionMode,
+};
 pub use truncation::{compress_block, compress_block_svd, compress_with, CompressionMethod};

@@ -36,7 +36,10 @@ pub use kernel::{gemm_packed, matmul_batch, matmul_batch_shared_a, matmul_tn_bat
 pub use lu::{lu_factor, lu_solve, lu_solve_mat, Lu};
 pub use matrix::Matrix;
 pub use norms::{fro_norm, max_abs, rel_fro_error, rel_l2_error, two_norm_est};
-pub use pivoted_qr::{pivoted_qr, truncated_pivoted_qr, PivotedQr};
+pub use pivoted_qr::{
+    pivoted_qr, select_interpolation_rows, truncated_pivoted_qr, BasisSplit, PivotedQr,
+    INTERP_COND_TOL,
+};
 pub use qr::{householder_qr, orthonormal_columns, Qr};
 pub use svd::{jacobi_svd, Svd};
 pub use triangular::{

@@ -262,6 +262,39 @@ impl PivotedQr {
     }
 }
 
+/// Default conditioning floor for [`select_interpolation_rows`]: below it the
+/// interpolation `R^{-1}` would amplify basis truncation error catastrophically,
+/// so callers fall back to their exact paths.
+pub const INTERP_COND_TOL: f64 = 1e-8;
+
+/// Select `k = c.cols()` well-conditioned interpolation rows of `c` (`m x k`,
+/// typically an explicit basis with orthonormal columns): a pivoted QR of `c^T`
+/// picks the row subset, returned as (row positions in pivot order, the square
+/// block `R = c[rows, :]`).  Returns `None` when the shape does not allow it or
+/// the selection is ill-conditioned (trailing R diagonal below `cond_tol` times
+/// the leading one) — `R^{-1}` would then amplify approximation error
+/// catastrophically and callers fall back to their exact paths.
+pub fn select_interpolation_rows(c: &Matrix, cond_tol: f64) -> Option<(Vec<usize>, Matrix)> {
+    let k = c.cols();
+    if k == 0 || c.rows() < k {
+        return None;
+    }
+    let f = pivoted_qr(&c.transpose());
+    if f.rdiag.len() < k || f.rdiag[k - 1] < cond_tol * f.rdiag[0].max(f64::MIN_POSITIVE) {
+        return None;
+    }
+    let mut rmat = Matrix::zeros(k, k);
+    let mut rows = Vec::with_capacity(k);
+    for t in 0..k {
+        let p = f.perm[t];
+        rows.push(p);
+        for col in 0..k {
+            rmat.set(t, col, c.get(p, col));
+        }
+    }
+    Some((rows, rmat))
+}
+
 /// Skeleton/redundant basis split produced by [`truncated_pivoted_qr`].
 ///
 /// `skeleton` (`m x k`) spans the numerical column space of the input to relative

@@ -33,7 +33,7 @@ pub mod stats;
 pub mod trace;
 
 pub use dag::{TaskGraph, TaskId, TaskKind};
-pub use pool::{DagExecutor, ThreadPool};
+pub use pool::{resolve_num_threads, DagExecutor, ThreadPool};
 pub use sim::{simulate_schedule, SimConfig, SimResult};
 pub use stats::{ScheduleStats, WorkStealCounters};
 pub use trace::{Trace, TraceEvent};

@@ -382,6 +382,26 @@ fn spawn_task(pool: &Arc<PoolShared>, exec: &Arc<ExecShared>, id: TaskId) {
     );
 }
 
+/// Resolve a worker-thread count: `explicit` if positive, else the
+/// `H2_NUM_THREADS` environment variable, else the machine's available
+/// parallelism.  Shared by every DAG-driven construction/factorization so they
+/// cannot silently diverge.
+pub fn resolve_num_threads(explicit: usize) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("H2_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 impl DagExecutor {
     /// Create an executor backed by a pool with `num_threads` workers.
     pub fn new(num_threads: usize) -> Self {
