@@ -17,7 +17,9 @@
 //! scheduling overhead they expose are meaningful on any host;
 //! `host.available_cores` records what the machine could do.
 
-use h2_bench::{build_kernel, build_points, build_tree, h2_options, Scale, Workload};
+use h2_bench::{
+    build_kernel, build_points, build_tree, compression_name, h2_options, Scale, Workload,
+};
 use h2_factor::{h2_ulv_nodep, UlvFactors};
 use h2_matrix::Matrix;
 use std::fmt::Write as _;
@@ -78,6 +80,7 @@ struct SizeRow {
     n: usize,
     max_rank: usize,
     residual: Option<f64>,
+    cap_hits: Vec<usize>,
     runs: Vec<ThreadRun>,
 }
 
@@ -121,8 +124,9 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    let compression = compression_name(h2_options(tol).compression);
     println!(
-        "bench_factor: cores={available}, sizes={sizes:?}, leaf={leaf}, threads={thread_counts:?}"
+        "bench_factor: cores={available}, sizes={sizes:?}, leaf={leaf}, threads={thread_counts:?}, compression={compression}"
     );
 
     let mut rows: Vec<SizeRow> = Vec::new();
@@ -135,14 +139,17 @@ fn main() {
             n,
             max_rank: 0,
             residual: None,
+            cap_hits: Vec::new(),
             runs: Vec::new(),
         };
         for &t in &thread_counts {
             let mut opts = h2_options(tol);
             opts.num_threads = t;
             // Reference-path switches for A/B accuracy runs (see BENCHMARKS.md):
-            // H2_REF_DIRECT_QR disables the sketched compression, H2_REF_EXACT_COUPLINGS
-            // disables skeleton-interpolated couplings and far fields.
+            // H2_COMPRESSION picks the basis compressor (handled in h2_options),
+            // H2_REF_DIRECT_QR forces the direct QR regardless, and
+            // H2_REF_EXACT_COUPLINGS disables skeleton-interpolated couplings
+            // and far fields.
             if std::env::var("H2_REF_DIRECT_QR").is_ok() {
                 opts.compression = h2_factor::CompressionMode::Direct;
             }
@@ -166,11 +173,14 @@ fn main() {
                 ph.transfer_seconds,
             );
             row.max_rank = factors.stats.max_rank;
+            row.cap_hits = factors.stats.level_cap_hits.clone();
             if row.runs.is_empty() {
                 // Sampled-row residual estimator: O(probes · n) kernel entries, so
                 // every sweep row carries an accuracy number (exact when n <= probes).
+                // Solved the way the configuration prescribes (refinement is on
+                // only for mixed-precision compression), outside the timed region.
                 let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
-                let x = factors.solve(&b);
+                let x = factors.solve_refined(kernel.as_ref(), &b, factors.default_refine_steps());
                 row.residual =
                     Some(factors.residual_sampled(kernel.as_ref(), &b, &x, RESIDUAL_PROBES, 7));
             }
@@ -198,11 +208,16 @@ fn main() {
     // ------------------------------------------------------------------- JSON
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"schema_version\": 2,");
+    // Schema 3: adds `problem.compression`, per-run `*_wall_seconds` breakdown
+    // fields (the `*_seconds` fields are per-phase CPU work, which legitimately
+    // exceeds the construction wall at threads > 1 — the wall fields attribute
+    // the measured DAG span instead and sum to at most it), and per-row
+    // `cap_hits` (rank-cap truncations per level, leaf first).
+    let _ = writeln!(j, "  \"schema_version\": 3,");
     let _ = writeln!(j, "  \"host\": {{\"available_cores\": {available}}},");
     let _ = writeln!(
         j,
-        "  \"problem\": {{\"workload\": \"laplace-cube\", \"leaf\": {leaf}, \"tol\": {tol:e}, \"solver\": \"h2-ulv-nodep\", \"residual_estimator\": {{\"kind\": \"sampled-rows\", \"probes\": {RESIDUAL_PROBES}}}}},"
+        "  \"problem\": {{\"workload\": \"laplace-cube\", \"leaf\": {leaf}, \"tol\": {tol:e}, \"solver\": \"h2-ulv-nodep\", \"compression\": \"{compression}\", \"residual_estimator\": {{\"kind\": \"sampled-rows\", \"probes\": {RESIDUAL_PROBES}}}}},"
     );
     j.push_str("  \"sweep\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -211,7 +226,7 @@ fn main() {
             .iter()
             .map(|t| {
                 format!(
-                    "{{\"threads\": {}, \"wall_seconds\": {}, \"factor_seconds\": {}, \"construction_seconds\": {}, \"construction_breakdown\": {{\"assembly_seconds\": {}, \"compression_seconds\": {}, \"coupling_seconds\": {}, \"transfer_seconds\": {}}}, \"factor_gflop\": {}, \"fingerprint\": \"{:016x}\"}}",
+                    "{{\"threads\": {}, \"wall_seconds\": {}, \"factor_seconds\": {}, \"construction_seconds\": {}, \"construction_breakdown\": {{\"assembly_seconds\": {}, \"compression_seconds\": {}, \"coupling_seconds\": {}, \"transfer_seconds\": {}, \"assembly_wall_seconds\": {}, \"compression_wall_seconds\": {}, \"coupling_wall_seconds\": {}, \"transfer_wall_seconds\": {}}}, \"factor_gflop\": {}, \"fingerprint\": \"{:016x}\"}}",
                     t.threads,
                     json_f(t.wall_seconds),
                     json_f(t.factor_seconds),
@@ -220,6 +235,10 @@ fn main() {
                     json_f(t.phases.compression_seconds),
                     json_f(t.phases.coupling_seconds),
                     json_f(t.phases.transfer_seconds),
+                    json_f(t.phases.assembly_wall_seconds),
+                    json_f(t.phases.compression_wall_seconds),
+                    json_f(t.phases.coupling_wall_seconds),
+                    json_f(t.phases.transfer_wall_seconds),
                     json_f(t.factor_flops as f64 / 1e9),
                     t.fingerprint
                 )
@@ -239,12 +258,14 @@ fn main() {
             .filter(|v| v.is_finite())
             .map(|v| format!("{v:.3e}"))
             .unwrap_or_else(|| "null".to_string());
+        let cap_hits: Vec<String> = r.cap_hits.iter().map(|h| h.to_string()).collect();
         let _ = write!(
             j,
-            "    {{\"n\": {}, \"max_rank\": {}, \"residual\": {}, \"runs\": [{}], \"speedup_2t\": {}, \"speedup_4t\": {}, \"bitwise_identical\": true}}",
+            "    {{\"n\": {}, \"max_rank\": {}, \"residual\": {}, \"cap_hits\": [{}], \"runs\": [{}], \"speedup_2t\": {}, \"speedup_4t\": {}, \"bitwise_identical\": true}}",
             r.n,
             r.max_rank,
             residual,
+            cap_hits.join(", "),
             runs.join(", "),
             json_f(speedup(2)),
             json_f(speedup(4)),

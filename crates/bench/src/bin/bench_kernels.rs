@@ -14,7 +14,8 @@
 //! `host.available_cores` in the JSON records what the machine could do.
 
 use h2_matrix::{
-    cholesky_factor, gemm_seed, householder_qr, lu_factor, matmul, pivoted_qr, Matrix,
+    cholesky_factor, gemm_seed, householder_qr, lu_factor, matmul, matmul_f32, pivoted_qr, Matrix,
+    MatrixF32,
 };
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -48,6 +49,7 @@ struct GemmRow {
     n: usize,
     seed_gflops: f64,
     packed: Vec<(usize, f64)>, // (threads, gflops)
+    f32_gflops: f64,           // single-precision packed kernel, 1 thread
 }
 
 struct FactorRow {
@@ -104,18 +106,34 @@ fn main() {
             );
             packed.push((t, gflop / pt));
         }
+        // Mixed-precision gap: the same packed microkernel shape in f32.  The
+        // SRFT compressor mixes its sketches in single precision, so this row
+        // records how much of the 2x memory-bandwidth headroom the f32 kernel
+        // actually converts into throughput on this host.
+        h2_matrix::kernel::set_thread_cap(1);
+        let a32 = MatrixF32::from_f64(&a);
+        let b32 = MatrixF32::from_f64(&b);
+        let f32_t = time_seconds(
+            || {
+                std::hint::black_box(matmul_f32(&a32, &b32));
+            },
+            reps,
+        );
         h2_matrix::kernel::set_thread_cap(0);
         let row = GemmRow {
             n,
             seed_gflops: gflop / seed_t,
             packed,
+            f32_gflops: gflop / f32_t,
         };
         let p1 = row.packed.first().map(|&(_, g)| g).unwrap_or(f64::NAN);
         println!(
-            "gemm n={n}: seed {:.2} GF/s, packed(1t) {:.2} GF/s ({:.1}x){}",
+            "gemm n={n}: seed {:.2} GF/s, packed(1t) {:.2} GF/s ({:.1}x), f32(1t) {:.2} GF/s ({:.2}x vs f64){}",
             row.seed_gflops,
             p1,
             p1 / row.seed_gflops,
+            row.f32_gflops,
+            row.f32_gflops / p1,
             row.packed
                 .iter()
                 .skip(1)
@@ -189,7 +207,10 @@ fn main() {
     // ------------------------------------------------------------------ JSON
     let mut j = String::new();
     j.push_str("{\n");
-    let _ = writeln!(j, "  \"schema_version\": 1,");
+    // Schema 2: adds per-size `f32_gflops` / `f32_speedup_vs_f64` to the gemm
+    // rows (single-precision packed kernel, 1 thread) — the raw-kernel side of
+    // the mixed-precision SRFT compression story.
+    let _ = writeln!(j, "  \"schema_version\": 2,");
     let _ = writeln!(
         j,
         "  \"host\": {{\"available_cores\": {available}, \"rayon_threads\": {rayon_threads}}},"
@@ -207,13 +228,20 @@ fn main() {
             .first()
             .map(|&(_, g)| g / r.seed_gflops)
             .unwrap_or(f64::NAN);
+        let f32_speedup = r
+            .packed
+            .first()
+            .map(|&(_, g)| r.f32_gflops / g)
+            .unwrap_or(f64::NAN);
         let _ = write!(
             j,
-            "    {{\"n\": {}, \"seed_gflops\": {}, \"packed\": [{}], \"speedup_1t\": {}}}",
+            "    {{\"n\": {}, \"seed_gflops\": {}, \"packed\": [{}], \"speedup_1t\": {}, \"f32_gflops\": {}, \"f32_speedup_vs_f64\": {}}}",
             r.n,
             json_f(r.seed_gflops),
             packed.join(", "),
-            json_f(speedup)
+            json_f(speedup),
+            json_f(r.f32_gflops),
+            json_f(f32_speedup)
         );
         j.push_str(if i + 1 < gemm_rows.len() { ",\n" } else { "\n" });
     }

@@ -12,9 +12,28 @@
 //! executed in parallel for all block rows/columns, since they do not depend on each
 //! other").
 
-use h2_matrix::{lu_factor, matmul, Matrix};
+use h2_lowrank::{srft_sketch, SketchPrecision};
+use h2_matrix::{lu_factor, lu_solve_mat, matmul, matmul_tn, Matrix};
 use rayon::prelude::*;
 use std::collections::HashMap;
+
+/// How the sampled fill-in path sketches each pivot's union panels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillSketch {
+    /// Dense pseudo-Gaussian test blocks — the reference path, kept for the
+    /// Gaussian/Direct compression modes so A/B runs compare like with like.
+    Gaussian,
+    /// Structured SRFT mixing of the concatenated panel: `O(m·N·log N)` sign
+    /// flips and butterfly adds instead of the `O(m·N·c)` test-block GEMMs
+    /// (plus their per-entry RNG).  The payload is the compression pipeline's
+    /// *effective* sketch precision — it selects the pipeline variant (an
+    /// f32-effective pipeline pairs with iterative refinement at solve time),
+    /// not the fill mixing arithmetic: the fill sample is mixed in f64
+    /// regardless, because it is taken on the *raw* dense panels and the
+    /// `A_kk^{-1}` solve that follows amplifies any input-side rounding by
+    /// `cond(A_kk)` (f32 mixing here visibly poisons deep trees).
+    Srft(SketchPrecision),
+}
 
 /// The fill-in blocks affecting one level, grouped for basis enrichment.
 #[derive(Debug, Default)]
@@ -54,9 +73,10 @@ pub fn precompute_fillins(
     neighbours: &[Vec<usize>],
     dense_block: impl Fn(usize, usize) -> Matrix + Sync,
     sample_cols: Option<usize>,
+    sketch: FillSketch,
 ) -> FillIns {
     if let Some(c) = sample_cols {
-        return precompute_fillins_sampled(nb, neighbours, dense_block, c);
+        return precompute_fillins_sampled(nb, neighbours, dense_block, c, sketch);
     }
     // Per pivot k: factor D_kk, triangular-solve the panels, and form the products.
     let per_pivot: Vec<Vec<(usize, usize, Matrix, Matrix)>> = (0..nb)
@@ -170,6 +190,7 @@ fn precompute_fillins_sampled(
     neighbours: &[Vec<usize>],
     dense_block: impl Fn(usize, usize) -> Matrix + Sync,
     c: usize,
+    sketch: FillSketch,
 ) -> FillIns {
     // Per pivot k: (count, row samples (i, Z_ik S_k), column samples (j, W_kj^T T_k)).
     type PivotOut = (usize, Vec<(usize, Matrix)>, Vec<(usize, Matrix)>);
@@ -186,33 +207,70 @@ fn precompute_fillins_sampled(
                 Ok(lu) => lu,
                 Err(_) => return (0, Vec::new(), Vec::new()),
             };
-            let z: Vec<(usize, Matrix)> = nk
-                .iter()
-                .map(|&i| (i, lu.right_solve_upper(&dense_block(i, k))))
-                .collect();
-            let w: Vec<(usize, Matrix)> = nk
-                .iter()
-                .map(|&j| (j, lu.forward_mat(&dense_block(k, j))))
-                .collect();
-            // S_k = Σ_j W_kj Ω_kj  (column-space sketch of the pivot's row panel),
-            // T_k = Σ_i Z_ik^T Ω'_ki (row-space sketch of the pivot's column panel).
-            let mut s_k = Matrix::zeros(mk, c);
-            for (j, wj) in &w {
-                let omega = gaussian_like(wj.cols(), c, (k * 31 + j * 7 + 1) as u64);
-                s_k += &matmul(wj, &omega);
+            match sketch {
+                // Reference path: form the solved panels Z_ik = D_ik U_k^{-1},
+                // W_kj = L_k^{-1} P_k D_kj, then sketch their unions.
+                // S_k = Σ_j W_kj Ω_kj (column-space sketch of the row panel),
+                // T_k = Σ_i Z_ik^T Ω'_ki (row-space sketch of the column panel).
+                FillSketch::Gaussian => {
+                    let z: Vec<(usize, Matrix)> = nk
+                        .iter()
+                        .map(|&i| (i, lu.right_solve_upper(&dense_block(i, k))))
+                        .collect();
+                    let w: Vec<(usize, Matrix)> = nk
+                        .iter()
+                        .map(|&j| (j, lu.forward_mat(&dense_block(k, j))))
+                        .collect();
+                    let mut s_k = Matrix::zeros(mk, c);
+                    for (j, wj) in &w {
+                        let omega = gaussian_like(wj.cols(), c, (k * 31 + j * 7 + 1) as u64);
+                        s_k += &matmul(wj, &omega);
+                    }
+                    let mut t_k = Matrix::zeros(mk, c);
+                    for (i, zi) in &z {
+                        let omega = gaussian_like(zi.rows(), c, (k * 17 + i * 3 + 2) as u64);
+                        t_k += &matmul(&zi.transpose(), &omega);
+                    }
+                    let rows: Vec<(usize, Matrix)> =
+                        z.iter().map(|(i, zi)| (*i, matmul(zi, &s_k))).collect();
+                    let cols: Vec<(usize, Matrix)> = w
+                        .iter()
+                        .map(|(j, wj)| (*j, matmul(&wj.transpose(), &t_k)))
+                        .collect();
+                    (nk.len() * nk.len(), rows, cols)
+                }
+                // SRFT fast path: sketching is a right-multiplication by a test
+                // matrix, so it commutes with the row-acting triangular solves —
+                // `(L⁻¹P·D_panel)·Ω = L⁻¹P·(D_panel·Ω)`.  Mix the *raw* dense
+                // panels down to `c` columns first and solve on the sketch:
+                //   row sample_i = Z_ik S_k = D_ik · A_kk^{-1} · srft([D_kj]_j)
+                //   col sample_j = W_kj^T T_k = D_kj^T · A_kk^{-T} · srft([D_ik^T]_i)
+                // The per-neighbour O(|N|·m³) panel solves collapse to two
+                // O(m²·c) solves per pivot; the Z/W panels are never formed.
+                FillSketch::Srft(_) => {
+                    let row_blocks: Vec<Matrix> = nk.iter().map(|&j| dense_block(k, j)).collect();
+                    let col_blocks: Vec<Matrix> =
+                        nk.iter().map(|&i| dense_block(i, k).transpose()).collect();
+                    let seed = (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let wcat = hconcat(mk, row_blocks.iter());
+                    let zcat = hconcat(mk, col_blocks.iter());
+                    let sk_row = srft_fill_sample(&wcat, c, seed ^ 0xf1);
+                    let sk_col = srft_fill_sample(&zcat, c, seed ^ 0xf2);
+                    let q_k = lu_solve_mat(&lu, &sk_row);
+                    let r_k = lu.transpose_solve_mat(&sk_col);
+                    let rows: Vec<(usize, Matrix)> = nk
+                        .iter()
+                        .zip(&col_blocks)
+                        .map(|(&i, dik_t)| (i, matmul_tn(dik_t, &q_k)))
+                        .collect();
+                    let cols: Vec<(usize, Matrix)> = nk
+                        .iter()
+                        .zip(&row_blocks)
+                        .map(|(&j, dkj)| (j, matmul_tn(dkj, &r_k)))
+                        .collect();
+                    (nk.len() * nk.len(), rows, cols)
+                }
             }
-            let mut t_k = Matrix::zeros(mk, c);
-            for (i, zi) in &z {
-                let omega = gaussian_like(zi.rows(), c, (k * 17 + i * 3 + 2) as u64);
-                t_k += &matmul(&zi.transpose(), &omega);
-            }
-            let rows: Vec<(usize, Matrix)> =
-                z.iter().map(|(i, zi)| (*i, matmul(zi, &s_k))).collect();
-            let cols: Vec<(usize, Matrix)> = w
-                .iter()
-                .map(|(j, wj)| (*j, matmul(&wj.transpose(), &t_k)))
-                .collect();
-            (nk.len() * nk.len(), rows, cols)
         })
         .collect();
 
@@ -229,6 +287,41 @@ fn precompute_fillins_sampled(
         for (j, m) in cols {
             out.col_fills.entry(j).or_default().push(m);
         }
+    }
+    out
+}
+
+/// Horizontal concatenation of a pivot's panel pieces into one `rows x ΣN_j`
+/// block (SRFT fill path: the transform mixes the union panel directly).
+fn hconcat<'a>(rows: usize, blocks: impl Iterator<Item = &'a Matrix>) -> Matrix {
+    let blocks: Vec<&Matrix> = blocks.collect();
+    let total: usize = blocks.iter().map(|b| b.cols()).sum();
+    let mut cat = Matrix::zeros(rows, total);
+    let mut off = 0;
+    for b in &blocks {
+        cat.set_block(0, off, b);
+        off += b.cols();
+    }
+    cat
+}
+
+/// SRFT sample of a fill union panel: `c` mixed columns when the panel is wide
+/// enough for mixing to reduce it, the panel itself otherwise.  Either way the
+/// result is scaled by [`fill_sample_scale`] — the SRFT's effective test
+/// vectors are unit norm (the transform is orthonormal up to subsampling),
+/// exactly like [`gaussian_like`]'s normalized columns before the same weight.
+/// Mixing runs in f64 even for the f32 compression pipeline: the sample feeds
+/// a triangular solve against `A_kk`, which would amplify input-side f32
+/// rounding by the block's condition number (see [`FillSketch::Srft`]).
+fn srft_fill_sample(panel: &Matrix, c: usize, seed: u64) -> Matrix {
+    let mut out = if panel.cols() > c {
+        srft_sketch(panel, c, seed, SketchPrecision::F64)
+    } else {
+        panel.clone()
+    };
+    let scale = fill_sample_scale();
+    for v in out.as_mut_slice() {
+        *v *= scale;
     }
     out
 }
@@ -332,7 +425,13 @@ mod tests {
         let neighbours: Vec<Vec<usize>> = (0..nb)
             .map(|i| (0..nb).filter(|&j| j != i && i.abs_diff(j) <= 1).collect())
             .collect();
-        let fills = precompute_fillins(nb, &neighbours, |i, j| blocks[&(i, j)].clone(), None);
+        let fills = precompute_fillins(
+            nb,
+            &neighbours,
+            |i, j| blocks[&(i, j)].clone(),
+            None,
+            FillSketch::Gaussian,
+        );
         // Eliminating block 1 creates fill-in at (0, 2) equal to D_01 D_11^{-1} D_12.
         let d11 = &blocks[&(1, 1)];
         let lu = lu_factor(d11).unwrap();
@@ -362,7 +461,13 @@ mod tests {
         let neighbours: Vec<Vec<usize>> = (0..nb)
             .map(|i| (0..nb).filter(|&j| j != i && i.abs_diff(j) <= 1).collect())
             .collect();
-        let fills = precompute_fillins(nb, &neighbours, |i, j| blocks[&(i, j)].clone(), None);
+        let fills = precompute_fillins(
+            nb,
+            &neighbours,
+            |i, j| blocks[&(i, j)].clone(),
+            None,
+            FillSketch::Gaussian,
+        );
         let c = fills.row_concat(0, m);
         assert_eq!(c.rows(), m);
         assert!(c.cols() > 0);
@@ -381,7 +486,13 @@ mod tests {
         let m = 4;
         let blocks = tridiag_blocks(nb, m);
         let neighbours: Vec<Vec<usize>> = vec![Vec::new(); nb];
-        let fills = precompute_fillins(nb, &neighbours, |i, j| blocks[&(i, j)].clone(), None);
+        let fills = precompute_fillins(
+            nb,
+            &neighbours,
+            |i, j| blocks[&(i, j)].clone(),
+            None,
+            FillSketch::Gaussian,
+        );
         assert_eq!(fills.count, 0);
         assert!(fills.row_fills.is_empty());
     }

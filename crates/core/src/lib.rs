@@ -31,6 +31,6 @@ pub mod ulv;
 pub mod variants;
 
 pub use dense::{dense_solve, DenseReference};
-pub use options::{CompressionMode, FactorOptions, Hierarchy, Variant};
+pub use options::{CompressionMode, FactorOptions, Hierarchy, SketchPrecision, Variant};
 pub use ulv::{FactorStats, PhaseBreakdown, UlvFactorization, UlvFactors};
 pub use variants::{blr2_ulv, h2_ulv_dep, h2_ulv_nodep, hss_ulv};

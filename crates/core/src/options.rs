@@ -2,7 +2,7 @@
 
 use h2_geometry::Admissibility;
 use h2_hmatrix::BasisMode;
-pub use h2_lowrank::CompressionMode;
+pub use h2_lowrank::{CompressionMode, SketchPrecision};
 
 /// Which elimination strategy to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,8 +32,16 @@ pub enum Hierarchy {
 pub struct FactorOptions {
     /// Relative compression tolerance for bases and couplings.
     pub tol: f64,
-    /// Optional cap on basis ranks.
+    /// Optional cap on basis ranks (applied at the leaf level).
     pub max_rank: Option<usize>,
+    /// Per-level growth of the rank cap towards the root: the effective cap at
+    /// `d` levels above the leaves is `ceil(max_rank * max_rank_growth^d)`.
+    /// Upper-level clusters aggregate the skeletons of their children, so their
+    /// true interaction ranks grow with depth; a flat cap saturates there and
+    /// poisons the accuracy of the whole factorization (observed as the n=8192
+    /// residual blow-up in BENCH_factor.json) while a modest geometric
+    /// allowance tracks the true rank growth.  `1.0` restores the flat cap.
+    pub max_rank_growth: f64,
     /// Admissibility condition (weak → HSS-like, strong → H²-like).
     pub admissibility: Admissibility,
     /// Exact or sampled basis construction.
@@ -70,6 +78,7 @@ impl Default for FactorOptions {
         FactorOptions {
             tol: 1e-8,
             max_rank: None,
+            max_rank_growth: 1.25,
             admissibility: Admissibility::strong(1.0),
             basis_mode: BasisMode::Exact,
             compression: CompressionMode::default(),
@@ -80,6 +89,17 @@ impl Default for FactorOptions {
             seed: 0,
             num_threads: 0,
         }
+    }
+}
+
+impl FactorOptions {
+    /// Effective rank cap `levels_above_leaves` levels above the leaf level
+    /// (see [`FactorOptions::max_rank_growth`]); `None` when ranks are uncapped.
+    pub fn effective_max_rank(&self, levels_above_leaves: usize) -> Option<usize> {
+        self.max_rank.map(|cap| {
+            let growth = self.max_rank_growth.max(1.0);
+            (cap as f64 * growth.powi(levels_above_leaves as i32)).ceil() as usize
+        })
     }
 }
 
@@ -94,5 +114,25 @@ mod tests {
         assert_eq!(o.hierarchy, Hierarchy::MultiLevel);
         assert!(o.fillin_enrichment);
         assert!(o.tol > 0.0);
+    }
+
+    #[test]
+    fn rank_cap_scales_with_depth() {
+        let o = FactorOptions {
+            max_rank: Some(100),
+            max_rank_growth: 1.25,
+            ..Default::default()
+        };
+        assert_eq!(o.effective_max_rank(0), Some(100));
+        assert_eq!(o.effective_max_rank(1), Some(125));
+        assert_eq!(o.effective_max_rank(2), Some(157));
+        let flat = FactorOptions {
+            max_rank: Some(100),
+            max_rank_growth: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(flat.effective_max_rank(3), Some(100));
+        let uncapped = FactorOptions::default();
+        assert_eq!(uncapped.effective_max_rank(2), None);
     }
 }

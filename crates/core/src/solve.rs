@@ -194,6 +194,82 @@ impl UlvFactors {
         self.tree.permute_from_tree(&xt)
     }
 
+    /// How many [`UlvFactors::solve_refined`] steps the factorization's own
+    /// configuration calls for: mixed-precision SRFT compression trades basis
+    /// accuracy for construction speed, so it is paired with two refinement
+    /// steps by default; every f64 compression path solves accurately enough
+    /// on its own and gets none.
+    pub fn default_refine_steps(&self) -> usize {
+        use crate::options::{CompressionMode, SketchPrecision};
+        match self.options.compression {
+            CompressionMode::Srft { precision, .. }
+                if precision.effective_for_tol(self.options.tol) == SketchPrecision::F32 =>
+            {
+                2
+            }
+            _ => 0,
+        }
+    }
+
+    /// Solve followed by `steps` rounds of residual-driven iterative refinement:
+    /// `r = b - A x` is evaluated with exact kernel entries (assembled in row
+    /// blocks, so no `n x n` matrix is ever held) and the factorization solves
+    /// for the correction.  Each step costs one kernel sweep plus one extra
+    /// solve — cheap next to the factorization — and recovers the accuracy a
+    /// reduced-precision compression left on the table.  Returns the iterate
+    /// with the smallest residual norm, so refinement never degrades the plain
+    /// solve.  Deterministic: no randomness, fixed evaluation order.
+    pub fn solve_refined(
+        &self,
+        kernel: &dyn h2_geometry::Kernel,
+        b: &[f64],
+        steps: usize,
+    ) -> Vec<f64> {
+        let mut x = self.solve(b);
+        if steps == 0 {
+            return x;
+        }
+        let norm2 = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>();
+        let mut best = x.clone();
+        let mut best_rr = norm2(&self.kernel_residual(kernel, b, &x));
+        for _ in 0..steps {
+            if best_rr == 0.0 {
+                break;
+            }
+            let r = self.kernel_residual(kernel, b, &x);
+            let dx = self.solve(&r);
+            for (xi, di) in x.iter_mut().zip(&dx) {
+                *xi += di;
+            }
+            let rr = norm2(&self.kernel_residual(kernel, b, &x));
+            if rr < best_rr {
+                best_rr = rr;
+                best.copy_from_slice(&x);
+            }
+        }
+        best
+    }
+
+    /// The residual `b - A x` in tree ordering, with the kernel matrix assembled
+    /// in row blocks of bounded size (never the full `n x n` matrix at once).
+    fn kernel_residual(&self, kernel: &dyn h2_geometry::Kernel, b: &[f64], x: &[f64]) -> Vec<f64> {
+        const ROW_BLOCK: usize = 512;
+        let n = self.tree.num_points();
+        let mut r = b.to_vec();
+        let mut ax = vec![0.0; ROW_BLOCK];
+        for start in (0..n).step_by(ROW_BLOCK) {
+            let stop = (start + ROW_BLOCK).min(n);
+            let rows = &self.tree.perm[start..stop];
+            let a = kernel.assemble(&self.tree.points, rows, &self.tree.perm);
+            let ab = &mut ax[..stop - start];
+            gemv(1.0, &a, false, x, 0.0, ab);
+            for (ri, &v) in r[start..stop].iter_mut().zip(ab.iter()) {
+                *ri -= v;
+            }
+        }
+        r
+    }
+
     /// Relative residual `||A x - b|| / ||b||` measured with an exact (dense) kernel
     /// matrix-vector product — a direct accuracy check used by the tests.
     pub fn residual_with(&self, kernel: &dyn h2_geometry::Kernel, b: &[f64], x: &[f64]) -> f64 {

@@ -29,15 +29,16 @@ use std::time::Instant;
 use h2_geometry::{ClusterTree, Kernel};
 use h2_hmatrix::basis::far_field_sample_indices;
 use h2_hmatrix::{BlockPartition, BlockType};
-use h2_lowrank::{sketched_pivoted_qr, CompressionMode};
+use h2_lowrank::{sketched_pivoted_qr, srft_detect_tol, srft_sketch_or_panel, CompressionMode};
 use h2_matrix::flops::cost;
 use h2_matrix::{
     flop_count, lu_factor, lu_solve_mat, matmul, matmul_batch, matmul_tn, matmul_tn_batch_shared_a,
-    pivoted_qr, select_interpolation_rows, Lu, Matrix, INTERP_COND_TOL,
+    pivoted_qr, pivoted_qr_stop_batch, select_interpolation_rows, Lu, Matrix, PivotedQr,
+    INTERP_COND_TOL,
 };
 use rayon::prelude::*;
 
-use crate::fillin::{precompute_fillins, FillIns};
+use crate::fillin::{precompute_fillins, FillIns, FillSketch};
 use crate::options::{FactorOptions, Hierarchy, Variant};
 use crate::taskgraph::FactorTaskGraph;
 use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind};
@@ -80,22 +81,35 @@ pub struct LevelFactor {
     pub col_sr: HashMap<(usize, usize), Matrix>,
 }
 
-/// Seconds of construction work per phase.  DAG-task spans are exact CPU time
-/// (each task runs on one thread); the serial pre-level sections (fill-in
-/// pre-computation, leaf dense assembly) are measured as wall time of their
-/// rayon-parallel region.  Under multi-threading the phases overlap in
-/// wall-clock time, so the breakdown is a work profile, not a wall split.
+/// Seconds of construction work per phase, reported in two scales.
+///
+/// The `*_seconds` fields are **CPU work**: DAG-task spans are exact per-thread
+/// time (each task runs on one thread), so under multi-threading the phase sum
+/// can legitimately exceed the construction wall clock.  The `*_wall_seconds`
+/// fields attribute the measured wall-clock span of each level's DAG execution
+/// to the phases proportionally to their CPU shares, so they sum to (at most)
+/// the construction wall at any thread count.  At one thread the two scales
+/// coincide up to scheduler overhead.  Serial pre-level sections (fill-in
+/// pre-computation, leaf dense assembly) are wall time and count in both.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseBreakdown {
-    /// Kernel-entry evaluation (far-field samples, couplings, dense leaves).
+    /// Kernel-entry evaluation (far-field samples, couplings, dense leaves); CPU work.
     pub assembly_seconds: f64,
     /// Basis compression: QR / sketch factorizations, far-field projections and
-    /// fill-in pre-computation feeding them.
+    /// fill-in pre-computation feeding them; CPU work.
     pub compression_seconds: f64,
-    /// Coupling projection onto the skeleton bases (after assembly).
+    /// Coupling projection onto the skeleton bases (after assembly); CPU work.
     pub coupling_seconds: f64,
-    /// Skeleton-row interpolation bookkeeping carried between levels.
+    /// Skeleton-row interpolation bookkeeping carried between levels; CPU work.
     pub transfer_seconds: f64,
+    /// Wall-attributed share of [`PhaseBreakdown::assembly_seconds`].
+    pub assembly_wall_seconds: f64,
+    /// Wall-attributed share of [`PhaseBreakdown::compression_seconds`].
+    pub compression_wall_seconds: f64,
+    /// Wall-attributed share of [`PhaseBreakdown::coupling_seconds`].
+    pub coupling_wall_seconds: f64,
+    /// Wall-attributed share of [`PhaseBreakdown::transfer_seconds`].
+    pub transfer_wall_seconds: f64,
 }
 
 /// Statistics of a factorization run.
@@ -115,6 +129,11 @@ pub struct FactorStats {
     pub max_rank: usize,
     /// Largest skeleton rank per processed level (leaf first).
     pub level_ranks: Vec<usize>,
+    /// Per processed level (leaf first): number of basis factorizations whose
+    /// tolerance-detected rank exceeded the effective rank cap and was truncated
+    /// to it.  Persistent non-zero counts towards the root mean the cap (not the
+    /// tolerance) governs the accuracy — raise `max_rank` or `max_rank_growth`.
+    pub level_cap_hits: Vec<usize>,
     /// Dimension of the final dense root system.
     pub root_dim: usize,
     /// Total number of fill-in blocks pre-computed.
@@ -213,6 +232,8 @@ struct SkeletonSide {
 /// interpolation data the coupling tasks and the next level consume.
 struct BasisOut {
     cf: ClusterFactor,
+    /// How many of the cluster's two basis factorizations hit the rank cap.
+    cap_hits: usize,
     row_interp: Option<SkeletonSide>,
     col_interp: Option<SkeletonSide>,
 }
@@ -274,6 +295,7 @@ impl UlvFactorization {
             let a = kernel.assemble(&tree.points, &order, &order);
             stats.construction_seconds = t0.elapsed().as_secs_f64();
             stats.phases.assembly_seconds = stats.construction_seconds;
+            stats.phases.assembly_wall_seconds = stats.construction_seconds;
             let t1 = Instant::now();
             let f0 = flop_count();
             let root_lu = lu_factor(&a).expect("dense root factorization failed");
@@ -324,8 +346,10 @@ impl UlvFactorization {
                 .collect();
             state.dense = blocks.into_iter().collect();
         }
-        stats.construction_seconds += tcon0.elapsed().as_secs_f64();
-        stats.phases.assembly_seconds += tcon0.elapsed().as_secs_f64();
+        let leaf_assembly_wall = tcon0.elapsed().as_secs_f64();
+        stats.construction_seconds += leaf_assembly_wall;
+        stats.phases.assembly_seconds += leaf_assembly_wall;
+        stats.phases.assembly_wall_seconds += leaf_assembly_wall;
         stats.construction_flops += flop_count() - fcon0;
 
         let mut levels: Vec<LevelFactor> = Vec::new();
@@ -419,6 +443,10 @@ impl UlvFactorization {
         let nb = 1usize << level;
         let clusters = tree.clusters_at_level(level);
         tg.begin_level(level, nb);
+        // Effective rank cap for this level: `level` counts down from
+        // `tree.depth` (leaves), so the cap grows geometrically towards the
+        // root (see [`FactorOptions::max_rank_growth`]).
+        let eff_max_rank = opts.effective_max_rank(tree.depth - level);
 
         // Active sizes at this level.
         let active: Vec<usize> = (0..nb)
@@ -437,18 +465,37 @@ impl UlvFactorization {
         let fcon = flop_count();
         let fills: FillIns = if opts.fillin_enrichment && neighbours.iter().any(|l| !l.is_empty()) {
             let dense_ref = &state.dense;
+            // SRFT compression also sketches the fill unions structurally; the
+            // Gaussian/Direct modes keep the dense test blocks so A/B runs
+            // compare the whole pipeline, not just the basis sketch.
+            let fill_sketch = match opts.compression {
+                CompressionMode::Srft { precision, .. } => {
+                    FillSketch::Srft(precision.effective_for_tol(opts.tol))
+                }
+                _ => FillSketch::Gaussian,
+            };
             // In sampled construction mode the fill-in column/row spaces are captured
             // through random test matrices instead of forming every product exactly.
             // Width of the union fill-in sample (`H2_FILL_SAMPLE` overrides for
-            // accuracy/cost experiments; 128 keeps bench residuals at or below
-            // the exact-fill reference across the sweep).
+            // accuracy/cost experiments).  The f64 paths use 128, which keeps
+            // bench residuals at or below the exact-fill reference across the
+            // sweep.  The mixed-precision SRFT path only needs the dominant
+            // fill directions — its solves run iterative refinement, which
+            // mops up the tail — so it samples 64: the fill sketch feeds
+            // sketch-then-solve (see `precompute_fillins`), where the sample
+            // width prices both the `O(m²·c)` solves and, indirectly, every
+            // detected rank above the leaves through the enrichment width.
+            let default_fill = match fill_sketch {
+                FillSketch::Srft(h2_lowrank::SketchPrecision::F32) => 64,
+                _ => 128,
+            };
             let sample_cols = match opts.basis_mode {
                 h2_hmatrix::BasisMode::Exact => None,
                 h2_hmatrix::BasisMode::Sampled { .. } => Some(
                     std::env::var("H2_FILL_SAMPLE")
                         .ok()
                         .and_then(|v| v.parse().ok())
-                        .unwrap_or(128),
+                        .unwrap_or(default_fill),
                 ),
             };
             precompute_fillins(
@@ -461,6 +508,7 @@ impl UlvFactorization {
                         .unwrap_or_else(|| Matrix::zeros(active[i], active[j]))
                 },
                 sample_cols,
+                fill_sketch,
             )
         } else {
             FillIns::default()
@@ -502,8 +550,10 @@ impl UlvFactorization {
                 (far_cols, fill_cols)
             })
             .collect();
-        stats.construction_seconds += tcon.elapsed().as_secs_f64();
-        stats.phases.compression_seconds += tcon.elapsed().as_secs_f64();
+        let fillin_wall = tcon.elapsed().as_secs_f64();
+        stats.construction_seconds += fillin_wall;
+        stats.phases.compression_seconds += fillin_wall;
+        stats.phases.compression_wall_seconds += fillin_wall;
         stats.construction_flops += flop_count() - fcon;
 
         // ------------------------------------------------------- executable task DAG
@@ -645,12 +695,12 @@ impl UlvFactorization {
                 }
                 let row_input = Matrix::hcat_all(&row_refs);
                 let col_input = Matrix::hcat_all(&col_refs);
-                let cf = build_cluster_basis(
+                let (cf, cap_hits) = build_cluster_basis(
                     &row_input,
                     &col_input,
                     a,
                     opts.tol,
-                    opts.max_rank,
+                    eff_max_rank,
                     opts.compression,
                     mix_seed(opts.seed, level, i, 1),
                     mix_seed(opts.seed, level, i, 2),
@@ -702,6 +752,7 @@ impl UlvFactorization {
                 };
                 let _ = slot.set(BasisOut {
                     cf,
+                    cap_hits,
                     row_interp,
                     col_interp,
                 });
@@ -953,25 +1004,54 @@ impl UlvFactorization {
         stats.construction_flops += construction_meter.flops.load(Ordering::Relaxed);
         stats.factorization_flops += elimination_meter.flops.load(Ordering::Relaxed);
 
-        // Fold the per-level phase meters into the run-wide breakdown.
-        stats.phases.assembly_seconds +=
-            phase_nanos[PH_ASSEMBLY].load(Ordering::Relaxed) as f64 / 1e9;
-        stats.phases.compression_seconds +=
-            phase_nanos[PH_COMPRESSION].load(Ordering::Relaxed) as f64 / 1e9;
-        stats.phases.coupling_seconds +=
-            phase_nanos[PH_COUPLING].load(Ordering::Relaxed) as f64 / 1e9;
-        stats.phases.transfer_seconds +=
-            phase_nanos[PH_TRANSFER].load(Ordering::Relaxed) as f64 / 1e9;
+        // Fold the per-level phase meters into the run-wide breakdown: once as
+        // exact CPU work and once attributed to the DAG's wall-clock span in
+        // proportion to the CPU share each phase consumed of the span's total
+        // task time (construction + elimination).  The wall fields therefore sum
+        // to at most `dag_wall` and never exceed the construction wall clock,
+        // which the CPU fields do at `threads > 1`.
+        let span_nanos = ((con_n + fac_n).max(1)) as f64;
+        let phase_split = |p: usize| {
+            let cpu = phase_nanos[p].load(Ordering::Relaxed);
+            (cpu as f64 / 1e9, dag_wall * cpu as f64 / span_nanos)
+        };
+        let (cpu, wall) = phase_split(PH_ASSEMBLY);
+        stats.phases.assembly_seconds += cpu;
+        stats.phases.assembly_wall_seconds += wall;
+        let (cpu, wall) = phase_split(PH_COMPRESSION);
+        stats.phases.compression_seconds += cpu;
+        stats.phases.compression_wall_seconds += wall;
+        let (cpu, wall) = phase_split(PH_COUPLING);
+        stats.phases.coupling_seconds += cpu;
+        stats.phases.coupling_wall_seconds += wall;
+        let (cpu, wall) = phase_split(PH_TRANSFER);
+        stats.phases.transfer_seconds += cpu;
+        stats.phases.transfer_wall_seconds += wall;
+
+        // Per-level stage attribution for performance work (`H2_TRACE_LEVELS=1`):
+        // fill-in precompute wall time plus the CPU seconds of each in-task phase.
+        if std::env::var("H2_TRACE_LEVELS").is_ok() {
+            eprintln!(
+                "level {level:2} nb {nb:4}: fill {fillin_wall:7.3}s  asm {:7.3}s  cmp {:7.3}s  cpl {:7.3}s  xfer {:7.3}s  elim {:7.3}s",
+                phase_nanos[PH_ASSEMBLY].load(Ordering::Relaxed) as f64 / 1e9,
+                phase_nanos[PH_COMPRESSION].load(Ordering::Relaxed) as f64 / 1e9,
+                phase_nanos[PH_COUPLING].load(Ordering::Relaxed) as f64 / 1e9,
+                phase_nanos[PH_TRANSFER].load(Ordering::Relaxed) as f64 / 1e9,
+                elimination_meter.nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            );
+        }
 
         // Collect task outputs in construction order (never completion order).
         let mut next_row_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
         let mut next_col_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
+        let mut level_cap_hits = 0usize;
         let cluster_factors: Vec<ClusterFactor> = basis_slots
             .into_iter()
             .map(|s| {
                 let out = s.into_inner().expect("basis task did not run");
                 next_row_interp.push(out.row_interp);
                 next_col_interp.push(out.col_interp);
+                level_cap_hits += out.cap_hits;
                 out.cf
             })
             .collect();
@@ -1009,6 +1089,7 @@ impl UlvFactorization {
             .max()
             .unwrap_or(0);
         stats.level_ranks.push(level_max_rank);
+        stats.level_cap_hits.push(level_cap_hits);
         stats.max_rank = stats.max_rank.max(level_max_rank);
         let basis_ids = tg.current_basis_tasks().to_vec();
         for res in &pivot_results {
@@ -1182,6 +1263,7 @@ impl UlvFactorization {
 /// Build the `[redundant | skeleton]`-ordered square bases of one cluster from the
 /// row-space and column-space sample matrices.
 #[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
 fn build_cluster_basis(
     row_input: &Matrix,
     col_input: &Matrix,
@@ -1191,30 +1273,75 @@ fn build_cluster_basis(
     compression: CompressionMode,
     seed_row: u64,
     seed_col: u64,
-) -> ClusterFactor {
-    let (q_full, rank_r) =
-        orthogonal_factor(row_input, active, tol, max_rank, compression, seed_row);
-    let (p_full, rank_c) =
-        orthogonal_factor(col_input, active, tol, max_rank, compression, seed_col);
+) -> (ClusterFactor, usize) {
+    let ((q_full, rank_r, hit_r), (p_full, rank_c, hit_c)) = match compression {
+        // SRFT fast path: mix both inputs down to narrow sketches first, then
+        // run the two small pivoted QRs through one batched call so they share
+        // the kernel's packing scratch.  Factor bits are identical to two
+        // separate calls (the batch maps panels in slice order).
+        CompressionMode::Srft {
+            oversample,
+            precision,
+        } if row_input.cols() > 0 && col_input.cols() > 0 => {
+            let cap = max_rank.unwrap_or(usize::MAX);
+            let precision = precision.effective_for_tol(tol);
+            let (sk_r, _) =
+                srft_sketch_or_panel(row_input, max_rank, oversample, precision, seed_row);
+            let (sk_c, _) =
+                srft_sketch_or_panel(col_input, max_rank, oversample, precision, seed_col);
+            let panel_r = sk_r.as_ref().unwrap_or(row_input);
+            let panel_c = sk_c.as_ref().unwrap_or(col_input);
+            // Stop each factorization at the detection threshold (one extra
+            // reflector keeps a cap overflow observable) — the sub-tolerance
+            // reflectors are most of the panel-QR cost.
+            let tol = srft_detect_tol(tol, precision);
+            let mut fs = pivoted_qr_stop_batch(&[panel_r, panel_c], tol, cap.saturating_add(1));
+            let fc = fs.pop().expect("batched pivoted QR dropped a panel");
+            let fr = fs.pop().expect("batched pivoted QR dropped a panel");
+            (
+                finish_factor(fr, active, tol, cap),
+                finish_factor(fc, active, tol, cap),
+            )
+        }
+        _ => (
+            orthogonal_factor(row_input, active, tol, max_rank, compression, seed_row),
+            orthogonal_factor(col_input, active, tol, max_rank, compression, seed_col),
+        ),
+    };
     // Row and column skeleton dimensions must agree so diagonal blocks stay square;
     // take the larger of the two detected ranks for both sides.
     let k = rank_r.max(rank_c);
     let q = reorder_basis(&q_full, k, active);
     let p = reorder_basis(&p_full, k, active);
-    ClusterFactor {
-        q,
-        p,
-        active,
-        redundant: active - k,
-        skeleton: k,
-        lu: None,
-    }
+    (
+        ClusterFactor {
+            q,
+            p,
+            active,
+            redundant: active - k,
+            skeleton: k,
+            lu: None,
+        },
+        usize::from(hit_r) + usize::from(hit_c),
+    )
 }
 
-/// Orthogonal factor of `input`'s column space: full square orthogonal matrix and
-/// the detected numerical rank (capped by `max_rank` and the active size).  The
-/// direct mode is the column-pivoted QR of the full panel; the sketched mode
-/// factorizes a Gaussian column sketch instead (GEMM-dominated).
+/// Finish one side's compression: detect the tolerance rank, flag whether the
+/// rank cap truncated it, clamp to the cap and the active size, and expand the
+/// full square orthogonal factor.
+fn finish_factor(f: PivotedQr, active: usize, tol: f64, cap: usize) -> (Matrix, usize, bool) {
+    let detected = f.rank(tol);
+    let hit = detected > cap;
+    let rank = detected.min(cap).min(active);
+    (f.q_full(), rank, hit)
+}
+
+/// Orthogonal factor of `input`'s column space: full square orthogonal matrix,
+/// the detected numerical rank (capped by `max_rank` and the active size) and
+/// whether the cap truncated the tolerance rank.  The direct mode is the
+/// column-pivoted QR of the full panel; the sketched mode factorizes a Gaussian
+/// column sketch instead (GEMM-dominated); the SRFT mode factorizes a
+/// structured `O(m·n·log n)` sketch (optionally mixed in f32).
 fn orthogonal_factor(
     input: &Matrix,
     active: usize,
@@ -1222,25 +1349,32 @@ fn orthogonal_factor(
     max_rank: Option<usize>,
     compression: CompressionMode,
     seed: u64,
-) -> (Matrix, usize) {
+) -> (Matrix, usize, bool) {
     if input.cols() == 0 {
-        return (Matrix::identity(active), 0);
+        return (Matrix::identity(active), 0, false);
     }
-    let (f, mut rank) = match compression {
-        CompressionMode::Direct => {
-            let f = pivoted_qr(input);
-            let rank = f.rank(tol);
-            (f, rank)
-        }
+    let cap = max_rank.unwrap_or(usize::MAX);
+    let f = match compression {
+        CompressionMode::Direct => pivoted_qr(input),
         CompressionMode::Sketched { oversample } => {
-            sketched_pivoted_qr(input, tol, max_rank, oversample, seed)
+            sketched_pivoted_qr(input, tol, max_rank, oversample, seed).0
+        }
+        CompressionMode::Srft {
+            oversample,
+            precision,
+        } => {
+            let precision = precision.effective_for_tol(tol);
+            let (sk, _) = srft_sketch_or_panel(input, max_rank, oversample, precision, seed);
+            let tol = srft_detect_tol(tol, precision);
+            let f = h2_matrix::pivoted_qr_stop(
+                sk.as_ref().unwrap_or(input),
+                tol,
+                cap.saturating_add(1),
+            );
+            return finish_factor(f, active, tol, cap);
         }
     };
-    if let Some(cap) = max_rank {
-        rank = rank.min(cap);
-    }
-    rank = rank.min(active);
-    (f.q_full(), rank)
+    finish_factor(f, active, tol, cap)
 }
 
 /// Assemble `[U^R | U^S]` with `U^S` the first `k` columns of the orthogonal factor

@@ -58,9 +58,13 @@ fn factors_identical(a: &UlvFactors, b: &UlvFactors) -> bool {
     true
 }
 
+/// Residual of the factorization's own prescribed solve: plain for the f64
+/// modes (`default_refine_steps() == 0`), refined for mixed-precision SRFT —
+/// that pairing is the accuracy contract of each mode (the f32 path trades
+/// slack-free rank detection against refinement at solve time).
 fn residual(f: &UlvFactors, kernel: &LaplaceKernel, n: usize) -> f64 {
     let b: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 9.0).collect();
-    let x = f.solve(&b);
+    let x = f.solve_refined(kernel, &b, f.default_refine_steps());
     f.residual_with(kernel, &b, &x)
 }
 
@@ -93,6 +97,95 @@ fn sketched_construction_is_accurate_and_deterministic_across_threads() {
     assert!(
         r_fast <= r_exact * 50.0 + 1e-6,
         "fast-path residual {r_fast} too far from exact {r_exact}"
+    );
+}
+
+#[test]
+fn gaussian_sketched_construction_stays_deterministic_and_accurate() {
+    // The default mode moved to the SRFT sketch; the Gaussian path stays as an
+    // explicitly-tested A/B reference.
+    let n = 700;
+    let (tree, kernel) = setup(n);
+    let mode = CompressionMode::Sketched { oversample: 64 };
+    let g1 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 1));
+    let g2 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 2));
+    let g4 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 4));
+    assert!(factors_identical(&g1, &g2), "gaussian 1t vs 2t differ");
+    assert!(factors_identical(&g1, &g4), "gaussian 1t vs 4t differ");
+    assert!(residual(&g1, &kernel, n) < 1e-3);
+}
+
+#[test]
+fn srft_f64_reference_matches_thread_counts() {
+    let n = 600;
+    let (tree, kernel) = setup(n);
+    let mode = CompressionMode::Srft {
+        oversample: 64,
+        precision: h2_factor::SketchPrecision::F64,
+    };
+    let a = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 1));
+    let b = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 4));
+    assert!(factors_identical(&a, &b), "srft/f64 1t vs 4t differ");
+    assert!(residual(&a, &kernel, n) < 1e-3);
+}
+
+#[test]
+fn refinement_steps_follow_the_compression_precision() {
+    let n = 600;
+    let (tree, kernel) = setup(n);
+    // Mixed-precision SRFT asks for refinement...
+    let fast = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    assert_eq!(fast.default_refine_steps(), 2);
+    // ...the f64 paths do not.
+    let exact = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1));
+    assert_eq!(exact.default_refine_steps(), 0);
+    let gauss = h2_ulv_nodep(
+        &kernel,
+        &tree,
+        &opts(CompressionMode::Sketched { oversample: 64 }, true, 1),
+    );
+    assert_eq!(gauss.default_refine_steps(), 0);
+    // Below the f32 mixing noise floor SRFT silently demotes to f64 mixing, so
+    // refinement switches itself off as well.
+    let mut tight = opts(CompressionMode::default(), true, 1);
+    tight.tol = 1e-8;
+    let tight = h2_ulv_nodep(&kernel, &tree, &tight);
+    assert_eq!(tight.default_refine_steps(), 0);
+
+    // Refinement never degrades the plain solve, and is deterministic.
+    let b: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 9.0).collect();
+    let x0 = fast.solve(&b);
+    let xr = fast.solve_refined(&kernel, &b, fast.default_refine_steps());
+    let r0 = fast.residual_with(&kernel, &b, &x0);
+    let rr = fast.residual_with(&kernel, &b, &xr);
+    assert!(
+        rr <= r0 * (1.0 + 1e-12),
+        "refined residual {rr} worse than plain {r0}"
+    );
+    let xr2 = fast.solve_refined(&kernel, &b, fast.default_refine_steps());
+    assert_eq!(xr, xr2, "refined solve is not deterministic");
+}
+
+#[test]
+fn rank_cap_hits_are_counted_per_level() {
+    let n = 600;
+    let (tree, kernel) = setup(n);
+    // A cap far below the tolerance rank must register hits at every level...
+    let mut starved = opts(CompressionMode::default(), true, 1);
+    starved.max_rank = Some(8);
+    starved.max_rank_growth = 1.0;
+    let f = h2_ulv_nodep(&kernel, &tree, &starved);
+    assert_eq!(f.stats.level_cap_hits.len(), f.stats.level_ranks.len());
+    assert!(
+        f.stats.level_cap_hits.iter().sum::<usize>() > 0,
+        "starved cap registered no hits"
+    );
+    // ...while a generous cap registers none.
+    let roomy = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    assert!(
+        roomy.stats.level_cap_hits.iter().all(|&h| h == 0),
+        "generous cap still hit: {:?}",
+        roomy.stats.level_cap_hits
     );
 }
 

@@ -15,7 +15,7 @@
 //! their pre-computed fill-in blocks before the QR, per §III-C of the paper.
 
 use h2_geometry::{ClusterTree, Kernel};
-use h2_lowrank::{sketched_basis_split, CompressionMode};
+use h2_lowrank::{sketched_basis_split, srft_basis_split, CompressionMode};
 use h2_matrix::{truncated_pivoted_qr, BasisSplit, Matrix};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -23,8 +23,9 @@ use rand::SeedableRng;
 use crate::partition::BlockPartition;
 
 /// Skeleton/redundant split of `a`'s column space through the selected
-/// compression path: direct column-pivoted QR of the full panel, or the
-/// GEMM-dominated Gaussian-sketch factorization.
+/// compression path: direct column-pivoted QR of the full panel, the
+/// GEMM-dominated Gaussian-sketch factorization, or the mixed-precision
+/// SRFT structured sketch.
 pub fn compress_basis_split(
     a: &Matrix,
     tol: f64,
@@ -37,6 +38,10 @@ pub fn compress_basis_split(
         CompressionMode::Sketched { oversample } => {
             sketched_basis_split(a, tol, max_rank, oversample, seed)
         }
+        CompressionMode::Srft {
+            oversample,
+            precision,
+        } => srft_basis_split(a, tol, max_rank, oversample, precision, seed),
     }
 }
 

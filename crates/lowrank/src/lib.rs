@@ -13,8 +13,9 @@
 //!   tiles),
 //! * [`rsvd`] — randomized range sampling, used by the "sampled" basis-construction
 //!   mode described in DESIGN.md,
-//! * [`sketch`] — sketch-then-orthonormalize compression (Gaussian sketch, then a
-//!   small pivoted QR): the GEMM-dominated fast path of the H² construction,
+//! * [`sketch`] — sketch-then-orthonormalize compression: the fast path of the H²
+//!   construction, either a Gaussian sketch (GEMM-dominated) or a mixed-precision
+//!   SRFT-style structured sketch (`O(m·n·log n)` butterfly mixing, optionally f32),
 //! * [`add_round`] — low-rank addition followed by re-compression ("rounding"),
 //!   needed by the BLR LU's Schur updates and by the recompression step of the
 //!   H²-ULV *with* dependencies.
@@ -31,6 +32,8 @@ pub use add_round::{add_lowrank, add_round, round_lowrank};
 pub use lowrank::LowRank;
 pub use rsvd::randomized_range;
 pub use sketch::{
-    gaussian_test_matrix, sketched_basis_split, sketched_pivoted_qr, CompressionMode,
+    gaussian_test_matrix, sketched_basis_split, sketched_pivoted_qr, srft_basis_split,
+    srft_detect_tol, srft_pivoted_qr, srft_sketch, srft_sketch_or_panel, CompressionMode,
+    SketchPrecision, SRFT_DETECT_SLACK,
 };
 pub use truncation::{compress_block, compress_block_svd, compress_with, CompressionMethod};

