@@ -18,7 +18,7 @@ fn bench_factorization(c: &mut Criterion) {
     let mut group = c.benchmark_group("factorization_n1024");
     group.sample_size(10);
     group.bench_function("h2_ulv_nodep_tol1e-6", |b| {
-        b.iter(|| h2_ulv_nodep(kernel.as_ref(), &tree, &h2_options(1e-6)))
+        b.iter(|| h2_ulv_nodep(kernel.as_ref(), &tree, &h2_options(1e-6)).unwrap())
     });
     group.bench_function("lorapo_blr_lu_tol1e-6", |b| {
         b.iter(|| {

@@ -10,7 +10,7 @@ use h2_bench::{print_table, Scale, Workload};
 use h2_factor::{h2_ulv_dep, h2_ulv_nodep};
 use h2_runtime::{simulate_schedule, SimConfig};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let n = scale.scaling_size();
     let points = h2_bench::build_points(Workload::LaplaceCube, n, 11);
@@ -18,8 +18,8 @@ fn main() {
     let tree = h2_bench::build_tree(&points, scale.leaf_size());
     let opts = h2_bench::h2_options(1e-8);
 
-    let nodep = h2_ulv_nodep(kernel.as_ref(), &tree, &opts);
-    let dep = h2_ulv_dep(kernel.as_ref(), &tree, &opts);
+    let nodep = h2_ulv_nodep(kernel.as_ref(), &tree, &opts)?;
+    let dep = h2_ulv_dep(kernel.as_ref(), &tree, &opts)?;
 
     println!("=== Ablation: trailing dependencies, N = {n} ===");
     for (name, f) in [
@@ -64,4 +64,5 @@ fn main() {
         ],
         &rows,
     );
+    Ok(())
 }

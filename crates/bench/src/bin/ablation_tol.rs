@@ -10,7 +10,7 @@ use h2_factor::{h2_ulv_nodep, FactorOptions};
 use h2_geometry::Admissibility;
 use h2_hmatrix::BasisMode;
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let n = match scale {
         Scale::Smoke => 512,
@@ -34,8 +34,8 @@ fn main() {
                 basis_mode: mode,
                 ..FactorOptions::default()
             };
-            let f = h2_ulv_nodep(kernel.as_ref(), &tree, &opts);
-            let x = f.solve(&b);
+            let f = h2_ulv_nodep(kernel.as_ref(), &tree, &opts)?;
+            let x = f.solve(&b)?;
             let resid = f.residual_with(kernel.as_ref(), &b, &x);
             rows.push(vec![
                 format!("{tol:.0e}"),
@@ -59,4 +59,5 @@ fn main() {
         ],
         &rows,
     );
+    Ok(())
 }

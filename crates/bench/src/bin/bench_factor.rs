@@ -95,7 +95,7 @@ fn json_f(v: f64) -> String {
     }
 }
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_factor.json".to_string());
@@ -157,7 +157,7 @@ fn main() {
                 opts.skeleton_construction = false;
             }
             let t0 = Instant::now();
-            let factors = h2_ulv_nodep(kernel.as_ref(), &tree, &opts);
+            let factors = h2_ulv_nodep(kernel.as_ref(), &tree, &opts)?;
             let wall = t0.elapsed().as_secs_f64();
             let t = env_threads.unwrap_or(t);
             let fp = fingerprint(&factors);
@@ -180,7 +180,8 @@ fn main() {
                 // Solved the way the configuration prescribes (refinement is on
                 // only for mixed-precision compression), outside the timed region.
                 let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
-                let x = factors.solve_refined(kernel.as_ref(), &b, factors.default_refine_steps());
+                let x =
+                    factors.solve_refined(kernel.as_ref(), &b, factors.default_refine_steps())?;
                 row.residual =
                     Some(factors.residual_sampled(kernel.as_ref(), &b, &x, RESIDUAL_PROBES, 7));
             }
@@ -274,6 +275,8 @@ fn main() {
     }
     j.push_str("  ]\n");
     j.push_str("}\n");
-    std::fs::write(&out_path, &j).expect("bench_factor: cannot write output JSON");
+    std::fs::write(&out_path, &j)
+        .unwrap_or_else(|e| panic!("bench_factor: cannot write output JSON: {e}"));
     println!("bench_factor: wrote {out_path}");
+    Ok(())
 }

@@ -8,7 +8,7 @@
 
 use h2_bench::{fit_exponent, print_table, run_h2ulv, run_lorapo, Scale, Workload};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let sizes = scale.sweep_sizes();
     for &tol in &[1e-6f64, 1e-8] {
@@ -17,7 +17,7 @@ fn main() {
         let mut ours_t = Vec::new();
         let mut lorapo_t = Vec::new();
         for &n in &sizes {
-            let (ours, _) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), tol);
+            let (ours, _) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), tol)?;
             let (baseline, _) = run_lorapo(Workload::LaplaceCube, n, scale.blr_leaf_size(), tol);
             ns.push(n as f64);
             ours_t.push(ours.factor_seconds.max(1e-6));
@@ -56,4 +56,5 @@ fn main() {
             fit_exponent(&ns, &lorapo_t)
         );
     }
+    Ok(())
 }

@@ -7,7 +7,7 @@
 
 use h2_bench::{fit_exponent, print_table, run_h2ulv, run_lorapo, Scale, Workload};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let sizes = scale.sweep_sizes();
     let tol = 1e-8;
@@ -16,7 +16,7 @@ fn main() {
     let mut ours_f = Vec::new();
     let mut lorapo_f = Vec::new();
     for &n in &sizes {
-        let (ours, _) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), tol);
+        let (ours, _) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), tol)?;
         let (baseline, _) = run_lorapo(Workload::LaplaceCube, n, scale.blr_leaf_size(), tol);
         ns.push(n as f64);
         ours_f.push(ours.factor_flops as f64);
@@ -41,4 +41,5 @@ fn main() {
         fit_exponent(&ns, &ours_f),
         fit_exponent(&ns, &lorapo_f)
     );
+    Ok(())
 }

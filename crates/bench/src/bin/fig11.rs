@@ -11,12 +11,12 @@
 use h2_bench::{print_table, run_h2ulv, run_lorapo, Scale, Workload};
 use h2_runtime::{simulate_schedule, SimConfig};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let cores = [1usize, 2, 4, 8, 16, 32, 64, 128];
     let sizes = [scale.scaling_size() / 2, scale.scaling_size()];
     for &n in &sizes {
-        let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6);
+        let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6)?;
         let (_, _baseline) = run_lorapo(
             Workload::LaplaceCube,
             n.min(2048),
@@ -68,4 +68,5 @@ fn main() {
             &rows,
         );
     }
+    Ok(())
 }

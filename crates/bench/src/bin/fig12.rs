@@ -8,7 +8,7 @@
 use h2_bench::{print_table, run_h2ulv, Scale, Workload};
 use h2_runtime::{simulate_schedule, SimConfig};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let n = scale.scaling_size();
     let cores = 32;
@@ -21,7 +21,7 @@ fn main() {
         if leaf * 2 > n {
             continue;
         }
-        let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, leaf, 1e-6);
+        let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, leaf, 1e-6)?;
         let ours_res = simulate_schedule(
             &ours.task_graph,
             &SimConfig {
@@ -55,4 +55,5 @@ fn main() {
         &rows,
     );
     println!("expected shape (paper): OURS is best at small leaves, LORAPO at large tiles");
+    Ok(())
 }

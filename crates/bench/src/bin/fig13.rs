@@ -9,7 +9,7 @@
 use h2_bench::{print_table, run_h2ulv, Scale, Workload};
 use h2_runtime::{simulate_schedule, SimConfig};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let n = scale.scaling_size();
     let cores = 64;
@@ -25,7 +25,7 @@ fn main() {
             min_task_time: 0.0,
         },
     );
-    let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6);
+    let (_, ours) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6)?;
     let ours_res = simulate_schedule(
         &ours.task_graph,
         &SimConfig {
@@ -69,4 +69,5 @@ fn main() {
     if std::fs::write(&path, lorapo_res.trace.to_csv()).is_ok() {
         println!("\nfull LORAPO trace written to {}", path.display());
     }
+    Ok(())
 }

@@ -7,13 +7,13 @@ use h2_bench::{run_h2ulv, run_lorapo, Scale, Workload};
 use h2_factor::dist::{estimate_distributed, DistConfig};
 use h2_runtime::{simulate_schedule, SimConfig};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     // Force smoke sizes regardless of the environment.
     let scale = Scale::Smoke;
     let n = scale.scaling_size();
     println!("harness: smoke run with N = {n}");
 
-    let (ours, ours_factors) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6);
+    let (ours, ours_factors) = run_h2ulv(Workload::LaplaceCube, n, scale.leaf_size(), 1e-6)?;
     let (baseline, _) = run_lorapo(Workload::LaplaceCube, n, scale.blr_leaf_size(), 1e-6);
     println!(
         "fig09/fig10: OURS {:.3}s / {:.2e} flops (resid {:.1e}), LORAPO {:.3}s / {:.2e} flops (resid {:.1e})",
@@ -48,4 +48,5 @@ fn main() {
         dist.time_seconds, dist.compute_seconds, dist.comm_seconds
     );
     println!("harness: all smoke checks passed");
+    Ok(())
 }

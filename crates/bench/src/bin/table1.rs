@@ -12,7 +12,7 @@ use h2_geometry::Admissibility;
 use h2_hmatrix::{BasisMode, BlrMatrix};
 use h2_lorapo::{BlrLuFactors, BlrLuOptions};
 
-fn main() {
+fn main() -> h2_matrix::SolverResult<()> {
     let scale = Scale::from_env();
     let sizes: Vec<usize> = scale.sweep_sizes().into_iter().take(3).collect();
     let tol = 1e-6;
@@ -51,17 +51,17 @@ fn main() {
             basis_mode: BasisMode::Sampled { max_samples: 384 },
             ..FactorOptions::default()
         };
-        let blr2 = blr2_ulv(kernel.as_ref(), &tree, &opts);
+        let blr2 = blr2_ulv(kernel.as_ref(), &tree, &opts)?;
         blr2_storage.push(blr2.stats.memory_words as f64);
         blr2_flops.push(blr2.stats.factorization_flops as f64);
 
         // HSS (shared nested bases, weak admissibility).
-        let hss = hss_ulv(kernel.as_ref(), &tree, &opts);
+        let hss = hss_ulv(kernel.as_ref(), &tree, &opts)?;
         hss_storage.push(hss.stats.memory_words as f64);
         hss_flops.push(hss.stats.factorization_flops as f64);
 
         // H2 (shared nested bases, strong admissibility) — the paper's method.
-        let h2 = h2_ulv_nodep(kernel.as_ref(), &tree, &opts);
+        let h2 = h2_ulv_nodep(kernel.as_ref(), &tree, &opts)?;
         h2_storage.push(h2.stats.memory_words as f64);
         h2_flops.push(h2.stats.factorization_flops as f64);
     }
@@ -99,4 +99,5 @@ fn main() {
          at 3-D geometry and these small sizes the hierarchical formats' exponents sit between\n\
          1 and 2 and drop toward 1 as N grows."
     );
+    Ok(())
 }

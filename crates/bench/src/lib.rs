@@ -11,6 +11,8 @@
 //! * `small` — default, minutes on one core,
 //! * `large` — closer to the paper's sizes, intended for a beefier machine.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::time::Instant;
 
 use h2_factor::{CompressionMode, FactorOptions, SketchPrecision, UlvFactors};
@@ -20,6 +22,7 @@ use h2_geometry::{
 };
 use h2_hmatrix::BasisMode;
 use h2_lorapo::{BlrLuFactors, BlrLuOptions};
+use h2_matrix::SolverResult;
 
 /// Problem-size scaling selected through `H2_BENCH_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,23 +204,33 @@ pub fn h2_options(tol: f64) -> FactorOptions {
 }
 
 /// Run the paper's solver (H²-ULV without dependencies) on a workload.
-pub fn run_h2ulv(workload: Workload, n: usize, leaf: usize, tol: f64) -> (RunResult, UlvFactors) {
+///
+/// # Errors
+/// Propagates every [`h2_matrix::SolverError`] of the factorization and of the
+/// residual-check solve, so the benchmark binaries report typed breakdowns
+/// (with the failing cluster/level) instead of aborting.
+pub fn run_h2ulv(
+    workload: Workload,
+    n: usize,
+    leaf: usize,
+    tol: f64,
+) -> SolverResult<(RunResult, UlvFactors)> {
     let points = build_points(workload, n, 20 + n as u64);
     let n = points.len();
     let kernel = build_kernel(workload);
     let tree = build_tree(&points, leaf);
-    let factors = h2_factor::h2_ulv_nodep(kernel.as_ref(), &tree, &h2_options(tol));
+    let factors = h2_factor::h2_ulv_nodep(kernel.as_ref(), &tree, &h2_options(tol))?;
     let residual = if n <= 3000 {
         let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
         // Solve the way the configuration prescribes: mixed-precision
         // compression pairs with its default refinement steps (a no-op for
         // every f64 compression path).
-        let x = factors.solve_refined(kernel.as_ref(), &b, factors.default_refine_steps());
+        let x = factors.solve_refined(kernel.as_ref(), &b, factors.default_refine_steps())?;
         Some(factors.residual_with(kernel.as_ref(), &b, &x))
     } else {
         None
     };
-    (
+    Ok((
         RunResult {
             n,
             factor_seconds: factors.stats.factorization_seconds,
@@ -227,7 +240,7 @@ pub fn run_h2ulv(workload: Workload, n: usize, leaf: usize, tol: f64) -> (RunRes
             residual,
         },
         factors,
-    )
+    ))
 }
 
 /// Run the LORAPO-style BLR baseline on a workload.
@@ -328,7 +341,7 @@ mod tests {
 
     #[test]
     fn smoke_runs_of_both_solvers() {
-        let (ours, _) = run_h2ulv(Workload::LaplaceCube, 512, 64, 1e-6);
+        let (ours, _) = run_h2ulv(Workload::LaplaceCube, 512, 64, 1e-6).unwrap();
         let (baseline, _) = run_lorapo(Workload::LaplaceCube, 512, 128, 1e-6);
         assert_eq!(ours.n, 512);
         assert_eq!(baseline.n, 512);

@@ -20,10 +20,15 @@ pub struct DenseReference {
 impl DenseReference {
     /// Assemble and factorize the dense kernel matrix (tree ordering).  Only feasible
     /// for validation-sized problems.
+    ///
+    /// # Panics
+    /// Panics when the assembled kernel matrix is exactly singular — this is a
+    /// test/validation reference, not a production entry point.
     pub fn build(kernel: &dyn Kernel, tree: &ClusterTree) -> Self {
         let order = tree.perm.clone();
         let matrix = kernel.assemble(&tree.points, &order, &order);
-        let lu = lu_factor(&matrix).expect("dense kernel matrix is singular");
+        let lu =
+            lu_factor(&matrix).unwrap_or_else(|e| panic!("dense kernel matrix is singular: {e}"));
         DenseReference { matrix, lu }
     }
 

@@ -173,6 +173,7 @@ mod tests {
                 ..FactorOptions::default()
             },
         )
+        .unwrap()
     }
 
     #[test]

@@ -163,13 +163,17 @@ pub fn precompute_fillins(
     let mut row_keys: Vec<(usize, usize)> = row_acc.keys().copied().collect();
     row_keys.sort_unstable();
     for key in row_keys {
-        let f = row_acc.remove(&key).expect("row fill key vanished");
+        let f = row_acc
+            .remove(&key)
+            .unwrap_or_else(|| unreachable!("row fill key vanished"));
         out.row_fills.entry(key.0).or_default().push(f);
     }
     let mut col_keys: Vec<(usize, usize)> = col_acc.keys().copied().collect();
     col_keys.sort_unstable();
     for key in col_keys {
-        let ft = col_acc.remove(&key).expect("col fill key vanished");
+        let ft = col_acc
+            .remove(&key)
+            .unwrap_or_else(|| unreachable!("col fill key vanished"));
         out.col_fills.entry(key.1).or_default().push(ft);
     }
     out

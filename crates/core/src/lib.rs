@@ -21,6 +21,8 @@
 //! of the structured solution against a dense LU solution of the same matrix
 //! ([`dense`]).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod dense;
 pub mod dist;
 pub mod fillin;

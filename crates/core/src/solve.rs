@@ -9,7 +9,8 @@
 //! * **downward/backward**: recover the redundant unknowns level by level (backward
 //!   substitution with the stored panels) and transform back with the column bases.
 
-use h2_matrix::{gemv, lu_solve};
+use h2_matrix::{gemv, lu_solve, SolverError, SolverResult};
+use std::sync::atomic::Ordering;
 
 use crate::options::Hierarchy;
 use crate::ulv::{LevelFactor, UlvFactors};
@@ -26,15 +27,26 @@ impl UlvFactors {
     /// Solve `A x = b` where `b` is given in **tree ordering** (use
     /// [`h2_geometry::ClusterTree::permute_to_tree`] to convert from the original
     /// point ordering).  Returns `x` in tree ordering.
-    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(
-            b.len(),
-            self.tree.num_points(),
-            "solve: rhs length mismatch"
-        );
+    ///
+    /// # Errors
+    /// [`SolverError::ShapeMismatch`] when `b` has the wrong length,
+    /// [`SolverError::NonFiniteInput`] when `b` carries NaN/inf entries.
+    pub fn solve(&self, b: &[f64]) -> SolverResult<Vec<f64>> {
+        if b.len() != self.tree.num_points() {
+            return Err(SolverError::ShapeMismatch {
+                op: "solve",
+                expected: self.tree.num_points(),
+                got: b.len(),
+            });
+        }
+        if let Some(i) = b.iter().position(|x| !x.is_finite()) {
+            return Err(SolverError::NonFiniteInput {
+                context: format!("right-hand side entry {i} is non-finite"),
+            });
+        }
         // Degenerate dense case.
         if self.levels.is_empty() {
-            return lu_solve(&self.root_lu, b);
+            return Ok(lu_solve(&self.root_lu, b));
         }
 
         // ---------------------------------------------------------------- forward
@@ -75,7 +87,7 @@ impl UlvFactors {
                 }
                 z_r[k] =
                     c.lu.as_ref()
-                        .expect("redundant block without LU")
+                        .unwrap_or_else(|| unreachable!("redundant block without LU"))
                         .forward(&t);
             }
             // Skeleton residuals.
@@ -160,7 +172,7 @@ impl UlvFactors {
                 }
                 y_r[k] =
                     c.lu.as_ref()
-                        .expect("redundant block without LU")
+                        .unwrap_or_else(|| unreachable!("redundant block without LU"))
                         .backward(&t);
             }
             // Transform back with the column bases: x_i = P_i [y_R; y_S].
@@ -183,15 +195,18 @@ impl UlvFactors {
             let range = self.tree.cluster_at(leaf_level, i).range();
             x[range].copy_from_slice(xi);
         }
-        x
+        Ok(x)
     }
 
     /// Solve with `b` given in the original point ordering, returning `x` in the
     /// original ordering as well.
-    pub fn solve_original_order(&self, b: &[f64]) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// Same conditions as [`UlvFactors::solve`].
+    pub fn solve_original_order(&self, b: &[f64]) -> SolverResult<Vec<f64>> {
         let bt = self.tree.permute_to_tree(b);
-        let xt = self.solve(&bt);
-        self.tree.permute_from_tree(&xt)
+        let xt = self.solve(&bt)?;
+        Ok(self.tree.permute_from_tree(&xt))
     }
 
     /// How many [`UlvFactors::solve_refined`] steps the factorization's own
@@ -219,15 +234,18 @@ impl UlvFactors {
     /// reduced-precision compression left on the table.  Returns the iterate
     /// with the smallest residual norm, so refinement never degrades the plain
     /// solve.  Deterministic: no randomness, fixed evaluation order.
+    ///
+    /// # Errors
+    /// Same conditions as [`UlvFactors::solve`].
     pub fn solve_refined(
         &self,
         kernel: &dyn h2_geometry::Kernel,
         b: &[f64],
         steps: usize,
-    ) -> Vec<f64> {
-        let mut x = self.solve(b);
+    ) -> SolverResult<Vec<f64>> {
+        let mut x = self.solve(b)?;
         if steps == 0 {
-            return x;
+            return Ok(x);
         }
         let norm2 = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>();
         let mut best = x.clone();
@@ -237,7 +255,7 @@ impl UlvFactors {
                 break;
             }
             let r = self.kernel_residual(kernel, b, &x);
-            let dx = self.solve(&r);
+            let dx = self.solve(&r)?;
             for (xi, di) in x.iter_mut().zip(&dx) {
                 *xi += di;
             }
@@ -247,7 +265,53 @@ impl UlvFactors {
                 best.copy_from_slice(&x);
             }
         }
-        best
+        Ok(best)
+    }
+
+    /// Solve to a requested relative residual (sampled estimate): run the plain
+    /// solve, then escalate iterative refinement — the configuration's default
+    /// step count, then doubling twice — until the sampled relative residual
+    /// drops below `rtol`.  Escalations beyond the default step count are
+    /// counted in [`UlvFactors::refine_escalations`].
+    ///
+    /// # Errors
+    /// Everything [`UlvFactors::solve`] reports, plus
+    /// [`SolverError::ToleranceNotMet`] carrying the best achieved residual
+    /// when the escalation ladder is exhausted (the best iterate is discarded;
+    /// callers wanting it regardless should use [`UlvFactors::solve_refined`]).
+    pub fn solve_to_tolerance(
+        &self,
+        kernel: &dyn h2_geometry::Kernel,
+        b: &[f64],
+        rtol: f64,
+    ) -> SolverResult<Vec<f64>> {
+        const RESIDUAL_PROBES: usize = 256;
+        let base = self.default_refine_steps();
+        // 0 (or the default), then two doublings of max(base, 2).
+        let floor = base.max(2);
+        let ladder = [base, floor * 2, floor * 4];
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        let mut steps_used = 0;
+        for (rung, &steps) in ladder.iter().enumerate() {
+            let x = self.solve_refined(kernel, b, steps)?;
+            let res = self.residual_sampled(kernel, b, &x, RESIDUAL_PROBES, self.options.seed);
+            steps_used = steps;
+            if res <= rtol {
+                return Ok(x);
+            }
+            if rung > 0 {
+                self.refine_escalations.fetch_add(1, Ordering::Relaxed);
+            }
+            if best.as_ref().is_none_or(|(r, _)| res < *r) {
+                best = Some((res, x));
+            }
+        }
+        let achieved = best.map(|(r, _)| r).unwrap_or(f64::INFINITY);
+        Err(SolverError::ToleranceNotMet {
+            requested: rtol,
+            achieved,
+            refine_steps: steps_used,
+        })
     }
 
     /// The residual `b - A x` in tree ordering, with the kernel matrix assembled

@@ -34,7 +34,7 @@ use h2_matrix::flops::cost;
 use h2_matrix::{
     flop_count, lu_factor, lu_solve_mat, matmul, matmul_batch, matmul_tn, matmul_tn_batch_shared_a,
     pivoted_qr, pivoted_qr_stop_batch, select_interpolation_rows, Lu, Matrix, PivotedQr,
-    INTERP_COND_TOL,
+    SolverError, SolverResult, INTERP_COND_TOL,
 };
 use rayon::prelude::*;
 
@@ -112,6 +112,37 @@ pub struct PhaseBreakdown {
     pub transfer_wall_seconds: f64,
 }
 
+/// Counters of the breakdown-recovery ladder: how many times a compression
+/// rung failed (produced a non-finite basis) and escalated to the next rung,
+/// and how many singular redundant diagonal blocks were repaired by a
+/// diagonal shift.  All zero on a clean run; non-zero counts mean the
+/// factorization survived injected or genuine numerical faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryEvents {
+    /// SRFT f32 sketches that broke down and escalated to SRFT f64.
+    pub srft_f32_to_f64: u64,
+    /// SRFT f64 sketches that broke down and escalated to a Gaussian sketch.
+    pub srft_to_gaussian: u64,
+    /// Gaussian sketches that broke down and escalated to direct pivoted QR.
+    pub sketch_to_direct: u64,
+    /// Singular redundant diagonal blocks repaired by a diagonal shift.
+    pub pivot_shifts: u64,
+}
+
+impl RecoveryEvents {
+    /// Sum of every escalation and repair event.
+    pub fn total(&self) -> u64 {
+        self.srft_f32_to_f64 + self.srft_to_gaussian + self.sketch_to_direct + self.pivot_shifts
+    }
+
+    fn absorb(&mut self, other: RecoveryEvents) {
+        self.srft_f32_to_f64 += other.srft_f32_to_f64;
+        self.srft_to_gaussian += other.srft_to_gaussian;
+        self.sketch_to_direct += other.sketch_to_direct;
+        self.pivot_shifts += other.pivot_shifts;
+    }
+}
+
 /// Statistics of a factorization run.
 #[derive(Debug, Clone, Default)]
 pub struct FactorStats {
@@ -140,6 +171,8 @@ pub struct FactorStats {
     pub fillin_blocks: usize,
     /// Storage of the factor object in floating-point words.
     pub memory_words: usize,
+    /// Breakdown-recovery ladder escalations and pivot repairs.
+    pub recovery: RecoveryEvents,
 }
 
 /// The result of a ULV factorization: everything needed to solve, plus diagnostics.
@@ -160,6 +193,9 @@ pub struct UlvFactors {
     pub stats: FactorStats,
     /// Task graph of the factorization (for the scheduler simulator).
     pub task_graph: TaskGraph,
+    /// Number of refinement-ladder escalations taken by
+    /// [`UlvFactors::solve_to_tolerance`] beyond its first rung.
+    pub refine_escalations: AtomicU64,
 }
 
 /// The factorization driver.
@@ -172,6 +208,8 @@ pub struct UlvFactorization;
 struct PivotResult {
     k: usize,
     lu: Option<Lu>,
+    /// Whether the redundant diagonal block needed a diagonal-shift repair.
+    shifted: bool,
     row_rr: Vec<((usize, usize), Matrix)>,
     row_rs: Vec<((usize, usize), Matrix)>,
     col_rr: Vec<((usize, usize), Matrix)>,
@@ -234,8 +272,24 @@ struct BasisOut {
     cf: ClusterFactor,
     /// How many of the cluster's two basis factorizations hit the rank cap.
     cap_hits: usize,
+    /// Recovery-ladder escalations this cluster's compression went through.
+    recovery: RecoveryEvents,
     row_interp: Option<SkeletonSide>,
     col_interp: Option<SkeletonSide>,
+}
+
+/// Why one cluster's basis compression failed (mapped to a [`SolverError`]
+/// with the cluster/level coordinates at the call site).
+enum CompressError {
+    /// The input panel itself contains NaN/inf — no sketch rung can help.
+    NonFinite,
+    /// Every rung of the recovery ladder produced a non-finite basis.
+    Breakdown,
+}
+
+/// Whether every entry of `m` is finite.
+fn matrix_is_finite(m: &Matrix) -> bool {
+    (0..m.cols()).all(|j| m.col(j).iter().all(|x| x.is_finite()))
 }
 
 /// Deterministic per-task seed for the sketched compression: independent tasks
@@ -282,7 +336,44 @@ struct LevelState {
 
 impl UlvFactorization {
     /// Factorize the kernel matrix defined by `kernel` over `tree` according to `opts`.
-    pub fn factor(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) -> UlvFactors {
+    ///
+    /// Degenerate inputs (non-finite coordinates, coincident points under a
+    /// kernel that is singular at zero distance), numerical breakdowns the
+    /// recovery ladder cannot repair, and worker-task panics all surface as
+    /// typed [`SolverError`]s instead of aborting the process.
+    pub fn factor(
+        kernel: &dyn Kernel,
+        tree: &ClusterTree,
+        opts: &FactorOptions,
+    ) -> SolverResult<UlvFactors> {
+        // Input validation up front: these conditions would otherwise surface
+        // as NaN panics (or silent garbage) deep inside clustering/compression.
+        if let Some(idx) = h2_geometry::first_non_finite(&tree.points) {
+            return Err(SolverError::NonFiniteInput {
+                context: format!("point {idx} has a non-finite coordinate"),
+            });
+        }
+        if let Some((i, j)) = h2_geometry::first_coincident_pair(&tree.points) {
+            if !h2_geometry::kernel_finite_at_coincidence(kernel, &tree.points[i]) {
+                return Err(SolverError::NonFiniteInput {
+                    context: format!(
+                        "points {i} and {j} coincide and kernel '{}' is singular at zero distance",
+                        kernel.name()
+                    ),
+                });
+            }
+        }
+        // Fault injection (`H2_FAULT=nan_kernel:<rate>`): route every kernel
+        // evaluation through the poisoning wrapper.
+        let injected;
+        let kernel: &dyn Kernel = match h2_matrix::fault::plan() {
+            Some(h2_matrix::fault::FaultPlan::NanKernel { rate }) => {
+                injected = h2_geometry::NanInjectedKernel::new(kernel, rate);
+                &injected
+            }
+            _ => kernel,
+        };
+
         let partition = BlockPartition::build(tree, &opts.admissibility);
         let depth = tree.depth;
         let mut stats = FactorStats::default();
@@ -293,17 +384,25 @@ impl UlvFactorization {
             let t0 = Instant::now();
             let order = tree.perm.clone();
             let a = kernel.assemble(&tree.points, &order, &order);
+            if !matrix_is_finite(&a) {
+                return Err(SolverError::NonFiniteInput {
+                    context: "dense root block contains non-finite kernel values".to_string(),
+                });
+            }
             stats.construction_seconds = t0.elapsed().as_secs_f64();
             stats.phases.assembly_seconds = stats.construction_seconds;
             stats.phases.assembly_wall_seconds = stats.construction_seconds;
             let t1 = Instant::now();
             let f0 = flop_count();
-            let root_lu = lu_factor(&a).expect("dense root factorization failed");
+            let root_lu = lu_factor(&a).map_err(|_| SolverError::SingularPivot {
+                cluster: 0,
+                level: 0,
+            })?;
             stats.factorization_seconds = t1.elapsed().as_secs_f64();
             stats.factorization_flops = flop_count() - f0;
             stats.root_dim = a.rows();
             tg.add_root_task(a.rows());
-            return UlvFactors {
+            return Ok(UlvFactors {
                 tree: tree.clone(),
                 options: *opts,
                 levels: Vec::new(),
@@ -312,7 +411,8 @@ impl UlvFactorization {
                 root_clusters: 1,
                 stats,
                 task_graph: tg.finish(),
-            };
+                refine_escalations: AtomicU64::new(0),
+            });
         }
 
         let mut state = LevelState {
@@ -344,6 +444,15 @@ impl UlvFactorization {
                     )
                 })
                 .collect();
+            for ((i, j), m) in &blocks {
+                if !matrix_is_finite(m) {
+                    return Err(SolverError::NonFiniteInput {
+                        context: format!(
+                            "dense leaf block ({i}, {j}) contains non-finite kernel values"
+                        ),
+                    });
+                }
+            }
             state.dense = blocks.into_iter().collect();
         }
         let leaf_assembly_wall = tcon0.elapsed().as_secs_f64();
@@ -364,7 +473,7 @@ impl UlvFactorization {
         for level in (last_level..=depth).rev() {
             let (lf, next_state) = Self::process_level(
                 kernel, tree, &partition, opts, level, state, &mut stats, &mut tg, &exec,
-            );
+            )?;
             levels.push(lf);
             state = next_state;
         }
@@ -380,12 +489,14 @@ impl UlvFactorization {
                 let root = state
                     .dense
                     .remove(&(0, 0))
-                    .expect("root block missing after level merge");
+                    .unwrap_or_else(|| unreachable!("root block missing after level merge"));
                 (root, vec![0], 1)
             }
             Hierarchy::SingleLevel => {
                 // Gather every remaining skeleton block into one dense matrix (Eq. 15).
-                let leaf_lf = levels.last().expect("leaf level processed");
+                let leaf_lf = levels
+                    .last()
+                    .unwrap_or_else(|| unreachable!("leaf level processed"));
                 let nb = leaf_lf.nb;
                 let ks: Vec<usize> = leaf_lf.clusters.iter().map(|c| c.skeleton).collect();
                 let mut offsets = vec![0usize; nb + 1];
@@ -402,7 +513,15 @@ impl UlvFactorization {
         };
         stats.root_dim = root.rows();
         tg.add_root_task(root.rows());
-        let root_lu = lu_factor(&root).expect("root skeleton system is singular");
+        if !matrix_is_finite(&root) {
+            return Err(SolverError::NonFiniteInput {
+                context: "root skeleton system contains non-finite values".to_string(),
+            });
+        }
+        let root_lu = lu_factor(&root).map_err(|_| SolverError::SingularPivot {
+            cluster: 0,
+            level: 0,
+        })?;
         stats.factorization_seconds += tfac.elapsed().as_secs_f64();
         stats.factorization_flops += flop_count() - ffac;
 
@@ -415,9 +534,10 @@ impl UlvFactorization {
             root_clusters,
             stats,
             task_graph: tg.finish(),
+            refine_escalations: AtomicU64::new(0),
         };
         factors.stats.memory_words = factors.memory_words();
-        factors
+        Ok(factors)
     }
 
     /// Process one level: build bases, transform, eliminate, and produce the next
@@ -439,7 +559,7 @@ impl UlvFactorization {
         stats: &mut FactorStats,
         tg: &mut FactorTaskGraph,
         exec: &DagExecutor,
-    ) -> (LevelFactor, LevelState) {
+    ) -> SolverResult<(LevelFactor, LevelState)> {
         let nb = 1usize << level;
         let clusters = tree.clusters_at_level(level);
         tg.begin_level(level, nb);
@@ -534,7 +654,7 @@ impl UlvFactorization {
                 .admissible_carry
                 .get(&(i, j))
                 .or_else(|| state.pending_carry.get(&(i, j)))
-                .expect("carry key vanished");
+                .unwrap_or_else(|| unreachable!("carry key vanished"));
             extra_row.entry(i).or_default().push(m);
             extra_col.entry(j).or_default().push(m.transpose());
         }
@@ -570,12 +690,19 @@ impl UlvFactorization {
             row_pair_idx[i].push(x);
         }
 
-        let basis_slots: Vec<OnceLock<BasisOut>> = (0..nb).map(|_| OnceLock::new()).collect();
+        // Basis/coupling/pivot slots hold `Result`s: a task that detects a
+        // breakdown records the typed error in its slot and returns normally;
+        // dependents that find an errored (or consequently unset) input slot
+        // degrade to no-ops, and the collection pass below surfaces the first
+        // error in deterministic construction order.
+        let basis_slots: Vec<OnceLock<Result<BasisOut, SolverError>>> =
+            (0..nb).map(|_| OnceLock::new()).collect();
         let transform_slots: Vec<OnceLock<Matrix>> =
             dense_pairs.iter().map(|_| OnceLock::new()).collect();
-        let coupling_slots: Vec<OnceLock<Matrix>> =
+        let coupling_slots: Vec<OnceLock<Result<Matrix, SolverError>>> =
             admissible.iter().map(|_| OnceLock::new()).collect();
-        let pivot_slots: Vec<OnceLock<PivotResult>> = (0..nb).map(|_| OnceLock::new()).collect();
+        let pivot_slots: Vec<OnceLock<Result<PivotResult, SolverError>>> =
+            (0..nb).map(|_| OnceLock::new()).collect();
         // Per-class CPU time and exact flop counts for the stats split.
         let construction_meter = ClassMeter::new();
         let elimination_meter = ClassMeter::new();
@@ -621,7 +748,11 @@ impl UlvFactorization {
             let clusters_ref = &clusters;
             let meter = &construction_meter;
             let pa = &phase_add;
+            let bomb = h2_matrix::fault::task_panic_armed();
             eactions.push(Some(Box::new(move || {
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
+                }
                 let t0 = ClassMeter::begin();
                 let cols =
                     far_field_sample_indices(tree, partition, level, i, opts.basis_mode, opts.seed);
@@ -695,7 +826,7 @@ impl UlvFactorization {
                 }
                 let row_input = Matrix::hcat_all(&row_refs);
                 let col_input = Matrix::hcat_all(&col_refs);
-                let (cf, cap_hits) = build_cluster_basis(
+                let built = build_cluster_basis(
                     &row_input,
                     &col_input,
                     a,
@@ -706,6 +837,25 @@ impl UlvFactorization {
                     mix_seed(opts.seed, level, i, 2),
                 );
                 pa(PH_COMPRESSION, tq);
+                let (cf, cap_hits, recovery) = match built {
+                    Ok(out) => out,
+                    Err(CompressError::NonFinite) => {
+                        let _ = slot.set(Err(SolverError::NonFiniteInput {
+                            context: format!(
+                                "far-field/fill panel of cluster {i} at level {level} \
+                                 contains non-finite values"
+                            ),
+                        }));
+                        meter.record(t0);
+                        return;
+                    }
+                    Err(CompressError::Breakdown) => {
+                        let _ =
+                            slot.set(Err(SolverError::CompressionBreakdown { cluster: i, level }));
+                        meter.record(t0);
+                        return;
+                    }
+                };
                 // This cluster's skeleton interpolation data for the coupling
                 // tasks and the parent level.
                 let (row_interp, col_interp) = if opts.skeleton_construction {
@@ -750,12 +900,13 @@ impl UlvFactorization {
                 } else {
                     (None, None)
                 };
-                let _ = slot.set(BasisOut {
+                let _ = slot.set(Ok(BasisOut {
                     cf,
                     cap_hits,
+                    recovery,
                     row_interp,
                     col_interp,
-                });
+                }));
                 meter.record(t0);
             })));
         }
@@ -775,10 +926,17 @@ impl UlvFactorization {
             let clusters_ref = &clusters;
             let meter = &construction_meter;
             let pa = &phase_add;
+            let bomb = h2_matrix::fault::task_panic_armed();
             eactions.push(Some(Box::new(move || {
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
+                }
                 let t0 = ClassMeter::begin();
-                let bi = bs[i].get().expect("row basis ready (dependency)");
-                let bj = bs[j].get().expect("col basis ready (dependency)");
+                // An errored basis dependency degrades this task to a no-op;
+                // the collection pass surfaces the basis error itself.
+                let (Some(Ok(bi)), Some(Ok(bj))) = (bs[i].get(), bs[j].get()) else {
+                    return;
+                };
                 let (cfi, cfj) = (&bi.cf, &bj.cf);
                 let mut s = if cfi.skeleton == 0 || cfj.skeleton == 0 {
                     Matrix::zeros(cfi.skeleton, cfj.skeleton)
@@ -824,7 +982,16 @@ impl UlvFactorization {
                     s += &matmul(&matmul_tn(&us, carry), &vs);
                     pa(PH_COUPLING, tc);
                 }
-                let _ = slot.set(s);
+                let _ = slot.set(if matrix_is_finite(&s) {
+                    Ok(s)
+                } else {
+                    Err(SolverError::NonFiniteInput {
+                        context: format!(
+                            "skeleton coupling ({i}, {j}) at level {level} \
+                             contains non-finite values"
+                        ),
+                    })
+                });
                 meter.record(t0);
             })));
         }
@@ -858,24 +1025,28 @@ impl UlvFactorization {
             let dp = &dense_pairs;
             let dense = &state.dense;
             let meter = &elimination_meter;
+            let bomb = h2_matrix::fault::task_panic_armed();
             eactions.push(Some(Box::new(move || {
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
+                }
                 let t0 = ClassMeter::begin();
-                let qi = &bs[i].get().expect("own basis ready (dependency)").cf.q;
+                // Errored basis dependencies degrade this task to a no-op.
+                let Some(Ok(bi)) = bs[i].get() else { return };
+                let qi = &bi.cf.q;
+                let mut col_ps: Vec<&Matrix> = Vec::with_capacity(xs.len());
+                for &x in &xs {
+                    match bs[dp[x].1].get() {
+                        Some(Ok(bj)) => col_ps.push(&bj.cf.p),
+                        _ => return,
+                    }
+                }
                 let ds: Vec<&Matrix> = xs.iter().map(|&x| &dense[&dp[x]]).collect();
                 let qtd = matmul_tn_batch_shared_a(qi, &ds);
                 let second: Vec<(&Matrix, &Matrix)> = qtd
                     .iter()
-                    .zip(xs.iter())
-                    .map(|(qd, &x)| {
-                        (
-                            qd as &Matrix,
-                            &bs[dp[x].1]
-                                .get()
-                                .expect("col basis ready (dependency)")
-                                .cf
-                                .p,
-                        )
-                    })
+                    .zip(col_ps)
+                    .map(|(qd, p)| (qd as &Matrix, p))
                     .collect();
                 let done = matmul_batch(&second);
                 for (&x, m) in xs.iter().zip(done) {
@@ -913,76 +1084,135 @@ impl UlvFactorization {
             let pidx = &pair_idx;
             let neigh = &neighbours;
             let meter = &elimination_meter;
+            let bomb = h2_matrix::fault::task_panic_armed();
+            let leaf_level = level == tree.depth;
             eactions.push(Some(Box::new(move || {
-                let t0 = ClassMeter::begin();
-                let tr = |i: usize, j: usize| -> &Matrix {
-                    ts[pidx[&(i, j)]]
-                        .get()
-                        .expect("transform ready (dependency)")
-                };
-                let cf = |i: usize| &bs[i].get().expect("basis ready (dependency)").cf;
-                let rk = cf(k).redundant;
-                let mut res = PivotResult {
-                    k,
-                    lu: None,
-                    row_rr: Vec::new(),
-                    row_rs: Vec::new(),
-                    col_rr: Vec::new(),
-                    col_sr: Vec::new(),
-                    schur: Vec::new(),
-                };
-                if rk > 0 {
-                    let dkk = tr(k, k);
-                    let lu = lu_factor(&dkk.block(0, 0, rk, rk))
-                        .expect("redundant diagonal block is singular");
-                    // Row panels (rows R_k) and column panels (columns R_k).
-                    let mut row_targets = neigh[k].clone();
-                    row_targets.push(k);
-                    for &j in &row_targets {
-                        let d = tr(k, j);
-                        let rj = cf(j).redundant;
-                        let kj = cf(j).skeleton;
-                        if kj > 0 {
-                            let rs = d.block(0, rj, rk, kj);
-                            res.row_rs.push(((k, j), lu.forward_mat(&rs)));
-                        }
-                        if j != k && rj > 0 {
-                            let rr = d.block(0, 0, rk, rj);
-                            res.row_rr.push(((k, j), lu.forward_mat(&rr)));
-                        }
-                    }
-                    for &i in &row_targets {
-                        let d = tr(i, k);
-                        let ri = cf(i).redundant;
-                        let ki = cf(i).skeleton;
-                        if ki > 0 {
-                            let sr = d.block(ri, 0, ki, rk);
-                            res.col_sr.push(((i, k), lu.right_solve_upper(&sr)));
-                        }
-                        if i != k && ri > 0 {
-                            let rr = d.block(0, 0, ri, rk);
-                            res.col_rr.push(((i, k), lu.right_solve_upper(&rr)));
-                        }
-                    }
-                    // Schur updates onto skeleton-skeleton blocks only, streamed
-                    // through the batched small-GEMM path.
-                    let mut schur_idx: Vec<(usize, usize)> = Vec::new();
-                    let mut schur_pairs: Vec<(&Matrix, &Matrix)> = Vec::new();
-                    for (key_i, zi) in &res.col_sr {
-                        for (key_j, wj) in &res.row_rs {
-                            schur_idx.push((key_i.0, key_j.1));
-                            schur_pairs.push((zi, wj));
-                        }
-                    }
-                    let prods = matmul_batch(&schur_pairs);
-                    res.schur = schur_idx
-                        .into_iter()
-                        .zip(prods)
-                        .map(|((i, j), m)| (i, j, m))
-                        .collect();
-                    res.lu = Some(lu);
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
                 }
-                let _ = slot.set(res);
+                let t0 = ClassMeter::begin();
+                // `None` = an upstream dependency errored, degrade to a no-op
+                // (the collection pass reports the upstream error);
+                // `Some(Err)` = this pivot itself broke down beyond repair.
+                let body = || -> Option<Result<PivotResult, SolverError>> {
+                    let tr = |i: usize, j: usize| -> Option<&Matrix> { ts[pidx[&(i, j)]].get() };
+                    let cf = |i: usize| -> Option<&ClusterFactor> {
+                        match bs[i].get() {
+                            Some(Ok(b)) => Some(&b.cf),
+                            _ => None,
+                        }
+                    };
+                    let rk = cf(k)?.redundant;
+                    let mut res = PivotResult {
+                        k,
+                        lu: None,
+                        shifted: false,
+                        row_rr: Vec::new(),
+                        row_rs: Vec::new(),
+                        col_rr: Vec::new(),
+                        col_sr: Vec::new(),
+                        schur: Vec::new(),
+                    };
+                    if rk > 0 {
+                        let dkk = tr(k, k)?;
+                        let mut diag = dkk.block(0, 0, rk, rk);
+                        // Fault injection (`H2_FAULT=singular_pivot:<c>`): make
+                        // the targeted leaf cluster's block exactly singular.
+                        if leaf_level {
+                            if let Some(h2_matrix::fault::FaultPlan::SingularPivot { cluster }) =
+                                h2_matrix::fault::plan()
+                            {
+                                if k == cluster % nb {
+                                    diag = Matrix::from_fn(rk, rk, |_, _| 1.0);
+                                }
+                            }
+                        }
+                        let lu = match lu_factor(&diag) {
+                            Ok(lu) => lu,
+                            Err(_) => {
+                                // Repair attempt: a diagonal shift of
+                                // sqrt(eps)·max|entry| regularizes a singular
+                                // block at an O(sqrt(eps)) local perturbation —
+                                // iterative refinement at solve time mops up
+                                // the difference.  Only a finite, non-zero
+                                // block is worth shifting.
+                                let ma = h2_matrix::max_abs(&diag);
+                                let repaired = if ma.is_finite() && ma > 0.0 {
+                                    let shift = f64::EPSILON.sqrt() * ma;
+                                    let mut shifted = diag.clone();
+                                    for d in 0..rk {
+                                        shifted.set(d, d, shifted[(d, d)] + shift);
+                                    }
+                                    lu_factor(&shifted).ok()
+                                } else {
+                                    None
+                                };
+                                match repaired {
+                                    Some(lu) => {
+                                        res.shifted = true;
+                                        lu
+                                    }
+                                    None => {
+                                        return Some(Err(SolverError::SingularPivot {
+                                            cluster: k,
+                                            level,
+                                        }))
+                                    }
+                                }
+                            }
+                        };
+                        // Row panels (rows R_k) and column panels (columns R_k).
+                        let mut row_targets = neigh[k].clone();
+                        row_targets.push(k);
+                        for &j in &row_targets {
+                            let d = tr(k, j)?;
+                            let rj = cf(j)?.redundant;
+                            let kj = cf(j)?.skeleton;
+                            if kj > 0 {
+                                let rs = d.block(0, rj, rk, kj);
+                                res.row_rs.push(((k, j), lu.forward_mat(&rs)));
+                            }
+                            if j != k && rj > 0 {
+                                let rr = d.block(0, 0, rk, rj);
+                                res.row_rr.push(((k, j), lu.forward_mat(&rr)));
+                            }
+                        }
+                        for &i in &row_targets {
+                            let d = tr(i, k)?;
+                            let ri = cf(i)?.redundant;
+                            let ki = cf(i)?.skeleton;
+                            if ki > 0 {
+                                let sr = d.block(ri, 0, ki, rk);
+                                res.col_sr.push(((i, k), lu.right_solve_upper(&sr)));
+                            }
+                            if i != k && ri > 0 {
+                                let rr = d.block(0, 0, ri, rk);
+                                res.col_rr.push(((i, k), lu.right_solve_upper(&rr)));
+                            }
+                        }
+                        // Schur updates onto skeleton-skeleton blocks only, streamed
+                        // through the batched small-GEMM path.
+                        let mut schur_idx: Vec<(usize, usize)> = Vec::new();
+                        let mut schur_pairs: Vec<(&Matrix, &Matrix)> = Vec::new();
+                        for (key_i, zi) in &res.col_sr {
+                            for (key_j, wj) in &res.row_rs {
+                                schur_idx.push((key_i.0, key_j.1));
+                                schur_pairs.push((zi, wj));
+                            }
+                        }
+                        let prods = matmul_batch(&schur_pairs);
+                        res.schur = schur_idx
+                            .into_iter()
+                            .zip(prods)
+                            .map(|((i, j), m)| (i, j, m))
+                            .collect();
+                        res.lu = Some(lu);
+                    }
+                    Some(Ok(res))
+                };
+                if let Some(r) = body() {
+                    let _ = slot.set(r);
+                }
                 meter.record(t0);
             })));
         }
@@ -990,7 +1220,10 @@ impl UlvFactorization {
         // Run the level's whole graph: bases, couplings, transforms and
         // eliminations overlap wherever the dependencies allow.
         let tdag = Instant::now();
-        exec.execute_scoped(&egraph, eactions);
+        exec.execute_scoped(&egraph, eactions)
+            .map_err(|p| SolverError::TaskPanicked {
+                what: p.to_string(),
+            })?;
         let dag_wall = tdag.elapsed().as_secs_f64();
         // Construction (basis/coupling) and elimination tasks interleave on the
         // same wall-clock span; split the span proportionally to the CPU time each
@@ -1042,41 +1275,62 @@ impl UlvFactorization {
         }
 
         // Collect task outputs in construction order (never completion order).
+        // Errors recorded in the slots surface here, in deterministic cluster /
+        // pair order, so the reported breakdown does not depend on scheduling.
+        // Tasks whose dependencies errored leave their slot unset and are only
+        // reached after the upstream error has already returned, hence the
+        // `unreachable!`s below.
         let mut next_row_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
         let mut next_col_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
         let mut level_cap_hits = 0usize;
-        let cluster_factors: Vec<ClusterFactor> = basis_slots
-            .into_iter()
-            .map(|s| {
-                let out = s.into_inner().expect("basis task did not run");
-                next_row_interp.push(out.row_interp);
-                next_col_interp.push(out.col_interp);
-                level_cap_hits += out.cap_hits;
-                out.cf
-            })
-            .collect();
-        let transformed: HashMap<(usize, usize), Matrix> = dense_pairs
-            .iter()
-            .copied()
-            .zip(
-                transform_slots
-                    .into_iter()
-                    .map(|s| s.into_inner().expect("transform task did not run")),
-            )
-            .collect();
-        let couplings: HashMap<(usize, usize), Matrix> = admissible
-            .iter()
-            .copied()
-            .zip(
-                coupling_slots
-                    .into_iter()
-                    .map(|s| s.into_inner().expect("coupling task did not run")),
-            )
-            .collect();
-        let pivot_results: Vec<PivotResult> = pivot_slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("elimination task did not run"))
-            .collect();
+        let mut cluster_factors: Vec<ClusterFactor> = Vec::with_capacity(nb);
+        for s in basis_slots {
+            match s.into_inner() {
+                Some(Ok(out)) => {
+                    next_row_interp.push(out.row_interp);
+                    next_col_interp.push(out.col_interp);
+                    level_cap_hits += out.cap_hits;
+                    stats.recovery.absorb(out.recovery);
+                    cluster_factors.push(out.cf);
+                }
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("basis task did not run"),
+            }
+        }
+        let mut transformed: HashMap<(usize, usize), Matrix> =
+            HashMap::with_capacity(dense_pairs.len());
+        for (&pair, s) in dense_pairs.iter().zip(transform_slots) {
+            match s.into_inner() {
+                Some(m) => {
+                    transformed.insert(pair, m);
+                }
+                None => unreachable!("transform task did not run"),
+            }
+        }
+        let mut couplings: HashMap<(usize, usize), Matrix> =
+            HashMap::with_capacity(admissible.len());
+        for (&pair, s) in admissible.iter().zip(coupling_slots) {
+            match s.into_inner() {
+                Some(Ok(m)) => {
+                    couplings.insert(pair, m);
+                }
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("coupling task did not run"),
+            }
+        }
+        let mut pivot_results: Vec<PivotResult> = Vec::with_capacity(nb);
+        for s in pivot_slots {
+            match s.into_inner() {
+                Some(Ok(r)) => {
+                    if r.shifted {
+                        stats.recovery.pivot_shifts += 1;
+                    }
+                    pivot_results.push(r);
+                }
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("elimination task did not run"),
+            }
+        }
 
         // Record the analytic task graph (for the scheduler simulator) and ranks.
         for (i, cf) in cluster_factors.iter().enumerate() {
@@ -1121,7 +1375,6 @@ impl UlvFactorization {
             })
             .collect();
 
-        let mut cluster_factors = cluster_factors;
         let mut row_rr = HashMap::new();
         let mut row_rs = HashMap::new();
         let mut col_rr = HashMap::new();
@@ -1256,13 +1509,19 @@ impl UlvFactorization {
             col_rr,
             col_sr,
         };
-        (lf, next_state)
+        Ok((lf, next_state))
     }
 }
 
 /// Build the `[redundant | skeleton]`-ordered square bases of one cluster from the
 /// row-space and column-space sample matrices.
-#[allow(clippy::too_many_arguments)]
+///
+/// Breakdown handling: a non-finite *input* panel is unrecoverable (the kernel
+/// itself produced NaN/inf) and reported as [`CompressError::NonFinite`]; a
+/// non-finite *orthogonal factor* means the randomized sketch broke down, and
+/// that side re-runs through the escalation ladder ([`ladder_rungs`]) until a
+/// rung yields a finite factor.  The first rung reproduces the configured mode
+/// bit-for-bit, so clean runs are unchanged.
 #[allow(clippy::too_many_arguments)]
 fn build_cluster_basis(
     row_input: &Matrix,
@@ -1273,7 +1532,11 @@ fn build_cluster_basis(
     compression: CompressionMode,
     seed_row: u64,
     seed_col: u64,
-) -> (ClusterFactor, usize) {
+) -> Result<(ClusterFactor, usize, RecoveryEvents), CompressError> {
+    if !matrix_is_finite(row_input) || !matrix_is_finite(col_input) {
+        return Err(CompressError::NonFinite);
+    }
+    let mut recovery = RecoveryEvents::default();
     let ((q_full, rank_r, hit_r), (p_full, rank_c, hit_c)) = match compression {
         // SRFT fast path: mix both inputs down to narrow sketches first, then
         // run the two small pivoted QRs through one batched call so they share
@@ -1294,18 +1557,69 @@ fn build_cluster_basis(
             // Stop each factorization at the detection threshold (one extra
             // reflector keeps a cap overflow observable) — the sub-tolerance
             // reflectors are most of the panel-QR cost.
-            let tol = srft_detect_tol(tol, precision);
-            let mut fs = pivoted_qr_stop_batch(&[panel_r, panel_c], tol, cap.saturating_add(1));
-            let fc = fs.pop().expect("batched pivoted QR dropped a panel");
-            let fr = fs.pop().expect("batched pivoted QR dropped a panel");
-            (
-                finish_factor(fr, active, tol, cap),
-                finish_factor(fc, active, tol, cap),
-            )
+            let dtol = srft_detect_tol(tol, precision);
+            let mut fs = pivoted_qr_stop_batch(&[panel_r, panel_c], dtol, cap.saturating_add(1));
+            let fc = fs
+                .pop()
+                .unwrap_or_else(|| unreachable!("batched pivoted QR dropped a panel"));
+            let fr = fs
+                .pop()
+                .unwrap_or_else(|| unreachable!("batched pivoted QR dropped a panel"));
+            let row = finish_factor(fr, active, dtol, cap);
+            let col = finish_factor(fc, active, dtol, cap);
+            // Per-side breakdown check: a corrupted sketch re-runs only its
+            // own side, starting at the rung above the one that just failed.
+            let row = if matrix_is_finite(&row.0) {
+                row
+            } else {
+                ladder_factor(
+                    row_input,
+                    active,
+                    tol,
+                    max_rank,
+                    compression,
+                    seed_row,
+                    1,
+                    &mut recovery,
+                )?
+            };
+            let col = if matrix_is_finite(&col.0) {
+                col
+            } else {
+                ladder_factor(
+                    col_input,
+                    active,
+                    tol,
+                    max_rank,
+                    compression,
+                    seed_col,
+                    1,
+                    &mut recovery,
+                )?
+            };
+            (row, col)
         }
         _ => (
-            orthogonal_factor(row_input, active, tol, max_rank, compression, seed_row),
-            orthogonal_factor(col_input, active, tol, max_rank, compression, seed_col),
+            ladder_factor(
+                row_input,
+                active,
+                tol,
+                max_rank,
+                compression,
+                seed_row,
+                0,
+                &mut recovery,
+            )?,
+            ladder_factor(
+                col_input,
+                active,
+                tol,
+                max_rank,
+                compression,
+                seed_col,
+                0,
+                &mut recovery,
+            )?,
         ),
     };
     // Row and column skeleton dimensions must agree so diagonal blocks stay square;
@@ -1313,7 +1627,7 @@ fn build_cluster_basis(
     let k = rank_r.max(rank_c);
     let q = reorder_basis(&q_full, k, active);
     let p = reorder_basis(&p_full, k, active);
-    (
+    Ok((
         ClusterFactor {
             q,
             p,
@@ -1323,7 +1637,94 @@ fn build_cluster_basis(
             lu: None,
         },
         usize::from(hit_r) + usize::from(hit_c),
-    )
+        recovery,
+    ))
+}
+
+/// The compression escalation ladder for a configured mode, cheapest rung
+/// first.  Every ladder ends in direct pivoted QR, which cannot break down on
+/// a finite panel.
+fn ladder_rungs(compression: CompressionMode, tol: f64) -> Vec<CompressionMode> {
+    match compression {
+        CompressionMode::Srft {
+            oversample,
+            precision,
+        } => {
+            let mut rungs = Vec::with_capacity(4);
+            if precision.effective_for_tol(tol) == h2_lowrank::SketchPrecision::F32 {
+                rungs.push(CompressionMode::Srft {
+                    oversample,
+                    precision: h2_lowrank::SketchPrecision::F32,
+                });
+            }
+            rungs.push(CompressionMode::Srft {
+                oversample,
+                precision: h2_lowrank::SketchPrecision::F64,
+            });
+            rungs.push(CompressionMode::Sketched { oversample });
+            rungs.push(CompressionMode::Direct);
+            rungs
+        }
+        CompressionMode::Sketched { oversample } => vec![
+            CompressionMode::Sketched { oversample },
+            CompressionMode::Direct,
+        ],
+        CompressionMode::Direct => vec![CompressionMode::Direct],
+    }
+}
+
+/// Count one ladder escalation *out of* the given rung.
+fn record_escalation(mode: CompressionMode, tol: f64, recovery: &mut RecoveryEvents) {
+    match mode {
+        CompressionMode::Srft { precision, .. } => match precision.effective_for_tol(tol) {
+            h2_lowrank::SketchPrecision::F32 => recovery.srft_f32_to_f64 += 1,
+            h2_lowrank::SketchPrecision::F64 => recovery.srft_to_gaussian += 1,
+        },
+        CompressionMode::Sketched { .. } => recovery.sketch_to_direct += 1,
+        // Direct QR is the last rung; there is nothing to escalate to.
+        CompressionMode::Direct => {}
+    }
+}
+
+/// Run one side's compression through the escalation ladder, skipping the
+/// first `skip` rungs (used when the caller already ran them via a fused fast
+/// path).  Each failed rung is counted in `recovery`; rung 0 with `skip == 0`
+/// is exactly the configured mode, so clean runs take one iteration and are
+/// bitwise identical to an unguarded call.
+#[allow(clippy::too_many_arguments)]
+fn ladder_factor(
+    input: &Matrix,
+    active: usize,
+    tol: f64,
+    max_rank: Option<usize>,
+    compression: CompressionMode,
+    seed: u64,
+    skip: usize,
+    recovery: &mut RecoveryEvents,
+) -> Result<(Matrix, usize, bool), CompressError> {
+    let rungs = ladder_rungs(compression, tol);
+    for &skipped in rungs.iter().take(skip) {
+        record_escalation(skipped, tol, recovery);
+    }
+    for (r, &mode) in rungs.iter().enumerate().skip(skip) {
+        // Later rungs perturb the seed so a stage-independent sketch fault does
+        // not deterministically re-corrupt the retry.
+        let out = orthogonal_factor(
+            input,
+            active,
+            tol,
+            max_rank,
+            mode,
+            seed.wrapping_add(r as u64),
+        );
+        if matrix_is_finite(&out.0) {
+            return Ok(out);
+        }
+        record_escalation(mode, tol, recovery);
+    }
+    // Every rung — including direct QR on a finite panel — produced a
+    // non-finite factor: genuine numerical breakdown.
+    Err(CompressError::Breakdown)
 }
 
 /// Finish one side's compression: detect the tolerance rank, flag whether the

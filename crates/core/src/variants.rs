@@ -4,10 +4,15 @@ use h2_geometry::{Admissibility, ClusterTree, Kernel};
 
 use crate::options::{FactorOptions, Hierarchy, Variant};
 use crate::ulv::{UlvFactorization, UlvFactors};
+use h2_matrix::SolverResult;
 
 /// BLR²-ULV factorization (§II-B): single level of shared-basis blocks, leaf
 /// elimination, then one dense factorization of the gathered skeleton system (Eq. 15).
-pub fn blr2_ulv(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) -> UlvFactors {
+pub fn blr2_ulv(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    opts: &FactorOptions,
+) -> SolverResult<UlvFactors> {
     let opts = FactorOptions {
         hierarchy: Hierarchy::SingleLevel,
         ..*opts
@@ -17,7 +22,11 @@ pub fn blr2_ulv(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) -
 
 /// HSS-ULV factorization (§II-C): weak admissibility, multi-level, no fill-ins (there
 /// are no dense off-diagonal blocks to create them).
-pub fn hss_ulv(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) -> UlvFactors {
+pub fn hss_ulv(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    opts: &FactorOptions,
+) -> SolverResult<UlvFactors> {
     let opts = FactorOptions {
         admissibility: Admissibility::weak(),
         hierarchy: Hierarchy::MultiLevel,
@@ -30,7 +39,11 @@ pub fn hss_ulv(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) ->
 /// H²-ULV factorization **without trailing sub-matrix dependencies** (§III — the
 /// paper's contribution): strong admissibility, fill-ins pre-computed and folded into
 /// the shared bases, level-parallel elimination.
-pub fn h2_ulv_nodep(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) -> UlvFactors {
+pub fn h2_ulv_nodep(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    opts: &FactorOptions,
+) -> SolverResult<UlvFactors> {
     let opts = FactorOptions {
         hierarchy: Hierarchy::MultiLevel,
         variant: Variant::NoDependencies,
@@ -45,7 +58,11 @@ pub fn h2_ulv_nodep(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOption
 /// dependency-free method; what changes is the recorded task graph, in which every
 /// block row/column elimination depends on the previous one, reproducing the
 /// serialization of the conventional algorithm for the scheduling studies.
-pub fn h2_ulv_dep(kernel: &dyn Kernel, tree: &ClusterTree, opts: &FactorOptions) -> UlvFactors {
+pub fn h2_ulv_dep(
+    kernel: &dyn Kernel,
+    tree: &ClusterTree,
+    opts: &FactorOptions,
+) -> SolverResult<UlvFactors> {
     let opts = FactorOptions {
         hierarchy: Hierarchy::MultiLevel,
         variant: Variant::WithDependencies,
@@ -89,12 +106,12 @@ mod tests {
             ..FactorOptions::default()
         };
         for (name, factors) in [
-            ("blr2", blr2_ulv(&kernel, &tree, &opts)),
-            ("hss", hss_ulv(&kernel, &tree, &opts)),
-            ("h2-nodep", h2_ulv_nodep(&kernel, &tree, &opts)),
-            ("h2-dep", h2_ulv_dep(&kernel, &tree, &opts)),
+            ("blr2", blr2_ulv(&kernel, &tree, &opts).unwrap()),
+            ("hss", hss_ulv(&kernel, &tree, &opts).unwrap()),
+            ("h2-nodep", h2_ulv_nodep(&kernel, &tree, &opts).unwrap()),
+            ("h2-dep", h2_ulv_dep(&kernel, &tree, &opts).unwrap()),
         ] {
-            let x = factors.solve(&b);
+            let x = factors.solve(&b).unwrap();
             let err = rel_l2_error(&x, &xref);
             assert!(err < 1e-4, "{name}: relative error vs dense LU = {err}");
         }
@@ -107,8 +124,8 @@ mod tests {
             tol: 1e-6,
             ..FactorOptions::default()
         };
-        let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
-        let dep = h2_ulv_dep(&kernel, &tree, &opts);
+        let nodep = h2_ulv_nodep(&kernel, &tree, &opts).unwrap();
+        let dep = h2_ulv_dep(&kernel, &tree, &opts).unwrap();
         let cp_nodep = nodep.task_graph.critical_path();
         let cp_dep = dep.task_graph.critical_path();
         assert!(

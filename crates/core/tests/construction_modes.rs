@@ -64,7 +64,9 @@ fn factors_identical(a: &UlvFactors, b: &UlvFactors) -> bool {
 /// slack-free rank detection against refinement at solve time).
 fn residual(f: &UlvFactors, kernel: &LaplaceKernel, n: usize) -> f64 {
     let b: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 9.0).collect();
-    let x = f.solve_refined(kernel, &b, f.default_refine_steps());
+    let x = f
+        .solve_refined(kernel, &b, f.default_refine_steps())
+        .unwrap();
     f.residual_with(kernel, &b, &x)
 }
 
@@ -72,9 +74,9 @@ fn residual(f: &UlvFactors, kernel: &LaplaceKernel, n: usize) -> f64 {
 fn sketched_construction_is_accurate_and_deterministic_across_threads() {
     let n = 700;
     let (tree, kernel) = setup(n);
-    let fast1 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
-    let fast2 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 2));
-    let fast4 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 4));
+    let fast1 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1)).unwrap();
+    let fast2 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 2)).unwrap();
+    let fast4 = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 4)).unwrap();
     assert!(
         factors_identical(&fast1, &fast2),
         "sketched factors differ between 1 and 2 threads"
@@ -84,12 +86,12 @@ fn sketched_construction_is_accurate_and_deterministic_across_threads() {
         "sketched factors differ between 1 and 4 threads"
     );
     // Same seed, fresh run: bitwise reproducible.
-    let again = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    let again = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1)).unwrap();
     assert!(factors_identical(&fast1, &again), "same-seed rerun differs");
 
     // Accuracy: the fast path must stay within a small factor of the exact
     // reference construction (direct QR, exact coupling assembly).
-    let exact = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1));
+    let exact = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1)).unwrap();
     let r_fast = residual(&fast1, &kernel, n);
     let r_exact = residual(&exact, &kernel, n);
     assert!(r_exact < 1e-3, "exact-path residual {r_exact}");
@@ -107,9 +109,9 @@ fn gaussian_sketched_construction_stays_deterministic_and_accurate() {
     let n = 700;
     let (tree, kernel) = setup(n);
     let mode = CompressionMode::Sketched { oversample: 64 };
-    let g1 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 1));
-    let g2 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 2));
-    let g4 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 4));
+    let g1 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 1)).unwrap();
+    let g2 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 2)).unwrap();
+    let g4 = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 4)).unwrap();
     assert!(factors_identical(&g1, &g2), "gaussian 1t vs 2t differ");
     assert!(factors_identical(&g1, &g4), "gaussian 1t vs 4t differ");
     assert!(residual(&g1, &kernel, n) < 1e-3);
@@ -123,8 +125,8 @@ fn srft_f64_reference_matches_thread_counts() {
         oversample: 64,
         precision: h2_factor::SketchPrecision::F64,
     };
-    let a = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 1));
-    let b = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 4));
+    let a = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 1)).unwrap();
+    let b = h2_ulv_nodep(&kernel, &tree, &opts(mode, true, 4)).unwrap();
     assert!(factors_identical(&a, &b), "srft/f64 1t vs 4t differ");
     assert!(residual(&a, &kernel, n) < 1e-3);
 }
@@ -134,35 +136,40 @@ fn refinement_steps_follow_the_compression_precision() {
     let n = 600;
     let (tree, kernel) = setup(n);
     // Mixed-precision SRFT asks for refinement...
-    let fast = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    let fast = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1)).unwrap();
     assert_eq!(fast.default_refine_steps(), 2);
     // ...the f64 paths do not.
-    let exact = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1));
+    let exact = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1)).unwrap();
     assert_eq!(exact.default_refine_steps(), 0);
     let gauss = h2_ulv_nodep(
         &kernel,
         &tree,
         &opts(CompressionMode::Sketched { oversample: 64 }, true, 1),
-    );
+    )
+    .unwrap();
     assert_eq!(gauss.default_refine_steps(), 0);
     // Below the f32 mixing noise floor SRFT silently demotes to f64 mixing, so
     // refinement switches itself off as well.
     let mut tight = opts(CompressionMode::default(), true, 1);
     tight.tol = 1e-8;
-    let tight = h2_ulv_nodep(&kernel, &tree, &tight);
+    let tight = h2_ulv_nodep(&kernel, &tree, &tight).unwrap();
     assert_eq!(tight.default_refine_steps(), 0);
 
     // Refinement never degrades the plain solve, and is deterministic.
     let b: Vec<f64> = (0..n).map(|i| ((i % 19) as f64 - 9.0) / 9.0).collect();
-    let x0 = fast.solve(&b);
-    let xr = fast.solve_refined(&kernel, &b, fast.default_refine_steps());
+    let x0 = fast.solve(&b).unwrap();
+    let xr = fast
+        .solve_refined(&kernel, &b, fast.default_refine_steps())
+        .unwrap();
     let r0 = fast.residual_with(&kernel, &b, &x0);
     let rr = fast.residual_with(&kernel, &b, &xr);
     assert!(
         rr <= r0 * (1.0 + 1e-12),
         "refined residual {rr} worse than plain {r0}"
     );
-    let xr2 = fast.solve_refined(&kernel, &b, fast.default_refine_steps());
+    let xr2 = fast
+        .solve_refined(&kernel, &b, fast.default_refine_steps())
+        .unwrap();
     assert_eq!(xr, xr2, "refined solve is not deterministic");
 }
 
@@ -174,14 +181,14 @@ fn rank_cap_hits_are_counted_per_level() {
     let mut starved = opts(CompressionMode::default(), true, 1);
     starved.max_rank = Some(8);
     starved.max_rank_growth = 1.0;
-    let f = h2_ulv_nodep(&kernel, &tree, &starved);
+    let f = h2_ulv_nodep(&kernel, &tree, &starved).unwrap();
     assert_eq!(f.stats.level_cap_hits.len(), f.stats.level_ranks.len());
     assert!(
         f.stats.level_cap_hits.iter().sum::<usize>() > 0,
         "starved cap registered no hits"
     );
     // ...while a generous cap registers none.
-    let roomy = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    let roomy = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1)).unwrap();
     assert!(
         roomy.stats.level_cap_hits.iter().all(|&h| h == 0),
         "generous cap still hit: {:?}",
@@ -193,8 +200,8 @@ fn rank_cap_hits_are_counted_per_level() {
 fn exact_reference_path_is_also_thread_deterministic() {
     let n = 600;
     let (tree, kernel) = setup(n);
-    let a = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1));
-    let b = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 4));
+    let a = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 1)).unwrap();
+    let b = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::Direct, false, 4)).unwrap();
     assert!(factors_identical(&a, &b));
 }
 
@@ -208,8 +215,8 @@ fn different_seeds_change_sketched_factors() {
     let mut o2 = o1;
     o1.seed = 1;
     o2.seed = 2;
-    let f1 = h2_ulv_nodep(&kernel, &tree, &o1);
-    let f2 = h2_ulv_nodep(&kernel, &tree, &o2);
+    let f1 = h2_ulv_nodep(&kernel, &tree, &o1).unwrap();
+    let f2 = h2_ulv_nodep(&kernel, &tree, &o2).unwrap();
     assert!(
         !factors_identical(&f1, &f2),
         "factors independent of the sketch seed — sketch path not exercised"
@@ -223,9 +230,9 @@ fn different_seeds_change_sketched_factors() {
 fn sampled_residual_estimator_tracks_exact_residual() {
     let n = 900;
     let (tree, kernel) = setup(n);
-    let f = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1));
+    let f = h2_ulv_nodep(&kernel, &tree, &opts(CompressionMode::default(), true, 1)).unwrap();
     let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
-    let x = f.solve(&b);
+    let x = f.solve(&b).unwrap();
     let exact = f.residual_with(&kernel, &b, &x);
     // All rows sampled => identical to the exact residual.
     let full = f.residual_sampled(&kernel, &b, &x, n, 3);

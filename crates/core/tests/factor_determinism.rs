@@ -20,9 +20,9 @@ fn factor_with_threads(threads: usize, tol: f64) -> (UlvFactors, Vec<f64>) {
         num_threads: threads,
         ..FactorOptions::default()
     };
-    let factors = h2_ulv_nodep(&kernel, &tree, &opts);
+    let factors = h2_ulv_nodep(&kernel, &tree, &opts).unwrap();
     let b: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) / 11.0).collect();
-    let x = factors.solve(&b);
+    let x = factors.solve(&b).unwrap();
     (factors, x)
 }
 
@@ -122,8 +122,8 @@ fn residual_is_bitwise_identical_across_thread_counts() {
             num_threads: threads,
             ..FactorOptions::default()
         };
-        let f = h2_ulv_nodep(&kernel, &tree, &opts);
-        let x = f.solve(&b);
+        let f = h2_ulv_nodep(&kernel, &tree, &opts).unwrap();
+        let x = f.solve(&b).unwrap();
         residuals.push(f.residual_with(&kernel, &b, &x));
     }
     assert!(residuals[0] < 1e-4, "residual sanity: {}", residuals[0]);

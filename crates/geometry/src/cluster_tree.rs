@@ -117,8 +117,7 @@ impl ClusterTree {
                     sorted.sort_by(|&a, &b| {
                         points[a]
                             .coord(axis)
-                            .partial_cmp(&points[b].coord(axis))
-                            .unwrap()
+                            .total_cmp(&points[b].coord(axis))
                             .then(a.cmp(&b))
                     });
                     let half = sorted.len().div_ceil(2);
@@ -142,7 +141,7 @@ impl ClusterTree {
             depth,
             clusters: clusters
                 .into_iter()
-                .map(|c| c.expect("all nodes visited"))
+                .map(|c| c.unwrap_or_else(|| unreachable!("all nodes visited")))
                 .collect(),
         }
     }

@@ -1,0 +1,88 @@
+//! Degenerate-input detection for the solver's build entry points.
+//!
+//! Coincident (exactly duplicated) points produce zero distances: for a
+//! singular kernel without regularization the assembled block then carries
+//! `inf`/NaN entries, and even a regularized kernel yields an exactly rank-
+//! deficient pair of rows.  Non-finite coordinates poison every distance they
+//! touch.  Both conditions are cheap to check once, up front, which lets the
+//! build return a typed [`h2_matrix::SolverError::NonFiniteInput`] instead of
+//! surfacing the problem as a NaN panic deep inside clustering or compression.
+
+use crate::kernel::Kernel;
+use crate::point::Point3;
+use std::collections::HashMap;
+
+/// Index of the first point with a non-finite coordinate, if any.
+pub fn first_non_finite(points: &[Point3]) -> Option<usize> {
+    points
+        .iter()
+        .position(|p| !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite()))
+}
+
+/// The first pair of exactly coincident points `(i, j)` with `i < j`, if any.
+///
+/// Exact bitwise coincidence is the degenerate case: it produces a zero
+/// distance no matter the kernel.  Merely *close* points are a conditioning
+/// question, not a degeneracy, and are left to the factorization's own
+/// breakdown detection.  `O(n)` via hashing the coordinate bit patterns
+/// (`-0.0` is normalized to `0.0` so the two zero encodings collide).
+pub fn first_coincident_pair(points: &[Point3]) -> Option<(usize, usize)> {
+    let key = |v: f64| -> u64 { (if v == 0.0 { 0.0f64 } else { v }).to_bits() };
+    let mut seen: HashMap<(u64, u64, u64), usize> = HashMap::with_capacity(points.len());
+    for (j, p) in points.iter().enumerate() {
+        match seen.entry((key(p.x), key(p.y), key(p.z))) {
+            std::collections::hash_map::Entry::Occupied(e) => return Some((*e.get(), j)),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(j);
+            }
+        }
+    }
+    None
+}
+
+/// Whether `kernel` stays finite on a coincident pair: evaluates the kernel at
+/// zero distance plus its diagonal value.  Regularized kernels (singularity
+/// shift, covariance nuggets) pass; an unregularized `1/r` does not.
+pub fn kernel_finite_at_coincidence(kernel: &dyn Kernel, at: &Point3) -> bool {
+    kernel.eval(at, at).is_finite() && kernel.diagonal().is_finite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::LaplaceKernel;
+
+    #[test]
+    fn finds_non_finite_and_coincident_points() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.5, 0.5, 0.5),
+        ];
+        assert_eq!(first_non_finite(&pts), None);
+        assert_eq!(first_coincident_pair(&pts), None);
+
+        let mut bad = pts.clone();
+        bad.push(Point3::new(f64::NAN, 0.0, 0.0));
+        assert_eq!(first_non_finite(&bad), Some(3));
+
+        let mut dup = pts.clone();
+        dup.push(Point3::new(1.0, 0.0, 0.0));
+        assert_eq!(first_coincident_pair(&dup), Some((1, 3)));
+
+        // -0.0 and 0.0 encode the same location.
+        let zeros = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(-0.0, 0.0, -0.0)];
+        assert_eq!(first_coincident_pair(&zeros), Some((0, 1)));
+    }
+
+    #[test]
+    fn regularized_kernel_survives_coincidence() {
+        let k = LaplaceKernel::default();
+        let p = Point3::new(0.3, 0.3, 0.3);
+        assert!(kernel_finite_at_coincidence(&k, &p));
+        let raw = LaplaceKernel {
+            singularity_shift: 0.0,
+        };
+        assert!(!kernel_finite_at_coincidence(&raw, &p));
+    }
+}

@@ -389,12 +389,81 @@ impl Kernel for MaternKernel {
     }
 }
 
+/// Fault-injection wrapper (`H2_FAULT=nan_kernel:<rate>`): delegates to the
+/// inner kernel and poisons off-diagonal outputs with NaN at the plan's rate.
+/// Diagonal values and the kernel name pass through untouched, so the wrapper
+/// only perturbs what real kernel bugs (overflow, 0/0 at short range) would.
+pub struct NanInjectedKernel<'a> {
+    inner: &'a dyn Kernel,
+    rate: f64,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+impl<'a> NanInjectedKernel<'a> {
+    /// Wrap `inner`, poisoning outputs at `rate`.
+    pub fn new(inner: &'a dyn Kernel, rate: f64) -> Self {
+        NanInjectedKernel {
+            inner,
+            rate,
+            counter: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    fn poison(&self) -> bool {
+        let c = self
+            .counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        h2_matrix::fault::roll(self.rate, c)
+    }
+}
+
+impl Kernel for NanInjectedKernel<'_> {
+    fn eval(&self, x: &Point3, y: &Point3) -> f64 {
+        let v = self.inner.eval(x, y);
+        if self.poison() {
+            f64::NAN
+        } else {
+            v
+        }
+    }
+
+    fn diagonal(&self) -> f64 {
+        self.inner.diagonal()
+    }
+
+    fn eval_batch(&self, xs: &[f64], ys: &[f64], zs: &[f64], y: &Point3, out: &mut [f64]) {
+        self.inner.eval_batch(xs, ys, zs, y, out);
+        for o in out.iter_mut() {
+            if self.poison() {
+                *o = f64::NAN;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p(x: f64, y: f64, z: f64) -> Point3 {
         Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn nan_injected_kernel_poisons_at_rate_one() {
+        let k = LaplaceKernel::default();
+        let faulty = NanInjectedKernel::new(&k, 1.0);
+        let a = p(0.0, 0.0, 0.0);
+        let b = p(1.0, 0.0, 0.0);
+        assert!(faulty.eval(&a, &b).is_nan());
+        assert!(faulty.diagonal().is_finite());
+        let clean = NanInjectedKernel::new(&k, 0.0);
+        assert_eq!(clean.eval(&a, &b), k.eval(&a, &b));
+        assert_eq!(faulty.name(), "laplace");
     }
 
     #[test]

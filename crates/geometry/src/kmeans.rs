@@ -92,8 +92,7 @@ pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
                     .enumerate()
                     .max_by(|(i, p), (j, q)| {
                         p.dist2(&centers[assignment[*i]])
-                            .partial_cmp(&q.dist2(&centers[assignment[*j]]))
-                            .unwrap()
+                            .total_cmp(&q.dist2(&centers[assignment[*j]]))
                     })
                     .map(|(i, _)| i)
                     .unwrap_or(0);
@@ -119,7 +118,7 @@ pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
     let mut order: Vec<usize> = (0..n).collect();
     let margin = |i: usize| -> f64 {
         let mut ds: Vec<f64> = centers.iter().map(|c| points[i].dist2(c)).collect();
-        ds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ds.sort_by(|a, b| a.total_cmp(b));
         if ds.len() > 1 {
             ds[1] - ds[0]
         } else {
@@ -127,7 +126,7 @@ pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
         }
     };
     let margins: Vec<f64> = (0..n).map(margin).collect();
-    order.sort_by(|&a, &b| margins[b].partial_cmp(&margins[a]).unwrap());
+    order.sort_by(|&a, &b| margins[b].total_cmp(&margins[a]));
     let mut counts = vec![0usize; k];
     let mut balanced = vec![usize::MAX; n];
     for &i in &order {
@@ -136,8 +135,7 @@ pub fn balanced_kmeans(points: &[Point3], k: usize, seed: u64) -> KMeansResult {
         prefs.sort_by(|&a, &b| {
             points[i]
                 .dist2(&centers[a])
-                .partial_cmp(&points[i].dist2(&centers[b]))
-                .unwrap()
+                .total_cmp(&points[i].dist2(&centers[b]))
         });
         let mut placed = false;
         for &c in &prefs {
@@ -196,7 +194,7 @@ pub fn two_means_split(
             (d0 - d1, global)
         })
         .collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     let half = n.div_ceil(2);
     let left = scored[..half].iter().map(|&(_, g)| g).collect();
     let right = scored[half..].iter().map(|&(_, g)| g).collect();

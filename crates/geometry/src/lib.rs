@@ -19,9 +19,12 @@
 //! * binary cluster trees and the strong/weak admissibility conditions that
 //!   distinguish H²/BLR² from HSS/HODLR ([`cluster_tree`], [`admissibility`]).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod admissibility;
 pub mod cluster_tree;
 pub mod cube;
+pub mod degenerate;
 pub mod kernel;
 pub mod kmeans;
 pub mod molecule;
@@ -32,8 +35,10 @@ pub mod sphere;
 pub use admissibility::{Admissibility, AdmissibilityKind};
 pub use cluster_tree::{Cluster, ClusterTree, PartitionStrategy};
 pub use cube::{uniform_cube, uniform_grid};
+pub use degenerate::{first_coincident_pair, first_non_finite, kernel_finite_at_coincidence};
 pub use kernel::{
-    GaussianKernel, HelmholtzKernel, Kernel, LaplaceKernel, MaternKernel, YukawaKernel,
+    GaussianKernel, HelmholtzKernel, Kernel, LaplaceKernel, MaternKernel, NanInjectedKernel,
+    YukawaKernel,
 };
 pub use kmeans::{balanced_kmeans, KMeansResult};
 pub use molecule::{crowded_scene, molecule_surface, MoleculeConfig};

@@ -59,7 +59,9 @@ fn atom_centers(cfg: &MoleculeConfig) -> Vec<Point3> {
             nd = nd.scale(1.0 / n);
         }
         // Gentle pull back towards the centroid keeps the molecule compact ("folded").
-        let last = *centers.last().expect("chain is never empty");
+        let last = *centers
+            .last()
+            .unwrap_or_else(|| unreachable!("chain is never empty"));
         let centroid = {
             let mut c = Point3::origin();
             for p in &centers {

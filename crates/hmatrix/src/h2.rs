@@ -28,7 +28,8 @@ use crate::partition::BlockPartition;
 use h2_geometry::{Admissibility, ClusterTree, Kernel};
 use h2_lowrank::CompressionMode;
 use h2_matrix::{
-    lu_factor, lu_solve_mat, matmul, matmul_tn, select_interpolation_rows, Lu, Matrix,
+    lu_factor, lu_solve_mat, matmul, matmul_tn, select_interpolation_rows, Lu, Matrix, SolverError,
+    SolverResult,
 };
 use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind};
 use parking_lot::Mutex;
@@ -135,7 +136,7 @@ impl H2Matrix {
         tree: &ClusterTree,
         adm: &Admissibility,
         opts: &H2Options,
-    ) -> Self {
+    ) -> SolverResult<Self> {
         Self::build_arc(kernel, Arc::new(tree.clone()), adm, opts)
     }
 
@@ -146,7 +147,12 @@ impl H2Matrix {
         tree: Arc<ClusterTree>,
         adm: &Admissibility,
         opts: &H2Options,
-    ) -> Self {
+    ) -> SolverResult<Self> {
+        if let Some(i) = h2_geometry::first_non_finite(&tree.points) {
+            return Err(SolverError::NonFiniteInput {
+                context: format!("input point {i} has a non-finite coordinate"),
+            });
+        }
         let partition = BlockPartition::build(&tree, adm);
         let depth = tree.depth;
         let num_leaves = tree.num_leaves();
@@ -237,12 +243,12 @@ impl H2Matrix {
                     let c1 = c1_slot
                         .lock()
                         .as_ref()
-                        .expect("child basis alive (dependency)")
+                        .unwrap_or_else(|| unreachable!("child basis alive (dependency)"))
                         .clone();
                     let c2 = c2_slot
                         .lock()
                         .as_ref()
-                        .expect("child basis alive (dependency)")
+                        .unwrap_or_else(|| unreachable!("child basis alive (dependency)"))
                         .clone();
                     let e = build_transfer_matrix_with(
                         kernel,
@@ -328,8 +334,12 @@ impl H2Matrix {
                             } else {
                                 (&hi_guard, &lo_guard)
                             };
-                            let ui = ei_guard.as_ref().expect("row basis alive (dependency)");
-                            let uj = ej_guard.as_ref().expect("col basis alive (dependency)");
+                            let ui = ei_guard
+                                .as_ref()
+                                .unwrap_or_else(|| unreachable!("row basis alive (dependency)"));
+                            let uj = ej_guard
+                                .as_ref()
+                                .unwrap_or_else(|| unreachable!("col basis alive (dependency)"));
                             matmul(&matmul_tn(ui, &a), uj)
                         }
                     };
@@ -372,47 +382,74 @@ impl H2Matrix {
 
         // -------------------------------------------------------------- execution
         let exec = DagExecutor::new(h2_runtime::resolve_num_threads(opts.num_threads));
-        exec.execute_scoped(&graph, actions);
+        exec.execute_scoped(&graph, actions)
+            .map_err(|p| SolverError::TaskPanicked {
+                what: p.to_string(),
+            })?;
 
         // Collect in construction order (bitwise thread-count independence).
-        let leaf_bases: Vec<Matrix> = leaf_slots
-            .into_iter()
-            .map(|s| s.into_inner().expect("leaf basis task did not run"))
-            .collect();
+        // A non-finite collected block means the kernel itself produced
+        // NaN/inf on these points — a typed input error, not a panic.
+        let finite = |m: &Matrix| (0..m.cols()).all(|j| m.col(j).iter().all(|x| x.is_finite()));
+        let mut leaf_bases: Vec<Matrix> = Vec::with_capacity(num_leaves);
+        for (i, s) in leaf_slots.into_iter().enumerate() {
+            let m = s
+                .into_inner()
+                .unwrap_or_else(|| unreachable!("leaf basis task did not run"));
+            if !finite(&m) {
+                return Err(SolverError::NonFiniteInput {
+                    context: format!("far-field panel of leaf cluster {i} is non-finite"),
+                });
+            }
+            leaf_bases.push(m);
+        }
         let transfers: Vec<Vec<Matrix>> = transfer_slots
             .into_iter()
             .map(|level| {
                 level
                     .into_iter()
-                    .map(|s| s.into_inner().expect("transfer task did not run"))
+                    .map(|s| {
+                        s.into_inner()
+                            .unwrap_or_else(|| unreachable!("transfer task did not run"))
+                    })
                     .collect()
             })
             .collect();
         let mut couplings = Vec::new();
         for ((level, pairs), slots) in admissible.into_iter().zip(coupling_slots) {
             for (&(i, j), s) in pairs.iter().zip(slots) {
-                couplings.push((
-                    level,
-                    i,
-                    j,
-                    s.into_inner().expect("coupling task did not run"),
-                ));
+                let m = s
+                    .into_inner()
+                    .unwrap_or_else(|| unreachable!("coupling task did not run"));
+                if !finite(&m) {
+                    return Err(SolverError::NonFiniteInput {
+                        context: format!("coupling ({i}, {j}) at level {level} is non-finite"),
+                    });
+                }
+                couplings.push((level, i, j, m));
             }
         }
-        let dense: Vec<(usize, usize, Matrix)> = dense_pairs
-            .iter()
-            .zip(dense_slots)
-            .map(|(&(i, j), s)| (i, j, s.into_inner().expect("dense task did not run")))
-            .collect();
+        let mut dense: Vec<(usize, usize, Matrix)> = Vec::with_capacity(dense_pairs.len());
+        for (&(i, j), s) in dense_pairs.iter().zip(dense_slots) {
+            let m = s
+                .into_inner()
+                .unwrap_or_else(|| unreachable!("dense task did not run"));
+            if !finite(&m) {
+                return Err(SolverError::NonFiniteInput {
+                    context: format!("dense leaf block ({i}, {j}) is non-finite"),
+                });
+            }
+            dense.push((i, j, m));
+        }
 
-        H2Matrix {
+        Ok(H2Matrix {
             tree,
             partition,
             leaf_bases,
             transfers,
             couplings,
             dense,
-        }
+        })
     }
 
     /// Total dimension.
@@ -628,7 +665,8 @@ mod tests {
                 tol: 1e-4,
                 ..H2Options::default()
             },
-        );
+        )
+        .unwrap();
         let err = rel_fro_error(&m.to_dense(), &dense_reference(&kernel, &tree));
         assert!(err < 1e-2, "HSS reconstruction error {err}");
         // For a 3-D geometry HSS ranks are large (the paper's motivation), but the
@@ -645,8 +683,8 @@ mod tests {
             tol: 1e-8,
             ..H2Options::default()
         };
-        let weak = H2Matrix::build(&kernel, &tree, &Admissibility::weak(), &opts);
-        let strong = H2Matrix::build(&kernel, &tree, &Admissibility::strong(1.0), &opts);
+        let weak = H2Matrix::build(&kernel, &tree, &Admissibility::weak(), &opts).unwrap();
+        let strong = H2Matrix::build(&kernel, &tree, &Admissibility::strong(1.0), &opts).unwrap();
         let dense = dense_reference(&kernel, &tree);
         let ew = rel_fro_error(&weak.to_dense(), &dense);
         let es = rel_fro_error(&strong.to_dense(), &dense);
@@ -669,7 +707,8 @@ mod tests {
                 tol: 1e-8,
                 ..H2Options::default()
             },
-        );
+        )
+        .unwrap();
         let x: Vec<f64> = (0..m.dim())
             .map(|i| ((i % 17) as f64 - 8.0) / 8.0)
             .collect();
@@ -692,7 +731,8 @@ mod tests {
                     tol,
                     ..H2Options::default()
                 },
-            );
+            )
+            .unwrap();
             let x: Vec<f64> = (0..m.dim()).map(|i| (i as f64 * 0.1).cos()).collect();
             let y = m.matvec(&x);
             let dense = dense_reference(&kernel, &tree);
@@ -714,7 +754,8 @@ mod tests {
                 tol: 1e-6,
                 ..H2Options::default()
             },
-        );
+        )
+        .unwrap();
         let sampled = H2Matrix::build(
             &kernel,
             &tree,
@@ -724,7 +765,8 @@ mod tests {
                 mode: BasisMode::Sampled { max_samples: 200 },
                 ..H2Options::default()
             },
-        );
+        )
+        .unwrap();
         let dense = dense_reference(&kernel, &tree);
         let ee = rel_fro_error(&exact.to_dense(), &dense);
         let es = rel_fro_error(&sampled.to_dense(), &dense);
@@ -745,7 +787,8 @@ mod tests {
                 tol: 1e-6,
                 ..H2Options::default()
             },
-        );
+        )
+        .unwrap();
         let err = rel_fro_error(&m.to_dense(), &dense_reference(&kernel, &tree));
         assert!(err < 1e-4, "Yukawa H2 error {err}");
     }
@@ -764,6 +807,7 @@ mod tests {
                     ..H2Options::default()
                 },
             )
+            .unwrap()
         };
         let m1 = build(1);
         for threads in [2, 4] {
@@ -795,7 +839,8 @@ mod tests {
             std::sync::Arc::clone(&shared),
             &Admissibility::strong(1.0),
             &H2Options::default(),
-        );
+        )
+        .unwrap();
         // The matrix holds the same allocation, not a deep copy.
         assert!(std::sync::Arc::ptr_eq(&m.tree, &shared));
         assert_eq!(m.dim(), shared.num_points());
@@ -811,7 +856,7 @@ mod tests {
             tol: 1e-8,
             ..H2Options::default()
         };
-        let fast = H2Matrix::build(&kernel, &tree, &Admissibility::strong(1.0), &base);
+        let fast = H2Matrix::build(&kernel, &tree, &Admissibility::strong(1.0), &base).unwrap();
         // 4 workers on the exact-fallback path: mirrored coupling tasks lock both
         // explicit-basis slots, so this doubles as a lock-ordering regression test
         // (an AB-BA ordering deadlocks here with >= 2 workers).
@@ -825,7 +870,8 @@ mod tests {
                 num_threads: 4,
                 ..base
             },
-        );
+        )
+        .unwrap();
         let dense = dense_reference(&kernel, &tree);
         let ef = rel_fro_error(&fast.to_dense(), &dense);
         let ee = rel_fro_error(&exact.to_dense(), &dense);
@@ -841,7 +887,8 @@ mod tests {
             &tree,
             &Admissibility::strong(1.0),
             &H2Options::default(),
-        );
+        )
+        .unwrap();
         for level in (0..tree.depth).rev() {
             for i in 0..(1usize << level) {
                 let e = &m.transfers[level][i];

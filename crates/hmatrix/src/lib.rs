@@ -16,6 +16,8 @@
 //! supports `matvec`, storage accounting and dense reconstruction (for validation at
 //! small N).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod basis;
 pub mod blr;
 pub mod blr2;

@@ -101,7 +101,8 @@ impl BlrLuFactors {
                 BlrTile::Dense(d) => d.clone(),
                 BlrTile::LowRank(lr) => lr.to_dense(),
             };
-            let lu = lu_factor(&dkk).expect("BLR LU: singular diagonal tile");
+            let lu = lu_factor(&dkk)
+                .unwrap_or_else(|e| panic!("BLR LU: singular diagonal tile {k}: {e}"));
             // TRSM row panel: A[k][j] <- L^{-1} P A[k][j].
             for j in k + 1..nb {
                 let t = a.tile(k, j).clone();
@@ -153,7 +154,7 @@ impl BlrLuFactors {
 
         let diag: Vec<Lu> = diag
             .into_iter()
-            .map(|d| d.expect("pivot missing"))
+            .map(|d| d.unwrap_or_else(|| unreachable!("pivot missing")))
             .collect();
         let mut stats = BlrLuStats {
             construction_seconds: 0.0,
@@ -275,7 +276,9 @@ fn row_tile_products(aik: &BlrTile, akjs: &[BlrTile]) -> Vec<TileProduct> {
             akjs.iter()
                 .map(|t| match t {
                     BlrTile::LowRank(y) => TileProduct::Lr(LowRank::new(
-                        unews.next().expect("one core per low-rank tile"),
+                        unews
+                            .next()
+                            .unwrap_or_else(|| unreachable!("one core per low-rank tile")),
                         y.v.clone(),
                     )),
                     // (Ux Vx^T) D = Ux (D^T Vx)^T.
@@ -291,7 +294,8 @@ fn row_tile_products(aik: &BlrTile, akjs: &[BlrTile]) -> Vec<TileProduct> {
             akjs.iter()
                 .map(|t| match t {
                     BlrTile::LowRank(y) => TileProduct::Lr(LowRank::new(
-                        dus.next().expect("one product per low-rank tile"),
+                        dus.next()
+                            .unwrap_or_else(|| unreachable!("one product per low-rank tile")),
                         y.v.clone(),
                     )),
                     BlrTile::Dense(yd) => TileProduct::Dense(matmul(xd, yd)),
@@ -339,7 +343,7 @@ pub fn blr_solve(
 pub fn dense_reference_solve(kernel: &dyn Kernel, tree: &ClusterTree, b: &[f64]) -> Vec<f64> {
     let order = tree.perm.clone();
     let a = kernel.assemble(&tree.points, &order, &order);
-    let lu = lu_factor(&a).expect("dense reference is singular");
+    let lu = lu_factor(&a).unwrap_or_else(|e| panic!("dense reference is singular: {e}"));
     lu_solve(&lu, b)
 }
 

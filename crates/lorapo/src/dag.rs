@@ -50,8 +50,8 @@ pub fn build_blr_lu_dag(nb: usize, tile_size: usize, rank: usize) -> TaskGraph {
         for i in k + 1..nb {
             for j in k + 1..nb {
                 let mut deps: Vec<TaskId> = Vec::with_capacity(3);
-                deps.push(trsm_col[i].expect("column TRSM exists"));
-                deps.push(trsm_row[j].expect("row TRSM exists"));
+                deps.push(trsm_col[i].unwrap_or_else(|| unreachable!("column TRSM exists")));
+                deps.push(trsm_row[j].unwrap_or_else(|| unreachable!("row TRSM exists")));
                 deps.extend(last_writer[idx(i, j)]);
                 // Low-rank GEMM: a few m x r products plus an O((2r)^2 m) rounding.
                 let flops = 3 * cost::gemm(m, r, r) + cost::geqrf(m, 2 * r);

@@ -19,6 +19,8 @@
 //! why it wins at small N and single-core runs (Figs. 9–10) and loses at scale
 //! (Figs. 11, 16).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod blr_lu;
 pub mod dag;
 

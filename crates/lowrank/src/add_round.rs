@@ -36,7 +36,12 @@ pub fn round_lowrank(a: &LowRank, tol: f64, max_rank: Option<usize>) -> LowRank 
     let rv = qv.r();
     // Core is k x k (or smaller if the factors are very skinny).
     let core = matmul(&ru, &rv.transpose());
-    let svd = jacobi_svd(&core).expect("rounding SVD did not converge");
+    // Rounding is an optimization: if the small SVD breaks down (non-finite or
+    // pathological core), keep the unrounded — still valid — representation.
+    let svd = match jacobi_svd(&core) {
+        Ok(svd) => svd,
+        Err(_) => return a.clone(),
+    };
     // Truncate relative to the largest singular value, but also drop anything that is
     // numerically zero compared to the pre-cancellation magnitude of the factors —
     // otherwise an exactly-cancelling sum (e.g. `a - a`) would keep its round-off

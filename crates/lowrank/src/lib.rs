@@ -20,6 +20,8 @@
 //!   needed by the BLR LU's Schur updates and by the recompression step of the
 //!   H²-ULV *with* dependencies.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod aca;
 pub mod add_round;
 pub mod lowrank;

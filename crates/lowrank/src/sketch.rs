@@ -153,10 +153,24 @@ pub fn sketched_pivoted_qr(
         return (f, rank);
     }
     let omega = gaussian_test_matrix(n, s, seed);
-    let b = matmul(a, &omega);
+    let mut b = matmul(a, &omega);
+    maybe_corrupt_sketch(&mut b, h2_matrix::fault::SketchStage::Gaussian, seed);
     let f = pivoted_qr(&b);
     let rank = f.rank(tol).min(cap);
     (f, rank)
+}
+
+/// Fault-injection hook: poison the sketch with NaNs when an active
+/// `corrupt_sketch` plan targets `stage`.  The coin is rolled on the caller's
+/// seed, so the decision is deterministic and independent of thread count.
+fn maybe_corrupt_sketch(b: &mut Matrix, stage: h2_matrix::fault::SketchStage, seed: u64) {
+    if let Some(rate) = h2_matrix::fault::sketch_corruption_rate(stage) {
+        if h2_matrix::fault::roll(rate, seed) && !b.is_empty() {
+            for x in b.col_mut(0) {
+                *x = f64::NAN;
+            }
+        }
+    }
 }
 
 thread_local! {
@@ -232,7 +246,7 @@ pub fn srft_sketch(a: &Matrix, s: usize, seed: u64, precision: SketchPrecision) 
     // comparable with the Gaussian path; any uniform scale leaves the relative-
     // tolerance rank detection unchanged.
     let scale = 1.0 / (s as f64).sqrt();
-    match precision {
+    let mut b = match precision {
         SketchPrecision::F32 => SRFT_BUF_F32.with(|cell| {
             let mut buf = cell.borrow_mut();
             buf.resize(m * c, 0.0);
@@ -270,7 +284,13 @@ pub fn srft_sketch(a: &Matrix, s: usize, seed: u64, precision: SketchPrecision) 
             }
             b
         }),
-    }
+    };
+    let stage = match precision {
+        SketchPrecision::F32 => h2_matrix::fault::SketchStage::SrftF32,
+        SketchPrecision::F64 => h2_matrix::fault::SketchStage::SrftF64,
+    };
+    maybe_corrupt_sketch(&mut b, stage, seed);
+    b
 }
 
 /// Sketch stage of the SRFT path, separated so callers can batch the pivoted

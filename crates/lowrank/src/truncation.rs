@@ -30,7 +30,12 @@ pub fn compress_block_svd(a: &Matrix, tol: f64, max_rank: Option<usize>) -> LowR
     if a.is_empty() {
         return LowRank::zero(a.rows(), a.cols());
     }
-    let svd = jacobi_svd(a).expect("jacobi_svd did not converge");
+    // The pivoted-QR compressor cannot fail, so it backstops an SVD breakdown
+    // (the Jacobi sweep practically always converges on finite input).
+    let svd = match jacobi_svd(a) {
+        Ok(svd) => svd,
+        Err(_) => return compress_block(a, tol, max_rank),
+    };
     let mut rank = svd.rank(tol);
     if let Some(cap) = max_rank {
         rank = rank.min(cap);

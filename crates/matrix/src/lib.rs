@@ -18,8 +18,11 @@
 //! the SIMD width.  Where the paper says "LAPACK dense LU" we use
 //! [`lu::lu_factor`] / [`lu::lu_solve`] from this crate.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod blas1;
 pub mod cholesky;
+pub mod fault;
 pub mod flops;
 pub mod fp32;
 pub mod gemm;
@@ -118,6 +121,118 @@ impl std::fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Result alias for the public solver entry points (build / factor / solve).
+pub type SolverResult<T> = std::result::Result<T, SolverError>;
+
+/// The failure taxonomy of the structured-solver stack.
+///
+/// Every public fallible path — `H2Matrix::build`, `UlvFactorization::factor`,
+/// `solve`/`solve_refined`/`solve_to_tolerance` and the dense LU/QR/Cholesky
+/// entry points — reports breakdowns through this enum instead of panicking.
+/// The enum lives in `h2_matrix` because it is the one crate every layer of
+/// the workspace already depends on; see BENCHMARKS.md for what each variant
+/// means for a caller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// An input slice or matrix has the wrong length/shape for the operation.
+    ShapeMismatch {
+        /// The operation that was attempted.
+        op: &'static str,
+        /// The size the operation required.
+        expected: usize,
+        /// The size it was given.
+        got: usize,
+    },
+    /// The input data (points, kernel values, assembled blocks) contains NaN
+    /// or infinite values the solver cannot represent.
+    NonFiniteInput {
+        /// Where the non-finite data was detected.
+        context: String,
+    },
+    /// A redundant diagonal block was singular during elimination and the
+    /// shift repair could not rescue it.
+    SingularPivot {
+        /// Block row/column index of the offending cluster at its level.
+        cluster: usize,
+        /// Tree level (leaves = depth, root = 0) where elimination broke down.
+        level: usize,
+    },
+    /// Every rung of the compression recovery ladder (SRFT-f32 → SRFT-f64 →
+    /// Gaussian → direct QR) produced a non-finite basis for this cluster.
+    CompressionBreakdown {
+        /// Block row/column index of the offending cluster at its level.
+        cluster: usize,
+        /// Tree level where compression broke down.
+        level: usize,
+    },
+    /// A worker task panicked; the run was cancelled and the pool survives.
+    TaskPanicked {
+        /// Description of the panicked task and its payload.
+        what: String,
+    },
+    /// The solve's sampled residual still missed the requested tolerance
+    /// after the refinement ladder was exhausted.
+    ToleranceNotMet {
+        /// The tolerance the caller asked for.
+        requested: f64,
+        /// The sampled relative residual actually achieved.
+        achieved: f64,
+        /// Refinement steps performed by the final attempt.
+        refine_steps: usize,
+    },
+    /// A dense kernel (LU/QR/Cholesky/SVD) failed; carries the dense error.
+    Numeric(Error),
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::ShapeMismatch { op, expected, got } => {
+                write!(f, "{op}: expected size {expected}, got {got}")
+            }
+            SolverError::NonFiniteInput { context } => {
+                write!(f, "non-finite input: {context}")
+            }
+            SolverError::SingularPivot { cluster, level } => write!(
+                f,
+                "singular pivot: redundant diagonal block of cluster {cluster} at level {level} \
+                 is singular and could not be repaired"
+            ),
+            SolverError::CompressionBreakdown { cluster, level } => write!(
+                f,
+                "compression breakdown: every recovery rung failed for cluster {cluster} \
+                 at level {level}"
+            ),
+            SolverError::TaskPanicked { what } => write!(f, "task panicked: {what}"),
+            SolverError::ToleranceNotMet {
+                requested,
+                achieved,
+                refine_steps,
+            } => write!(
+                f,
+                "tolerance not met: sampled residual {achieved:.3e} > requested {requested:.3e} \
+                 after {refine_steps} refinement steps"
+            ),
+            SolverError::Numeric(e) => write!(f, "dense kernel failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolverError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Error> for SolverError {
+    fn from(e: Error) -> Self {
+        SolverError::Numeric(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

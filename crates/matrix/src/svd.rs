@@ -116,7 +116,7 @@ pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
     }
     // Sort by descending singular value.
     let mut order: Vec<usize> = (0..k).collect();
-    order.sort_by(|&a, &b| s[b].partial_cmp(&s[a]).unwrap());
+    order.sort_by(|&a, &b| s[b].total_cmp(&s[a]));
     let u = u.select_cols(&order);
     let v = v.select_cols(&order);
     s = order.iter().map(|&i| s[i]).collect();

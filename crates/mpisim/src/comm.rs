@@ -82,12 +82,12 @@ impl Universe {
                 std::thread::Builder::new()
                     .name(format!("mpisim-rank-{}", comm.rank))
                     .spawn(move || f(comm))
-                    .expect("failed to spawn rank"),
+                    .unwrap_or_else(|e| panic!("failed to spawn rank: {e}")),
             );
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
     }
 
@@ -108,7 +108,7 @@ impl Universe {
         }
         let results = handles
             .into_iter()
-            .map(|h| h.join().expect("rank panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect();
         let stats = Arc::try_unwrap(stats).unwrap_or_else(|a| (*a).clone());
         (results, stats)
@@ -164,7 +164,7 @@ impl Comm {
                 tag,
                 data: data.to_vec(),
             })
-            .expect("mpisim: receiver hung up");
+            .unwrap_or_else(|_| panic!("mpisim: receiver hung up"));
     }
 
     /// Receive a message from `src` with the given `tag` (blocking, with tag matching).
@@ -174,7 +174,10 @@ impl Comm {
             return self.stash.swap_remove(pos).data;
         }
         loop {
-            let msg = self.inbox.recv().expect("mpisim: channel closed");
+            let msg = self
+                .inbox
+                .recv()
+                .unwrap_or_else(|_| panic!("mpisim: channel closed"));
             if msg.src == src && msg.tag == tag {
                 return msg.data;
             }
@@ -317,7 +320,7 @@ impl Comm {
                         let mut registry = self.shared.split_registry.lock();
                         let (inbox, shared) = registry
                             .remove(&(comm_id, self.rank))
-                            .expect("split registry entry missing");
+                            .unwrap_or_else(|| unreachable!("split registry entry missing"));
                         return Comm {
                             rank: new_rank,
                             size: new_size,

@@ -19,6 +19,8 @@
 //! Fig. 16 scaling numbers come from the cost model driven by the measured per-rank
 //! work and communication volumes.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod comm;
 pub mod counters;
 pub mod netmodel;

@@ -26,6 +26,8 @@
 //!   regenerate the Fig. 13 analysis,
 //! * [`stats`] — makespan / critical path / efficiency summaries.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod dag;
 pub mod pool;
 pub mod sim;
@@ -33,7 +35,7 @@ pub mod stats;
 pub mod trace;
 
 pub use dag::{TaskGraph, TaskId, TaskKind};
-pub use pool::{resolve_num_threads, DagExecutor, ThreadPool};
+pub use pool::{resolve_num_threads, DagExecutor, TaskPanic, ThreadPool};
 pub use sim::{simulate_schedule, SimConfig, SimResult};
 pub use stats::{ScheduleStats, WorkStealCounters};
 pub use trace::{Trace, TraceEvent};

@@ -42,8 +42,40 @@ use crate::stats::WorkStealCounters;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BinaryHeap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A task of a [`DagExecutor`] graph panicked.  The executor catches the
+/// panic, cancels the rest of the graph (dependents are never released and
+/// queued tasks drain as no-ops) and reports it as this error instead of
+/// unwinding, so the pool stays reusable and the caller can surface a typed
+/// failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The graph task whose action panicked.
+    pub task: TaskId,
+    /// The panic payload, stringified when possible.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DAG task {} panicked: {}", self.task.0, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -239,7 +271,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("h2-runtime-worker-{idx}"))
                     .spawn(move || worker_loop(shared, idx))
-                    .expect("failed to spawn worker thread"),
+                    .unwrap_or_else(|e| panic!("failed to spawn worker thread: {e}")),
             );
         }
         ThreadPool {
@@ -271,14 +303,24 @@ impl ThreadPool {
     /// is detected from the outstanding-task count, never from queue emptiness.
     /// Re-throws the first panic raised by any task.
     pub fn wait_idle(&self) {
+        if let Err(p) = self.try_wait_idle() {
+            resume_unwind(p);
+        }
+    }
+
+    /// Like [`wait_idle`](Self::wait_idle), but hands the first task panic back
+    /// as a value instead of re-throwing it — the containment-path variant the
+    /// DAG executor builds on.
+    pub fn try_wait_idle(&self) -> Result<(), Box<dyn std::any::Any + Send + 'static>> {
         {
             let mut s = self.shared.sync.lock();
             while s.in_flight != 0 {
                 self.shared.idle.wait(&mut s);
             }
         }
-        if let Some(p) = self.shared.panic.lock().take() {
-            resume_unwind(p);
+        match self.shared.panic.lock().take() {
+            Some(p) => Err(p),
+            None => Ok(()),
         }
     }
 
@@ -350,19 +392,43 @@ struct ExecShared {
     dependents: Vec<Vec<TaskId>>,
     /// Downward rank of every task (critical-path-first priority).
     ranks: Vec<f64>,
+    /// Set when a task panics: already-queued tasks drain as no-ops and no
+    /// further dependents are released, so the run winds down promptly.
+    cancelled: AtomicBool,
+    /// First task panic of the run, reported by `execute` as a typed error.
+    failure: Mutex<Option<TaskPanic>>,
 }
 
 /// Submit task `id` to the pool; on completion the worker releases dependents
-/// and submits any that became ready — no coordinator round-trip.
+/// and submits any that became ready — no coordinator round-trip.  A panicking
+/// action is caught here (not in the pool's backstop), recorded in
+/// `exec.failure`, and cancels the rest of the graph.
 fn spawn_task(pool: &Arc<PoolShared>, exec: &Arc<ExecShared>, id: TaskId) {
     let pool_for_job = Arc::clone(pool);
     let exec_for_job = Arc::clone(exec);
     pool.push(
         exec.ranks[id.0],
         Box::new(move || {
+            if exec_for_job.cancelled.load(Ordering::Acquire) {
+                // The graph is being torn down; drain without running.  The
+                // pool still counts this job via `finish_one`, so `wait_idle`
+                // keeps its outstanding-task guarantee.
+                return;
+            }
             let action = exec_for_job.actions[id.0].lock().take();
             if let Some(job) = action {
-                job();
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    let mut f = exec_for_job.failure.lock();
+                    if f.is_none() {
+                        *f = Some(TaskPanic {
+                            task: id,
+                            message: panic_message(payload.as_ref()),
+                        });
+                    }
+                    exec_for_job.cancelled.store(true, Ordering::Release);
+                    // Dependents of a panicked task are never released.
+                    return;
+                }
             }
             exec_for_job.completion.lock().push(id);
             // fetch_sub returns the previous value: 1 means this task was the
@@ -414,13 +480,21 @@ impl DagExecutor {
     /// action (None) are treated as zero-cost synchronization points.  Returns the
     /// order in which tasks completed (useful for tests).
     ///
+    /// A panicking task action does **not** unwind into the caller: the panic is
+    /// caught, the remaining graph is cancelled (queued tasks drain as no-ops,
+    /// dependents are never released), and the panic comes back as
+    /// [`TaskPanic`].  The pool stays reusable afterwards.
+    ///
     /// # Panics
-    /// Panics if `actions.len() != graph.len()`, and re-throws the first panic
-    /// raised by any task closure.
-    pub fn execute(&self, graph: &TaskGraph, actions: Vec<Option<Job>>) -> Vec<TaskId> {
+    /// Panics if `actions.len() != graph.len()` — a caller bug, not an input.
+    pub fn execute(
+        &self,
+        graph: &TaskGraph,
+        actions: Vec<Option<Job>>,
+    ) -> Result<Vec<TaskId>, TaskPanic> {
         assert_eq!(actions.len(), graph.len(), "one action per task required");
         if graph.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let exec = Arc::new(ExecShared {
             remaining: graph
@@ -431,6 +505,8 @@ impl DagExecutor {
             completion: Mutex::new(Vec::with_capacity(graph.len())),
             dependents: graph.iter().map(|n| n.dependents.clone()).collect(),
             ranks: graph.downward_ranks(),
+            cancelled: AtomicBool::new(false),
+            failure: Mutex::new(None),
         });
 
         // Seed the injector with the roots, most critical first; everything else is
@@ -444,15 +520,21 @@ impl DagExecutor {
         for id in roots {
             spawn_task(&self.pool.shared, &exec, id);
         }
+        // DAG actions catch their own panics (spawn_task), so this cannot
+        // re-throw for them; the pool-level backstop only fires for plain
+        // `submit` jobs sharing the pool.
         self.pool.wait_idle();
 
+        if let Some(failure) = exec.failure.lock().take() {
+            return Err(failure);
+        }
         let order = exec.completion.lock().clone();
         debug_assert_eq!(
             order.len(),
             graph.len(),
             "DAG execution left tasks unreleased"
         );
-        order
+        Ok(order)
     }
 
     /// Execute a graph whose closures borrow from the caller's stack.
@@ -464,12 +546,13 @@ impl DagExecutor {
         &self,
         graph: &TaskGraph,
         actions: Vec<Option<Box<dyn FnOnce() + Send + 'env>>>,
-    ) -> Vec<TaskId> {
+    ) -> Result<Vec<TaskId>, TaskPanic> {
         // SAFETY: `execute` blocks until every spawned task has finished
-        // (`wait_idle` counts outstanding tasks) and drops the remaining unspawned
-        // closures before returning, so no closure can outlive `'env`.  A task
-        // panic is re-thrown by `wait_idle` *after* the in-flight count reaches
-        // zero, so the guarantee holds on the unwind path too.
+        // (`wait_idle` counts outstanding tasks — a cancelled run still drains
+        // every queued job as a counted no-op) and drops the remaining
+        // unspawned closures before returning, so no closure can outlive
+        // `'env`.  Task panics are caught inside the task job itself, so no
+        // unwind path escapes `execute` while closures are outstanding.
         let actions: Vec<Option<Job>> = actions
             .into_iter()
             .map(|o| {
@@ -648,7 +731,7 @@ mod tests {
         };
         let actions = vec![mk(0, &log), mk(1, &log), mk(2, &log), mk(3, &log)];
         let exec = DagExecutor::new(3);
-        let order = exec.execute(&g, actions);
+        let order = exec.execute(&g, actions).unwrap();
         assert_eq!(order.len(), 4);
         let seq = log.lock().clone();
         let pos = |x: usize| seq.iter().position(|&v| v == x).unwrap();
@@ -663,12 +746,12 @@ mod tests {
     fn dag_executor_handles_empty_and_none_actions() {
         let exec = DagExecutor::new(1);
         let g = TaskGraph::new();
-        assert!(exec.execute(&g, vec![]).is_empty());
+        assert!(exec.execute(&g, vec![]).unwrap().is_empty());
 
         let mut g = TaskGraph::new();
         let a = g.add_task(TaskKind::Other, 0.0, &[]);
         let _b = g.add_task(TaskKind::Other, 0.0, &[a]);
-        let order = exec.execute(&g, vec![None, None]);
+        let order = exec.execute(&g, vec![None, None]).unwrap();
         assert_eq!(order.len(), 2);
         assert_eq!(order[0], a);
     }
@@ -691,7 +774,7 @@ mod tests {
             })
             .collect();
         let exec = DagExecutor::new(4);
-        let order = exec.execute(&g, actions);
+        let order = exec.execute(&g, actions).unwrap();
         assert_eq!(order.len(), 34);
         assert_eq!(counter.load(Ordering::SeqCst), 34);
     }
@@ -706,7 +789,7 @@ mod tests {
             prev = vec![id];
         }
         let exec = DagExecutor::new(4);
-        let order = exec.execute(&g, (0..200).map(|_| None).collect());
+        let order = exec.execute(&g, (0..200).map(|_| None).collect()).unwrap();
         assert_eq!(order.len(), 200);
         for (i, id) in order.iter().enumerate() {
             assert_eq!(id.0, i, "chain must complete strictly in order");
@@ -728,7 +811,9 @@ mod tests {
             prev = layer;
         }
         let exec = DagExecutor::new(4);
-        let order = exec.execute(&g, (0..g.len()).map(|_| None).collect());
+        let order = exec
+            .execute(&g, (0..g.len()).map(|_| None).collect())
+            .unwrap();
         let pos: std::collections::HashMap<usize, usize> =
             order.iter().enumerate().map(|(i, t)| (t.0, i)).collect();
         for pair in layers.windows(2) {
@@ -755,13 +840,13 @@ mod tests {
                 }) as Box<dyn FnOnce() + Send + '_>)
             })
             .collect();
-        exec.execute_scoped(&g, actions);
+        exec.execute_scoped(&g, actions).unwrap();
         assert_eq!(*slots[0].lock(), Some(0));
         assert_eq!(*slots[1].lock(), Some(10));
     }
 
     #[test]
-    fn dag_panic_propagates_and_skips_dependents() {
+    fn dag_panic_is_contained_and_skips_dependents() {
         let mut g = TaskGraph::new();
         let a = g.add_task(TaskKind::Factor, 1.0, &[]);
         let _b = g.add_task(TaskKind::Update, 1.0, &[a]);
@@ -774,12 +859,63 @@ mod tests {
             })),
         ];
         let exec = DagExecutor::new(2);
-        let res = catch_unwind(AssertUnwindSafe(|| exec.execute(&g, actions)));
-        assert!(res.is_err());
+        // The panic is contained: execute returns a typed error, no unwind.
+        let err = exec.execute(&g, actions).unwrap_err();
+        assert_eq!(err.task, a);
+        assert!(err.message.contains("task a failed"), "{}", err.message);
         assert_eq!(
             ran_b.load(Ordering::SeqCst),
             0,
             "dependent of a panicked task must not run"
+        );
+        // The executor (and its pool) stays reusable after the failure.
+        let mut g2 = TaskGraph::new();
+        let r = g2.add_task(TaskKind::Factor, 1.0, &[]);
+        let _s = g2.add_task(TaskKind::Update, 1.0, &[r]);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let actions2: Vec<Option<Job>> = (0..2)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                Some(Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }) as Job)
+            })
+            .collect();
+        let order = exec.execute(&g2, actions2).unwrap();
+        assert_eq!(order.len(), 2);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn dag_panic_cancels_remaining_graph() {
+        // A chain behind the panicking task: none of it may run, and execute
+        // must still drain cleanly.
+        let mut g = TaskGraph::new();
+        let a = g.add_task(TaskKind::Factor, 1.0, &[]);
+        let mut prev = a;
+        for _ in 0..50 {
+            prev = g.add_task(TaskKind::Update, 1.0, &[prev]);
+        }
+        let ran = Arc::new(AtomicUsize::new(0));
+        let actions: Vec<Option<Job>> = (0..g.len())
+            .map(|i| {
+                if i == 0 {
+                    Some(Box::new(|| panic!("root failed")) as Job)
+                } else {
+                    let r = Arc::clone(&ran);
+                    Some(Box::new(move || {
+                        r.fetch_add(1, Ordering::SeqCst);
+                    }) as Job)
+                }
+            })
+            .collect();
+        let exec = DagExecutor::new(4);
+        let err = exec.execute(&g, actions).unwrap_err();
+        assert_eq!(err.task, a);
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            0,
+            "cancelled chain must not run"
         );
     }
 }

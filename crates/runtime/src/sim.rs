@@ -120,8 +120,8 @@ pub fn simulate_schedule(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
             let (w, _) = worker_free
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .expect("at least one worker");
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap_or_else(|| unreachable!("SimConfig guarantees at least one worker"));
             let node = graph.node(tid);
             let start = worker_free[w].max(ready_at[tid.0]);
             let oh_end = start + cfg.per_task_overhead;
@@ -162,8 +162,9 @@ pub fn simulate_schedule(graph: &TaskGraph, cfg: &SimConfig) -> SimResult {
     );
 
     while completed < n {
-        let Reverse((fin_key, _w, tid)) =
-            heap.pop().expect("simulation deadlock: no running tasks");
+        let Reverse((fin_key, _w, tid)) = heap
+            .pop()
+            .unwrap_or_else(|| unreachable!("simulation deadlock: no running tasks"));
         let fin = fin_key as f64 / 1e9;
         completed += 1;
         for &dep in &graph.node(TaskId(tid)).dependents {

@@ -53,7 +53,7 @@ fn deep_chain_under_contention() {
     }
     let exec = DagExecutor::new(8);
     let counter = Arc::new(AtomicU64::new(0));
-    let order = exec.execute(&g, counting_actions(&g, &counter));
+    let order = exec.execute(&g, counting_actions(&g, &counter)).unwrap();
     assert_order_respects_deps(&g, &order);
     assert_eq!(counter.load(Ordering::Relaxed), 2000);
     for (i, id) in order.iter().enumerate() {
@@ -73,7 +73,7 @@ fn wide_fanout_under_contention() {
     let _sink = g.add_task(TaskKind::Other, 1.0, &mids);
     let exec = DagExecutor::new(8);
     let counter = Arc::new(AtomicU64::new(0));
-    let order = exec.execute(&g, counting_actions(&g, &counter));
+    let order = exec.execute(&g, counting_actions(&g, &counter)).unwrap();
     assert_order_respects_deps(&g, &order);
     assert_eq!(counter.load(Ordering::Relaxed), 1502);
     let c = exec.pool().steal_counters();
@@ -95,7 +95,7 @@ fn diamond_lattice_rounds_under_contention() {
                 .collect();
         }
         let counter = Arc::new(AtomicU64::new(0));
-        let order = exec.execute(&g, counting_actions(&g, &counter));
+        let order = exec.execute(&g, counting_actions(&g, &counter)).unwrap();
         assert_order_respects_deps(&g, &order);
         assert_eq!(
             counter.load(Ordering::Relaxed),
@@ -130,7 +130,7 @@ fn irregular_lattice_with_random_edges() {
     }
     let exec = DagExecutor::new(8);
     let counter = Arc::new(AtomicU64::new(0));
-    let order = exec.execute(&g, counting_actions(&g, &counter));
+    let order = exec.execute(&g, counting_actions(&g, &counter)).unwrap();
     assert_order_respects_deps(&g, &order);
     assert_eq!(counter.load(Ordering::Relaxed), g.len() as u64);
 }
@@ -195,7 +195,7 @@ fn scoped_execution_under_contention_writes_every_slot() {
             }) as Box<dyn FnOnce() + Send + '_>)
         })
         .collect();
-    let order = exec.execute_scoped(&g, actions);
+    let order = exec.execute_scoped(&g, actions).unwrap();
     assert_order_respects_deps(&g, &order);
     for (i, slot) in slots.iter().enumerate() {
         assert_eq!(

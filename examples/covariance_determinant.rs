@@ -10,7 +10,7 @@
 use h2ulv::matrix::{cholesky_factor, lu_factor};
 use h2ulv::prelude::*;
 
-fn main() {
+fn main() -> h2ulv::matrix::SolverResult<()> {
     let n = 1500;
     let points = uniform_cube(n, 123);
     let kernel = MaternKernel {
@@ -39,9 +39,9 @@ fn main() {
             tol: 1e-8,
             ..FactorOptions::default()
         },
-    );
+    )?;
     let b: Vec<f64> = (0..n).map(|i| ((i % 31) as f64 - 15.0) / 15.0).collect();
-    let x = factors.solve(&tree.permute_to_tree(&b));
+    let x = factors.solve(&tree.permute_to_tree(&b))?;
     let resid = factors.residual_with(&kernel, &tree.permute_to_tree(&b), &x);
 
     println!("covariance matrix over {n} sites (Matern-3/2 kernel)");
@@ -52,4 +52,5 @@ fn main() {
         "H2-ULV factorization time {:.3}s vs dense assembly+Cholesky of the same matrix",
         factors.stats.factorization_seconds
     );
+    Ok(())
 }

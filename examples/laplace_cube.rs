@@ -9,7 +9,7 @@
 use h2ulv::prelude::*;
 use std::time::Instant;
 
-fn main() {
+fn main() -> h2ulv::matrix::SolverResult<()> {
     let kernel = LaplaceKernel::default();
     println!("N\tH2-ULV fact(s)\tBLR fact(s)\tdense fact(s)\tH2 resid\tBLR resid");
     for &n in &[512usize, 1024, 2048] {
@@ -26,8 +26,8 @@ fn main() {
                 tol: 1e-8,
                 ..FactorOptions::default()
             },
-        );
-        let x = factors.solve(&tree.permute_to_tree(&b));
+        )?;
+        let x = factors.solve(&tree.permute_to_tree(&b))?;
         let h2_resid = factors.residual_with(&kernel, &tree.permute_to_tree(&b), &x);
 
         // LORAPO-style BLR LU.
@@ -59,4 +59,5 @@ fn main() {
     }
     println!("\nAs N grows, the O(N) H2-ULV factorization pulls ahead of both the O(N^2) BLR");
     println!("factorization and the O(N^3) dense LU — the trend behind the paper's Fig. 9.");
+    Ok(())
 }

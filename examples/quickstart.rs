@@ -6,7 +6,7 @@
 
 use h2ulv::prelude::*;
 
-fn main() {
+fn main() -> h2ulv::matrix::SolverResult<()> {
     // A 3-D problem: 2,000 particles uniformly distributed in the unit cube,
     // interacting through the Laplace Green's function (Eq. 29 of the paper).
     let n = 2000;
@@ -20,7 +20,7 @@ fn main() {
         tol: 1e-8,
         ..FactorOptions::default()
     };
-    let factors = h2_ulv_nodep(&kernel, &tree, &options);
+    let factors = h2_ulv_nodep(&kernel, &tree, &options)?;
     println!(
         "factorized N = {n}: {:.3}s construction, {:.3}s factorization, max rank {}, {} fill-in blocks",
         factors.stats.construction_seconds,
@@ -31,7 +31,7 @@ fn main() {
 
     // Solve A x = b for a unit-charge right-hand side.
     let b = vec![1.0; n];
-    let x = factors.solve_original_order(&b);
+    let x = factors.solve_original_order(&b)?;
 
     // Check the solution against an exact matrix-vector product.
     let b_tree = factors.tree.permute_to_tree(&b);
@@ -39,4 +39,5 @@ fn main() {
     let residual = factors.residual_with(&kernel, &b_tree, &x_tree);
     println!("relative residual ||Ax - b|| / ||b|| = {residual:.3e}");
     println!("first five solution entries: {:?}", &x[..5]);
+    Ok(())
 }

@@ -12,7 +12,7 @@
 use h2ulv::factor::dist::{estimate_distributed, DistConfig};
 use h2ulv::prelude::*;
 
-fn main() {
+fn main() -> h2ulv::matrix::SolverResult<()> {
     let n = 2048;
     let points = uniform_cube(n, 3);
     let kernel = LaplaceKernel::default();
@@ -23,8 +23,8 @@ fn main() {
         ..FactorOptions::default()
     };
 
-    let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
-    let dep = h2_ulv_dep(&kernel, &tree, &opts);
+    let nodep = h2_ulv_nodep(&kernel, &tree, &opts)?;
+    let dep = h2_ulv_dep(&kernel, &tree, &opts)?;
 
     println!(
         "task graph (no dependencies):   {} tasks, average parallelism {:.1}",
@@ -60,4 +60,5 @@ fn main() {
             est.time_seconds, est.compute_seconds, est.comm_seconds
         );
     }
+    Ok(())
 }

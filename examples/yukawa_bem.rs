@@ -10,7 +10,7 @@
 
 use h2ulv::prelude::*;
 
-fn main() {
+fn main() -> h2ulv::matrix::SolverResult<()> {
     // Build the molecular surface point cloud (union-of-spheres pseudo-protein).
     let cfg = MoleculeConfig::default();
     let points = molecule_surface(3000, &cfg);
@@ -43,7 +43,7 @@ fn main() {
             tol: 1e-7,
             ..FactorOptions::default()
         },
-    );
+    )?;
     println!(
         "factorization: {:.3}s, max rank {}, root system {}x{}",
         factors.stats.factorization_seconds,
@@ -54,11 +54,12 @@ fn main() {
 
     // Surface charge distribution: induced potential of a unit charge distribution.
     let b = vec![1.0; n];
-    let x = factors.solve_original_order(&b);
+    let x = factors.solve_original_order(&b)?;
     let b_tree = tree.permute_to_tree(&b);
     let x_tree = tree.permute_to_tree(&x);
     let resid = factors.residual_with(&kernel, &b_tree, &x_tree);
     println!("relative residual of the BEM solve: {resid:.2e}");
     let total_charge: f64 = x.iter().sum();
     println!("sum of solved surface densities: {total_charge:.4}");
+    Ok(())
 }

@@ -26,10 +26,11 @@
 //! let kernel = LaplaceKernel::default();
 //! // 2. Cluster the points (k-means, power-of-two leaves) and factorize.
 //! let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
-//! let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions { tol: 1e-8, ..Default::default() });
+//! let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions { tol: 1e-8, ..Default::default() })
+//!     .expect("factorization breakdown");
 //! // 3. Solve and check against a dense LU solve.
 //! let b = vec![1.0; 600];
-//! let x = factors.solve_original_order(&b);
+//! let x = factors.solve_original_order(&b).expect("solve failed");
 //! let reference = DenseReference::build(&kernel, &tree);
 //! let x_tree = tree.permute_to_tree(&x);
 //! let b_tree = tree.permute_to_tree(&b);
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use h2_hmatrix::{BasisMode, Blr2Matrix, BlrMatrix, H2Matrix};
     pub use h2_lorapo::{BlrLuFactors, BlrLuOptions};
     pub use h2_matrix::{rel_l2_error, Matrix};
+    pub use h2_matrix::{SolverError, SolverResult};
     pub use h2_runtime::{simulate_schedule, SimConfig, TaskGraph};
 }
 
@@ -71,9 +73,9 @@ mod tests {
         let points = uniform_cube(200, 1);
         let tree = ClusterTree::build(&points, 50, PartitionStrategy::KMeans, 0);
         let kernel = LaplaceKernel::default();
-        let f = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+        let f = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default()).unwrap();
         let b = vec![1.0; 200];
-        let x = f.solve_original_order(&b);
+        let x = f.solve_original_order(&b).unwrap();
         assert_eq!(x.len(), 200);
         assert!(x.iter().all(|v| v.is_finite()));
     }

@@ -31,11 +31,14 @@ fn h2_ulv_nodep_matches_dense_lu_on_laplace_cube() {
                 tol,
                 ..FactorOptions::default()
             },
-        );
+        )
+        .unwrap();
         // Solve the way the configuration prescribes: the mixed-precision
         // default pairs its aggressive compression with a fixed number of
         // refinement steps (a no-op for every f64 compression path).
-        let x = factors.solve_refined(&kernel, &b, factors.default_refine_steps());
+        let x = factors
+            .solve_refined(&kernel, &b, factors.default_refine_steps())
+            .unwrap();
         let err = rel_l2_error(&x, &xref);
         assert!(
             err < tol.sqrt() * 10.0,
@@ -61,8 +64,11 @@ fn tighter_tolerance_gives_a_more_accurate_solution() {
                 tol,
                 ..FactorOptions::default()
             },
-        );
-        let x = factors.solve_refined(&kernel, &b, factors.default_refine_steps());
+        )
+        .unwrap();
+        let x = factors
+            .solve_refined(&kernel, &b, factors.default_refine_steps())
+            .unwrap();
         errors.push(rel_l2_error(&x, &xref));
     }
     assert!(
@@ -90,8 +96,9 @@ fn yukawa_kernel_on_molecule_surface_is_solved_accurately() {
             tol: 1e-8,
             ..FactorOptions::default()
         },
-    );
-    let x = factors.solve(&b);
+    )
+    .unwrap();
+    let x = factors.solve(&b).unwrap();
     let err = rel_l2_error(&x, &xref);
     assert!(err < 1e-3, "Yukawa molecule solve error {err}");
 }
@@ -124,12 +131,12 @@ fn original_order_solve_round_trips_the_permutation() {
     let points = uniform_cube(n, 17);
     let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
     let kernel = LaplaceKernel::default();
-    let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+    let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default()).unwrap();
     let b = vec![1.0; n];
     // Solve in original ordering and in tree ordering; results must agree after
     // permutation.
-    let x_orig = factors.solve_original_order(&b);
-    let x_tree = factors.solve(&tree.permute_to_tree(&b));
+    let x_orig = factors.solve_original_order(&b).unwrap();
+    let x_tree = factors.solve(&tree.permute_to_tree(&b)).unwrap();
     let x_back = tree.permute_from_tree(&x_tree);
     assert!(rel_l2_error(&x_orig, &x_back) < 1e-14);
 }

@@ -62,7 +62,8 @@ fn distributed_cost_model_scales_and_saturates() {
             tol: 1e-6,
             ..FactorOptions::default()
         },
-    );
+    )
+    .unwrap();
     let cfg = DistConfig::default();
     let sweep = strong_scaling_sweep(&factors, &[1, 4, 16, 64, 256, 1024], &cfg);
     // Time decreases (or at least does not blow up) with more ranks, then saturates at

@@ -45,7 +45,8 @@ fn all_formats_reproduce_the_kernel_matvec() {
             tol: 1e-7,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let y_h2 = h2.matvec(&x);
     assert!(rel_l2_error(&y_h2, &yref) < 1e-4, "H2 matvec");
 
@@ -57,7 +58,8 @@ fn all_formats_reproduce_the_kernel_matvec() {
             tol: 1e-7,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let y_hss = hss.matvec(&x);
     assert!(rel_l2_error(&y_hss, &yref) < 1e-3, "HSS matvec");
 }
@@ -80,7 +82,8 @@ fn storage_ordering_matches_table_one_expectations() {
             tol,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let dense_words = n * n;
     assert!(blr.storage() < dense_words);
     assert!(h2.storage() < dense_words);
@@ -110,7 +113,8 @@ fn h2_matrix_and_ulv_factorization_agree_on_the_same_operator() {
             tol: 1e-8,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let factors = h2_ulv_nodep(
         &kernel,
         &tree,
@@ -118,9 +122,10 @@ fn h2_matrix_and_ulv_factorization_agree_on_the_same_operator() {
             tol: 1e-8,
             ..FactorOptions::default()
         },
-    );
+    )
+    .unwrap();
     let b: Vec<f64> = (0..n).map(|i| ((i % 7) as f64 - 3.0) / 3.0).collect();
-    let x = factors.solve(&b);
+    let x = factors.solve(&b).unwrap();
     let ax = h2.matvec(&x);
     assert!(rel_l2_error(&ax, &b) < 1e-4);
 }

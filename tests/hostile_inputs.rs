@@ -1,0 +1,175 @@
+//! Hostile-input property tests: degenerate geometry, rank-0 blocks, extreme
+//! tolerances, oscillatory kernels and malformed right-hand sides.  The
+//! contract under test is uniform: every entry point either succeeds with a
+//! finite solution or returns a typed [`SolverError`] — it never panics.
+
+use h2ulv::geometry::HelmholtzKernel;
+use h2ulv::prelude::*;
+use proptest::prelude::*;
+
+const LEAF: usize = 32;
+
+fn options(tol: f64) -> FactorOptions {
+    FactorOptions {
+        tol,
+        ..FactorOptions::default()
+    }
+}
+
+/// Factor + solve, asserting the no-panic contract; returns whether it succeeded.
+fn survives(kernel: &dyn Kernel, points: &[Point3], opts: &FactorOptions) -> Result<(), String> {
+    let tree = ClusterTree::build(points, LEAF, PartitionStrategy::KMeans, 0);
+    match h2_ulv_nodep(kernel, &tree, opts) {
+        Ok(f) => {
+            let b = vec![1.0; points.len()];
+            let x = f
+                .solve(&b)
+                .map_err(|e| format!("solve failed after successful factor: {e}"))?;
+            if !x.iter().all(|v| v.is_finite()) {
+                return Err("solution of a successful factorization must be finite".into());
+            }
+            Ok(())
+        }
+        // A typed error is an acceptable outcome for hostile inputs.
+        Err(_) => Ok(()),
+    }
+}
+
+#[test]
+fn coincident_points_with_a_singular_kernel_are_a_typed_error() {
+    let mut points = uniform_cube(128, 11);
+    points.push(points[17]); // exact duplicate
+    points.push(points[17]);
+    let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);
+    let raw = LaplaceKernel {
+        singularity_shift: 0.0, // unregularized 1/r: infinite at zero distance
+    };
+    let err = h2_ulv_nodep(&raw, &tree, &options(1e-6))
+        .err()
+        .expect("coincident points + singular kernel must be rejected");
+    assert!(
+        matches!(err, SolverError::NonFiniteInput { .. }),
+        "expected NonFiniteInput naming the coincident pair, got: {err}"
+    );
+}
+
+#[test]
+fn coincident_points_with_a_regularized_kernel_factorize() {
+    let mut points = uniform_cube(128, 11);
+    points.push(points[17]);
+    let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default(); // regularized: finite at r = 0
+    let f = h2_ulv_nodep(&kernel, &tree, &options(1e-6))
+        .expect("regularized kernel must tolerate duplicated points");
+    let b = vec![1.0; points.len()];
+    let x = f.solve(&b).expect("solve");
+    assert!(x.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn non_finite_point_coordinate_is_a_typed_error() {
+    let mut points = uniform_cube(128, 3);
+    points[40] = Point3::new(f64::NAN, 0.5, 0.5);
+    let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);
+    let err = h2_ulv_nodep(&LaplaceKernel::default(), &tree, &options(1e-6))
+        .err()
+        .expect("a NaN coordinate must be rejected");
+    assert!(matches!(err, SolverError::NonFiniteInput { .. }));
+}
+
+#[test]
+fn rank_zero_far_field_blocks_factorize() {
+    // A Gaussian with a tiny correlation length underflows to exactly 0.0 for
+    // every admissible (far) pair: all far-field blocks are exactly rank 0.
+    let kernel = GaussianKernel {
+        length_scale: 1e-3,
+        nugget: 1e-2,
+    };
+    let points = uniform_cube(256, 5);
+    let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);
+    let f = h2_ulv_nodep(&kernel, &tree, &options(1e-8))
+        .expect("exactly rank-0 far blocks must not break compression");
+    let b = vec![1.0; 256];
+    let x = f.solve(&b).expect("solve");
+    assert!(x.iter().all(|v| v.is_finite()));
+    let res = f.residual_with(&kernel, &b, &x);
+    assert!(
+        res < 1e-6,
+        "near-diagonal matrix must solve accurately: {res:.3e}"
+    );
+}
+
+#[test]
+fn wrong_length_rhs_is_a_shape_mismatch() {
+    let points = uniform_cube(128, 2);
+    let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);
+    let f = h2_ulv_nodep(&LaplaceKernel::default(), &tree, &options(1e-6)).expect("factor");
+    let err = f.solve(&[1.0; 127]).expect_err("short rhs must fail");
+    assert!(
+        matches!(
+            err,
+            SolverError::ShapeMismatch {
+                expected: 128,
+                got: 127,
+                ..
+            }
+        ),
+        "expected ShapeMismatch, got: {err}"
+    );
+}
+
+#[test]
+fn nan_rhs_is_a_typed_error() {
+    let points = uniform_cube(128, 2);
+    let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);
+    let f = h2_ulv_nodep(&LaplaceKernel::default(), &tree, &options(1e-6)).expect("factor");
+    let mut b = vec![1.0; 128];
+    b[64] = f64::NAN;
+    let err = f.solve(&b).expect_err("NaN rhs must fail");
+    assert!(matches!(err, SolverError::NonFiniteInput { .. }));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Extreme tolerances — far looser (1e-1) and far tighter (1e-15) than any
+    /// sensible setting — obey the no-panic contract on random geometries.
+    #[test]
+    fn extreme_tolerances_never_panic(
+        seed in 0u64..1000,
+        loose in 0u64..2,
+    ) {
+        let tol = if loose == 1 { 1e-1 } else { 1e-15 };
+        let points = uniform_cube(192, seed);
+        prop_assert!(survives(&LaplaceKernel::default(), &points, &options(tol)).is_ok());
+    }
+
+    /// High-wavenumber Helmholtz: tens of wavelengths across the unit cube is
+    /// far beyond what a rank-structured format represents efficiently — ranks
+    /// explode, but the solver must still either factorize or fail typed.
+    #[test]
+    fn high_wavenumber_helmholtz_never_panics(
+        wavenumber in 40.0f64..160.0,
+        seed in 0u64..1000,
+    ) {
+        let kernel = HelmholtzKernel { wavenumber, singularity_shift: 1e-3 };
+        let points = uniform_cube(192, seed);
+        prop_assert!(survives(&kernel, &points, &options(1e-6)).is_ok());
+    }
+
+    /// Random duplicated points with the regularized default kernel: exact
+    /// coincidences anywhere in the cloud must not break clustering,
+    /// compression or elimination.
+    #[test]
+    fn random_duplicates_never_panic(
+        seed in 0u64..1000,
+        dup_from in 0usize..192,
+        copies in 1usize..4,
+    ) {
+        let mut points = uniform_cube(192, seed);
+        for _ in 0..copies {
+            points.push(points[dup_from]);
+        }
+        prop_assert!(survives(&LaplaceKernel::default(), &points, &options(1e-6)).is_ok());
+    }
+}

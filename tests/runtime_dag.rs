@@ -16,8 +16,8 @@ fn factorization_task_graphs_have_the_claimed_parallelism_gap() {
         tol: 1e-6,
         ..FactorOptions::default()
     };
-    let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
-    let dep = h2_ulv_dep(&kernel, &tree, &opts);
+    let nodep = h2_ulv_nodep(&kernel, &tree, &opts).unwrap();
+    let dep = h2_ulv_dep(&kernel, &tree, &opts).unwrap();
     let lorapo = h2ulv::lorapo::build_blr_lu_dag(16, 64, 32);
 
     let par = |g: &TaskGraph| g.total_work() / g.critical_path().max(1.0);
@@ -44,8 +44,8 @@ fn simulated_scaling_shows_the_figure_11_mechanisms() {
         tol: 1e-6,
         ..FactorOptions::default()
     };
-    let nodep = h2_ulv_nodep(&kernel, &tree, &opts);
-    let dep = h2_ulv_dep(&kernel, &tree, &opts);
+    let nodep = h2_ulv_nodep(&kernel, &tree, &opts).unwrap();
+    let dep = h2_ulv_dep(&kernel, &tree, &opts).unwrap();
 
     let time = |g: &TaskGraph, p: usize, overhead: f64| {
         simulate_schedule(
@@ -103,7 +103,7 @@ fn dag_executor_runs_a_recorded_graph_with_real_closures() {
         })
         .collect();
     let exec = DagExecutor::new(4);
-    let done = exec.execute(&g, actions);
+    let done = exec.execute(&g, actions).unwrap();
     assert_eq!(done.len(), 8);
     assert_eq!(counter.load(Ordering::SeqCst), 8);
     let seq = order.lock().clone();

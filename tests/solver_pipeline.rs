@@ -22,10 +22,11 @@ fn pipeline_works_for_every_partition_strategy() {
                 tol: 1e-7,
                 ..FactorOptions::default()
             },
-        );
+        )
+        .unwrap();
         let b = vec![1.0; n];
         let bt = tree.permute_to_tree(&b);
-        let x = factors.solve(&bt);
+        let x = factors.solve(&bt).unwrap();
         let resid = factors.residual_with(&kernel, &bt, &x);
         assert!(resid < 1e-4, "{strategy:?}: residual {resid}");
     }
@@ -38,10 +39,10 @@ fn pipeline_works_for_single_leaf_and_two_leaf_trees() {
     for &n in &[40usize, 140] {
         let points = uniform_cube(n, 4);
         let tree = ClusterTree::build(&points, 100, PartitionStrategy::KMeans, 0);
-        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default()).unwrap();
         let b = vec![1.0; n];
         let bt = tree.permute_to_tree(&b);
-        let x = factors.solve(&bt);
+        let x = factors.solve(&bt).unwrap();
         let resid = factors.residual_with(&kernel, &bt, &x);
         assert!(resid < 1e-6, "n = {n}: residual {resid}");
     }
@@ -52,7 +53,7 @@ fn factor_stats_are_populated() {
     let points = uniform_cube(512, 6);
     let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
     let kernel = LaplaceKernel::default();
-    let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+    let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default()).unwrap();
     let s = &factors.stats;
     assert!(s.factorization_flops > 0);
     assert!(s.construction_flops > 0);
@@ -82,10 +83,10 @@ proptest! {
         let points = uniform_cube(n, seed);
         let tree = ClusterTree::build(&points, leaf, PartitionStrategy::KMeans, seed);
         let kernel = LaplaceKernel::default();
-        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions { tol: 1e-8, ..FactorOptions::default() });
+        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions { tol: 1e-8, ..FactorOptions::default() }).unwrap();
         let b: Vec<f64> = (0..n).map(|i| scale * (((i as u64 * 2654435761 + seed) % 1000) as f64 / 500.0 - 1.0)).collect();
         let bt = tree.permute_to_tree(&b);
-        let x = factors.solve(&bt);
+        let x = factors.solve(&bt).unwrap();
         let xref = dense_solve(&kernel, &tree, &bt);
         let err = rel_l2_error(&x, &xref);
         prop_assert!(err < 1e-4, "error vs dense {}", err);
@@ -98,11 +99,11 @@ proptest! {
         let points = uniform_cube(n, seed);
         let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
         let kernel = LaplaceKernel::default();
-        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default());
+        let factors = h2_ulv_nodep(&kernel, &tree, &FactorOptions::default()).unwrap();
         let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64 - 6.0) / 6.0).collect();
-        let x1 = factors.solve(&b);
+        let x1 = factors.solve(&b).unwrap();
         let b2: Vec<f64> = b.iter().map(|v| alpha * v).collect();
-        let x2 = factors.solve(&b2);
+        let x2 = factors.solve(&b2).unwrap();
         for (a, b) in x1.iter().zip(&x2) {
             prop_assert!((alpha * a - b).abs() <= 1e-9 * (1.0 + a.abs() * alpha.abs()));
         }
