@@ -20,8 +20,9 @@
 use h2_bench::{
     build_kernel, build_points, build_tree, compression_name, h2_options, Scale, Workload,
 };
-use h2_factor::{h2_ulv_nodep, UlvFactors};
+use h2_factor::{h2_ulv_nodep, RecoveryEvents, UlvFactors};
 use h2_matrix::Matrix;
+use h2_mpisim::{CommConfig, CommStats, Universe};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -130,6 +131,11 @@ fn main() -> h2_matrix::SolverResult<()> {
     );
 
     let mut rows: Vec<SizeRow> = Vec::new();
+    // Aggregated over every factorization in the sweep: all zero on a healthy
+    // run, non-zero counts mean the recovery ladder (or the refinement
+    // escalation) absorbed a numerical breakdown somewhere.
+    let mut recovery = RecoveryEvents::default();
+    let mut refine_escalations: u64 = 0;
     for &n in &sizes {
         let points = build_points(Workload::LaplaceCube, n, 20 + n as u64);
         let n = points.len();
@@ -174,6 +180,11 @@ fn main() -> h2_matrix::SolverResult<()> {
             );
             row.max_rank = factors.stats.max_rank;
             row.cap_hits = factors.stats.level_cap_hits.clone();
+            let rec = factors.stats.recovery;
+            recovery.srft_f32_to_f64 += rec.srft_f32_to_f64;
+            recovery.srft_to_gaussian += rec.srft_to_gaussian;
+            recovery.sketch_to_direct += rec.sketch_to_direct;
+            recovery.pivot_shifts += rec.pivot_shifts;
             if row.runs.is_empty() {
                 // Sampled-row residual estimator: O(probes · n) kernel entries, so
                 // every sweep row carries an accuracy number (exact when n <= probes).
@@ -184,6 +195,9 @@ fn main() -> h2_matrix::SolverResult<()> {
                     factors.solve_refined(kernel.as_ref(), &b, factors.default_refine_steps())?;
                 row.residual =
                     Some(factors.residual_sampled(kernel.as_ref(), &b, &x, RESIDUAL_PROBES, 7));
+                refine_escalations += factors
+                    .refine_escalations
+                    .load(std::sync::atomic::Ordering::Relaxed);
             }
             row.runs.push(ThreadRun {
                 threads: t,
@@ -206,15 +220,43 @@ fn main() -> h2_matrix::SolverResult<()> {
         rows.push(row);
     }
 
+    // Distributed smoke: the process-tree communication pattern on 4 live
+    // in-process ranks (transport and deadlines from H2_TRANSPORT /
+    // H2_COMM_DEADLINE_MS), recorded per rank so a benchmark consumer can see
+    // the reliability layer's work — retries/timeouts/corrupt frames are all
+    // zero on a healthy host and non-zero under H2_FAULT network chaos.
+    let comm_cfg = CommConfig::from_env();
+    const SMOKE_RANKS: usize = 4;
+    let (smoke, comm_stats): (Vec<_>, CommStats) =
+        Universe::run_config_with_stats(SMOKE_RANKS, &comm_cfg, |mut comm| {
+            let mine = vec![comm.rank() as f64 + 0.25; 8];
+            let all = comm.allgather(1, &mine)?;
+            comm.barrier(2)?;
+            let mut sub = comm.split((comm.rank() % 2) as i64, comm.rank() as i64)?;
+            let sums = sub.allreduce_sum(3, &mine)?;
+            Ok::<usize, h2_mpisim::CommError>(all.len() + sums.len())
+        });
+    let smoke_ok = smoke.iter().all(|r| r.is_ok());
+    println!(
+        "comm smoke ({:?} transport, {SMOKE_RANKS} ranks): ok={smoke_ok}, messages={}, retries={}, timeouts={}",
+        comm_cfg.transport,
+        comm_stats.total_messages(),
+        comm_stats.total_retries(),
+        comm_stats.total_timeouts(),
+    );
+
     // ------------------------------------------------------------------- JSON
     let mut j = String::new();
     j.push_str("{\n");
-    // Schema 3: adds `problem.compression`, per-run `*_wall_seconds` breakdown
+    // Schema 4: adds the top-level `robustness` block — the sweep's aggregated
+    // recovery-ladder counters, refinement escalations, and a per-rank
+    // communicator smoke test (reliability counters over 4 live ranks).
+    // Schema 3 added `problem.compression`, per-run `*_wall_seconds` breakdown
     // fields (the `*_seconds` fields are per-phase CPU work, which legitimately
     // exceeds the construction wall at threads > 1 — the wall fields attribute
     // the measured DAG span instead and sum to at most it), and per-row
     // `cap_hits` (rank-cap truncations per level, leaf first).
-    let _ = writeln!(j, "  \"schema_version\": 3,");
+    let _ = writeln!(j, "  \"schema_version\": 4,");
     let _ = writeln!(j, "  \"host\": {{\"available_cores\": {available}}},");
     let _ = writeln!(
         j,
@@ -273,7 +315,44 @@ fn main() -> h2_matrix::SolverResult<()> {
         );
         j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    j.push_str("  ]\n");
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"robustness\": {{\n    \"recovery_events\": {{\"srft_f32_to_f64\": {}, \"srft_to_gaussian\": {}, \"sketch_to_direct\": {}, \"pivot_shifts\": {}, \"total\": {}}},\n    \"refine_escalations\": {refine_escalations},",
+        recovery.srft_f32_to_f64,
+        recovery.srft_to_gaussian,
+        recovery.sketch_to_direct,
+        recovery.pivot_shifts,
+        recovery.total(),
+    );
+    let per_rank: Vec<String> = (0..SMOKE_RANKS)
+        .map(|r| {
+            format!(
+                "{{\"rank\": {r}, \"messages\": {}, \"bytes\": {}, \"retries\": {}, \"timeouts\": {}, \"corrupt_frames\": {}, \"duplicates\": {}, \"rank_failures\": {}}}",
+                comm_stats.messages_from(r),
+                comm_stats.bytes_from(r),
+                comm_stats.retries_from(r),
+                comm_stats.timeouts_from(r),
+                comm_stats.corrupt_frames_from(r),
+                comm_stats.duplicates_from(r),
+                comm_stats.rank_failures_from(r),
+            )
+        })
+        .collect();
+    let _ = writeln!(
+        j,
+        "    \"comm_smoke\": {{\"ranks\": {SMOKE_RANKS}, \"transport\": \"{}\", \"ok\": {smoke_ok}, \"per_rank\": [\n      {}\n    ], \"totals\": {{\"messages\": {}, \"bytes\": {}, \"retries\": {}, \"timeouts\": {}, \"corrupt_frames\": {}, \"duplicates\": {}, \"rank_failures\": {}}}}}",
+        format!("{:?}", comm_cfg.transport).to_lowercase(),
+        per_rank.join(",\n      "),
+        comm_stats.total_messages(),
+        comm_stats.total_bytes(),
+        comm_stats.total_retries(),
+        comm_stats.total_timeouts(),
+        comm_stats.total_corrupt_frames(),
+        comm_stats.total_duplicates(),
+        comm_stats.total_rank_failures(),
+    );
+    j.push_str("  }\n");
     j.push_str("}\n");
     std::fs::write(&out_path, &j)
         .unwrap_or_else(|e| panic!("bench_factor: cannot write output JSON: {e}"));

@@ -1,68 +1,717 @@
-//! Ranks, communicators and collectives.
+//! Ranks, communicators and collectives — fault-tolerant edition.
 //!
-//! A [`Universe`] runs an SPMD closure on `P` ranks (threads).  Each rank receives a
-//! [`Comm`] that supports the point-to-point and collective operations the distributed
-//! H²-ULV factorization needs.  Message payloads are `Vec<f64>` — everything the
-//! solver communicates (basis blocks, skeleton blocks, right-hand-side segments) is a
-//! flat array of doubles plus dimensions the caller encodes in-band.
+//! A [`Universe`] runs an SPMD closure on `P` ranks (threads).  Each rank
+//! receives a [`Comm`] that supports the point-to-point and collective
+//! operations the distributed H²-ULV factorization needs.  Message payloads
+//! are `Vec<f64>` — everything the solver communicates (basis blocks,
+//! skeleton blocks, right-hand-side segments) is a flat array of doubles plus
+//! dimensions the caller encodes in-band.
+//!
+//! Unlike the original perfect-network version, every operation here is
+//! *fallible*: messages travel as checksummed frames over a pluggable
+//! [`Transport`] (in-process channels or localhost TCP, see
+//! [`TransportKind`]), sends are acknowledged and retried with exponential
+//! backoff, receivers suppress duplicates through per-peer sequence numbers,
+//! and a heartbeat thread per rank feeds a failure detector.  Every blocking
+//! call runs against a deadline from [`CommConfig`] and returns a typed
+//! [`CommError`] instead of hanging — a dead peer converts collectives into
+//! `RankFailed` on all survivors.  Network fault injection (`H2_FAULT` specs
+//! `drop_msg`/`corrupt_msg`/`delay_msg`/`dup_msg`/`kill_rank`) happens inside
+//! the send path, below the reliability layer, so the retry machinery is
+//! exercised by the same code paths real packet loss would take.
 
 use crate::counters::CommStats;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::error::{CommError, CommResult};
+use crate::transport::{
+    ChannelTransport, Frame, FrameKind, SocketTransport, Transport, TransportKind,
+};
+use h2_matrix::fault;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// A message in flight.
+/// Tuning knobs for the reliable communicator.
+///
+/// The defaults are generous enough that clean runs never trip them; chaos
+/// tests install much tighter values so failures surface in milliseconds.
 #[derive(Debug, Clone)]
-struct Message {
-    src: usize,
-    tag: u64,
-    data: Vec<f64>,
+pub struct CommConfig {
+    /// Which frame pipe carries the traffic.
+    pub transport: TransportKind,
+    /// Deadline for one blocking operation (`send`, `recv`, a whole
+    /// collective, a `split` rendezvous).
+    pub op_deadline: Duration,
+    /// Gap before the first resend of an unacknowledged frame; doubles on
+    /// every subsequent resend.
+    pub retry_backoff: Duration,
+    /// Upper bound on the resend gap once backoff has grown.
+    pub backoff_cap: Duration,
+    /// Maximum number of *resends* per message (the first transmission is
+    /// free).  After exhaustion the sender keeps listening for a late ack
+    /// until the operation deadline.
+    pub max_retries: u32,
+    /// Period of the per-rank heartbeat beacon.
+    pub heartbeat_interval: Duration,
+    /// Silence threshold after which a peer is declared dead.
+    pub failure_timeout: Duration,
 }
 
-/// Shared state of one communicator: a mailbox (channel) per member rank.
-struct CommShared {
-    /// Sender endpoint for each member (indexed by rank within this communicator).
-    senders: Vec<Sender<Message>>,
-    /// Barrier/collective coordination state.
-    coord: Mutex<CoordState>,
-    /// Communication statistics, shared by all communicators of the universe.
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            transport: TransportKind::Channel,
+            op_deadline: Duration::from_secs(10),
+            retry_backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_millis(200),
+            max_retries: 10,
+            heartbeat_interval: Duration::from_millis(25),
+            failure_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl CommConfig {
+    /// Defaults with the transport (`H2_TRANSPORT=channel|socket`) and the
+    /// operation deadline (`H2_COMM_DEADLINE_MS`) read from the environment.
+    pub fn from_env() -> Self {
+        let mut cfg = CommConfig {
+            transport: TransportKind::from_env(),
+            ..CommConfig::default()
+        };
+        if let Ok(ms) = std::env::var("H2_COMM_DEADLINE_MS") {
+            match ms.parse::<u64>() {
+                Ok(ms) if ms > 0 => cfg.op_deadline = Duration::from_millis(ms),
+                _ => eprintln!("H2_COMM_DEADLINE_MS ignored: '{ms}' is not a positive integer"),
+            }
+        }
+        cfg
+    }
+}
+
+// ------------------------------------------------------------- endpoint
+
+/// The per-process reliable layer: one endpoint per world rank, shared by the
+/// world communicator and every sub-communicator split off it (frames carry a
+/// `comm_id`, so one frame pipe multiplexes all communicators).
+struct Endpoint {
+    /// World rank of this endpoint.
+    rank: usize,
+    /// World size.
+    size: usize,
+    cfg: CommConfig,
+    transport: Arc<dyn Transport>,
     stats: Arc<CommStats>,
-    /// Next communicator id for splits (shared counter).
-    next_comm_id: Arc<Mutex<u64>>,
-    /// Registry used to hand the per-member receivers of a split communicator to the
-    /// rank that should own them.
-    split_registry: Arc<Mutex<HashMap<(u64, usize), (Receiver<Message>, Arc<CommShared>)>>>,
+    /// Set when a `kill_rank` fault fires; also stops the heartbeat thread.
+    killed: Arc<AtomicBool>,
+    /// Next sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Acked sequence numbers per peer, awaiting pickup by `send_reliable`.
+    acked: Vec<HashSet<u64>>,
+    /// Delivered sequence numbers per peer (duplicate suppression).
+    delivered: Vec<HashSet<u64>>,
+    /// Received-but-unclaimed payloads, indexed by `(comm_id, src, tag)` so
+    /// matching is a map lookup however many tags are outstanding.
+    stash: HashMap<(u64, usize, u64), VecDeque<Vec<f64>>>,
+    /// Last time we heard anything (data, ack, heartbeat) from each peer.
+    last_heard: Vec<Instant>,
+    /// Peers declared dead (heartbeat silence or closed connection).
+    dead: Vec<bool>,
+    /// Cumulative corrupt-frame count per claimed source, used to convert a
+    /// receive timeout into the more precise `CorruptFrame` error.
+    corrupt_from: Vec<u64>,
+    /// Public communicator operations performed (the `kill_rank` ordinal).
+    op_count: u64,
+    /// Injection-site counter for deterministic fault rolls.
+    fault_seq: u64,
 }
 
-/// Coordination state used by `split` (a tiny rendezvous area).
-#[derive(Default)]
-struct CoordState {
-    /// `(color, key, rank)` submissions for the split in progress.
-    split_submissions: Vec<(i64, i64, usize)>,
-    /// Generation counter so consecutive splits do not interfere.
-    split_generation: u64,
-    /// Result for each submitting rank of the current generation:
-    /// old rank -> (communicator id, new rank, new size).
-    split_results: HashMap<usize, (u64, usize, usize)>,
+/// How long one pump waits when the caller is otherwise idle.  Frame arrival
+/// wakes the pump immediately; this only bounds deadline/resend latency.
+const PUMP_TICK: Duration = Duration::from_millis(5);
+
+impl Endpoint {
+    /// Count one public communicator operation and fire a pending
+    /// `kill_rank` fault.  A killed rank fails every subsequent operation
+    /// with `RankFailed` against itself and stops acking and heartbeating.
+    fn note_op(&mut self, op: &'static str) -> CommResult<()> {
+        if self.killed.load(Ordering::Relaxed) {
+            return Err(CommError::RankFailed {
+                rank: self.rank,
+                failed: self.rank,
+                op,
+            });
+        }
+        let ordinal = self.op_count;
+        self.op_count += 1;
+        if let Some((victim, after_ops)) = fault::kill_rank_plan() {
+            if victim == self.rank && ordinal >= after_ops {
+                self.killed.store(true, Ordering::Relaxed);
+                self.stats.record_rank_failure(self.rank);
+                return Err(CommError::RankFailed {
+                    rank: self.rank,
+                    failed: self.rank,
+                    op,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Process at most one incoming frame, waiting up to `wait` for it.
+    fn pump(&mut self, wait: Duration) -> CommResult<()> {
+        let frame = match self.transport.recv_frame(wait)? {
+            Some(f) => f,
+            None => return Ok(()),
+        };
+        let src = frame.src;
+        if src >= self.size {
+            return Ok(()); // garbage source rank: drop
+        }
+        match frame.kind {
+            FrameKind::Heartbeat => {
+                self.last_heard[src] = Instant::now();
+            }
+            FrameKind::PeerClosed => {
+                if src != self.rank && !self.dead[src] {
+                    self.dead[src] = true;
+                    self.stats.record_rank_failure(self.rank);
+                }
+            }
+            FrameKind::Ack => {
+                self.last_heard[src] = Instant::now();
+                self.acked[src].insert(frame.seq);
+            }
+            FrameKind::Data => {
+                self.last_heard[src] = Instant::now();
+                if !frame.checksum_ok() {
+                    // Drop without acking: the sender's retry will carry a
+                    // clean copy (or the sender times out).
+                    self.stats.record_corrupt_frame(self.rank);
+                    self.corrupt_from[src] += 1;
+                    return Ok(());
+                }
+                // Ack duplicates too — the ack of the original may be the
+                // thing that got lost.
+                let _ = self
+                    .transport
+                    .send_frame(src, &Frame::ack(self.rank, frame.seq));
+                if !self.delivered[src].insert(frame.seq) {
+                    self.stats.record_duplicate(self.rank);
+                    return Ok(());
+                }
+                self.stash
+                    .entry((frame.comm_id, src, frame.tag))
+                    .or_default()
+                    .push_back(frame.payload);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fail if `peer` is known dead or has been silent past the failure
+    /// timeout (heartbeats arrive through `pump`).
+    fn check_peer_alive(&mut self, peer: usize, op: &'static str) -> CommResult<()> {
+        if peer == self.rank {
+            return Ok(());
+        }
+        if !self.dead[peer] && self.last_heard[peer].elapsed() > self.cfg.failure_timeout {
+            self.dead[peer] = true;
+            self.stats.record_rank_failure(self.rank);
+        }
+        if self.dead[peer] {
+            return Err(CommError::RankFailed {
+                rank: self.rank,
+                failed: peer,
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Push one physical copy of a data frame through the transport, applying
+    /// any active network fault plan at this injection site.  Control frames
+    /// (acks, heartbeats) never pass through here and are never faulted.
+    fn send_data_frame(&mut self, dest: usize, frame: &Frame) -> CommResult<()> {
+        let site = self.fault_seq ^ ((self.rank as u64) << 48);
+        self.fault_seq += 1;
+        if let Some(rate) = fault::drop_msg_rate() {
+            if fault::roll(rate, site) {
+                return Ok(()); // swallowed by the "network"
+            }
+        }
+        if let Some(ms) = fault::delay_msg_ms() {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let mut wire = frame.clone();
+        if let Some(rate) = fault::corrupt_msg_rate() {
+            if fault::roll(rate, site ^ 0x00c0_ffee) {
+                wire.checksum ^= 0x5a5a_5a5a_5a5a_5a5a;
+            }
+        }
+        self.transport.send_frame(dest, &wire)?;
+        if let Some(rate) = fault::dup_msg_rate() {
+            if fault::roll(rate, site ^ 0xd0d0) {
+                self.transport.send_frame(dest, &wire)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reliable send: transmit, await the ack, resend with exponential
+    /// backoff, convert exhaustion into `Timeout` and dead peers into
+    /// `RankFailed`.  Self-sends go straight to the stash.
+    fn send_reliable(
+        &mut self,
+        comm_id: u64,
+        dest: usize,
+        tag: u64,
+        data: &[f64],
+        op: &'static str,
+        deadline: Instant,
+    ) -> CommResult<()> {
+        self.stats.record_send(self.rank, data.len() * 8);
+        if dest == self.rank {
+            self.stash
+                .entry((comm_id, dest, tag))
+                .or_default()
+                .push_back(data.to_vec());
+            return Ok(());
+        }
+        self.check_peer_alive(dest, op)?;
+        let seq = self.next_seq[dest];
+        self.next_seq[dest] += 1;
+        let frame = Frame::data(self.rank, comm_id, tag, seq, data.to_vec());
+        let start = Instant::now();
+        self.send_data_frame(dest, &frame)?;
+        let mut resends: u32 = 0;
+        let mut gap = self.cfg.retry_backoff;
+        let mut next_resend = start + gap;
+        loop {
+            if self.acked[dest].remove(&seq) {
+                return Ok(());
+            }
+            self.check_peer_alive(dest, op)?;
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_timeout(self.rank);
+                return Err(CommError::Timeout {
+                    op,
+                    rank: self.rank,
+                    peer: Some(dest),
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            if now >= next_resend {
+                if resends < self.cfg.max_retries {
+                    resends += 1;
+                    self.stats.record_retry(self.rank);
+                    self.send_data_frame(dest, &frame)?;
+                    gap = (gap * 2).min(self.cfg.backoff_cap);
+                    next_resend = now + gap;
+                } else {
+                    next_resend = deadline; // out of resends: just listen
+                }
+            }
+            let wait = deadline
+                .min(next_resend)
+                .saturating_duration_since(Instant::now())
+                .min(PUMP_TICK)
+                .max(Duration::from_micros(100));
+            self.pump(wait)?;
+        }
+    }
+
+    /// Blocking tag-matched receive against a deadline.  The stash is indexed
+    /// by `(comm_id, src, tag)`, so matching never scans unrelated messages.
+    fn recv_matched(
+        &mut self,
+        comm_id: u64,
+        src: usize,
+        tag: u64,
+        op: &'static str,
+        deadline: Instant,
+    ) -> CommResult<Vec<f64>> {
+        let start = Instant::now();
+        let corrupt_before = self.corrupt_from[src];
+        loop {
+            if let Some(queue) = self.stash.get_mut(&(comm_id, src, tag)) {
+                if let Some(data) = queue.pop_front() {
+                    if queue.is_empty() {
+                        self.stash.remove(&(comm_id, src, tag)); // keep the index bounded
+                    }
+                    return Ok(data);
+                }
+            }
+            self.check_peer_alive(src, op)?;
+            let now = Instant::now();
+            if now >= deadline {
+                self.stats.record_timeout(self.rank);
+                // Observed corruption from this peer makes the diagnosis
+                // sharper than a generic timeout.
+                if self.corrupt_from[src] > corrupt_before {
+                    return Err(CommError::CorruptFrame {
+                        rank: self.rank,
+                        src,
+                        tag,
+                    });
+                }
+                return Err(CommError::Timeout {
+                    op,
+                    rank: self.rank,
+                    peer: Some(src),
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+            let wait = deadline
+                .saturating_duration_since(now)
+                .min(PUMP_TICK)
+                .max(Duration::from_micros(100));
+            self.pump(wait)?;
+        }
+    }
 }
+
+// ------------------------------------------------------ split rendezvous
+
+/// What a completed split hands each member.
+struct SplitOutcome {
+    comm_id: u64,
+    rank: usize,
+    /// World ranks of the new communicator, indexed by new rank.
+    members: Vec<usize>,
+    coord: Arc<SplitCoord>,
+}
+
+/// Shared-memory rendezvous for `split`.  Pure bookkeeping: sub-communicators
+/// reuse the parent's endpoint, so a split only has to agree on membership
+/// and hand out a fresh `comm_id` and coordination area.
+#[derive(Default)]
+struct SplitCoord {
+    state: Mutex<SplitState>,
+}
+
+#[derive(Default)]
+struct SplitState {
+    /// Completed split generations on this communicator.
+    generation: u64,
+    /// `(color, key, rank)` submissions of the in-flight generation.
+    submissions: Vec<(i64, i64, usize)>,
+    /// Outcome per parent rank, filled by the last submitter.
+    results: HashMap<usize, SplitOutcome>,
+}
+
+impl SplitCoord {
+    /// Record one rank's `(color, key)` submission; the last arrival builds
+    /// all the new communicators.  Returns the generation submitted into.
+    /// A rank submitting twice in one generation is a protocol violation.
+    fn submit(
+        &self,
+        color: i64,
+        key: i64,
+        rank: usize,
+        parent_members: &[usize],
+        next_comm_id: &AtomicU64,
+    ) -> CommResult<u64> {
+        let mut st = self.state.lock();
+        if st.submissions.iter().any(|&(_, _, r)| r == rank) {
+            return Err(CommError::Protocol {
+                rank: parent_members[rank],
+                detail: format!(
+                    "split: rank {rank} submitted twice in generation {}",
+                    st.generation
+                ),
+            });
+        }
+        let generation = st.generation;
+        st.submissions.push((color, key, rank));
+        if st.submissions.len() == parent_members.len() {
+            let submissions = std::mem::take(&mut st.submissions);
+            let mut groups: HashMap<i64, Vec<(i64, usize)>> = HashMap::new();
+            for (c, k, r) in submissions {
+                groups.entry(c).or_default().push((k, r));
+            }
+            for (_color, mut members) in groups {
+                members.sort(); // by key, ties broken by old rank
+                let comm_id = next_comm_id.fetch_add(1, Ordering::Relaxed);
+                let world: Vec<usize> = members.iter().map(|&(_k, r)| parent_members[r]).collect();
+                let coord = Arc::new(SplitCoord::default());
+                for (new_rank, &(_k, old_rank)) in members.iter().enumerate() {
+                    st.results.insert(
+                        old_rank,
+                        SplitOutcome {
+                            comm_id,
+                            rank: new_rank,
+                            members: world.clone(),
+                            coord: Arc::clone(&coord),
+                        },
+                    );
+                }
+            }
+            st.generation += 1;
+        }
+        Ok(generation)
+    }
+
+    /// Collect this rank's outcome once the generation has completed.
+    fn try_take(&self, generation: u64, rank: usize) -> Option<SplitOutcome> {
+        let mut st = self.state.lock();
+        if st.generation > generation {
+            st.results.remove(&rank)
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------- comm
 
 /// A communicator handle owned by one rank.
 pub struct Comm {
+    /// Identity of this communicator on the shared endpoint (world = 0).
+    comm_id: u64,
+    /// This rank's index within the communicator.
     rank: usize,
-    size: usize,
-    inbox: Receiver<Message>,
-    shared: Arc<CommShared>,
-    /// Buffer of messages received but not yet matched by tag.
-    stash: Vec<Message>,
+    /// World ranks of the members, indexed by communicator rank.
+    members: Vec<usize>,
+    /// The per-process reliable layer, shared with every sibling communicator.
+    endpoint: Arc<Mutex<Endpoint>>,
+    coord: Arc<SplitCoord>,
+    next_comm_id: Arc<AtomicU64>,
+    stats: Arc<CommStats>,
+    cfg: CommConfig,
 }
 
-/// The universe spawns ranks and joins them.
+impl Comm {
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's index in the world communicator (error reports use it).
+    pub fn world_rank(&self) -> usize {
+        self.members[self.rank]
+    }
+
+    /// The configuration this universe runs under.
+    pub fn config(&self) -> &CommConfig {
+        &self.cfg
+    }
+
+    fn member(&self, r: usize, op: &'static str) -> CommResult<usize> {
+        self.members
+            .get(r)
+            .copied()
+            .ok_or_else(|| CommError::Protocol {
+                rank: self.world_rank(),
+                detail: format!(
+                    "{op}: rank {r} out of range for size {}",
+                    self.members.len()
+                ),
+            })
+    }
+
+    /// Send `data` to `dest` with a message `tag`.
+    ///
+    /// Blocks until the receiver has acknowledged the (checksummed) frame,
+    /// retrying lost copies, or until the operation deadline.
+    pub fn send(&self, dest: usize, tag: u64, data: &[f64]) -> CommResult<()> {
+        let dest_world = self.member(dest, "send")?;
+        let mut ep = self.endpoint.lock();
+        ep.note_op("send")?;
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        ep.send_reliable(self.comm_id, dest_world, tag, data, "send", deadline)
+    }
+
+    /// Receive a message from `src` with the given `tag` (blocking, with tag
+    /// matching against a deadline).
+    pub fn recv(&mut self, src: usize, tag: u64) -> CommResult<Vec<f64>> {
+        let src_world = self.member(src, "recv")?;
+        let mut ep = self.endpoint.lock();
+        ep.note_op("recv")?;
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        ep.recv_matched(self.comm_id, src_world, tag, "recv", deadline)
+    }
+
+    /// Barrier over all ranks of this communicator (dissemination algorithm).
+    pub fn barrier(&mut self, tag: u64) -> CommResult<()> {
+        let mut ep = self.endpoint.lock();
+        ep.note_op("barrier")?;
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        let p = self.size();
+        let mut round = 1usize;
+        while round < p {
+            let dest = self.members[(self.rank + round) % p];
+            let src = self.members[(self.rank + p - round) % p];
+            let t = tag ^ 0xba44_0000 ^ round as u64;
+            ep.send_reliable(self.comm_id, dest, t, &[], "barrier", deadline)?;
+            ep.recv_matched(self.comm_id, src, t, "barrier", deadline)?;
+            round <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Allgather: every rank contributes `data`; returns the contributions in
+    /// rank order.  Contributions may have different lengths.
+    pub fn allgather(&mut self, tag: u64, data: &[f64]) -> CommResult<Vec<Vec<f64>>> {
+        let mut ep = self.endpoint.lock();
+        ep.note_op("allgather")?;
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        self.allgather_inner(&mut ep, tag, data, deadline)
+    }
+
+    /// Allgather body shared with `allreduce_sum` (which must count as one
+    /// operation for the `kill_rank` ordinal).
+    fn allgather_inner(
+        &self,
+        ep: &mut Endpoint,
+        tag: u64,
+        data: &[f64],
+        deadline: Instant,
+    ) -> CommResult<Vec<Vec<f64>>> {
+        let p = self.size();
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
+        out[self.rank] = data.to_vec();
+        // Simple ring exchange: p-1 rounds, each rank forwards what it has
+        // learned.  For the solver's purposes (tree communicators of width 2
+        // at most levels) this is plenty; the time model in `netmodel`
+        // charges the log-tree cost the paper's implementation would achieve.
+        let t = tag ^ (0xa11 << 32);
+        for r in 0..p {
+            if r == self.rank {
+                for dest in 0..p {
+                    if dest != self.rank {
+                        ep.send_reliable(
+                            self.comm_id,
+                            self.members[dest],
+                            t,
+                            data,
+                            "allgather",
+                            deadline,
+                        )?;
+                    }
+                }
+            } else {
+                out[r] =
+                    ep.recv_matched(self.comm_id, self.members[r], t, "allgather", deadline)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Broadcast from `root`: returns the root's data on every rank.
+    pub fn bcast(&mut self, tag: u64, root: usize, data: &[f64]) -> CommResult<Vec<f64>> {
+        let root_world = self.member(root, "bcast")?;
+        let mut ep = self.endpoint.lock();
+        ep.note_op("bcast")?;
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        let t = tag ^ (0xbca << 32);
+        if self.rank == root {
+            for dest in 0..self.size() {
+                if dest != root {
+                    ep.send_reliable(self.comm_id, self.members[dest], t, data, "bcast", deadline)?;
+                }
+            }
+            Ok(data.to_vec())
+        } else {
+            ep.recv_matched(self.comm_id, root_world, t, "bcast", deadline)
+        }
+    }
+
+    /// Element-wise sum reduction to every rank (allreduce).
+    pub fn allreduce_sum(&mut self, tag: u64, data: &[f64]) -> CommResult<Vec<f64>> {
+        let mut ep = self.endpoint.lock();
+        ep.note_op("allreduce_sum")?;
+        let deadline = Instant::now() + self.cfg.op_deadline;
+        let parts = self.allgather_inner(&mut ep, tag ^ (0x5ed << 32), data, deadline)?;
+        let mut acc = vec![0.0; data.len()];
+        for (r, part) in parts.iter().enumerate() {
+            if part.len() != data.len() {
+                return Err(CommError::Protocol {
+                    rank: self.world_rank(),
+                    detail: format!(
+                        "allreduce_sum: rank {r} contributed {} values, this rank {}",
+                        part.len(),
+                        data.len()
+                    ),
+                });
+            }
+            for (a, v) in acc.iter_mut().zip(part) {
+                *a += v;
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Split the communicator by `color`; ranks with equal colors form a new
+    /// communicator, ordered by `key` (ties broken by old rank).  Every rank
+    /// of the parent must call `split` exactly once; a second submission in
+    /// the same generation is rejected with a `Protocol` error, and a dead or
+    /// absent member converts the rendezvous into `RankFailed`/`Timeout`.
+    pub fn split(&mut self, color: i64, key: i64) -> CommResult<Comm> {
+        {
+            let mut ep = self.endpoint.lock();
+            ep.note_op("split")?;
+        }
+        let start = Instant::now();
+        let deadline = start + self.cfg.op_deadline;
+        let my_generation =
+            self.coord
+                .submit(color, key, self.rank, &self.members, &self.next_comm_id)?;
+        loop {
+            if let Some(out) = self.coord.try_take(my_generation, self.rank) {
+                return Ok(Comm {
+                    comm_id: out.comm_id,
+                    rank: out.rank,
+                    members: out.members,
+                    endpoint: Arc::clone(&self.endpoint),
+                    coord: out.coord,
+                    next_comm_id: Arc::clone(&self.next_comm_id),
+                    stats: Arc::clone(&self.stats),
+                    cfg: self.cfg.clone(),
+                });
+            }
+            {
+                let mut ep = self.endpoint.lock();
+                for &m in &self.members {
+                    ep.check_peer_alive(m, "split")?;
+                }
+                // Keep acks and heartbeats flowing while we wait.
+                ep.pump(Duration::from_millis(1))?;
+            }
+            if Instant::now() >= deadline {
+                self.stats.record_timeout(self.world_rank());
+                return Err(CommError::Timeout {
+                    op: "split",
+                    rank: self.world_rank(),
+                    peer: None,
+                    waited_ms: start.elapsed().as_millis() as u64,
+                });
+            }
+        }
+    }
+
+    /// Access the universe-wide communication statistics.
+    pub fn stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+// ------------------------------------------------------------- universe
+
+/// The universe spawns ranks (plus one heartbeat thread each) and joins them.
 pub struct Universe;
 
 impl Universe {
-    /// Run `f` on `size` ranks, each on its own thread, and collect the return values
-    /// in rank order.
+    /// Run `f` on `size` ranks, each on its own thread, and collect the
+    /// return values in rank order.  Configuration comes from the environment
+    /// (`H2_TRANSPORT`, `H2_COMM_DEADLINE_MS`).
     ///
     /// # Panics
     /// Panics if any rank panics.
@@ -71,9 +720,108 @@ impl Universe {
         T: Send + 'static,
         F: Fn(Comm) -> T + Send + Sync + 'static,
     {
+        Self::run_config(size, &CommConfig::from_env(), f)
+    }
+
+    /// Run `f` on `size` ranks and also return the accumulated communication
+    /// stats.
+    pub fn run_with_stats<T, F>(size: usize, f: F) -> (Vec<T>, CommStats)
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        Self::run_config_with_stats(size, &CommConfig::from_env(), f)
+    }
+
+    /// Run `f` on `size` ranks under an explicit configuration.
+    pub fn run_config<T, F>(size: usize, cfg: &CommConfig, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        Self::run_config_with_stats(size, cfg, f).0
+    }
+
+    /// Run `f` on `size` ranks under an explicit configuration and return the
+    /// accumulated communication stats alongside the results.
+    pub fn run_config_with_stats<T, F>(size: usize, cfg: &CommConfig, f: F) -> (Vec<T>, CommStats)
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
         assert!(size > 0, "universe needs at least one rank");
         let stats = Arc::new(CommStats::new(size));
-        let comms = Self::make_world(size, Arc::clone(&stats));
+        let transports: Vec<Arc<dyn Transport>> = match cfg.transport {
+            TransportKind::Channel => ChannelTransport::world(size)
+                .into_iter()
+                .map(|t| Arc::new(t) as Arc<dyn Transport>)
+                .collect(),
+            TransportKind::Socket => match SocketTransport::world(size) {
+                Ok(ts) => ts
+                    .into_iter()
+                    .map(|t| Arc::new(t) as Arc<dyn Transport>)
+                    .collect(),
+                Err(e) => panic!("mpisim: failed to build localhost socket mesh: {e}"),
+            },
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let next_comm_id = Arc::new(AtomicU64::new(1));
+        let world_coord = Arc::new(SplitCoord::default());
+        let world_members: Vec<usize> = (0..size).collect();
+        let birth = Instant::now();
+        let mut heartbeats = Vec::with_capacity(size);
+        let mut comms = Vec::with_capacity(size);
+        for (rank, transport) in transports.into_iter().enumerate() {
+            let killed = Arc::new(AtomicBool::new(false));
+            {
+                let transport = Arc::clone(&transport);
+                let stop = Arc::clone(&stop);
+                let killed = Arc::clone(&killed);
+                let interval = cfg.heartbeat_interval;
+                heartbeats.push(
+                    std::thread::Builder::new()
+                        .name(format!("mpisim-hb-{rank}"))
+                        .spawn(move || {
+                            while !stop.load(Ordering::Relaxed) && !killed.load(Ordering::Relaxed) {
+                                for peer in 0..size {
+                                    if peer != rank {
+                                        let _ = transport.send_frame(peer, &Frame::heartbeat(rank));
+                                    }
+                                }
+                                std::thread::sleep(interval);
+                            }
+                        })
+                        .unwrap_or_else(|e| panic!("failed to spawn heartbeat thread: {e}")),
+                );
+            }
+            let endpoint = Endpoint {
+                rank,
+                size,
+                cfg: cfg.clone(),
+                transport,
+                stats: Arc::clone(&stats),
+                killed,
+                next_seq: vec![0; size],
+                acked: (0..size).map(|_| HashSet::new()).collect(),
+                delivered: (0..size).map(|_| HashSet::new()).collect(),
+                stash: HashMap::new(),
+                last_heard: vec![birth; size],
+                dead: vec![false; size],
+                corrupt_from: vec![0; size],
+                op_count: 0,
+                fault_seq: 0,
+            };
+            comms.push(Comm {
+                comm_id: 0,
+                rank,
+                members: world_members.clone(),
+                endpoint: Arc::new(Mutex::new(endpoint)),
+                coord: Arc::clone(&world_coord),
+                next_comm_id: Arc::clone(&next_comm_id),
+                stats: Arc::clone(&stats),
+                cfg: cfg.clone(),
+            });
+        }
         let f = Arc::new(f);
         let mut handles = Vec::with_capacity(size);
         for comm in comms {
@@ -85,259 +833,16 @@ impl Universe {
                     .unwrap_or_else(|e| panic!("failed to spawn rank: {e}")),
             );
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
-            .collect()
-    }
-
-    /// Run `f` on `size` ranks and also return the accumulated communication stats.
-    pub fn run_with_stats<T, F>(size: usize, f: F) -> (Vec<T>, CommStats)
-    where
-        T: Send + 'static,
-        F: Fn(Comm) -> T + Send + Sync + 'static,
-    {
-        assert!(size > 0);
-        let stats = Arc::new(CommStats::new(size));
-        let comms = Self::make_world(size, Arc::clone(&stats));
-        let f = Arc::new(f);
-        let mut handles = Vec::with_capacity(size);
-        for comm in comms {
-            let f = Arc::clone(&f);
-            handles.push(std::thread::spawn(move || f(comm)));
-        }
-        let results = handles
+        let results: Vec<T> = handles
             .into_iter()
             .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect();
+        stop.store(true, Ordering::Relaxed);
+        for h in heartbeats {
+            let _ = h.join();
+        }
         let stats = Arc::try_unwrap(stats).unwrap_or_else(|a| (*a).clone());
         (results, stats)
-    }
-
-    fn make_world(size: usize, stats: Arc<CommStats>) -> Vec<Comm> {
-        let mut senders = Vec::with_capacity(size);
-        let mut receivers = Vec::with_capacity(size);
-        for _ in 0..size {
-            let (s, r) = unbounded();
-            senders.push(s);
-            receivers.push(r);
-        }
-        let shared = Arc::new(CommShared {
-            senders,
-            coord: Mutex::new(CoordState::default()),
-            stats,
-            next_comm_id: Arc::new(Mutex::new(1)),
-            split_registry: Arc::new(Mutex::new(HashMap::new())),
-        });
-        receivers
-            .into_iter()
-            .enumerate()
-            .map(|(rank, inbox)| Comm {
-                rank,
-                size,
-                inbox,
-                shared: Arc::clone(&shared),
-                stash: Vec::new(),
-            })
-            .collect()
-    }
-}
-
-impl Comm {
-    /// This rank's index within the communicator.
-    pub fn rank(&self) -> usize {
-        self.rank
-    }
-
-    /// Number of ranks in the communicator.
-    pub fn size(&self) -> usize {
-        self.size
-    }
-
-    /// Send `data` to `dest` with a message `tag`.
-    pub fn send(&self, dest: usize, tag: u64, data: &[f64]) {
-        assert!(dest < self.size, "send: destination {dest} out of range");
-        self.shared.stats.record_send(self.rank, data.len() * 8);
-        self.shared.senders[dest]
-            .send(Message {
-                src: self.rank,
-                tag,
-                data: data.to_vec(),
-            })
-            .unwrap_or_else(|_| panic!("mpisim: receiver hung up"));
-    }
-
-    /// Receive a message from `src` with the given `tag` (blocking, with tag matching).
-    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
-        // Check the stash first.
-        if let Some(pos) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
-            return self.stash.swap_remove(pos).data;
-        }
-        loop {
-            let msg = self
-                .inbox
-                .recv()
-                .unwrap_or_else(|_| panic!("mpisim: channel closed"));
-            if msg.src == src && msg.tag == tag {
-                return msg.data;
-            }
-            self.stash.push(msg);
-        }
-    }
-
-    /// Barrier over all ranks of this communicator (dissemination algorithm).
-    pub fn barrier(&mut self, tag: u64) {
-        let p = self.size;
-        let mut round = 1;
-        while round < p {
-            let dest = (self.rank + round) % p;
-            let src = (self.rank + p - round) % p;
-            self.send(dest, tag ^ 0xba44_0000 ^ round as u64, &[]);
-            let _ = self.recv(src, tag ^ 0xba44_0000 ^ round as u64);
-            round <<= 1;
-        }
-    }
-
-    /// Allgather: every rank contributes `data`; returns the concatenation over ranks
-    /// in rank order.  Contributions may have different lengths.
-    pub fn allgather(&mut self, tag: u64, data: &[f64]) -> Vec<Vec<f64>> {
-        let p = self.size;
-        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p];
-        out[self.rank] = data.to_vec();
-        // Simple ring exchange: p-1 rounds, each rank forwards what it has learned.
-        // For the solver's purposes (tree communicators of width 2 at most levels)
-        // this is plenty; the time model in `netmodel` charges the log-tree cost the
-        // paper's implementation would achieve.
-        for r in 0..p {
-            if r == self.rank {
-                for dest in 0..p {
-                    if dest != self.rank {
-                        self.send(dest, tag ^ (0xa11 << 32), data);
-                    }
-                }
-            } else {
-                let d = self.recv(r, tag ^ (0xa11 << 32));
-                out[r] = d;
-            }
-        }
-        out
-    }
-
-    /// Broadcast from `root`: returns the root's data on every rank.
-    pub fn bcast(&mut self, tag: u64, root: usize, data: &[f64]) -> Vec<f64> {
-        if self.rank == root {
-            for dest in 0..self.size {
-                if dest != root {
-                    self.send(dest, tag ^ (0xbca << 32), data);
-                }
-            }
-            data.to_vec()
-        } else {
-            self.recv(root, tag ^ (0xbca << 32))
-        }
-    }
-
-    /// Element-wise sum reduction to every rank (allreduce).
-    pub fn allreduce_sum(&mut self, tag: u64, data: &[f64]) -> Vec<f64> {
-        let parts = self.allgather(tag ^ (0x5ed << 32), data);
-        let mut acc = vec![0.0; data.len()];
-        for part in parts {
-            assert_eq!(
-                part.len(),
-                data.len(),
-                "allreduce_sum: length mismatch across ranks"
-            );
-            for (a, v) in acc.iter_mut().zip(&part) {
-                *a += v;
-            }
-        }
-        acc
-    }
-
-    /// Split the communicator by `color`; ranks with equal colors form a new
-    /// communicator, ordered by `key` (ties broken by old rank).  Every rank of the
-    /// parent must call `split`.
-    pub fn split(&mut self, color: i64, key: i64) -> Comm {
-        // Rendezvous through the shared coordination state: the last rank to arrive
-        // builds all the new communicators and publishes per-member receivers in the
-        // split registry.
-        let my_generation;
-        {
-            let mut coord = self.shared.coord.lock();
-            my_generation = coord.split_generation;
-            coord.split_submissions.push((color, key, self.rank));
-            if coord.split_submissions.len() == self.size {
-                // Build the new communicators.
-                let submissions = std::mem::take(&mut coord.split_submissions);
-                let mut groups: HashMap<i64, Vec<(i64, usize)>> = HashMap::new();
-                for (c, k, r) in submissions {
-                    groups.entry(c).or_default().push((k, r));
-                }
-                let mut registry = self.shared.split_registry.lock();
-                let mut next_id = self.shared.next_comm_id.lock();
-                for (_color, mut members) in groups {
-                    members.sort();
-                    let comm_id = *next_id;
-                    *next_id += 1;
-                    let size = members.len();
-                    let mut senders = Vec::with_capacity(size);
-                    let mut receivers = Vec::with_capacity(size);
-                    for _ in 0..size {
-                        let (s, r) = unbounded();
-                        senders.push(s);
-                        receivers.push(r);
-                    }
-                    let new_shared = Arc::new(CommShared {
-                        senders,
-                        coord: Mutex::new(CoordState::default()),
-                        stats: Arc::clone(&self.shared.stats),
-                        next_comm_id: Arc::clone(&self.shared.next_comm_id),
-                        split_registry: Arc::clone(&self.shared.split_registry),
-                    });
-                    for (new_rank, (_k, old_rank)) in members.iter().enumerate() {
-                        registry.insert(
-                            (comm_id, *old_rank),
-                            (receivers[new_rank].clone(), Arc::clone(&new_shared)),
-                        );
-                        coord
-                            .split_results
-                            .insert(*old_rank, (comm_id, new_rank, size));
-                    }
-                }
-                coord.split_generation += 1;
-            }
-        }
-        // Wait for the builder to publish our entry.
-        loop {
-            {
-                let mut coord = self.shared.coord.lock();
-                if coord.split_generation > my_generation {
-                    if let Some((comm_id, new_rank, new_size)) =
-                        coord.split_results.get(&self.rank).copied()
-                    {
-                        coord.split_results.remove(&self.rank);
-                        drop(coord);
-                        let mut registry = self.shared.split_registry.lock();
-                        let (inbox, shared) = registry
-                            .remove(&(comm_id, self.rank))
-                            .unwrap_or_else(|| unreachable!("split registry entry missing"));
-                        return Comm {
-                            rank: new_rank,
-                            size: new_size,
-                            inbox,
-                            shared,
-                            stash: Vec::new(),
-                        };
-                    }
-                }
-            }
-            std::thread::yield_now();
-        }
-    }
-
-    /// Access the universe-wide communication statistics.
-    pub fn stats(&self) -> Arc<CommStats> {
-        Arc::clone(&self.shared.stats)
     }
 }
 
@@ -349,10 +854,10 @@ mod tests {
     fn send_recv_roundtrip() {
         let results = Universe::run(2, |mut comm| {
             if comm.rank() == 0 {
-                comm.send(1, 7, &[1.0, 2.0, 3.0]);
+                comm.send(1, 7, &[1.0, 2.0, 3.0]).unwrap();
                 vec![]
             } else {
-                comm.recv(0, 7)
+                comm.recv(0, 7).unwrap()
             }
         });
         assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
@@ -362,13 +867,13 @@ mod tests {
     fn tag_matching_out_of_order() {
         let results = Universe::run(2, |mut comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, &[1.0]);
-                comm.send(1, 2, &[2.0]);
+                comm.send(1, 1, &[1.0]).unwrap();
+                comm.send(1, 2, &[2.0]).unwrap();
                 0.0
             } else {
                 // Receive in the opposite order of sending.
-                let b = comm.recv(0, 2);
-                let a = comm.recv(0, 1);
+                let b = comm.recv(0, 2).unwrap();
+                let a = comm.recv(0, 1).unwrap();
                 a[0] * 10.0 + b[0]
             }
         });
@@ -376,10 +881,44 @@ mod tests {
     }
 
     #[test]
+    fn tag_matching_with_many_outstanding_tags() {
+        // Regression for the tag-matching index: 256 messages arrive before
+        // the receiver asks for any of them, then are drained in reverse
+        // order.  The old linear stash scan made this quadratic; the indexed
+        // stash makes each match a map lookup either way, and every message
+        // must still land on its exact tag.
+        const N: u64 = 256;
+        let results = Universe::run(2, |mut comm| {
+            if comm.rank() == 0 {
+                for t in 0..N {
+                    comm.send(1, t, &[t as f64 + 0.5]).unwrap();
+                }
+                // Wait for the receiver to finish draining before exiting.
+                comm.recv(1, 999_999).unwrap();
+                0.0
+            } else {
+                // Let every send complete (acks flow while we sleep because
+                // the sender pumps; give deliveries a moment to queue up).
+                std::thread::sleep(Duration::from_millis(50));
+                let mut sum = 0.0;
+                for t in (0..N).rev() {
+                    let v = comm.recv(0, t).unwrap();
+                    assert_eq!(v, vec![t as f64 + 0.5], "tag {t} mismatched");
+                    sum += v[0];
+                }
+                comm.send(0, 999_999, &[]).unwrap();
+                sum
+            }
+        });
+        let expected: f64 = (0..N).map(|t| t as f64 + 0.5).sum();
+        assert_eq!(results[1], expected);
+    }
+
+    #[test]
     fn allgather_collects_in_rank_order() {
         let results = Universe::run(4, |mut comm| {
             let mine = vec![comm.rank() as f64; comm.rank() + 1];
-            let all = comm.allgather(3, &mine);
+            let all = comm.allgather(3, &mine).unwrap();
             all.into_iter().flatten().collect::<Vec<f64>>()
         });
         for r in results {
@@ -395,8 +934,8 @@ mod tests {
             } else {
                 vec![0.0, 0.0]
             };
-            let b = comm.bcast(9, 1, &data);
-            let s = comm.allreduce_sum(11, &[comm.rank() as f64 + 1.0]);
+            let b = comm.bcast(9, 1, &data).unwrap();
+            let s = comm.allreduce_sum(11, &[comm.rank() as f64 + 1.0]).unwrap();
             (b, s)
         });
         for (b, s) in results {
@@ -408,8 +947,8 @@ mod tests {
     #[test]
     fn barrier_completes() {
         let results = Universe::run(5, |mut comm| {
-            comm.barrier(21);
-            comm.barrier(22);
+            comm.barrier(21).unwrap();
+            comm.barrier(22).unwrap();
             comm.rank()
         });
         assert_eq!(results, vec![0, 1, 2, 3, 4]);
@@ -420,11 +959,11 @@ mod tests {
         // 4 ranks split into two pairs; within each pair, exchange ranks.
         let results = Universe::run(4, |mut comm| {
             let color = (comm.rank() / 2) as i64;
-            let mut sub = comm.split(color, comm.rank() as i64);
+            let mut sub = comm.split(color, comm.rank() as i64).unwrap();
             assert_eq!(sub.size(), 2);
             let peer = 1 - sub.rank();
-            sub.send(peer, 50, &[comm.rank() as f64]);
-            let got = sub.recv(peer, 50);
+            sub.send(peer, 50, &[comm.rank() as f64]).unwrap();
+            let got = sub.recv(peer, 50).unwrap();
             (comm.rank(), sub.rank(), got[0] as usize)
         });
         for (world_rank, sub_rank, peer_world_rank) in results {
@@ -440,10 +979,10 @@ mod tests {
         // 8 ranks: split in half twice, mirroring the paper's process tree.
         let results = Universe::run(8, |mut comm| {
             let c1 = (comm.rank() / 4) as i64;
-            let mut half = comm.split(c1, comm.rank() as i64);
+            let mut half = comm.split(c1, comm.rank() as i64).unwrap();
             let c2 = (half.rank() / 2) as i64;
-            let mut quarter = half.split(c2, half.rank() as i64);
-            let s = quarter.allreduce_sum(99, &[comm.rank() as f64]);
+            let mut quarter = half.split(c2, half.rank() as i64).unwrap();
+            let s = quarter.allreduce_sum(99, &[comm.rank() as f64]).unwrap();
             (half.size(), quarter.size(), s[0])
         });
         for (rank, (hs, qs, sum)) in results.iter().enumerate() {
@@ -456,15 +995,82 @@ mod tests {
     }
 
     #[test]
+    fn split_rejects_double_submission_in_one_generation() {
+        // The rendezvous itself must reject a rank submitting twice before
+        // the generation completes — exercised directly on the coordination
+        // state, since a well-typed `Comm` cannot express the race.
+        let coord = SplitCoord::default();
+        let members = [0usize, 1, 2];
+        let ids = AtomicU64::new(1);
+        assert!(coord.submit(0, 0, 1, &members, &ids).is_ok());
+        match coord.submit(0, 0, 1, &members, &ids) {
+            Err(CommError::Protocol { rank, detail }) => {
+                assert_eq!(rank, 1);
+                assert!(detail.contains("twice"), "detail: {detail}");
+            }
+            other => panic!("expected Protocol error, got {other:?}"),
+        }
+        // The generation still completes once the remaining ranks arrive.
+        assert!(coord.submit(0, 0, 0, &members, &ids).is_ok());
+        let gen = coord.submit(1, 0, 2, &members, &ids).unwrap();
+        assert!(coord.try_take(gen, 2).is_some());
+        assert!(coord.try_take(gen, 0).is_some());
+        assert!(coord.try_take(gen, 1).is_some());
+    }
+
+    #[test]
     fn stats_record_traffic() {
         let (_, stats) = Universe::run_with_stats(2, |mut comm| {
             if comm.rank() == 0 {
-                comm.send(1, 1, &[0.0; 100]);
+                comm.send(1, 1, &[0.0; 100]).unwrap();
             } else {
-                let _ = comm.recv(0, 1);
+                let _ = comm.recv(0, 1).unwrap();
             }
         });
         assert_eq!(stats.total_messages(), 1);
         assert_eq!(stats.total_bytes(), 800);
+    }
+
+    #[test]
+    fn socket_transport_runs_the_same_collectives() {
+        let cfg = CommConfig {
+            transport: TransportKind::Socket,
+            ..CommConfig::default()
+        };
+        let results = Universe::run_config(4, &cfg, |mut comm| {
+            let mine = vec![comm.rank() as f64 + 0.25];
+            let all = comm.allgather(3, &mine).unwrap();
+            comm.barrier(5).unwrap();
+            let sum = comm.allreduce_sum(7, &[comm.rank() as f64]).unwrap();
+            (all.into_iter().flatten().collect::<Vec<f64>>(), sum[0])
+        });
+        for (all, sum) in results {
+            assert_eq!(all, vec![0.25, 1.25, 2.25, 3.25]);
+            assert_eq!(sum, 6.0);
+        }
+    }
+
+    #[test]
+    fn recv_times_out_with_typed_error() {
+        let cfg = CommConfig {
+            op_deadline: Duration::from_millis(100),
+            ..CommConfig::default()
+        };
+        let results = Universe::run_config(2, &cfg, |mut comm| {
+            if comm.rank() == 0 {
+                // Never send what rank 1 waits for.
+                Ok(vec![])
+            } else {
+                comm.recv(0, 42)
+            }
+        });
+        match &results[1] {
+            Err(CommError::Timeout { op, rank, peer, .. }) => {
+                assert_eq!(*op, "recv");
+                assert_eq!(*rank, 1);
+                assert_eq!(*peer, Some(0));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 }

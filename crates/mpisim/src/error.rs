@@ -1,0 +1,203 @@
+//! Typed communicator failures.
+//!
+//! Every blocking operation of [`Comm`](crate::Comm) — `send`, `recv`,
+//! `barrier`, `allgather`, `bcast`, `allreduce_sum`, `split` — runs against a
+//! deadline from [`CommConfig`](crate::CommConfig) and reports breakdowns
+//! through this enum instead of hanging or panicking.  The variants map onto
+//! the solver-wide [`SolverError`] taxonomy via [`From`], so the distributed
+//! paths in `h2-factor` surface communicator faults exactly like numerical
+//! ones.
+
+use h2_matrix::{CommFaultKind, SolverError};
+
+/// Result alias for communicator operations.
+pub type CommResult<T> = std::result::Result<T, CommError>;
+
+/// A communicator operation failed.
+///
+/// `rank` is always the *world* rank of the process reporting the failure
+/// (sub-communicators report through the same per-process endpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The operation missed its deadline (including exhausted send retries).
+    Timeout {
+        /// The operation that timed out.
+        op: &'static str,
+        /// World rank reporting the timeout.
+        rank: usize,
+        /// Peer the operation was waiting on, when there is a single one.
+        peer: Option<usize>,
+        /// How long the operation waited, in milliseconds.
+        waited_ms: u64,
+    },
+    /// A peer rank died (connection closed or heartbeats stopped).
+    RankFailed {
+        /// World rank reporting the failure.
+        rank: usize,
+        /// World rank of the dead peer (equals `rank` when this rank itself
+        /// was killed by a `kill_rank` fault plan).
+        failed: usize,
+        /// The operation that observed the failure.
+        op: &'static str,
+    },
+    /// A frame arrived with a checksum mismatch and retries did not repair it
+    /// before the deadline.
+    CorruptFrame {
+        /// World rank reporting the corruption.
+        rank: usize,
+        /// World rank the corrupt frame claimed as its source.
+        src: usize,
+        /// Message tag of the corrupt frame.
+        tag: u64,
+    },
+    /// The underlying transport connection was lost mid-operation.
+    Disconnected {
+        /// World rank reporting the disconnect.
+        rank: usize,
+        /// Peer whose connection dropped, when known.
+        peer: Option<usize>,
+        /// The operation that observed the disconnect.
+        op: &'static str,
+    },
+    /// The communicator API was misused (double split submission, send to an
+    /// out-of-range destination, mismatched allreduce lengths).
+    Protocol {
+        /// World rank reporting the misuse.
+        rank: usize,
+        /// Description of what was violated.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout {
+                op,
+                rank,
+                peer,
+                waited_ms,
+            } => match peer {
+                Some(p) => write!(
+                    f,
+                    "rank {rank}: {op} timed out after {waited_ms} ms waiting on rank {p}"
+                ),
+                None => write!(f, "rank {rank}: {op} timed out after {waited_ms} ms"),
+            },
+            CommError::RankFailed { rank, failed, op } => {
+                if rank == failed {
+                    write!(f, "rank {rank}: killed during {op}")
+                } else {
+                    write!(f, "rank {rank}: peer rank {failed} failed during {op}")
+                }
+            }
+            CommError::CorruptFrame { rank, src, tag } => write!(
+                f,
+                "rank {rank}: frame from rank {src} (tag {tag:#x}) failed checksum verification"
+            ),
+            CommError::Disconnected { rank, peer, op } => match peer {
+                Some(p) => write!(f, "rank {rank}: connection to rank {p} lost during {op}"),
+                None => write!(f, "rank {rank}: transport disconnected during {op}"),
+            },
+            CommError::Protocol { rank, detail } => {
+                write!(f, "rank {rank}: protocol violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<CommError> for SolverError {
+    fn from(e: CommError) -> Self {
+        let kind = match e {
+            CommError::Timeout { .. } => CommFaultKind::Timeout,
+            CommError::RankFailed { .. } => CommFaultKind::RankFailed,
+            CommError::CorruptFrame { .. } => CommFaultKind::CorruptFrame,
+            CommError::Disconnected { .. } => CommFaultKind::Disconnected,
+            CommError::Protocol { .. } => CommFaultKind::Protocol,
+        };
+        SolverError::Comm {
+            kind,
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_ranks_and_ops() {
+        let e = CommError::Timeout {
+            op: "recv",
+            rank: 2,
+            peer: Some(5),
+            waited_ms: 300,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 2") && s.contains("rank 5") && s.contains("300"));
+        let e = CommError::RankFailed {
+            rank: 1,
+            failed: 1,
+            op: "barrier",
+        };
+        assert!(e.to_string().contains("killed"));
+    }
+
+    #[test]
+    fn maps_onto_solver_error_kinds() {
+        let cases: Vec<(CommError, CommFaultKind)> = vec![
+            (
+                CommError::Timeout {
+                    op: "recv",
+                    rank: 0,
+                    peer: None,
+                    waited_ms: 1,
+                },
+                CommFaultKind::Timeout,
+            ),
+            (
+                CommError::RankFailed {
+                    rank: 0,
+                    failed: 1,
+                    op: "recv",
+                },
+                CommFaultKind::RankFailed,
+            ),
+            (
+                CommError::CorruptFrame {
+                    rank: 0,
+                    src: 1,
+                    tag: 7,
+                },
+                CommFaultKind::CorruptFrame,
+            ),
+            (
+                CommError::Disconnected {
+                    rank: 0,
+                    peer: Some(1),
+                    op: "send",
+                },
+                CommFaultKind::Disconnected,
+            ),
+            (
+                CommError::Protocol {
+                    rank: 0,
+                    detail: "x".into(),
+                },
+                CommFaultKind::Protocol,
+            ),
+        ];
+        for (e, want) in cases {
+            match SolverError::from(e) {
+                SolverError::Comm { kind, detail } => {
+                    assert_eq!(kind, want);
+                    assert!(!detail.is_empty());
+                }
+                other => panic!("expected Comm, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! The `Transport` abstraction: an *unreliable* frame pipe between ranks.
+//!
+//! A transport only moves [`Frame`]s; everything that makes communication
+//! dependable — checksum verification, acknowledgements, retry with backoff,
+//! duplicate suppression, heartbeat-based failure detection — lives one layer
+//! up in the reliable endpoint (`comm.rs`) and is therefore identical across
+//! backends.  Two backends exist:
+//!
+//! * [`ChannelTransport`] — the original in-process crossbeam channels (the
+//!   perfect-network simulation path),
+//! * [`SocketTransport`] — localhost TCP with length-prefixed wire frames,
+//!   the first backend where frames cross a real kernel boundary and the
+//!   prerequisite for spawning worker *processes* in a follow-up.
+//!
+//! Frames carry `(src, tag, seq, checksum, payload)`; the checksum is an
+//! XXH64 digest over the header and the raw f64 bit patterns, so a corrupted
+//! frame is detected bit-exactly on both backends.
+
+use crate::error::{CommError, CommResult};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which backend a universe runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (perfect network).
+    #[default]
+    Channel,
+    /// Localhost TCP sockets (length-prefixed frames, real kernel boundary).
+    Socket,
+}
+
+impl TransportKind {
+    /// Read the backend from `H2_TRANSPORT` (`channel` | `socket`), defaulting
+    /// to [`TransportKind::Channel`].  Unknown values are reported once on
+    /// stderr and ignored — transport selection must never abort a run.
+    pub fn from_env() -> Self {
+        match std::env::var("H2_TRANSPORT").as_deref() {
+            Ok("socket") => TransportKind::Socket,
+            Ok("channel") | Err(_) => TransportKind::Channel,
+            Ok(other) => {
+                eprintln!("H2_TRANSPORT ignored: unknown backend '{other}'");
+                TransportKind::Channel
+            }
+        }
+    }
+}
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A payload-bearing message; acknowledged and checksum-verified.
+    Data,
+    /// Acknowledgement of a data frame (`seq` echoes the data frame's).
+    Ack,
+    /// Liveness beacon from a peer's heartbeat thread.
+    Heartbeat,
+    /// Synthesized locally when a peer's connection closes (never on the wire).
+    PeerClosed,
+}
+
+impl FrameKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            FrameKind::Data => 0,
+            FrameKind::Ack => 1,
+            FrameKind::Heartbeat => 2,
+            FrameKind::PeerClosed => 3,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(FrameKind::Data),
+            1 => Some(FrameKind::Ack),
+            2 => Some(FrameKind::Heartbeat),
+            _ => None, // PeerClosed is local-only; anything else is garbage
+        }
+    }
+}
+
+/// A message in flight between two world ranks.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// World rank of the sender.
+    pub src: usize,
+    /// Communicator the payload belongs to (sub-communicators multiplex over
+    /// the world endpoint; 0 is the world communicator).
+    pub comm_id: u64,
+    /// Caller-visible message tag.
+    pub tag: u64,
+    /// Per `(src, dest)` sequence number; acks echo it, receivers dedup on it.
+    pub seq: u64,
+    /// Frame class.
+    pub kind: FrameKind,
+    /// XXH64 over header + payload bits (data frames; 0 otherwise).
+    pub checksum: u64,
+    /// Flat f64 payload (empty for control frames).
+    pub payload: Vec<f64>,
+}
+
+impl Frame {
+    /// Build a data frame with its checksum filled in.
+    pub fn data(src: usize, comm_id: u64, tag: u64, seq: u64, payload: Vec<f64>) -> Self {
+        let mut f = Frame {
+            src,
+            comm_id,
+            tag,
+            seq,
+            kind: FrameKind::Data,
+            checksum: 0,
+            payload,
+        };
+        f.checksum = f.expected_checksum();
+        f
+    }
+
+    /// Build an ack for a data frame with sequence number `seq`.
+    pub fn ack(src: usize, seq: u64) -> Self {
+        Frame {
+            src,
+            comm_id: 0,
+            tag: 0,
+            seq,
+            kind: FrameKind::Ack,
+            checksum: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Build a heartbeat beacon.
+    pub fn heartbeat(src: usize) -> Self {
+        Frame {
+            src,
+            comm_id: 0,
+            tag: 0,
+            seq: 0,
+            kind: FrameKind::Heartbeat,
+            checksum: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    fn peer_closed(src: usize) -> Self {
+        Frame {
+            src,
+            comm_id: 0,
+            tag: 0,
+            seq: 0,
+            kind: FrameKind::PeerClosed,
+            checksum: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// The checksum this frame *should* carry given its header and payload.
+    pub fn expected_checksum(&self) -> u64 {
+        let mut x = Xxh64::new(0x9e2a_5c17);
+        x.write_u64(self.src as u64);
+        x.write_u64(self.comm_id);
+        x.write_u64(self.tag);
+        x.write_u64(self.seq);
+        x.write_u64(self.payload.len() as u64);
+        for v in &self.payload {
+            x.write_u64(v.to_bits());
+        }
+        x.finish()
+    }
+
+    /// Verify the carried checksum (data frames only; control frames pass).
+    pub fn checksum_ok(&self) -> bool {
+        self.kind != FrameKind::Data || self.checksum == self.expected_checksum()
+    }
+}
+
+// --------------------------------------------------------------------- xxh64
+
+/// Streaming XXH64 over u64 words (every field we hash is u64-shaped, so the
+/// stripe buffer never deals in partial bytes).
+pub struct Xxh64 {
+    acc: [u64; 4],
+    /// Pending words of the current 32-byte stripe.
+    buf: [u64; 4],
+    buffered: usize,
+    total_words: u64,
+    seed: u64,
+}
+
+const P1: u64 = 0x9E3779B185EBCA87;
+const P2: u64 = 0xC2B2AE3D27D4EB4F;
+const P3: u64 = 0x165667B19E3779F9;
+const P4: u64 = 0x85EBCA77C2B2AE63;
+const P5: u64 = 0x27D4EB2F165667C5;
+
+impl Xxh64 {
+    /// Start a digest with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Xxh64 {
+            acc: [
+                seed.wrapping_add(P1).wrapping_add(P2),
+                seed.wrapping_add(P2),
+                seed,
+                seed.wrapping_sub(P1),
+            ],
+            buf: [0; 4],
+            buffered: 0,
+            total_words: 0,
+            seed,
+        }
+    }
+
+    /// Feed one 8-byte word.
+    pub fn write_u64(&mut self, w: u64) {
+        self.buf[self.buffered] = w;
+        self.buffered += 1;
+        self.total_words += 1;
+        if self.buffered == 4 {
+            for i in 0..4 {
+                self.acc[i] = Self::round(self.acc[i], self.buf[i]);
+            }
+            self.buffered = 0;
+        }
+    }
+
+    fn round(acc: u64, input: u64) -> u64 {
+        acc.wrapping_add(input.wrapping_mul(P2))
+            .rotate_left(31)
+            .wrapping_mul(P1)
+    }
+
+    fn merge_round(acc: u64, val: u64) -> u64 {
+        (acc ^ Self::round(0, val))
+            .wrapping_mul(P1)
+            .wrapping_add(P4)
+    }
+
+    /// Finish and return the digest.
+    pub fn finish(&self) -> u64 {
+        let mut h = if self.total_words >= 4 {
+            let mut h = self.acc[0]
+                .rotate_left(1)
+                .wrapping_add(self.acc[1].rotate_left(7))
+                .wrapping_add(self.acc[2].rotate_left(12))
+                .wrapping_add(self.acc[3].rotate_left(18));
+            for a in self.acc {
+                h = Self::merge_round(h, a);
+            }
+            h
+        } else {
+            self.seed.wrapping_add(P5)
+        };
+        h = h.wrapping_add(self.total_words * 8);
+        for i in 0..self.buffered {
+            h = (h ^ Self::round(0, self.buf[i]))
+                .rotate_left(27)
+                .wrapping_mul(P1)
+                .wrapping_add(P4);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(P2);
+        h ^= h >> 29;
+        h = h.wrapping_mul(P3);
+        h ^= h >> 32;
+        h
+    }
+}
+
+// ------------------------------------------------------------ the trait
+
+/// An unreliable frame pipe: push frames toward peers, pop incoming frames.
+///
+/// Implementations must be cheaply shareable across the rank thread and its
+/// heartbeat thread (`&self` everywhere).
+pub trait Transport: Send + Sync {
+    /// Push `frame` toward world rank `dest`.  Delivery is not guaranteed
+    /// (fault injection, closed peers); a hard transport failure returns
+    /// `Disconnected`.
+    fn send_frame(&self, dest: usize, frame: &Frame) -> CommResult<()>;
+
+    /// Pop the next incoming frame, waiting at most `timeout`.
+    /// `Ok(None)` means the wait elapsed with nothing to deliver.
+    fn recv_frame(&self, timeout: Duration) -> CommResult<Option<Frame>>;
+
+    /// Which backend this is.
+    fn kind(&self) -> TransportKind;
+}
+
+// ------------------------------------------------------- channel backend
+
+/// In-process backend: one unbounded channel per rank.
+pub struct ChannelTransport {
+    rank: usize,
+    senders: Vec<Sender<Frame>>,
+    inbox: Receiver<Frame>,
+}
+
+impl ChannelTransport {
+    /// Build the full mesh for `size` ranks.
+    pub fn world(size: usize) -> Vec<ChannelTransport> {
+        let mut senders = Vec::with_capacity(size);
+        let mut receivers = Vec::with_capacity(size);
+        for _ in 0..size {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| ChannelTransport {
+                rank,
+                senders: senders.clone(),
+                inbox,
+            })
+            .collect()
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send_frame(&self, dest: usize, frame: &Frame) -> CommResult<()> {
+        let sender = self.senders.get(dest).ok_or_else(|| CommError::Protocol {
+            rank: self.rank,
+            detail: format!("send to out-of-range rank {dest}"),
+        })?;
+        sender
+            .send(frame.clone())
+            .map_err(|_| CommError::Disconnected {
+                rank: self.rank,
+                peer: Some(dest),
+                op: "send_frame",
+            })
+    }
+
+    fn recv_frame(&self, timeout: Duration) -> CommResult<Option<Frame>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(f) => Ok(Some(f)),
+            // Every rank holds the full sender vector (including its own), so
+            // a disconnect can only mean universe teardown: nothing to deliver.
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Channel
+    }
+}
+
+// -------------------------------------------------------- socket backend
+
+/// Wire header: payload word count (u32), src (u32), comm_id, tag, seq (u64
+/// each), kind (u8), checksum (u64).
+const WIRE_HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 8 + 1 + 8;
+/// Sanity bound on the payload length field (2^26 doubles = 512 MiB).
+const MAX_PAYLOAD_WORDS: u32 = 1 << 26;
+
+fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WIRE_HEADER_BYTES + frame.payload.len() * 8);
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(frame.src as u32).to_le_bytes());
+    out.extend_from_slice(&frame.comm_id.to_le_bytes());
+    out.extend_from_slice(&frame.tag.to_le_bytes());
+    out.extend_from_slice(&frame.seq.to_le_bytes());
+    out.push(frame.kind.to_wire());
+    out.extend_from_slice(&frame.checksum.to_le_bytes());
+    for v in &frame.payload {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn read_exact_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Read one frame off a stream.  `Ok(None)` on clean EOF at a frame boundary.
+fn decode_frame(stream: &mut TcpStream) -> std::io::Result<Option<Frame>> {
+    let mut header = [0u8; WIRE_HEADER_BYTES];
+    match stream.read_exact(&mut header) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let words = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if words > MAX_PAYLOAD_WORDS {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame length out of bounds",
+        ));
+    }
+    let src = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+    let comm_id = read_exact_u64(&header, 8);
+    let tag = read_exact_u64(&header, 16);
+    let seq = read_exact_u64(&header, 24);
+    let kind = FrameKind::from_wire(header[32]).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "unknown frame kind")
+    })?;
+    let checksum = read_exact_u64(&header, 33);
+    let mut payload_bytes = vec![0u8; words as usize * 8];
+    stream.read_exact(&mut payload_bytes)?;
+    let payload = payload_bytes
+        .chunks_exact(8)
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            f64::from_bits(u64::from_le_bytes(b))
+        })
+        .collect();
+    Ok(Some(Frame {
+        src,
+        comm_id,
+        tag,
+        seq,
+        kind,
+        checksum,
+        payload,
+    }))
+}
+
+/// Localhost TCP backend: a full mesh of streams, one reader thread per
+/// incoming stream feeding a single inbox channel.
+pub struct SocketTransport {
+    rank: usize,
+    /// Write half per peer (`None` at `rank` itself).
+    peers: Vec<Option<Arc<Mutex<TcpStream>>>>,
+    inbox: Receiver<Frame>,
+    /// Loopback for self-sends; also keeps the inbox alive after readers exit.
+    loopback: Sender<Frame>,
+}
+
+impl SocketTransport {
+    /// Build the localhost mesh for `size` ranks: `size` ephemeral listeners,
+    /// rank `i` dials every rank `j > i` and identifies itself with a 4-byte
+    /// handshake.  Reader threads are detached; they exit on EOF when the
+    /// remote write halves drop at universe teardown.
+    pub fn world(size: usize) -> std::io::Result<Vec<SocketTransport>> {
+        let mut listeners = Vec::with_capacity(size);
+        let mut addrs = Vec::with_capacity(size);
+        for _ in 0..size {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(l.local_addr()?);
+            listeners.push(l);
+        }
+        // conns[i][j]: rank i's stream to rank j.
+        let mut conns: Vec<Vec<Option<TcpStream>>> = (0..size)
+            .map(|_| (0..size).map(|_| None).collect())
+            .collect();
+        for i in 0..size {
+            for j in i + 1..size {
+                let out = TcpStream::connect(addrs[j])?;
+                out.set_nodelay(true)?;
+                let mut out_w = out.try_clone()?;
+                out_w.write_all(&(i as u32).to_le_bytes())?;
+                out_w.flush()?;
+                let (mut inc, _) = listeners[j].accept()?;
+                inc.set_nodelay(true)?;
+                let mut hello = [0u8; 4];
+                inc.read_exact(&mut hello)?;
+                let who = u32::from_le_bytes(hello) as usize;
+                if who != i {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("handshake expected rank {i}, got {who}"),
+                    ));
+                }
+                conns[i][j] = Some(out);
+                conns[j][i] = Some(inc);
+            }
+        }
+        let mut transports = Vec::with_capacity(size);
+        for (rank, row) in conns.into_iter().enumerate() {
+            let (tx, rx) = unbounded();
+            let mut peers: Vec<Option<Arc<Mutex<TcpStream>>>> = Vec::with_capacity(size);
+            for (peer, stream) in row.into_iter().enumerate() {
+                match stream {
+                    None => peers.push(None),
+                    Some(s) => {
+                        let mut read_half = s.try_clone()?;
+                        let tx = tx.clone();
+                        std::thread::Builder::new()
+                            .name(format!("mpisim-sock-{rank}-from-{peer}"))
+                            .spawn(move || loop {
+                                match decode_frame(&mut read_half) {
+                                    Ok(Some(frame)) => {
+                                        if tx.send(frame).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Ok(None) | Err(_) => {
+                                        let _ = tx.send(Frame::peer_closed(peer));
+                                        return;
+                                    }
+                                }
+                            })
+                            .map_err(std::io::Error::other)?;
+                        peers.push(Some(Arc::new(Mutex::new(s))));
+                    }
+                }
+            }
+            transports.push(SocketTransport {
+                rank,
+                peers,
+                inbox: rx,
+                loopback: tx,
+            });
+        }
+        Ok(transports)
+    }
+}
+
+impl Transport for SocketTransport {
+    fn send_frame(&self, dest: usize, frame: &Frame) -> CommResult<()> {
+        if dest == self.rank {
+            return self
+                .loopback
+                .send(frame.clone())
+                .map_err(|_| CommError::Disconnected {
+                    rank: self.rank,
+                    peer: Some(dest),
+                    op: "send_frame",
+                });
+        }
+        let slot = self.peers.get(dest).ok_or_else(|| CommError::Protocol {
+            rank: self.rank,
+            detail: format!("send to out-of-range rank {dest}"),
+        })?;
+        let stream = slot.as_ref().ok_or_else(|| CommError::Protocol {
+            rank: self.rank,
+            detail: format!("no connection slot for rank {dest}"),
+        })?;
+        let bytes = encode_frame(frame);
+        let mut guard = stream.lock();
+        guard
+            .write_all(&bytes)
+            .and_then(|_| guard.flush())
+            .map_err(|_| CommError::Disconnected {
+                rank: self.rank,
+                peer: Some(dest),
+                op: "send_frame",
+            })
+    }
+
+    fn recv_frame(&self, timeout: Duration) -> CommResult<Option<Frame>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(f) => Ok(Some(f)),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Socket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_detects_payload_and_header_tampering() {
+        let f = Frame::data(1, 0, 42, 7, vec![1.0, -2.5, 3.25]);
+        assert!(f.checksum_ok());
+        let mut g = f.clone();
+        g.payload[1] = -2.5000001;
+        assert!(!g.checksum_ok());
+        let mut g = f.clone();
+        g.tag ^= 1;
+        assert!(!g.checksum_ok());
+        let mut g = f.clone();
+        g.checksum ^= 0xdead_beef;
+        assert!(!g.checksum_ok());
+        // Control frames carry no checksum and always verify.
+        assert!(Frame::ack(0, 3).checksum_ok());
+        assert!(Frame::heartbeat(2).checksum_ok());
+    }
+
+    #[test]
+    fn xxh64_is_stable_and_word_sensitive() {
+        let digest = |words: &[u64]| {
+            let mut x = Xxh64::new(7);
+            for &w in words {
+                x.write_u64(w);
+            }
+            x.finish()
+        };
+        assert_eq!(digest(&[1, 2, 3]), digest(&[1, 2, 3]));
+        assert_ne!(digest(&[1, 2, 3]), digest(&[1, 2, 4]));
+        assert_ne!(digest(&[1, 2, 3]), digest(&[1, 2]));
+        assert_ne!(digest(&[]), digest(&[0]));
+        // Long streams exercise the 4-lane stripe path.
+        let long: Vec<u64> = (0..257).collect();
+        assert_eq!(digest(&long), digest(&long));
+        assert_ne!(digest(&long[..256]), digest(&long));
+    }
+
+    #[test]
+    fn wire_roundtrip_is_bitwise_exact() {
+        let f = Frame::data(
+            3,
+            9,
+            0xdead_beef,
+            11,
+            vec![std::f64::consts::PI, -0.0, 1e-300, f64::MAX],
+        );
+        let bytes = encode_frame(&f);
+        assert_eq!(bytes.len(), WIRE_HEADER_BYTES + 4 * 8);
+        // Decode through a real socket pair.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        tx.write_all(&bytes).unwrap();
+        tx.flush().unwrap();
+        let g = decode_frame(&mut rx).unwrap().unwrap();
+        assert_eq!(g.src, f.src);
+        assert_eq!(g.comm_id, f.comm_id);
+        assert_eq!(g.tag, f.tag);
+        assert_eq!(g.seq, f.seq);
+        assert_eq!(g.kind, f.kind);
+        assert_eq!(g.checksum, f.checksum);
+        assert_eq!(
+            g.payload.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            f.payload.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(g.checksum_ok());
+        drop(tx);
+        assert!(decode_frame(&mut rx).unwrap().is_none(), "clean EOF");
+    }
+}

@@ -60,7 +60,8 @@ pub mod prelude {
     pub use h2_hmatrix::{BasisMode, Blr2Matrix, BlrMatrix, H2Matrix};
     pub use h2_lorapo::{BlrLuFactors, BlrLuOptions};
     pub use h2_matrix::{rel_l2_error, Matrix};
-    pub use h2_matrix::{SolverError, SolverResult};
+    pub use h2_matrix::{CommFaultKind, SolverError, SolverResult};
+    pub use h2_mpisim::{Comm, CommConfig, CommError, CommResult, TransportKind, Universe};
     pub use h2_runtime::{simulate_schedule, SimConfig, TaskGraph};
 }
 

@@ -1,0 +1,376 @@
+//! Chaos suite for the fault-tolerant communicator: every network fault class
+//! from the `H2_FAULT` grammar must end in **successful retry** (results
+//! bitwise-identical to a clean run) or in a **typed [`CommError`]** within
+//! the operation deadline — never in a hang or an abort.  A watchdog thread
+//! enforces "never in a hang" mechanically: any test that overruns its budget
+//! aborts the whole process, which CI reports as a failure instead of a
+//! 6-hour timeout.
+//!
+//! The fault plan is process-global (`set_plan`), so every test takes a
+//! shared mutex and installs a drop guard that clears the plan even if an
+//! assertion panics mid-test.
+
+use h2ulv::matrix::fault::{self, FaultPlan};
+use h2ulv::mpisim::{Comm, CommConfig, CommError, CommStats, TransportKind, Universe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serializes the tests in this binary: the fault plan is process-global.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the serialization lock and clears the fault plan on drop.
+struct PlanGuard<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> PlanGuard<'a> {
+    fn install(plan: Option<FaultPlan>) -> Self {
+        let lock = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        fault::set_plan(plan);
+        PlanGuard(lock)
+    }
+}
+
+impl Drop for PlanGuard<'_> {
+    fn drop(&mut self) {
+        fault::set_plan(None);
+    }
+}
+
+/// Aborts the process if the guarded scope takes longer than its budget —
+/// the mechanical "zero hangs" guarantee of this suite.
+struct Watchdog {
+    cancel: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(secs: u64, label: &'static str) -> Self {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&cancel);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            while Instant::now() < deadline {
+                if seen.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            if !seen.load(Ordering::Relaxed) {
+                eprintln!(
+                    "comm_chaos watchdog: '{label}' exceeded {secs}s — aborting to prevent a hang"
+                );
+                std::process::abort();
+            }
+        });
+        Watchdog { cancel }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}
+
+const RANKS: usize = 4;
+
+/// Tight deadlines so failures surface in well under the watchdog budget.
+fn chaos_cfg(kind: TransportKind) -> CommConfig {
+    CommConfig {
+        transport: kind,
+        op_deadline: Duration::from_millis(2000),
+        retry_backoff: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(40),
+        max_retries: 12,
+        heartbeat_interval: Duration::from_millis(20),
+        failure_timeout: Duration::from_millis(600),
+    }
+}
+
+/// The fixed 4-rank exchange every chaos scenario runs: allgather + barrier +
+/// split + allreduce + bcast + a point-to-point ring.  Returns everything
+/// this rank observed, in a deterministic order, for bitwise comparison
+/// against a clean run.
+fn workload(mut comm: Comm) -> Result<Vec<f64>, CommError> {
+    let rank = comm.rank();
+    let mine = vec![rank as f64 + 0.5, -(rank as f64) * 3.25];
+    let mut seen = Vec::new();
+    let all = comm.allgather(1, &mine)?;
+    seen.extend(all.into_iter().flatten());
+    comm.barrier(2)?;
+    let mut sub = comm.split((rank % 2) as i64, rank as i64)?;
+    seen.extend(sub.allreduce_sum(3, &mine)?);
+    seen.extend(comm.bcast(4, 2, &[rank as f64; 3])?);
+    comm.send((rank + 1) % RANKS, 5, &[rank as f64 * 7.0])?;
+    seen.extend(comm.recv((rank + RANKS - 1) % RANKS, 5)?);
+    Ok(seen)
+}
+
+fn run_workload(kind: TransportKind) -> (Vec<Result<Vec<f64>, CommError>>, CommStats) {
+    Universe::run_config_with_stats(RANKS, &chaos_cfg(kind), workload)
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Clean reference for one transport; panics if the clean run itself fails.
+fn clean_reference(kind: TransportKind) -> Vec<Vec<u64>> {
+    let (results, _) = run_workload(kind);
+    results
+        .into_iter()
+        .map(|r| bits(&r.expect("clean run must succeed")))
+        .collect()
+}
+
+const BOTH: [TransportKind; 2] = [TransportKind::Channel, TransportKind::Socket];
+
+#[test]
+fn clean_runs_are_bitwise_identical_across_transports() {
+    let _g = PlanGuard::install(None);
+    let _w = Watchdog::arm(60, "clean_runs_are_bitwise_identical_across_transports");
+    let channel = clean_reference(TransportKind::Channel);
+    let socket = clean_reference(TransportKind::Socket);
+    assert_eq!(channel, socket, "transports disagree on a clean run");
+}
+
+#[test]
+fn dropped_frames_are_repaired_by_retry() {
+    let _g = PlanGuard::install(None);
+    let _w = Watchdog::arm(120, "dropped_frames_are_repaired_by_retry");
+    for kind in BOTH {
+        let clean = clean_reference(kind);
+        fault::set_plan(Some(FaultPlan::DropMsg { rate: 0.2 }));
+        let (results, stats) = run_workload(kind);
+        fault::set_plan(None);
+        assert!(
+            stats.total_retries() > 0,
+            "{kind:?}: a 20% drop rate must force resends"
+        );
+        for (rank, r) in results.into_iter().enumerate() {
+            let got = r.unwrap_or_else(|e| panic!("{kind:?} rank {rank} failed: {e}"));
+            assert_eq!(bits(&got), clean[rank], "{kind:?} rank {rank} diverged");
+        }
+    }
+}
+
+#[test]
+fn corrupt_frames_are_detected_and_repaired() {
+    let _g = PlanGuard::install(None);
+    let _w = Watchdog::arm(120, "corrupt_frames_are_detected_and_repaired");
+    for kind in BOTH {
+        let clean = clean_reference(kind);
+        fault::set_plan(Some(FaultPlan::CorruptMsg { rate: 0.2 }));
+        let (results, stats) = run_workload(kind);
+        fault::set_plan(None);
+        assert!(
+            stats.total_corrupt_frames() > 0,
+            "{kind:?}: a 20% corruption rate must trip checksum verification"
+        );
+        for (rank, r) in results.into_iter().enumerate() {
+            let got = r.unwrap_or_else(|e| panic!("{kind:?} rank {rank} failed: {e}"));
+            assert_eq!(bits(&got), clean[rank], "{kind:?} rank {rank} diverged");
+        }
+    }
+}
+
+#[test]
+fn delayed_frames_still_arrive_unchanged() {
+    let _g = PlanGuard::install(None);
+    let _w = Watchdog::arm(120, "delayed_frames_still_arrive_unchanged");
+    for kind in BOTH {
+        let clean = clean_reference(kind);
+        fault::set_plan(Some(FaultPlan::DelayMsg { ms: 2 }));
+        let (results, _) = run_workload(kind);
+        fault::set_plan(None);
+        for (rank, r) in results.into_iter().enumerate() {
+            let got = r.unwrap_or_else(|e| panic!("{kind:?} rank {rank} failed: {e}"));
+            assert_eq!(bits(&got), clean[rank], "{kind:?} rank {rank} diverged");
+        }
+    }
+}
+
+#[test]
+fn duplicated_frames_are_suppressed() {
+    let _g = PlanGuard::install(None);
+    let _w = Watchdog::arm(120, "duplicated_frames_are_suppressed");
+    for kind in BOTH {
+        let clean = clean_reference(kind);
+        fault::set_plan(Some(FaultPlan::DupMsg { rate: 0.5 }));
+        let (results, stats) = run_workload(kind);
+        fault::set_plan(None);
+        assert!(
+            stats.total_duplicates() > 0,
+            "{kind:?}: a 50% duplication rate must exercise sequence-number dedup"
+        );
+        for (rank, r) in results.into_iter().enumerate() {
+            let got = r.unwrap_or_else(|e| panic!("{kind:?} rank {rank} failed: {e}"));
+            assert_eq!(bits(&got), clean[rank], "{kind:?} rank {rank} diverged");
+        }
+    }
+}
+
+#[test]
+fn total_packet_loss_times_out_with_typed_errors() {
+    let _g = PlanGuard::install(Some(FaultPlan::DropMsg { rate: 1.0 }));
+    let _w = Watchdog::arm(120, "total_packet_loss_times_out_with_typed_errors");
+    for kind in BOTH {
+        let started = Instant::now();
+        let (results, stats) = run_workload(kind);
+        // Every rank fails with a deadline miss (heartbeats are not faulted,
+        // so peers look alive; the data simply never arrives).
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Err(CommError::Timeout { .. }) => {}
+                other => panic!("{kind:?} rank {rank}: expected Timeout, got {other:?}"),
+            }
+        }
+        assert!(stats.total_timeouts() >= RANKS as u64);
+        // Each rank's first operation misses one 2s deadline; generous bound
+        // for a loaded CI machine, far below the watchdog budget.
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "{kind:?}: timeouts must fire near the deadline, not hang"
+        );
+    }
+}
+
+#[test]
+fn total_corruption_surfaces_as_corrupt_frame_errors() {
+    let _g = PlanGuard::install(Some(FaultPlan::CorruptMsg { rate: 1.0 }));
+    let _w = Watchdog::arm(120, "total_corruption_surfaces_as_corrupt_frame_errors");
+    for kind in BOTH {
+        let (results, stats) = run_workload(kind);
+        let mut corrupt_diagnoses = 0;
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                // Receivers that saw mangled frames diagnose CorruptFrame;
+                // the matching senders never get an ack and time out.
+                Err(CommError::CorruptFrame { .. }) => corrupt_diagnoses += 1,
+                Err(CommError::Timeout { .. }) => {}
+                other => {
+                    panic!("{kind:?} rank {rank}: expected CorruptFrame/Timeout, got {other:?}")
+                }
+            }
+        }
+        assert!(
+            corrupt_diagnoses > 0,
+            "{kind:?}: at least one rank must report the corruption explicitly"
+        );
+        assert!(
+            stats.total_corrupt_frames() > 0,
+            "{kind:?}: checksum verification must have counted the mangled frames"
+        );
+    }
+}
+
+#[test]
+fn killed_rank_converts_collectives_into_rank_failed_on_survivors() {
+    // World rank 1 goes silent at its third communicator operation (the
+    // split); every rank must come back with a typed error — the victim with
+    // a self-kill, the survivors with RankFailed pointing at rank 1.
+    let _g = PlanGuard::install(Some(FaultPlan::KillRank {
+        rank: 1,
+        after_ops: 2,
+    }));
+    let _w = Watchdog::arm(120, "killed_rank_converts_collectives_into_rank_failed");
+    for kind in BOTH {
+        let (results, stats) = run_workload(kind);
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Err(CommError::RankFailed {
+                    rank: reporter,
+                    failed,
+                    ..
+                }) => {
+                    assert_eq!(reporter, rank);
+                    assert_eq!(
+                        failed, 1,
+                        "{kind:?} rank {rank}: the failure must be attributed to rank 1"
+                    );
+                }
+                // A survivor racing the failure detector can legitimately see
+                // the deadline first.
+                Err(CommError::Timeout { .. }) if rank != 1 => {}
+                other => panic!("{kind:?} rank {rank}: expected RankFailed, got {other:?}"),
+            }
+        }
+        assert!(
+            stats.total_rank_failures() > 0,
+            "{kind:?}: the failure detector must have fired"
+        );
+    }
+}
+
+#[test]
+fn skeleton_exchange_replay_survives_chaos_or_fails_typed() {
+    use h2ulv::factor::dist::replay_skeleton_exchange;
+    use h2ulv::prelude::*;
+
+    let _g = PlanGuard::install(None);
+    let _w = Watchdog::arm(
+        180,
+        "skeleton_exchange_replay_survives_chaos_or_fails_typed",
+    );
+    // A small problem keeps the factorization cheap; the replay only needs
+    // its measured skeleton sizes.
+    let points = uniform_cube(128, 7);
+    let tree = ClusterTree::build(&points, 32, PartitionStrategy::KMeans, 0);
+    let factors = h2_ulv_nodep(&LaplaceKernel::default(), &tree, &FactorOptions::default())
+        .expect("clean factorization");
+    let cfg = chaos_cfg(TransportKind::Channel);
+    let clean = replay_skeleton_exchange(&factors, RANKS, &cfg).expect("clean replay");
+
+    // Recoverable faults: the replay must finish with the identical digest.
+    fault::set_plan(Some(FaultPlan::DropMsg { rate: 0.2 }));
+    let dropped =
+        replay_skeleton_exchange(&factors, RANKS, &cfg).expect("drops must be repaired by retry");
+    assert_eq!(clean, dropped, "retries must not change what ranks observe");
+
+    // A dead rank: typed SolverError::Comm, not a deadlock.
+    fault::set_plan(Some(FaultPlan::KillRank {
+        rank: 2,
+        after_ops: 1,
+    }));
+    match replay_skeleton_exchange(&factors, RANKS, &cfg) {
+        Err(SolverError::Comm { kind, detail }) => {
+            assert!(
+                matches!(kind, CommFaultKind::RankFailed | CommFaultKind::Timeout),
+                "unexpected comm fault kind: {kind:?} ({detail})"
+            );
+        }
+        Ok(_) => panic!("a killed rank cannot produce a complete replay"),
+        Err(e) => panic!("expected SolverError::Comm, got {e}"),
+    }
+}
+
+/// CI entry point for the chaos matrix: honors `H2_FAULT` (network fault
+/// specs) and `H2_TRANSPORT` from the environment and asserts the run either
+/// completes bitwise-identical to a clean run or fails typed on every rank —
+/// zero hangs, enforced by the watchdog.
+#[test]
+fn env_driven_network_fault_is_survivable() {
+    let plan = match std::env::var("H2_FAULT") {
+        Ok(spec) => Some(fault::parse(&spec).expect("H2_FAULT spec must parse")),
+        Err(_) => None,
+    };
+    let kind = TransportKind::from_env();
+    let _g = PlanGuard::install(None);
+    let _w = Watchdog::arm(120, "env_driven_network_fault_is_survivable");
+    let clean = clean_reference(kind);
+    fault::set_plan(plan);
+    let (results, _) = run_workload(kind);
+    fault::set_plan(None);
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(got) => assert_eq!(
+                bits(&got),
+                clean[rank],
+                "rank {rank} recovered but diverged from the clean run"
+            ),
+            Err(e) => {
+                // Typed failure is acceptable; a panic or a hang is not.
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+}

@@ -13,11 +13,25 @@ fn allgather_over_split_communicators_follows_the_process_tree() {
     let results = Universe::run(8, |mut comm| {
         let mine = vec![comm.rank() as f64];
         // Level 2 -> 1: groups of 2.
-        let mut c2 = comm.split((comm.rank() / 2) as i64, comm.rank() as i64);
-        let pair: Vec<f64> = c2.allgather(1, &mine).into_iter().flatten().collect();
+        let mut c2 = comm
+            .split((comm.rank() / 2) as i64, comm.rank() as i64)
+            .unwrap();
+        let pair: Vec<f64> = c2
+            .allgather(1, &mine)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
         // Level 1 -> 0: groups of 4 (split the original communicator).
-        let mut c4 = comm.split((comm.rank() / 4) as i64, comm.rank() as i64);
-        let quad: Vec<f64> = c4.allgather(2, &pair).into_iter().flatten().collect();
+        let mut c4 = comm
+            .split((comm.rank() / 4) as i64, comm.rank() as i64)
+            .unwrap();
+        let quad: Vec<f64> = c4
+            .allgather(2, &pair)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
         (pair, quad)
     });
     for (rank, (pair, quad)) in results.into_iter().enumerate() {
@@ -32,6 +46,50 @@ fn allgather_over_split_communicators_follows_the_process_tree() {
             })
             .collect();
         assert_eq!(quad, expect);
+    }
+}
+
+#[test]
+fn clean_path_is_bitwise_identical_across_transports() {
+    // The same split + allgather pattern must deliver bit-for-bit identical
+    // payloads whether frames travel over in-process channels or localhost
+    // TCP sockets (f64 bits round-trip exactly through the wire format).
+    use h2ulv::mpisim::{CommConfig, TransportKind};
+    let pattern = |mut comm: h2ulv::mpisim::Comm| {
+        let mine = vec![comm.rank() as f64 * 0.1 + 0.7, -(comm.rank() as f64)];
+        let mut sub = comm
+            .split((comm.rank() % 2) as i64, comm.rank() as i64)
+            .unwrap();
+        let gathered: Vec<f64> = sub
+            .allgather(11, &mine)
+            .unwrap()
+            .into_iter()
+            .flatten()
+            .collect();
+        let summed = comm.allreduce_sum(13, &mine).unwrap();
+        comm.barrier(17).unwrap();
+        (gathered, summed)
+    };
+    let channel = Universe::run_config(
+        4,
+        &CommConfig {
+            transport: TransportKind::Channel,
+            ..CommConfig::default()
+        },
+        pattern,
+    );
+    let socket = Universe::run_config(
+        4,
+        &CommConfig {
+            transport: TransportKind::Socket,
+            ..CommConfig::default()
+        },
+        pattern,
+    );
+    for (rank, (c, s)) in channel.iter().zip(&socket).enumerate() {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+        assert_eq!(bits(&c.0), bits(&s.0), "rank {rank} allgather differs");
+        assert_eq!(bits(&c.1), bits(&s.1), "rank {rank} allreduce differs");
     }
 }
 
