@@ -194,7 +194,7 @@ fn main() -> h2_matrix::SolverResult<()> {
                 let x =
                     factors.solve_refined(kernel.as_ref(), &b, factors.default_refine_steps())?;
                 row.residual =
-                    Some(factors.residual_sampled(kernel.as_ref(), &b, &x, RESIDUAL_PROBES, 7));
+                    Some(factors.residual_sampled(kernel.as_ref(), &b, &x, RESIDUAL_PROBES, 7)?);
                 refine_escalations += factors
                     .refine_escalations
                     .load(std::sync::atomic::Ordering::Relaxed);

@@ -27,6 +27,7 @@ pub mod dense;
 pub mod dist;
 pub mod fillin;
 pub mod options;
+pub mod session;
 pub mod solve;
 pub mod taskgraph;
 pub mod ulv;
@@ -37,5 +38,6 @@ pub use dist::{
     estimate_distributed, replay_skeleton_exchange, strong_scaling_sweep, DistConfig, DistEstimate,
 };
 pub use options::{CompressionMode, FactorOptions, Hierarchy, SketchPrecision, Variant};
+pub use session::Analysis;
 pub use ulv::{FactorStats, PhaseBreakdown, RecoveryEvents, UlvFactorization, UlvFactors};
 pub use variants::{blr2_ulv, h2_ulv_dep, h2_ulv_nodep, hss_ulv};

@@ -93,6 +93,56 @@ impl Default for FactorOptions {
 }
 
 impl FactorOptions {
+    /// A 64-bit fingerprint of every option that affects the numeric content of
+    /// the factors.  Two option sets with equal fingerprints produce bitwise
+    /// identical factors over the same geometry and kernel, so the fingerprint
+    /// is a sound cache-key component (see the `h2_server` factor cache).
+    ///
+    /// `num_threads` is deliberately excluded: factors are bitwise identical at
+    /// every thread count, so a cache keyed on it would refactorize for free.
+    pub fn fingerprint(&self) -> u64 {
+        use h2_geometry::{fingerprint_mix as mix, AdmissibilityKind, FINGERPRINT_SEED};
+        let mut h = FINGERPRINT_SEED;
+        h = mix(h, self.tol.to_bits());
+        h = mix(h, self.max_rank.map_or(u64::MAX, |r| r as u64));
+        h = mix(h, self.max_rank_growth.to_bits());
+        match self.admissibility.kind {
+            AdmissibilityKind::Weak => h = mix(h, 0),
+            AdmissibilityKind::Strong { eta } => {
+                h = mix(h, 1);
+                h = mix(h, eta.to_bits());
+            }
+        }
+        match self.basis_mode {
+            BasisMode::Exact => h = mix(h, 0),
+            BasisMode::Sampled { max_samples } => {
+                h = mix(h, 1);
+                h = mix(h, max_samples as u64);
+            }
+        }
+        match self.compression {
+            CompressionMode::Direct => h = mix(h, 0),
+            CompressionMode::Sketched { oversample } => {
+                h = mix(h, 1);
+                h = mix(h, oversample as u64);
+            }
+            CompressionMode::Srft {
+                oversample,
+                precision,
+            } => {
+                h = mix(h, 2);
+                h = mix(h, oversample as u64);
+                h = mix(h, matches!(precision, SketchPrecision::F64) as u64);
+            }
+        }
+        h = mix(h, self.skeleton_construction as u64);
+        h = mix(h, matches!(self.variant, Variant::WithDependencies) as u64);
+        h = mix(h, matches!(self.hierarchy, Hierarchy::SingleLevel) as u64);
+        h = mix(h, self.fillin_enrichment as u64);
+        h = mix(h, self.seed);
+        h
+    }
+
     /// Effective rank cap `levels_above_leaves` levels above the leaf level
     /// (see [`FactorOptions::max_rank_growth`]); `None` when ranks are uncapped.
     pub fn effective_max_rank(&self, levels_above_leaves: usize) -> Option<usize> {
@@ -114,6 +164,24 @@ mod tests {
         assert_eq!(o.hierarchy, Hierarchy::MultiLevel);
         assert!(o.fillin_enrichment);
         assert!(o.tol > 0.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_numeric_options_only() {
+        let base = FactorOptions::default();
+        let tighter = FactorOptions { tol: 1e-10, ..base };
+        let capped = FactorOptions {
+            max_rank: Some(64),
+            ..base
+        };
+        let threads = FactorOptions {
+            num_threads: 4,
+            ..base
+        };
+        assert_ne!(base.fingerprint(), tighter.fingerprint());
+        assert_ne!(base.fingerprint(), capped.fingerprint());
+        assert_eq!(base.fingerprint(), threads.fingerprint());
+        assert_eq!(base.fingerprint(), FactorOptions::default().fingerprint());
     }
 
     #[test]

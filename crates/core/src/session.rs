@@ -1,0 +1,102 @@
+//! The `analyze → factorize → solve` lifecycle.
+//!
+//! Direct-solver sessions split into three phases with different reuse
+//! economics (the mathprim / CHOLMOD pattern):
+//!
+//! * **analyze** — symbolic setup: cluster the points, build the block
+//!   partition.  Depends only on the geometry and the admissibility condition,
+//!   so one [`Analysis`] is shared across every kernel and tolerance.
+//! * **factorize** — the expensive numeric phase: one [`UlvFactors`] per
+//!   `(kernel, tolerance, options)` against the shared analysis.
+//! * **solve** — the cheap repeatable phase: [`UlvFactors::solve`] /
+//!   [`UlvFactors::vsolve`], any number of times.
+//!
+//! ```no_run
+//! # use h2_factor::session::Analysis;
+//! # use h2_factor::FactorOptions;
+//! # use h2_geometry::{Admissibility, LaplaceKernel, PartitionStrategy, Point3};
+//! # let points: Vec<Point3> = vec![];
+//! let analysis = Analysis::analyze(
+//!     &points, 64, PartitionStrategy::KMeans, 0, Admissibility::strong(1.0),
+//! );
+//! let factors = analysis.factorize(&LaplaceKernel::default(), &FactorOptions::default())?;
+//! let x = factors.solve(&vec![1.0; points.len()])?;
+//! # Ok::<(), h2_matrix::SolverError>(())
+//! ```
+//!
+//! The tree and partition live behind [`Arc`]s: factorizations against the same
+//! analysis share them instead of deep-copying, and a factorization cache (see
+//! the `h2_server` crate) can hold many factors over one geometry cheaply.
+
+use std::sync::Arc;
+
+use h2_geometry::{Admissibility, ClusterTree, Kernel, PartitionStrategy, Point3};
+use h2_hmatrix::BlockPartition;
+use h2_matrix::SolverResult;
+
+use crate::options::FactorOptions;
+use crate::ulv::{UlvFactorization, UlvFactors};
+
+/// The symbolic phase artifact: cluster tree + block partition, reusable
+/// across every kernel and tolerance factored over the same geometry.
+#[derive(Clone)]
+pub struct Analysis {
+    tree: Arc<ClusterTree>,
+    partition: Arc<BlockPartition>,
+    admissibility: Admissibility,
+}
+
+impl Analysis {
+    /// Run the symbolic phase from raw points: cluster, then partition under
+    /// `admissibility`.
+    pub fn analyze(
+        points: &[Point3],
+        leaf_size: usize,
+        strategy: PartitionStrategy,
+        seed: u64,
+        admissibility: Admissibility,
+    ) -> Analysis {
+        let tree = Arc::new(ClusterTree::build(points, leaf_size, strategy, seed));
+        Analysis::from_tree(tree, admissibility)
+    }
+
+    /// Run the symbolic phase over an existing cluster tree (shared, not copied).
+    pub fn from_tree(tree: Arc<ClusterTree>, admissibility: Admissibility) -> Analysis {
+        let partition = Arc::new(BlockPartition::build(&tree, &admissibility));
+        Analysis {
+            tree,
+            partition,
+            admissibility,
+        }
+    }
+
+    /// The clustered geometry.
+    pub fn tree(&self) -> &ClusterTree {
+        &self.tree
+    }
+
+    /// Shared handle to the clustered geometry (cheap to clone into factors).
+    pub fn tree_handle(&self) -> Arc<ClusterTree> {
+        Arc::clone(&self.tree)
+    }
+
+    /// The block partition built under this analysis's admissibility.
+    pub fn partition(&self) -> &BlockPartition {
+        &self.partition
+    }
+
+    /// The admissibility condition the partition was built with.
+    pub fn admissibility(&self) -> Admissibility {
+        self.admissibility
+    }
+
+    /// Numeric phase: factorize `kernel` over this analysis.  The symbolic
+    /// setup is reused verbatim; `opts.admissibility` is overridden by the
+    /// analysis's own condition (the partition was built with it).
+    ///
+    /// # Errors
+    /// Same conditions as [`UlvFactorization::factor`].
+    pub fn factorize(&self, kernel: &dyn Kernel, opts: &FactorOptions) -> SolverResult<UlvFactors> {
+        UlvFactorization::factor_analyzed(kernel, self, opts)
+    }
+}

@@ -8,25 +8,52 @@
 //! * **root**: dense solve of the final skeleton system;
 //! * **downward/backward**: recover the redundant unknowns level by level (backward
 //!   substitution with the stored panels) and transform back with the column bases.
+//!
+//! # One panel implementation, every width
+//!
+//! The whole pass is implemented once, over an `n x w` **panel** of right-hand
+//! sides ([`UlvFactors::vsolve`]); the single-vector [`UlvFactors::solve`] is the
+//! `w = 1` case of the same code.  The solve is memory-bound — every stored
+//! factor panel is streamed once per sweep at ~2 flops per load — so a panel
+//! amortises that traffic across `w` columns and is the source of the multi-RHS
+//! throughput win.
+//!
+//! Every kernel on the path is **width-stable**: column `j` of each
+//! intermediate is produced by exactly the same floating-point operations at
+//! any panel width ([`h2_matrix::gemm_colwise`] / [`h2_matrix::matmul_tn_colwise`]
+//! for the dense panels, [`h2_matrix::Lu::forward_panel`] /
+//! [`h2_matrix::Lu::backward_panel`] for the triangular sweeps).  Consequence:
+//! `vsolve` on a width-`k` panel is **bitwise identical** to `k` independent
+//! `solve` calls — the property `tests/vsolve_equivalence.rs` pins down.
 
-use h2_matrix::{gemv, lu_solve, SolverError, SolverResult};
+use h2_matrix::{gemm_colwise, gemv, matmul_tn_colwise, Matrix, SolverError, SolverResult};
 use std::sync::atomic::Ordering;
 
 use crate::options::Hierarchy;
 use crate::ulv::{LevelFactor, UlvFactors};
 
-/// `y -= M * x` for a dense panel and plain vectors.
-fn sub_matvec(y: &mut [f64], m: &h2_matrix::Matrix, x: &[f64]) {
-    if m.rows() == 0 || m.cols() == 0 || x.is_empty() {
+/// `Y -= M * X` for a dense panel: width-stable, no-op on empty operands.
+fn sub_panel(y: &mut Matrix, m: &Matrix, x: &Matrix) {
+    if m.rows() == 0 || m.cols() == 0 || x.cols() == 0 {
         return;
     }
-    gemv(-1.0, m, false, x, 1.0, y);
+    gemm_colwise(-1.0, m, x, 1.0, y);
+}
+
+/// `C = A * B` through the width-stable kernel.
+fn matmul_colwise(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm_colwise(1.0, a, b, 0.0, &mut c);
+    c
 }
 
 impl UlvFactors {
     /// Solve `A x = b` where `b` is given in **tree ordering** (use
     /// [`h2_geometry::ClusterTree::permute_to_tree`] to convert from the original
     /// point ordering).  Returns `x` in tree ordering.
+    ///
+    /// This is the width-1 case of [`UlvFactors::vsolve`] — bitwise identical
+    /// to the corresponding column of any panel solve.
     ///
     /// # Errors
     /// [`SolverError::ShapeMismatch`] when `b` has the wrong length,
@@ -44,34 +71,72 @@ impl UlvFactors {
                 context: format!("right-hand side entry {i} is non-finite"),
             });
         }
+        let bm = Matrix::from_columns(&[b.to_vec()]);
+        Ok(self.vsolve_inner(&bm).col_vec(0))
+    }
+
+    /// Blocked multi-RHS solve: `A X = B` for an `n x w` panel `B` in tree
+    /// ordering.  One sweep through the factors serves all `w` columns — the
+    /// stored panels are streamed once instead of once per column — and every
+    /// column is bitwise identical to the width-1 [`UlvFactors::solve`] of that
+    /// column alone.
+    ///
+    /// # Errors
+    /// [`SolverError::ShapeMismatch`] when `B` has the wrong row count,
+    /// [`SolverError::NonFiniteInput`] when any column carries NaN/inf entries
+    /// (the error names the offending column so a batching layer can fail just
+    /// that request).
+    pub fn vsolve(&self, b: &Matrix) -> SolverResult<Matrix> {
+        let n = self.tree.num_points();
+        if b.rows() != n {
+            return Err(SolverError::ShapeMismatch {
+                op: "vsolve",
+                expected: n,
+                got: b.rows(),
+            });
+        }
+        for j in 0..b.cols() {
+            if let Some(i) = b.col(j).iter().position(|x| !x.is_finite()) {
+                return Err(SolverError::NonFiniteInput {
+                    context: format!("right-hand side column {j} entry {i} is non-finite"),
+                });
+            }
+        }
+        Ok(self.vsolve_inner(b))
+    }
+
+    /// The panel sweep itself; callers have validated the input.
+    fn vsolve_inner(&self, b: &Matrix) -> Matrix {
+        let w = b.cols();
         // Degenerate dense case.
         if self.levels.is_empty() {
-            return Ok(lu_solve(&self.root_lu, b));
+            return self.root_lu.solve_panel(b);
         }
 
         // ---------------------------------------------------------------- forward
-        // Per-cluster right-hand sides at the current level (leaf first).
+        // Per-cluster right-hand-side panels at the current level (leaf first).
         let leaf_level = self.tree.depth;
-        let mut rhs: Vec<Vec<f64>> = (0..self.tree.num_leaves())
-            .map(|i| b[self.tree.cluster_at(leaf_level, i).range()].to_vec())
+        let mut rhs: Vec<Matrix> = (0..self.tree.num_leaves())
+            .map(|i| {
+                let r = self.tree.cluster_at(leaf_level, i).range();
+                b.block(r.start, 0, r.len(), w)
+            })
             .collect();
         // Saved redundant solutions per level (needed in the backward pass).
-        let mut saved_zr: Vec<Vec<Vec<f64>>> = Vec::with_capacity(self.levels.len());
+        let mut saved_zr: Vec<Vec<Matrix>> = Vec::with_capacity(self.levels.len());
 
         for lf in &self.levels {
             let nb = lf.nb;
             // Transform with the row bases and split into redundant / skeleton parts.
-            let mut b_r: Vec<Vec<f64>> = Vec::with_capacity(nb);
-            let mut b_s: Vec<Vec<f64>> = Vec::with_capacity(nb);
+            let mut b_r: Vec<Matrix> = Vec::with_capacity(nb);
+            let mut b_s: Vec<Matrix> = Vec::with_capacity(nb);
             for (i, c) in lf.clusters.iter().enumerate() {
-                let mut bhat = vec![0.0; c.active];
-                gemv(1.0, &c.q, true, &rhs[i], 0.0, &mut bhat);
-                b_s.push(bhat[c.redundant..].to_vec());
-                bhat.truncate(c.redundant);
-                b_r.push(bhat);
+                let bhat = matmul_tn_colwise(&c.q, &rhs[i]);
+                b_s.push(bhat.block(c.redundant, 0, c.active - c.redundant, w));
+                b_r.push(bhat.block(0, 0, c.redundant, w));
             }
             // Forward substitution over the redundant blocks in cluster order.
-            let mut z_r: Vec<Vec<f64>> = vec![Vec::new(); nb];
+            let mut z_r: Vec<Matrix> = (0..nb).map(|_| Matrix::zeros(0, w)).collect();
             for k in 0..nb {
                 let c = &lf.clusters[k];
                 if c.redundant == 0 {
@@ -81,14 +146,14 @@ impl UlvFactors {
                 for &j in &lf.neighbours[k] {
                     if j < k {
                         if let Some(m) = lf.col_rr.get(&(k, j)) {
-                            sub_matvec(&mut t, m, &z_r[j]);
+                            sub_panel(&mut t, m, &z_r[j]);
                         }
                     }
                 }
                 z_r[k] =
                     c.lu.as_ref()
                         .unwrap_or_else(|| unreachable!("redundant block without LU"))
-                        .forward(&t);
+                        .forward_panel(&t);
             }
             // Skeleton residuals.
             let mut z_s = b_s;
@@ -97,7 +162,7 @@ impl UlvFactors {
                 pivots.push(i);
                 for k in pivots {
                     if let Some(m) = lf.col_sr.get(&(i, k)) {
-                        sub_matvec(&mut z_s[i], m, &z_r[k]);
+                        sub_panel(&mut z_s[i], m, &z_r[k]);
                     }
                 }
             }
@@ -105,51 +170,54 @@ impl UlvFactors {
             // Pass the skeleton residuals to the parent level.
             rhs = match self.options.hierarchy {
                 Hierarchy::MultiLevel => (0..nb / 2)
-                    .map(|ip| {
-                        let mut v = z_s[2 * ip].clone();
-                        v.extend_from_slice(&z_s[2 * ip + 1]);
-                        v
-                    })
+                    .map(|ip| z_s[2 * ip].vcat(&z_s[2 * ip + 1]))
                     .collect(),
                 Hierarchy::SingleLevel => z_s,
             };
         }
 
         // -------------------------------------------------------------------- root
-        let root_rhs: Vec<f64> = rhs.iter().flat_map(|v| v.iter().copied()).collect();
-        debug_assert_eq!(root_rhs.len(), self.root_lu.lu.rows());
-        let y_root = lu_solve(&self.root_lu, &root_rhs);
+        let parts: Vec<&Matrix> = rhs.iter().collect();
+        let mut root_rhs = Matrix::vcat_all(&parts);
+        if root_rhs.cols() != w {
+            // vcat_all collapses an all-empty stack (every skeleton rank 0,
+            // e.g. exactly rank-0 far fields) to 0x0; keep the panel width so
+            // the per-cluster splits below stay well-formed.
+            root_rhs = Matrix::zeros(0, w);
+        }
+        debug_assert_eq!(root_rhs.rows(), self.root_lu.lu.rows());
+        let y_root = self.root_lu.solve_panel(&root_rhs);
         // Split the root solution back into top-level cluster pieces.
-        let mut y_upper: Vec<Vec<f64>> = Vec::with_capacity(self.root_clusters);
+        let mut y_upper: Vec<Matrix> = Vec::with_capacity(self.root_clusters);
         for c in 0..self.root_clusters {
             let lo = self.root_offsets[c];
             let hi = if c + 1 < self.root_clusters {
                 self.root_offsets[c + 1]
             } else {
-                y_root.len()
+                y_root.rows()
             };
-            y_upper.push(y_root[lo..hi].to_vec());
+            y_upper.push(y_root.block(lo, 0, hi - lo, w));
         }
 
         // ---------------------------------------------------------------- backward
         for (lf, z_r) in self.levels.iter().zip(saved_zr.iter()).rev() {
             let nb = lf.nb;
             // Skeleton solutions of this level, extracted from the parent solution.
-            let y_s: Vec<Vec<f64>> = match self.options.hierarchy {
+            let y_s: Vec<Matrix> = match self.options.hierarchy {
                 Hierarchy::MultiLevel => {
                     let mut out = Vec::with_capacity(nb);
                     for ip in 0..nb / 2 {
                         let k_left = lf.clusters[2 * ip].skeleton;
                         let parent = &y_upper[ip];
-                        out.push(parent[..k_left].to_vec());
-                        out.push(parent[k_left..].to_vec());
+                        out.push(parent.block(0, 0, k_left, w));
+                        out.push(parent.block(k_left, 0, parent.rows() - k_left, w));
                     }
                     out
                 }
                 Hierarchy::SingleLevel => y_upper.clone(),
             };
             // Backward substitution over the redundant blocks in reverse order.
-            let mut y_r: Vec<Vec<f64>> = vec![Vec::new(); nb];
+            let mut y_r: Vec<Matrix> = (0..nb).map(|_| Matrix::zeros(0, w)).collect();
             for k in (0..nb).rev() {
                 let c = &lf.clusters[k];
                 if c.redundant == 0 {
@@ -159,7 +227,7 @@ impl UlvFactors {
                 for &j in &lf.neighbours[k] {
                     if j > k {
                         if let Some(m) = lf.row_rr.get(&(k, j)) {
-                            sub_matvec(&mut t, m, &y_r[j]);
+                            sub_panel(&mut t, m, &y_r[j]);
                         }
                     }
                 }
@@ -167,35 +235,32 @@ impl UlvFactors {
                 skeleton_sources.push(k);
                 for j in skeleton_sources {
                     if let Some(m) = lf.row_rs.get(&(k, j)) {
-                        sub_matvec(&mut t, m, &y_s[j]);
+                        sub_panel(&mut t, m, &y_s[j]);
                     }
                 }
                 y_r[k] =
                     c.lu.as_ref()
                         .unwrap_or_else(|| unreachable!("redundant block without LU"))
-                        .backward(&t);
+                        .backward_panel(&t);
             }
-            // Transform back with the column bases: x_i = P_i [y_R; y_S].
-            let x_level: Vec<Vec<f64>> = (0..nb)
+            // Transform back with the column bases: X_i = P_i [Y_R; Y_S].
+            let x_level: Vec<Matrix> = (0..nb)
                 .map(|i| {
                     let c = &lf.clusters[i];
-                    let mut packed = y_r[i].clone();
-                    packed.extend_from_slice(&y_s[i]);
-                    let mut x = vec![0.0; c.active];
-                    gemv(1.0, &c.p, false, &packed, 0.0, &mut x);
-                    x
+                    let packed = y_r[i].vcat(&y_s[i]);
+                    matmul_colwise(&c.p, &packed)
                 })
                 .collect();
             y_upper = x_level;
         }
 
-        // `y_upper` now holds the per-leaf solutions in tree ordering.
-        let mut x = vec![0.0; b.len()];
+        // `y_upper` now holds the per-leaf solution panels in tree ordering.
+        let mut x = Matrix::zeros(b.rows(), w);
         for (i, xi) in y_upper.iter().enumerate() {
             let range = self.tree.cluster_at(leaf_level, i).range();
-            x[range].copy_from_slice(xi);
+            x.set_block(range.start, 0, xi);
         }
-        Ok(x)
+        x
     }
 
     /// Solve with `b` given in the original point ordering, returning `x` in the
@@ -204,9 +269,40 @@ impl UlvFactors {
     /// # Errors
     /// Same conditions as [`UlvFactors::solve`].
     pub fn solve_original_order(&self, b: &[f64]) -> SolverResult<Vec<f64>> {
+        if b.len() != self.tree.num_points() {
+            return Err(SolverError::ShapeMismatch {
+                op: "solve",
+                expected: self.tree.num_points(),
+                got: b.len(),
+            });
+        }
         let bt = self.tree.permute_to_tree(b);
         let xt = self.solve(&bt)?;
         Ok(self.tree.permute_from_tree(&xt))
+    }
+
+    /// Panel variant of [`UlvFactors::solve_original_order`]: columns are
+    /// permuted to tree ordering, solved in one sweep, and permuted back.
+    ///
+    /// # Errors
+    /// Same conditions as [`UlvFactors::vsolve`].
+    pub fn vsolve_original_order(&self, b: &Matrix) -> SolverResult<Matrix> {
+        let n = self.tree.num_points();
+        if b.rows() != n {
+            return Err(SolverError::ShapeMismatch {
+                op: "vsolve",
+                expected: n,
+                got: b.rows(),
+            });
+        }
+        let cols: Vec<Vec<f64>> = (0..b.cols())
+            .map(|j| self.tree.permute_to_tree(b.col(j)))
+            .collect();
+        let xt = self.vsolve(&Matrix::from_columns(&cols))?;
+        let back: Vec<Vec<f64>> = (0..xt.cols())
+            .map(|j| self.tree.permute_from_tree(xt.col(j)))
+            .collect();
+        Ok(Matrix::from_columns(&back))
     }
 
     /// How many [`UlvFactors::solve_refined`] steps the factorization's own
@@ -233,7 +329,9 @@ impl UlvFactors {
     /// solve — cheap next to the factorization — and recovers the accuracy a
     /// reduced-precision compression left on the table.  Returns the iterate
     /// with the smallest residual norm, so refinement never degrades the plain
-    /// solve.  Deterministic: no randomness, fixed evaluation order.
+    /// solve.  Deterministic: no randomness, fixed evaluation order.  The
+    /// width-1 case of [`UlvFactors::vsolve_refined`], bitwise identical to the
+    /// corresponding column of any refined panel solve.
     ///
     /// # Errors
     /// Same conditions as [`UlvFactors::solve`].
@@ -243,26 +341,71 @@ impl UlvFactors {
         b: &[f64],
         steps: usize,
     ) -> SolverResult<Vec<f64>> {
-        let mut x = self.solve(b)?;
-        if steps == 0 {
+        if b.len() != self.tree.num_points() {
+            return Err(SolverError::ShapeMismatch {
+                op: "solve",
+                expected: self.tree.num_points(),
+                got: b.len(),
+            });
+        }
+        if let Some(i) = b.iter().position(|x| !x.is_finite()) {
+            return Err(SolverError::NonFiniteInput {
+                context: format!("right-hand side entry {i} is non-finite"),
+            });
+        }
+        let bm = Matrix::from_columns(&[b.to_vec()]);
+        Ok(self.vsolve_refined(kernel, &bm, steps)?.col_vec(0))
+    }
+
+    /// Panel iterative refinement: [`UlvFactors::vsolve`] followed by `steps`
+    /// rounds of residual correction, tracked **per column** — each column keeps
+    /// its own best iterate and freezes once its residual is exactly zero, so
+    /// the f32-SRFT refinement contract of [`UlvFactors::solve_refined`] holds
+    /// column by column.  The kernel sweep for the residual is shared by the
+    /// whole panel (one row-block assembly serves all `w` columns), which is
+    /// where the refined panel solve wins over `w` refined single solves.
+    ///
+    /// # Errors
+    /// Same conditions as [`UlvFactors::vsolve`].
+    pub fn vsolve_refined(
+        &self,
+        kernel: &dyn h2_geometry::Kernel,
+        b: &Matrix,
+        steps: usize,
+    ) -> SolverResult<Matrix> {
+        let mut x = self.vsolve(b)?;
+        if steps == 0 || b.cols() == 0 {
             return Ok(x);
         }
-        let norm2 = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>();
+        let w = b.cols();
+        let col_norm2 = |m: &Matrix, j: usize| m.col(j).iter().map(|a| a * a).sum::<f64>();
         let mut best = x.clone();
-        let mut best_rr = norm2(&self.kernel_residual(kernel, b, &x));
+        let r0 = self.kernel_residual_panel(kernel, b, &x);
+        let mut best_rr: Vec<f64> = (0..w).map(|j| col_norm2(&r0, j)).collect();
         for _ in 0..steps {
-            if best_rr == 0.0 {
+            if best_rr.iter().all(|&rr| rr == 0.0) {
                 break;
             }
-            let r = self.kernel_residual(kernel, b, &x);
-            let dx = self.solve(&r)?;
-            for (xi, di) in x.iter_mut().zip(&dx) {
-                *xi += di;
+            let r = self.kernel_residual_panel(kernel, b, &x);
+            let dx = self.vsolve_inner(&r);
+            for j in 0..w {
+                if best_rr[j] == 0.0 {
+                    continue;
+                }
+                for (xi, di) in x.col_mut(j).iter_mut().zip(dx.col(j)) {
+                    *xi += di;
+                }
             }
-            let rr = norm2(&self.kernel_residual(kernel, b, &x));
-            if rr < best_rr {
-                best_rr = rr;
-                best.copy_from_slice(&x);
+            let rnew = self.kernel_residual_panel(kernel, b, &x);
+            for j in 0..w {
+                if best_rr[j] == 0.0 {
+                    continue;
+                }
+                let rr = col_norm2(&rnew, j);
+                if rr < best_rr[j] {
+                    best_rr[j] = rr;
+                    best.col_mut(j).copy_from_slice(x.col(j));
+                }
             }
         }
         Ok(best)
@@ -294,7 +437,7 @@ impl UlvFactors {
         let mut steps_used = 0;
         for (rung, &steps) in ladder.iter().enumerate() {
             let x = self.solve_refined(kernel, b, steps)?;
-            let res = self.residual_sampled(kernel, b, &x, RESIDUAL_PROBES, self.options.seed);
+            let res = self.residual_sampled(kernel, b, &x, RESIDUAL_PROBES, self.options.seed)?;
             steps_used = steps;
             if res <= rtol {
                 return Ok(x);
@@ -314,21 +457,31 @@ impl UlvFactors {
         })
     }
 
-    /// The residual `b - A x` in tree ordering, with the kernel matrix assembled
-    /// in row blocks of bounded size (never the full `n x n` matrix at once).
-    fn kernel_residual(&self, kernel: &dyn h2_geometry::Kernel, b: &[f64], x: &[f64]) -> Vec<f64> {
+    /// The residual panel `B - A X` in tree ordering, with the kernel matrix
+    /// assembled in row blocks of bounded size (never the full `n x n` matrix
+    /// at once).  Width-stable: each column matches the single-vector residual
+    /// bitwise at any panel width, and one assembly sweep serves all columns.
+    fn kernel_residual_panel(
+        &self,
+        kernel: &dyn h2_geometry::Kernel,
+        b: &Matrix,
+        x: &Matrix,
+    ) -> Matrix {
         const ROW_BLOCK: usize = 512;
         let n = self.tree.num_points();
-        let mut r = b.to_vec();
-        let mut ax = vec![0.0; ROW_BLOCK];
+        let w = b.cols();
+        let mut r = b.clone();
         for start in (0..n).step_by(ROW_BLOCK) {
             let stop = (start + ROW_BLOCK).min(n);
             let rows = &self.tree.perm[start..stop];
             let a = kernel.assemble(&self.tree.points, rows, &self.tree.perm);
-            let ab = &mut ax[..stop - start];
-            gemv(1.0, &a, false, x, 0.0, ab);
-            for (ri, &v) in r[start..stop].iter_mut().zip(ab.iter()) {
-                *ri -= v;
+            let mut ax = Matrix::zeros(stop - start, w);
+            gemm_colwise(1.0, &a, x, 0.0, &mut ax);
+            for j in 0..w {
+                let rcol = &mut r.col_mut(j)[start..stop];
+                for (ri, &v) in rcol.iter_mut().zip(ax.col(j)) {
+                    *ri -= v;
+                }
             }
         }
         r
@@ -349,6 +502,10 @@ impl UlvFactors {
     /// (`O(probes · n)` kernel entries instead of the `O(n²)` dense check) and
     /// scales the sampled residual norm up by `n / probes` — an unbiased estimator
     /// of `||A x - b||²`, exact when `probes >= n`.  Deterministic in `seed`.
+    ///
+    /// # Errors
+    /// [`SolverError::ShapeMismatch`] when `b` or `x` has the wrong length —
+    /// part of the panic-free solver contract.
     pub fn residual_sampled(
         &self,
         kernel: &dyn h2_geometry::Kernel,
@@ -356,12 +513,24 @@ impl UlvFactors {
         x: &[f64],
         probes: usize,
         seed: u64,
-    ) -> f64 {
+    ) -> SolverResult<f64> {
         use rand::seq::SliceRandom;
         use rand::SeedableRng;
         let n = self.tree.num_points();
-        assert_eq!(b.len(), n, "residual_sampled: rhs length mismatch");
-        assert_eq!(x.len(), n, "residual_sampled: solution length mismatch");
+        if b.len() != n {
+            return Err(SolverError::ShapeMismatch {
+                op: "residual_sampled (rhs)",
+                expected: n,
+                got: b.len(),
+            });
+        }
+        if x.len() != n {
+            return Err(SolverError::ShapeMismatch {
+                op: "residual_sampled (solution)",
+                expected: n,
+                got: x.len(),
+            });
+        }
         let p = probes.clamp(1, n);
         // Sampled tree-order row positions (all rows when probes >= n).
         let mut pos: Vec<usize> = (0..n).collect();
@@ -383,7 +552,7 @@ impl UlvFactors {
             rr += r * r;
         }
         let bb: f64 = b.iter().map(|v| v * v).sum();
-        ((rr * n as f64 / p as f64) / bb.max(f64::MIN_POSITIVE)).sqrt()
+        Ok(((rr * n as f64 / p as f64) / bb.max(f64::MIN_POSITIVE)).sqrt())
     }
 }
 

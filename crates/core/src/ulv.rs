@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use h2_geometry::{ClusterTree, Kernel};
@@ -177,8 +177,9 @@ pub struct FactorStats {
 
 /// The result of a ULV factorization: everything needed to solve, plus diagnostics.
 pub struct UlvFactors {
-    /// The cluster tree (owned copy; defines orderings for the solve).
-    pub tree: ClusterTree,
+    /// The cluster tree (shared with the [`crate::session::Analysis`] that
+    /// produced it; defines orderings for the solve).
+    pub tree: Arc<ClusterTree>,
     /// The options the factorization ran with.
     pub options: FactorOptions,
     /// Factors per processed level, leaf first.
@@ -346,6 +347,30 @@ impl UlvFactorization {
         tree: &ClusterTree,
         opts: &FactorOptions,
     ) -> SolverResult<UlvFactors> {
+        let analysis =
+            crate::session::Analysis::from_tree(Arc::new(tree.clone()), opts.admissibility);
+        Self::factor_analyzed(kernel, &analysis, opts)
+    }
+
+    /// Factorize against a prebuilt [`crate::session::Analysis`]: the symbolic
+    /// phase (cluster tree + block partition) is shared, so repeated
+    /// factorizations over the same geometry — different kernels or tolerances
+    /// — skip it entirely and the resulting factors share the tree instead of
+    /// deep-copying it.  `opts.admissibility` is overridden by the analysis's
+    /// own condition (the partition was built with it).
+    ///
+    /// # Errors
+    /// Same conditions as [`UlvFactorization::factor`].
+    pub fn factor_analyzed(
+        kernel: &dyn Kernel,
+        analysis: &crate::session::Analysis,
+        opts: &FactorOptions,
+    ) -> SolverResult<UlvFactors> {
+        let tree = analysis.tree();
+        let opts = &FactorOptions {
+            admissibility: analysis.admissibility(),
+            ..*opts
+        };
         // Input validation up front: these conditions would otherwise surface
         // as NaN panics (or silent garbage) deep inside clustering/compression.
         if let Some(idx) = h2_geometry::first_non_finite(&tree.points) {
@@ -374,7 +399,7 @@ impl UlvFactorization {
             _ => kernel,
         };
 
-        let partition = BlockPartition::build(tree, &opts.admissibility);
+        let partition = analysis.partition();
         let depth = tree.depth;
         let mut stats = FactorStats::default();
         let mut tg = FactorTaskGraph::new();
@@ -403,7 +428,7 @@ impl UlvFactorization {
             stats.root_dim = a.rows();
             tg.add_root_task(a.rows());
             return Ok(UlvFactors {
-                tree: tree.clone(),
+                tree: analysis.tree_handle(),
                 options: *opts,
                 levels: Vec::new(),
                 root_lu,
@@ -472,7 +497,7 @@ impl UlvFactorization {
         let exec = DagExecutor::new(h2_runtime::resolve_num_threads(opts.num_threads));
         for level in (last_level..=depth).rev() {
             let (lf, next_state) = Self::process_level(
-                kernel, tree, &partition, opts, level, state, &mut stats, &mut tg, &exec,
+                kernel, tree, partition, opts, level, state, &mut stats, &mut tg, &exec,
             )?;
             levels.push(lf);
             state = next_state;
@@ -526,7 +551,7 @@ impl UlvFactorization {
         stats.factorization_flops += flop_count() - ffac;
 
         let mut factors = UlvFactors {
-            tree: tree.clone(),
+            tree: analysis.tree_handle(),
             options: *opts,
             levels,
             root_lu,

@@ -120,6 +120,42 @@ pub trait Kernel: Sync + Send {
 
     /// Short human-readable name used in benchmark reports.
     fn name(&self) -> &'static str;
+
+    /// Parameters that change matrix entries, in a fixed order — consumed by
+    /// [`Kernel::fingerprint`].  Implementations must list every knob whose
+    /// change produces different entries.
+    fn fingerprint_params(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Stable identity for factorization caching: mixes the kernel name and
+    /// every entry-changing parameter bit-exactly.  Two kernels with equal
+    /// fingerprints must assemble identical matrices — [`Kernel::name`] alone
+    /// is not enough, it omits the parameters.
+    fn fingerprint(&self) -> u64 {
+        let mut h = FINGERPRINT_SEED;
+        for &b in self.name().as_bytes() {
+            h = fingerprint_mix(h, b as u64);
+        }
+        for p in self.fingerprint_params() {
+            h = fingerprint_mix(h, p.to_bits());
+        }
+        h
+    }
+}
+
+/// FNV-1a offset basis — the starting value for fingerprint accumulation.
+pub const FINGERPRINT_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a accumulation step over the bytes of `v`; exposed so caching
+/// layers can extend a [`Kernel::fingerprint`] with their own components
+/// (geometry, tolerances, options) under the same mixing function.
+pub fn fingerprint_mix(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Green's function of the 3-D Laplace equation, `1 / (4 pi r)` (Eq. 29).
@@ -172,6 +208,10 @@ impl Kernel for LaplaceKernel {
 
     fn name(&self) -> &'static str {
         "laplace"
+    }
+
+    fn fingerprint_params(&self) -> Vec<f64> {
+        vec![self.singularity_shift]
     }
 }
 
@@ -230,6 +270,10 @@ impl Kernel for YukawaKernel {
     fn name(&self) -> &'static str {
         "yukawa"
     }
+
+    fn fingerprint_params(&self) -> Vec<f64> {
+        vec![self.alpha_m, self.epsilon0, self.singularity_shift]
+    }
 }
 
 /// Real part of the 3-D Helmholtz Green's function, `cos(kappa r) / (4 pi r)` — the
@@ -285,6 +329,10 @@ impl Kernel for HelmholtzKernel {
     fn name(&self) -> &'static str {
         "helmholtz"
     }
+
+    fn fingerprint_params(&self) -> Vec<f64> {
+        vec![self.wavenumber, self.singularity_shift]
+    }
 }
 
 /// Squared-exponential (Gaussian) covariance kernel `exp(-r^2 / (2 l^2))` with a nugget
@@ -336,6 +384,10 @@ impl Kernel for GaussianKernel {
     fn name(&self) -> &'static str {
         "gaussian"
     }
+
+    fn fingerprint_params(&self) -> Vec<f64> {
+        vec![self.length_scale, self.nugget]
+    }
 }
 
 /// Matérn-3/2 covariance kernel `(1 + sqrt(3) r / l) exp(-sqrt(3) r / l)` with a nugget.
@@ -386,6 +438,10 @@ impl Kernel for MaternKernel {
 
     fn name(&self) -> &'static str {
         "matern32"
+    }
+
+    fn fingerprint_params(&self) -> Vec<f64> {
+        vec![self.length_scale, self.nugget]
     }
 }
 
@@ -442,6 +498,10 @@ impl Kernel for NanInjectedKernel<'_> {
 
     fn name(&self) -> &'static str {
         self.inner.name()
+    }
+
+    fn fingerprint_params(&self) -> Vec<f64> {
+        self.inner.fingerprint_params()
     }
 }
 

@@ -37,8 +37,8 @@ pub use cluster_tree::{Cluster, ClusterTree, PartitionStrategy};
 pub use cube::{uniform_cube, uniform_grid};
 pub use degenerate::{first_coincident_pair, first_non_finite, kernel_finite_at_coincidence};
 pub use kernel::{
-    GaussianKernel, HelmholtzKernel, Kernel, LaplaceKernel, MaternKernel, NanInjectedKernel,
-    YukawaKernel,
+    fingerprint_mix, GaussianKernel, HelmholtzKernel, Kernel, LaplaceKernel, MaternKernel,
+    NanInjectedKernel, YukawaKernel, FINGERPRINT_SEED,
 };
 pub use kmeans::{balanced_kmeans, KMeansResult};
 pub use molecule::{crowded_scene, molecule_surface, MoleculeConfig};

@@ -127,6 +127,111 @@ fn gemm_nn(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
     }
 }
 
+/// Width-stable GEMM: `C = alpha * A * B + beta * C` through the simple
+/// cache-blocked column-major loop regardless of problem size.
+///
+/// Contract (relied on by the solver's multi-RHS panel path): column `j` of
+/// `C` is produced by exactly the same sequence of floating-point operations
+/// as a width-1 call on column `j` of `B` alone — the blocking runs over rows
+/// and the inner dimension only, never over the panel width, and no kernel
+/// switch depends on `B.cols()`.  [`gemm`] cannot promise this: its packed
+/// crossover is a function of total flops, hence of the width.  Each column
+/// also matches [`gemv`] (no-transpose) bitwise — both accumulate
+/// `c += (alpha * b[p]) * a_col[p]` with `p` ascending, skipping zero
+/// multipliers, `i` ascending.
+pub fn gemm_colwise(alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm_colwise: inner dimensions differ");
+    assert_eq!(
+        c.shape(),
+        (a.rows(), b.cols()),
+        "gemm_colwise: C has shape {:?}, expected {:?}",
+        c.shape(),
+        (a.rows(), b.cols())
+    );
+    add_flops(cost::gemm(a.rows(), b.cols(), a.cols()));
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.as_mut_slice().fill(0.0);
+        } else {
+            c.scale_mut(beta);
+        }
+    }
+    if alpha == 0.0 || c.rows() == 0 || c.cols() == 0 || a.cols() == 0 {
+        return;
+    }
+    gemm_colwise_tiled(alpha, a, b, c);
+}
+
+/// Rows per accumulator block of the width-stable tiled kernel.
+const CW_ITILE: usize = 64;
+/// Panel columns per pass of the width-stable tiled kernel.
+const CW_JTILE: usize = 8;
+
+/// The inner kernel of [`gemm_colwise`]: row/column tiled so each loaded
+/// A-column chunk serves up to [`CW_JTILE`] panel columns and each C chunk is
+/// read and written once — this is where the multi-RHS panel solve's memory
+/// amortization comes from.  Bitwise identical per column to the naive
+/// [`gemm_nn`] loop at every width: the accumulator for `c[i, j]` is seeded
+/// from `c`, terms are added in ascending `p` with the same `(alpha * b[p]) *
+/// a[i, p]` expression, and zero multipliers are skipped — only the
+/// interleaving across columns differs, which floating point cannot observe.
+fn gemm_colwise_tiled(alpha: f64, a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let m = a.rows();
+    let k = a.cols();
+    let n = b.cols();
+    let mut acc = [[0.0f64; CW_ITILE]; CW_JTILE];
+    for jj in (0..n).step_by(CW_JTILE) {
+        let jend = (jj + CW_JTILE).min(n);
+        for ii in (0..m).step_by(CW_ITILE) {
+            let iend = (ii + CW_ITILE).min(m);
+            let ilen = iend - ii;
+            for j in jj..jend {
+                acc[j - jj][..ilen].copy_from_slice(&c.col(j)[ii..iend]);
+            }
+            for p in 0..k {
+                let achunk = &a.col(p)[ii..iend];
+                for j in jj..jend {
+                    let bv = alpha * b.col(j)[p];
+                    if bv == 0.0 {
+                        continue;
+                    }
+                    let accj = &mut acc[j - jj][..ilen];
+                    for (ai, av) in accj.iter_mut().zip(achunk) {
+                        *ai += bv * av;
+                    }
+                }
+            }
+            for j in jj..jend {
+                c.col_mut(j)[ii..iend].copy_from_slice(&acc[j - jj][..ilen]);
+            }
+        }
+    }
+}
+
+/// Width-stable `A^T * B`: entry `(i, j)` is `dot(A.col(i), B.col(j))`, so
+/// every entry depends only on its own column pair — column `j` of the result
+/// is bitwise identical to [`gemv`] (transpose) applied to column `j` of `B`
+/// at any panel width.  No transpose is materialised.
+pub fn matmul_tn_colwise(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn_colwise: row dimensions differ"
+    );
+    // Flops are accounted by the inner `dot` calls.  Loop order: `i` outer so
+    // each (large) A column streams exactly once while the (small) B panel
+    // stays cache-resident — entries are independent dots, so the order does
+    // not affect the result.
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    for i in 0..a.cols() {
+        let acol = a.col(i);
+        for j in 0..b.cols() {
+            c[(i, j)] = crate::blas1::dot(acol, b.col(j));
+        }
+    }
+    c
+}
+
 /// Convenience: `A * B`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     let mut c = Matrix::zeros(a.rows(), b.cols());
@@ -286,6 +391,37 @@ mod tests {
         let ytref = matmul_tn(&a, &Matrix::from_columns(std::slice::from_ref(&xt)));
         for i in 0..4 {
             assert!((yt[i] - (2.0 * ytref[(i, 0)] + 3.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn colwise_kernels_are_width_stable() {
+        // Each column of a wide product must be bit-for-bit the column produced
+        // by the width-1 call — this is the contract the multi-RHS solve leans on.
+        let mut r = rng();
+        for &(m, k, w) in &[(3usize, 4usize, 1usize), (65, 33, 7), (130, 100, 16)] {
+            let a = Matrix::random(m, k, &mut r);
+            let b = Matrix::random(k, w, &mut r);
+            let mut c = Matrix::zeros(m, w);
+            gemm_colwise(1.0, &a, &b, 0.0, &mut c);
+            let ct = matmul_tn_colwise(&a.transpose(), &b);
+            assert!(c.max_abs_diff(&matmul_naive(&a, &b)) < 1e-10);
+            assert!(ct.max_abs_diff(&matmul_naive(&a, &b)) < 1e-10);
+            for j in 0..w {
+                let bj = Matrix::from_columns(&[b.col_vec(j)]);
+                let mut c1 = Matrix::zeros(m, 1);
+                gemm_colwise(1.0, &a, &bj, 0.0, &mut c1);
+                assert_eq!(c.col(j), c1.col(0), "gemm_colwise col {j} of {m}x{k}x{w}");
+                let ct1 = matmul_tn_colwise(&a.transpose(), &bj);
+                assert_eq!(ct.col(j), ct1.col(0), "tn_colwise col {j}");
+                // And both match the gemv family on the same column.
+                let mut y = vec![0.0; m];
+                gemv(1.0, &a, false, b.col(j), 0.0, &mut y);
+                assert_eq!(c.col(j), &y[..], "gemv/no-trans parity col {j}");
+                let mut yt = vec![0.0; m];
+                gemv(1.0, &a.transpose(), true, b.col(j), 0.0, &mut yt);
+                assert_eq!(ct.col(j), &yt[..], "gemv/trans parity col {j}");
+            }
         }
     }
 

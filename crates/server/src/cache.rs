@@ -1,0 +1,128 @@
+//! LRU factorization cache keyed by operator fingerprint.
+//!
+//! Factorization is the expensive phase (O(N) but with a large constant);
+//! solves against cached factors are cheap.  The cache holds factors behind
+//! [`Arc`]s, so an entry evicted while a solve is still using it stays alive
+//! until that solve drops its handle — eviction only forgets the key.
+//!
+//! Counters are atomics read without locking the map, so [`FactorCache::stats`]
+//! is safe to call from monitoring threads while solves are in flight.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use h2_factor::UlvFactors;
+use h2_matrix::SolverResult;
+
+/// Snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to factorize.
+    pub misses: u64,
+    /// Entries dropped to make room (LRU order).
+    pub evictions: u64,
+    /// Factorizations actually run (misses minus failed factorizations).
+    pub factorizations: u64,
+}
+
+/// Bounded LRU cache of ULV factorizations keyed by operator fingerprint
+/// (see [`crate::fingerprint::operator_fingerprint`]).
+pub struct FactorCache {
+    capacity: usize,
+    /// Most recently used at the back.  Linear scan is fine: capacities are
+    /// small (a handful of live operators), keys are u64.
+    entries: Mutex<Vec<(u64, Arc<UlvFactors>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    factorizations: AtomicU64,
+}
+
+impl FactorCache {
+    /// A cache holding at most `capacity` factorizations (at least one).
+    pub fn new(capacity: usize) -> FactorCache {
+        FactorCache {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            factorizations: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`; on a miss, run `factorize` and insert the result.
+    /// A failed factorization is not cached — the next lookup retries.
+    ///
+    /// # Errors
+    /// Propagates the error of `factorize` on a miss.
+    ///
+    /// # Panics
+    /// Propagates a panic from a `factorize` call that poisoned the lock.
+    pub fn get_or_factor(
+        &self,
+        key: u64,
+        factorize: impl FnOnce() -> SolverResult<UlvFactors>,
+    ) -> SolverResult<Arc<UlvFactors>> {
+        {
+            #[allow(clippy::expect_used)]
+            let mut entries = self.entries.lock().expect("factor cache lock poisoned");
+            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+                let entry = entries.remove(pos);
+                let factors = Arc::clone(&entry.1);
+                entries.push(entry);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(factors);
+            }
+        }
+        // Factorize outside the lock: concurrent misses on different keys
+        // proceed in parallel, and a panic inside the factorization cannot
+        // poison the map.  Two concurrent misses on the same key both
+        // factorize (bitwise identical results) and the later insert wins.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let factors = Arc::new(factorize()?);
+        self.factorizations.fetch_add(1, Ordering::Relaxed);
+        #[allow(clippy::expect_used)]
+        let mut entries = self.entries.lock().expect("factor cache lock poisoned");
+        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+            entries.remove(pos);
+        }
+        while entries.len() >= self.capacity {
+            entries.remove(0);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push((key, Arc::clone(&factors)));
+        Ok(factors)
+    }
+
+    /// Whether `key` is currently cached (does not touch LRU order or stats).
+    pub fn contains(&self, key: u64) -> bool {
+        #[allow(clippy::expect_used)]
+        let entries = self.entries.lock().expect("factor cache lock poisoned");
+        entries.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Number of cached factorizations.
+    pub fn len(&self) -> usize {
+        #[allow(clippy::expect_used)]
+        let entries = self.entries.lock().expect("factor cache lock poisoned");
+        entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            factorizations: self.factorizations.load(Ordering::Relaxed),
+        }
+    }
+}

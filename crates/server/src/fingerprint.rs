@@ -1,0 +1,78 @@
+//! Operator fingerprints: cache keys for `(geometry, kernel, tolerance, options)`.
+//!
+//! A factorization is a pure function of the clustered geometry, the kernel
+//! (including its parameters) and the numeric options, so a 64-bit FNV-1a
+//! fingerprint over those inputs is a sound cache key: equal fingerprints mean
+//! bitwise identical factors.  The pieces are hashed by the layer that owns
+//! them — [`h2_geometry::Kernel::fingerprint`] for the kernel,
+//! [`h2_factor::FactorOptions::fingerprint`] for the options — and this module
+//! folds in the geometry (point coordinates as raw bits, the clustering
+//! permutation and the tree shape) so two trees over the same points but with
+//! different clustering never collide into one entry.
+
+use h2_factor::FactorOptions;
+use h2_geometry::{fingerprint_mix as mix, ClusterTree, Kernel, FINGERPRINT_SEED};
+
+/// Fingerprint of the clustered geometry alone: point coordinates (raw f64
+/// bits), the point permutation, and the tree shape (depth, leaf count).
+pub fn tree_fingerprint(tree: &ClusterTree) -> u64 {
+    let mut h = FINGERPRINT_SEED;
+    h = mix(h, tree.points.len() as u64);
+    for p in &tree.points {
+        h = mix(h, p.x.to_bits());
+        h = mix(h, p.y.to_bits());
+        h = mix(h, p.z.to_bits());
+    }
+    for &i in &tree.perm {
+        h = mix(h, i as u64);
+    }
+    h = mix(h, tree.depth as u64);
+    h = mix(h, tree.num_leaves() as u64);
+    h
+}
+
+/// Fingerprint of a full operator: geometry, kernel (with parameters) and
+/// factorization options.  This is the factor-cache key.
+pub fn operator_fingerprint(tree: &ClusterTree, kernel: &dyn Kernel, opts: &FactorOptions) -> u64 {
+    let mut h = tree_fingerprint(tree);
+    h = mix(h, kernel.fingerprint());
+    h = mix(h, opts.fingerprint());
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2_geometry::{uniform_cube, LaplaceKernel, PartitionStrategy, YukawaKernel};
+
+    #[test]
+    fn fingerprint_separates_geometry_kernel_and_options() {
+        let pts = uniform_cube(64, 0);
+        let tree = ClusterTree::build(&pts, 16, PartitionStrategy::KMeans, 0);
+        let laplace = LaplaceKernel::default();
+        let opts = FactorOptions::default();
+        let base = operator_fingerprint(&tree, &laplace, &opts);
+
+        // Same inputs → same key.
+        assert_eq!(base, operator_fingerprint(&tree, &laplace, &opts));
+
+        // Different kernel, kernel parameters, options, or geometry → new key.
+        let yukawa = YukawaKernel::default();
+        assert_ne!(base, operator_fingerprint(&tree, &yukawa, &opts));
+        let shifted = LaplaceKernel {
+            singularity_shift: 2.0 * laplace.singularity_shift + 1.0,
+        };
+        assert_ne!(base, operator_fingerprint(&tree, &shifted, &opts));
+        let tighter = FactorOptions {
+            tol: opts.tol * 0.1,
+            ..opts
+        };
+        assert_ne!(base, operator_fingerprint(&tree, &laplace, &tighter));
+        let other_tree = ClusterTree::build(&uniform_cube(64, 7), 16, PartitionStrategy::KMeans, 0);
+        assert_ne!(base, operator_fingerprint(&other_tree, &laplace, &opts));
+
+        // Same points, different clustering → different operator.
+        let morton = ClusterTree::build(&pts, 16, PartitionStrategy::Morton, 0);
+        assert_ne!(base, operator_fingerprint(&morton, &laplace, &opts));
+    }
+}

@@ -1,0 +1,26 @@
+//! # h2-server — the factorization server
+//!
+//! The paper's solver is factor-once / solve-many: the O(N) factorization is
+//! the expensive phase, and every solve against it is cheap and, per column,
+//! bitwise independent of how solves are grouped into panels.  This crate
+//! turns that property into a service:
+//!
+//! * [`fingerprint`] — 64-bit operator fingerprints over
+//!   `(geometry, kernel, options)`, the cache key,
+//! * [`cache`] — a bounded LRU [`FactorCache`] with hit/miss/eviction
+//!   counters; repeated operators never refactorize,
+//! * [`server`] — the [`SolveServer`]: a worker thread that aggregates
+//!   concurrent solve requests into RHS panels under a max-width /
+//!   max-latency [`BatchPolicy`], with per-request typed errors.
+//!
+//! Built on `std` threads and channels only — no async runtime.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod server;
+
+pub use cache::{CacheStats, FactorCache};
+pub use fingerprint::{operator_fingerprint, tree_fingerprint};
+pub use server::{BatchPolicy, OperatorId, ServerStats, SolveServer, Ticket};

@@ -1,0 +1,431 @@
+//! The batched solve service.
+//!
+//! A [`SolveServer`] owns one worker thread, a [`FactorCache`] and a registry
+//! of operators (`Analysis` + kernel + options).  Clients submit right-hand
+//! sides — in the **original point ordering** — and get back a [`Ticket`];
+//! the worker aggregates concurrent requests for the same operator into one
+//! RHS panel under a max-width / max-latency policy and runs a single
+//! [`UlvFactors::vsolve_refined`] sweep per panel.
+//!
+//! Per-request isolation: each request is validated (shape, finiteness)
+//! before panel assembly, so one poisoned request fails alone with a typed
+//! [`SolverError`] while the rest of its batch solves normally.  Because the
+//! panel solve is bitwise identical per column to independent single solves
+//! (the `vsolve` contract), batching is invisible to clients — the answer
+//! does not depend on who you shared a batch with.
+//!
+//! No async runtime: the worker is a plain `std::thread` fed by an `mpsc`
+//! channel, and the batching deadline is implemented with `recv_timeout`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use h2_factor::{Analysis, FactorOptions, UlvFactors};
+use h2_geometry::Kernel;
+use h2_matrix::{Matrix, SolverError, SolverResult};
+
+use crate::cache::{CacheStats, FactorCache};
+use crate::fingerprint::operator_fingerprint;
+
+/// How requests are aggregated into panels.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    /// Close a batch once it holds this many RHS columns.
+    pub max_width: usize,
+    /// Close a batch this long after its first request arrived, full or not.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_width: 32,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Handle to a registered operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperatorId(usize);
+
+struct OperatorSpec {
+    analysis: Analysis,
+    kernel: Arc<dyn Kernel>,
+    opts: FactorOptions,
+    refine_steps: Option<usize>,
+    fingerprint: u64,
+}
+
+struct Request {
+    op: OperatorId,
+    /// RHS columns in the original point ordering.
+    cols: Vec<Vec<f64>>,
+    reply: mpsc::Sender<SolverResult<Vec<Vec<f64>>>>,
+}
+
+enum Msg {
+    Solve(Request),
+    Shutdown,
+}
+
+/// Receipt for a submitted request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<SolverResult<Vec<Vec<f64>>>>,
+}
+
+impl Ticket {
+    /// Block until the request completes; returns the solution columns in the
+    /// original point ordering.
+    ///
+    /// # Errors
+    /// The request's own typed error, or [`SolverError::TaskPanicked`] if the
+    /// server dropped the request (worker died or shut down mid-flight).
+    pub fn wait(self) -> SolverResult<Vec<Vec<f64>>> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(SolverError::TaskPanicked {
+                what: "solve server dropped the request before answering".to_string(),
+            })
+        })
+    }
+
+    /// [`Ticket::wait`] for single-column requests: returns the one solution.
+    ///
+    /// # Errors
+    /// Same as [`Ticket::wait`], plus [`SolverError::ShapeMismatch`] if the
+    /// request did not have exactly one column.
+    pub fn wait_one(self) -> SolverResult<Vec<f64>> {
+        let mut cols = self.wait()?;
+        if cols.len() != 1 {
+            return Err(SolverError::ShapeMismatch {
+                op: "ticket wait_one (columns)",
+                expected: 1,
+                got: cols.len(),
+            });
+        }
+        Ok(cols.swap_remove(0))
+    }
+}
+
+/// Counters of the batching layer (cache counters live in [`CacheStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests that completed successfully.
+    pub solved: u64,
+    /// Requests that failed with a typed error.
+    pub failed: u64,
+    /// Panels executed.
+    pub batches: u64,
+    /// Total RHS columns solved across all panels.
+    pub columns: u64,
+    /// Widest panel executed so far.
+    pub widest_batch: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    solved: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    columns: AtomicU64,
+    widest_batch: AtomicU64,
+}
+
+/// The factorization server: operator registry + factor cache + one batching
+/// worker thread.
+pub struct SolveServer {
+    tx: mpsc::Sender<Msg>,
+    worker: Option<JoinHandle<()>>,
+    ops: Arc<Mutex<Vec<Arc<OperatorSpec>>>>,
+    cache: Arc<FactorCache>,
+    counters: Arc<Counters>,
+}
+
+impl SolveServer {
+    /// Start a server with the given batching policy and factor-cache capacity.
+    pub fn new(policy: BatchPolicy, cache_capacity: usize) -> SolveServer {
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let ops: Arc<Mutex<Vec<Arc<OperatorSpec>>>> = Arc::new(Mutex::new(Vec::new()));
+        let cache = Arc::new(FactorCache::new(cache_capacity));
+        let counters = Arc::new(Counters::default());
+        let worker = {
+            let ops = Arc::clone(&ops);
+            let cache = Arc::clone(&cache);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("h2-solve-server".to_string())
+                .spawn(move || worker_loop(&rx, policy, &ops, &cache, &counters))
+        };
+        SolveServer {
+            tx,
+            worker: worker.ok(),
+            ops,
+            cache,
+            counters,
+        }
+    }
+
+    /// Register an operator.  Symbolic setup (`analysis`) is shared; the
+    /// numeric factorization is deferred to the first request and then cached
+    /// under the operator's fingerprint — re-registering an identical operator
+    /// (same geometry, kernel parameters and options) never refactorizes.
+    ///
+    /// `refine_steps`: `None` uses the factorization's own
+    /// [`UlvFactors::default_refine_steps`] (the f32-SRFT refinement
+    /// contract); `Some(k)` forces `k` steps.
+    pub fn register(
+        &self,
+        analysis: Analysis,
+        kernel: Arc<dyn Kernel>,
+        opts: FactorOptions,
+        refine_steps: Option<usize>,
+    ) -> OperatorId {
+        let fingerprint = operator_fingerprint(analysis.tree(), kernel.as_ref(), &opts);
+        let spec = Arc::new(OperatorSpec {
+            analysis,
+            kernel,
+            opts,
+            refine_steps,
+            fingerprint,
+        });
+        #[allow(clippy::expect_used)]
+        let mut ops = self.ops.lock().expect("operator registry lock poisoned");
+        ops.push(spec);
+        OperatorId(ops.len() - 1)
+    }
+
+    /// Submit one right-hand side (original point ordering).  Never blocks on
+    /// the solve itself; redeem the [`Ticket`] for the answer.
+    pub fn submit(&self, op: OperatorId, rhs: Vec<f64>) -> Ticket {
+        self.submit_panel(op, vec![rhs])
+    }
+
+    /// Submit a multi-column request (original point ordering).  The columns
+    /// stay together: they count towards the batch width as a unit and come
+    /// back in one reply.
+    pub fn submit_panel(&self, op: OperatorId, cols: Vec<Vec<f64>>) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        let request = Request { op, cols, reply };
+        if let Err(mpsc::SendError(Msg::Solve(request))) = self.tx.send(Msg::Solve(request)) {
+            // Worker is gone; fail the request instead of hanging the ticket.
+            let _ = request.reply.send(Err(SolverError::TaskPanicked {
+                what: "solve server worker is not running".to_string(),
+            }));
+        }
+        Ticket { rx }
+    }
+
+    /// Snapshot of the batching counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            solved: self.counters.solved.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            columns: self.counters.columns.load(Ordering::Relaxed),
+            widest_batch: self.counters.widest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot of the factor-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Stop accepting work, finish queued requests, and join the worker.
+    pub fn shutdown(&mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for SolveServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Validate a request against its operator's problem size: every column must
+/// have length `n` and contain only finite values.
+fn validate(request: &Request, n: usize) -> SolverResult<()> {
+    if request.cols.is_empty() {
+        return Err(SolverError::ShapeMismatch {
+            op: "server solve (columns)",
+            expected: 1,
+            got: 0,
+        });
+    }
+    for (j, col) in request.cols.iter().enumerate() {
+        if col.len() != n {
+            return Err(SolverError::ShapeMismatch {
+                op: "server solve (rhs)",
+                expected: n,
+                got: col.len(),
+            });
+        }
+        if let Some(i) = col.iter().position(|x| !x.is_finite()) {
+            return Err(SolverError::NonFiniteInput {
+                context: format!("request column {j} entry {i} is non-finite"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Fetch (or build) the factors for `spec` through the cache.
+fn factors_for(spec: &OperatorSpec, cache: &FactorCache) -> SolverResult<Arc<UlvFactors>> {
+    cache.get_or_factor(spec.fingerprint, || {
+        spec.analysis.factorize(spec.kernel.as_ref(), &spec.opts)
+    })
+}
+
+/// Execute one batch: group by operator, validate per request, assemble each
+/// group into a panel, run one refined panel solve, scatter the columns back.
+fn run_batch(
+    batch: Vec<Request>,
+    ops: &Mutex<Vec<Arc<OperatorSpec>>>,
+    cache: &FactorCache,
+    counters: &Counters,
+) {
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    let width: u64 = batch.iter().map(|r| r.cols.len() as u64).sum();
+    counters.widest_batch.fetch_max(width, Ordering::Relaxed);
+
+    // Group requests per operator, preserving arrival order.
+    let mut groups: Vec<(OperatorId, Vec<Request>)> = Vec::new();
+    for request in batch {
+        match groups.iter_mut().find(|(op, _)| *op == request.op) {
+            Some((_, group)) => group.push(request),
+            None => groups.push((request.op, vec![request])),
+        }
+    }
+
+    for (op, group) in groups {
+        let spec = {
+            #[allow(clippy::expect_used)]
+            let ops = ops.lock().expect("operator registry lock poisoned");
+            ops.get(op.0).map(Arc::clone)
+        };
+        let Some(spec) = spec else {
+            fail_all(group, counters, |_| SolverError::ShapeMismatch {
+                op: "server solve (operator id)",
+                expected: 0,
+                got: op.0,
+            });
+            continue;
+        };
+        let factors = match factors_for(&spec, cache) {
+            Ok(f) => f,
+            Err(e) => {
+                fail_all(group, counters, |_| e.clone());
+                continue;
+            }
+        };
+        let n = spec.analysis.tree().num_points();
+
+        // Validate each request; the poisoned ones answer now, alone.
+        let mut valid: Vec<Request> = Vec::with_capacity(group.len());
+        for request in group {
+            match validate(&request, n) {
+                Ok(()) => valid.push(request),
+                Err(e) => {
+                    counters.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = request.reply.send(Err(e));
+                }
+            }
+        }
+        if valid.is_empty() {
+            continue;
+        }
+
+        // Panel assembly: permute every column to tree ordering.
+        let tree = spec.analysis.tree();
+        let cols: Vec<Vec<f64>> = valid
+            .iter()
+            .flat_map(|r| r.cols.iter().map(|c| tree.permute_to_tree(c)))
+            .collect();
+        let panel = Matrix::from_columns(&cols);
+        counters
+            .columns
+            .fetch_add(panel.cols() as u64, Ordering::Relaxed);
+        let steps = spec
+            .refine_steps
+            .unwrap_or_else(|| factors.default_refine_steps());
+        match factors.vsolve_refined(spec.kernel.as_ref(), &panel, steps) {
+            Ok(x) => {
+                let mut next = 0usize;
+                for request in valid {
+                    let w = request.cols.len();
+                    let cols: Vec<Vec<f64>> = (next..next + w)
+                        .map(|j| tree.permute_from_tree(x.col(j)))
+                        .collect();
+                    next += w;
+                    counters.solved.fetch_add(1, Ordering::Relaxed);
+                    let _ = request.reply.send(Ok(cols));
+                }
+            }
+            Err(e) => fail_all(valid, counters, |_| e.clone()),
+        }
+    }
+}
+
+fn fail_all(group: Vec<Request>, counters: &Counters, error: impl Fn(&Request) -> SolverError) {
+    for request in group {
+        counters.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = request.reply.send(Err(error(&request)));
+    }
+}
+
+fn worker_loop(
+    rx: &mpsc::Receiver<Msg>,
+    policy: BatchPolicy,
+    ops: &Mutex<Vec<Arc<OperatorSpec>>>,
+    cache: &FactorCache,
+    counters: &Counters,
+) {
+    let max_width = policy.max_width.max(1);
+    loop {
+        // Block for the first request of the next batch.
+        let first = match rx.recv() {
+            Ok(Msg::Solve(request)) => request,
+            Ok(Msg::Shutdown) | Err(_) => return,
+        };
+        let deadline = Instant::now() + policy.max_wait;
+        let mut batch = vec![first];
+        let mut width = batch[0].cols.len();
+        let mut shutdown = false;
+        // Fill until the width cap or the latency deadline, whichever first.
+        while width < max_width {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(Msg::Solve(request)) => {
+                    width += request.cols.len();
+                    batch.push(request);
+                }
+                Ok(Msg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+        run_batch(batch, ops, cache, counters);
+        if shutdown {
+            // Drain anything that raced in before the shutdown message.
+            while let Ok(Msg::Solve(request)) = rx.try_recv() {
+                run_batch(vec![request], ops, cache, counters);
+            }
+            return;
+        }
+    }
+}

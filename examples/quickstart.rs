@@ -1,4 +1,4 @@
-//! Quickstart: factorize and solve a dense kernel system in linear time.
+//! Quickstart: the `analyze → factorize → solve` lifecycle.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
@@ -13,14 +13,25 @@ fn main() -> h2ulv::matrix::SolverResult<()> {
     let points = uniform_cube(n, 42);
     let kernel = LaplaceKernel::default();
 
-    // Cluster the points with balanced k-means (power-of-two leaves, as in the paper)
-    // and factorize with the H2-ULV method without trailing sub-matrix dependencies.
-    let tree = ClusterTree::build(&points, 64, PartitionStrategy::KMeans, 0);
+    // ANALYZE — the symbolic phase: cluster the points with balanced k-means
+    // (power-of-two leaves, as in the paper) and build the block partition.
+    // Depends only on the geometry and the admissibility condition, so one
+    // analysis serves every kernel and tolerance below.
+    let analysis = Analysis::analyze(
+        &points,
+        64,
+        PartitionStrategy::KMeans,
+        0,
+        Admissibility::strong(1.0),
+    );
+
+    // FACTORIZE — the numeric phase: the H2-ULV factorization without
+    // trailing sub-matrix dependencies, against the shared analysis.
     let options = FactorOptions {
         tol: 1e-8,
         ..FactorOptions::default()
     };
-    let factors = h2_ulv_nodep(&kernel, &tree, &options)?;
+    let factors = analysis.factorize(&kernel, &options)?;
     println!(
         "factorized N = {n}: {:.3}s construction, {:.3}s factorization, max rank {}, {} fill-in blocks",
         factors.stats.construction_seconds,
@@ -29,7 +40,7 @@ fn main() -> h2ulv::matrix::SolverResult<()> {
         factors.stats.fillin_blocks,
     );
 
-    // Solve A x = b for a unit-charge right-hand side.
+    // SOLVE — the cheap repeatable phase.  Single right-hand side:
     let b = vec![1.0; n];
     let x = factors.solve_original_order(&b)?;
 
@@ -39,5 +50,34 @@ fn main() -> h2ulv::matrix::SolverResult<()> {
     let residual = factors.residual_with(&kernel, &b_tree, &x_tree);
     println!("relative residual ||Ax - b|| / ||b|| = {residual:.3e}");
     println!("first five solution entries: {:?}", &x[..5]);
+
+    // Many right-hand sides solve fastest as one blocked panel (`vsolve`):
+    // the stored factors stream through the caches once for all columns, and
+    // each column is bitwise identical to its own single-RHS solve.
+    let panel_cols: Vec<Vec<f64>> = (0..8)
+        .map(|j| (0..n).map(|i| ((i + 7 * j) % 13) as f64 / 13.0).collect())
+        .collect();
+    let panel = Matrix::from_columns(&panel_cols);
+    let xs = factors.vsolve_original_order(&panel)?;
+    println!(
+        "panel solve: {} right-hand sides in one sweep, all finite: {}",
+        xs.cols(),
+        xs.as_slice().iter().all(|v| v.is_finite()),
+    );
+
+    // The same analysis refactorizes under a different tolerance without
+    // re-running the symbolic phase — the factor-once/solve-many economics
+    // the `h2_server` batching service is built on.
+    let loose = analysis.factorize(
+        &kernel,
+        &FactorOptions {
+            tol: 1e-4,
+            ..options
+        },
+    )?;
+    println!(
+        "re-factorized at tol 1e-4 over the same analysis: max rank {} (vs {})",
+        loose.stats.max_rank, factors.stats.max_rank,
+    );
     Ok(())
 }

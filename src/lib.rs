@@ -45,12 +45,13 @@ pub use h2_lowrank as lowrank;
 pub use h2_matrix as matrix;
 pub use h2_mpisim as mpisim;
 pub use h2_runtime as runtime;
+pub use h2_server as server;
 
 /// The most commonly used items, re-exported in one place.
 pub mod prelude {
     pub use h2_factor::{
-        blr2_ulv, dense_solve, h2_ulv_dep, h2_ulv_nodep, hss_ulv, DenseReference, FactorOptions,
-        Hierarchy, UlvFactors, Variant,
+        blr2_ulv, dense_solve, h2_ulv_dep, h2_ulv_nodep, hss_ulv, Analysis, DenseReference,
+        FactorOptions, Hierarchy, UlvFactors, Variant,
     };
     pub use h2_geometry::{
         crowded_scene, molecule_surface, sphere_surface, uniform_cube, uniform_grid, Admissibility,
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use h2_matrix::{CommFaultKind, SolverError, SolverResult};
     pub use h2_mpisim::{Comm, CommConfig, CommError, CommResult, TransportKind, Universe};
     pub use h2_runtime::{simulate_schedule, SimConfig, TaskGraph};
+    pub use h2_server::{BatchPolicy, FactorCache, OperatorId, SolveServer};
 }
 
 #[cfg(test)]

@@ -1,0 +1,177 @@
+//! Factor-cache semantics: repeated operators never refactorize, any change
+//! to the operator (tolerance, kernel, kernel parameters, geometry) is a
+//! miss, and eviction under a small capacity is LRU-correct.
+
+use h2ulv::factor::Analysis;
+use h2ulv::prelude::*;
+use h2ulv::server::{operator_fingerprint, BatchPolicy, FactorCache};
+use std::sync::Arc;
+use std::time::Duration;
+
+const LEAF: usize = 32;
+
+fn analysis(n: usize, seed: u64) -> Analysis {
+    Analysis::analyze(
+        &uniform_cube(n, seed),
+        LEAF,
+        PartitionStrategy::KMeans,
+        0,
+        Admissibility::strong(1.0),
+    )
+}
+
+#[test]
+fn repeated_operator_factorizes_exactly_once() {
+    let a = analysis(192, 4);
+    let kernel = LaplaceKernel::default();
+    let opts = FactorOptions::default();
+    let key = operator_fingerprint(a.tree(), &kernel, &opts);
+
+    let cache = FactorCache::new(4);
+    let f1 = cache
+        .get_or_factor(key, || a.factorize(&kernel, &opts))
+        .expect("first factorization");
+    for _ in 0..5 {
+        let f = cache
+            .get_or_factor(key, || a.factorize(&kernel, &opts))
+            .expect("cached lookup");
+        // Same Arc, not merely an equal factorization.
+        assert!(Arc::ptr_eq(&f1, &f), "hit must return the cached factors");
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.factorizations, 1,
+        "repeated operator must not refactorize"
+    );
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 5);
+    assert_eq!(stats.evictions, 0);
+}
+
+#[test]
+fn any_operator_change_is_a_miss() {
+    let a = analysis(192, 4);
+    let laplace = LaplaceKernel::default();
+    let opts = FactorOptions::default();
+    let cache = FactorCache::new(16);
+    let factor = |a: &Analysis, kernel: &dyn Kernel, opts: &FactorOptions| {
+        let key = operator_fingerprint(a.tree(), kernel, opts);
+        cache
+            .get_or_factor(key, || a.factorize(kernel, opts))
+            .expect("factorization")
+    };
+
+    factor(&a, &laplace, &opts);
+    assert_eq!(cache.stats().misses, 1);
+
+    // Changed tolerance → miss.
+    let tighter = FactorOptions { tol: 1e-10, ..opts };
+    factor(&a, &laplace, &tighter);
+    assert_eq!(cache.stats().misses, 2);
+
+    // Changed kernel type → miss; changed kernel parameter → miss.
+    factor(&a, &YukawaKernel::default(), &opts);
+    assert_eq!(cache.stats().misses, 3);
+    let shifted = LaplaceKernel {
+        singularity_shift: 5e-3,
+    };
+    factor(&a, &shifted, &opts);
+    assert_eq!(cache.stats().misses, 4);
+
+    // Changed geometry → miss.
+    let other = analysis(192, 77);
+    factor(&other, &laplace, &opts);
+    assert_eq!(cache.stats().misses, 5);
+
+    // Re-asking for each of the five is all hits.
+    factor(&a, &laplace, &opts);
+    factor(&a, &laplace, &tighter);
+    factor(&a, &YukawaKernel::default(), &opts);
+    factor(&a, &shifted, &opts);
+    factor(&other, &laplace, &opts);
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 5);
+    assert_eq!(stats.hits, 5);
+    assert_eq!(stats.factorizations, 5);
+}
+
+#[test]
+fn eviction_is_lru_correct_under_small_capacity() {
+    let a = analysis(160, 4);
+    let kernel = LaplaceKernel::default();
+    let cache = FactorCache::new(2);
+    let opt_for = |tol: f64| FactorOptions {
+        tol,
+        ..FactorOptions::default()
+    };
+    let key_for = |tol: f64| operator_fingerprint(a.tree(), &kernel, &opt_for(tol));
+    let factor = |tol: f64| {
+        let opts = opt_for(tol);
+        cache
+            .get_or_factor(key_for(tol), || a.factorize(&kernel, &opts))
+            .expect("factorization")
+    };
+
+    let (ta, tb, tc) = (1e-4, 1e-6, 1e-8);
+    factor(ta); // cache: [A]
+    factor(tb); // cache: [A, B]
+    assert_eq!(cache.len(), 2);
+    factor(ta); // touch A: LRU order is now [B, A]
+    factor(tc); // evicts B (least recently used), NOT A: [A, C]
+
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 1);
+    assert!(
+        cache.contains(key_for(ta)),
+        "recently used entry must survive"
+    );
+    assert!(!cache.contains(key_for(tb)), "LRU entry must be evicted");
+    assert!(cache.contains(key_for(tc)));
+
+    // A and C are hits; B refactorizes (second miss for its key).
+    factor(ta);
+    factor(tc);
+    factor(tb);
+    let stats = cache.stats();
+    assert_eq!(stats.factorizations, 4, "only the evicted key refactorizes");
+    assert_eq!(stats.evictions, 2, "reinserting B evicts the new LRU entry");
+}
+
+#[test]
+fn server_reregistration_shares_one_factorization() {
+    // End-to-end through the server: registering the same operator twice (or
+    // many times) and solving against every handle keeps factorizations at 1.
+    let a = analysis(192, 13);
+    let kernel = Arc::new(LaplaceKernel::default());
+    let opts = FactorOptions::default();
+    let server = SolveServer::new(
+        BatchPolicy {
+            max_width: 8,
+            max_wait: Duration::from_millis(5),
+        },
+        4,
+    );
+    let op1 = server.register(a.clone(), kernel.clone(), opts, Some(0));
+    let op2 = server.register(a.clone(), kernel.clone(), opts, Some(0));
+    assert_ne!(
+        op1, op2,
+        "handles are distinct even for identical operators"
+    );
+
+    let n = a.tree().num_points();
+    for op in [op1, op2, op1, op2] {
+        let x = server
+            .submit(op, vec![1.0; n])
+            .wait_one()
+            .expect("solve through registered operator");
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    let cache = server.cache_stats();
+    assert_eq!(
+        cache.factorizations, 1,
+        "identical registrations must share one factorization"
+    );
+    assert_eq!(cache.misses, 1);
+    assert!(cache.hits >= 3);
+}

@@ -119,6 +119,54 @@ fn wrong_length_rhs_is_a_shape_mismatch() {
 }
 
 #[test]
+fn mismatched_residual_sample_inputs_are_a_shape_mismatch() {
+    // Regression: `residual_sampled` used to `assert_eq!` on the rhs/solution
+    // lengths and panic; it must return a typed ShapeMismatch instead.
+    let points = uniform_cube(128, 2);
+    let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);
+    let kernel = LaplaceKernel::default();
+    let f = h2_ulv_nodep(&kernel, &tree, &options(1e-6)).expect("factor");
+    let b = vec![1.0; 128];
+    let x = f.solve(&b).expect("solve");
+
+    let err = f
+        .residual_sampled(&kernel, &b[..127], &x, 16, 0)
+        .expect_err("short rhs must fail");
+    assert!(
+        matches!(
+            err,
+            SolverError::ShapeMismatch {
+                expected: 128,
+                got: 127,
+                ..
+            }
+        ),
+        "expected ShapeMismatch for the rhs, got: {err}"
+    );
+
+    let err = f
+        .residual_sampled(&kernel, &b, &x[..100], 16, 0)
+        .expect_err("short solution must fail");
+    assert!(
+        matches!(
+            err,
+            SolverError::ShapeMismatch {
+                expected: 128,
+                got: 100,
+                ..
+            }
+        ),
+        "expected ShapeMismatch for the solution, got: {err}"
+    );
+
+    // Well-shaped inputs still work after the hostile calls.
+    let res = f
+        .residual_sampled(&kernel, &b, &x, 16, 0)
+        .expect("well-shaped sampled residual");
+    assert!(res.is_finite() && res < 1e-4, "residual blew up: {res:.3e}");
+}
+
+#[test]
 fn nan_rhs_is_a_typed_error() {
     let points = uniform_cube(128, 2);
     let tree = ClusterTree::build(&points, LEAF, PartitionStrategy::KMeans, 0);

@@ -1,0 +1,269 @@
+//! Stress tests for the batched factorization server: N concurrent clients
+//! with mixed RHS widths, one of them poisoned with a NaN.  The contract:
+//!
+//! * every clean client gets a solution **bitwise identical** to a direct
+//!   refined solve against the same factors (batching is invisible),
+//! * the poisoned client gets a typed [`SolverError::NonFiniteInput`] and
+//!   never contaminates its batch mates,
+//! * everything completes under a hang watchdog (the comm-chaos pattern:
+//!   overruns abort the process instead of timing out CI).
+
+use h2ulv::prelude::*;
+use h2ulv::server::BatchPolicy;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LEAF: usize = 32;
+
+/// Aborts the process if the guarded scope takes longer than its budget.
+struct Watchdog {
+    cancel: Arc<AtomicBool>,
+}
+
+impl Watchdog {
+    fn arm(secs: u64, label: &'static str) -> Self {
+        let cancel = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&cancel);
+        std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs(secs);
+            while Instant::now() < deadline {
+                if seen.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            if !seen.load(Ordering::Relaxed) {
+                eprintln!(
+                    "server_stress watchdog: '{label}' exceeded {secs}s — aborting to prevent a hang"
+                );
+                std::process::abort();
+            }
+        });
+        Watchdog { cancel }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Deterministic RHS for client `c`, column `j`.
+fn client_rhs(n: usize, c: usize, j: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = (i as f64 + 1.0) * (c as f64 + 1.0) + j as f64 * 0.37;
+            (t * 0.618_033_988_749).sin()
+        })
+        .collect()
+}
+
+fn setup(n: usize, seed: u64) -> (Analysis, Arc<LaplaceKernel>, FactorOptions) {
+    let points = uniform_cube(n, seed);
+    let analysis = Analysis::analyze(
+        &points,
+        LEAF,
+        PartitionStrategy::KMeans,
+        0,
+        Admissibility::strong(1.0),
+    );
+    (
+        analysis,
+        Arc::new(LaplaceKernel::default()),
+        FactorOptions::default(),
+    )
+}
+
+#[test]
+fn concurrent_clients_match_direct_solves_and_poison_stays_contained() {
+    let _watchdog = Watchdog::arm(120, "concurrent_clients");
+    const N: usize = 256;
+    const CLIENTS: usize = 12;
+    const POISONED: usize = 5;
+
+    let (analysis, kernel, opts) = setup(N, 3);
+    // Reference factors, outside the server, for the bitwise comparison.
+    let reference = analysis.factorize(kernel.as_ref(), &opts).expect("factor");
+    let steps = reference.default_refine_steps();
+
+    let server = Arc::new(SolveServer::new(
+        BatchPolicy {
+            max_width: 8,
+            max_wait: Duration::from_millis(20),
+        },
+        4,
+    ));
+    let op = server.register(analysis.clone(), kernel.clone(), opts, None);
+
+    // CLIENTS concurrent threads: mixed widths 1..=3, client POISONED sends a
+    // NaN in its second column.
+    let mut handles = Vec::new();
+    for c in 0..CLIENTS {
+        let server = Arc::clone(&server);
+        handles.push(std::thread::spawn(move || {
+            let width = 1 + c % 3;
+            let mut cols: Vec<Vec<f64>> = (0..width).map(|j| client_rhs(N, c, j)).collect();
+            if c == POISONED {
+                cols[width.min(2) - 1][N / 2] = f64::NAN;
+            }
+            (c, width, server.submit_panel(op, cols).wait())
+        }));
+    }
+
+    for handle in handles {
+        let (c, width, outcome) = handle.join().expect("client thread");
+        if c == POISONED {
+            let err = outcome.expect_err("poisoned request must fail");
+            assert!(
+                matches!(err, SolverError::NonFiniteInput { .. }),
+                "client {c}: expected NonFiniteInput, got {err}"
+            );
+            continue;
+        }
+        let cols = outcome.unwrap_or_else(|e| panic!("clean client {c} failed: {e}"));
+        assert_eq!(cols.len(), width, "client {c}: column count");
+        for (j, col) in cols.iter().enumerate() {
+            let b = client_rhs(N, c, j);
+            // Direct refined solve in the same (original) ordering the server
+            // serves: permute in, solve, permute back.
+            let bt = reference.tree.permute_to_tree(&b);
+            let xt = reference
+                .solve_refined(kernel.as_ref(), &bt, steps)
+                .expect("reference solve");
+            let expect = reference.tree.permute_from_tree(&xt);
+            assert_eq!(col.len(), expect.len());
+            for (i, (a, e)) in col.iter().zip(&expect).enumerate() {
+                assert!(
+                    a.to_bits() == e.to_bits(),
+                    "client {c} column {j} entry {i}: server {a:e} vs direct {e:e}"
+                );
+            }
+        }
+    }
+
+    // One operator, many requests: exactly one factorization ran.
+    let cache = server.cache_stats();
+    assert_eq!(
+        cache.factorizations, 1,
+        "repeated operator must not refactorize"
+    );
+    assert_eq!(cache.misses, 1);
+    assert!(cache.hits >= 1, "later batches must hit the cache");
+
+    let stats = server.stats();
+    assert_eq!(stats.failed, 1, "only the poisoned request fails");
+    assert_eq!(stats.solved as usize, CLIENTS - 1);
+    assert!(stats.batches >= 1);
+}
+
+#[test]
+fn malformed_requests_fail_typed_without_stalling_the_server() {
+    let _watchdog = Watchdog::arm(120, "malformed_requests");
+    const N: usize = 192;
+    let (analysis, kernel, opts) = setup(N, 9);
+    let mut server = SolveServer::new(BatchPolicy::default(), 2);
+    let op = server.register(analysis, kernel, opts, Some(0));
+
+    // Wrong length → ShapeMismatch.
+    let err = server
+        .submit(op, vec![1.0; N - 3])
+        .wait()
+        .expect_err("short rhs must fail");
+    assert!(
+        matches!(
+            err,
+            SolverError::ShapeMismatch {
+                expected: N,
+                got: n
+                , ..
+            } if n == N - 3
+        ),
+        "expected ShapeMismatch, got {err}"
+    );
+
+    // Empty request → ShapeMismatch on the column count.
+    let err = server
+        .submit_panel(op, Vec::new())
+        .wait()
+        .expect_err("empty request must fail");
+    assert!(matches!(err, SolverError::ShapeMismatch { .. }));
+
+    // Infinity is rejected like NaN.
+    let mut bad = vec![1.0; N];
+    bad[0] = f64::INFINITY;
+    let err = server
+        .submit(op, bad)
+        .wait_one()
+        .expect_err("infinite rhs must fail");
+    assert!(matches!(err, SolverError::NonFiniteInput { .. }));
+
+    // The server still answers clean requests afterwards.
+    let x = server
+        .submit(op, vec![1.0; N])
+        .wait_one()
+        .expect("clean request after malformed ones");
+    assert_eq!(x.len(), N);
+    assert!(x.iter().all(|v| v.is_finite()));
+
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.failed, 3);
+    assert_eq!(stats.solved, 1);
+}
+
+#[test]
+fn batching_aggregates_under_load_and_shutdown_is_clean() {
+    let _watchdog = Watchdog::arm(120, "batching_under_load");
+    const N: usize = 192;
+    let (analysis, kernel, opts) = setup(N, 21);
+    let mut server = SolveServer::new(
+        BatchPolicy {
+            max_width: 16,
+            max_wait: Duration::from_millis(30),
+        },
+        2,
+    );
+    let op = server.register(analysis, kernel, opts, Some(0));
+
+    // Warm the factor cache so the batching window isn't consumed by the
+    // first factorization.
+    server
+        .submit(op, vec![1.0; N])
+        .wait_one()
+        .expect("warmup solve");
+
+    // Fire a burst of requests; the worker should fold them into panels.
+    let tickets: Vec<_> = (0..24)
+        .map(|c| server.submit(op, client_rhs(N, c, 0)))
+        .collect();
+    for (c, ticket) in tickets.into_iter().enumerate() {
+        let x = ticket
+            .wait_one()
+            .unwrap_or_else(|e| panic!("request {c}: {e}"));
+        assert!(x.iter().all(|v| v.is_finite()), "request {c}");
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.solved, 25);
+    assert!(
+        stats.widest_batch >= 2,
+        "a 24-request burst must produce at least one multi-column panel \
+         (widest: {})",
+        stats.widest_batch
+    );
+    assert!(
+        (stats.batches as usize) < 25,
+        "burst must not degenerate into one batch per request"
+    );
+
+    server.shutdown();
+    // Shutdown is idempotent and post-shutdown submissions fail typed.
+    server.shutdown();
+    let err = server
+        .submit(op, vec![1.0; N])
+        .wait()
+        .expect_err("post-shutdown submit must fail");
+    assert!(matches!(err, SolverError::TaskPanicked { .. }));
+}
