@@ -2,11 +2,13 @@
 //! threads.
 //!
 //! For every problem size in the scale's sweep, the H²-ULV factorization runs
-//! once per pool-thread count {1, 2, 4} through the work-stealing DAG executor,
-//! and the results land in `BENCH_factor.json`: wall-clock seconds, the
-//! construction/factorization split, flop counts, the thread-scaling speedups,
-//! and a fingerprint of the factors proving bitwise identity across thread
-//! counts (the executor's determinism contract).
+//! once per pool-thread count {1, 2, 4} through the fused task graph (one
+//! graph spanning construction and factorization, merges released per parent
+//! pair), and the results land in `BENCH_factor.json`: wall-clock seconds, the
+//! construction/factorization split, per-task-class times with the measured
+//! construction↔factorization overlap fraction, flop counts, the
+//! thread-scaling speedups, and a fingerprint of the factors proving bitwise
+//! identity across thread counts (the graph's determinism contract).
 //!
 //! Usage:
 //! ```text
@@ -20,7 +22,7 @@
 use h2_bench::{
     build_kernel, build_points, build_tree, compression_name, h2_options, Scale, Workload,
 };
-use h2_factor::{h2_ulv_nodep, RecoveryEvents, UlvFactors};
+use h2_factor::{h2_ulv_nodep, RecoveryEvents, Schedule, UlvFactors};
 use h2_matrix::Matrix;
 use h2_mpisim::{CommConfig, CommStats, Universe};
 use std::fmt::Write as _;
@@ -73,6 +75,7 @@ struct ThreadRun {
     factor_seconds: f64,
     construction_seconds: f64,
     phases: h2_factor::PhaseBreakdown,
+    task_classes: h2_factor::TaskClassBreakdown,
     factor_flops: u64,
     fingerprint: u64,
 }
@@ -168,15 +171,17 @@ fn main() -> h2_matrix::SolverResult<()> {
             let t = env_threads.unwrap_or(t);
             let fp = fingerprint(&factors);
             let ph = factors.stats.phases;
+            let tc = factors.stats.task_classes;
             println!(
                 "n={n} threads={t}: wall {wall:.3}s (factor {:.3}s, construction {:.3}s \
-                 [asm {:.3} cmp {:.3} cpl {:.3} xfer {:.3}]), fingerprint {fp:016x}",
+                 [asm {:.3} cmp {:.3} cpl {:.3} xfer {:.3}], overlap {:.0}%), fingerprint {fp:016x}",
                 factors.stats.factorization_seconds,
                 factors.stats.construction_seconds,
                 ph.assembly_seconds,
                 ph.compression_seconds,
                 ph.coupling_seconds,
                 ph.transfer_seconds,
+                tc.overlap_fraction * 100.0,
             );
             row.max_rank = factors.stats.max_rank;
             row.cap_hits = factors.stats.level_cap_hits.clone();
@@ -205,6 +210,7 @@ fn main() -> h2_matrix::SolverResult<()> {
                 factor_seconds: factors.stats.factorization_seconds,
                 construction_seconds: factors.stats.construction_seconds,
                 phases: ph,
+                task_classes: tc,
                 factor_flops: factors.stats.factorization_flops,
                 fingerprint: fp,
             });
@@ -248,7 +254,14 @@ fn main() -> h2_matrix::SolverResult<()> {
     // ------------------------------------------------------------------- JSON
     let mut j = String::new();
     j.push_str("{\n");
-    // Schema 4: adds the top-level `robustness` block — the sweep's aggregated
+    // Schema 5: construction and factorization now run as ONE fused task graph
+    // (per-parent-pair merge release, no level barriers), so each run carries a
+    // `fused` block — per-task-class CPU seconds plus the measured wall spans
+    // of the construction and factorization task groups and their
+    // `overlap_fraction` (intersection over graph wall, non-null and > 0 on a
+    // fused multi-thread run).  `problem.schedule` records the effective
+    // schedule (`H2_SCHEDULE` overrides the default).
+    // Schema 4 added the top-level `robustness` block — the sweep's aggregated
     // recovery-ladder counters, refinement escalations, and a per-rank
     // communicator smoke test (reliability counters over 4 live ranks).
     // Schema 3 added `problem.compression`, per-run `*_wall_seconds` breakdown
@@ -256,11 +269,12 @@ fn main() -> h2_matrix::SolverResult<()> {
     // exceeds the construction wall at threads > 1 — the wall fields attribute
     // the measured DAG span instead and sum to at most it), and per-row
     // `cap_hits` (rank-cap truncations per level, leaf first).
-    let _ = writeln!(j, "  \"schema_version\": 4,");
+    let _ = writeln!(j, "  \"schema_version\": 5,");
     let _ = writeln!(j, "  \"host\": {{\"available_cores\": {available}}},");
+    let schedule = format!("{:?}", Schedule::default().resolve()).to_lowercase();
     let _ = writeln!(
         j,
-        "  \"problem\": {{\"workload\": \"laplace-cube\", \"leaf\": {leaf}, \"tol\": {tol:e}, \"solver\": \"h2-ulv-nodep\", \"compression\": \"{compression}\", \"residual_estimator\": {{\"kind\": \"sampled-rows\", \"probes\": {RESIDUAL_PROBES}}}}},"
+        "  \"problem\": {{\"workload\": \"laplace-cube\", \"leaf\": {leaf}, \"tol\": {tol:e}, \"solver\": \"h2-ulv-nodep\", \"schedule\": \"{schedule}\", \"compression\": \"{compression}\", \"residual_estimator\": {{\"kind\": \"sampled-rows\", \"probes\": {RESIDUAL_PROBES}}}}},"
     );
     j.push_str("  \"sweep\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -268,8 +282,9 @@ fn main() -> h2_matrix::SolverResult<()> {
             .runs
             .iter()
             .map(|t| {
+                let tc = &t.task_classes;
                 format!(
-                    "{{\"threads\": {}, \"wall_seconds\": {}, \"factor_seconds\": {}, \"construction_seconds\": {}, \"construction_breakdown\": {{\"assembly_seconds\": {}, \"compression_seconds\": {}, \"coupling_seconds\": {}, \"transfer_seconds\": {}, \"assembly_wall_seconds\": {}, \"compression_wall_seconds\": {}, \"coupling_wall_seconds\": {}, \"transfer_wall_seconds\": {}}}, \"factor_gflop\": {}, \"fingerprint\": \"{:016x}\"}}",
+                    "{{\"threads\": {}, \"wall_seconds\": {}, \"factor_seconds\": {}, \"construction_seconds\": {}, \"construction_breakdown\": {{\"assembly_seconds\": {}, \"compression_seconds\": {}, \"coupling_seconds\": {}, \"transfer_seconds\": {}, \"assembly_wall_seconds\": {}, \"compression_wall_seconds\": {}, \"coupling_wall_seconds\": {}, \"transfer_wall_seconds\": {}}}, \"fused\": {{\"fill_seconds\": {}, \"basis_seconds\": {}, \"coupling_seconds\": {}, \"transform_seconds\": {}, \"pivot_seconds\": {}, \"schur_seconds\": {}, \"merge_seconds\": {}, \"map_seconds\": {}, \"root_seconds\": {}, \"graph_wall_seconds\": {}, \"construction_span_seconds\": {}, \"factorization_span_seconds\": {}, \"overlap_fraction\": {}}}, \"factor_gflop\": {}, \"fingerprint\": \"{:016x}\"}}",
                     t.threads,
                     json_f(t.wall_seconds),
                     json_f(t.factor_seconds),
@@ -282,6 +297,19 @@ fn main() -> h2_matrix::SolverResult<()> {
                     json_f(t.phases.compression_wall_seconds),
                     json_f(t.phases.coupling_wall_seconds),
                     json_f(t.phases.transfer_wall_seconds),
+                    json_f(tc.fill_seconds),
+                    json_f(tc.basis_seconds),
+                    json_f(tc.coupling_seconds),
+                    json_f(tc.transform_seconds),
+                    json_f(tc.pivot_seconds),
+                    json_f(tc.schur_seconds),
+                    json_f(tc.merge_seconds),
+                    json_f(tc.map_seconds),
+                    json_f(tc.root_seconds),
+                    json_f(tc.graph_wall_seconds),
+                    json_f(tc.construction_span_seconds),
+                    json_f(tc.factorization_span_seconds),
+                    json_f(tc.overlap_fraction),
                     json_f(t.factor_flops as f64 / 1e9),
                     t.fingerprint
                 )

@@ -48,6 +48,221 @@ pub struct FillIns {
     pub count: usize,
 }
 
+/// The fill-in contribution of a single pivot `k` — the unit of work of one
+/// fused-graph fill task.  [`precompute_fillins`] is a parallel map of
+/// [`fillin_pivot`] over all pivots followed by the deterministic
+/// per-row/per-column accumulation ([`row_fills_from`] / [`col_fills_from`]);
+/// the fused task graph runs exactly the same two stages as individual tasks,
+/// so both schedules produce bitwise identical basis-enrichment inputs.
+#[derive(Debug, Default)]
+pub struct PivotFills {
+    /// Fill-in blocks this pivot generates (reporting).
+    pub count: usize,
+    /// Exact mode: `(i, j, F_ij, F_ij^T)` per neighbour pair, in the fixed
+    /// `z × w` generation order the accumulator relies on.
+    pub exact: Vec<(usize, usize, Matrix, Matrix)>,
+    /// Sampled mode: per-target-row union samples `(i, Z_ik S_k)`.
+    pub rows: Vec<(usize, Matrix)>,
+    /// Sampled mode: per-target-column union samples `(j, W_kj^T T_k)`.
+    pub cols: Vec<(usize, Matrix)>,
+}
+
+/// Compute the fill-in contribution of pivot `k` with neighbour list `nk`.
+///
+/// Exact mode (`sample_cols == None`) forms every product `Z_ik W_kj`; sampled
+/// mode captures the union column/row space through `sample_cols`-wide test
+/// matrices (Gaussian or SRFT, see [`FillSketch`]).  A singular diagonal block
+/// yields an empty contribution — the factorization surfaces the problem later.
+pub fn fillin_pivot(
+    k: usize,
+    nk: &[usize],
+    dense_block: &(dyn Fn(usize, usize) -> Matrix + Sync),
+    sample_cols: Option<usize>,
+    sketch: FillSketch,
+) -> PivotFills {
+    if nk.is_empty() {
+        return PivotFills::default();
+    }
+    let dkk = dense_block(k, k);
+    let lu = match lu_factor(&dkk) {
+        Ok(lu) => lu,
+        // A singular diagonal block cannot generate usable fill-in information;
+        // skip it (the factorization itself will surface the problem later).
+        Err(_) => return PivotFills::default(),
+    };
+    let Some(c) = sample_cols else {
+        // Column panel pieces Z_ik = D_ik U_k^{-1} and row panel pieces W_kj = L_k^{-1} P_k D_kj.
+        let z: Vec<(usize, Matrix)> = nk
+            .iter()
+            .map(|&i| (i, lu.right_solve_upper(&dense_block(i, k))))
+            .collect();
+        let w: Vec<(usize, Matrix)> = nk
+            .iter()
+            .map(|&j| (j, lu.forward_mat(&dense_block(k, j))))
+            .collect();
+        let mut fills = Vec::new();
+        for (i, zi) in &z {
+            for (j, wj) in &w {
+                // The diagonal target (i == j) is a legitimate fill-in as well
+                // (the paper's Fig. 7 example explicitly lists the diagonal block).
+                let f = matmul(zi, wj);
+                let ft = f.transpose();
+                fills.push((*i, *j, f, ft));
+            }
+        }
+        return PivotFills {
+            count: fills.len(),
+            exact: fills,
+            rows: Vec::new(),
+            cols: Vec::new(),
+        };
+    };
+    let mk = dkk.rows();
+    let (rows, cols) = match sketch {
+        // Reference path: form the solved panels Z_ik = D_ik U_k^{-1},
+        // W_kj = L_k^{-1} P_k D_kj, then sketch their unions.
+        // S_k = Σ_j W_kj Ω_kj (column-space sketch of the row panel),
+        // T_k = Σ_i Z_ik^T Ω'_ki (row-space sketch of the column panel).
+        FillSketch::Gaussian => {
+            let z: Vec<(usize, Matrix)> = nk
+                .iter()
+                .map(|&i| (i, lu.right_solve_upper(&dense_block(i, k))))
+                .collect();
+            let w: Vec<(usize, Matrix)> = nk
+                .iter()
+                .map(|&j| (j, lu.forward_mat(&dense_block(k, j))))
+                .collect();
+            let mut s_k = Matrix::zeros(mk, c);
+            for (j, wj) in &w {
+                let omega = gaussian_like(wj.cols(), c, (k * 31 + j * 7 + 1) as u64);
+                s_k += &matmul(wj, &omega);
+            }
+            let mut t_k = Matrix::zeros(mk, c);
+            for (i, zi) in &z {
+                let omega = gaussian_like(zi.rows(), c, (k * 17 + i * 3 + 2) as u64);
+                t_k += &matmul(&zi.transpose(), &omega);
+            }
+            let rows: Vec<(usize, Matrix)> =
+                z.iter().map(|(i, zi)| (*i, matmul(zi, &s_k))).collect();
+            let cols: Vec<(usize, Matrix)> = w
+                .iter()
+                .map(|(j, wj)| (*j, matmul(&wj.transpose(), &t_k)))
+                .collect();
+            (rows, cols)
+        }
+        // SRFT fast path: sketching is a right-multiplication by a test
+        // matrix, so it commutes with the row-acting triangular solves —
+        // `(L⁻¹P·D_panel)·Ω = L⁻¹P·(D_panel·Ω)`.  Mix the *raw* dense
+        // panels down to `c` columns first and solve on the sketch:
+        //   row sample_i = Z_ik S_k = D_ik · A_kk^{-1} · srft([D_kj]_j)
+        //   col sample_j = W_kj^T T_k = D_kj^T · A_kk^{-T} · srft([D_ik^T]_i)
+        // The per-neighbour O(|N|·m³) panel solves collapse to two
+        // O(m²·c) solves per pivot; the Z/W panels are never formed.
+        FillSketch::Srft(_) => {
+            let row_blocks: Vec<Matrix> = nk.iter().map(|&j| dense_block(k, j)).collect();
+            let col_blocks: Vec<Matrix> =
+                nk.iter().map(|&i| dense_block(i, k).transpose()).collect();
+            let seed = (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let wcat = hconcat(mk, row_blocks.iter());
+            let zcat = hconcat(mk, col_blocks.iter());
+            let sk_row = srft_fill_sample(&wcat, c, seed ^ 0xf1);
+            let sk_col = srft_fill_sample(&zcat, c, seed ^ 0xf2);
+            let q_k = lu_solve_mat(&lu, &sk_row);
+            let r_k = lu.transpose_solve_mat(&sk_col);
+            let rows: Vec<(usize, Matrix)> = nk
+                .iter()
+                .zip(&col_blocks)
+                .map(|(&i, dik_t)| (i, matmul_tn(dik_t, &q_k)))
+                .collect();
+            let cols: Vec<(usize, Matrix)> = nk
+                .iter()
+                .zip(&row_blocks)
+                .map(|(&j, dkj)| (j, matmul_tn(dkj, &r_k)))
+                .collect();
+            (rows, cols)
+        }
+    };
+    PivotFills {
+        count: nk.len() * nk.len(),
+        exact: Vec::new(),
+        rows,
+        cols,
+    }
+}
+
+/// The basis-enrichment block list for row `i`, accumulated from per-pivot
+/// contributions **iterated in ascending pivot order** (the caller's
+/// responsibility; passing only the pivots whose neighbour lists contain `i`
+/// is allowed — other pivots contribute nothing to this row).
+///
+/// Exact-mode blocks targeting the same `(i, j)` pair are summed (or, on a
+/// shape mismatch, kept side by side) in pivot order and flattened in ascending
+/// `j` — bit-for-bit the accumulation [`precompute_fillins`] performs globally.
+pub fn row_fills_from<'a>(i: usize, pivots: impl Iterator<Item = &'a PivotFills>) -> Vec<Matrix> {
+    let mut acc: Vec<(usize, Matrix)> = Vec::new(); // keyed by j, insertion kept
+    let mut sampled: Vec<Matrix> = Vec::new();
+    for p in pivots {
+        for (fi, j, f, _ft) in &p.exact {
+            if *fi != i {
+                continue;
+            }
+            match acc.iter_mut().find(|(jj, _)| jj == j) {
+                Some((_, e)) => {
+                    if e.shape() == f.shape() {
+                        *e += f;
+                    } else {
+                        // Differently-sized samples (rare): keep side by side.
+                        *e = e.hcat(f);
+                    }
+                }
+                None => acc.push((*j, f.clone())),
+            }
+        }
+        for (ri, m) in &p.rows {
+            if *ri == i {
+                sampled.push(m.clone());
+            }
+        }
+    }
+    acc.sort_by_key(|(j, _)| *j);
+    let mut out: Vec<Matrix> = acc.into_iter().map(|(_, m)| m).collect();
+    out.extend(sampled);
+    out
+}
+
+/// Column twin of [`row_fills_from`]: the transposed fill blocks landing in
+/// column `j`, flattened in ascending row index.
+pub fn col_fills_from<'a>(j: usize, pivots: impl Iterator<Item = &'a PivotFills>) -> Vec<Matrix> {
+    let mut acc: Vec<(usize, Matrix)> = Vec::new(); // keyed by i, insertion kept
+    let mut sampled: Vec<Matrix> = Vec::new();
+    for p in pivots {
+        for (i, fj, _f, ft) in &p.exact {
+            if *fj != j {
+                continue;
+            }
+            match acc.iter_mut().find(|(ii, _)| ii == i) {
+                Some((_, e)) => {
+                    if e.shape() == ft.shape() {
+                        *e += ft;
+                    } else {
+                        *e = e.hcat(ft);
+                    }
+                }
+                None => acc.push((*i, ft.clone())),
+            }
+        }
+        for (cj, m) in &p.cols {
+            if *cj == j {
+                sampled.push(m.clone());
+            }
+        }
+    }
+    acc.sort_by_key(|(i, _)| *i);
+    let mut out: Vec<Matrix> = acc.into_iter().map(|(_, m)| m).collect();
+    out.extend(sampled);
+    out
+}
+
 /// Compute all fill-in blocks of one level.
 ///
 /// * `nb` — number of block rows/columns at the level,
@@ -75,221 +290,34 @@ pub fn precompute_fillins(
     sample_cols: Option<usize>,
     sketch: FillSketch,
 ) -> FillIns {
-    if let Some(c) = sample_cols {
-        return precompute_fillins_sampled(nb, neighbours, dense_block, c, sketch);
-    }
-    // Per pivot k: factor D_kk, triangular-solve the panels, and form the products.
-    let per_pivot: Vec<Vec<(usize, usize, Matrix, Matrix)>> = (0..nb)
+    // Per pivot k: factor D_kk, triangular-solve the panels, and form the
+    // products (or their union samples).
+    let per_pivot: Vec<PivotFills> = (0..nb)
         .into_par_iter()
-        .map(|k| {
-            let nk = &neighbours[k];
-            if nk.is_empty() {
-                return Vec::new();
-            }
-            let dkk = dense_block(k, k);
-            let lu = match lu_factor(&dkk) {
-                Ok(lu) => lu,
-                // A singular diagonal block cannot generate usable fill-in information;
-                // skip it (the factorization itself will surface the problem later).
-                Err(_) => return Vec::new(),
-            };
-            // Column panel pieces Z_ik = D_ik U_k^{-1} and row panel pieces W_kj = L_k^{-1} P_k D_kj.
-            let z: Vec<(usize, Matrix)> = nk
-                .iter()
-                .map(|&i| (i, lu.right_solve_upper(&dense_block(i, k))))
-                .collect();
-            let w: Vec<(usize, Matrix)> = nk
-                .iter()
-                .map(|&j| (j, lu.forward_mat(&dense_block(k, j))))
-                .collect();
-            let mut fills = Vec::new();
-            for (i, zi) in &z {
-                for (j, wj) in &w {
-                    // The diagonal target (i == j) is a legitimate fill-in as well
-                    // (the paper's Fig. 7 example explicitly lists the diagonal block).
-                    let f = matmul(zi, wj);
-                    let ft = f.transpose();
-                    fills.push((*i, *j, f, ft));
-                }
-            }
-            fills
-        })
+        .map(|k| fillin_pivot(k, &neighbours[k], &dense_block, sample_cols, sketch))
         .collect();
-
-    // Accumulate fills per target pair.
-    let mut row_acc: HashMap<(usize, usize), Matrix> = HashMap::new();
-    let mut col_acc: HashMap<(usize, usize), Matrix> = HashMap::new();
-    let mut count = 0usize;
-    for fills in per_pivot {
-        for (i, j, f, ft) in fills {
-            count += 1;
-            match row_acc.entry((i, j)) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if e.get().shape() == f.shape() {
-                        *e.get_mut() += &f;
-                    } else {
-                        // Differently-sized samples (rare): keep side by side.
-                        let merged = e.get().hcat(&f);
-                        *e.get_mut() = merged;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(f);
-                }
-            }
-            match col_acc.entry((i, j)) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if e.get().shape() == ft.shape() {
-                        *e.get_mut() += &ft;
-                    } else {
-                        let merged = e.get().hcat(&ft);
-                        *e.get_mut() = merged;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(ft);
-                }
-            }
-        }
-    }
-    let mut out = FillIns {
-        count,
-        ..FillIns::default()
-    };
-    // Flatten in sorted key order: the per-row/column block lists feed straight
-    // into the basis QR as concatenated columns, so their order must not depend
-    // on HashMap iteration order or the factors stop being run-to-run (and
-    // thread-count) deterministic.
-    let mut row_keys: Vec<(usize, usize)> = row_acc.keys().copied().collect();
-    row_keys.sort_unstable();
-    for key in row_keys {
-        let f = row_acc
-            .remove(&key)
-            .unwrap_or_else(|| unreachable!("row fill key vanished"));
-        out.row_fills.entry(key.0).or_default().push(f);
-    }
-    let mut col_keys: Vec<(usize, usize)> = col_acc.keys().copied().collect();
-    col_keys.sort_unstable();
-    for key in col_keys {
-        let ft = col_acc
-            .remove(&key)
-            .unwrap_or_else(|| unreachable!("col fill key vanished"));
-        out.col_fills.entry(key.1).or_default().push(ft);
-    }
-    out
+    accumulate_fillins(nb, &per_pivot)
 }
 
-/// Sampled fill-in capture: one `c`-wide random sample of the union of every
-/// fill-in landing in each block row (and, transposed, each block column).
-///
-/// For pivot `k` with panels `Z_ik = D_ik U_k^{-1}` and `W_kj = L_k^{-1} P_k D_kj`,
-/// the fills into row `i` are `[Z_ik W_kj]_j`; a single sample of their combined
-/// column space is `Z_ik · S_k` with `S_k = Σ_j W_kj Ω_kj` (independent test
-/// blocks, so the sum samples the concatenation).  Accumulating `Σ_k Z_ik S_k` in
-/// fixed pivot order gives one deterministic `m_i x c` sample of **all** fills
-/// into row `i` — `O(|N|)` GEMMs per pivot and a basis input that no longer grows
-/// with the neighbour count.
-fn precompute_fillins_sampled(
-    nb: usize,
-    neighbours: &[Vec<usize>],
-    dense_block: impl Fn(usize, usize) -> Matrix + Sync,
-    c: usize,
-    sketch: FillSketch,
-) -> FillIns {
-    // Per pivot k: (count, row samples (i, Z_ik S_k), column samples (j, W_kj^T T_k)).
-    type PivotOut = (usize, Vec<(usize, Matrix)>, Vec<(usize, Matrix)>);
-    let per_pivot: Vec<PivotOut> = (0..nb)
-        .into_par_iter()
-        .map(|k| {
-            let nk = &neighbours[k];
-            if nk.is_empty() {
-                return (0, Vec::new(), Vec::new());
-            }
-            let dkk = dense_block(k, k);
-            let mk = dkk.rows();
-            let lu = match lu_factor(&dkk) {
-                Ok(lu) => lu,
-                Err(_) => return (0, Vec::new(), Vec::new()),
-            };
-            match sketch {
-                // Reference path: form the solved panels Z_ik = D_ik U_k^{-1},
-                // W_kj = L_k^{-1} P_k D_kj, then sketch their unions.
-                // S_k = Σ_j W_kj Ω_kj (column-space sketch of the row panel),
-                // T_k = Σ_i Z_ik^T Ω'_ki (row-space sketch of the column panel).
-                FillSketch::Gaussian => {
-                    let z: Vec<(usize, Matrix)> = nk
-                        .iter()
-                        .map(|&i| (i, lu.right_solve_upper(&dense_block(i, k))))
-                        .collect();
-                    let w: Vec<(usize, Matrix)> = nk
-                        .iter()
-                        .map(|&j| (j, lu.forward_mat(&dense_block(k, j))))
-                        .collect();
-                    let mut s_k = Matrix::zeros(mk, c);
-                    for (j, wj) in &w {
-                        let omega = gaussian_like(wj.cols(), c, (k * 31 + j * 7 + 1) as u64);
-                        s_k += &matmul(wj, &omega);
-                    }
-                    let mut t_k = Matrix::zeros(mk, c);
-                    for (i, zi) in &z {
-                        let omega = gaussian_like(zi.rows(), c, (k * 17 + i * 3 + 2) as u64);
-                        t_k += &matmul(&zi.transpose(), &omega);
-                    }
-                    let rows: Vec<(usize, Matrix)> =
-                        z.iter().map(|(i, zi)| (*i, matmul(zi, &s_k))).collect();
-                    let cols: Vec<(usize, Matrix)> = w
-                        .iter()
-                        .map(|(j, wj)| (*j, matmul(&wj.transpose(), &t_k)))
-                        .collect();
-                    (nk.len() * nk.len(), rows, cols)
-                }
-                // SRFT fast path: sketching is a right-multiplication by a test
-                // matrix, so it commutes with the row-acting triangular solves —
-                // `(L⁻¹P·D_panel)·Ω = L⁻¹P·(D_panel·Ω)`.  Mix the *raw* dense
-                // panels down to `c` columns first and solve on the sketch:
-                //   row sample_i = Z_ik S_k = D_ik · A_kk^{-1} · srft([D_kj]_j)
-                //   col sample_j = W_kj^T T_k = D_kj^T · A_kk^{-T} · srft([D_ik^T]_i)
-                // The per-neighbour O(|N|·m³) panel solves collapse to two
-                // O(m²·c) solves per pivot; the Z/W panels are never formed.
-                FillSketch::Srft(_) => {
-                    let row_blocks: Vec<Matrix> = nk.iter().map(|&j| dense_block(k, j)).collect();
-                    let col_blocks: Vec<Matrix> =
-                        nk.iter().map(|&i| dense_block(i, k).transpose()).collect();
-                    let seed = (k as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-                    let wcat = hconcat(mk, row_blocks.iter());
-                    let zcat = hconcat(mk, col_blocks.iter());
-                    let sk_row = srft_fill_sample(&wcat, c, seed ^ 0xf1);
-                    let sk_col = srft_fill_sample(&zcat, c, seed ^ 0xf2);
-                    let q_k = lu_solve_mat(&lu, &sk_row);
-                    let r_k = lu.transpose_solve_mat(&sk_col);
-                    let rows: Vec<(usize, Matrix)> = nk
-                        .iter()
-                        .zip(&col_blocks)
-                        .map(|(&i, dik_t)| (i, matmul_tn(dik_t, &q_k)))
-                        .collect();
-                    let cols: Vec<(usize, Matrix)> = nk
-                        .iter()
-                        .zip(&row_blocks)
-                        .map(|(&j, dkj)| (j, matmul_tn(dkj, &r_k)))
-                        .collect();
-                    (nk.len() * nk.len(), rows, cols)
-                }
-            }
-        })
-        .collect();
-
-    // One sample block per (pivot, target) in fixed pivot order (determinism).
-    // Keeping the pivots' samples as separate blocks — rather than summing them —
-    // preserves the relative magnitudes the basis QR's tolerance cut relies on;
-    // the extra input width is absorbed by the sketched compression.
-    let mut out = FillIns::default();
-    for (n, rows, cols) in per_pivot {
-        out.count += n;
-        for (i, m) in rows {
-            out.row_fills.entry(i).or_default().push(m);
+/// Deterministic accumulation stage of [`precompute_fillins`]: per-row and
+/// per-column block lists in fixed (pivot, target) order, so the concatenated
+/// basis-QR inputs never depend on scheduling.  Sampled-mode pivots keep their
+/// samples as separate blocks — rather than summing them — preserving the
+/// relative magnitudes the basis QR's tolerance cut relies on; the extra input
+/// width is absorbed by the sketched compression.
+pub fn accumulate_fillins(nb: usize, per_pivot: &[PivotFills]) -> FillIns {
+    let mut out = FillIns {
+        count: per_pivot.iter().map(|p| p.count).sum(),
+        ..FillIns::default()
+    };
+    for t in 0..nb {
+        let rows = row_fills_from(t, per_pivot.iter());
+        if !rows.is_empty() {
+            out.row_fills.insert(t, rows);
         }
-        for (j, m) in cols {
-            out.col_fills.entry(j).or_default().push(m);
+        let cols = col_fills_from(t, per_pivot.iter());
+        if !cols.is_empty() {
+            out.col_fills.insert(t, cols);
         }
     }
     out

@@ -27,6 +27,38 @@ pub enum Hierarchy {
     SingleLevel,
 }
 
+/// How the end-to-end task graph is executed.
+///
+/// Both schedules register the **same** tasks with the **same** dependency
+/// edges and the same bodies, so the factors are bitwise identical; the phased
+/// schedule merely adds one gate task per level that every task of the next
+/// level depends on, restoring the historical level-by-level phase semantics
+/// for A/B comparison and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// One fused graph across every level: a task runs the moment its own
+    /// inputs exist, so construction (fill/basis/coupling) of one subtree
+    /// overlaps elimination and merging of another — the paper's
+    /// dependency-free structure end to end.  The default.
+    #[default]
+    Fused,
+    /// The fused graph plus per-level gates: level `L-1` tasks only release
+    /// after every level-`L` task finished (the pre-fusion phase semantics).
+    Phased,
+}
+
+impl Schedule {
+    /// Resolve the effective schedule: the `H2_SCHEDULE` environment variable
+    /// (`fused` / `phased`) overrides the option, mirroring `H2_NUM_THREADS`.
+    pub fn resolve(self) -> Schedule {
+        match std::env::var("H2_SCHEDULE").ok().as_deref() {
+            Some("phased") => Schedule::Phased,
+            Some("fused") => Schedule::Fused,
+            _ => self,
+        }
+    }
+}
+
 /// Options of a ULV factorization.
 #[derive(Debug, Clone, Copy)]
 pub struct FactorOptions {
@@ -71,6 +103,11 @@ pub struct FactorOptions {
     /// the available parallelism.  Factors are bitwise identical for every thread
     /// count — each task computes one output slot and the merge order is fixed.
     pub num_threads: usize,
+    /// Fused (one cross-level graph) or phased (per-level gates) execution.
+    /// Excluded from [`FactorOptions::fingerprint`]: both schedules produce
+    /// bitwise identical factors (asserted by the `fused_schedule` tests).
+    /// `H2_SCHEDULE=fused|phased` overrides at factor time.
+    pub schedule: Schedule,
 }
 
 impl Default for FactorOptions {
@@ -88,6 +125,7 @@ impl Default for FactorOptions {
             fillin_enrichment: true,
             seed: 0,
             num_threads: 0,
+            schedule: Schedule::Fused,
         }
     }
 }
@@ -178,9 +216,16 @@ mod tests {
             num_threads: 4,
             ..base
         };
+        let phased = FactorOptions {
+            schedule: Schedule::Phased,
+            ..base
+        };
         assert_ne!(base.fingerprint(), tighter.fingerprint());
         assert_ne!(base.fingerprint(), capped.fingerprint());
         assert_eq!(base.fingerprint(), threads.fingerprint());
+        // Both schedules produce bitwise identical factors, so the schedule
+        // must not key the factor cache.
+        assert_eq!(base.fingerprint(), phased.fingerprint());
         assert_eq!(base.fingerprint(), FactorOptions::default().fingerprint());
     }
 

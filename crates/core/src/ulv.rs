@@ -4,7 +4,7 @@
 //! trailing dependencies); the options select admissibility, hierarchy and scheduling.
 //! The algorithm per level (leaf → root) follows §II–III of the paper and DESIGN.md §2:
 //!
-//! 1. **fill-in pre-computation** per block row/column of the level's dense blocks
+//! 1. **fill-in pre-computation** per pivot of the level's dense blocks
 //!    (strong admissibility only) — [`crate::fillin`];
 //! 2. **fill-in-aware shared bases**: truncated pivoted QR of `[far-field | fill-ins]`
 //!    per block row and block column (Eqs. 27–28), completed to square orthogonal
@@ -18,10 +18,31 @@
 //! 5. **merge** of the surviving skeleton blocks into the parent level (Eq. 22) and
 //!    recursion; the root system is factorized densely (Eq. 15).
 //!
+//! # One fused task graph
+//!
+//! The whole pipeline — H² construction (fill-in, basis, coupling tasks) *and*
+//! ULV elimination (transform, pivot, Schur, merge tasks) of **every** level —
+//! is registered up front as one live task graph ([`h2_runtime::live_scope`])
+//! with per-edge dependency release.  There is no per-level barrier: a cluster
+//! of level `L-1` starts compressing its basis the moment its two children's
+//! surviving blocks were merged, while other subtrees of level `L` are still
+//! eliminating.  Merging is decomposed per parent pair, so each parent block
+//! releases as soon as all of its children's contributions exist.  The root
+//! system is submitted *dynamically* from inside the final merge task.
+//!
+//! [`Schedule::Phased`] inserts one no-op gate task per level (every task of
+//! level `L-1` additionally depends on the gate over all level-`L` tasks),
+//! restoring the historical phase semantics over the *same* task bodies and
+//! arenas — which is why fused and phased factors are bitwise identical, as are
+//! factors at any thread count: every task writes one slot, and every
+//! accumulation order is fixed by the symbolic plan, never by scheduling.
+//!
 //! The factorization records a task graph (costs + dependencies) so the scheduler
-//! simulator can replay it on any number of virtual cores.
+//! simulator can replay it on any number of virtual cores, and a per-task-class
+//! time breakdown including the measured construction↔factorization overlap
+//! fraction ([`TaskClassBreakdown`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -30,7 +51,6 @@ use h2_geometry::{ClusterTree, Kernel};
 use h2_hmatrix::basis::far_field_sample_indices;
 use h2_hmatrix::{BlockPartition, BlockType};
 use h2_lowrank::{sketched_pivoted_qr, srft_detect_tol, srft_sketch_or_panel, CompressionMode};
-use h2_matrix::flops::cost;
 use h2_matrix::{
     flop_count, lu_factor, lu_solve_mat, matmul, matmul_batch, matmul_tn, matmul_tn_batch_shared_a,
     pivoted_qr, pivoted_qr_stop_batch, select_interpolation_rows, Lu, Matrix, PivotedQr,
@@ -38,10 +58,10 @@ use h2_matrix::{
 };
 use rayon::prelude::*;
 
-use crate::fillin::{precompute_fillins, FillIns, FillSketch};
-use crate::options::{FactorOptions, Hierarchy, Variant};
+use crate::fillin::{col_fills_from, fillin_pivot, row_fills_from, FillSketch, PivotFills};
+use crate::options::{FactorOptions, Hierarchy, Schedule, Variant};
 use crate::taskgraph::FactorTaskGraph;
-use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind};
+use h2_runtime::{live_scope, LiveScope, TaskGraph, TaskId, TaskKind, ThreadPool};
 
 /// Per-cluster factor data at one level.
 #[derive(Debug, Clone)]
@@ -86,11 +106,11 @@ pub struct LevelFactor {
 /// The `*_seconds` fields are **CPU work**: DAG-task spans are exact per-thread
 /// time (each task runs on one thread), so under multi-threading the phase sum
 /// can legitimately exceed the construction wall clock.  The `*_wall_seconds`
-/// fields attribute the measured wall-clock span of each level's DAG execution
-/// to the phases proportionally to their CPU shares, so they sum to (at most)
-/// the construction wall at any thread count.  At one thread the two scales
-/// coincide up to scheduler overhead.  Serial pre-level sections (fill-in
-/// pre-computation, leaf dense assembly) are wall time and count in both.
+/// fields attribute the measured wall-clock span of the fused graph to the
+/// phases proportionally to their CPU shares, so they sum to (at most) the
+/// graph wall at any thread count.  At one thread the two scales coincide up
+/// to scheduler overhead.  Serial pre-graph sections (leaf dense assembly) are
+/// wall time and count in both.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PhaseBreakdown {
     /// Kernel-entry evaluation (far-field samples, couplings, dense leaves); CPU work.
@@ -143,6 +163,47 @@ impl RecoveryEvents {
     }
 }
 
+/// CPU seconds per task class of the fused factorization graph, plus the
+/// measured overlap between the construction and factorization spans.
+///
+/// Class seconds are exact per-thread task time (a task runs on one thread);
+/// under multi-threading their sum exceeds
+/// [`TaskClassBreakdown::graph_wall_seconds`].  The spans are
+/// `[first task start, last task end]` of each group over the graph's wall
+/// clock, and the overlap fraction is their intersection divided by the graph
+/// wall — non-zero whenever construction of one part of the tree ran
+/// concurrently (or, phased, interleaved within a level) with elimination of
+/// another.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskClassBreakdown {
+    /// Fill-in pre-computation tasks (one per pivot with dense neighbours).
+    pub fill_seconds: f64,
+    /// Basis compression tasks (one per cluster per level).
+    pub basis_seconds: f64,
+    /// Skeleton coupling tasks (one per admissible pair).
+    pub coupling_seconds: f64,
+    /// Two-sided USV transform tasks (one per dense block row).
+    pub transform_seconds: f64,
+    /// Pivot elimination tasks: LU + panel solves + Schur products.
+    pub pivot_seconds: f64,
+    /// Skeleton–skeleton accumulation tasks (one per surviving block).
+    pub schur_seconds: f64,
+    /// Per-parent-pair merge tasks.
+    pub merge_seconds: f64,
+    /// Parent basis-map stacking tasks (one per parent cluster).
+    pub map_seconds: f64,
+    /// The dense root factorization task.
+    pub root_seconds: f64,
+    /// Wall-clock seconds of the whole fused graph.
+    pub graph_wall_seconds: f64,
+    /// Wall span covered by construction tasks (fill/basis/coupling).
+    pub construction_span_seconds: f64,
+    /// Wall span covered by factorization tasks (transform/pivot/Schur/merge/map/root).
+    pub factorization_span_seconds: f64,
+    /// Intersection of the two spans divided by the graph wall, in `[0, 1]`.
+    pub overlap_fraction: f64,
+}
+
 /// Statistics of a factorization run.
 #[derive(Debug, Clone, Default)]
 pub struct FactorStats {
@@ -173,6 +234,9 @@ pub struct FactorStats {
     pub memory_words: usize,
     /// Breakdown-recovery ladder escalations and pivot repairs.
     pub recovery: RecoveryEvents,
+    /// Per-task-class CPU time of the fused graph and the measured
+    /// construction↔factorization overlap fraction.
+    pub task_classes: TaskClassBreakdown,
 }
 
 /// The result of a ULV factorization: everything needed to solve, plus diagnostics.
@@ -218,6 +282,43 @@ struct PivotResult {
     schur: Vec<(usize, usize, Matrix)>,
 }
 
+// Task classes of the fused graph, indexing [`GraphMeters::classes`].
+const CLASS_FILL: usize = 0;
+const CLASS_BASIS: usize = 1;
+const CLASS_COUPLING: usize = 2;
+const CLASS_TRANSFORM: usize = 3;
+const CLASS_PIVOT: usize = 4;
+const CLASS_SCHUR: usize = 5;
+const CLASS_MERGE: usize = 6;
+const CLASS_MAP: usize = 7;
+const CLASS_ROOT: usize = 8;
+const CLASS_COUNT: usize = 9;
+
+// Construction sub-phases, indexing [`LevelArena::phase_nanos`].
+const PH_ASSEMBLY: usize = 0;
+const PH_COMPRESSION: usize = 1;
+const PH_COUPLING: usize = 2;
+const PH_TRANSFER: usize = 3;
+
+// Scheduling stages inside one level: finer levels and earlier stages run
+// first when several tasks are ready, which keeps the fused pipeline flowing
+// leaf-to-root.  Priorities only steer the scheduler; correctness and the
+// factor bits depend solely on the dependency edges.
+const STAGE_FILL: usize = 7;
+const STAGE_BASIS: usize = 6;
+const STAGE_COUPLING: usize = 5;
+const STAGE_TRANSFORM: usize = 4;
+const STAGE_PIVOT: usize = 3;
+const STAGE_SS: usize = 2;
+const STAGE_MAP: usize = 2;
+const STAGE_MERGE: usize = 1;
+
+/// Task priority: deeper levels (larger `level`) outrank coarser ones, and
+/// within a level the pipeline runs fill → basis → … → merge.
+fn prio(level: usize, stage: usize) -> f64 {
+    (level * 8 + stage) as f64
+}
+
 /// Per-class accounting for DAG tasks: CPU nanoseconds (for attributing the
 /// wall-clock span between construction and elimination) and **exact** flop
 /// counts, sampled from the thread-local counter — a task runs on exactly one
@@ -239,15 +340,121 @@ impl ClassMeter {
     fn begin() -> (Instant, u64) {
         (Instant::now(), h2_matrix::flops::thread_flop_count())
     }
+}
 
-    /// Credit a task region started by [`ClassMeter::begin`] to this class.
-    fn record(&self, start: (Instant, u64)) {
-        self.nanos
-            .fetch_add(start.0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.flops.fetch_add(
-            h2_matrix::flops::thread_flop_count() - start.1,
-            Ordering::Relaxed,
-        );
+/// Wall-clock span `[first start, last end]` of a task group, in nanoseconds
+/// since the graph's epoch.
+struct SpanMeter {
+    start: AtomicU64,
+    end: AtomicU64,
+}
+
+impl SpanMeter {
+    fn new() -> Self {
+        SpanMeter {
+            start: AtomicU64::new(u64::MAX),
+            end: AtomicU64::new(0),
+        }
+    }
+
+    fn cover(&self, start: u64, end: u64) {
+        self.start.fetch_min(start, Ordering::Relaxed);
+        self.end.fetch_max(end, Ordering::Relaxed);
+    }
+
+    fn seconds(&self) -> f64 {
+        let s = self.start.load(Ordering::Relaxed);
+        let e = self.end.load(Ordering::Relaxed);
+        if s == u64::MAX || e <= s {
+            0.0
+        } else {
+            (e - s) as f64 / 1e9
+        }
+    }
+}
+
+/// Run-wide meters of the fused graph: per-class CPU/flop meters plus the
+/// construction and factorization wall spans whose intersection yields the
+/// overlap fraction.
+struct GraphMeters {
+    t0: Instant,
+    classes: [ClassMeter; CLASS_COUNT],
+    construction: SpanMeter,
+    factorization: SpanMeter,
+}
+
+impl GraphMeters {
+    fn new() -> Self {
+        GraphMeters {
+            t0: Instant::now(),
+            classes: std::array::from_fn(|_| ClassMeter::new()),
+            construction: SpanMeter::new(),
+            factorization: SpanMeter::new(),
+        }
+    }
+
+    /// Credit a task region started by [`ClassMeter::begin`] to `class`, cover
+    /// the matching group span, and (when the task belongs to a level) feed the
+    /// level's trace counters.
+    fn finish(&self, class: usize, begun: (Instant, u64), arena: Option<&LevelArena>) {
+        let nanos = begun.0.elapsed().as_nanos() as u64;
+        let flops = h2_matrix::flops::thread_flop_count() - begun.1;
+        self.classes[class]
+            .nanos
+            .fetch_add(nanos, Ordering::Relaxed);
+        self.classes[class]
+            .flops
+            .fetch_add(flops, Ordering::Relaxed);
+        let start = begun.0.saturating_duration_since(self.t0).as_nanos() as u64;
+        let span = if matches!(class, CLASS_FILL | CLASS_BASIS | CLASS_COUPLING) {
+            &self.construction
+        } else {
+            &self.factorization
+        };
+        span.cover(start, start + nanos);
+        if let Some(a) = arena {
+            match class {
+                CLASS_FILL => {
+                    a.fill_nanos.fetch_add(nanos, Ordering::Relaxed);
+                }
+                CLASS_TRANSFORM | CLASS_PIVOT | CLASS_SCHUR | CLASS_MERGE | CLASS_MAP => {
+                    a.elim_nanos.fetch_add(nanos, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn nanos_of(&self, class: usize) -> u64 {
+        self.classes[class].nanos.load(Ordering::Relaxed)
+    }
+
+    fn flops_of(&self, class: usize) -> u64 {
+        self.classes[class].flops.load(Ordering::Relaxed)
+    }
+
+    fn seconds_of(&self, class: usize) -> f64 {
+        self.nanos_of(class) as f64 / 1e9
+    }
+
+    /// Intersection of the construction and factorization spans over `wall`.
+    fn overlap_fraction(&self, wall: f64) -> f64 {
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        let cs = self.construction.start.load(Ordering::Relaxed);
+        let ce = self.construction.end.load(Ordering::Relaxed);
+        let fs = self.factorization.start.load(Ordering::Relaxed);
+        let fe = self.factorization.end.load(Ordering::Relaxed);
+        if cs == u64::MAX || fs == u64::MAX {
+            return 0.0;
+        }
+        let lo = cs.max(fs);
+        let hi = ce.min(fe);
+        if hi <= lo {
+            return 0.0;
+        }
+        ((hi - lo) as f64 / 1e9 / wall).min(1.0)
     }
 }
 
@@ -275,6 +482,8 @@ struct BasisOut {
     cap_hits: usize,
     /// Recovery-ladder escalations this cluster's compression went through.
     recovery: RecoveryEvents,
+    /// Total columns of the row-side fill-in enrichment (task-graph reporting).
+    fill_cols: usize,
     row_interp: Option<SkeletonSide>,
     col_interp: Option<SkeletonSide>,
 }
@@ -314,25 +523,437 @@ fn build_skeleton_interp(c: &Matrix, cand_rows: &[usize]) -> Option<SkeletonSide
     Some(SkeletonSide { rows, rmat, lu })
 }
 
-/// Working state carried from one level to the next.
-struct LevelState {
-    /// Dense blocks of the current level (inadmissible pairs), active coordinates.
-    dense: HashMap<(usize, usize), Matrix>,
-    /// Fill contributions addressed to pairs that are admissible at the current level
-    /// (added to their couplings after the bases are built).
-    admissible_carry: HashMap<(usize, usize), Matrix>,
-    /// Fill contributions addressed to pairs not represented at the current level
-    /// (projected onto the skeleton and pushed further up).
-    pending_carry: HashMap<(usize, usize), Matrix>,
-    /// Accumulated row maps (original cluster points x active), `None` = identity.
-    row_maps: Vec<Option<Matrix>>,
-    /// Accumulated column maps.
-    col_maps: Vec<Option<Matrix>>,
-    /// Row-side skeleton interpolation of the previously processed (child) level,
-    /// indexed by child cluster; empty when skeleton construction is off.
-    row_interp: Vec<Option<SkeletonSide>>,
-    /// Column-side skeleton interpolation of the child level.
-    col_interp: Vec<Option<SkeletonSide>>,
+// --------------------------------------------------------------- symbolic plan
+
+/// Which carried-fill slot a basis-enrichment input comes from.
+#[derive(Debug, Clone, Copy)]
+enum CarrySlot {
+    /// Index into the level's admissible pairs (`adm_in` slot).
+    Adm(usize),
+    /// Index into the level's pending-carry candidates (`pend_in` slot).
+    Pend(usize),
+}
+
+/// One surviving skeleton–skeleton block candidate of a level: where its
+/// contributions come from (at most one each of dense/admissible/pending) and
+/// which pivots' Schur updates target it.
+struct SsCand {
+    pair: (usize, usize),
+    dense_idx: Option<usize>,
+    adm_idx: Option<usize>,
+    pend_idx: Option<usize>,
+    /// Pivots whose Schur updates land here, ascending.
+    schur_from: Vec<usize>,
+}
+
+/// Where one parent pair's merged block goes.
+#[derive(Debug, Clone, Copy)]
+enum MergeTarget {
+    /// `dense_in` slot of the parent level.
+    Dense(usize),
+    /// `adm_in` slot of the parent level.
+    Adm(usize),
+    /// `pend_in` slot of the parent level.
+    Pend(usize),
+    /// The dense root system (MultiLevel, final level only).
+    Root,
+}
+
+/// One per-parent-pair merge task: the child `ss_cand` indices feeding it and
+/// the parent slot (or root) receiving the merged block.
+struct MergeGroup {
+    parent: (usize, usize),
+    /// Indices into the child level's `ss_cand`, in `ss_cand` order.
+    children: Vec<usize>,
+    target: MergeTarget,
+}
+
+/// The symbolic plan of one level: every candidate index space the level's
+/// tasks read or write, computed once up front so task bodies never touch a
+/// shared mutable map.  All pair lists are sorted row-major (binary-searchable)
+/// and all accumulation orders are fixed here — that is what makes the fused
+/// graph's factors bitwise identical to the phased ones at any thread count.
+struct LevelPlan {
+    level: usize,
+    nb: usize,
+    eff_max_rank: Option<usize>,
+    /// Off-diagonal inadmissible columns per row.
+    neighbours: Vec<Vec<usize>>,
+    /// For each cluster `i`: the pivots `k` with `i ∈ neighbours[k]`, ascending.
+    /// Serves both the row and the column fill sides (the neighbour relation is
+    /// symmetric).  Empty when fill-in enrichment is off for the level.
+    pivots_of: Vec<Vec<usize>>,
+    /// Admissible pairs, row-major.
+    admissible: Vec<(usize, usize)>,
+    /// Dense-block candidates, row-major: the actual dense pairs at the leaf,
+    /// every inadmissible pair above it (merges may leave some empty).
+    dense_cand: Vec<(usize, usize)>,
+    /// Indices into `dense_cand` per block row.
+    row_dense: Vec<Vec<usize>>,
+    /// Covered parent pairs that receive merged child blocks (pending carries).
+    pend_cand: Vec<(usize, usize)>,
+    /// Carried-fill enrichment candidates, sorted by pair — the fused twin of
+    /// the phased code's sorted carry-key scan.
+    carry_cand: Vec<((usize, usize), CarrySlot)>,
+    /// Surviving skeleton–skeleton block candidates, sorted by pair.
+    ss_cand: Vec<SsCand>,
+    /// Per-parent-pair merge tasks of THIS level (they write the parent's slots).
+    merges: Vec<MergeGroup>,
+    /// Whether each `dense_cand` slot has a producer task (preset otherwise).
+    dense_produced: Vec<bool>,
+    /// Whether each admissible slot receives a merged carry (preset otherwise).
+    adm_produced: Vec<bool>,
+    do_fills: bool,
+    fill_sketch: FillSketch,
+    sample_cols: Option<usize>,
+}
+
+/// Construct the symbolic plans of every processed level, leaf first.
+fn build_plans(
+    partition: &BlockPartition,
+    opts: &FactorOptions,
+    depth: usize,
+    last_level: usize,
+) -> Vec<LevelPlan> {
+    let nlev = depth - last_level + 1;
+    let mut plans: Vec<LevelPlan> = Vec::with_capacity(nlev);
+    for t in 0..nlev {
+        let level = depth - t;
+        let nb = 1usize << level;
+        let neighbours = partition.neighbour_lists(level);
+        let admissible = partition.admissible_pairs(level);
+        let dense_cand = if t == 0 {
+            partition.dense_pairs(depth)
+        } else {
+            partition.neighbour_pairs(level)
+        };
+        let do_fills = opts.fillin_enrichment && neighbours.iter().any(|l| !l.is_empty());
+        // SRFT compression also sketches the fill unions structurally; the
+        // Gaussian/Direct modes keep the dense test blocks so A/B runs
+        // compare the whole pipeline, not just the basis sketch.
+        let fill_sketch = match opts.compression {
+            CompressionMode::Srft { precision, .. } => {
+                FillSketch::Srft(precision.effective_for_tol(opts.tol))
+            }
+            _ => FillSketch::Gaussian,
+        };
+        // In sampled construction mode the fill-in column/row spaces are
+        // captured through random test matrices instead of forming every
+        // product exactly; `H2_FILL_SAMPLE` overrides the union sample width
+        // for accuracy/cost experiments.  The f64 paths use 128, which keeps
+        // bench residuals at or below the exact-fill reference across the
+        // sweep.  The mixed-precision SRFT path only needs the dominant fill
+        // directions — its solves run iterative refinement, which mops up the
+        // tail — so it samples 64.
+        let default_fill = match fill_sketch {
+            FillSketch::Srft(h2_lowrank::SketchPrecision::F32) => 64,
+            _ => 128,
+        };
+        let sample_cols = match opts.basis_mode {
+            h2_hmatrix::BasisMode::Exact => None,
+            h2_hmatrix::BasisMode::Sampled { .. } => Some(
+                std::env::var("H2_FILL_SAMPLE")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(default_fill),
+            ),
+        };
+        let mut pivots_of: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        if do_fills {
+            for (k, nk) in neighbours.iter().enumerate() {
+                for &i in nk {
+                    pivots_of[i].push(k);
+                }
+            }
+        }
+
+        // Parents of the child level's surviving blocks: classify each parent
+        // pair once, record the child level's per-parent merge groups, and
+        // mark which of this level's input slots have a producer.
+        let mut pend_cand: Vec<(usize, usize)> = Vec::new();
+        let mut dense_produced = vec![t == 0; dense_cand.len()];
+        let mut adm_produced = vec![false; admissible.len()];
+        if t > 0 {
+            let child_ss: Vec<(usize, usize)> =
+                plans[t - 1].ss_cand.iter().map(|c| c.pair).collect();
+            let mut parents: Vec<(usize, usize)> =
+                child_ss.iter().map(|&(i, j)| (i / 2, j / 2)).collect();
+            parents.sort_unstable();
+            parents.dedup();
+            for &(pi, pj) in &parents {
+                if partition.block_type(level, pi, pj) == BlockType::Covered {
+                    pend_cand.push((pi, pj));
+                }
+            }
+            let mut merges: Vec<MergeGroup> = Vec::with_capacity(parents.len());
+            for &(pi, pj) in &parents {
+                let children: Vec<usize> = child_ss
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(ci, cj))| (ci / 2, cj / 2) == (pi, pj))
+                    .map(|(x, _)| x)
+                    .collect();
+                // The binary searches below are plan-time symbolic invariants:
+                // every classified parent pair is in its class's candidate
+                // list by construction of those lists.
+                let target = match partition.block_type(level, pi, pj) {
+                    BlockType::DenseLeaf | BlockType::Subdivided => {
+                        let x = dense_cand.binary_search(&(pi, pj)).unwrap_or_else(|_| {
+                            unreachable!("inadmissible parent ({pi}, {pj}) not a dense candidate")
+                        });
+                        dense_produced[x] = true;
+                        MergeTarget::Dense(x)
+                    }
+                    BlockType::Admissible => {
+                        let x = admissible.binary_search(&(pi, pj)).unwrap_or_else(|_| {
+                            unreachable!("admissible parent ({pi}, {pj}) not in admissible pairs")
+                        });
+                        adm_produced[x] = true;
+                        MergeTarget::Adm(x)
+                    }
+                    BlockType::Covered => {
+                        let x = pend_cand.binary_search(&(pi, pj)).unwrap_or_else(|_| {
+                            unreachable!("covered parent ({pi}, {pj}) not a pending candidate")
+                        });
+                        MergeTarget::Pend(x)
+                    }
+                };
+                merges.push(MergeGroup {
+                    parent: (pi, pj),
+                    children,
+                    target,
+                });
+            }
+            plans[t - 1].merges = merges;
+        }
+
+        // Carried-fill candidates in sorted pair order — the same order the
+        // phased code visited its carry keys in.
+        let mut carry_cand: Vec<((usize, usize), CarrySlot)> = Vec::new();
+        for (x, &p) in admissible.iter().enumerate() {
+            if adm_produced[x] {
+                carry_cand.push((p, CarrySlot::Adm(x)));
+            }
+        }
+        for (x, &p) in pend_cand.iter().enumerate() {
+            carry_cand.push((p, CarrySlot::Pend(x)));
+        }
+        carry_cand.sort_unstable_by_key(|&(p, _)| p);
+
+        let mut row_dense: Vec<Vec<usize>> = vec![Vec::new(); nb];
+        for (x, &(i, _)) in dense_cand.iter().enumerate() {
+            row_dense[i].push(x);
+        }
+
+        // Surviving skeleton–skeleton candidates: every dense / admissible /
+        // pending pair plus every Schur target (i, j) ∈ (N(k) ∪ {k})² of every
+        // pivot k, with the contributing pivots recorded ascending.
+        let blank = |p: (usize, usize)| SsCand {
+            pair: p,
+            dense_idx: None,
+            adm_idx: None,
+            pend_idx: None,
+            schur_from: Vec::new(),
+        };
+        let mut ss_map: BTreeMap<(usize, usize), SsCand> = BTreeMap::new();
+        for (x, &p) in dense_cand.iter().enumerate() {
+            ss_map.entry(p).or_insert_with(|| blank(p)).dense_idx = Some(x);
+        }
+        for (x, &p) in admissible.iter().enumerate() {
+            ss_map.entry(p).or_insert_with(|| blank(p)).adm_idx = Some(x);
+        }
+        for (x, &p) in pend_cand.iter().enumerate() {
+            ss_map.entry(p).or_insert_with(|| blank(p)).pend_idx = Some(x);
+        }
+        for (k, nk) in neighbours.iter().enumerate() {
+            let mut tlist: Vec<usize> = nk.clone();
+            tlist.push(k);
+            tlist.sort_unstable();
+            for &i in &tlist {
+                for &j in &tlist {
+                    ss_map
+                        .entry((i, j))
+                        .or_insert_with(|| blank((i, j)))
+                        .schur_from
+                        .push(k);
+                }
+            }
+        }
+        let ss_cand: Vec<SsCand> = ss_map.into_values().collect();
+
+        plans.push(LevelPlan {
+            level,
+            nb,
+            eff_max_rank: opts.effective_max_rank(depth - level),
+            neighbours,
+            pivots_of,
+            admissible,
+            dense_cand,
+            row_dense,
+            pend_cand,
+            carry_cand,
+            ss_cand,
+            merges: Vec::new(),
+            dense_produced,
+            adm_produced,
+            do_fills,
+            fill_sketch,
+            sample_cols,
+        });
+    }
+    // The final multi-level merge collapses level 1 into the root pair (0, 0):
+    // one merge group whose output is handed to the dynamically submitted
+    // root-factorization task instead of to a parent slot.
+    if opts.hierarchy == Hierarchy::MultiLevel {
+        if let Some(last) = plans.last_mut() {
+            last.merges = vec![MergeGroup {
+                parent: (0, 0),
+                children: (0..last.ss_cand.len()).collect(),
+                target: MergeTarget::Root,
+            }];
+        }
+    }
+    plans
+}
+
+// -------------------------------------------------------------------- arenas
+
+fn slots<T>(n: usize) -> Vec<OnceLock<T>> {
+    (0..n).map(|_| OnceLock::new()).collect()
+}
+
+/// Output slots of one level's tasks.  Every slot has exactly one writer task.
+/// Convention for `OnceLock<Option<Matrix>>` slots: **unset** = the producer
+/// degraded because an upstream task errored (dependents degrade too; the
+/// collection pass surfaces the first error in deterministic order);
+/// `Some(None)` = the producer ran and the block is absent at runtime;
+/// `Some(Some(m))` = present.
+struct LevelArena {
+    /// Active size per cluster (leaf: preset; above: set by the map task).
+    active: Vec<OnceLock<usize>>,
+    /// Accumulated row map per cluster (`None` = identity).
+    row_map: Vec<OnceLock<Option<Matrix>>>,
+    /// Accumulated column map per cluster.
+    col_map: Vec<OnceLock<Option<Matrix>>>,
+    /// Dense input blocks, aligned with `plan.dense_cand`.
+    dense_in: Vec<OnceLock<Option<Matrix>>>,
+    /// Merged carries addressed to admissible pairs, aligned with `plan.admissible`.
+    adm_in: Vec<OnceLock<Option<Matrix>>>,
+    /// Merged carries addressed to covered pairs, aligned with `plan.pend_cand`.
+    pend_in: Vec<OnceLock<Option<Matrix>>>,
+    /// Per-pivot fill-in contributions (set only for pivots with neighbours).
+    fill: Vec<OnceLock<PivotFills>>,
+    /// Basis task outputs.
+    basis: Vec<OnceLock<Result<BasisOut, SolverError>>>,
+    /// Coupling task outputs, aligned with `plan.admissible`.
+    coupling: Vec<OnceLock<Result<Matrix, SolverError>>>,
+    /// Transformed dense blocks, aligned with `plan.dense_cand`.
+    transform: Vec<OnceLock<Option<Matrix>>>,
+    /// Pivot elimination outputs.
+    pivot: Vec<OnceLock<Result<PivotResult, SolverError>>>,
+    /// Surviving skeleton–skeleton blocks, aligned with `plan.ss_cand`.
+    ss: Vec<OnceLock<Option<Matrix>>>,
+    /// Construction sub-phase CPU nanoseconds (assembly/compression/coupling/transfer).
+    phase_nanos: [AtomicU64; 4],
+    /// CPU nanoseconds of the level's fill tasks (`H2_TRACE_LEVELS`).
+    fill_nanos: AtomicU64,
+    /// CPU nanoseconds of the level's elimination-side tasks (`H2_TRACE_LEVELS`).
+    elim_nanos: AtomicU64,
+}
+
+impl LevelArena {
+    fn new(plan: &LevelPlan) -> Self {
+        LevelArena {
+            active: slots(plan.nb),
+            row_map: slots(plan.nb),
+            col_map: slots(plan.nb),
+            dense_in: slots(plan.dense_cand.len()),
+            adm_in: slots(plan.admissible.len()),
+            pend_in: slots(plan.pend_cand.len()),
+            fill: slots(plan.nb),
+            basis: slots(plan.nb),
+            coupling: slots(plan.admissible.len()),
+            transform: slots(plan.dense_cand.len()),
+            pivot: slots(plan.nb),
+            ss: slots(plan.ss_cand.len()),
+            phase_nanos: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+            fill_nanos: AtomicU64::new(0),
+            elim_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Task handles of one level, used to wire dependency edges.  The `*_prod`
+/// producer fields of level `t` are filled while registering level `t-1` (its
+/// map and merge tasks write level `t`'s input slots).
+struct LevelTasks {
+    /// Every task of the level (the phased gate depends on all of them).
+    all: Vec<TaskId>,
+    fill: Vec<Option<TaskId>>,
+    basis: Vec<TaskId>,
+    coupling: Vec<TaskId>,
+    row_transform: Vec<Option<TaskId>>,
+    pivot: Vec<TaskId>,
+    ss: Vec<TaskId>,
+    /// Producer of this level's `row_map`/`col_map`/`active` slots per cluster.
+    map_prod: Vec<Option<TaskId>>,
+    /// Producer of each `dense_in` slot (`None` = preset).
+    dense_prod: Vec<Option<TaskId>>,
+    /// Producer of each `adm_in` slot (`None` = preset).
+    adm_prod: Vec<Option<TaskId>>,
+    /// Producer of each `pend_in` slot.
+    pend_prod: Vec<Option<TaskId>>,
+}
+
+impl LevelTasks {
+    fn new(plan: &LevelPlan) -> Self {
+        LevelTasks {
+            all: Vec::new(),
+            fill: vec![None; plan.nb],
+            basis: Vec::with_capacity(plan.nb),
+            coupling: Vec::with_capacity(plan.admissible.len()),
+            row_transform: vec![None; plan.nb],
+            pivot: Vec::with_capacity(plan.nb),
+            ss: Vec::with_capacity(plan.ss_cand.len()),
+            map_prod: vec![None; plan.nb],
+            dense_prod: vec![None; plan.dense_cand.len()],
+            adm_prod: vec![None; plan.admissible.len()],
+            pend_prod: vec![None; plan.pend_cand.len()],
+        }
+    }
+}
+
+/// Output of the root factorization task.
+struct RootOut {
+    dim: usize,
+    lu: Lu,
+    offsets: Vec<usize>,
+    clusters: usize,
+}
+
+/// Everything the per-level registrars borrow for `'env` (the lifetime of the
+/// fused graph's scope).
+struct RegisterCtx<'env> {
+    kernel: &'env dyn Kernel,
+    tree: &'env ClusterTree,
+    partition: &'env BlockPartition,
+    opts: &'env FactorOptions,
+    plans: &'env [LevelPlan],
+    arenas: &'env [LevelArena],
+    meters: &'env GraphMeters,
+    root_out: &'env OnceLock<SolverResult<RootOut>>,
+}
+
+/// Sort + dedup a dependency list (duplicate edges are legal but wasteful).
+fn dedup_deps(mut deps: Vec<TaskId>) -> Vec<TaskId> {
+    deps.sort_unstable();
+    deps.dedup();
+    deps
 }
 
 impl UlvFactorization {
@@ -440,27 +1061,30 @@ impl UlvFactorization {
             });
         }
 
-        let mut state = LevelState {
-            dense: HashMap::new(),
-            admissible_carry: HashMap::new(),
-            pending_carry: HashMap::new(),
-            row_maps: vec![None; tree.num_leaves()],
-            col_maps: vec![None; tree.num_leaves()],
-            row_interp: Vec::new(),
-            col_interp: Vec::new(),
+        let last_level = match opts.hierarchy {
+            Hierarchy::MultiLevel => 1,
+            Hierarchy::SingleLevel => depth,
         };
+        let nlev = depth - last_level + 1;
+        let plans = build_plans(partition, opts, depth, last_level);
+        let arenas: Vec<LevelArena> = plans.iter().map(LevelArena::new).collect();
 
-        // Assemble the leaf-level dense (neighbour) blocks from the kernel.
+        // Assemble the leaf-level dense (neighbour) blocks from the kernel and
+        // preset every slot that has no producer task: leaf maps are the
+        // identity, leaf actives are the cluster sizes, leaf admissible pairs
+        // carry nothing, and upper-level candidates no merge targets are
+        // runtime-absent.
         let tcon0 = Instant::now();
         let fcon0 = flop_count();
         {
             let leaf_clusters = tree.clusters_at_level(depth);
-            let pairs = partition.dense_pairs(depth);
-            let blocks: Vec<((usize, usize), Matrix)> = pairs
-                .par_iter()
-                .map(|&(i, j)| {
+            let plan0 = &plans[0];
+            let blocks: Vec<(usize, Matrix)> = (0..plan0.dense_cand.len())
+                .into_par_iter()
+                .map(|x| {
+                    let (i, j) = plan0.dense_cand[x];
                     (
-                        (i, j),
+                        x,
                         kernel.assemble(
                             &tree.points,
                             tree.original_indices(&leaf_clusters[i]),
@@ -469,86 +1093,321 @@ impl UlvFactorization {
                     )
                 })
                 .collect();
-            for ((i, j), m) in &blocks {
-                if !matrix_is_finite(m) {
+            for (x, m) in blocks {
+                let (i, j) = plan0.dense_cand[x];
+                if !matrix_is_finite(&m) {
                     return Err(SolverError::NonFiniteInput {
                         context: format!(
                             "dense leaf block ({i}, {j}) contains non-finite kernel values"
                         ),
                     });
                 }
+                let _ = arenas[0].dense_in[x].set(Some(m));
             }
-            state.dense = blocks.into_iter().collect();
+            for i in 0..plan0.nb {
+                let _ = arenas[0].active[i].set(leaf_clusters[i].len);
+                let _ = arenas[0].row_map[i].set(None);
+                let _ = arenas[0].col_map[i].set(None);
+            }
+            for x in 0..plan0.admissible.len() {
+                let _ = arenas[0].adm_in[x].set(None);
+            }
         }
         let leaf_assembly_wall = tcon0.elapsed().as_secs_f64();
         stats.construction_seconds += leaf_assembly_wall;
         stats.phases.assembly_seconds += leaf_assembly_wall;
         stats.phases.assembly_wall_seconds += leaf_assembly_wall;
         stats.construction_flops += flop_count() - fcon0;
-
-        let mut levels: Vec<LevelFactor> = Vec::new();
-        let last_level = match opts.hierarchy {
-            Hierarchy::MultiLevel => 1,
-            Hierarchy::SingleLevel => depth,
-        };
-
-        // One work-stealing DAG executor drives every level's per-cluster
-        // compression and elimination tasks.
-        let exec = DagExecutor::new(h2_runtime::resolve_num_threads(opts.num_threads));
-        for level in (last_level..=depth).rev() {
-            let (lf, next_state) = Self::process_level(
-                kernel, tree, partition, opts, level, state, &mut stats, &mut tg, &exec,
-            )?;
-            levels.push(lf);
-            state = next_state;
+        for (plan, arena) in plans.iter().zip(arenas.iter()).skip(1) {
+            for (x, produced) in plan.dense_produced.iter().enumerate() {
+                if !produced {
+                    let _ = arena.dense_in[x].set(None);
+                }
+            }
+            for (x, produced) in plan.adm_produced.iter().enumerate() {
+                if !produced {
+                    let _ = arena.adm_in[x].set(None);
+                }
+            }
         }
 
-        // Root system.
-        let tfac = Instant::now();
-        let ffac = flop_count();
-        let (root, root_offsets, root_clusters) = match opts.hierarchy {
-            Hierarchy::MultiLevel => {
-                // The merge step of level 1 produced the root block (pair (0, 0) of
-                // level 0).  The root is a single cluster: the solve's backward pass
-                // splits its solution into the two level-1 skeletons itself.
-                let root = state
-                    .dense
-                    .remove(&(0, 0))
-                    .unwrap_or_else(|| unreachable!("root block missing after level merge"));
-                (root, vec![0], 1)
-            }
-            Hierarchy::SingleLevel => {
-                // Gather every remaining skeleton block into one dense matrix (Eq. 15).
-                let leaf_lf = levels
-                    .last()
-                    .unwrap_or_else(|| unreachable!("leaf level processed"));
-                let nb = leaf_lf.nb;
-                let ks: Vec<usize> = leaf_lf.clusters.iter().map(|c| c.skeleton).collect();
-                let mut offsets = vec![0usize; nb + 1];
-                for i in 0..nb {
-                    offsets[i + 1] = offsets[i] + ks[i];
-                }
-                let dim = offsets[nb];
-                let mut root = Matrix::zeros(dim, dim);
-                for ((i, j), block) in state.dense.iter() {
-                    root.set_block(offsets[*i], offsets[*j], block);
-                }
-                (root, offsets[..nb].to_vec(), nb)
-            }
+        // ------------------------------------------------- the one fused graph
+        // Register construction AND elimination tasks of every level into a
+        // single live scope; the phased schedule adds one gate task per level.
+        let pool = ThreadPool::new(h2_runtime::resolve_num_threads(opts.num_threads));
+        let meters = GraphMeters::new();
+        let root_out: OnceLock<SolverResult<RootOut>> = OnceLock::new();
+        let schedule = opts.schedule.resolve();
+        let ctx = RegisterCtx {
+            kernel,
+            tree,
+            partition,
+            opts,
+            plans: &plans,
+            arenas: &arenas,
+            meters: &meters,
+            root_out: &root_out,
         };
-        stats.root_dim = root.rows();
-        tg.add_root_task(root.rows());
-        if !matrix_is_finite(&root) {
-            return Err(SolverError::NonFiniteInput {
-                context: "root skeleton system contains non-finite values".to_string(),
+        let tgraph = Instant::now();
+        live_scope(&pool, |scope| {
+            let mut tasks: Vec<LevelTasks> = plans.iter().map(LevelTasks::new).collect();
+            let mut gate: Option<TaskId> = None;
+            for t in 0..nlev {
+                let (done, rest) = tasks.split_at_mut(t);
+                let (cur, rest) = rest.split_at_mut(1);
+                register_level(
+                    scope,
+                    &ctx,
+                    t,
+                    done.last(),
+                    &mut cur[0],
+                    rest.first_mut(),
+                    gate,
+                );
+                if schedule == Schedule::Phased {
+                    gate = Some(scope.submit(TaskKind::Other, 0.0, &cur[0].all, |_| {}));
+                }
+            }
+            if opts.hierarchy == Hierarchy::SingleLevel {
+                register_single_level_root(scope, &ctx, &tasks[0], gate);
+            }
+        })
+        .map_err(|p| SolverError::TaskPanicked {
+            what: p.to_string(),
+        })?;
+        let graph_wall = tgraph.elapsed().as_secs_f64();
+
+        // ------------------------------------------------------ collect results
+        // Slots are drained in construction order (never completion order), so
+        // errors surface in deterministic cluster / pair order regardless of
+        // scheduling.  An unset slot with no prior error is an internal
+        // invariant violation and reported as such — never a panic.
+        let mut arenas = arenas;
+        let mut levels: Vec<LevelFactor> = Vec::with_capacity(nlev);
+        for (plan, arena) in plans.iter().zip(arenas.iter_mut()) {
+            let level = plan.level;
+            let nb = plan.nb;
+            tg.begin_level(level, nb);
+            let mut cluster_factors: Vec<ClusterFactor> = Vec::with_capacity(nb);
+            let mut fill_cols_per: Vec<usize> = Vec::with_capacity(nb);
+            let mut level_cap_hits = 0usize;
+            for i in 0..nb {
+                match arena.basis[i].take() {
+                    Some(Ok(out)) => {
+                        level_cap_hits += out.cap_hits;
+                        stats.recovery.absorb(out.recovery);
+                        fill_cols_per.push(out.fill_cols);
+                        cluster_factors.push(out.cf);
+                    }
+                    Some(Err(e)) => return Err(e),
+                    None => {
+                        return Err(SolverError::Internal {
+                            what: format!(
+                                "basis task for cluster {i} at level {level} did not run"
+                            ),
+                        })
+                    }
+                }
+            }
+            for (x, &(i, j)) in plan.admissible.iter().enumerate() {
+                match arena.coupling[x].take() {
+                    Some(Ok(_)) => {}
+                    Some(Err(e)) => return Err(e),
+                    None => {
+                        return Err(SolverError::Internal {
+                            what: format!(
+                                "coupling task for pair ({i}, {j}) at level {level} did not run"
+                            ),
+                        })
+                    }
+                }
+            }
+            let mut pivot_results: Vec<PivotResult> = Vec::with_capacity(nb);
+            for k in 0..nb {
+                match arena.pivot[k].take() {
+                    Some(Ok(r)) => {
+                        if r.shifted {
+                            stats.recovery.pivot_shifts += 1;
+                        }
+                        pivot_results.push(r);
+                    }
+                    Some(Err(e)) => return Err(e),
+                    None => {
+                        return Err(SolverError::Internal {
+                            what: format!(
+                                "elimination task for cluster {k} at level {level} did not run"
+                            ),
+                        })
+                    }
+                }
+            }
+            for k in 0..nb {
+                if let Some(pf) = arena.fill[k].take() {
+                    stats.fillin_blocks += pf.count;
+                }
+            }
+
+            // Record the analytic task graph (for the scheduler simulator) and ranks.
+            for (i, cf) in cluster_factors.iter().enumerate() {
+                tg.add_basis_task(cf.active, cf.active.saturating_mul(2), fill_cols_per[i]);
+            }
+            let level_max_rank = cluster_factors
+                .iter()
+                .map(|c| c.skeleton)
+                .max()
+                .unwrap_or(0);
+            stats.level_ranks.push(level_max_rank);
+            stats.level_cap_hits.push(level_cap_hits);
+            stats.max_rank = stats.max_rank.max(level_max_rank);
+            let basis_ids = tg.current_basis_tasks().to_vec();
+            for res in &pivot_results {
+                let k = res.k;
+                let mut deps = vec![basis_ids[k]];
+                for &j in &plan.neighbours[k] {
+                    deps.push(basis_ids[j]);
+                }
+                tg.add_elimination_task(
+                    opts.variant,
+                    cluster_factors[k].redundant,
+                    cluster_factors[k].active,
+                    plan.neighbours[k].len(),
+                    &deps,
+                );
+            }
+            let skeleton_total: usize = cluster_factors.iter().map(|c| c.skeleton).sum();
+            tg.end_level(skeleton_total);
+
+            let mut row_rr = HashMap::new();
+            let mut row_rs = HashMap::new();
+            let mut col_rr = HashMap::new();
+            let mut col_sr = HashMap::new();
+            for mut res in pivot_results {
+                cluster_factors[res.k].lu = res.lu.take();
+                for (key, m) in res.row_rr {
+                    row_rr.insert(key, m);
+                }
+                for (key, m) in res.row_rs {
+                    row_rs.insert(key, m);
+                }
+                for (key, m) in res.col_rr {
+                    col_rr.insert(key, m);
+                }
+                for (key, m) in res.col_sr {
+                    col_sr.insert(key, m);
+                }
+            }
+
+            // Per-level stage attribution for performance work
+            // (`H2_TRACE_LEVELS=1`): CPU seconds of each in-task phase.
+            if std::env::var("H2_TRACE_LEVELS").is_ok() {
+                eprintln!(
+                    "level {level:2} nb {nb:4}: fill {:7.3}s  asm {:7.3}s  cmp {:7.3}s  cpl {:7.3}s  xfer {:7.3}s  elim {:7.3}s",
+                    arena.fill_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                    arena.phase_nanos[PH_ASSEMBLY].load(Ordering::Relaxed) as f64 / 1e9,
+                    arena.phase_nanos[PH_COMPRESSION].load(Ordering::Relaxed) as f64 / 1e9,
+                    arena.phase_nanos[PH_COUPLING].load(Ordering::Relaxed) as f64 / 1e9,
+                    arena.phase_nanos[PH_TRANSFER].load(Ordering::Relaxed) as f64 / 1e9,
+                    arena.elim_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+                );
+            }
+
+            levels.push(LevelFactor {
+                level,
+                nb,
+                clusters: cluster_factors,
+                neighbours: plan.neighbours.clone(),
+                row_rr,
+                row_rs,
+                col_rr,
+                col_sr,
             });
         }
-        let root_lu = lu_factor(&root).map_err(|_| SolverError::SingularPivot {
-            cluster: 0,
-            level: 0,
-        })?;
-        stats.factorization_seconds += tfac.elapsed().as_secs_f64();
-        stats.factorization_flops += flop_count() - ffac;
+
+        let (root_lu, root_offsets, root_clusters) = match root_out.into_inner() {
+            Some(Ok(r)) => {
+                stats.root_dim = r.dim;
+                tg.add_root_task(r.dim);
+                (r.lu, r.offsets, r.clusters)
+            }
+            Some(Err(e)) => return Err(e),
+            None => {
+                return Err(SolverError::Internal {
+                    what: "root factorization task did not run".to_string(),
+                })
+            }
+        };
+
+        // ------------------------------------------------------- fold the stats
+        // The fused graph interleaves construction and elimination tasks on one
+        // wall-clock span; split the span proportionally to the CPU time each
+        // group consumed.  The flop counts need no such estimate: every task
+        // samples the thread-local counter, so the per-class sums are exact.
+        let con_n = meters.nanos_of(CLASS_FILL)
+            + meters.nanos_of(CLASS_BASIS)
+            + meters.nanos_of(CLASS_COUPLING);
+        let fac_n = meters.nanos_of(CLASS_TRANSFORM)
+            + meters.nanos_of(CLASS_PIVOT)
+            + meters.nanos_of(CLASS_SCHUR)
+            + meters.nanos_of(CLASS_MERGE)
+            + meters.nanos_of(CLASS_MAP)
+            + meters.nanos_of(CLASS_ROOT);
+        let con_frac = con_n as f64 / ((con_n + fac_n).max(1)) as f64;
+        stats.construction_seconds += graph_wall * con_frac;
+        stats.factorization_seconds += graph_wall * (1.0 - con_frac);
+        stats.construction_flops += meters.flops_of(CLASS_FILL)
+            + meters.flops_of(CLASS_BASIS)
+            + meters.flops_of(CLASS_COUPLING);
+        stats.factorization_flops += meters.flops_of(CLASS_TRANSFORM)
+            + meters.flops_of(CLASS_PIVOT)
+            + meters.flops_of(CLASS_SCHUR)
+            + meters.flops_of(CLASS_MERGE)
+            + meters.flops_of(CLASS_MAP)
+            + meters.flops_of(CLASS_ROOT);
+
+        // Construction sub-phase attribution: once as exact CPU work and once
+        // attributed to the graph's wall clock in proportion to the CPU share
+        // each phase consumed of the graph's total task time.  Fill-in
+        // pre-computation counts as compression, as it always has.
+        let span_nanos = ((con_n + fac_n).max(1)) as f64;
+        let mut ph = [0u64; 4];
+        for arena in &arenas {
+            for (p, slot) in ph.iter_mut().enumerate() {
+                *slot += arena.phase_nanos[p].load(Ordering::Relaxed);
+            }
+        }
+        ph[PH_COMPRESSION] += meters.nanos_of(CLASS_FILL);
+        let phase_split = |p: usize| {
+            let cpu = ph[p];
+            (cpu as f64 / 1e9, graph_wall * cpu as f64 / span_nanos)
+        };
+        let (cpu, wall) = phase_split(PH_ASSEMBLY);
+        stats.phases.assembly_seconds += cpu;
+        stats.phases.assembly_wall_seconds += wall;
+        let (cpu, wall) = phase_split(PH_COMPRESSION);
+        stats.phases.compression_seconds += cpu;
+        stats.phases.compression_wall_seconds += wall;
+        let (cpu, wall) = phase_split(PH_COUPLING);
+        stats.phases.coupling_seconds += cpu;
+        stats.phases.coupling_wall_seconds += wall;
+        let (cpu, wall) = phase_split(PH_TRANSFER);
+        stats.phases.transfer_seconds += cpu;
+        stats.phases.transfer_wall_seconds += wall;
+
+        stats.task_classes = TaskClassBreakdown {
+            fill_seconds: meters.seconds_of(CLASS_FILL),
+            basis_seconds: meters.seconds_of(CLASS_BASIS),
+            coupling_seconds: meters.seconds_of(CLASS_COUPLING),
+            transform_seconds: meters.seconds_of(CLASS_TRANSFORM),
+            pivot_seconds: meters.seconds_of(CLASS_PIVOT),
+            schur_seconds: meters.seconds_of(CLASS_SCHUR),
+            merge_seconds: meters.seconds_of(CLASS_MERGE),
+            map_seconds: meters.seconds_of(CLASS_MAP),
+            root_seconds: meters.seconds_of(CLASS_ROOT),
+            graph_wall_seconds: graph_wall,
+            construction_span_seconds: meters.construction.seconds(),
+            factorization_span_seconds: meters.factorization.seconds(),
+            overlap_fraction: meters.overlap_fraction(graph_wall),
+        };
 
         let mut factors = UlvFactors {
             tree: analysis.tree_handle(),
@@ -564,979 +1423,1098 @@ impl UlvFactorization {
         factors.stats.memory_words = factors.memory_words();
         Ok(factors)
     }
+}
 
-    /// Process one level: build bases, transform, eliminate, and produce the next
-    /// level's state.  The per-cluster compression, per-pair coupling projection,
-    /// per-block-row two-sided transform and per-pivot elimination all run as tasks
-    /// of `exec`'s work-stealing DAG executor: a task starts the moment its inputs
-    /// exist, so one cluster can already be eliminating while another is still
-    /// compressing — the cross-stage overlap the paper's dependency-free structure
-    /// makes legal.  Results are written to per-task slots and merged in a fixed
-    /// order, so the factors are bitwise identical for every thread count.
-    #[allow(clippy::too_many_arguments)]
-    fn process_level(
-        kernel: &dyn Kernel,
-        tree: &ClusterTree,
-        partition: &BlockPartition,
-        opts: &FactorOptions,
-        level: usize,
-        state: LevelState,
-        stats: &mut FactorStats,
-        tg: &mut FactorTaskGraph,
-        exec: &DagExecutor,
-    ) -> SolverResult<(LevelFactor, LevelState)> {
-        let nb = 1usize << level;
-        let clusters = tree.clusters_at_level(level);
-        tg.begin_level(level, nb);
-        // Effective rank cap for this level: `level` counts down from
-        // `tree.depth` (leaves), so the cap grows geometrically towards the
-        // root (see [`FactorOptions::max_rank_growth`]).
-        let eff_max_rank = opts.effective_max_rank(tree.depth - level);
+// ---------------------------------------------------------- task registration
 
-        // Active sizes at this level.
-        let active: Vec<usize> = (0..nb)
-            .map(|i| match &state.row_maps[i] {
-                Some(w) => w.cols(),
-                None => clusters[i].len,
-            })
-            .collect();
+/// Register every task of level index `t` into the fused graph.
+///
+/// `child`/`parent` are the adjacent levels' task tables: child basis ids feed
+/// this level's interpolation fast path, and this level's map/merge tasks are
+/// recorded as the *parent's* input-slot producers.  `gate` is the phased
+/// schedule's previous-level gate (every task adds it as a dependency).
+#[allow(clippy::too_many_arguments)]
+fn register_level<'env>(
+    scope: &LiveScope<'env>,
+    ctx: &RegisterCtx<'env>,
+    t: usize,
+    child: Option<&LevelTasks>,
+    cur: &mut LevelTasks,
+    mut parent: Option<&mut LevelTasks>,
+    gate: Option<TaskId>,
+) {
+    let kernel = ctx.kernel;
+    let tree = ctx.tree;
+    let partition = ctx.partition;
+    let opts = ctx.opts;
+    let meters = ctx.meters;
+    let root_out = ctx.root_out;
+    let plans = ctx.plans;
+    let arenas = ctx.arenas;
+    let plan = &plans[t];
+    let arena = &arenas[t];
+    let child_arena = t.checked_sub(1).map(|c| &arenas[c]);
+    let parent_arena = arenas.get(t + 1);
+    let level = plan.level;
+    let nb = plan.nb;
+    let nlev = plans.len();
+    let clusters = tree.clusters_at_level(level);
+    let leaf_level = level == tree.depth;
 
-        // Neighbour structure (inadmissible off-diagonal pairs) and admissible pairs.
-        let neighbours: Vec<Vec<usize>> = partition.neighbour_lists(level);
-        let admissible: Vec<(usize, usize)> = partition.admissible_pairs(level);
-
-        // ------------------------------------------------------------------ fill-ins
-        let tcon = Instant::now();
-        let fcon = flop_count();
-        let fills: FillIns = if opts.fillin_enrichment && neighbours.iter().any(|l| !l.is_empty()) {
-            let dense_ref = &state.dense;
-            // SRFT compression also sketches the fill unions structurally; the
-            // Gaussian/Direct modes keep the dense test blocks so A/B runs
-            // compare the whole pipeline, not just the basis sketch.
-            let fill_sketch = match opts.compression {
-                CompressionMode::Srft { precision, .. } => {
-                    FillSketch::Srft(precision.effective_for_tol(opts.tol))
-                }
-                _ => FillSketch::Gaussian,
-            };
-            // In sampled construction mode the fill-in column/row spaces are captured
-            // through random test matrices instead of forming every product exactly.
-            // Width of the union fill-in sample (`H2_FILL_SAMPLE` overrides for
-            // accuracy/cost experiments).  The f64 paths use 128, which keeps
-            // bench residuals at or below the exact-fill reference across the
-            // sweep.  The mixed-precision SRFT path only needs the dominant
-            // fill directions — its solves run iterative refinement, which
-            // mops up the tail — so it samples 64: the fill sketch feeds
-            // sketch-then-solve (see `precompute_fillins`), where the sample
-            // width prices both the `O(m²·c)` solves and, indirectly, every
-            // detected rank above the leaves through the enrichment width.
-            let default_fill = match fill_sketch {
-                FillSketch::Srft(h2_lowrank::SketchPrecision::F32) => 64,
-                _ => 128,
-            };
-            let sample_cols = match opts.basis_mode {
-                h2_hmatrix::BasisMode::Exact => None,
-                h2_hmatrix::BasisMode::Sampled { .. } => Some(
-                    std::env::var("H2_FILL_SAMPLE")
-                        .ok()
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(default_fill),
-                ),
-            };
-            precompute_fillins(
-                nb,
-                &neighbours,
-                |i, j| {
-                    dense_ref
-                        .get(&(i, j))
-                        .cloned()
-                        .unwrap_or_else(|| Matrix::zeros(active[i], active[j]))
-                },
-                sample_cols,
-                fill_sketch,
-            )
-        } else {
-            FillIns::default()
-        };
-        stats.fillin_blocks += fills.count;
-
-        // ---------------------------------------------------------------------- bases
-        // Extra enrichment from carried fill contributions addressed to this level.
-        // Keys are visited in sorted order: the concatenation order feeds the basis
-        // QR, so it must not depend on HashMap iteration order or the factors stop
-        // being run-to-run (and thread-count) deterministic.
-        let mut extra_row: HashMap<usize, Vec<&Matrix>> = HashMap::new();
-        let mut extra_col: HashMap<usize, Vec<Matrix>> = HashMap::new();
-        let mut carry_keys: Vec<(usize, usize)> = state
-            .admissible_carry
-            .keys()
-            .chain(state.pending_carry.keys())
-            .copied()
-            .collect();
-        carry_keys.sort_unstable();
-        for (i, j) in carry_keys {
-            let m = state
-                .admissible_carry
-                .get(&(i, j))
-                .or_else(|| state.pending_carry.get(&(i, j)))
-                .unwrap_or_else(|| unreachable!("carry key vanished"));
-            extra_row.entry(i).or_default().push(m);
-            extra_col.entry(j).or_default().push(m.transpose());
-        }
-
-        let basis_inputs: Vec<(usize, usize)> = (0..nb)
-            .map(|i| {
-                let far_cols = 0usize; // reported after assembly below
-                let fill_cols = fills
-                    .row_fills
-                    .get(&i)
-                    .map(|v| v.iter().map(|m| m.cols()).sum())
-                    .unwrap_or(0);
-                (far_cols, fill_cols)
-            })
-            .collect();
-        let fillin_wall = tcon.elapsed().as_secs_f64();
-        stats.construction_seconds += fillin_wall;
-        stats.phases.compression_seconds += fillin_wall;
-        stats.phases.compression_wall_seconds += fillin_wall;
-        stats.construction_flops += flop_count() - fcon;
-
-        // ------------------------------------------------------- executable task DAG
-        // Output slots, one writer task each; collected in construction order below.
-        let mut dense_pairs: Vec<(usize, usize)> = state.dense.keys().copied().collect();
-        dense_pairs.sort_unstable();
-        let pair_idx: HashMap<(usize, usize), usize> = dense_pairs
-            .iter()
-            .enumerate()
-            .map(|(x, &p)| (p, x))
-            .collect();
-        let mut row_pair_idx: Vec<Vec<usize>> = vec![Vec::new(); nb];
-        for (x, &(i, _)) in dense_pairs.iter().enumerate() {
-            row_pair_idx[i].push(x);
-        }
-
-        // Basis/coupling/pivot slots hold `Result`s: a task that detects a
-        // breakdown records the typed error in its slot and returns normally;
-        // dependents that find an errored (or consequently unset) input slot
-        // degrade to no-ops, and the collection pass below surfaces the first
-        // error in deterministic construction order.
-        let basis_slots: Vec<OnceLock<Result<BasisOut, SolverError>>> =
-            (0..nb).map(|_| OnceLock::new()).collect();
-        let transform_slots: Vec<OnceLock<Matrix>> =
-            dense_pairs.iter().map(|_| OnceLock::new()).collect();
-        let coupling_slots: Vec<OnceLock<Result<Matrix, SolverError>>> =
-            admissible.iter().map(|_| OnceLock::new()).collect();
-        let pivot_slots: Vec<OnceLock<Result<PivotResult, SolverError>>> =
-            (0..nb).map(|_| OnceLock::new()).collect();
-        // Per-class CPU time and exact flop counts for the stats split.
-        let construction_meter = ClassMeter::new();
-        let elimination_meter = ClassMeter::new();
-        // Construction CPU time per phase (assembly / compression / coupling /
-        // transfer), accumulated from sub-spans inside the tasks.
-        let phase_nanos: [AtomicU64; 4] = [
-            AtomicU64::new(0),
-            AtomicU64::new(0),
-            AtomicU64::new(0),
-            AtomicU64::new(0),
-        ];
-        const PH_ASSEMBLY: usize = 0;
-        const PH_COMPRESSION: usize = 1;
-        const PH_COUPLING: usize = 2;
-        const PH_TRANSFER: usize = 3;
-        let phase_add = |phase: usize, t0: Instant| {
-            phase_nanos[phase].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        };
-
-        let mut egraph = TaskGraph::new();
-        let mut eactions: Vec<Option<Box<dyn FnOnce() + Send + '_>>> = Vec::new();
-
-        // Basis tasks: fill-in-aware compression of one cluster.  The far-field
-        // sample is evaluated only on the children's skeleton rows and lifted by
-        // interpolation whenever the previous level left skeleton data (the
-        // linear-cost fast path); otherwise the full cluster rows are assembled
-        // and projected through the accumulated maps (reference path).  Costs are
-        // analytic estimates — they only steer the critical-path-first
-        // priorities, not correctness.
-        let mut basis_tasks: Vec<TaskId> = Vec::with_capacity(nb);
-        for i in 0..nb {
-            let a = active[i];
-            let id = egraph.add_task(TaskKind::Basis, cost::geqrf(a, 2 * a) as f64, &[]);
-            basis_tasks.push(id);
-            let slot = &basis_slots[i];
-            let fills_ref = &fills;
-            let extra_row_ref = &extra_row;
-            let extra_col_ref = &extra_col;
-            let row_maps = &state.row_maps;
-            let col_maps = &state.col_maps;
-            let prev_row_interp = &state.row_interp;
-            let prev_col_interp = &state.col_interp;
-            let clusters_ref = &clusters;
-            let meter = &construction_meter;
-            let pa = &phase_add;
-            let bomb = h2_matrix::fault::task_panic_armed();
-            eactions.push(Some(Box::new(move || {
-                if bomb {
-                    panic!("injected task panic (H2_FAULT=task_panic)");
-                }
-                let t0 = ClassMeter::begin();
-                let cols =
-                    far_field_sample_indices(tree, partition, level, i, opts.basis_mode, opts.seed);
-                let rows_full = tree.original_indices(&clusters_ref[i]);
-                // Children's interpolation data (clusters 2i, 2i+1 of the finer
-                // level), when every side of both children produced one.
-                let child_interp = if opts.skeleton_construction && row_maps[i].is_some() {
-                    match (
-                        prev_row_interp.get(2 * i).and_then(|o| o.as_ref()),
-                        prev_row_interp.get(2 * i + 1).and_then(|o| o.as_ref()),
-                        prev_col_interp.get(2 * i).and_then(|o| o.as_ref()),
-                        prev_col_interp.get(2 * i + 1).and_then(|o| o.as_ref()),
-                    ) {
-                        (Some(r1), Some(r2), Some(c1), Some(c2)) => Some((r1, r2, c1, c2)),
-                        _ => None,
-                    }
-                } else {
-                    None
-                };
-                // Interpolated far-field rows used by this basis and, below, as the
-                // candidate row sets for this cluster's own skeleton selection.
-                let mut row_cand: Vec<usize> = Vec::new();
-                let mut col_cand: Vec<usize> = Vec::new();
-                let (far_row, far_col) = if let Some((r1, r2, c1, c2)) = child_interp {
-                    row_cand.extend_from_slice(&r1.rows);
-                    row_cand.extend_from_slice(&r2.rows);
-                    col_cand.extend_from_slice(&c1.rows);
-                    col_cand.extend_from_slice(&c2.rows);
-                    let ta = Instant::now();
-                    let far_r = kernel.assemble(&tree.points, &row_cand, &cols);
-                    let far_c = kernel.assemble(&tree.points, &col_cand, &cols);
-                    pa(PH_ASSEMBLY, ta);
-                    // W^T A_far ≈ vcat(R_c^{-1} A[r_c, :]) per child.
-                    let f = far_r.cols();
-                    let k1 = r1.rows.len();
-                    let top = lu_solve_mat(&r1.lu, &far_r.block(0, 0, k1, f));
-                    let bot = lu_solve_mat(&r2.lu, &far_r.block(k1, 0, far_r.rows() - k1, f));
-                    let fr = top.vcat(&bot);
-                    let k1c = c1.rows.len();
-                    let top = lu_solve_mat(&c1.lu, &far_c.block(0, 0, k1c, f));
-                    let bot = lu_solve_mat(&c2.lu, &far_c.block(k1c, 0, far_c.rows() - k1c, f));
-                    (fr, top.vcat(&bot))
-                } else {
-                    let ta = Instant::now();
-                    let far = kernel.assemble(&tree.points, rows_full, &cols);
-                    pa(PH_ASSEMBLY, ta);
-                    let far_row = match &row_maps[i] {
-                        Some(w) => matmul_tn(w, &far),
-                        None => far.clone(),
-                    };
-                    let far_col = match &col_maps[i] {
-                        Some(w) => matmul_tn(w, &far),
-                        None => far,
-                    };
-                    (far_row, far_col)
-                };
-                let tq = Instant::now();
-                let mut row_refs: Vec<&Matrix> = vec![&far_row];
-                if let Some(list) = fills_ref.row_fills.get(&i) {
-                    row_refs.extend(list.iter());
-                }
-                if let Some(list) = extra_row_ref.get(&i) {
-                    row_refs.extend(list.iter().copied());
-                }
-                let mut col_refs: Vec<&Matrix> = vec![&far_col];
-                if let Some(list) = fills_ref.col_fills.get(&i) {
-                    col_refs.extend(list.iter());
-                }
-                if let Some(list) = extra_col_ref.get(&i) {
-                    col_refs.extend(list.iter());
-                }
-                let row_input = Matrix::hcat_all(&row_refs);
-                let col_input = Matrix::hcat_all(&col_refs);
-                let built = build_cluster_basis(
-                    &row_input,
-                    &col_input,
-                    a,
-                    opts.tol,
-                    eff_max_rank,
-                    opts.compression,
-                    mix_seed(opts.seed, level, i, 1),
-                    mix_seed(opts.seed, level, i, 2),
-                );
-                pa(PH_COMPRESSION, tq);
-                let (cf, cap_hits, recovery) = match built {
-                    Ok(out) => out,
-                    Err(CompressError::NonFinite) => {
-                        let _ = slot.set(Err(SolverError::NonFiniteInput {
-                            context: format!(
-                                "far-field/fill panel of cluster {i} at level {level} \
-                                 contains non-finite values"
-                            ),
-                        }));
-                        meter.record(t0);
-                        return;
-                    }
-                    Err(CompressError::Breakdown) => {
-                        let _ =
-                            slot.set(Err(SolverError::CompressionBreakdown { cluster: i, level }));
-                        meter.record(t0);
-                        return;
-                    }
-                };
-                // This cluster's skeleton interpolation data for the coupling
-                // tasks and the parent level.
-                let (row_interp, col_interp) = if opts.skeleton_construction {
-                    let tt = Instant::now();
-                    let us = skeleton_of(&cf.q, cf.redundant);
-                    let vs = skeleton_of(&cf.p, cf.redundant);
-                    let interp_of = |sk: &Matrix,
-                                     pair: Option<(&SkeletonSide, &SkeletonSide)>,
-                                     cand: &[usize],
-                                     map: &Option<Matrix>|
-                     -> Option<SkeletonSide> {
-                        if let Some((s1, s2)) = pair {
-                            // Candidates restricted to child skeleton rows:
-                            // C = blockdiag(R_c1, R_c2) · U^S.
-                            let k1 = s1.rows.len();
-                            let top = matmul(&s1.rmat, &sk.block(0, 0, k1, sk.cols()));
-                            let bot = matmul(&s2.rmat, &sk.block(k1, 0, sk.rows() - k1, sk.cols()));
-                            build_skeleton_interp(&top.vcat(&bot), cand)
-                        } else {
-                            match map {
-                                // Identity map: the explicit skeleton map is U^S.
-                                None => build_skeleton_interp(sk, rows_full),
-                                // Fallback: materialize M = W · U^S over all rows.
-                                Some(w) => build_skeleton_interp(&matmul(w, sk), rows_full),
-                            }
-                        }
-                    };
-                    let ri = interp_of(
-                        &us,
-                        child_interp.map(|(r1, r2, _, _)| (r1, r2)),
-                        &row_cand,
-                        &row_maps[i],
-                    );
-                    let ci = interp_of(
-                        &vs,
-                        child_interp.map(|(_, _, c1, c2)| (c1, c2)),
-                        &col_cand,
-                        &col_maps[i],
-                    );
-                    pa(PH_TRANSFER, tt);
-                    (ri, ci)
-                } else {
-                    (None, None)
-                };
-                let _ = slot.set(Ok(BasisOut {
-                    cf,
-                    cap_hits,
-                    recovery,
-                    row_interp,
-                    col_interp,
-                }));
-                meter.record(t0);
-            })));
-        }
-
-        // Coupling tasks: project the admissible pair onto the two freshly-built
-        // skeleton bases.  With skeleton interpolation the block is evaluated only
-        // at the two clusters' skeleton rows/columns (`k_i x k_j` kernel entries);
-        // the reference path assembles the full pair and projects it.
-        for (x, &(i, j)) in admissible.iter().enumerate() {
-            let c = cost::gemm(active[i], active[j], active[i].min(active[j])) as f64;
-            egraph.add_task(TaskKind::Compress, c, &[basis_tasks[i], basis_tasks[j]]);
-            let slot = &coupling_slots[x];
-            let row_maps = &state.row_maps;
-            let col_maps = &state.col_maps;
-            let admissible_carry = &state.admissible_carry;
-            let bs = &basis_slots;
-            let clusters_ref = &clusters;
-            let meter = &construction_meter;
-            let pa = &phase_add;
-            let bomb = h2_matrix::fault::task_panic_armed();
-            eactions.push(Some(Box::new(move || {
-                if bomb {
-                    panic!("injected task panic (H2_FAULT=task_panic)");
-                }
-                let t0 = ClassMeter::begin();
-                // An errored basis dependency degrades this task to a no-op;
-                // the collection pass surfaces the basis error itself.
-                let (Some(Ok(bi)), Some(Ok(bj))) = (bs[i].get(), bs[j].get()) else {
-                    return;
-                };
-                let (cfi, cfj) = (&bi.cf, &bj.cf);
-                let mut s = if cfi.skeleton == 0 || cfj.skeleton == 0 {
-                    Matrix::zeros(cfi.skeleton, cfj.skeleton)
-                } else if let (true, Some(ri), Some(cj)) = (
-                    opts.skeleton_construction,
-                    bi.row_interp.as_ref(),
-                    bj.col_interp.as_ref(),
-                ) {
-                    // S ≈ R_i^{-1} · A[r_i, c_j] · R_j^{-T}  (M^T M = I).
-                    let ta = Instant::now();
-                    let a_rc = kernel.assemble(&tree.points, &ri.rows, &cj.rows);
-                    pa(PH_ASSEMBLY, ta);
-                    let tc = Instant::now();
-                    let xm = lu_solve_mat(&ri.lu, &a_rc);
-                    let s = lu_solve_mat(&cj.lu, &xm.transpose()).transpose();
-                    pa(PH_COUPLING, tc);
-                    s
-                } else {
-                    let ta = Instant::now();
-                    let a = kernel.assemble(
-                        &tree.points,
-                        tree.original_indices(&clusters_ref[i]),
-                        tree.original_indices(&clusters_ref[j]),
-                    );
-                    pa(PH_ASSEMBLY, ta);
-                    let tc = Instant::now();
-                    let m = match (&row_maps[i], &col_maps[j]) {
-                        (Some(wi), Some(wj)) => matmul(&matmul_tn(wi, &a), wj),
-                        (Some(wi), None) => matmul_tn(wi, &a),
-                        (None, Some(wj)) => matmul(&a, wj),
-                        (None, None) => a,
-                    };
-                    let us = skeleton_of(&cfi.q, cfi.redundant);
-                    let vs = skeleton_of(&cfj.p, cfj.redundant);
-                    let s = matmul(&matmul_tn(&us, &m), &vs);
-                    pa(PH_COUPLING, tc);
-                    s
-                };
-                if let Some(carry) = admissible_carry.get(&(i, j)) {
-                    let tc = Instant::now();
-                    let us = skeleton_of(&cfi.q, cfi.redundant);
-                    let vs = skeleton_of(&cfj.p, cfj.redundant);
-                    s += &matmul(&matmul_tn(&us, carry), &vs);
-                    pa(PH_COUPLING, tc);
-                }
-                let _ = slot.set(if matrix_is_finite(&s) {
-                    Ok(s)
-                } else {
-                    Err(SolverError::NonFiniteInput {
-                        context: format!(
-                            "skeleton coupling ({i}, {j}) at level {level} \
-                             contains non-finite values"
-                        ),
-                    })
-                });
-                meter.record(t0);
-            })));
-        }
-
-        // Transform tasks, one per block row: apply Q_i^T to the whole row of dense
-        // blocks through one shared-A batched GEMM (the cluster-batched two-sided
-        // transform), then each product picks up its column basis P_j.
-        let mut row_task: Vec<Option<TaskId>> = vec![None; nb];
-        for i in 0..nb {
-            if row_pair_idx[i].is_empty() {
+    // ---- fill tasks: fill-in pre-computation, one per pivot with neighbours
+    if plan.do_fills {
+        for k in 0..nb {
+            let nk = &plan.neighbours[k];
+            if nk.is_empty() {
                 continue;
             }
-            let mut deps: Vec<TaskId> = vec![basis_tasks[i]];
-            for &x in &row_pair_idx[i] {
-                let j = dense_pairs[x].1;
-                if j != i {
-                    deps.push(basis_tasks[j]);
-                }
+            let mut pairs: Vec<(usize, usize)> = vec![(k, k)];
+            for &i in nk {
+                pairs.push((i, k));
+                pairs.push((k, i));
             }
-            let c: f64 = row_pair_idx[i]
-                .iter()
-                .map(|&x| {
-                    let (r, cc) = dense_pairs[x];
-                    2.0 * cost::gemm(active[r], active[cc], active[r]) as f64
-                })
-                .sum();
-            row_task[i] = Some(egraph.add_task(TaskKind::Update, c, &deps));
-            let xs = row_pair_idx[i].clone();
-            let bs = &basis_slots;
-            let ts = &transform_slots;
-            let dp = &dense_pairs;
-            let dense = &state.dense;
-            let meter = &elimination_meter;
-            let bomb = h2_matrix::fault::task_panic_armed();
-            eactions.push(Some(Box::new(move || {
-                if bomb {
-                    panic!("injected task panic (H2_FAULT=task_panic)");
-                }
-                let t0 = ClassMeter::begin();
-                // Errored basis dependencies degrade this task to a no-op.
-                let Some(Ok(bi)) = bs[i].get() else { return };
-                let qi = &bi.cf.q;
-                let mut col_ps: Vec<&Matrix> = Vec::with_capacity(xs.len());
-                for &x in &xs {
-                    match bs[dp[x].1].get() {
-                        Some(Ok(bj)) => col_ps.push(&bj.cf.p),
-                        _ => return,
-                    }
-                }
-                let ds: Vec<&Matrix> = xs.iter().map(|&x| &dense[&dp[x]]).collect();
-                let qtd = matmul_tn_batch_shared_a(qi, &ds);
-                let second: Vec<(&Matrix, &Matrix)> = qtd
-                    .iter()
-                    .zip(col_ps)
-                    .map(|(qd, p)| (qd as &Matrix, p))
-                    .collect();
-                let done = matmul_batch(&second);
-                for (&x, m) in xs.iter().zip(done) {
-                    let _ = ts[x].set(m);
-                }
-                meter.record(t0);
-            })));
-        }
-
-        // Elimination tasks: LU of the redundant diagonal block, panel solves,
-        // batched Schur products.  Depends only on the transforms of its own row and
-        // its neighbours' rows — under `NoDependencies`, eliminations of different
-        // clusters overlap freely (the paper's headline property); the
-        // `WithDependencies` ablation chains them in block order.
-        let mut prev_elim: Option<TaskId> = None;
-        for k in 0..nb {
             let mut deps: Vec<TaskId> = Vec::new();
-            deps.extend(row_task[k]);
-            for &i in &neighbours[k] {
-                deps.extend(row_task[i]);
+            for &p in &pairs {
+                if let Ok(x) = plan.dense_cand.binary_search(&p) {
+                    deps.extend(cur.dense_prod[x]);
+                }
             }
-            if opts.variant == Variant::WithDependencies {
-                deps.extend(prev_elim);
+            deps.extend(cur.map_prod[k]);
+            for &i in nk {
+                deps.extend(cur.map_prod[i]);
             }
-            let a = active[k];
-            let r_est = a.div_ceil(2);
-            let nn = neighbours[k].len() as u64 + 1;
-            let c = (cost::getrf(r_est)
-                + 2 * nn * cost::trsm(r_est, a)
-                + nn * nn * cost::gemm(a - r_est, a - r_est, r_est)) as f64;
-            prev_elim = Some(egraph.add_task(TaskKind::Factor, c, &deps));
-            let slot = &pivot_slots[k];
-            let bs = &basis_slots;
-            let ts = &transform_slots;
-            let pidx = &pair_idx;
-            let neigh = &neighbours;
-            let meter = &elimination_meter;
+            deps.extend(gate);
+            let deps = dedup_deps(deps);
             let bomb = h2_matrix::fault::task_panic_armed();
-            let leaf_level = level == tree.depth;
-            eactions.push(Some(Box::new(move || {
+            let id = scope.submit(
+                TaskKind::Compress,
+                prio(level, STAGE_FILL),
+                &deps,
+                move |_| {
+                    if bomb {
+                        panic!("injected task panic (H2_FAULT=task_panic)");
+                    }
+                    let begun = ClassMeter::begin();
+                    let run = || {
+                        let mut act: HashMap<usize, usize> = HashMap::new();
+                        for &i in std::iter::once(&k).chain(nk.iter()) {
+                            let Some(&a) = arena.active[i].get() else {
+                                return;
+                            };
+                            act.insert(i, a);
+                        }
+                        // Pre-fetch every block the fill computation may query;
+                        // a dense candidate that never materialized contributes
+                        // zeros (exactly the phased code's absent-block case).
+                        let mut blocks: HashMap<(usize, usize), Option<&Matrix>> = HashMap::new();
+                        for &p in &pairs {
+                            match plan.dense_cand.binary_search(&p) {
+                                Ok(x) => match arena.dense_in[x].get() {
+                                    None => return,
+                                    Some(o) => {
+                                        blocks.insert(p, o.as_ref());
+                                    }
+                                },
+                                Err(_) => {
+                                    blocks.insert(p, None);
+                                }
+                            }
+                        }
+                        let accessor = |ii: usize, jj: usize| -> Matrix {
+                            blocks
+                                .get(&(ii, jj))
+                                .and_then(|o| *o)
+                                .cloned()
+                                .unwrap_or_else(|| Matrix::zeros(act[&ii], act[&jj]))
+                        };
+                        let pf = fillin_pivot(k, nk, &accessor, plan.sample_cols, plan.fill_sketch);
+                        let _ = arena.fill[k].set(pf);
+                    };
+                    run();
+                    meters.finish(CLASS_FILL, begun, Some(arena));
+                },
+            );
+            cur.fill[k] = Some(id);
+            cur.all.push(id);
+        }
+    }
+
+    // ---- basis tasks: fill-in-aware compression of one cluster -------------
+    // The far-field sample is evaluated only on the children's skeleton rows
+    // and lifted by interpolation whenever the child level left skeleton data
+    // (the linear-cost fast path); otherwise the full cluster rows are
+    // assembled and projected through the accumulated maps (reference path).
+    for i in 0..nb {
+        let mut deps: Vec<TaskId> = Vec::new();
+        for &kp in &plan.pivots_of[i] {
+            deps.extend(cur.fill[kp]);
+        }
+        for &(pair, slot) in &plan.carry_cand {
+            if pair.0 != i && pair.1 != i {
+                continue;
+            }
+            match slot {
+                CarrySlot::Adm(x) => deps.extend(cur.adm_prod[x]),
+                CarrySlot::Pend(x) => deps.extend(cur.pend_prod[x]),
+            }
+        }
+        deps.extend(cur.map_prod[i]);
+        if let Some(ch) = child {
+            deps.push(ch.basis[2 * i]);
+            deps.push(ch.basis[2 * i + 1]);
+        }
+        deps.extend(gate);
+        let deps = dedup_deps(deps);
+        let bomb = h2_matrix::fault::task_panic_armed();
+        let eff_max_rank = plan.eff_max_rank;
+        let id = scope.submit(
+            TaskKind::Basis,
+            prio(level, STAGE_BASIS),
+            &deps,
+            move |_| {
                 if bomb {
                     panic!("injected task panic (H2_FAULT=task_panic)");
                 }
-                let t0 = ClassMeter::begin();
-                // `None` = an upstream dependency errored, degrade to a no-op
-                // (the collection pass reports the upstream error);
-                // `Some(Err)` = this pivot itself broke down beyond repair.
-                let body = || -> Option<Result<PivotResult, SolverError>> {
-                    let tr = |i: usize, j: usize| -> Option<&Matrix> { ts[pidx[&(i, j)]].get() };
-                    let cf = |i: usize| -> Option<&ClusterFactor> {
-                        match bs[i].get() {
+                let begun = ClassMeter::begin();
+                let run = || {
+                    let pa = |phase: usize, t0: Instant| {
+                        arena.phase_nanos[phase]
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    };
+                    let Some(&a) = arena.active[i].get() else {
+                        return;
+                    };
+                    let Some(rmap) = arena.row_map[i].get() else {
+                        return;
+                    };
+                    let Some(cmap) = arena.col_map[i].get() else {
+                        return;
+                    };
+                    let mut pfs: Vec<&PivotFills> = Vec::with_capacity(plan.pivots_of[i].len());
+                    for &kp in &plan.pivots_of[i] {
+                        let Some(pf) = arena.fill[kp].get() else {
+                            return;
+                        };
+                        pfs.push(pf);
+                    }
+                    let row_fill_list = row_fills_from(i, pfs.iter().copied());
+                    let col_fill_list = col_fills_from(i, pfs.iter().copied());
+                    // Carried-fill enrichment, in sorted pair order (the phased
+                    // code's sorted carry-key scan): a carry touching row `i`
+                    // enriches the row side, one touching column `i` the column
+                    // side (the diagonal does both).
+                    let mut extra_row: Vec<&Matrix> = Vec::new();
+                    let mut extra_col: Vec<Matrix> = Vec::new();
+                    for &(pair, slot) in &plan.carry_cand {
+                        if pair.0 != i && pair.1 != i {
+                            continue;
+                        }
+                        let carried = match slot {
+                            CarrySlot::Adm(x) => arena.adm_in[x].get(),
+                            CarrySlot::Pend(x) => arena.pend_in[x].get(),
+                        };
+                        let Some(carried) = carried else { return };
+                        let Some(m) = carried.as_ref() else { continue };
+                        if pair.0 == i {
+                            extra_row.push(m);
+                        }
+                        if pair.1 == i {
+                            extra_col.push(m.transpose());
+                        }
+                    }
+                    let cols = far_field_sample_indices(
+                        tree,
+                        partition,
+                        level,
+                        i,
+                        opts.basis_mode,
+                        opts.seed,
+                    );
+                    let rows_full = tree.original_indices(&clusters[i]);
+                    // Children's interpolation data (clusters 2i, 2i+1 of the finer
+                    // level), when every side of both children produced one.
+                    let child_interp = match child_arena {
+                        Some(ca) if opts.skeleton_construction && rmap.is_some() => {
+                            let Some(Ok(b1)) = ca.basis[2 * i].get() else {
+                                return;
+                            };
+                            let Some(Ok(b2)) = ca.basis[2 * i + 1].get() else {
+                                return;
+                            };
+                            match (
+                                b1.row_interp.as_ref(),
+                                b2.row_interp.as_ref(),
+                                b1.col_interp.as_ref(),
+                                b2.col_interp.as_ref(),
+                            ) {
+                                (Some(r1), Some(r2), Some(c1), Some(c2)) => Some((r1, r2, c1, c2)),
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    };
+                    // Interpolated far-field rows used by this basis and, below, as
+                    // the candidate row sets for this cluster's skeleton selection.
+                    let mut row_cand: Vec<usize> = Vec::new();
+                    let mut col_cand: Vec<usize> = Vec::new();
+                    let (far_row, far_col) = if let Some((r1, r2, c1, c2)) = child_interp {
+                        row_cand.extend_from_slice(&r1.rows);
+                        row_cand.extend_from_slice(&r2.rows);
+                        col_cand.extend_from_slice(&c1.rows);
+                        col_cand.extend_from_slice(&c2.rows);
+                        let ta = Instant::now();
+                        let far_r = kernel.assemble(&tree.points, &row_cand, &cols);
+                        let far_c = kernel.assemble(&tree.points, &col_cand, &cols);
+                        pa(PH_ASSEMBLY, ta);
+                        // W^T A_far ≈ vcat(R_c^{-1} A[r_c, :]) per child.
+                        let f = far_r.cols();
+                        let k1 = r1.rows.len();
+                        let top = lu_solve_mat(&r1.lu, &far_r.block(0, 0, k1, f));
+                        let bot = lu_solve_mat(&r2.lu, &far_r.block(k1, 0, far_r.rows() - k1, f));
+                        let fr = top.vcat(&bot);
+                        let k1c = c1.rows.len();
+                        let top = lu_solve_mat(&c1.lu, &far_c.block(0, 0, k1c, f));
+                        let bot = lu_solve_mat(&c2.lu, &far_c.block(k1c, 0, far_c.rows() - k1c, f));
+                        (fr, top.vcat(&bot))
+                    } else {
+                        let ta = Instant::now();
+                        let far = kernel.assemble(&tree.points, rows_full, &cols);
+                        pa(PH_ASSEMBLY, ta);
+                        let far_row = match rmap {
+                            Some(w) => matmul_tn(w, &far),
+                            None => far.clone(),
+                        };
+                        let far_col = match cmap {
+                            Some(w) => matmul_tn(w, &far),
+                            None => far,
+                        };
+                        (far_row, far_col)
+                    };
+                    let tq = Instant::now();
+                    let mut row_refs: Vec<&Matrix> = vec![&far_row];
+                    row_refs.extend(row_fill_list.iter());
+                    row_refs.extend(extra_row.iter().copied());
+                    let mut col_refs: Vec<&Matrix> = vec![&far_col];
+                    col_refs.extend(col_fill_list.iter());
+                    col_refs.extend(extra_col.iter());
+                    let row_input = Matrix::hcat_all(&row_refs);
+                    let col_input = Matrix::hcat_all(&col_refs);
+                    let built = build_cluster_basis(
+                        &row_input,
+                        &col_input,
+                        a,
+                        opts.tol,
+                        eff_max_rank,
+                        opts.compression,
+                        mix_seed(opts.seed, level, i, 1),
+                        mix_seed(opts.seed, level, i, 2),
+                    );
+                    pa(PH_COMPRESSION, tq);
+                    let (cf, cap_hits, recovery) = match built {
+                        Ok(out) => out,
+                        Err(CompressError::NonFinite) => {
+                            let _ = arena.basis[i].set(Err(SolverError::NonFiniteInput {
+                                context: format!(
+                                    "far-field/fill panel of cluster {i} at level {level} \
+                                 contains non-finite values"
+                                ),
+                            }));
+                            return;
+                        }
+                        Err(CompressError::Breakdown) => {
+                            let _ = arena.basis[i]
+                                .set(Err(SolverError::CompressionBreakdown { cluster: i, level }));
+                            return;
+                        }
+                    };
+                    // This cluster's skeleton interpolation data for the coupling
+                    // tasks and the parent level.
+                    let (row_interp, col_interp) = if opts.skeleton_construction {
+                        let tt = Instant::now();
+                        let us = skeleton_of(&cf.q, cf.redundant);
+                        let vs = skeleton_of(&cf.p, cf.redundant);
+                        let interp_of = |sk: &Matrix,
+                                         pair: Option<(&SkeletonSide, &SkeletonSide)>,
+                                         cand: &[usize],
+                                         map: &Option<Matrix>|
+                         -> Option<SkeletonSide> {
+                            if let Some((s1, s2)) = pair {
+                                // Candidates restricted to child skeleton rows:
+                                // C = blockdiag(R_c1, R_c2) · U^S.
+                                let k1 = s1.rows.len();
+                                let top = matmul(&s1.rmat, &sk.block(0, 0, k1, sk.cols()));
+                                let bot =
+                                    matmul(&s2.rmat, &sk.block(k1, 0, sk.rows() - k1, sk.cols()));
+                                build_skeleton_interp(&top.vcat(&bot), cand)
+                            } else {
+                                match map {
+                                    // Identity map: the explicit skeleton map is U^S.
+                                    None => build_skeleton_interp(sk, rows_full),
+                                    // Fallback: materialize M = W · U^S over all rows.
+                                    Some(w) => build_skeleton_interp(&matmul(w, sk), rows_full),
+                                }
+                            }
+                        };
+                        let ri = interp_of(
+                            &us,
+                            child_interp.map(|(r1, r2, _, _)| (r1, r2)),
+                            &row_cand,
+                            rmap,
+                        );
+                        let ci = interp_of(
+                            &vs,
+                            child_interp.map(|(_, _, c1, c2)| (c1, c2)),
+                            &col_cand,
+                            cmap,
+                        );
+                        pa(PH_TRANSFER, tt);
+                        (ri, ci)
+                    } else {
+                        (None, None)
+                    };
+                    let fill_cols: usize = row_fill_list.iter().map(|m| m.cols()).sum();
+                    let _ = arena.basis[i].set(Ok(BasisOut {
+                        cf,
+                        cap_hits,
+                        recovery,
+                        fill_cols,
+                        row_interp,
+                        col_interp,
+                    }));
+                };
+                run();
+                meters.finish(CLASS_BASIS, begun, Some(arena));
+            },
+        );
+        cur.basis.push(id);
+        cur.all.push(id);
+    }
+
+    // ---- coupling tasks: one per admissible pair ---------------------------
+    for (x, &(i, j)) in plan.admissible.iter().enumerate() {
+        let mut deps: Vec<TaskId> = vec![cur.basis[i], cur.basis[j]];
+        deps.extend(cur.adm_prod[x]);
+        deps.extend(cur.map_prod[i]);
+        deps.extend(cur.map_prod[j]);
+        deps.extend(gate);
+        let deps = dedup_deps(deps);
+        let bomb = h2_matrix::fault::task_panic_armed();
+        let id = scope.submit(
+            TaskKind::Compress,
+            prio(level, STAGE_COUPLING),
+            &deps,
+            move |_| {
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
+                }
+                let begun = ClassMeter::begin();
+                let run = || {
+                    let pa = |phase: usize, t0: Instant| {
+                        arena.phase_nanos[phase]
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    };
+                    // An errored basis dependency degrades this task to a
+                    // no-op; the collection pass surfaces the basis error.
+                    let (Some(Ok(bi)), Some(Ok(bj))) = (arena.basis[i].get(), arena.basis[j].get())
+                    else {
+                        return;
+                    };
+                    let Some(rmap_i) = arena.row_map[i].get() else {
+                        return;
+                    };
+                    let Some(cmap_j) = arena.col_map[j].get() else {
+                        return;
+                    };
+                    let Some(carry_in) = arena.adm_in[x].get() else {
+                        return;
+                    };
+                    let (cfi, cfj) = (&bi.cf, &bj.cf);
+                    let mut s = if cfi.skeleton == 0 || cfj.skeleton == 0 {
+                        Matrix::zeros(cfi.skeleton, cfj.skeleton)
+                    } else if let (true, Some(ri), Some(cj)) = (
+                        opts.skeleton_construction,
+                        bi.row_interp.as_ref(),
+                        bj.col_interp.as_ref(),
+                    ) {
+                        // S ≈ R_i^{-1} · A[r_i, c_j] · R_j^{-T}  (M^T M = I).
+                        let ta = Instant::now();
+                        let a_rc = kernel.assemble(&tree.points, &ri.rows, &cj.rows);
+                        pa(PH_ASSEMBLY, ta);
+                        let tc = Instant::now();
+                        let xm = lu_solve_mat(&ri.lu, &a_rc);
+                        let s = lu_solve_mat(&cj.lu, &xm.transpose()).transpose();
+                        pa(PH_COUPLING, tc);
+                        s
+                    } else {
+                        let ta = Instant::now();
+                        let a = kernel.assemble(
+                            &tree.points,
+                            tree.original_indices(&clusters[i]),
+                            tree.original_indices(&clusters[j]),
+                        );
+                        pa(PH_ASSEMBLY, ta);
+                        let tc = Instant::now();
+                        let m = match (rmap_i, cmap_j) {
+                            (Some(wi), Some(wj)) => matmul(&matmul_tn(wi, &a), wj),
+                            (Some(wi), None) => matmul_tn(wi, &a),
+                            (None, Some(wj)) => matmul(&a, wj),
+                            (None, None) => a,
+                        };
+                        let us = skeleton_of(&cfi.q, cfi.redundant);
+                        let vs = skeleton_of(&cfj.p, cfj.redundant);
+                        let s = matmul(&matmul_tn(&us, &m), &vs);
+                        pa(PH_COUPLING, tc);
+                        s
+                    };
+                    if let Some(carry) = carry_in.as_ref() {
+                        let tc = Instant::now();
+                        let us = skeleton_of(&cfi.q, cfi.redundant);
+                        let vs = skeleton_of(&cfj.p, cfj.redundant);
+                        s += &matmul(&matmul_tn(&us, carry), &vs);
+                        pa(PH_COUPLING, tc);
+                    }
+                    let _ = arena.coupling[x].set(if matrix_is_finite(&s) {
+                        Ok(s)
+                    } else {
+                        Err(SolverError::NonFiniteInput {
+                            context: format!(
+                                "skeleton coupling ({i}, {j}) at level {level} \
+                                 contains non-finite values"
+                            ),
+                        })
+                    });
+                };
+                run();
+                meters.finish(CLASS_COUPLING, begun, Some(arena));
+            },
+        );
+        cur.coupling.push(id);
+        cur.all.push(id);
+    }
+
+    // ---- transform tasks: one per dense block row --------------------------
+    // Apply Q_i^T to the whole row of dense blocks through one shared-A
+    // batched GEMM, then each product picks up its column basis P_j.
+    for i in 0..nb {
+        if plan.row_dense[i].is_empty() {
+            continue;
+        }
+        let mut deps: Vec<TaskId> = vec![cur.basis[i]];
+        for &x in &plan.row_dense[i] {
+            deps.push(cur.basis[plan.dense_cand[x].1]);
+            deps.extend(cur.dense_prod[x]);
+        }
+        deps.extend(gate);
+        let deps = dedup_deps(deps);
+        let bomb = h2_matrix::fault::task_panic_armed();
+        let id = scope.submit(
+            TaskKind::Update,
+            prio(level, STAGE_TRANSFORM),
+            &deps,
+            move |_| {
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
+                }
+                let begun = ClassMeter::begin();
+                let run = || {
+                    let Some(Ok(bi)) = arena.basis[i].get() else {
+                        return;
+                    };
+                    let qi = &bi.cf.q;
+                    // Materialized blocks only, in ascending column order; an
+                    // absent candidate transforms to an absent block.
+                    let mut live: Vec<(usize, &Matrix, &Matrix)> =
+                        Vec::with_capacity(plan.row_dense[i].len());
+                    for &x in &plan.row_dense[i] {
+                        let Some(din) = arena.dense_in[x].get() else {
+                            return;
+                        };
+                        let Some(d) = din.as_ref() else {
+                            let _ = arena.transform[x].set(None);
+                            continue;
+                        };
+                        let j = plan.dense_cand[x].1;
+                        let Some(Ok(bj)) = arena.basis[j].get() else {
+                            return;
+                        };
+                        live.push((x, d, &bj.cf.p));
+                    }
+                    let ds: Vec<&Matrix> = live.iter().map(|&(_, d, _)| d).collect();
+                    let qtd = matmul_tn_batch_shared_a(qi, &ds);
+                    let second: Vec<(&Matrix, &Matrix)> = qtd
+                        .iter()
+                        .zip(live.iter())
+                        .map(|(qd, &(_, _, p))| (qd as &Matrix, p))
+                        .collect();
+                    let done = matmul_batch(&second);
+                    for (&(x, _, _), m) in live.iter().zip(done) {
+                        let _ = arena.transform[x].set(Some(m));
+                    }
+                };
+                run();
+                meters.finish(CLASS_TRANSFORM, begun, Some(arena));
+            },
+        );
+        cur.row_transform[i] = Some(id);
+        cur.all.push(id);
+    }
+
+    // ---- pivot elimination tasks: one per cluster --------------------------
+    // LU of the redundant diagonal block, panel solves, batched Schur
+    // products.  Depends only on the transforms of its own row and its
+    // neighbours' rows — under `NoDependencies`, eliminations of different
+    // clusters overlap freely (the paper's headline property); the
+    // `WithDependencies` ablation chains them in block order.
+    let mut prev_pivot: Option<TaskId> = None;
+    for k in 0..nb {
+        let mut deps: Vec<TaskId> = vec![cur.basis[k]];
+        deps.extend(cur.row_transform[k]);
+        for &i in &plan.neighbours[k] {
+            deps.push(cur.basis[i]);
+            deps.extend(cur.row_transform[i]);
+        }
+        if opts.variant == Variant::WithDependencies {
+            deps.extend(prev_pivot);
+        }
+        deps.extend(gate);
+        let deps = dedup_deps(deps);
+        let bomb = h2_matrix::fault::task_panic_armed();
+        let id = scope.submit(
+            TaskKind::Factor,
+            prio(level, STAGE_PIVOT),
+            &deps,
+            move |_| {
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
+                }
+                let begun = ClassMeter::begin();
+                let run = || {
+                    // A neighbour pair outside the dense candidate list (or a
+                    // candidate that never materialized) is an internal invariant
+                    // violation — reported as a typed error, never a panic; an
+                    // *unset* transform slot means an upstream error and degrades
+                    // this task to a no-op.
+                    let tr = |ii: usize, jj: usize| -> SolverResult<Option<&Matrix>> {
+                        let Ok(x) = plan.dense_cand.binary_search(&(ii, jj)) else {
+                            return Err(SolverError::Internal {
+                                what: format!(
+                                    "transformed dense block ({ii}, {jj}) missing at level {level}"
+                                ),
+                            });
+                        };
+                        match arena.transform[x].get() {
+                            None => Ok(None),
+                            Some(None) => Err(SolverError::Internal {
+                                what: format!(
+                                    "transformed dense block ({ii}, {jj}) missing at level {level}"
+                                ),
+                            }),
+                            Some(Some(d)) => Ok(Some(d)),
+                        }
+                    };
+                    let cfof = |ii: usize| -> Option<&ClusterFactor> {
+                        match arena.basis[ii].get() {
                             Some(Ok(b)) => Some(&b.cf),
                             _ => None,
                         }
                     };
-                    let rk = cf(k)?.redundant;
-                    let mut res = PivotResult {
-                        k,
-                        lu: None,
-                        shifted: false,
-                        row_rr: Vec::new(),
-                        row_rs: Vec::new(),
-                        col_rr: Vec::new(),
-                        col_sr: Vec::new(),
-                        schur: Vec::new(),
-                    };
-                    if rk > 0 {
-                        let dkk = tr(k, k)?;
-                        let mut diag = dkk.block(0, 0, rk, rk);
-                        // Fault injection (`H2_FAULT=singular_pivot:<c>`): make
-                        // the targeted leaf cluster's block exactly singular.
-                        if leaf_level {
-                            if let Some(h2_matrix::fault::FaultPlan::SingularPivot { cluster }) =
-                                h2_matrix::fault::plan()
-                            {
-                                if k == cluster % nb {
-                                    diag = Matrix::from_fn(rk, rk, |_, _| 1.0);
-                                }
-                            }
-                        }
-                        let lu = match lu_factor(&diag) {
-                            Ok(lu) => lu,
-                            Err(_) => {
-                                // Repair attempt: a diagonal shift of
-                                // sqrt(eps)·max|entry| regularizes a singular
-                                // block at an O(sqrt(eps)) local perturbation —
-                                // iterative refinement at solve time mops up
-                                // the difference.  Only a finite, non-zero
-                                // block is worth shifting.
-                                let ma = h2_matrix::max_abs(&diag);
-                                let repaired = if ma.is_finite() && ma > 0.0 {
-                                    let shift = f64::EPSILON.sqrt() * ma;
-                                    let mut shifted = diag.clone();
-                                    for d in 0..rk {
-                                        shifted.set(d, d, shifted[(d, d)] + shift);
-                                    }
-                                    lu_factor(&shifted).ok()
-                                } else {
-                                    None
-                                };
-                                match repaired {
-                                    Some(lu) => {
-                                        res.shifted = true;
-                                        lu
-                                    }
-                                    None => {
-                                        return Some(Err(SolverError::SingularPivot {
-                                            cluster: k,
-                                            level,
-                                        }))
-                                    }
-                                }
-                            }
+                    let body = || -> SolverResult<Option<PivotResult>> {
+                        let Some(c0) = cfof(k) else { return Ok(None) };
+                        let rk = c0.redundant;
+                        let mut res = PivotResult {
+                            k,
+                            lu: None,
+                            shifted: false,
+                            row_rr: Vec::new(),
+                            row_rs: Vec::new(),
+                            col_rr: Vec::new(),
+                            col_sr: Vec::new(),
+                            schur: Vec::new(),
                         };
-                        // Row panels (rows R_k) and column panels (columns R_k).
-                        let mut row_targets = neigh[k].clone();
-                        row_targets.push(k);
-                        for &j in &row_targets {
-                            let d = tr(k, j)?;
-                            let rj = cf(j)?.redundant;
-                            let kj = cf(j)?.skeleton;
-                            if kj > 0 {
-                                let rs = d.block(0, rj, rk, kj);
-                                res.row_rs.push(((k, j), lu.forward_mat(&rs)));
+                        if rk > 0 {
+                            let Some(dkk) = tr(k, k)? else {
+                                return Ok(None);
+                            };
+                            let mut diag = dkk.block(0, 0, rk, rk);
+                            // Fault injection (`H2_FAULT=singular_pivot:<c>`): make
+                            // the targeted leaf cluster's block exactly singular.
+                            if leaf_level {
+                                if let Some(h2_matrix::fault::FaultPlan::SingularPivot {
+                                    cluster,
+                                }) = h2_matrix::fault::plan()
+                                {
+                                    if k == cluster % nb {
+                                        diag = Matrix::from_fn(rk, rk, |_, _| 1.0);
+                                    }
+                                }
                             }
-                            if j != k && rj > 0 {
-                                let rr = d.block(0, 0, rk, rj);
-                                res.row_rr.push(((k, j), lu.forward_mat(&rr)));
+                            let lu = match lu_factor(&diag) {
+                                Ok(lu) => lu,
+                                Err(_) => {
+                                    // Repair attempt: a diagonal shift of
+                                    // sqrt(eps)·max|entry| regularizes a singular
+                                    // block at an O(sqrt(eps)) local perturbation —
+                                    // iterative refinement at solve time mops up
+                                    // the difference.  Only a finite, non-zero
+                                    // block is worth shifting.
+                                    let ma = h2_matrix::max_abs(&diag);
+                                    let repaired = if ma.is_finite() && ma > 0.0 {
+                                        let shift = f64::EPSILON.sqrt() * ma;
+                                        let mut shifted = diag.clone();
+                                        for d in 0..rk {
+                                            shifted.set(d, d, shifted[(d, d)] + shift);
+                                        }
+                                        lu_factor(&shifted).ok()
+                                    } else {
+                                        None
+                                    };
+                                    match repaired {
+                                        Some(lu) => {
+                                            res.shifted = true;
+                                            lu
+                                        }
+                                        None => {
+                                            return Err(SolverError::SingularPivot {
+                                                cluster: k,
+                                                level,
+                                            })
+                                        }
+                                    }
+                                }
+                            };
+                            // Row panels (rows R_k) and column panels (columns R_k).
+                            let mut row_targets = plan.neighbours[k].clone();
+                            row_targets.push(k);
+                            for &j in &row_targets {
+                                let Some(d) = tr(k, j)? else { return Ok(None) };
+                                let Some(cj) = cfof(j) else { return Ok(None) };
+                                let rj = cj.redundant;
+                                let kj = cj.skeleton;
+                                if kj > 0 {
+                                    let rs = d.block(0, rj, rk, kj);
+                                    res.row_rs.push(((k, j), lu.forward_mat(&rs)));
+                                }
+                                if j != k && rj > 0 {
+                                    let rr = d.block(0, 0, rk, rj);
+                                    res.row_rr.push(((k, j), lu.forward_mat(&rr)));
+                                }
                             }
+                            for &i in &row_targets {
+                                let Some(d) = tr(i, k)? else { return Ok(None) };
+                                let Some(ci) = cfof(i) else { return Ok(None) };
+                                let ri = ci.redundant;
+                                let ki = ci.skeleton;
+                                if ki > 0 {
+                                    let sr = d.block(ri, 0, ki, rk);
+                                    res.col_sr.push(((i, k), lu.right_solve_upper(&sr)));
+                                }
+                                if i != k && ri > 0 {
+                                    let rr = d.block(0, 0, ri, rk);
+                                    res.col_rr.push(((i, k), lu.right_solve_upper(&rr)));
+                                }
+                            }
+                            // Schur updates onto skeleton-skeleton blocks only,
+                            // streamed through the batched small-GEMM path.
+                            let mut schur_idx: Vec<(usize, usize)> = Vec::new();
+                            let mut schur_pairs: Vec<(&Matrix, &Matrix)> = Vec::new();
+                            for (key_i, zi) in &res.col_sr {
+                                for (key_j, wj) in &res.row_rs {
+                                    schur_idx.push((key_i.0, key_j.1));
+                                    schur_pairs.push((zi, wj));
+                                }
+                            }
+                            let prods = matmul_batch(&schur_pairs);
+                            res.schur = schur_idx
+                                .into_iter()
+                                .zip(prods)
+                                .map(|((si, sj), m)| (si, sj, m))
+                                .collect();
+                            res.lu = Some(lu);
                         }
-                        for &i in &row_targets {
-                            let d = tr(i, k)?;
-                            let ri = cf(i)?.redundant;
-                            let ki = cf(i)?.skeleton;
-                            if ki > 0 {
-                                let sr = d.block(ri, 0, ki, rk);
-                                res.col_sr.push(((i, k), lu.right_solve_upper(&sr)));
-                            }
-                            if i != k && ri > 0 {
-                                let rr = d.block(0, 0, ri, rk);
-                                res.col_rr.push(((i, k), lu.right_solve_upper(&rr)));
-                            }
-                        }
-                        // Schur updates onto skeleton-skeleton blocks only, streamed
-                        // through the batched small-GEMM path.
-                        let mut schur_idx: Vec<(usize, usize)> = Vec::new();
-                        let mut schur_pairs: Vec<(&Matrix, &Matrix)> = Vec::new();
-                        for (key_i, zi) in &res.col_sr {
-                            for (key_j, wj) in &res.row_rs {
-                                schur_idx.push((key_i.0, key_j.1));
-                                schur_pairs.push((zi, wj));
-                            }
-                        }
-                        let prods = matmul_batch(&schur_pairs);
-                        res.schur = schur_idx
-                            .into_iter()
-                            .zip(prods)
-                            .map(|((i, j), m)| (i, j, m))
-                            .collect();
-                        res.lu = Some(lu);
-                    }
-                    Some(Ok(res))
-                };
-                if let Some(r) = body() {
-                    let _ = slot.set(r);
-                }
-                meter.record(t0);
-            })));
-        }
-
-        // Run the level's whole graph: bases, couplings, transforms and
-        // eliminations overlap wherever the dependencies allow.
-        let tdag = Instant::now();
-        exec.execute_scoped(&egraph, eactions)
-            .map_err(|p| SolverError::TaskPanicked {
-                what: p.to_string(),
-            })?;
-        let dag_wall = tdag.elapsed().as_secs_f64();
-        // Construction (basis/coupling) and elimination tasks interleave on the
-        // same wall-clock span; split the span proportionally to the CPU time each
-        // class consumed.  The flop counts need no such estimate: every task
-        // samples the thread-local counter, so the per-class sums are exact.
-        let con_n = construction_meter.nanos.load(Ordering::Relaxed);
-        let fac_n = elimination_meter.nanos.load(Ordering::Relaxed);
-        let con_frac = con_n as f64 / ((con_n + fac_n).max(1)) as f64;
-        stats.construction_seconds += dag_wall * con_frac;
-        stats.factorization_seconds += dag_wall * (1.0 - con_frac);
-        stats.construction_flops += construction_meter.flops.load(Ordering::Relaxed);
-        stats.factorization_flops += elimination_meter.flops.load(Ordering::Relaxed);
-
-        // Fold the per-level phase meters into the run-wide breakdown: once as
-        // exact CPU work and once attributed to the DAG's wall-clock span in
-        // proportion to the CPU share each phase consumed of the span's total
-        // task time (construction + elimination).  The wall fields therefore sum
-        // to at most `dag_wall` and never exceed the construction wall clock,
-        // which the CPU fields do at `threads > 1`.
-        let span_nanos = ((con_n + fac_n).max(1)) as f64;
-        let phase_split = |p: usize| {
-            let cpu = phase_nanos[p].load(Ordering::Relaxed);
-            (cpu as f64 / 1e9, dag_wall * cpu as f64 / span_nanos)
-        };
-        let (cpu, wall) = phase_split(PH_ASSEMBLY);
-        stats.phases.assembly_seconds += cpu;
-        stats.phases.assembly_wall_seconds += wall;
-        let (cpu, wall) = phase_split(PH_COMPRESSION);
-        stats.phases.compression_seconds += cpu;
-        stats.phases.compression_wall_seconds += wall;
-        let (cpu, wall) = phase_split(PH_COUPLING);
-        stats.phases.coupling_seconds += cpu;
-        stats.phases.coupling_wall_seconds += wall;
-        let (cpu, wall) = phase_split(PH_TRANSFER);
-        stats.phases.transfer_seconds += cpu;
-        stats.phases.transfer_wall_seconds += wall;
-
-        // Per-level stage attribution for performance work (`H2_TRACE_LEVELS=1`):
-        // fill-in precompute wall time plus the CPU seconds of each in-task phase.
-        if std::env::var("H2_TRACE_LEVELS").is_ok() {
-            eprintln!(
-                "level {level:2} nb {nb:4}: fill {fillin_wall:7.3}s  asm {:7.3}s  cmp {:7.3}s  cpl {:7.3}s  xfer {:7.3}s  elim {:7.3}s",
-                phase_nanos[PH_ASSEMBLY].load(Ordering::Relaxed) as f64 / 1e9,
-                phase_nanos[PH_COMPRESSION].load(Ordering::Relaxed) as f64 / 1e9,
-                phase_nanos[PH_COUPLING].load(Ordering::Relaxed) as f64 / 1e9,
-                phase_nanos[PH_TRANSFER].load(Ordering::Relaxed) as f64 / 1e9,
-                elimination_meter.nanos.load(Ordering::Relaxed) as f64 / 1e9,
-            );
-        }
-
-        // Collect task outputs in construction order (never completion order).
-        // Errors recorded in the slots surface here, in deterministic cluster /
-        // pair order, so the reported breakdown does not depend on scheduling.
-        // Tasks whose dependencies errored leave their slot unset and are only
-        // reached after the upstream error has already returned, hence the
-        // `unreachable!`s below.
-        let mut next_row_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
-        let mut next_col_interp: Vec<Option<SkeletonSide>> = Vec::with_capacity(nb);
-        let mut level_cap_hits = 0usize;
-        let mut cluster_factors: Vec<ClusterFactor> = Vec::with_capacity(nb);
-        for s in basis_slots {
-            match s.into_inner() {
-                Some(Ok(out)) => {
-                    next_row_interp.push(out.row_interp);
-                    next_col_interp.push(out.col_interp);
-                    level_cap_hits += out.cap_hits;
-                    stats.recovery.absorb(out.recovery);
-                    cluster_factors.push(out.cf);
-                }
-                Some(Err(e)) => return Err(e),
-                None => unreachable!("basis task did not run"),
-            }
-        }
-        let mut transformed: HashMap<(usize, usize), Matrix> =
-            HashMap::with_capacity(dense_pairs.len());
-        for (&pair, s) in dense_pairs.iter().zip(transform_slots) {
-            match s.into_inner() {
-                Some(m) => {
-                    transformed.insert(pair, m);
-                }
-                None => unreachable!("transform task did not run"),
-            }
-        }
-        let mut couplings: HashMap<(usize, usize), Matrix> =
-            HashMap::with_capacity(admissible.len());
-        for (&pair, s) in admissible.iter().zip(coupling_slots) {
-            match s.into_inner() {
-                Some(Ok(m)) => {
-                    couplings.insert(pair, m);
-                }
-                Some(Err(e)) => return Err(e),
-                None => unreachable!("coupling task did not run"),
-            }
-        }
-        let mut pivot_results: Vec<PivotResult> = Vec::with_capacity(nb);
-        for s in pivot_slots {
-            match s.into_inner() {
-                Some(Ok(r)) => {
-                    if r.shifted {
-                        stats.recovery.pivot_shifts += 1;
-                    }
-                    pivot_results.push(r);
-                }
-                Some(Err(e)) => return Err(e),
-                None => unreachable!("elimination task did not run"),
-            }
-        }
-
-        // Record the analytic task graph (for the scheduler simulator) and ranks.
-        for (i, cf) in cluster_factors.iter().enumerate() {
-            let (_, fill_cols) = basis_inputs[i];
-            tg.add_basis_task(cf.active, cf.active.saturating_mul(2), fill_cols);
-        }
-        let level_max_rank = cluster_factors
-            .iter()
-            .map(|c| c.skeleton)
-            .max()
-            .unwrap_or(0);
-        stats.level_ranks.push(level_max_rank);
-        stats.level_cap_hits.push(level_cap_hits);
-        stats.max_rank = stats.max_rank.max(level_max_rank);
-        let basis_ids = tg.current_basis_tasks().to_vec();
-        for res in &pivot_results {
-            let k = res.k;
-            let mut deps = vec![basis_ids[k]];
-            for &j in &neighbours[k] {
-                deps.push(basis_ids[j]);
-            }
-            tg.add_elimination_task(
-                opts.variant,
-                cluster_factors[k].redundant,
-                cluster_factors[k].active,
-                neighbours[k].len(),
-                &deps,
-            );
-        }
-
-        // ----------------------------------------------------------- merge results
-        let tmerge = Instant::now();
-        let fmerge = flop_count();
-        // Project pending carries onto the new skeletons so they continue upward.
-        let pending_projected: Vec<((usize, usize), Matrix)> = state
-            .pending_carry
-            .iter()
-            .map(|((i, j), m)| {
-                let us = skeleton_of(&cluster_factors[*i].q, cluster_factors[*i].redundant);
-                let vs = skeleton_of(&cluster_factors[*j].p, cluster_factors[*j].redundant);
-                ((*i, *j), matmul(&matmul_tn(&us, m), &vs))
-            })
-            .collect();
-
-        let mut row_rr = HashMap::new();
-        let mut row_rs = HashMap::new();
-        let mut col_rr = HashMap::new();
-        let mut col_sr = HashMap::new();
-
-        // Skeleton-skeleton accumulators.
-        let mut ss: HashMap<(usize, usize), Matrix> = HashMap::new();
-        for (&(i, j), d) in &transformed {
-            let ri = cluster_factors[i].redundant;
-            let rj = cluster_factors[j].redundant;
-            let ki = cluster_factors[i].skeleton;
-            let kj = cluster_factors[j].skeleton;
-            ss.insert((i, j), d.block(ri, rj, ki, kj));
-        }
-        for ((i, j), s) in couplings {
-            ss.insert((i, j), s);
-        }
-        for ((i, j), m) in pending_projected {
-            ss.entry((i, j)).and_modify(|e| *e += &m).or_insert(m);
-        }
-        for mut res in pivot_results {
-            cluster_factors[res.k].lu = res.lu.take();
-            for (key, m) in res.row_rr {
-                row_rr.insert(key, m);
-            }
-            for (key, m) in res.row_rs {
-                row_rs.insert(key, m);
-            }
-            for (key, m) in res.col_rr {
-                col_rr.insert(key, m);
-            }
-            for (key, m) in res.col_sr {
-                col_sr.insert(key, m);
-            }
-            for (i, j, upd) in res.schur {
-                let ki = cluster_factors[i].skeleton;
-                let kj = cluster_factors[j].skeleton;
-                if ki == 0 || kj == 0 {
-                    continue;
-                }
-                let entry = ss.entry((i, j)).or_insert_with(|| Matrix::zeros(ki, kj));
-                *entry -= &upd;
-            }
-        }
-        let skeleton_total: usize = cluster_factors.iter().map(|c| c.skeleton).sum();
-        tg.end_level(skeleton_total);
-
-        // ------------------------------------------------------------------- merge up
-        let mut next_state = LevelState {
-            dense: HashMap::new(),
-            admissible_carry: HashMap::new(),
-            pending_carry: HashMap::new(),
-            row_maps: Vec::new(),
-            col_maps: Vec::new(),
-            row_interp: next_row_interp,
-            col_interp: next_col_interp,
-        };
-        if opts.hierarchy == Hierarchy::MultiLevel {
-            // Parent-level maps (only needed when we keep recursing; for the
-            // single-level variant the dense map below carries the final system).
-            // All `W_child * U_child` products of the level go through one batched
-            // small-GEMM call per side.
-            let parent_nb = nb / 2;
-            let row_skels: Vec<Matrix> = cluster_factors
-                .iter()
-                .map(|c| skeleton_of(&c.q, c.redundant))
-                .collect();
-            let col_skels: Vec<Matrix> = cluster_factors
-                .iter()
-                .map(|c| skeleton_of(&c.p, c.redundant))
-                .collect();
-            next_state.row_maps = stack_maps_level(&state.row_maps, &row_skels, parent_nb);
-            next_state.col_maps = stack_maps_level(&state.col_maps, &col_skels, parent_nb);
-        }
-
-        match opts.hierarchy {
-            Hierarchy::SingleLevel => {
-                // Keep every skeleton block; the caller gathers them into one matrix.
-                next_state.dense = ss;
-            }
-            Hierarchy::MultiLevel => {
-                // Group surviving blocks by parent pair.
-                let ks: Vec<usize> = cluster_factors.iter().map(|c| c.skeleton).collect();
-                let mut grouped: HashMap<(usize, usize), Vec<((usize, usize), Matrix)>> =
-                    HashMap::new();
-                for ((i, j), m) in ss {
-                    grouped.entry((i / 2, j / 2)).or_default().push(((i, j), m));
-                }
-                for ((pi, pj), blocks) in grouped {
-                    let rows = ks[2 * pi] + ks[2 * pi + 1];
-                    let cols = ks[2 * pj] + ks[2 * pj + 1];
-                    let mut merged = Matrix::zeros(rows, cols);
-                    for ((i, j), m) in blocks {
-                        let ro = if i % 2 == 0 { 0 } else { ks[2 * pi] };
-                        let co = if j % 2 == 0 { 0 } else { ks[2 * pj] };
-                        if m.rows() > 0 && m.cols() > 0 {
-                            merged.add_block(ro, co, &m);
-                        }
-                    }
-                    // Dispatch according to the parent pair's classification.
-                    let parent_level = level - 1;
-                    let ptype = if parent_level == 0 {
-                        BlockType::Subdivided
-                    } else {
-                        partition.block_type(parent_level, pi, pj)
+                        Ok(Some(res))
                     };
-                    match ptype {
-                        BlockType::DenseLeaf | BlockType::Subdivided => {
-                            next_state.dense.insert((pi, pj), merged);
+                    match body() {
+                        // Upstream degradation: leave the slot unset (the upstream
+                        // error surfaces first in the collection pass).
+                        Ok(None) => {}
+                        Ok(Some(r)) => {
+                            let _ = arena.pivot[k].set(Ok(r));
                         }
-                        BlockType::Admissible => {
-                            next_state.admissible_carry.insert((pi, pj), merged);
+                        Err(e) => {
+                            let _ = arena.pivot[k].set(Err(e));
                         }
-                        BlockType::Covered => {
-                            next_state.pending_carry.insert((pi, pj), merged);
+                    }
+                };
+                run();
+                meters.finish(CLASS_PIVOT, begun, Some(arena));
+            },
+        );
+        prev_pivot = Some(id);
+        cur.pivot.push(id);
+        cur.all.push(id);
+    }
+
+    // ---- skeleton–skeleton accumulation tasks ------------------------------
+    // One per surviving block candidate; the accumulation order (dense part →
+    // coupling → projected pending carry → Schur updates in ascending pivot
+    // order) is fixed by the plan, never by scheduling.
+    for (cx, c) in plan.ss_cand.iter().enumerate() {
+        let (i, j) = c.pair;
+        let mut deps: Vec<TaskId> = vec![cur.basis[i], cur.basis[j]];
+        if c.dense_idx.is_some() {
+            deps.extend(cur.row_transform[i]);
+        }
+        if let Some(ax) = c.adm_idx {
+            deps.push(cur.coupling[ax]);
+        }
+        if let Some(px) = c.pend_idx {
+            deps.extend(cur.pend_prod[px]);
+        }
+        for &kp in &c.schur_from {
+            deps.push(cur.pivot[kp]);
+        }
+        deps.extend(gate);
+        let deps = dedup_deps(deps);
+        let bomb = h2_matrix::fault::task_panic_armed();
+        let id = scope.submit(TaskKind::Update, prio(level, STAGE_SS), &deps, move |_| {
+            if bomb {
+                panic!("injected task panic (H2_FAULT=task_panic)");
+            }
+            let begun = ClassMeter::begin();
+            let run = || {
+                let (Some(Ok(bi)), Some(Ok(bj))) = (arena.basis[i].get(), arena.basis[j].get())
+                else {
+                    return;
+                };
+                let ki = bi.cf.skeleton;
+                let kj = bj.cf.skeleton;
+                let ri = bi.cf.redundant;
+                let rj = bj.cf.redundant;
+                let mut entry: Option<Matrix> = None;
+                if let Some(x) = c.dense_idx {
+                    let Some(tm) = arena.transform[x].get() else {
+                        return;
+                    };
+                    if let Some(d) = tm.as_ref() {
+                        entry = Some(d.block(ri, rj, ki, kj));
+                    }
+                }
+                if let Some(ax) = c.adm_idx {
+                    let Some(Ok(s)) = arena.coupling[ax].get() else {
+                        return;
+                    };
+                    entry = Some(s.clone());
+                }
+                if let Some(px) = c.pend_idx {
+                    // Project the pending carry onto the new skeletons so it
+                    // continues upward.
+                    let Some(pin) = arena.pend_in[px].get() else {
+                        return;
+                    };
+                    if let Some(m) = pin.as_ref() {
+                        let us = skeleton_of(&bi.cf.q, ri);
+                        let vs = skeleton_of(&bj.cf.p, rj);
+                        let proj = matmul(&matmul_tn(&us, m), &vs);
+                        match entry.as_mut() {
+                            Some(e) => *e += &proj,
+                            None => entry = Some(proj),
                         }
                     }
                 }
+                for &kp in &c.schur_from {
+                    let Some(Ok(res)) = arena.pivot[kp].get() else {
+                        return;
+                    };
+                    for (si, sj, upd) in &res.schur {
+                        if (*si, *sj) != (i, j) || ki == 0 || kj == 0 {
+                            continue;
+                        }
+                        let e = entry.get_or_insert_with(|| Matrix::zeros(ki, kj));
+                        *e -= upd;
+                    }
+                }
+                let _ = arena.ss[cx].set(entry);
+            };
+            run();
+            meters.finish(CLASS_SCHUR, begun, Some(arena));
+        });
+        cur.ss.push(id);
+        cur.all.push(id);
+    }
+
+    // ---- parent map tasks: one per parent cluster --------------------------
+    // Stack the accumulated maps through the fresh skeleton bases:
+    // `blockdiag(W_{2p} U_{2p}, W_{2p+1} U_{2p+1})`, and publish the parent's
+    // active size.  Only needed while there is a coarser level to process.
+    if t + 1 < nlev {
+        if let Some(pt) = parent.as_deref_mut() {
+            for p in 0..nb / 2 {
+                let mut deps: Vec<TaskId> = vec![cur.basis[2 * p], cur.basis[2 * p + 1]];
+                deps.extend(cur.map_prod[2 * p]);
+                deps.extend(cur.map_prod[2 * p + 1]);
+                deps.extend(gate);
+                let deps = dedup_deps(deps);
+                let bomb = h2_matrix::fault::task_panic_armed();
+                let id = scope.submit(TaskKind::Other, prio(level, STAGE_MAP), &deps, move |_| {
+                    if bomb {
+                        panic!("injected task panic (H2_FAULT=task_panic)");
+                    }
+                    let begun = ClassMeter::begin();
+                    let run = || {
+                        let Some(Ok(b1)) = arena.basis[2 * p].get() else {
+                            return;
+                        };
+                        let Some(Ok(b2)) = arena.basis[2 * p + 1].get() else {
+                            return;
+                        };
+                        let Some(w1) = arena.row_map[2 * p].get() else {
+                            return;
+                        };
+                        let Some(w2) = arena.row_map[2 * p + 1].get() else {
+                            return;
+                        };
+                        let Some(v1) = arena.col_map[2 * p].get() else {
+                            return;
+                        };
+                        let Some(v2) = arena.col_map[2 * p + 1].get() else {
+                            return;
+                        };
+                        let ru1 = skeleton_of(&b1.cf.q, b1.cf.redundant);
+                        let ru2 = skeleton_of(&b2.cf.q, b2.cf.redundant);
+                        let cu1 = skeleton_of(&b1.cf.p, b1.cf.redundant);
+                        let cu2 = skeleton_of(&b2.cf.p, b2.cf.redundant);
+                        let row = stack_parent_map(w1.as_ref(), &ru1, w2.as_ref(), &ru2);
+                        let col = stack_parent_map(v1.as_ref(), &cu1, v2.as_ref(), &cu2);
+                        let Some(pa_arena) = parent_arena else { return };
+                        let _ = pa_arena.active[p].set(row.cols());
+                        let _ = pa_arena.row_map[p].set(Some(row));
+                        let _ = pa_arena.col_map[p].set(Some(col));
+                    };
+                    run();
+                    meters.finish(CLASS_MAP, begun, Some(arena));
+                });
+                pt.map_prod[p] = Some(id);
+                cur.all.push(id);
             }
         }
+    }
 
-        stats.factorization_seconds += tmerge.elapsed().as_secs_f64();
-        stats.factorization_flops += flop_count() - fmerge;
-
-        let lf = LevelFactor {
-            level,
-            nb,
-            clusters: cluster_factors,
-            neighbours,
-            row_rr,
-            row_rs,
-            col_rr,
-            col_sr,
-        };
-        Ok((lf, next_state))
+    // ---- per-parent-pair merge tasks ---------------------------------------
+    // A parent block releases the moment all of *its own* children's surviving
+    // blocks exist — there is no level-wide merge barrier.  The final
+    // multi-level merge submits the dense root factorization dynamically.
+    for g in &plan.merges {
+        let (pi, pj) = g.parent;
+        let mut deps: Vec<TaskId> = Vec::new();
+        for &cx in &g.children {
+            deps.push(cur.ss[cx]);
+        }
+        for &b in &[2 * pi, 2 * pi + 1, 2 * pj, 2 * pj + 1] {
+            deps.push(cur.basis[b]);
+        }
+        deps.extend(gate);
+        let deps = dedup_deps(deps);
+        let bomb = h2_matrix::fault::task_panic_armed();
+        let id = scope.submit(
+            TaskKind::Update,
+            prio(level, STAGE_MERGE),
+            &deps,
+            move |scope_run| {
+                if bomb {
+                    panic!("injected task panic (H2_FAULT=task_panic)");
+                }
+                let begun = ClassMeter::begin();
+                let run = || {
+                    let skel = |b: usize| -> Option<usize> {
+                        match arena.basis[b].get() {
+                            Some(Ok(out)) => Some(out.cf.skeleton),
+                            _ => None,
+                        }
+                    };
+                    let (Some(k0), Some(k1), Some(k2), Some(k3)) = (
+                        skel(2 * pi),
+                        skel(2 * pi + 1),
+                        skel(2 * pj),
+                        skel(2 * pj + 1),
+                    ) else {
+                        return;
+                    };
+                    let rows = k0 + k1;
+                    let cols = k2 + k3;
+                    // `None` = no child block materialized (the parent slot is
+                    // runtime-absent); one child is enough to materialize the
+                    // merged block, even at zero dimensions.
+                    let mut out: Option<Matrix> = None;
+                    for &cx in &g.children {
+                        let (ci, cj) = plan.ss_cand[cx].pair;
+                        let Some(block) = arena.ss[cx].get() else {
+                            return;
+                        };
+                        let Some(m) = block.as_ref() else { continue };
+                        let merged = out.get_or_insert_with(|| Matrix::zeros(rows, cols));
+                        let ro = if ci % 2 == 0 { 0 } else { k0 };
+                        let co = if cj % 2 == 0 { 0 } else { k2 };
+                        if m.rows() > 0 && m.cols() > 0 {
+                            merged.add_block(ro, co, m);
+                        }
+                    }
+                    match g.target {
+                        MergeTarget::Dense(x) => {
+                            let Some(pa_arena) = parent_arena else { return };
+                            let _ = pa_arena.dense_in[x].set(out);
+                        }
+                        MergeTarget::Adm(x) => {
+                            let Some(pa_arena) = parent_arena else { return };
+                            let _ = pa_arena.adm_in[x].set(out);
+                        }
+                        MergeTarget::Pend(x) => {
+                            let Some(pa_arena) = parent_arena else { return };
+                            let _ = pa_arena.pend_in[x].set(out);
+                        }
+                        MergeTarget::Root => {
+                            // The dense root factorization is submitted
+                            // dynamically, from inside the task that produced
+                            // its input — the graph grows at runtime.
+                            let bomb2 = h2_matrix::fault::task_panic_armed();
+                            scope_run.submit(TaskKind::Factor, 0.0, &[], move |_| {
+                                if bomb2 {
+                                    panic!("injected task panic (H2_FAULT=task_panic)");
+                                }
+                                let begun2 = ClassMeter::begin();
+                                let root_res = (|| -> SolverResult<RootOut> {
+                                    let Some(root) = out else {
+                                        return Err(SolverError::Internal {
+                                            what: "root block missing after level merge"
+                                                .to_string(),
+                                        });
+                                    };
+                                    if !matrix_is_finite(&root) {
+                                        return Err(SolverError::NonFiniteInput {
+                                            context: "root skeleton system contains \
+                                                      non-finite values"
+                                                .to_string(),
+                                        });
+                                    }
+                                    let dim = root.rows();
+                                    let lu = lu_factor(&root).map_err(|_| {
+                                        SolverError::SingularPivot {
+                                            cluster: 0,
+                                            level: 0,
+                                        }
+                                    })?;
+                                    Ok(RootOut {
+                                        dim,
+                                        lu,
+                                        offsets: vec![0],
+                                        clusters: 1,
+                                    })
+                                })();
+                                let _ = root_out.set(root_res);
+                                meters.finish(CLASS_ROOT, begun2, None);
+                            });
+                        }
+                    }
+                };
+                run();
+                meters.finish(CLASS_MERGE, begun, Some(arena));
+            },
+        );
+        match g.target {
+            MergeTarget::Dense(x) => {
+                if let Some(pt) = parent.as_deref_mut() {
+                    pt.dense_prod[x] = Some(id);
+                }
+            }
+            MergeTarget::Adm(x) => {
+                if let Some(pt) = parent.as_deref_mut() {
+                    pt.adm_prod[x] = Some(id);
+                }
+            }
+            MergeTarget::Pend(x) => {
+                if let Some(pt) = parent.as_deref_mut() {
+                    pt.pend_prod[x] = Some(id);
+                }
+            }
+            MergeTarget::Root => {}
+        }
+        cur.all.push(id);
     }
 }
+
+/// Register the single-level (BLR²) root task: gather every surviving skeleton
+/// block of the leaf level into one dense matrix (Eq. 15) and factorize it.
+fn register_single_level_root<'env>(
+    scope: &LiveScope<'env>,
+    ctx: &RegisterCtx<'env>,
+    leaf: &LevelTasks,
+    gate: Option<TaskId>,
+) {
+    let plans = ctx.plans;
+    let arenas = ctx.arenas;
+    let plan = &plans[0];
+    let arena = &arenas[0];
+    let meters = ctx.meters;
+    let root_out = ctx.root_out;
+    let nb = plan.nb;
+    let mut deps: Vec<TaskId> = Vec::new();
+    deps.extend(leaf.basis.iter().copied());
+    deps.extend(leaf.ss.iter().copied());
+    deps.extend(gate);
+    let deps = dedup_deps(deps);
+    let bomb = h2_matrix::fault::task_panic_armed();
+    scope.submit(TaskKind::Factor, 0.0, &deps, move |_| {
+        if bomb {
+            panic!("injected task panic (H2_FAULT=task_panic)");
+        }
+        let begun = ClassMeter::begin();
+        let run = || -> Option<SolverResult<RootOut>> {
+            let mut ks: Vec<usize> = Vec::with_capacity(nb);
+            for i in 0..nb {
+                match arena.basis[i].get() {
+                    Some(Ok(b)) => ks.push(b.cf.skeleton),
+                    _ => return None,
+                }
+            }
+            let mut offsets = vec![0usize; nb + 1];
+            for i in 0..nb {
+                offsets[i + 1] = offsets[i] + ks[i];
+            }
+            let dim = offsets[nb];
+            let mut root = Matrix::zeros(dim, dim);
+            for (x, c) in plan.ss_cand.iter().enumerate() {
+                let (i, j) = c.pair;
+                match arena.ss[x].get() {
+                    None => return None,
+                    Some(None) => {}
+                    Some(Some(m)) => root.set_block(offsets[i], offsets[j], m),
+                }
+            }
+            if !matrix_is_finite(&root) {
+                return Some(Err(SolverError::NonFiniteInput {
+                    context: "root skeleton system contains non-finite values".to_string(),
+                }));
+            }
+            match lu_factor(&root) {
+                Ok(lu) => Some(Ok(RootOut {
+                    dim,
+                    lu,
+                    offsets: offsets[..nb].to_vec(),
+                    clusters: nb,
+                })),
+                Err(_) => Some(Err(SolverError::SingularPivot {
+                    cluster: 0,
+                    level: 0,
+                })),
+            }
+        };
+        if let Some(r) = run() {
+            let _ = root_out.set(r);
+        }
+        meters.finish(CLASS_ROOT, begun, None);
+    });
+}
+
+// ------------------------------------------------------------- free functions
 
 /// Build the `[redundant | skeleton]`-ordered square bases of one cluster from the
 /// row-space and column-space sample matrices.
@@ -1816,40 +2794,35 @@ fn skeleton_of(q: &Matrix, redundant: usize) -> Matrix {
     q.block(0, redundant, q.rows(), q.cols() - redundant)
 }
 
-/// One side (row or column) of a level's parent-map construction: compute
-/// `W_c * U_c` for every child cluster — all through one batched small-GEMM call,
-/// sharing a single set of packing buffers — and assemble the block-diagonal
-/// parent maps `[W_{2p} U_{2p}  0; 0  W_{2p+1} U_{2p+1}]`.  A `None` child map
-/// means the identity, so the product is the skeleton basis itself.
-fn stack_maps_level(
-    maps: &[Option<Matrix>],
-    skeletons: &[Matrix],
-    parent_nb: usize,
-) -> Vec<Option<Matrix>> {
-    let items: Vec<(usize, (&Matrix, &Matrix))> = (0..2 * parent_nb)
-        .filter_map(|c| maps[c].as_ref().map(|w| (c, (w, &skeletons[c]))))
+/// One parent cluster's row or column map: `blockdiag(W_1 U_1, W_2 U_2)` with a
+/// `None` child map meaning the identity (the product is the skeleton basis
+/// itself).  The two products go through one batched small-GEMM call, sharing a
+/// single set of packing buffers — the per-parent decomposition of the old
+/// level-wide `stack_maps_level`, with identical batch panel order per parent.
+fn stack_parent_map(w1: Option<&Matrix>, u1: &Matrix, w2: Option<&Matrix>, u2: &Matrix) -> Matrix {
+    let pairs: Vec<(&Matrix, &Matrix)> = [w1.map(|w| (w, u1)), w2.map(|w| (w, u2))]
+        .into_iter()
+        .flatten()
         .collect();
-    let pairs: Vec<(&Matrix, &Matrix)> = items.iter().map(|&(_, p)| p).collect();
-    let prods = matmul_batch(&pairs);
-    let mut stacked: Vec<Option<Matrix>> = vec![None; skeletons.len()];
-    for ((c, _), m) in items.into_iter().zip(prods) {
-        stacked[c] = Some(m);
-    }
-    (0..parent_nb)
-        .map(|ip| {
-            // An identity child map contributes the skeleton basis itself.
-            let m1 = stacked[2 * ip]
-                .take()
-                .unwrap_or_else(|| skeletons[2 * ip].clone());
-            let m2 = stacked[2 * ip + 1]
-                .take()
-                .unwrap_or_else(|| skeletons[2 * ip + 1].clone());
-            let mut out = Matrix::zeros(m1.rows() + m2.rows(), m1.cols() + m2.cols());
-            out.set_block(0, 0, &m1);
-            out.set_block(m1.rows(), m1.cols(), &m2);
-            Some(out)
-        })
-        .collect()
+    let mut prods = matmul_batch(&pairs).into_iter();
+    let m1 = if w1.is_some() {
+        prods
+            .next()
+            .unwrap_or_else(|| unreachable!("batched map product dropped a panel"))
+    } else {
+        u1.clone()
+    };
+    let m2 = if w2.is_some() {
+        prods
+            .next()
+            .unwrap_or_else(|| unreachable!("batched map product dropped a panel"))
+    } else {
+        u2.clone()
+    };
+    let mut out = Matrix::zeros(m1.rows() + m2.rows(), m1.cols() + m2.cols());
+    out.set_block(0, 0, &m1);
+    out.set_block(m1.rows(), m1.cols(), &m2);
+    out
 }
 
 impl UlvFactors {

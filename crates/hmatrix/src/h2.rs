@@ -13,10 +13,13 @@
 //! is an H² matrix.  The format supports `matvec` (the classic upward / interaction /
 //! downward sweep), storage accounting and dense reconstruction for validation.
 //!
-//! Construction runs as one executable task graph on the work-stealing
-//! [`DagExecutor`]: per-leaf basis tasks, per-parent transfer tasks with bottom-up
-//! dependencies, per-pair coupling tasks and dense-leaf tasks all overlap wherever
-//! the dependencies allow, scheduled critical-path-first.  Each level's explicit
+//! Construction runs as one executable task graph on the work-stealing live
+//! runtime ([`live_scope`]): per-leaf basis tasks, per-parent transfer tasks with
+//! bottom-up dependencies, per-pair coupling tasks and dense-leaf tasks all
+//! overlap wherever the dependencies allow — tasks start the moment they are
+//! registered, which is the same submission contract the fused ULV factorization
+//! uses, so a caller may embed this construction into a larger live graph.
+//! Each level's explicit
 //! bases are freed the moment their last consumer (the parent transfer and the
 //! level's couplings or skeleton selections) has run, so peak construction memory is
 //! `O(n k)` instead of `O(n k depth)`.  Every task writes one private slot and the
@@ -31,7 +34,7 @@ use h2_matrix::{
     lu_factor, lu_solve_mat, matmul, matmul_tn, select_interpolation_rows, Lu, Matrix, SolverError,
     SolverResult,
 };
-use h2_runtime::{DagExecutor, TaskGraph, TaskId, TaskKind};
+use h2_runtime::{live_scope, TaskId, TaskKind, ThreadPool};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::sync::OnceLock;
@@ -182,210 +185,204 @@ impl H2Matrix {
             dense_pairs.iter().map(|_| OnceLock::new()).collect();
 
         // ------------------------------------------------------------- task graph
-        let mut graph = TaskGraph::new();
-        let mut actions: Vec<Option<Box<dyn FnOnce() + Send + '_>>> = Vec::new();
-        // Producer task id of each cluster's explicit basis, and its consumers
-        // (for the free tasks added at the end).
-        let mut basis_task: Vec<Vec<TaskId>> = vec![Vec::new(); depth + 1];
-        let mut consumers: Vec<Vec<Vec<TaskId>>> = (0..=depth)
-            .map(|level| vec![Vec::new(); 1usize << level])
-            .collect();
-
+        // Tasks are registered into a live scope and start the moment their
+        // dependencies are done — registration and execution overlap, the same
+        // submission contract as the fused ULV factorization graph.
+        let pool = ThreadPool::new(h2_runtime::resolve_num_threads(opts.num_threads));
         let tree_ref: &ClusterTree = &tree;
         let partition_ref = &partition;
+        live_scope(&pool, |scope| {
+            // Producer task id of each cluster's explicit basis, and its consumers
+            // (for the free tasks registered at the end).
+            let mut basis_task: Vec<Vec<TaskId>> = vec![Vec::new(); depth + 1];
+            let mut consumers: Vec<Vec<Vec<TaskId>>> = (0..=depth)
+                .map(|level| vec![Vec::new(); 1usize << level])
+                .collect();
 
-        // Leaf basis tasks: far-field compression of one leaf, producing both the
-        // stored leaf basis and the explicit slot (they coincide at the leaves).
-        for i in 0..num_leaves {
-            let m = tree_ref.leaf(i).len;
-            let id = graph.add_task(TaskKind::Basis, (m * m * m) as f64, &[]);
-            basis_task[depth].push(id);
-            let leaf_slot = &leaf_slots[i];
-            let expl_slot = &explicit[depth][i];
-            let interp_slot = &interp[depth][i];
-            actions.push(Some(Box::new(move || {
-                let bases = build_leaf_bases_single(kernel, tree_ref, partition_ref, i, opts);
-                if opts.skeleton_couplings {
-                    let cluster = tree_ref.leaf(i);
-                    let _ = interp_slot
-                        .set(build_h2_interp(&bases, tree_ref.original_indices(cluster)));
-                } else {
-                    let _ = interp_slot.set(None);
-                }
-                *expl_slot.lock() = Some(bases.clone());
-                let _ = leaf_slot.set(bases);
-            })));
-        }
-
-        // Transfer tasks, bottom-up: parent explicit = diag(c1, c2) * E.
-        for level in (0..depth).rev() {
-            let nb = 1usize << level;
-            for i in 0..nb {
-                let deps = [
-                    basis_task[level + 1][2 * i],
-                    basis_task[level + 1][2 * i + 1],
-                ];
-                let m = tree_ref.cluster_at(level, i).len;
-                let id = graph.add_task(TaskKind::Basis, (m * m) as f64, &deps);
-                basis_task[level].push(id);
-                consumers[level + 1][2 * i].push(id);
-                consumers[level + 1][2 * i + 1].push(id);
-                let c1_slot = &explicit[level + 1][2 * i];
-                let c2_slot = &explicit[level + 1][2 * i + 1];
-                let expl_slot = &explicit[level][i];
-                let interp_slot = &interp[level][i];
-                let transfer_slot = &transfer_slots[level][i];
-                actions.push(Some(Box::new(move || {
-                    // Clone the children out of their slots instead of holding the
-                    // locks across the transfer build: the far-field assembly + QR
-                    // is the most expensive task at this level, and exact-path
-                    // coupling tasks would otherwise serialize behind it.
-                    let c1 = c1_slot
-                        .lock()
-                        .as_ref()
-                        .unwrap_or_else(|| unreachable!("child basis alive (dependency)"))
-                        .clone();
-                    let c2 = c2_slot
-                        .lock()
-                        .as_ref()
-                        .unwrap_or_else(|| unreachable!("child basis alive (dependency)"))
-                        .clone();
-                    let e = build_transfer_matrix_with(
-                        kernel,
-                        tree_ref,
-                        partition_ref,
-                        level,
-                        i,
-                        (&c1, &c2),
-                        opts.tol,
-                        opts.max_rank,
-                        opts.mode,
-                        opts.compression,
-                        opts.seed,
-                    );
-                    // Explicit basis of the parent: diag(c1, c2) * E.
-                    let k1 = c1.cols();
-                    let top = matmul(&c1, &e.block(0, 0, k1, e.cols()));
-                    let bot = matmul(&c2, &e.block(k1, 0, e.rows() - k1, e.cols()));
-                    let x = top.vcat(&bot);
-                    drop(c1);
-                    drop(c2);
+            // Leaf basis tasks: far-field compression of one leaf, producing both the
+            // stored leaf basis and the explicit slot (they coincide at the leaves).
+            for i in 0..num_leaves {
+                let m = tree_ref.leaf(i).len;
+                let leaf_slot = &leaf_slots[i];
+                let expl_slot = &explicit[depth][i];
+                let interp_slot = &interp[depth][i];
+                let id = scope.submit(TaskKind::Basis, (m * m * m) as f64, &[], move |_| {
+                    let bases = build_leaf_bases_single(kernel, tree_ref, partition_ref, i, opts);
                     if opts.skeleton_couplings {
-                        let cluster = tree_ref.cluster_at(level, i);
+                        let cluster = tree_ref.leaf(i);
                         let _ = interp_slot
-                            .set(build_h2_interp(&x, tree_ref.original_indices(cluster)));
+                            .set(build_h2_interp(&bases, tree_ref.original_indices(cluster)));
                     } else {
                         let _ = interp_slot.set(None);
                     }
-                    *expl_slot.lock() = Some(x);
-                    let _ = transfer_slot.set(e);
-                })));
+                    *expl_slot.lock() = Some(bases.clone());
+                    let _ = leaf_slot.set(bases);
+                });
+                basis_task[depth].push(id);
             }
-        }
 
-        // Coupling tasks: one per admissible pair per level.
-        for (lx, (level, pairs)) in admissible.iter().enumerate() {
-            let level = *level;
-            for (px, &(i, j)) in pairs.iter().enumerate() {
-                let mi = tree_ref.cluster_at(level, i).len;
-                let mj = tree_ref.cluster_at(level, j).len;
-                let deps = [basis_task[level][i], basis_task[level][j]];
-                let id = graph.add_task(TaskKind::Compress, (mi * mj) as f64, &deps);
-                consumers[level][i].push(id);
-                consumers[level][j].push(id);
-                let slot = &coupling_slots[lx][px];
-                let ei = &explicit[level][i];
-                let ej = &explicit[level][j];
-                let ii = &interp[level][i];
-                let ij = &interp[level][j];
-                actions.push(Some(Box::new(move || {
-                    let clusters = tree_ref.clusters_at_level(level);
-                    let s = match (
-                        ii.get().and_then(|o| o.as_ref()),
-                        ij.get().and_then(|o| o.as_ref()),
-                    ) {
-                        (Some(ri), Some(rj)) => {
-                            // S ≈ R_i^{-1} · A[r_i, r_j] · R_j^{-T}.
-                            let a_rc = kernel.assemble(&tree_ref.points, &ri.rows, &rj.rows);
-                            let x = lu_solve_mat(&ri.lu, &a_rc);
-                            lu_solve_mat(&rj.lu, &x.transpose()).transpose()
+            // Transfer tasks, bottom-up: parent explicit = diag(c1, c2) * E.
+            for level in (0..depth).rev() {
+                let nb = 1usize << level;
+                for i in 0..nb {
+                    let deps = [
+                        basis_task[level + 1][2 * i],
+                        basis_task[level + 1][2 * i + 1],
+                    ];
+                    let m = tree_ref.cluster_at(level, i).len;
+                    let c1_slot = &explicit[level + 1][2 * i];
+                    let c2_slot = &explicit[level + 1][2 * i + 1];
+                    let expl_slot = &explicit[level][i];
+                    let interp_slot = &interp[level][i];
+                    let transfer_slot = &transfer_slots[level][i];
+                    let id = scope.submit(TaskKind::Basis, (m * m) as f64, &deps, move |_| {
+                        // Clone the children out of their slots instead of holding the
+                        // locks across the transfer build: the far-field assembly + QR
+                        // is the most expensive task at this level, and exact-path
+                        // coupling tasks would otherwise serialize behind it.
+                        let c1 = c1_slot
+                            .lock()
+                            .as_ref()
+                            .unwrap_or_else(|| unreachable!("child basis alive (dependency)"))
+                            .clone();
+                        let c2 = c2_slot
+                            .lock()
+                            .as_ref()
+                            .unwrap_or_else(|| unreachable!("child basis alive (dependency)"))
+                            .clone();
+                        let e = build_transfer_matrix_with(
+                            kernel,
+                            tree_ref,
+                            partition_ref,
+                            level,
+                            i,
+                            (&c1, &c2),
+                            opts.tol,
+                            opts.max_rank,
+                            opts.mode,
+                            opts.compression,
+                            opts.seed,
+                        );
+                        // Explicit basis of the parent: diag(c1, c2) * E.
+                        let k1 = c1.cols();
+                        let top = matmul(&c1, &e.block(0, 0, k1, e.cols()));
+                        let bot = matmul(&c2, &e.block(k1, 0, e.rows() - k1, e.cols()));
+                        let x = top.vcat(&bot);
+                        drop(c1);
+                        drop(c2);
+                        if opts.skeleton_couplings {
+                            let cluster = tree_ref.cluster_at(level, i);
+                            let _ = interp_slot
+                                .set(build_h2_interp(&x, tree_ref.original_indices(cluster)));
+                        } else {
+                            let _ = interp_slot.set(None);
                         }
-                        _ => {
-                            let a = kernel.assemble(
-                                &tree_ref.points,
-                                tree_ref.original_indices(&clusters[i]),
-                                tree_ref.original_indices(&clusters[j]),
-                            );
-                            // Lock the two explicit-basis slots in global index
-                            // order: the mirrored coupling task (j, i) exists and
-                            // acquiring in pair order would be a classic AB-BA
-                            // deadlock under >= 2 workers.
-                            let (lo_guard, hi_guard) = if i < j {
-                                let g1 = ei.lock();
-                                let g2 = ej.lock();
-                                (g1, g2)
-                            } else {
-                                let g2 = ej.lock();
-                                let g1 = ei.lock();
-                                (g2, g1)
-                            };
-                            let (ei_guard, ej_guard) = if i < j {
-                                (&lo_guard, &hi_guard)
-                            } else {
-                                (&hi_guard, &lo_guard)
-                            };
-                            let ui = ei_guard
-                                .as_ref()
-                                .unwrap_or_else(|| unreachable!("row basis alive (dependency)"));
-                            let uj = ej_guard
-                                .as_ref()
-                                .unwrap_or_else(|| unreachable!("col basis alive (dependency)"));
-                            matmul(&matmul_tn(ui, &a), uj)
-                        }
-                    };
-                    let _ = slot.set(s);
-                })));
-            }
-        }
-
-        // Dense leaf tasks (no dependencies).
-        let leaf_clusters = tree_ref.clusters_at_level(depth);
-        for (px, &(i, j)) in dense_pairs.iter().enumerate() {
-            let mi = leaf_clusters[i].len;
-            let mj = leaf_clusters[j].len;
-            graph.add_task(TaskKind::Other, (mi * mj) as f64, &[]);
-            let slot = &dense_slots[px];
-            actions.push(Some(Box::new(move || {
-                let a = kernel.assemble(
-                    &tree_ref.points,
-                    tree_ref.original_indices(&leaf_clusters[i]),
-                    tree_ref.original_indices(&leaf_clusters[j]),
-                );
-                let _ = slot.set(a);
-            })));
-        }
-
-        // Free tasks: drop each cluster's explicit basis as soon as its parent
-        // transfer and every same-level consumer have run — peak memory O(n k).
-        for level in (1..=depth).rev() {
-            for i in 0..1usize << level {
-                if consumers[level][i].is_empty() {
-                    continue;
+                        *expl_slot.lock() = Some(x);
+                        let _ = transfer_slot.set(e);
+                    });
+                    basis_task[level].push(id);
+                    consumers[level + 1][2 * i].push(id);
+                    consumers[level + 1][2 * i + 1].push(id);
                 }
-                graph.add_task(TaskKind::Other, 0.0, &consumers[level][i]);
-                let slot = &explicit[level][i];
-                actions.push(Some(Box::new(move || {
-                    *slot.lock() = None;
-                })));
             }
-        }
 
-        // -------------------------------------------------------------- execution
-        let exec = DagExecutor::new(h2_runtime::resolve_num_threads(opts.num_threads));
-        exec.execute_scoped(&graph, actions)
-            .map_err(|p| SolverError::TaskPanicked {
-                what: p.to_string(),
-            })?;
+            // Coupling tasks: one per admissible pair per level.
+            for (lx, (level, pairs)) in admissible.iter().enumerate() {
+                let level = *level;
+                for (px, &(i, j)) in pairs.iter().enumerate() {
+                    let mi = tree_ref.cluster_at(level, i).len;
+                    let mj = tree_ref.cluster_at(level, j).len;
+                    let deps = [basis_task[level][i], basis_task[level][j]];
+                    let slot = &coupling_slots[lx][px];
+                    let ei = &explicit[level][i];
+                    let ej = &explicit[level][j];
+                    let ii = &interp[level][i];
+                    let ij = &interp[level][j];
+                    let id = scope.submit(TaskKind::Compress, (mi * mj) as f64, &deps, move |_| {
+                        let clusters = tree_ref.clusters_at_level(level);
+                        let s = match (
+                            ii.get().and_then(|o| o.as_ref()),
+                            ij.get().and_then(|o| o.as_ref()),
+                        ) {
+                            (Some(ri), Some(rj)) => {
+                                // S ≈ R_i^{-1} · A[r_i, r_j] · R_j^{-T}.
+                                let a_rc = kernel.assemble(&tree_ref.points, &ri.rows, &rj.rows);
+                                let x = lu_solve_mat(&ri.lu, &a_rc);
+                                lu_solve_mat(&rj.lu, &x.transpose()).transpose()
+                            }
+                            _ => {
+                                let a = kernel.assemble(
+                                    &tree_ref.points,
+                                    tree_ref.original_indices(&clusters[i]),
+                                    tree_ref.original_indices(&clusters[j]),
+                                );
+                                // Lock the two explicit-basis slots in global index
+                                // order: the mirrored coupling task (j, i) exists and
+                                // acquiring in pair order would be a classic AB-BA
+                                // deadlock under >= 2 workers.
+                                let (lo_guard, hi_guard) = if i < j {
+                                    let g1 = ei.lock();
+                                    let g2 = ej.lock();
+                                    (g1, g2)
+                                } else {
+                                    let g2 = ej.lock();
+                                    let g1 = ei.lock();
+                                    (g2, g1)
+                                };
+                                let (ei_guard, ej_guard) = if i < j {
+                                    (&lo_guard, &hi_guard)
+                                } else {
+                                    (&hi_guard, &lo_guard)
+                                };
+                                let ui = ei_guard.as_ref().unwrap_or_else(|| {
+                                    unreachable!("row basis alive (dependency)")
+                                });
+                                let uj = ej_guard.as_ref().unwrap_or_else(|| {
+                                    unreachable!("col basis alive (dependency)")
+                                });
+                                matmul(&matmul_tn(ui, &a), uj)
+                            }
+                        };
+                        let _ = slot.set(s);
+                    });
+                    consumers[level][i].push(id);
+                    consumers[level][j].push(id);
+                }
+            }
+
+            // Dense leaf tasks (no dependencies).
+            let leaf_clusters = tree_ref.clusters_at_level(depth);
+            for (px, &(i, j)) in dense_pairs.iter().enumerate() {
+                let mi = leaf_clusters[i].len;
+                let mj = leaf_clusters[j].len;
+                let slot = &dense_slots[px];
+                scope.submit(TaskKind::Other, (mi * mj) as f64, &[], move |_| {
+                    let a = kernel.assemble(
+                        &tree_ref.points,
+                        tree_ref.original_indices(&leaf_clusters[i]),
+                        tree_ref.original_indices(&leaf_clusters[j]),
+                    );
+                    let _ = slot.set(a);
+                });
+            }
+
+            // Free tasks: drop each cluster's explicit basis as soon as its parent
+            // transfer and every same-level consumer have run — peak memory O(n k).
+            for level in (1..=depth).rev() {
+                for i in 0..1usize << level {
+                    if consumers[level][i].is_empty() {
+                        continue;
+                    }
+                    let slot = &explicit[level][i];
+                    scope.submit(TaskKind::Other, 0.0, &consumers[level][i], move |_| {
+                        *slot.lock() = None;
+                    });
+                }
+            }
+        })
+        .map_err(|p| SolverError::TaskPanicked {
+            what: p.to_string(),
+        })?;
 
         // Collect in construction order (bitwise thread-count independence).
         // A non-finite collected block means the kernel itself produced

@@ -173,6 +173,24 @@ pub enum SolverError {
         /// Description of the panicked task and its payload.
         what: String,
     },
+    /// An internal invariant of the solver was violated (a task-graph slot
+    /// that every schedule must fill was empty, a merged block vanished, …).
+    /// This is a bug in the solver, not in the caller's input — but it is
+    /// reported as a typed error instead of a panic so long-lived processes
+    /// (the solve server) survive it.
+    Internal {
+        /// Which invariant was violated.
+        what: String,
+    },
+    /// The solve server's submission queue is full; the request was rejected
+    /// before it entered the queue.  Callers should retry with backoff or
+    /// shed load — the server itself keeps draining.
+    Overloaded {
+        /// Requests already queued when this one was rejected.
+        queued: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
     /// The solve's sampled residual still missed the requested tolerance
     /// after the refinement ladder was exhausted.
     ToleranceNotMet {
@@ -233,6 +251,13 @@ impl std::fmt::Display for SolverError {
                  at level {level}"
             ),
             SolverError::TaskPanicked { what } => write!(f, "task panicked: {what}"),
+            SolverError::Internal { what } => {
+                write!(f, "internal solver invariant violated: {what}")
+            }
+            SolverError::Overloaded { queued, limit } => write!(
+                f,
+                "server overloaded: {queued} requests queued (limit {limit}); retry with backoff"
+            ),
             SolverError::ToleranceNotMet {
                 requested,
                 achieved,

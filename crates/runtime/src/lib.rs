@@ -29,12 +29,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dag;
+pub mod live;
 pub mod pool;
 pub mod sim;
 pub mod stats;
 pub mod trace;
 
 pub use dag::{TaskGraph, TaskId, TaskKind};
+pub use live::{live_scope, LiveScope};
 pub use pool::{resolve_num_threads, DagExecutor, TaskPanic, ThreadPool};
 pub use sim::{simulate_schedule, SimConfig, SimResult};
 pub use stats::{ScheduleStats, WorkStealCounters};

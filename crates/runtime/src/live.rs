@@ -1,0 +1,463 @@
+//! Live task graph: dynamic submission with per-edge dependency release.
+//!
+//! [`DagExecutor`](crate::pool::DagExecutor) runs a *static* [`TaskGraph`]: the
+//! whole graph must exist before execution starts, and `execute` is a barrier.
+//! The fused construction ⇄ factorization pipeline needs more: a running task
+//! must be able to spawn successors into the graph (the root factorization is
+//! submitted by the final merge task, not by the driver), and a dependent must
+//! be released the instant its *own* inputs exist — not when a phase or level
+//! completes.
+//!
+//! [`live_scope`] provides that in the style of `std::thread::scope`:
+//!
+//! ```ignore
+//! let pool = ThreadPool::new(4);
+//! let result = live_scope(&pool, |scope| {
+//!     let a = scope.submit(TaskKind::Compress, 1.0, &[], |_| { /* ... */ });
+//!     scope.submit(TaskKind::Factor, 2.0, &[a], |scope| {
+//!         // dynamic submission: successors enter the live graph mid-run
+//!         scope.submit(TaskKind::Factor, 3.0, &[], |_| { /* ... */ });
+//!     });
+//! })?;
+//! ```
+//!
+//! Guarantees:
+//!
+//! * **Per-edge release** — a task becomes ready the moment its last
+//!   dependency completes; the releasing worker pushes ready dependents onto
+//!   its own LIFO deque (highest priority last, so it runs next), exactly like
+//!   the static executor.
+//! * **Sound termination** — a task's dynamic submissions increment the pool's
+//!   outstanding-task count *before* the submitting task itself finishes, so
+//!   waiting on pool idleness can never miss work.  [`live_scope`] blocks until
+//!   every task has drained before returning — even when the builder closure
+//!   panics — which is what makes lending `'env` borrows to task closures
+//!   sound.
+//! * **Panic containment** — the first panicking task is recorded as a typed
+//!   [`TaskPanic`], the graph is cancelled (queued tasks drain as counted
+//!   no-ops, dependents of unfinished tasks are never released), and the pool
+//!   remains reusable.
+//!
+//! Determinism: the scope does not impose an execution order beyond the
+//! dependency edges, so — exactly as with the static executor — callers must
+//! make every task write its own private output slot and collect results in a
+//! fixed order.  Under that discipline results are bitwise identical at every
+//! thread count.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::dag::{TaskId, TaskKind};
+use crate::pool::{panic_message, PoolShared, TaskPanic, ThreadPool};
+
+/// Boxed task body.  The argument is a scope handle so a running task can
+/// submit successors into the live graph.
+type LiveJob = Box<dyn FnOnce(&LiveScope<'static>) + Send + 'static>;
+
+/// Lifecycle of a node in the live graph.
+enum NodeState {
+    /// Waiting on `remaining` unmet dependencies; the body is parked here.
+    Waiting { job: LiveJob, remaining: usize },
+    /// Pushed to the pool (queued or running); the body travels with the job.
+    Queued,
+    /// Finished: ran to completion, drained cancelled, or panicked.
+    Done,
+}
+
+struct LiveNode {
+    state: NodeState,
+    /// Tasks whose unmet-dependency count this node's completion decrements.
+    dependents: Vec<TaskId>,
+    /// Scheduling priority (higher runs first among ready tasks).
+    priority: f64,
+    #[allow(dead_code)]
+    kind: TaskKind,
+}
+
+/// Bookkeeping shared by every handle to one live graph.
+struct LiveShared {
+    /// Node states plus reverse edges.  One lock for the whole graph — it is
+    /// held only for bookkeeping (state flips, edge release), never while a
+    /// task body runs, so contention is bounded by release traffic.
+    nodes: Mutex<Vec<LiveNode>>,
+    /// Set on the first panic: queued tasks drain as counted no-ops and
+    /// dependents are never released.
+    cancelled: AtomicBool,
+    /// First task panic, reported by [`live_scope`] as a typed error.
+    failure: Mutex<Option<TaskPanic>>,
+    /// Tasks that ran to completion (excluding cancelled drains) — test aid.
+    completed: AtomicUsize,
+}
+
+/// Handle through which tasks are submitted into a live graph.
+///
+/// `'env` is the borrow scope of the data task closures may capture;
+/// [`live_scope`] guarantees every task finishes before `'env` ends.
+pub struct LiveScope<'env> {
+    shared: Arc<LiveShared>,
+    pool: Arc<PoolShared>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> LiveScope<'env> {
+    fn handle(shared: &Arc<LiveShared>, pool: &Arc<PoolShared>) -> LiveScope<'static> {
+        LiveScope {
+            shared: Arc::clone(shared),
+            pool: Arc::clone(pool),
+            _env: PhantomData,
+        }
+    }
+
+    /// Submit a task with explicit dependencies (handles returned by earlier
+    /// `submit` calls — forward references are impossible by construction, so
+    /// the live graph is acyclic).  Dependencies that already completed count
+    /// as satisfied.  Returns a handle usable as a dependency of later tasks.
+    ///
+    /// Callable from the builder closure *and* from inside a running task (the
+    /// task body receives a scope handle) — that is the dynamic-submission
+    /// half of the fused-pipeline contract.
+    ///
+    /// # Panics
+    /// Panics on a dependency handle that this graph never issued.
+    pub fn submit<F>(&self, kind: TaskKind, priority: f64, deps: &[TaskId], body: F) -> TaskId
+    where
+        F: FnOnce(&LiveScope<'env>) + Send + 'env,
+    {
+        let boxed: Box<dyn FnOnce(&LiveScope<'env>) + Send + 'env> = Box::new(body);
+        // SAFETY: `live_scope` does not return until every submitted task has
+        // drained (it waits for pool idleness even when the builder panics),
+        // so the `'env` borrows captured by the closure strictly outlive its
+        // execution.  Same contract as `DagExecutor::execute_scoped`.
+        let boxed: LiveJob = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce(&LiveScope<'env>) + Send + 'env>, LiveJob>(boxed)
+        };
+
+        let mut nodes = self.shared.nodes.lock();
+        let id = TaskId(nodes.len());
+        if self.shared.cancelled.load(Ordering::Acquire) {
+            // The graph is being torn down; register the node as already done
+            // so late submissions from still-running tasks drop cleanly and
+            // later dependency references on them stay valid.
+            nodes.push(LiveNode {
+                state: NodeState::Done,
+                dependents: Vec::new(),
+                priority,
+                kind,
+            });
+            return id;
+        }
+        let mut remaining = 0usize;
+        for dep in deps {
+            assert!(dep.0 < id.0, "dependency on unknown task {dep:?}");
+            if !matches!(nodes[dep.0].state, NodeState::Done) {
+                nodes[dep.0].dependents.push(id);
+                remaining += 1;
+            }
+        }
+        if remaining == 0 {
+            nodes.push(LiveNode {
+                state: NodeState::Queued,
+                dependents: Vec::new(),
+                priority,
+                kind,
+            });
+            drop(nodes);
+            spawn_live(&self.shared, &self.pool, id, priority, boxed);
+        } else {
+            nodes.push(LiveNode {
+                state: NodeState::Waiting {
+                    job: boxed,
+                    remaining,
+                },
+                dependents: Vec::new(),
+                priority,
+                kind,
+            });
+        }
+        id
+    }
+
+    /// Number of tasks that ran to completion so far (cancelled drains and
+    /// panicked tasks excluded).
+    pub fn completed(&self) -> usize {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+}
+
+/// Push one ready task to the pool.  The wrapper replicates the static
+/// executor's containment: a panicking body is caught here, recorded once,
+/// and cancels the rest of the graph; completion releases dependents per edge
+/// and pushes the newly ready ones, most critical last (LIFO deque → runs
+/// first).
+fn spawn_live(
+    shared: &Arc<LiveShared>,
+    pool: &Arc<PoolShared>,
+    id: TaskId,
+    priority: f64,
+    job: LiveJob,
+) {
+    let shared_for_job = Arc::clone(shared);
+    let pool_for_job = Arc::clone(pool);
+    pool.push(
+        priority,
+        Box::new(move || {
+            if shared_for_job.cancelled.load(Ordering::Acquire) {
+                // Drain without running; the pool still counts this job, so
+                // idleness-based termination keeps its guarantee.
+                let mut nodes = shared_for_job.nodes.lock();
+                nodes[id.0].state = NodeState::Done;
+                return;
+            }
+            let scope = LiveScope::handle(&shared_for_job, &pool_for_job);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(&scope))) {
+                let mut f = shared_for_job.failure.lock();
+                if f.is_none() {
+                    *f = Some(TaskPanic {
+                        task: id,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+                drop(f);
+                shared_for_job.cancelled.store(true, Ordering::Release);
+                // Dependents of a panicked task are never released.
+                let mut nodes = shared_for_job.nodes.lock();
+                nodes[id.0].state = NodeState::Done;
+                return;
+            }
+            shared_for_job.completed.fetch_add(1, Ordering::Relaxed);
+            // Per-edge release: decrement every dependent's unmet count and
+            // collect the ones this completion made ready.
+            let mut ready: Vec<(TaskId, f64, LiveJob)> = Vec::new();
+            {
+                let mut nodes = shared_for_job.nodes.lock();
+                nodes[id.0].state = NodeState::Done;
+                let dependents = std::mem::take(&mut nodes[id.0].dependents);
+                for dep in dependents {
+                    let node = &mut nodes[dep.0];
+                    let released = match &mut node.state {
+                        NodeState::Waiting { remaining, .. } => {
+                            *remaining -= 1;
+                            *remaining == 0
+                        }
+                        _ => false,
+                    };
+                    if released {
+                        let prev = std::mem::replace(&mut node.state, NodeState::Queued);
+                        if let NodeState::Waiting { job, .. } = prev {
+                            ready.push((dep, node.priority, job));
+                        }
+                    }
+                }
+            }
+            // Push lowest priority first: the worker's deque is LIFO, so the
+            // most critical dependent is executed next.
+            ready.sort_by(|a, b| a.1.total_cmp(&b.1));
+            for (dep, prio, job) in ready {
+                spawn_live(&shared_for_job, &pool_for_job, dep, prio, job);
+            }
+        }),
+    );
+}
+
+/// Run a live task graph to completion on `pool`.
+///
+/// `build` receives the scope handle and submits the initial tasks; tasks may
+/// submit further tasks while running.  The call returns only after every
+/// task has drained — also when `build` itself panics (the graph is cancelled,
+/// drained, and the panic resumed), which is what makes `'env` borrows inside
+/// task closures sound.
+///
+/// # Errors
+/// The first task panic of the run, as a typed [`TaskPanic`]; the pool remains
+/// reusable.
+pub fn live_scope<'env, R>(
+    pool: &ThreadPool,
+    build: impl FnOnce(&LiveScope<'env>) -> R,
+) -> Result<R, TaskPanic> {
+    let shared = Arc::new(LiveShared {
+        nodes: Mutex::new(Vec::new()),
+        cancelled: AtomicBool::new(false),
+        failure: Mutex::new(None),
+        completed: AtomicUsize::new(0),
+    });
+    let scope = LiveScope::<'env> {
+        shared: Arc::clone(&shared),
+        pool: Arc::clone(pool.shared_handle()),
+        _env: PhantomData,
+    };
+    let built = catch_unwind(AssertUnwindSafe(|| build(&scope)));
+    if built.is_err() {
+        // The builder died mid-registration: cancel so queued tasks drain
+        // fast, then wait for the drain before unwinding — task closures may
+        // borrow locals of the (unwinding) caller frame.
+        shared.cancelled.store(true, Ordering::Release);
+    }
+    // Live task wrappers catch their own panics, so this cannot re-throw for
+    // them; only plain `submit` jobs sharing the pool could.
+    let pool_panic = pool.try_wait_idle();
+    match built {
+        Err(payload) => std::panic::resume_unwind(payload),
+        Ok(result) => {
+            if let Err(p) = pool_panic {
+                std::panic::resume_unwind(p);
+            }
+            if let Some(failure) = shared.failure.lock().take() {
+                return Err(failure);
+            }
+            Ok(result)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn per_edge_release_runs_everything_once() {
+        let pool = ThreadPool::new(4);
+        let count = AtomicU64::new(0);
+        let order = Mutex::new(Vec::new());
+        let result = live_scope(&pool, |scope| {
+            let a = scope.submit(TaskKind::Other, 1.0, &[], |_| {
+                order.lock().push("a");
+            });
+            let b = scope.submit(TaskKind::Other, 1.0, &[a], |_| {
+                order.lock().push("b");
+            });
+            for _ in 0..16 {
+                scope.submit(TaskKind::Other, 0.5, &[a, b], |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(result.is_ok());
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+        let order = order.lock();
+        assert_eq!(&*order, &["a", "b"], "edges must be honored");
+    }
+
+    #[test]
+    fn dynamic_submission_from_inside_a_task_is_awaited() {
+        let pool = ThreadPool::new(2);
+        let hits = AtomicU64::new(0);
+        let result = live_scope(&pool, |scope| {
+            scope.submit(TaskKind::Factor, 1.0, &[], |scope| {
+                // Spawn a chain of successors from inside the running task;
+                // the scope must not terminate before they all finish.
+                let first = scope.submit(TaskKind::Factor, 2.0, &[], |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                scope.submit(TaskKind::Factor, 2.0, &[first], |scope| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    scope.submit(TaskKind::Factor, 3.0, &[], |_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            });
+        });
+        assert!(result.is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn already_done_dependencies_count_as_satisfied() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicU64::new(0);
+        let result = live_scope(&pool, |scope| {
+            let a = scope.submit(TaskKind::Other, 1.0, &[], |_| {});
+            // With one worker, give `a` time to finish before the dependent
+            // is submitted — the dep must count as satisfied, not hang.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            scope.submit(TaskKind::Other, 1.0, &[a], |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(result.is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn task_panic_is_typed_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let ran_after = AtomicU64::new(0);
+        let result = live_scope(&pool, |scope| {
+            let boom = scope.submit(TaskKind::Factor, 1.0, &[], |_| {
+                panic!("live graph boom");
+            });
+            // Dependent of the panicked task: must never run.
+            scope.submit(TaskKind::Factor, 1.0, &[boom], |_| {
+                ran_after.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        let err = result.expect_err("panic must surface");
+        assert!(err.message.contains("live graph boom"), "{}", err.message);
+        assert_eq!(ran_after.load(Ordering::Relaxed), 0);
+        // The pool is reusable after a cancelled graph.
+        let ok = live_scope(&pool, |scope| {
+            scope.submit(TaskKind::Other, 1.0, &[], |_| {});
+        });
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn builder_panic_drains_before_unwinding() {
+        let pool = ThreadPool::new(2);
+        let local = AtomicU64::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _: Result<(), TaskPanic> = live_scope(&pool, |scope| {
+                for _ in 0..8 {
+                    scope.submit(TaskKind::Other, 1.0, &[], |_| {
+                        local.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("builder boom");
+            });
+        }));
+        assert!(caught.is_err());
+        // After live_scope unwound, no task may still be touching `local`:
+        // the pool is idle, so this read races with nothing.
+        let _ = local.load(Ordering::Relaxed);
+        let ok = live_scope(&pool, |scope| {
+            scope.submit(TaskKind::Other, 1.0, &[], |_| {});
+        });
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn diamond_results_are_deterministic_across_thread_counts() {
+        // A fan-out/fan-in graph where every task writes one private slot;
+        // collected results must be identical at every pool size.
+        fn run(threads: usize) -> Vec<u64> {
+            let pool = ThreadPool::new(threads);
+            let n = 32;
+            let slots: Vec<std::sync::OnceLock<u64>> =
+                (0..n).map(|_| std::sync::OnceLock::new()).collect();
+            live_scope(&pool, |scope| {
+                let src = scope.submit(TaskKind::Other, 1.0, &[], |_| {});
+                let mids: Vec<TaskId> = (0..n)
+                    .map(|i| {
+                        let slot = &slots[i];
+                        scope.submit(TaskKind::Other, 1.0, &[src], move |_| {
+                            let v = (i as u64).wrapping_mul(0x9e3779b97f4a7c15);
+                            let _ = slot.set(v ^ (v >> 31));
+                        })
+                    })
+                    .collect();
+                scope.submit(TaskKind::Other, 2.0, &mids, |_| {});
+            })
+            .expect("clean run");
+            slots.iter().map(|s| *s.get().expect("slot set")).collect()
+        }
+        let a = run(1);
+        let b = run(2);
+        let c = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+}

@@ -67,7 +67,7 @@ impl std::fmt::Display for TaskPanic {
 impl std::error::Error for TaskPanic {}
 
 /// Best-effort stringification of a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -77,7 +77,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Process-wide pool identifier source, so a worker thread can tell which pool it
 /// belongs to (threads of pool A submitting to pool B must use B's injector, not
@@ -125,7 +125,7 @@ struct SyncState {
 }
 
 /// Shared state between the pool handle and its workers.
-struct PoolShared {
+pub(crate) struct PoolShared {
     pool_id: usize,
     sync: Mutex<SyncState>,
     /// Signalled when a job is pushed or shutdown is requested.
@@ -159,7 +159,7 @@ impl PoolShared {
     /// Enqueue a job.  Worker threads of this pool push to the LIFO end of their own
     /// deque (priority is then positional: push lowest-priority first); everyone else
     /// goes through the priority injector.
-    fn push(&self, prio: f64, job: Job) {
+    pub(crate) fn push(&self, prio: f64, job: Job) {
         {
             let mut s = self.sync.lock();
             s.in_flight += 1;
@@ -284,6 +284,11 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Shared-state handle for the in-crate live graph (`crate::live`).
+    pub(crate) fn shared_handle(&self) -> &Arc<PoolShared> {
+        &self.shared
     }
 
     /// Submit a job for asynchronous execution (neutral priority).

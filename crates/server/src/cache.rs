@@ -10,6 +10,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use h2_factor::UlvFactors;
 use h2_matrix::SolverResult;
@@ -25,6 +26,16 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Factorizations actually run (misses minus failed factorizations).
     pub factorizations: u64,
+    /// Entries dropped explicitly ([`FactorCache::remove`]) or by a TTL sweep
+    /// ([`FactorCache::sweep_expired`]).
+    pub removals: u64,
+}
+
+/// One cached factorization with its last-touch time (LRU + TTL bookkeeping).
+struct Entry {
+    key: u64,
+    factors: Arc<UlvFactors>,
+    last_used: Instant,
 }
 
 /// Bounded LRU cache of ULV factorizations keyed by operator fingerprint
@@ -33,11 +44,12 @@ pub struct FactorCache {
     capacity: usize,
     /// Most recently used at the back.  Linear scan is fine: capacities are
     /// small (a handful of live operators), keys are u64.
-    entries: Mutex<Vec<(u64, Arc<UlvFactors>)>>,
+    entries: Mutex<Vec<Entry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     factorizations: AtomicU64,
+    removals: AtomicU64,
 }
 
 impl FactorCache {
@@ -50,6 +62,7 @@ impl FactorCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             factorizations: AtomicU64::new(0),
+            removals: AtomicU64::new(0),
         }
     }
 
@@ -69,9 +82,10 @@ impl FactorCache {
         {
             #[allow(clippy::expect_used)]
             let mut entries = self.entries.lock().expect("factor cache lock poisoned");
-            if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
-                let entry = entries.remove(pos);
-                let factors = Arc::clone(&entry.1);
+            if let Some(pos) = entries.iter().position(|e| e.key == key) {
+                let mut entry = entries.remove(pos);
+                entry.last_used = Instant::now();
+                let factors = Arc::clone(&entry.factors);
                 entries.push(entry);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(factors);
@@ -86,22 +100,55 @@ impl FactorCache {
         self.factorizations.fetch_add(1, Ordering::Relaxed);
         #[allow(clippy::expect_used)]
         let mut entries = self.entries.lock().expect("factor cache lock poisoned");
-        if let Some(pos) = entries.iter().position(|(k, _)| *k == key) {
+        if let Some(pos) = entries.iter().position(|e| e.key == key) {
             entries.remove(pos);
         }
         while entries.len() >= self.capacity {
             entries.remove(0);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        entries.push((key, Arc::clone(&factors)));
+        entries.push(Entry {
+            key,
+            factors: Arc::clone(&factors),
+            last_used: Instant::now(),
+        });
         Ok(factors)
+    }
+
+    /// Drop `key`'s entry if present; returns whether one was dropped.  A
+    /// solve still holding the [`Arc`] keeps the factors alive — removal only
+    /// forgets the key, so the next lookup refactorizes.
+    pub fn remove(&self, key: u64) -> bool {
+        #[allow(clippy::expect_used)]
+        let mut entries = self.entries.lock().expect("factor cache lock poisoned");
+        match entries.iter().position(|e| e.key == key) {
+            Some(pos) => {
+                entries.remove(pos);
+                self.removals.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drop every entry not touched (inserted or hit) within `ttl`; returns
+    /// how many were dropped.  Call periodically from a maintenance thread to
+    /// bound the lifetime of factors for deregistered or idle operators.
+    pub fn sweep_expired(&self, ttl: Duration) -> usize {
+        #[allow(clippy::expect_used)]
+        let mut entries = self.entries.lock().expect("factor cache lock poisoned");
+        let before = entries.len();
+        entries.retain(|e| e.last_used.elapsed() <= ttl);
+        let dropped = before - entries.len();
+        self.removals.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
     }
 
     /// Whether `key` is currently cached (does not touch LRU order or stats).
     pub fn contains(&self, key: u64) -> bool {
         #[allow(clippy::expect_used)]
         let entries = self.entries.lock().expect("factor cache lock poisoned");
-        entries.iter().any(|(k, _)| *k == key)
+        entries.iter().any(|e| e.key == key)
     }
 
     /// Number of cached factorizations.
@@ -123,6 +170,7 @@ impl FactorCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             factorizations: self.factorizations.load(Ordering::Relaxed),
+            removals: self.removals.load(Ordering::Relaxed),
         }
     }
 }

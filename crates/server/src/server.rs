@@ -17,7 +17,7 @@
 //! No async runtime: the worker is a plain `std::thread` fed by an `mpsc`
 //! channel, and the batching deadline is implemented with `recv_timeout`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -29,13 +29,19 @@ use h2_matrix::{Matrix, SolverError, SolverResult};
 use crate::cache::{CacheStats, FactorCache};
 use crate::fingerprint::operator_fingerprint;
 
-/// How requests are aggregated into panels.
+/// How requests are aggregated into panels, and how much may queue up.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchPolicy {
     /// Close a batch once it holds this many RHS columns.
     pub max_width: usize,
     /// Close a batch this long after its first request arrived, full or not.
     pub max_wait: Duration,
+    /// Backpressure bound: a submission arriving while this many requests are
+    /// already queued (accepted but not yet picked up by the worker) is
+    /// rejected immediately with [`SolverError::Overloaded`] instead of
+    /// growing the queue without limit.  `0` rejects everything — useful to
+    /// drain a server or in tests.
+    pub max_queue: usize,
 }
 
 impl Default for BatchPolicy {
@@ -43,6 +49,7 @@ impl Default for BatchPolicy {
         BatchPolicy {
             max_width: 32,
             max_wait: Duration::from_millis(2),
+            max_queue: 1024,
         }
     }
 }
@@ -122,6 +129,8 @@ pub struct ServerStats {
     pub columns: u64,
     /// Widest panel executed so far.
     pub widest_batch: u64,
+    /// Submissions rejected by backpressure ([`SolverError::Overloaded`]).
+    pub rejected: u64,
 }
 
 #[derive(Default)]
@@ -131,6 +140,7 @@ struct Counters {
     batches: AtomicU64,
     columns: AtomicU64,
     widest_batch: AtomicU64,
+    rejected: AtomicU64,
 }
 
 /// The factorization server: operator registry + factor cache + one batching
@@ -138,25 +148,30 @@ struct Counters {
 pub struct SolveServer {
     tx: mpsc::Sender<Msg>,
     worker: Option<JoinHandle<()>>,
-    ops: Arc<Mutex<Vec<Arc<OperatorSpec>>>>,
+    ops: Arc<Mutex<Vec<Option<Arc<OperatorSpec>>>>>,
     cache: Arc<FactorCache>,
     counters: Arc<Counters>,
+    /// Requests accepted but not yet picked up by the worker (backpressure).
+    queued: Arc<AtomicUsize>,
+    max_queue: usize,
 }
 
 impl SolveServer {
     /// Start a server with the given batching policy and factor-cache capacity.
     pub fn new(policy: BatchPolicy, cache_capacity: usize) -> SolveServer {
         let (tx, rx) = mpsc::channel::<Msg>();
-        let ops: Arc<Mutex<Vec<Arc<OperatorSpec>>>> = Arc::new(Mutex::new(Vec::new()));
+        let ops: Arc<Mutex<Vec<Option<Arc<OperatorSpec>>>>> = Arc::new(Mutex::new(Vec::new()));
         let cache = Arc::new(FactorCache::new(cache_capacity));
         let counters = Arc::new(Counters::default());
+        let queued = Arc::new(AtomicUsize::new(0));
         let worker = {
             let ops = Arc::clone(&ops);
             let cache = Arc::clone(&cache);
             let counters = Arc::clone(&counters);
+            let queued = Arc::clone(&queued);
             std::thread::Builder::new()
                 .name("h2-solve-server".to_string())
-                .spawn(move || worker_loop(&rx, policy, &ops, &cache, &counters))
+                .spawn(move || worker_loop(&rx, policy, &ops, &cache, &counters, &queued))
         };
         SolveServer {
             tx,
@@ -164,6 +179,8 @@ impl SolveServer {
             ops,
             cache,
             counters,
+            queued,
+            max_queue: policy.max_queue,
         }
     }
 
@@ -192,8 +209,36 @@ impl SolveServer {
         });
         #[allow(clippy::expect_used)]
         let mut ops = self.ops.lock().expect("operator registry lock poisoned");
-        ops.push(spec);
+        ops.push(Some(spec));
         OperatorId(ops.len() - 1)
+    }
+
+    /// Deregister an operator: requests against its handle fail from now on,
+    /// and its cached factors are dropped unless another live operator shares
+    /// the same fingerprint (identical geometry, kernel and options).
+    /// In-flight solves already holding the factors finish normally; returns
+    /// whether the handle was live.
+    pub fn deregister(&self, op: OperatorId) -> bool {
+        #[allow(clippy::expect_used)]
+        let mut ops = self.ops.lock().expect("operator registry lock poisoned");
+        let Some(spec) = ops.get_mut(op.0).and_then(Option::take) else {
+            return false;
+        };
+        let shared = ops
+            .iter()
+            .flatten()
+            .any(|s| s.fingerprint == spec.fingerprint);
+        drop(ops);
+        if !shared {
+            self.cache.remove(spec.fingerprint);
+        }
+        true
+    }
+
+    /// Drop cached factors idle (no lookup) for longer than `ttl`; returns how
+    /// many were dropped.  See [`FactorCache::sweep_expired`].
+    pub fn sweep_factor_cache(&self, ttl: Duration) -> usize {
+        self.cache.sweep_expired(ttl)
     }
 
     /// Submit one right-hand side (original point ordering).  Never blocks on
@@ -205,11 +250,28 @@ impl SolveServer {
     /// Submit a multi-column request (original point ordering).  The columns
     /// stay together: they count towards the batch width as a unit and come
     /// back in one reply.
+    ///
+    /// Backpressure: if [`BatchPolicy::max_queue`] requests are already
+    /// queued, the submission is rejected *before* entering the queue and the
+    /// ticket redeems to [`SolverError::Overloaded`] — the caller learns
+    /// immediately instead of waiting behind an unbounded backlog, and the
+    /// worker keeps draining at its own pace.
     pub fn submit_panel(&self, op: OperatorId, cols: Vec<Vec<f64>>) -> Ticket {
         let (reply, rx) = mpsc::channel();
+        let depth = self.queued.load(Ordering::Acquire);
+        if depth >= self.max_queue {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Err(SolverError::Overloaded {
+                queued: depth,
+                limit: self.max_queue,
+            }));
+            return Ticket { rx };
+        }
+        self.queued.fetch_add(1, Ordering::AcqRel);
         let request = Request { op, cols, reply };
         if let Err(mpsc::SendError(Msg::Solve(request))) = self.tx.send(Msg::Solve(request)) {
             // Worker is gone; fail the request instead of hanging the ticket.
+            self.queued.fetch_sub(1, Ordering::AcqRel);
             let _ = request.reply.send(Err(SolverError::TaskPanicked {
                 what: "solve server worker is not running".to_string(),
             }));
@@ -225,6 +287,7 @@ impl SolveServer {
             batches: self.counters.batches.load(Ordering::Relaxed),
             columns: self.counters.columns.load(Ordering::Relaxed),
             widest_batch: self.counters.widest_batch.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -286,7 +349,7 @@ fn factors_for(spec: &OperatorSpec, cache: &FactorCache) -> SolverResult<Arc<Ulv
 /// group into a panel, run one refined panel solve, scatter the columns back.
 fn run_batch(
     batch: Vec<Request>,
-    ops: &Mutex<Vec<Arc<OperatorSpec>>>,
+    ops: &Mutex<Vec<Option<Arc<OperatorSpec>>>>,
     cache: &FactorCache,
     counters: &Counters,
 ) {
@@ -307,7 +370,7 @@ fn run_batch(
         let spec = {
             #[allow(clippy::expect_used)]
             let ops = ops.lock().expect("operator registry lock poisoned");
-            ops.get(op.0).map(Arc::clone)
+            ops.get(op.0).and_then(|s| s.as_ref().map(Arc::clone))
         };
         let Some(spec) = spec else {
             fail_all(group, counters, |_| SolverError::ShapeMismatch {
@@ -382,15 +445,24 @@ fn fail_all(group: Vec<Request>, counters: &Counters, error: impl Fn(&Request) -
 fn worker_loop(
     rx: &mpsc::Receiver<Msg>,
     policy: BatchPolicy,
-    ops: &Mutex<Vec<Arc<OperatorSpec>>>,
+    ops: &Mutex<Vec<Option<Arc<OperatorSpec>>>>,
     cache: &FactorCache,
     counters: &Counters,
+    queued: &AtomicUsize,
 ) {
     let max_width = policy.max_width.max(1);
+    // A request leaves the backpressure queue the moment the worker picks it
+    // up — queue depth measures waiting requests, not in-flight solves.
+    let dequeue = || {
+        queued.fetch_sub(1, Ordering::AcqRel);
+    };
     loop {
         // Block for the first request of the next batch.
         let first = match rx.recv() {
-            Ok(Msg::Solve(request)) => request,
+            Ok(Msg::Solve(request)) => {
+                dequeue();
+                request
+            }
             Ok(Msg::Shutdown) | Err(_) => return,
         };
         let deadline = Instant::now() + policy.max_wait;
@@ -405,6 +477,7 @@ fn worker_loop(
             }
             match rx.recv_timeout(remaining) {
                 Ok(Msg::Solve(request)) => {
+                    dequeue();
                     width += request.cols.len();
                     batch.push(request);
                 }
@@ -423,6 +496,7 @@ fn worker_loop(
         if shutdown {
             // Drain anything that raced in before the shutdown message.
             while let Ok(Msg::Solve(request)) = rx.try_recv() {
+                dequeue();
                 run_batch(vec![request], ops, cache, counters);
             }
             return;

@@ -148,6 +148,7 @@ fn server_reregistration_shares_one_factorization() {
         BatchPolicy {
             max_width: 8,
             max_wait: Duration::from_millis(5),
+            ..BatchPolicy::default()
         },
         4,
     );
@@ -174,4 +175,111 @@ fn server_reregistration_shares_one_factorization() {
     );
     assert_eq!(cache.misses, 1);
     assert!(cache.hits >= 3);
+}
+
+#[test]
+fn deregistration_drops_cached_factors_unless_fingerprint_is_shared() {
+    let a = analysis(192, 19);
+    let kernel = Arc::new(LaplaceKernel::default());
+    let opts = FactorOptions::default();
+    let server = SolveServer::new(BatchPolicy::default(), 4);
+    let n = a.tree().num_points();
+
+    // Two live handles over the same operator share one fingerprint.
+    let op1 = server.register(a.clone(), kernel.clone(), opts, Some(0));
+    let op2 = server.register(a.clone(), kernel.clone(), opts, Some(0));
+    server
+        .submit(op1, vec![1.0; n])
+        .wait_one()
+        .expect("solve against op1");
+
+    // Dropping one handle must not drop the factors the other still needs.
+    assert!(server.deregister(op1), "op1 was live");
+    server
+        .submit(op2, vec![1.0; n])
+        .wait_one()
+        .expect("solve against op2 after deregistering op1");
+    assert_eq!(
+        server.cache_stats().factorizations,
+        1,
+        "shared fingerprint must keep the cached factors alive"
+    );
+
+    // Dropping the last handle forgets the factors; the dead handle fails
+    // with a typed error and a re-registration refactorizes.
+    assert!(server.deregister(op2), "op2 was live");
+    assert!(!server.deregister(op2), "op2 was already deregistered");
+    assert_eq!(server.cache_stats().removals, 1, "factors must be dropped");
+    let err = server
+        .submit(op1, vec![1.0; n])
+        .wait_one()
+        .expect_err("a deregistered handle must fail");
+    assert!(
+        matches!(err, SolverError::ShapeMismatch { .. }),
+        "expected a typed dead-handle error, got {err}"
+    );
+    let op3 = server.register(a.clone(), kernel.clone(), opts, Some(0));
+    server
+        .submit(op3, vec![1.0; n])
+        .wait_one()
+        .expect("solve against re-registered operator");
+    assert_eq!(
+        server.cache_stats().factorizations,
+        2,
+        "a re-registration after full deregistration must refactorize"
+    );
+}
+
+#[test]
+fn ttl_sweep_drops_only_idle_entries() {
+    let a = analysis(160, 23);
+    let kernel = LaplaceKernel::default();
+    let opts = FactorOptions::default();
+    let key = operator_fingerprint(a.tree(), &kernel, &opts);
+    let cache = FactorCache::new(4);
+    cache
+        .get_or_factor(key, || a.factorize(&kernel, &opts))
+        .expect("factorization");
+
+    // A generous TTL keeps the fresh entry; a zero TTL expires it.
+    assert_eq!(cache.sweep_expired(Duration::from_secs(3600)), 0);
+    assert!(cache.contains(key), "fresh entry must survive the sweep");
+    assert_eq!(cache.sweep_expired(Duration::ZERO), 1);
+    assert!(!cache.contains(key), "idle entry must expire");
+    assert_eq!(cache.stats().removals, 1);
+}
+
+#[test]
+fn backpressure_rejects_submissions_beyond_the_queue_bound() {
+    let a = analysis(160, 29);
+    let kernel = Arc::new(LaplaceKernel::default());
+    let opts = FactorOptions::default();
+    // A zero-length queue rejects every submission up front — the sharpest
+    // way to pin the Overloaded contract without racing the worker.
+    let server = SolveServer::new(
+        BatchPolicy {
+            max_queue: 0,
+            ..BatchPolicy::default()
+        },
+        2,
+    );
+    let op = server.register(a.clone(), kernel, opts, Some(0));
+    let n = a.tree().num_points();
+    let err = server
+        .submit(op, vec![1.0; n])
+        .wait_one()
+        .expect_err("a full queue must reject the submission");
+    match err {
+        SolverError::Overloaded { queued, limit } => {
+            assert_eq!(limit, 0);
+            assert_eq!(queued, 0);
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+    assert_eq!(server.stats().rejected, 1, "rejections must be counted");
+    assert_eq!(
+        server.cache_stats().factorizations,
+        0,
+        "a rejected request must not reach the factorization path"
+    );
 }

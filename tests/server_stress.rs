@@ -92,6 +92,7 @@ fn concurrent_clients_match_direct_solves_and_poison_stays_contained() {
         BatchPolicy {
             max_width: 8,
             max_wait: Duration::from_millis(20),
+            ..BatchPolicy::default()
         },
         4,
     ));
@@ -222,6 +223,7 @@ fn batching_aggregates_under_load_and_shutdown_is_clean() {
         BatchPolicy {
             max_width: 16,
             max_wait: Duration::from_millis(30),
+            ..BatchPolicy::default()
         },
         2,
     );
